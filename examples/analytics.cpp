@@ -1,0 +1,114 @@
+// Analytics over a generated warehouse: shows the optimizer at work on a
+// multi-way join + aggregation query — logical plan before and after
+// rewriting (join introduction, pushdown, early projection, build-side
+// choice), the lowered physical plan, and the timing difference.
+//
+//   $ ./build/examples/analytics
+
+#include <chrono>
+#include <iostream>
+
+#include "mra/catalog/catalog.h"
+#include "mra/exec/physical_planner.h"
+#include "mra/opt/optimizer.h"
+#include "mra/opt/stats.h"
+#include "mra/util/generator.h"
+#include "mra/util/printer.h"
+
+namespace {
+
+using namespace mra;  // NOLINT — example brevity
+
+template <typename T>
+T Check(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+double MillisToRun(const PlanPtr& plan, const Catalog& catalog,
+                   Relation* out) {
+  auto start = std::chrono::steady_clock::now();
+  *out = Check(exec::ExecutePlan(plan, catalog));
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  // A beer warehouse: 200k beer rows with duplicates, 400 breweries.
+  Catalog catalog;
+  util::BeerDbOptions options;
+  options.num_beers = 100000;
+  options.num_breweries = 400;
+  options.num_beer_names = 25000;
+  options.duplicate_factor = 2.0;
+  util::BeerDb db = util::MakeBeerDb(options);
+  Check(catalog.CreateRelation(db.beer.schema()));
+  Check(catalog.SetRelation("beer", std::move(db.beer)));
+  Check(catalog.CreateRelation(db.brewery.schema()));
+  Check(catalog.SetRelation("brewery", std::move(db.brewery)));
+
+  // The analyst's query, written naively as σ over × (as a SQL front end
+  // would produce it): strong beers per country, averaged.
+  //
+  //   Γ_(country),AVG(alcperc)
+  //     σ (beer.brewery = brewery.name AND alcperc > 6.0) (beer × brewery)
+  PlanPtr beer = Plan::Scan(
+      "beer", Check(catalog.GetRelation("beer"))->schema());
+  PlanPtr brewery = Plan::Scan(
+      "brewery", Check(catalog.GetRelation("brewery"))->schema());
+  PlanPtr product = Check(Plan::Product(beer, brewery));
+  PlanPtr filtered = Check(Plan::Select(
+      And(Eq(Attr(1), Attr(3)), Gt(Attr(2), Lit(6.0))), product));
+  PlanPtr query = Check(Plan::GroupBy(
+      {5}, {{AggKind::kAvg, 2, "avg_alcperc"}, {AggKind::kCnt, 0, "beers"}},
+      filtered));
+
+  std::cout << "Naive logical plan (σ over ×, as translated from SQL):\n\n"
+            << query->ToString() << "\n"
+            << "estimated cardinality: "
+            << opt::EstimateCardinality(*query, catalog) << "\n\n";
+
+  opt::Optimizer optimizer(&catalog);
+  PlanPtr optimized = Check(optimizer.Optimize(query));
+  std::cout << "Optimized plan (Theorem 3.1 turned σ(×) into ⋈; the "
+               "selection and an early projection moved below it):\n\n"
+            << optimized->ToString() << "\n";
+
+  std::cout << "Physical plan:\n\n"
+            << Check(exec::LowerPlan(optimized, catalog))->ToString()
+            << "\n";
+
+  // Execute both and compare (identical results, different cost).
+  // NOTE: the naive plan materialises beer × brewery = 80M+ tuples if run
+  // definitionally; the physical engine streams it, but it is still the
+  // slow path.
+  Relation naive_result, optimized_result;
+  double optimized_ms = MillisToRun(optimized, catalog, &optimized_result);
+  double naive_ms = MillisToRun(query, catalog, &naive_result);
+
+  std::cout << "naive plan:     " << naive_ms << " ms\n"
+            << "optimized plan: " << optimized_ms << " ms  ("
+            << (optimized_ms > 0 ? naive_ms / optimized_ms : 0)
+            << "x speedup)\n"
+            << "results identical: "
+            << (naive_result.size() == optimized_result.size() ? "yes"
+                                                               : "no")
+            << "\n\n";
+
+  util::PrintOptions print_options;
+  print_options.max_rows = 10;
+  util::PrintRelation(std::cout, optimized_result, print_options);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// A small ETL pipeline: load CSV files into relations, clean and join them
+// with the multi-set algebra, aggregate, and export the result as CSV —
+// the library as an embeddable data-processing engine.
+//
+//   $ ./build/examples/csv_etl [output.csv]
+
+#include <iostream>
+
+#include "mra/algebra/ops.h"
+#include "mra/util/csv.h"
+#include "mra/util/printer.h"
+
+namespace {
+
+using namespace mra;  // NOLINT — example brevity
+
+template <typename T>
+T Check(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+// Inline "files" — in a real pipeline these arrive on disk; note the
+// repeated order rows: multi-set semantics keeps them, and the revenue
+// aggregate depends on it.
+constexpr char kOrdersCsv[] =
+    "customer,item,qty\n"
+    "ann,hops,3\n"
+    "ann,hops,3\n"      // a genuine duplicate order line
+    "ann,malt,1\n"
+    "bob,hops,5\n"
+    "bob,yeast,2\n"
+    "carol,malt,4\n";
+
+constexpr char kPricesCsv[] =
+    "item,price\n"
+    "hops,9.99\n"
+    "malt,4.50\n"
+    "yeast,12.00\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Extract.
+  RelationSchema orders_schema("orders", {{"customer", Type::String()},
+                                          {"item", Type::String()},
+                                          {"qty", Type::Int()}});
+  RelationSchema prices_schema("prices", {{"item", Type::String()},
+                                          {"price", Type::Decimal()}});
+  Relation orders = Check(util::RelationFromCsv(kOrdersCsv, orders_schema));
+  Relation prices = Check(util::RelationFromCsv(kPricesCsv, prices_schema));
+
+  std::cout << "Loaded " << orders.size() << " order lines ("
+            << orders.distinct_size() << " distinct — duplicates kept!) and "
+            << prices.size() << " prices.\n\n";
+
+  // Transform: join on item, compute line revenue, aggregate per customer.
+  // revenue = qty * price; under set semantics ann's duplicate hops order
+  // would silently vanish here — the paper's Example 3.2 failure mode.
+  Relation joined = Check(ops::Join(Eq(Attr(1), Attr(3)), orders, prices));
+  Relation lines = Check(ops::Project(
+      {Attr(0), Attr(1), Mul(Attr(2), Attr(4))}, joined,
+      {"customer", "item", "revenue"}));
+  Relation per_customer = Check(ops::GroupBy(
+      {0},
+      {{AggKind::kSum, 2, "revenue"}, {AggKind::kCnt, 0, "lines"}},
+      lines));
+
+  std::cout << "Revenue per customer:\n";
+  util::PrintRelation(std::cout, per_customer);
+
+  // Load (export).
+  std::string out_path = argc > 1 ? argv[1] : "/tmp/mra_etl_out.csv";
+  Check(util::SaveCsvFile(out_path, per_customer));
+  std::cout << "\nwrote " << out_path << ":\n"
+            << util::RelationToCsv(per_customer);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// The SQL front end: every SQL statement is translated into an XRA
+// statement of the extended relational algebra (the paper's "formal
+// background for SQL" role) and executed through the same optimizer and
+// physical engine.  The demo prints each translation next to its result.
+//
+//   $ ./build/examples/sql_demo
+
+#include <iostream>
+
+#include "mra/sql/sql_parser.h"
+#include "mra/sql/translator.h"
+#include "mra/util/printer.h"
+
+namespace {
+
+using namespace mra;  // NOLINT — example brevity
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+// Runs one SQL statement, showing its XRA translation and any result.
+void Run(Database* db, sql::SqlSession* session, const std::string& text) {
+  std::cout << "sql> " << text << "\n";
+  // Show the translation for translatable statements (not BEGIN/COMMIT).
+  auto stmts = sql::ParseSql(text);
+  Check(stmts.status());
+  for (const sql::SqlStatement& stmt : *stmts) {
+    if (!std::holds_alternative<sql::TxnControl>(stmt)) {
+      auto translated = sql::TranslateStatement(stmt, db->catalog());
+      if (translated.ok()) {
+        std::cout << "xra> " << translated->ToString() << "\n";
+      }
+    }
+  }
+  Check(session->Execute(text, [](const std::string&, const Relation& r) {
+    util::PrintRelation(std::cout, r);
+  }));
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  auto db_or = Database::Open();
+  Check(db_or.status());
+  std::unique_ptr<Database> db = std::move(*db_or);
+  sql::SqlSession session(db.get());
+
+  Run(db.get(), &session,
+      "CREATE TABLE beer (name STRING, brewery STRING, alcperc REAL)");
+  Run(db.get(), &session,
+      "CREATE TABLE brewery (name STRING, city STRING, country STRING)");
+  Run(db.get(), &session,
+      "INSERT INTO beer VALUES ('pils', 'Guineken', 5.0), "
+      "('pils', 'Guineken', 5.0), ('dubbel', 'Guineken', 6.5), "
+      "('dubbel', 'Bavapils', 7.0), ('stout', 'Kirin', 4.2)");
+  Run(db.get(), &session,
+      "INSERT INTO brewery VALUES ('Guineken', 'Amsterdam', 'NL'), "
+      "('Bavapils', 'Lieshout', 'NL'), ('Kirin', 'Tokyo', 'JP')");
+
+  std::cout << "--- SQL keeps duplicates (bag semantics), exactly as the "
+               "algebra prescribes: ---\n\n";
+  Run(db.get(), &session, "SELECT name FROM beer");
+  Run(db.get(), &session, "SELECT DISTINCT name FROM beer");
+
+  std::cout << "--- The paper's Example 3.2 (its SQL form, §3.2): ---\n\n";
+  Run(db.get(), &session,
+      "SELECT country, AVG(alcperc) FROM beer, brewery "
+      "WHERE beer.brewery = brewery.name GROUP BY country");
+
+  std::cout << "--- The paper's Example 4.1 (its SQL form, §4.1): ---\n\n";
+  Run(db.get(), &session,
+      "UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'Guineken'");
+  Run(db.get(), &session,
+      "SELECT name, alcperc FROM beer WHERE brewery = 'Guineken'");
+
+  std::cout << "--- Transactions map onto the paper's brackets "
+               "(Definition 4.3): ---\n\n";
+  Run(db.get(), &session,
+      "BEGIN; DELETE FROM beer; SELECT COUNT(*) FROM beer; ROLLBACK");
+  Run(db.get(), &session, "SELECT COUNT(*) FROM beer");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// An interactive shell for XRA — the textual extended relational algebra,
+// after PRISMA/DB's primary database language.
+//
+//   $ ./build/examples/xra_repl [database-directory]
+//
+// With a directory argument the database is durable (WAL + checkpoint) and
+// your relations survive restarts.  Statements end with ';'.  Examples:
+//
+//   create beer(name: string, brewery: string, alcperc: real);
+//   insert(beer, {('pils', 'Guineken', 5.0) : 2, ('stout', 'Kirin', 4.2)});
+//   ? select(%3 > 4.5, beer);
+//   begin x := unique(project([%1], beer)); ? x end;
+//   update(beer, select(%2 = 'Guineken', beer), [%1, %2, %3 * 1.1]);
+//
+// Meta commands: \h help, \d list relations, \q quit, \checkpoint.
+
+#include <iostream>
+#include <string>
+
+#include "mra/lang/interpreter.h"
+#include "mra/util/printer.h"
+
+namespace {
+
+using namespace mra;  // NOLINT — example brevity
+
+constexpr char kHelp[] = R"(XRA statements (end with ';'):
+  create <name>(<attr>: <type>, ...)    define a relation (types: bool,
+                                        int, decimal, real, string, date)
+  drop <name>                           remove a relation
+  insert(<name>, E)                     R <- R union E
+  delete(<name>, E)                     R <- R - E
+  update(<name>, E, [e1, ..., en])      R <- (R - E) union proj(R intersect E)
+  <name> := E                           bind a temporary (inside begin/end)
+  ? E                                   query
+  begin s1; ...; sn end                 transaction bracket (atomic)
+  constraint <name> (E)                 integrity constraint: E must stay
+                                        empty in every committed state
+  drop constraint <name>
+
+Expressions E:
+  <name> | {(v, ...) : n, ...} | empty(a: t, ...)
+  union(E, E) | diff(E, E) | intersect(E, E) | product(E, E)
+  join(cond, E, E) | select(cond, E) | project([e, ...], E) | unique(E)
+  groupby([%i, ...], agg(%i), ..., E)   with agg in cnt sum avg min max
+
+Conditions/expressions use %1, %2, ... for attributes; literals include
+42, 3.14, 'text', true, date'1994-02-14', dec'9.99'.
+
+Meta: \h help, \d relations, \e <E> explain plans, \checkpoint, \q quit.)";
+
+void PrintRelations(const Database& db) {
+  for (const std::string& name : db.catalog().RelationNames()) {
+    auto rel = db.catalog().GetRelation(name);
+    if (rel.ok()) {
+      std::cout << "  " << (*rel)->schema().ToString() << "  ["
+                << (*rel)->size() << " tuples, " << (*rel)->distinct_size()
+                << " distinct]\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DatabaseOptions options;
+  if (argc > 1) options.directory = argv[1];
+  auto db_or = Database::Open(options);
+  if (!db_or.ok()) {
+    std::cerr << "cannot open database: " << db_or.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::unique_ptr<Database> db = std::move(*db_or);
+  lang::Interpreter interp(db.get());
+
+  std::cout << "mra XRA shell — a multi-set extended relational algebra "
+               "(Grefen & de By, ICDE 1994).\n"
+            << (options.directory.empty()
+                    ? "In-memory database; pass a directory for durability.\n"
+                    : "Durable database at " + options.directory + ".\n")
+            << "Type \\h for help, \\q to quit.\n";
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::cout << (buffer.empty() ? "xra> " : "...> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\q") break;
+      if (line == "\\h") {
+        std::cout << kHelp << "\n";
+      } else if (line == "\\d") {
+        PrintRelations(*db);
+      } else if (line.rfind("\\e ", 0) == 0) {
+        auto explained = interp.Explain(line.substr(3));
+        std::cout << (explained.ok() ? *explained
+                                     : explained.status().ToString())
+                  << "\n";
+      } else if (line == "\\checkpoint") {
+        Status s = db->Checkpoint();
+        std::cout << (s.ok() ? "checkpointed.\n" : s.ToString() + "\n");
+      } else {
+        std::cout << "unknown meta command (try \\h)\n";
+      }
+      continue;
+    }
+
+    buffer += line;
+    buffer += '\n';
+    // Execute once the statement terminator appears.  `begin … end` blocks
+    // also end with ';' after `end`.
+    auto trimmed = buffer.find_last_not_of(" \t\n");
+    if (trimmed == std::string::npos) {
+      buffer.clear();
+      continue;
+    }
+    if (buffer[trimmed] != ';') continue;
+
+    Status s = interp.ExecuteScript(
+        buffer, [](const std::string& query, const Relation& result) {
+          std::cout << query << "\n";
+          util::PrintOptions print_options;
+          print_options.max_rows = 40;
+          util::PrintRelation(std::cout, result, print_options);
+        });
+    if (!s.ok()) std::cout << s.ToString() << "\n";
+    buffer.clear();
+  }
+  std::cout << "\nbye.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Multi-set aggregate functions (Definition 3.3): CNT, SUM, AVG, MIN, MAX.
+//
+// All aggregates are multiplicity-weighted: CNT_p E = Σ_x E(x) and
+// SUM_p E = Σ_x x.p · E(x).  AVG = SUM/CNT.  MIN/MAX range over the support
+// {x | E(x) > 0}.  AVG, MIN and MAX are *partial* functions — applying them
+// to an empty multi-set returns StatusCode::kUndefined, exactly as the paper
+// notes after Definition 3.3.  SUM and CNT of an empty multi-set are 0
+// (empty sum).
+
+#ifndef MRA_ALGEBRA_AGGREGATE_H_
+#define MRA_ALGEBRA_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mra/common/result.h"
+#include "mra/core/relation.h"
+
+namespace mra {
+
+enum class AggKind : uint8_t { kCnt, kSum, kAvg, kMin, kMax };
+
+/// Lower-case name as used in XRA: "cnt", "sum", ….
+std::string_view AggKindName(AggKind kind);
+/// Parses an XRA aggregate name.
+Result<AggKind> AggKindFromName(std::string_view name);
+
+/// One aggregate application f_p: function plus the 0-based attribute index
+/// it aggregates over.  For CNT the attribute is a dummy parameter kept
+/// "only for reasons of syntactical uniformity" (Definition 3.3); any valid
+/// index works and does not affect the result.
+struct AggSpec {
+  AggKind kind;
+  size_t attr = 0;
+  /// Display name of the output attribute; synthesised when empty
+  /// ("cnt", "sum_<attr>", …).
+  std::string output_name;
+};
+
+/// ran(f_p): result domain of aggregate `kind` applied to an attribute of
+/// type `attr_type`.  CNT → int; SUM preserves the numeric domain; AVG maps
+/// int/real → real and decimal → decimal; MIN/MAX preserve the domain.
+/// SUM/AVG require a numeric attribute; MIN/MAX any ordered domain.
+Result<Type> AggResultType(AggKind kind, Type attr_type);
+
+/// Streaming accumulator for one aggregate.  Feed (value, multiplicity)
+/// pairs, then Finish().
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggKind kind, Type attr_type);
+
+  /// Adds `count` occurrences of `v` (the value of the aggregated attribute
+  /// in one distinct tuple).
+  void Add(const Value& v, uint64_t count);
+
+  /// Merges another accumulator over the same (kind, type) into this one —
+  /// the combine step of two-phase (parallel) aggregation.
+  void Merge(const AggAccumulator& other);
+
+  /// The aggregate value; kUndefined for AVG/MIN/MAX over an empty input.
+  Result<Value> Finish() const;
+
+ private:
+  AggKind kind_;
+  Type attr_type_;
+  uint64_t count_ = 0;       // CNT / AVG denominator.
+  int64_t sum_int_ = 0;      // SUM for int and decimal (scaled).
+  double sum_real_ = 0.0;    // SUM for real.
+  bool has_extreme_ = false;
+  Value extreme_;            // MIN/MAX candidate.
+};
+
+/// Computes one aggregate over a whole relation: f_p(E) of Definition 3.3.
+Result<Value> Aggregate(AggKind kind, size_t attr, const Relation& input);
+
+}  // namespace mra
+
+#endif  // MRA_ALGEBRA_AGGREGATE_H_

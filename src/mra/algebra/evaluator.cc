@@ -1,0 +1,77 @@
+#include "mra/algebra/evaluator.h"
+
+#include "mra/algebra/closure.h"
+#include "mra/algebra/ops.h"
+
+namespace mra {
+
+Result<Relation> EvaluatePlan(const Plan& plan,
+                              const RelationProvider& provider) {
+  switch (plan.kind()) {
+    case PlanKind::kScan: {
+      MRA_ASSIGN_OR_RETURN(const Relation* rel,
+                           provider.GetRelation(plan.relation_name()));
+      if (!rel->schema().CompatibleWith(plan.schema())) {
+        return Status::Internal("relation " + plan.relation_name() +
+                                " changed schema after planning");
+      }
+      return *rel;
+    }
+    case PlanKind::kConstRel:
+      return plan.const_relation();
+    case PlanKind::kUnion: {
+      MRA_ASSIGN_OR_RETURN(Relation l, EvaluatePlan(*plan.child(0), provider));
+      MRA_ASSIGN_OR_RETURN(Relation r, EvaluatePlan(*plan.child(1), provider));
+      return ops::Union(l, r);
+    }
+    case PlanKind::kDifference: {
+      MRA_ASSIGN_OR_RETURN(Relation l, EvaluatePlan(*plan.child(0), provider));
+      MRA_ASSIGN_OR_RETURN(Relation r, EvaluatePlan(*plan.child(1), provider));
+      return ops::Difference(l, r);
+    }
+    case PlanKind::kIntersect: {
+      MRA_ASSIGN_OR_RETURN(Relation l, EvaluatePlan(*plan.child(0), provider));
+      MRA_ASSIGN_OR_RETURN(Relation r, EvaluatePlan(*plan.child(1), provider));
+      return ops::Intersect(l, r);
+    }
+    case PlanKind::kProduct: {
+      MRA_ASSIGN_OR_RETURN(Relation l, EvaluatePlan(*plan.child(0), provider));
+      MRA_ASSIGN_OR_RETURN(Relation r, EvaluatePlan(*plan.child(1), provider));
+      return ops::Product(l, r);
+    }
+    case PlanKind::kJoin: {
+      MRA_ASSIGN_OR_RETURN(Relation l, EvaluatePlan(*plan.child(0), provider));
+      MRA_ASSIGN_OR_RETURN(Relation r, EvaluatePlan(*plan.child(1), provider));
+      return ops::Join(plan.condition(), l, r);
+    }
+    case PlanKind::kSelect: {
+      MRA_ASSIGN_OR_RETURN(Relation in, EvaluatePlan(*plan.child(0), provider));
+      return ops::Select(plan.condition(), in);
+    }
+    case PlanKind::kProject: {
+      MRA_ASSIGN_OR_RETURN(Relation in, EvaluatePlan(*plan.child(0), provider));
+      // Preserve the attribute names chosen at plan-build time.
+      std::vector<std::string> names;
+      names.reserve(plan.schema().arity());
+      for (const Attribute& a : plan.schema().attributes()) {
+        names.push_back(a.name);
+      }
+      return ops::Project(plan.projections(), in, names);
+    }
+    case PlanKind::kUnique: {
+      MRA_ASSIGN_OR_RETURN(Relation in, EvaluatePlan(*plan.child(0), provider));
+      return ops::Unique(in);
+    }
+    case PlanKind::kGroupBy: {
+      MRA_ASSIGN_OR_RETURN(Relation in, EvaluatePlan(*plan.child(0), provider));
+      return ops::GroupBy(plan.group_keys(), plan.aggregates(), in);
+    }
+    case PlanKind::kClosure: {
+      MRA_ASSIGN_OR_RETURN(Relation in, EvaluatePlan(*plan.child(0), provider));
+      return ops::TransitiveClosure(in);
+    }
+  }
+  return Status::Internal("bad plan kind");
+}
+
+}  // namespace mra

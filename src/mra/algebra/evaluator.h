@@ -1,0 +1,43 @@
+// Reference (definitional) plan evaluation: walks a logical plan bottom-up,
+// materialising every intermediate result with the operators of
+// mra/algebra/ops.h.  Slow but a literal transcription of the paper's
+// semantics — the physical executor and the optimizer are validated against
+// it.
+
+#ifndef MRA_ALGEBRA_EVALUATOR_H_
+#define MRA_ALGEBRA_EVALUATOR_H_
+
+#include <string>
+
+#include "mra/algebra/plan.h"
+#include "mra/core/relation.h"
+
+namespace mra {
+
+/// Resolves database relation names during evaluation.  Implemented by the
+/// catalog and by transaction contexts (which overlay uncommitted state).
+class RelationProvider {
+ public:
+  virtual ~RelationProvider() = default;
+
+  /// The relation currently bound to `name`; NotFound if absent.  The
+  /// returned pointer stays valid for the duration of the evaluation.
+  virtual Result<const Relation*> GetRelation(const std::string& name) const = 0;
+};
+
+/// A provider with no relations — sufficient for plans built from ConstRel
+/// nodes only.
+class EmptyProvider final : public RelationProvider {
+ public:
+  Result<const Relation*> GetRelation(const std::string& name) const override {
+    return Status::NotFound("no relation named " + name);
+  }
+};
+
+/// Evaluates `plan` against the database visible through `provider`.
+Result<Relation> EvaluatePlan(const Plan& plan,
+                              const RelationProvider& provider);
+
+}  // namespace mra
+
+#endif  // MRA_ALGEBRA_EVALUATOR_H_

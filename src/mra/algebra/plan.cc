@@ -1,0 +1,298 @@
+#include "mra/algebra/plan.h"
+
+#include <sstream>
+
+#include "mra/algebra/closure.h"
+#include "mra/algebra/ops.h"
+#include "mra/expr/eval.h"
+
+namespace mra {
+
+std::string_view PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "scan";
+    case PlanKind::kConstRel:
+      return "const";
+    case PlanKind::kUnion:
+      return "union";
+    case PlanKind::kDifference:
+      return "diff";
+    case PlanKind::kIntersect:
+      return "intersect";
+    case PlanKind::kProduct:
+      return "product";
+    case PlanKind::kJoin:
+      return "join";
+    case PlanKind::kSelect:
+      return "select";
+    case PlanKind::kProject:
+      return "project";
+    case PlanKind::kUnique:
+      return "unique";
+    case PlanKind::kGroupBy:
+      return "groupby";
+    case PlanKind::kClosure:
+      return "closure";
+  }
+  return "?";
+}
+
+PlanPtr Plan::Scan(std::string name, RelationSchema schema) {
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kScan));
+  plan->relation_name_ = std::move(name);
+  plan->schema_ = std::move(schema);
+  return plan;
+}
+
+PlanPtr Plan::ConstRel(Relation relation) {
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kConstRel));
+  plan->schema_ = relation.schema();
+  plan->const_relation_ = std::move(relation);
+  return plan;
+}
+
+namespace {
+
+Status CheckSetOperands(const PlanPtr& left, const PlanPtr& right,
+                        const char* op) {
+  if (!left->schema().CompatibleWith(right->schema())) {
+    return Status::InvalidArgument(
+        std::string(op) + " requires operands of one schema, got " +
+        left->schema().ToString() + " and " + right->schema().ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PlanPtr> Plan::Union(PlanPtr left, PlanPtr right) {
+  MRA_RETURN_IF_ERROR(CheckSetOperands(left, right, "union"));
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kUnion));
+  plan->schema_ = left->schema();
+  plan->children_ = {std::move(left), std::move(right)};
+  return PlanPtr(plan);
+}
+
+Result<PlanPtr> Plan::Difference(PlanPtr left, PlanPtr right) {
+  MRA_RETURN_IF_ERROR(CheckSetOperands(left, right, "diff"));
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kDifference));
+  plan->schema_ = left->schema();
+  plan->children_ = {std::move(left), std::move(right)};
+  return PlanPtr(plan);
+}
+
+Result<PlanPtr> Plan::Intersect(PlanPtr left, PlanPtr right) {
+  MRA_RETURN_IF_ERROR(CheckSetOperands(left, right, "intersect"));
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kIntersect));
+  plan->schema_ = left->schema();
+  plan->children_ = {std::move(left), std::move(right)};
+  return PlanPtr(plan);
+}
+
+Result<PlanPtr> Plan::Product(PlanPtr left, PlanPtr right) {
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kProduct));
+  plan->schema_ = left->schema().Concat(right->schema());
+  plan->children_ = {std::move(left), std::move(right)};
+  return PlanPtr(plan);
+}
+
+Result<PlanPtr> Plan::Join(ExprPtr condition, PlanPtr left, PlanPtr right) {
+  RelationSchema joined = left->schema().Concat(right->schema());
+  MRA_RETURN_IF_ERROR(CheckPredicate(condition, joined));
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kJoin));
+  plan->schema_ = std::move(joined);
+  plan->condition_ = std::move(condition);
+  plan->children_ = {std::move(left), std::move(right)};
+  return PlanPtr(plan);
+}
+
+Result<PlanPtr> Plan::Select(ExprPtr condition, PlanPtr input) {
+  MRA_RETURN_IF_ERROR(CheckPredicate(condition, input->schema()));
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kSelect));
+  plan->schema_ = input->schema();
+  plan->condition_ = std::move(condition);
+  plan->children_ = {std::move(input)};
+  return PlanPtr(plan);
+}
+
+Result<PlanPtr> Plan::Project(std::vector<ExprPtr> exprs, PlanPtr input,
+                              std::vector<std::string> names) {
+  MRA_ASSIGN_OR_RETURN(RelationSchema schema,
+                       InferProjectionSchema(exprs, input->schema(), names));
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kProject));
+  plan->schema_ = std::move(schema);
+  plan->projections_ = std::move(exprs);
+  plan->children_ = {std::move(input)};
+  return PlanPtr(plan);
+}
+
+Result<PlanPtr> Plan::ProjectIndexes(const std::vector<size_t>& indexes,
+                                     PlanPtr input) {
+  std::vector<ExprPtr> exprs;
+  exprs.reserve(indexes.size());
+  for (size_t i : indexes) exprs.push_back(Attr(i));
+  return Project(std::move(exprs), std::move(input));
+}
+
+Result<PlanPtr> Plan::Unique(PlanPtr input) {
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kUnique));
+  plan->schema_ = input->schema();
+  plan->children_ = {std::move(input)};
+  return PlanPtr(plan);
+}
+
+Result<PlanPtr> Plan::GroupBy(std::vector<size_t> keys,
+                              std::vector<AggSpec> aggs, PlanPtr input) {
+  MRA_ASSIGN_OR_RETURN(RelationSchema schema,
+                       ops::GroupBySchema(keys, aggs, input->schema()));
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kGroupBy));
+  plan->schema_ = std::move(schema);
+  plan->group_keys_ = std::move(keys);
+  plan->aggregates_ = std::move(aggs);
+  plan->children_ = {std::move(input)};
+  return PlanPtr(plan);
+}
+
+Result<PlanPtr> Plan::Closure(PlanPtr input) {
+  MRA_RETURN_IF_ERROR(ops::CheckClosureInput(input->schema()));
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kClosure));
+  plan->schema_ = input->schema();
+  plan->children_ = {std::move(input)};
+  return PlanPtr(plan);
+}
+
+namespace {
+
+void RenderPayload(const Plan& plan, std::ostream& out) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+      out << " " << plan.relation_name();
+      break;
+    case PlanKind::kConstRel:
+      out << " |" << plan.const_relation().size() << "|";
+      break;
+    case PlanKind::kSelect:
+    case PlanKind::kJoin:
+      out << " " << plan.condition()->ToString();
+      break;
+    case PlanKind::kProject: {
+      out << " [";
+      const auto& exprs = plan.projections();
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << exprs[i]->ToString();
+      }
+      out << "]";
+      break;
+    }
+    case PlanKind::kGroupBy: {
+      out << " [";
+      const auto& keys = plan.group_keys();
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << "%" << keys[i] + 1;
+      }
+      out << "], ";
+      const auto& aggs = plan.aggregates();
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << AggKindName(aggs[i].kind) << "(%" << aggs[i].attr + 1 << ")";
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void RenderTree(const Plan& plan, int depth, std::ostream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << PlanKindName(plan.kind());
+  RenderPayload(plan, out);
+  out << "\n";
+  for (const PlanPtr& child : plan.children()) {
+    RenderTree(*child, depth + 1, out);
+  }
+}
+
+void RenderInline(const Plan& plan, std::ostream& out) {
+  if (plan.kind() == PlanKind::kScan) {
+    out << plan.relation_name();
+    return;
+  }
+  out << PlanKindName(plan.kind()) << "(";
+  bool first = true;
+  std::ostringstream payload;
+  RenderPayload(plan, payload);
+  std::string p = payload.str();
+  if (!p.empty()) {
+    out << p.substr(1);  // Drop the leading space.
+    first = false;
+  }
+  for (const PlanPtr& child : plan.children()) {
+    if (!first) out << ", ";
+    first = false;
+    RenderInline(*child, out);
+  }
+  out << ")";
+}
+
+}  // namespace
+
+std::string Plan::ToString() const {
+  std::ostringstream out;
+  RenderTree(*this, 0, out);
+  return out.str();
+}
+
+std::string Plan::ToInlineString() const {
+  std::ostringstream out;
+  RenderInline(*this, out);
+  return out.str();
+}
+
+bool PlanEquals(const PlanPtr& a, const PlanPtr& b) {
+  if (a == b) return true;
+  if (a->kind() != b->kind()) return false;
+  if (a->num_children() != b->num_children()) return false;
+  switch (a->kind()) {
+    case PlanKind::kScan:
+      if (a->relation_name() != b->relation_name()) return false;
+      break;
+    case PlanKind::kConstRel:
+      if (!a->const_relation().Equals(b->const_relation())) return false;
+      break;
+    case PlanKind::kSelect:
+    case PlanKind::kJoin:
+      if (!ExprEquals(a->condition(), b->condition())) return false;
+      break;
+    case PlanKind::kProject: {
+      const auto& ea = a->projections();
+      const auto& eb = b->projections();
+      if (ea.size() != eb.size()) return false;
+      for (size_t i = 0; i < ea.size(); ++i) {
+        if (!ExprEquals(ea[i], eb[i])) return false;
+      }
+      break;
+    }
+    case PlanKind::kGroupBy: {
+      if (a->group_keys() != b->group_keys()) return false;
+      const auto& ga = a->aggregates();
+      const auto& gb = b->aggregates();
+      if (ga.size() != gb.size()) return false;
+      for (size_t i = 0; i < ga.size(); ++i) {
+        if (ga[i].kind != gb[i].kind || ga[i].attr != gb[i].attr) return false;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (size_t i = 0; i < a->num_children(); ++i) {
+    if (!PlanEquals(a->child(i), b->child(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace mra

@@ -1,0 +1,139 @@
+// Logical plans: extended relational algebra expressions as immutable trees
+// (Definitions 3.1, 3.2 and 3.4).  A plan is what the XRA/SQL front ends
+// produce, what the optimizer rewrites, and what the physical planner lowers
+// to executable operators.  Every node carries its output schema, computed
+// and type-checked at construction time by the builder functions below.
+
+#ifndef MRA_ALGEBRA_PLAN_H_
+#define MRA_ALGEBRA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mra/algebra/aggregate.h"
+#include "mra/core/relation.h"
+#include "mra/expr/scalar_expr.h"
+
+namespace mra {
+
+enum class PlanKind : uint8_t {
+  kScan,        // a database relation (the base case of Definition 3.1)
+  kConstRel,    // an inline multi-set literal
+  kUnion,       // ⊎
+  kDifference,  // −
+  kIntersect,   // ∩
+  kProduct,     // ×
+  kJoin,        // ⋈_φ
+  kSelect,      // σ_φ
+  kProject,     // π_α (extended)
+  kUnique,      // δ
+  kGroupBy,     // Γ_{α,f,p}
+  kClosure,     // transitive closure (§5 extension)
+};
+
+std::string_view PlanKindName(PlanKind kind);
+
+class Plan;
+/// Shared immutable plan handle; rewrites rebuild nodes.
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// One logical operator node.  A single class (rather than a subclass per
+/// operator) keeps rewrite code simple; payload accessors are checked
+/// against the node kind.
+class Plan {
+ public:
+  PlanKind kind() const { return kind_; }
+  const RelationSchema& schema() const { return schema_; }
+
+  const std::vector<PlanPtr>& children() const { return children_; }
+  const PlanPtr& child(size_t i) const {
+    MRA_CHECK_LT(i, children_.size());
+    return children_[i];
+  }
+  size_t num_children() const { return children_.size(); }
+
+  /// kScan: the database relation's name.
+  const std::string& relation_name() const {
+    MRA_CHECK(kind_ == PlanKind::kScan);
+    return relation_name_;
+  }
+  /// kConstRel: the literal relation.
+  const Relation& const_relation() const {
+    MRA_CHECK(kind_ == PlanKind::kConstRel);
+    return const_relation_;
+  }
+  /// kSelect / kJoin: the condition φ.
+  const ExprPtr& condition() const {
+    MRA_CHECK(kind_ == PlanKind::kSelect || kind_ == PlanKind::kJoin);
+    return condition_;
+  }
+  /// kProject: the expression list α (Definition 3.4).
+  const std::vector<ExprPtr>& projections() const {
+    MRA_CHECK(kind_ == PlanKind::kProject);
+    return projections_;
+  }
+  /// kGroupBy: the duplicate-free grouping attribute indexes α.
+  const std::vector<size_t>& group_keys() const {
+    MRA_CHECK(kind_ == PlanKind::kGroupBy);
+    return group_keys_;
+  }
+  /// kGroupBy: the aggregates (f, p).
+  const std::vector<AggSpec>& aggregates() const {
+    MRA_CHECK(kind_ == PlanKind::kGroupBy);
+    return aggregates_;
+  }
+
+  /// Multi-line indented rendering using the paper's operator names.
+  std::string ToString() const;
+  /// Single-line algebra-style rendering, e.g.
+  /// "project([%1], select((%6 = 'NL'), join((%2 = %4), beer, brewery)))".
+  std::string ToInlineString() const;
+
+  // --- Builders.  Each validates operand schemas / expression types. ---
+
+  /// A database relation reference.  The caller resolves the schema (e.g.
+  /// through the catalog); the name is kept for evaluation-time lookup.
+  static PlanPtr Scan(std::string name, RelationSchema schema);
+  /// An inline relation literal.
+  static PlanPtr ConstRel(Relation relation);
+
+  static Result<PlanPtr> Union(PlanPtr left, PlanPtr right);
+  static Result<PlanPtr> Difference(PlanPtr left, PlanPtr right);
+  static Result<PlanPtr> Intersect(PlanPtr left, PlanPtr right);
+  static Result<PlanPtr> Product(PlanPtr left, PlanPtr right);
+  static Result<PlanPtr> Join(ExprPtr condition, PlanPtr left, PlanPtr right);
+  static Result<PlanPtr> Select(ExprPtr condition, PlanPtr input);
+  static Result<PlanPtr> Project(std::vector<ExprPtr> exprs, PlanPtr input,
+                                 std::vector<std::string> names = {});
+  /// Convenience: plain attribute-list projection π_(%i1,…,%in).
+  static Result<PlanPtr> ProjectIndexes(const std::vector<size_t>& indexes,
+                                        PlanPtr input);
+  static Result<PlanPtr> Unique(PlanPtr input);
+  static Result<PlanPtr> GroupBy(std::vector<size_t> keys,
+                                 std::vector<AggSpec> aggs, PlanPtr input);
+  /// Transitive closure of a binary same-domain relation (§5 extension;
+  /// result is duplicate-free, see mra/algebra/closure.h).
+  static Result<PlanPtr> Closure(PlanPtr input);
+
+ private:
+  explicit Plan(PlanKind kind) : kind_(kind) {}
+
+  PlanKind kind_;
+  RelationSchema schema_;
+  std::vector<PlanPtr> children_;
+
+  std::string relation_name_;
+  Relation const_relation_;
+  ExprPtr condition_;
+  std::vector<ExprPtr> projections_;
+  std::vector<size_t> group_keys_;
+  std::vector<AggSpec> aggregates_;
+};
+
+/// Structural plan equality (schemas, payloads and children).
+bool PlanEquals(const PlanPtr& a, const PlanPtr& b);
+
+}  // namespace mra
+
+#endif  // MRA_ALGEBRA_PLAN_H_

@@ -1,0 +1,65 @@
+#include "mra/catalog/catalog.h"
+
+namespace mra {
+
+Status Catalog::CreateRelation(RelationSchema schema) {
+  if (schema.name().empty()) {
+    return Status::InvalidArgument(
+        "database relations must be named (Definition 2.5)");
+  }
+  std::string name = schema.name();
+  auto [it, inserted] =
+      relations_.try_emplace(name, Relation(std::move(schema)));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("relation " + name + " already exists");
+  }
+  return Status::OK();
+}
+
+Status Catalog::DropRelation(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("no relation named " + name);
+  }
+  return Status::OK();
+}
+
+Result<const Relation*> Catalog::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named " + name);
+  }
+  return &it->second;
+}
+
+Result<Relation*> Catalog::GetMutableRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named " + name);
+  }
+  return &it->second;
+}
+
+Status Catalog::SetRelation(const std::string& name, Relation relation) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named " + name);
+  }
+  if (!it->second.schema().CompatibleWith(relation.schema())) {
+    return Status::InvalidArgument(
+        "assignment to " + name + " with incompatible schema " +
+        relation.schema().ToString());
+  }
+  relation.set_schema_name(name);
+  it->second = std::move(relation);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mra

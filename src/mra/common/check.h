@@ -1,0 +1,57 @@
+// MRA_CHECK: precondition/invariant assertions that abort with a message.
+// Used for programming errors only; recoverable conditions use Status.
+
+#ifndef MRA_COMMON_CHECK_H_
+#define MRA_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace mra {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << "MRA_CHECK failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes.
+struct CheckVoidify {
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal
+}  // namespace mra
+
+#define MRA_CHECK(condition)                \
+  (condition) ? (void)0                     \
+              : ::mra::internal::CheckVoidify() & \
+                    ::mra::internal::CheckFailStream(__FILE__, __LINE__, #condition)
+
+#define MRA_CHECK_EQ(a, b) MRA_CHECK((a) == (b))
+#define MRA_CHECK_NE(a, b) MRA_CHECK((a) != (b))
+#define MRA_CHECK_LT(a, b) MRA_CHECK((a) < (b))
+#define MRA_CHECK_LE(a, b) MRA_CHECK((a) <= (b))
+#define MRA_CHECK_GT(a, b) MRA_CHECK((a) > (b))
+#define MRA_CHECK_GE(a, b) MRA_CHECK((a) >= (b))
+
+#endif  // MRA_COMMON_CHECK_H_

@@ -1,0 +1,27 @@
+// Hash combinators shared by Tuple and Value hashing.
+
+#ifndef MRA_COMMON_HASH_H_
+#define MRA_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mra {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline size_t HashCombine(size_t seed, size_t value) {
+  // Golden-ratio constant for 64-bit mixing.
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Finalizing mix (splitmix64) — spreads low-entropy integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace mra
+
+#endif  // MRA_COMMON_HASH_H_

@@ -1,0 +1,45 @@
+#include "mra/common/status.h"
+
+namespace mra {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kEvalError:
+      return "EvalError";
+    case StatusCode::kUndefined:
+      return "Undefined";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kTxnError:
+      return "TxnError";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace mra

@@ -1,0 +1,125 @@
+// Error model for the mra library.
+//
+// Following the idiom used by database codebases (RocksDB, Arrow), recoverable
+// errors are reported through `Status` / `Result<T>` return values rather than
+// exceptions.  Programming errors (violated preconditions) are reported through
+// the MRA_CHECK macros in check.h.
+
+#ifndef MRA_COMMON_STATUS_H_
+#define MRA_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mra {
+
+/// Broad classification of an error; the message carries the detail.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Malformed request: bad schema, arity mismatch, unknown attribute index.
+  kInvalidArgument = 1,
+  /// Named entity (relation, attribute) does not exist.
+  kNotFound = 2,
+  /// Named entity already exists (e.g. duplicate relation name).
+  kAlreadyExists = 3,
+  /// Static type error in an expression or statement.
+  kTypeError = 4,
+  /// Runtime evaluation error (division by zero, overflow).
+  kEvalError = 5,
+  /// Partial function applied outside its domain, e.g. AVG of an empty
+  /// multi-set (Definition 3.3 of the paper calls these partial functions).
+  kUndefined = 6,
+  /// Syntax error in XRA or SQL text.
+  kParseError = 7,
+  /// Transaction cannot proceed (e.g. statement outside a transaction).
+  kTxnError = 8,
+  /// I/O failure in the storage layer (WAL, checkpoint files).
+  kIoError = 9,
+  /// Corrupt persistent state detected during recovery.
+  kCorruption = 10,
+  /// Internal invariant violation that was recoverable enough to report.
+  kInternal = 11,
+  /// A transaction's post-state violates a registered integrity constraint
+  /// (the correctness property of §4.3; constraint semantics follow the
+  /// integrity-control companion work the paper cites as [11]).
+  kConstraintViolation = 12,
+};
+
+/// Returns a stable human-readable name, e.g. "TypeError".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, movable success-or-error value.  The OK status carries no
+/// allocation; error statuses hold a code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status EvalError(std::string msg) {
+    return Status(StatusCode::kEvalError, std::move(msg));
+  }
+  static Status Undefined(std::string msg) {
+    return Status(StatusCode::kUndefined, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TxnError(std::string msg) {
+    return Status(StatusCode::kTxnError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so that Status copies are cheap; error paths are cold.
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace mra
+
+#endif  // MRA_COMMON_STATUS_H_

@@ -1,0 +1,95 @@
+#include "mra/core/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mra {
+
+Status Relation::Insert(const Tuple& tuple, uint64_t count) {
+  MRA_RETURN_IF_ERROR(tuple.ConformsTo(schema_));
+  InsertUnchecked(tuple, count);
+  return Status::OK();
+}
+
+void Relation::InsertUnchecked(const Tuple& tuple, uint64_t count) {
+  if (count == 0) return;
+  map_[tuple] += count;
+  total_ += count;
+}
+
+void Relation::InsertUnchecked(Tuple&& tuple, uint64_t count) {
+  if (count == 0) return;
+  map_[std::move(tuple)] += count;
+  total_ += count;
+}
+
+uint64_t Relation::Remove(const Tuple& tuple, uint64_t count) {
+  auto it = map_.find(tuple);
+  if (it == map_.end()) return 0;
+  uint64_t removed = std::min(count, it->second);
+  it->second -= removed;
+  total_ -= removed;
+  if (it->second == 0) map_.erase(it);
+  return removed;
+}
+
+uint64_t Relation::Multiplicity(const Tuple& tuple) const {
+  auto it = map_.find(tuple);
+  return it == map_.end() ? 0 : it->second;
+}
+
+void Relation::Clear() {
+  map_.clear();
+  total_ = 0;
+}
+
+bool Relation::Equals(const Relation& other) const {
+  if (!schema_.CompatibleWith(other.schema_)) return false;
+  if (total_ != other.total_ || map_.size() != other.map_.size()) return false;
+  for (const auto& [tuple, count] : map_) {
+    if (other.Multiplicity(tuple) != count) return false;
+  }
+  return true;
+}
+
+bool Relation::MultiSubsetOf(const Relation& other) const {
+  if (!schema_.CompatibleWith(other.schema_)) return false;
+  if (total_ > other.total_) return false;
+  for (const auto& [tuple, count] : map_) {
+    if (other.Multiplicity(tuple) < count) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<Tuple, uint64_t>> Relation::SortedEntries() const {
+  std::vector<std::pair<Tuple, uint64_t>> entries(map_.begin(), map_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.ToString() < b.first.ToString();
+            });
+  return entries;
+}
+
+std::vector<Tuple> Relation::ExpandedTuples() const {
+  std::vector<Tuple> tuples;
+  tuples.reserve(total_);
+  for (const auto& [tuple, count] : SortedEntries()) {
+    for (uint64_t i = 0; i < count; ++i) tuples.push_back(tuple);
+  }
+  return tuples;
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [tuple, count] : SortedEntries()) {
+    if (!first) out << ", ";
+    first = false;
+    out << tuple.ToString() << " : " << count;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace mra

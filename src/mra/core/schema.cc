@@ -1,0 +1,65 @@
+#include "mra/core/schema.h"
+
+#include <sstream>
+
+namespace mra {
+
+Result<size_t> RelationSchema::IndexOf(std::string_view attr_name) const {
+  size_t found = attributes_.size();
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == attr_name) {
+      if (found != attributes_.size()) {
+        return Status::InvalidArgument("ambiguous attribute name: " +
+                                       std::string(attr_name));
+      }
+      found = i;
+    }
+  }
+  if (found == attributes_.size()) {
+    return Status::NotFound("no attribute named " + std::string(attr_name) +
+                            " in " + ToString());
+  }
+  return found;
+}
+
+bool RelationSchema::CompatibleWith(const RelationSchema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].type != other.attributes_[i].type) return false;
+  }
+  return true;
+}
+
+RelationSchema RelationSchema::Concat(const RelationSchema& other) const {
+  std::vector<Attribute> attrs = attributes_;
+  attrs.insert(attrs.end(), other.attributes_.begin(), other.attributes_.end());
+  return RelationSchema(std::move(attrs));
+}
+
+Result<RelationSchema> RelationSchema::Project(
+    const std::vector<size_t>& indexes) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(indexes.size());
+  for (size_t i : indexes) {
+    if (i >= attributes_.size()) {
+      return Status::InvalidArgument(
+          "projection index %" + std::to_string(i + 1) + " out of range for " +
+          ToString());
+    }
+    attrs.push_back(attributes_[i]);
+  }
+  return RelationSchema(std::move(attrs));
+}
+
+std::string RelationSchema::ToString() const {
+  std::ostringstream out;
+  out << (name_.empty() ? "<anonymous>" : name_) << "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << attributes_[i].name << ": " << attributes_[i].type.name();
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace mra

@@ -1,0 +1,85 @@
+// Relation schemas (Definition 2.2): a relation name plus an *ordered* list
+// of attributes, each defined on a domain.  Attribute ordering enables
+// addressing by prefixed index (%1, %2, …) as the paper does for anonymous
+// intermediate relations; attribute names are kept as well for the SQL front
+// end and for display.
+
+#ifndef MRA_CORE_SCHEMA_H_
+#define MRA_CORE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "mra/common/result.h"
+#include "mra/core/type.h"
+
+namespace mra {
+
+/// One attribute: a display name and its domain.
+struct Attribute {
+  std::string name;
+  Type type;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered attribute list with an optional relation name.
+///
+/// Two schemas are *compatible* (the paper's "defined on schema ℰ") when the
+/// domain lists are equal; attribute and relation names are notational only
+/// and do not affect compatibility — this mirrors the paper's convention of
+/// anonymous intermediate relations.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<Attribute> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+  explicit RelationSchema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t arity() const { return attributes_.size(); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// 0-based access.  (The paper's %i notation is 1-based; the textual
+  /// language converts.)
+  const Attribute& attribute(size_t i) const {
+    MRA_CHECK_LT(i, attributes_.size());
+    return attributes_[i];
+  }
+  Type TypeOf(size_t i) const { return attribute(i).type; }
+
+  /// Index of the attribute with the given display name, or NotFound.
+  /// Ambiguous names (duplicates, possible after ⊕) are InvalidArgument.
+  Result<size_t> IndexOf(std::string_view attr_name) const;
+
+  /// Domain-list equality (the paper's notion of "same schema").
+  bool CompatibleWith(const RelationSchema& other) const;
+
+  /// Schema concatenation ℰ ⊕ ℰ' (Definition 2.4, lifted to schemas as the
+  /// paper does for the product operator).
+  RelationSchema Concat(const RelationSchema& other) const;
+
+  /// Schema projection π_a(ℰ): keeps the attributes at the given 0-based
+  /// indexes, in list order, duplicates allowed (Definition 2.4).
+  Result<RelationSchema> Project(const std::vector<size_t>& indexes) const;
+
+  /// "name(attr1: type1, …)" — display form.
+  std::string ToString() const;
+
+  bool operator==(const RelationSchema& other) const {
+    return name_ == other.name_ && attributes_ == other.attributes_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace mra
+
+#endif  // MRA_CORE_SCHEMA_H_

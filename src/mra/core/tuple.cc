@@ -1,0 +1,74 @@
+#include "mra/core/tuple.h"
+
+#include <sstream>
+
+#include "mra/common/hash.h"
+
+namespace mra {
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> values;
+  values.reserve(values_.size() + other.values_.size());
+  values.insert(values.end(), values_.begin(), values_.end());
+  values.insert(values.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(values));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& indexes) const {
+  std::vector<Value> values;
+  values.reserve(indexes.size());
+  for (size_t i : indexes) {
+    MRA_CHECK_LT(i, values_.size()) << "tuple projection index out of range";
+    values.push_back(values_[i]);
+  }
+  return Tuple(std::move(values));
+}
+
+bool Tuple::Equals(const Tuple& other) const {
+  MRA_CHECK_EQ(values_.size(), other.values_.size())
+      << "Tuple::Equals across schemas";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i].kind() != other.values_[i].kind() ||
+        !values_[i].Equals(other.values_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = Mix64(values_.size());
+  for (const Value& v : values_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+Status Tuple::ConformsTo(const RelationSchema& schema) const {
+  if (values_.size() != schema.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(values_.size()) +
+        " does not match schema " + schema.ToString());
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i].type() != schema.TypeOf(i)) {
+      return Status::TypeError("attribute %" + std::to_string(i + 1) +
+                               " of tuple " + ToString() + " has domain " +
+                               values_[i].type().ToString() +
+                               ", schema expects " +
+                               schema.TypeOf(i).ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << values_[i].ToString();
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace mra

@@ -1,0 +1,76 @@
+// Tuples (Definition 2.4): elements of dom(ℛ), with attribute access r.i,
+// tuple projection π_a(r), concatenation r1 ⊕ r2, and equality.
+
+#ifndef MRA_CORE_TUPLE_H_
+#define MRA_CORE_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "mra/common/result.h"
+#include "mra/core/schema.h"
+#include "mra/core/value.h"
+
+namespace mra {
+
+/// An ordered list of atomic values.  Tuples do not carry their schema; the
+/// containing Relation (or operator) does, matching the paper's treatment of
+/// tuples as bare elements of dom(ℛ).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  /// #r — the number of attributes (Definition 2.4).
+  size_t arity() const { return values_.size(); }
+
+  /// r.i with 0-based i (the paper's r.i is 1-based; callers working from
+  /// textual %i notation subtract one).
+  const Value& at(size_t i) const {
+    MRA_CHECK_LT(i, values_.size());
+    return values_[i];
+  }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Tuple concatenation r1 ⊕ r2 (Definition 2.4).
+  Tuple Concat(const Tuple& other) const;
+
+  /// Tuple projection π_a(r): concatenates the attributes named by the
+  /// 0-based index list `a` into a new tuple; indexes may repeat
+  /// (Definition 2.4).  Out-of-range indexes are checked errors — validate
+  /// against the schema first via RelationSchema::Project.
+  Tuple Project(const std::vector<size_t>& indexes) const;
+
+  /// Attribute-wise equality (Definition 2.4).  Only meaningful between
+  /// tuples of one schema; arity mismatch is a checked error.
+  bool Equals(const Tuple& other) const;
+  bool operator==(const Tuple& other) const { return Equals(other); }
+  bool operator!=(const Tuple& other) const { return !Equals(other); }
+
+  size_t Hash() const;
+
+  /// Checks that this tuple inhabits dom(schema): arity and domains match.
+  Status ConformsTo(const RelationSchema& schema) const;
+
+  /// "(v1, v2, …)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Hash/equality functors for unordered containers keyed by Tuple.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return a.arity() == b.arity() && a.Equals(b);
+  }
+};
+
+}  // namespace mra
+
+#endif  // MRA_CORE_TUPLE_H_

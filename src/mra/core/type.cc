@@ -1,0 +1,47 @@
+#include "mra/core/type.h"
+
+#include <string>
+
+namespace mra {
+
+std::string_view Type::name() const {
+  switch (kind_) {
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kInt:
+      return "int";
+    case TypeKind::kDecimal:
+      return "decimal";
+    case TypeKind::kReal:
+      return "real";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+Result<Type> Type::FromName(std::string_view name) {
+  if (name == "bool") return Type::Bool();
+  if (name == "int") return Type::Int();
+  if (name == "decimal") return Type::Decimal();
+  if (name == "real") return Type::Real();
+  if (name == "string") return Type::String();
+  if (name == "date") return Type::Date();
+  return Status::InvalidArgument("unknown type name: " + std::string(name));
+}
+
+Type Type::CommonNumeric(Type a, Type b) {
+  MRA_CHECK(a.IsNumeric() && b.IsNumeric())
+      << "CommonNumeric on non-numeric types" << a.ToString() << b.ToString();
+  if (a.kind() == TypeKind::kReal || b.kind() == TypeKind::kReal) {
+    return Type::Real();
+  }
+  if (a.kind() == TypeKind::kDecimal || b.kind() == TypeKind::kDecimal) {
+    return Type::Decimal();
+  }
+  return Type::Int();
+}
+
+}  // namespace mra

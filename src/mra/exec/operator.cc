@@ -1,0 +1,497 @@
+#include "mra/exec/operator.h"
+
+#include <sstream>
+
+#include "mra/algebra/closure.h"
+#include "mra/expr/eval.h"
+
+namespace mra {
+namespace exec {
+
+namespace {
+
+void RenderPhysical(const PhysicalOperator& op, int depth,
+                    std::ostream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << op.name() << "\n";
+  for (const PhysicalOperator* child : op.children()) {
+    RenderPhysical(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PhysicalOperator::ToString() const {
+  std::ostringstream out;
+  RenderPhysical(*this, 0, out);
+  return out.str();
+}
+
+Result<Relation> ExecuteToRelation(PhysicalOperator& op) {
+  MRA_RETURN_IF_ERROR(op.Open());
+  Relation out(op.schema());
+  while (true) {
+    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, op.Next());
+    if (!row.has_value()) break;
+    out.InsertUnchecked(std::move(row->tuple), row->count);
+  }
+  op.Close();
+  return out;
+}
+
+// --- ScanOp. ---
+
+ScanOp::ScanOp(const Relation* relation) : relation_(relation) {
+  MRA_CHECK(relation != nullptr);
+}
+
+Status ScanOp::Open() {
+  it_ = relation_->begin();
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> ScanOp::Next() {
+  MRA_CHECK(open_) << "Next() before Open()";
+  if (it_ == relation_->end()) return std::optional<Row>();
+  Row row{it_->first, it_->second};
+  ++it_;
+  return std::optional<Row>(std::move(row));
+}
+
+void ScanOp::Close() { open_ = false; }
+
+const RelationSchema& ScanOp::schema() const { return relation_->schema(); }
+
+// --- ConstScanOp. ---
+
+ConstScanOp::ConstScanOp(Relation relation) : relation_(std::move(relation)) {}
+
+Status ConstScanOp::Open() {
+  it_ = relation_.begin();
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> ConstScanOp::Next() {
+  MRA_CHECK(open_) << "Next() before Open()";
+  if (it_ == relation_.end()) return std::optional<Row>();
+  Row row{it_->first, it_->second};
+  ++it_;
+  return std::optional<Row>(std::move(row));
+}
+
+void ConstScanOp::Close() { open_ = false; }
+
+const RelationSchema& ConstScanOp::schema() const {
+  return relation_.schema();
+}
+
+// --- FilterOp. ---
+
+FilterOp::FilterOp(ExprPtr condition, PhysOpPtr child)
+    : condition_(std::move(condition)), child_(std::move(child)) {}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+Result<std::optional<Row>> FilterOp::Next() {
+  while (true) {
+    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) return row;
+    MRA_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*condition_, row->tuple));
+    if (keep) return row;
+  }
+}
+
+void FilterOp::Close() { child_->Close(); }
+
+// --- ComputeOp. ---
+
+ComputeOp::ComputeOp(std::vector<ExprPtr> exprs, RelationSchema output_schema,
+                     PhysOpPtr child)
+    : exprs_(std::move(exprs)),
+      schema_(std::move(output_schema)),
+      child_(std::move(child)) {}
+
+Status ComputeOp::Open() { return child_->Open(); }
+
+Result<std::optional<Row>> ComputeOp::Next() {
+  MRA_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+  if (!row.has_value()) return row;
+  MRA_ASSIGN_OR_RETURN(Tuple projected, ProjectTuple(exprs_, row->tuple));
+  return std::optional<Row>(Row{std::move(projected), row->count});
+}
+
+void ComputeOp::Close() { child_->Close(); }
+
+// --- DedupOp. ---
+
+DedupOp::DedupOp(PhysOpPtr child) : child_(std::move(child)) {}
+
+Status DedupOp::Open() {
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<std::optional<Row>> DedupOp::Next() {
+  while (true) {
+    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) return row;
+    if (seen_.insert(row->tuple).second) {
+      return std::optional<Row>(Row{std::move(row->tuple), 1});
+    }
+  }
+}
+
+void DedupOp::Close() {
+  seen_.clear();
+  child_->Close();
+}
+
+// --- UnionAllOp. ---
+
+UnionAllOp::UnionAllOp(PhysOpPtr left, PhysOpPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  MRA_CHECK(left_->schema().CompatibleWith(right_->schema()))
+      << "UnionAll over incompatible schemas";
+}
+
+Status UnionAllOp::Open() {
+  on_right_ = false;
+  MRA_RETURN_IF_ERROR(left_->Open());
+  return right_->Open();
+}
+
+Result<std::optional<Row>> UnionAllOp::Next() {
+  if (!on_right_) {
+    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, left_->Next());
+    if (row.has_value()) return row;
+    on_right_ = true;
+  }
+  return right_->Next();
+}
+
+void UnionAllOp::Close() {
+  left_->Close();
+  right_->Close();
+}
+
+// --- DifferenceOp. ---
+
+DifferenceOp::DifferenceOp(PhysOpPtr left, PhysOpPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  MRA_CHECK(left_->schema().CompatibleWith(right_->schema()))
+      << "Difference over incompatible schemas";
+}
+
+Status DifferenceOp::Open() {
+  MRA_ASSIGN_OR_RETURN(Relation lhs, ExecuteToRelation(*left_));
+  MRA_ASSIGN_OR_RETURN(Relation rhs, ExecuteToRelation(*right_));
+  result_ = Relation(lhs.schema());
+  for (const auto& [tuple, count] : lhs) {
+    uint64_t other = rhs.Multiplicity(tuple);
+    if (count > other) result_.InsertUnchecked(tuple, count - other);
+  }
+  it_ = result_.begin();
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> DifferenceOp::Next() {
+  MRA_CHECK(open_) << "Next() before Open()";
+  if (it_ == result_.end()) return std::optional<Row>();
+  Row row{it_->first, it_->second};
+  ++it_;
+  return std::optional<Row>(std::move(row));
+}
+
+void DifferenceOp::Close() {
+  result_.Clear();
+  open_ = false;
+}
+
+// --- IntersectOp. ---
+
+IntersectOp::IntersectOp(PhysOpPtr left, PhysOpPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  MRA_CHECK(left_->schema().CompatibleWith(right_->schema()))
+      << "Intersect over incompatible schemas";
+}
+
+Status IntersectOp::Open() {
+  MRA_ASSIGN_OR_RETURN(Relation lhs, ExecuteToRelation(*left_));
+  MRA_ASSIGN_OR_RETURN(Relation rhs, ExecuteToRelation(*right_));
+  result_ = Relation(lhs.schema());
+  for (const auto& [tuple, count] : lhs) {
+    uint64_t m = std::min(count, rhs.Multiplicity(tuple));
+    if (m > 0) result_.InsertUnchecked(tuple, m);
+  }
+  it_ = result_.begin();
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> IntersectOp::Next() {
+  MRA_CHECK(open_) << "Next() before Open()";
+  if (it_ == result_.end()) return std::optional<Row>();
+  Row row{it_->first, it_->second};
+  ++it_;
+  return std::optional<Row>(std::move(row));
+}
+
+void IntersectOp::Close() {
+  result_.Clear();
+  open_ = false;
+}
+
+// --- NestedLoopJoinOp. ---
+
+NestedLoopJoinOp::NestedLoopJoinOp(ExprPtr condition_or_null, PhysOpPtr left,
+                                   PhysOpPtr right)
+    : condition_(std::move(condition_or_null)),
+      schema_(left->schema().Concat(right->schema())),
+      left_(std::move(left)),
+      right_(std::move(right)) {}
+
+Status NestedLoopJoinOp::Open() {
+  right_rows_.clear();
+  MRA_RETURN_IF_ERROR(right_->Open());
+  while (true) {
+    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
+    if (!row.has_value()) break;
+    right_rows_.push_back(std::move(*row));
+  }
+  right_->Close();
+  current_left_.reset();
+  right_pos_ = 0;
+  return left_->Open();
+}
+
+Result<std::optional<Row>> NestedLoopJoinOp::Next() {
+  while (true) {
+    if (!current_left_.has_value()) {
+      MRA_ASSIGN_OR_RETURN(current_left_, left_->Next());
+      if (!current_left_.has_value()) return std::optional<Row>();
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& rhs = right_rows_[right_pos_++];
+      Tuple combined = current_left_->tuple.Concat(rhs.tuple);
+      if (condition_ != nullptr) {
+        MRA_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*condition_, combined));
+        if (!keep) continue;
+      }
+      return std::optional<Row>(
+          Row{std::move(combined), current_left_->count * rhs.count});
+    }
+    current_left_.reset();
+  }
+}
+
+void NestedLoopJoinOp::Close() {
+  right_rows_.clear();
+  left_->Close();
+}
+
+// --- HashJoinOp. ---
+
+HashJoinOp::HashJoinOp(std::vector<size_t> left_keys,
+                       std::vector<size_t> right_keys,
+                       ExprPtr residual_or_null, PhysOpPtr left,
+                       PhysOpPtr right)
+    : left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual_or_null)),
+      schema_(left->schema().Concat(right->schema())),
+      left_(std::move(left)),
+      right_(std::move(right)) {
+  MRA_CHECK_EQ(left_keys_.size(), right_keys_.size());
+  MRA_CHECK(!left_keys_.empty()) << "HashJoin requires at least one key pair";
+}
+
+Status HashJoinOp::Open() {
+  table_.clear();
+  MRA_RETURN_IF_ERROR(right_->Open());
+  while (true) {
+    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
+    if (!row.has_value()) break;
+    Tuple key = row->tuple.Project(right_keys_);
+    table_[std::move(key)].push_back(std::move(*row));
+  }
+  right_->Close();
+  current_left_.reset();
+  matches_ = nullptr;
+  match_pos_ = 0;
+  return left_->Open();
+}
+
+Result<std::optional<Row>> HashJoinOp::Next() {
+  while (true) {
+    if (!current_left_.has_value()) {
+      MRA_ASSIGN_OR_RETURN(current_left_, left_->Next());
+      if (!current_left_.has_value()) return std::optional<Row>();
+      Tuple key = current_left_->tuple.Project(left_keys_);
+      auto it = table_.find(key);
+      if (it == table_.end()) {
+        current_left_.reset();
+        continue;
+      }
+      matches_ = &it->second;
+      match_pos_ = 0;
+    }
+    while (match_pos_ < matches_->size()) {
+      const Row& rhs = (*matches_)[match_pos_++];
+      Tuple combined = current_left_->tuple.Concat(rhs.tuple);
+      if (residual_ != nullptr) {
+        MRA_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*residual_, combined));
+        if (!keep) continue;
+      }
+      return std::optional<Row>(
+          Row{std::move(combined), current_left_->count * rhs.count});
+    }
+    current_left_.reset();
+  }
+}
+
+void HashJoinOp::Close() {
+  table_.clear();
+  left_->Close();
+}
+
+// --- ClosureOp. ---
+
+ClosureOp::ClosureOp(PhysOpPtr child) : child_(std::move(child)) {}
+
+Status ClosureOp::Open() {
+  MRA_ASSIGN_OR_RETURN(Relation input, ExecuteToRelation(*child_));
+  MRA_ASSIGN_OR_RETURN(result_, ops::TransitiveClosure(input));
+  it_ = result_.begin();
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> ClosureOp::Next() {
+  MRA_CHECK(open_) << "Next() before Open()";
+  if (it_ == result_.end()) return std::optional<Row>();
+  Row row{it_->first, it_->second};
+  ++it_;
+  return std::optional<Row>(std::move(row));
+}
+
+void ClosureOp::Close() {
+  result_.Clear();
+  open_ = false;
+}
+
+// --- HashGroupByOp. ---
+
+HashGroupByOp::HashGroupByOp(std::vector<size_t> keys,
+                             std::vector<AggSpec> aggs,
+                             RelationSchema output_schema, PhysOpPtr child)
+    : keys_(std::move(keys)),
+      aggs_(std::move(aggs)),
+      schema_(std::move(output_schema)),
+      child_(std::move(child)) {}
+
+Status HashGroupByOp::Open() {
+  const RelationSchema& in_schema = child_->schema();
+  auto make_accumulators = [&] {
+    std::vector<AggAccumulator> accs;
+    accs.reserve(aggs_.size());
+    for (const AggSpec& agg : aggs_) {
+      accs.emplace_back(agg.kind, in_schema.TypeOf(agg.attr));
+    }
+    return accs;
+  };
+
+  std::unordered_map<Tuple, std::vector<AggAccumulator>, TupleHash, TupleEq>
+      groups;
+  MRA_RETURN_IF_ERROR(child_->Open());
+  while (true) {
+    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) break;
+    Tuple key = row->tuple.Project(keys_);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) it->second = make_accumulators();
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      it->second[i].Add(row->tuple.at(aggs_[i].attr), row->count);
+    }
+  }
+  child_->Close();
+
+  if (keys_.empty() && groups.empty()) {
+    groups.try_emplace(Tuple{}, make_accumulators());
+  }
+
+  result_ = Relation(schema_);
+  for (const auto& [key, accs] : groups) {
+    std::vector<Value> values = key.values();
+    for (const AggAccumulator& acc : accs) {
+      MRA_ASSIGN_OR_RETURN(Value v, acc.Finish());
+      values.push_back(std::move(v));
+    }
+    result_.InsertUnchecked(Tuple(std::move(values)), 1);
+  }
+  it_ = result_.begin();
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> HashGroupByOp::Next() {
+  MRA_CHECK(open_) << "Next() before Open()";
+  if (it_ == result_.end()) return std::optional<Row>();
+  Row row{it_->first, it_->second};
+  ++it_;
+  return std::optional<Row>(std::move(row));
+}
+
+void HashGroupByOp::Close() {
+  result_.Clear();
+  open_ = false;
+}
+
+// --- Equi-join key extraction. ---
+
+bool ExtractEquiJoinKeys(const ExprPtr& condition,
+                         const RelationSchema& combined_schema,
+                         size_t left_arity, std::vector<size_t>* left_keys,
+                         std::vector<size_t>* right_keys, ExprPtr* residual) {
+  left_keys->clear();
+  right_keys->clear();
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(condition, &conjuncts);
+  std::vector<ExprPtr> rest;
+  for (const ExprPtr& c : conjuncts) {
+    bool is_key = false;
+    if (c->kind() == ExprKind::kBinary) {
+      const auto& b = static_cast<const BinaryExpr&>(*c);
+      if (b.op() == BinaryOp::kEq &&
+          b.lhs()->kind() == ExprKind::kAttrRef &&
+          b.rhs()->kind() == ExprKind::kAttrRef) {
+        size_t i = static_cast<const AttrRefExpr&>(*b.lhs()).index();
+        size_t j = static_cast<const AttrRefExpr&>(*b.rhs()).index();
+        bool same_domain = i < combined_schema.arity() &&
+                           j < combined_schema.arity() &&
+                           combined_schema.TypeOf(i) == combined_schema.TypeOf(j);
+        if (!same_domain) {
+          // Mixed-domain equality (e.g. int vs decimal) promotes before
+          // comparing; hash-key equality would not, so keep it residual.
+        } else if (i < left_arity && j >= left_arity) {
+          left_keys->push_back(i);
+          right_keys->push_back(j - left_arity);
+          is_key = true;
+        } else if (j < left_arity && i >= left_arity) {
+          left_keys->push_back(j);
+          right_keys->push_back(i - left_arity);
+          is_key = true;
+        }
+      }
+    }
+    if (!is_key) rest.push_back(c);
+  }
+  *residual = rest.empty() ? nullptr : CombineConjuncts(rest);
+  return !left_keys->empty();
+}
+
+}  // namespace exec
+}  // namespace mra

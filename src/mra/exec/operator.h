@@ -1,0 +1,353 @@
+// Physical operators: a volcano-style (Open/Next/Close) executor whose rows
+// are (tuple, multiplicity) pairs.  Streaming multiplicities instead of
+// repeated tuples is the practical payoff of the paper's multi-set
+// semantics: a tuple occurring a thousand times costs one row.
+//
+// A *bag stream* may emit the same tuple in several rows; the multi-set it
+// denotes is the per-tuple sum of the emitted counts.  Operators that need
+// exact per-tuple totals (difference, intersection, group-by) materialise
+// internally.
+
+#ifndef MRA_EXEC_OPERATOR_H_
+#define MRA_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mra/algebra/aggregate.h"
+#include "mra/core/relation.h"
+#include "mra/expr/scalar_expr.h"
+
+namespace mra {
+namespace exec {
+
+/// One unit of a bag stream.
+struct Row {
+  Tuple tuple;
+  uint64_t count = 0;
+};
+
+/// Abstract physical operator.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  /// Prepares the operator (builds hash tables, opens children).  Must be
+  /// called exactly once before Next().
+  virtual Status Open() = 0;
+
+  /// Produces the next row, or nullopt at end of stream.
+  virtual Result<std::optional<Row>> Next() = 0;
+
+  /// Releases resources; idempotent.
+  virtual void Close() = 0;
+
+  virtual const RelationSchema& schema() const = 0;
+
+  /// Operator name for EXPLAIN-style output, e.g. "HashJoin".
+  virtual std::string_view name() const = 0;
+
+  /// Children, for plan rendering.
+  virtual std::vector<const PhysicalOperator*> children() const { return {}; }
+
+  /// Multi-line indented rendering of the physical plan.
+  std::string ToString() const;
+};
+
+using PhysOpPtr = std::unique_ptr<PhysicalOperator>;
+
+/// Drains `op` (Open/Next*/Close) into a materialised relation.
+Result<Relation> ExecuteToRelation(PhysicalOperator& op);
+
+// --- Leaf operators. ---
+
+/// Scans a borrowed relation (the caller guarantees it outlives execution).
+class ScanOp final : public PhysicalOperator {
+ public:
+  explicit ScanOp(const Relation* relation);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override;
+  std::string_view name() const override { return "Scan"; }
+
+ private:
+  const Relation* relation_;
+  Relation::const_iterator it_;
+  bool open_ = false;
+};
+
+/// Scans an owned relation (inline literals, pre-materialised inputs).
+class ConstScanOp final : public PhysicalOperator {
+ public:
+  explicit ConstScanOp(Relation relation);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override;
+  std::string_view name() const override { return "ConstScan"; }
+
+ private:
+  Relation relation_;
+  Relation::const_iterator it_;
+  bool open_ = false;
+};
+
+// --- Streaming unary operators. ---
+
+/// σ_φ — drops rows whose tuples fail the condition.
+class FilterOp final : public PhysicalOperator {
+ public:
+  FilterOp(ExprPtr condition, PhysOpPtr child);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override { return child_->schema(); }
+  std::string_view name() const override { return "Filter"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  ExprPtr condition_;
+  PhysOpPtr child_;
+};
+
+/// π_α — extended projection; multiplicities pass through unchanged.
+class ComputeOp final : public PhysicalOperator {
+ public:
+  ComputeOp(std::vector<ExprPtr> exprs, RelationSchema output_schema,
+            PhysOpPtr child);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override { return schema_; }
+  std::string_view name() const override { return "Compute"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::vector<ExprPtr> exprs_;
+  RelationSchema schema_;
+  PhysOpPtr child_;
+};
+
+/// δ — streaming duplicate elimination: first occurrence passes with
+/// multiplicity 1, later occurrences are dropped.
+class DedupOp final : public PhysicalOperator {
+ public:
+  explicit DedupOp(PhysOpPtr child);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override { return child_->schema(); }
+  std::string_view name() const override { return "Dedup"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PhysOpPtr child_;
+  std::unordered_set<Tuple, TupleHash, TupleEq> seen_;
+};
+
+// --- Binary operators. ---
+
+/// ⊎ — concatenates the child streams; per-tuple counts add up by the bag
+/// stream convention, so no materialisation is needed.
+class UnionAllOp final : public PhysicalOperator {
+ public:
+  UnionAllOp(PhysOpPtr left, PhysOpPtr right);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override { return left_->schema(); }
+  std::string_view name() const override { return "UnionAll"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PhysOpPtr left_;
+  PhysOpPtr right_;
+  bool on_right_ = false;
+};
+
+/// − with max(0, ·) multiplicities.  Materialises both inputs on Open.
+class DifferenceOp final : public PhysicalOperator {
+ public:
+  DifferenceOp(PhysOpPtr left, PhysOpPtr right);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override { return left_->schema(); }
+  std::string_view name() const override { return "Difference"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PhysOpPtr left_;
+  PhysOpPtr right_;
+  Relation result_;
+  Relation::const_iterator it_;
+  bool open_ = false;
+};
+
+/// ∩ with min(·,·) multiplicities.  Materialises both inputs on Open.
+class IntersectOp final : public PhysicalOperator {
+ public:
+  IntersectOp(PhysOpPtr left, PhysOpPtr right);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override { return left_->schema(); }
+  std::string_view name() const override { return "Intersect"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PhysOpPtr left_;
+  PhysOpPtr right_;
+  Relation result_;
+  Relation::const_iterator it_;
+  bool open_ = false;
+};
+
+/// × and ⋈_φ without equi-keys: materialises the right input, then streams
+/// the left, pairing each left row with every right row; output
+/// multiplicity is the product of the input multiplicities
+/// (Definition 3.1).  A null condition means plain product.
+class NestedLoopJoinOp final : public PhysicalOperator {
+ public:
+  NestedLoopJoinOp(ExprPtr condition_or_null, PhysOpPtr left, PhysOpPtr right);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override { return schema_; }
+  std::string_view name() const override {
+    return condition_ ? "NestedLoopJoin" : "Product";
+  }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  ExprPtr condition_;
+  RelationSchema schema_;
+  PhysOpPtr left_;
+  PhysOpPtr right_;
+  std::vector<Row> right_rows_;
+  std::optional<Row> current_left_;
+  size_t right_pos_ = 0;
+};
+
+/// ⋈ on equi-key conjuncts %i = %j: builds a hash table over the right
+/// input keyed by its key attributes, probes with left rows, and applies
+/// the residual condition (non-equi conjuncts) to survivors.
+class HashJoinOp final : public PhysicalOperator {
+ public:
+  /// `left_keys[i]` pairs with `right_keys[i]` (indexes are local to each
+  /// side).  `residual_or_null` is evaluated over the concatenated tuple.
+  HashJoinOp(std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+             ExprPtr residual_or_null, PhysOpPtr left, PhysOpPtr right);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override { return schema_; }
+  std::string_view name() const override { return "HashJoin"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  ExprPtr residual_;
+  RelationSchema schema_;
+  PhysOpPtr left_;
+  PhysOpPtr right_;
+  std::unordered_map<Tuple, std::vector<Row>, TupleHash, TupleEq> table_;
+  std::optional<Row> current_left_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// Transitive closure (§5 extension): materialises the child on Open and
+/// runs the semi-naive fixpoint; streams the reachability set.
+class ClosureOp final : public PhysicalOperator {
+ public:
+  explicit ClosureOp(PhysOpPtr child);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override { return child_->schema(); }
+  std::string_view name() const override { return "Closure"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PhysOpPtr child_;
+  Relation result_;
+  Relation::const_iterator it_;
+  bool open_ = false;
+};
+
+/// Γ — hash aggregation; materialises groups on Open.
+class HashGroupByOp final : public PhysicalOperator {
+ public:
+  HashGroupByOp(std::vector<size_t> keys, std::vector<AggSpec> aggs,
+                RelationSchema output_schema, PhysOpPtr child);
+
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override;
+  const RelationSchema& schema() const override { return schema_; }
+  std::string_view name() const override { return "HashGroupBy"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::vector<size_t> keys_;
+  std::vector<AggSpec> aggs_;
+  RelationSchema schema_;
+  PhysOpPtr child_;
+  Relation result_;
+  Relation::const_iterator it_;
+  bool open_ = false;
+};
+
+/// Extracts equi-join key pairs from a join condition over a concatenated
+/// schema: conjuncts of the form %i = %j with i referencing the left side
+/// (index < left_arity), j the right side, and equal attribute domains (so
+/// hash-key equality coincides with = semantics) become key pairs;
+/// everything else goes to `residual` (null when empty).  Returns true when
+/// at least one key pair was found (hash join applies).
+bool ExtractEquiJoinKeys(const ExprPtr& condition,
+                         const RelationSchema& combined_schema,
+                         size_t left_arity, std::vector<size_t>* left_keys,
+                         std::vector<size_t>* right_keys, ExprPtr* residual);
+
+}  // namespace exec
+}  // namespace mra
+
+#endif  // MRA_EXEC_OPERATOR_H_

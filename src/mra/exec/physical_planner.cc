@@ -1,0 +1,94 @@
+#include "mra/exec/physical_planner.h"
+
+namespace mra {
+namespace exec {
+
+Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
+                            const RelationProvider& provider) {
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      MRA_ASSIGN_OR_RETURN(const Relation* rel,
+                           provider.GetRelation(plan->relation_name()));
+      if (!rel->schema().CompatibleWith(plan->schema())) {
+        return Status::Internal("relation " + plan->relation_name() +
+                                " changed schema after planning");
+      }
+      return PhysOpPtr(std::make_unique<ScanOp>(rel));
+    }
+    case PlanKind::kConstRel:
+      return PhysOpPtr(std::make_unique<ConstScanOp>(plan->const_relation()));
+    case PlanKind::kSelect: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlan(plan->child(0), provider));
+      return PhysOpPtr(
+          std::make_unique<FilterOp>(plan->condition(), std::move(child)));
+    }
+    case PlanKind::kProject: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlan(plan->child(0), provider));
+      return PhysOpPtr(std::make_unique<ComputeOp>(
+          plan->projections(), plan->schema(), std::move(child)));
+    }
+    case PlanKind::kUnique: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlan(plan->child(0), provider));
+      return PhysOpPtr(std::make_unique<DedupOp>(std::move(child)));
+    }
+    case PlanKind::kUnion: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlan(plan->child(0), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlan(plan->child(1), provider));
+      return PhysOpPtr(
+          std::make_unique<UnionAllOp>(std::move(l), std::move(r)));
+    }
+    case PlanKind::kDifference: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlan(plan->child(0), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlan(plan->child(1), provider));
+      return PhysOpPtr(
+          std::make_unique<DifferenceOp>(std::move(l), std::move(r)));
+    }
+    case PlanKind::kIntersect: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlan(plan->child(0), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlan(plan->child(1), provider));
+      return PhysOpPtr(
+          std::make_unique<IntersectOp>(std::move(l), std::move(r)));
+    }
+    case PlanKind::kProduct: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlan(plan->child(0), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlan(plan->child(1), provider));
+      return PhysOpPtr(std::make_unique<NestedLoopJoinOp>(
+          nullptr, std::move(l), std::move(r)));
+    }
+    case PlanKind::kJoin: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlan(plan->child(0), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlan(plan->child(1), provider));
+      std::vector<size_t> left_keys, right_keys;
+      ExprPtr residual;
+      if (ExtractEquiJoinKeys(plan->condition(), plan->schema(),
+                              plan->child(0)->schema().arity(), &left_keys,
+                              &right_keys, &residual)) {
+        return PhysOpPtr(std::make_unique<HashJoinOp>(
+            std::move(left_keys), std::move(right_keys), std::move(residual),
+            std::move(l), std::move(r)));
+      }
+      return PhysOpPtr(std::make_unique<NestedLoopJoinOp>(
+          plan->condition(), std::move(l), std::move(r)));
+    }
+    case PlanKind::kGroupBy: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlan(plan->child(0), provider));
+      return PhysOpPtr(std::make_unique<HashGroupByOp>(
+          plan->group_keys(), plan->aggregates(), plan->schema(),
+          std::move(child)));
+    }
+    case PlanKind::kClosure: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlan(plan->child(0), provider));
+      return PhysOpPtr(std::make_unique<ClosureOp>(std::move(child)));
+    }
+  }
+  return Status::Internal("bad plan kind");
+}
+
+Result<Relation> ExecutePlan(const PlanPtr& plan,
+                             const RelationProvider& provider) {
+  MRA_ASSIGN_OR_RETURN(PhysOpPtr root, LowerPlan(plan, provider));
+  return ExecuteToRelation(*root);
+}
+
+}  // namespace exec
+}  // namespace mra

@@ -1,0 +1,40 @@
+// Lowers logical plans to physical operator trees and runs them.
+//
+// Lowering choices:
+//   σ        → Filter
+//   π        → Compute
+//   δ        → Dedup (streaming)
+//   ⊎        → UnionAll (streaming)
+//   −        → Difference (materialising)
+//   ∩        → Intersect (materialising)
+//   ×        → NestedLoopJoin without condition
+//   ⋈_φ      → HashJoin when φ contains same-domain equi-conjuncts %i = %j
+//              across the inputs (residual applied after the probe),
+//              NestedLoopJoin otherwise
+//   Γ        → HashGroupBy
+
+#ifndef MRA_EXEC_PHYSICAL_PLANNER_H_
+#define MRA_EXEC_PHYSICAL_PLANNER_H_
+
+#include "mra/algebra/evaluator.h"
+#include "mra/algebra/plan.h"
+#include "mra/exec/operator.h"
+
+namespace mra {
+namespace exec {
+
+/// Builds an executable operator tree for `plan`.  Scan nodes resolve
+/// through `provider`, whose relations must outlive the returned tree's
+/// execution.
+Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
+                            const RelationProvider& provider);
+
+/// Lower + execute + materialise.  This is the production evaluation path
+/// (EvaluatePlan in mra/algebra is the definitional one).
+Result<Relation> ExecutePlan(const PlanPtr& plan,
+                             const RelationProvider& provider);
+
+}  // namespace exec
+}  // namespace mra
+
+#endif  // MRA_EXEC_PHYSICAL_PLANNER_H_

@@ -1,0 +1,265 @@
+#include "mra/expr/eval.h"
+
+#include <cmath>
+
+namespace mra {
+
+namespace {
+
+// Decimal arithmetic on the scaled representation, using 128-bit
+// intermediates so that mul/div do not overflow prematurely.
+Result<Value> DecimalArith(BinaryOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::DecimalScaled(a + b);
+    case BinaryOp::kSub:
+      return Value::DecimalScaled(a - b);
+    case BinaryOp::kMul: {
+      __int128 p = static_cast<__int128>(a) * b / kDecimalScale;
+      return Value::DecimalScaled(static_cast<int64_t>(p));
+    }
+    case BinaryOp::kDiv: {
+      if (b == 0) return Status::EvalError("decimal division by zero");
+      __int128 q = static_cast<__int128>(a) * kDecimalScale / b;
+      return Value::DecimalScaled(static_cast<int64_t>(q));
+    }
+    default:
+      return Status::Internal("bad decimal op");
+  }
+}
+
+// Promotes v to the numeric kind `target` (int < decimal < real).
+Value PromoteNumeric(const Value& v, TypeKind target) {
+  if (v.kind() == target) return v;
+  switch (target) {
+    case TypeKind::kDecimal:
+      MRA_CHECK(v.kind() == TypeKind::kInt);
+      return Value::Decimal(v.int_value());
+    case TypeKind::kReal:
+      return Value::Real(v.AsReal());
+    default:
+      MRA_CHECK(false) << "bad numeric promotion target";
+      return v;
+  }
+}
+
+Result<Value> NumericArith(BinaryOp op, const Value& lhs, const Value& rhs) {
+  TypeKind common =
+      Type::CommonNumeric(lhs.type(), rhs.type()).kind();
+  Value a = PromoteNumeric(lhs, common);
+  Value b = PromoteNumeric(rhs, common);
+  switch (common) {
+    case TypeKind::kInt: {
+      int64_t x = a.int_value(), y = b.int_value();
+      switch (op) {
+        case BinaryOp::kAdd:
+          return Value::Int(x + y);
+        case BinaryOp::kSub:
+          return Value::Int(x - y);
+        case BinaryOp::kMul:
+          return Value::Int(x * y);
+        case BinaryOp::kDiv:
+          if (y == 0) return Status::EvalError("integer division by zero");
+          return Value::Int(x / y);
+        case BinaryOp::kMod:
+          if (y == 0) return Status::EvalError("integer modulo by zero");
+          return Value::Int(x % y);
+        default:
+          return Status::Internal("bad int op");
+      }
+    }
+    case TypeKind::kDecimal:
+      return DecimalArith(op, a.decimal_scaled(), b.decimal_scaled());
+    case TypeKind::kReal: {
+      double x = a.real_value(), y = b.real_value();
+      switch (op) {
+        case BinaryOp::kAdd:
+          return Value::Real(x + y);
+        case BinaryOp::kSub:
+          return Value::Real(x - y);
+        case BinaryOp::kMul:
+          return Value::Real(x * y);
+        case BinaryOp::kDiv:
+          if (y == 0.0) return Status::EvalError("real division by zero");
+          return Value::Real(x / y);
+        default:
+          return Status::Internal("bad real op");
+      }
+    }
+    default:
+      return Status::Internal("bad numeric kind");
+  }
+}
+
+// Three-way comparison with numeric promotion; non-numeric kinds must match.
+Result<int> CompareValues(const Value& lhs, const Value& rhs) {
+  if (lhs.kind() == rhs.kind()) return lhs.Compare(rhs);
+  if (lhs.type().IsNumeric() && rhs.type().IsNumeric()) {
+    TypeKind common = Type::CommonNumeric(lhs.type(), rhs.type()).kind();
+    return PromoteNumeric(lhs, common).Compare(PromoteNumeric(rhs, common));
+  }
+  return Status::TypeError("cannot compare " + lhs.type().ToString() +
+                           " with " + rhs.type().ToString());
+}
+
+}  // namespace
+
+Result<Value> AttrRefExpr::Eval(const Tuple& tuple) const {
+  if (index_ >= tuple.arity()) {
+    return Status::EvalError("attribute %" + std::to_string(index_ + 1) +
+                             " out of range for tuple " + tuple.ToString());
+  }
+  return tuple.at(index_);
+}
+
+Result<Value> LiteralExpr::Eval(const Tuple&) const { return value_; }
+
+Result<Value> UnaryExpr::Eval(const Tuple& tuple) const {
+  MRA_ASSIGN_OR_RETURN(Value v, operand_->Eval(tuple));
+  switch (op_) {
+    case UnaryOp::kNeg:
+      switch (v.kind()) {
+        case TypeKind::kInt:
+          return Value::Int(-v.int_value());
+        case TypeKind::kDecimal:
+          return Value::DecimalScaled(-v.decimal_scaled());
+        case TypeKind::kReal:
+          return Value::Real(-v.real_value());
+        default:
+          return Status::TypeError("unary - on non-numeric value " +
+                                   v.ToString());
+      }
+    case UnaryOp::kNot:
+      if (v.kind() != TypeKind::kBool) {
+        return Status::TypeError("not on non-boolean value " + v.ToString());
+      }
+      return Value::Bool(!v.bool_value());
+  }
+  return Status::Internal("bad unary op");
+}
+
+Result<Value> BinaryExpr::Eval(const Tuple& tuple) const {
+  // Short-circuit the boolean connectives.
+  if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+    MRA_ASSIGN_OR_RETURN(Value l, lhs_->Eval(tuple));
+    if (l.kind() != TypeKind::kBool) {
+      return Status::TypeError("boolean connective on non-boolean value " +
+                               l.ToString());
+    }
+    if (op_ == BinaryOp::kAnd && !l.bool_value()) return Value::Bool(false);
+    if (op_ == BinaryOp::kOr && l.bool_value()) return Value::Bool(true);
+    MRA_ASSIGN_OR_RETURN(Value r, rhs_->Eval(tuple));
+    if (r.kind() != TypeKind::kBool) {
+      return Status::TypeError("boolean connective on non-boolean value " +
+                               r.ToString());
+    }
+    return r;
+  }
+
+  MRA_ASSIGN_OR_RETURN(Value l, lhs_->Eval(tuple));
+  MRA_ASSIGN_OR_RETURN(Value r, rhs_->Eval(tuple));
+
+  if (IsComparison(op_)) {
+    MRA_ASSIGN_OR_RETURN(int c, CompareValues(l, r));
+    switch (op_) {
+      case BinaryOp::kEq:
+        return Value::Bool(c == 0);
+      case BinaryOp::kNe:
+        return Value::Bool(c != 0);
+      case BinaryOp::kLt:
+        return Value::Bool(c < 0);
+      case BinaryOp::kLe:
+        return Value::Bool(c <= 0);
+      case BinaryOp::kGt:
+        return Value::Bool(c > 0);
+      case BinaryOp::kGe:
+        return Value::Bool(c >= 0);
+      default:
+        break;
+    }
+    return Status::Internal("bad comparison op");
+  }
+
+  // Date arithmetic.
+  if (l.kind() == TypeKind::kDate || r.kind() == TypeKind::kDate) {
+    if (op_ == BinaryOp::kAdd && l.kind() == TypeKind::kDate &&
+        r.kind() == TypeKind::kInt) {
+      return Value::Date(l.date_days() + static_cast<int32_t>(r.int_value()));
+    }
+    if (op_ == BinaryOp::kSub && l.kind() == TypeKind::kDate &&
+        r.kind() == TypeKind::kInt) {
+      return Value::Date(l.date_days() - static_cast<int32_t>(r.int_value()));
+    }
+    if (op_ == BinaryOp::kSub && l.kind() == TypeKind::kDate &&
+        r.kind() == TypeKind::kDate) {
+      return Value::Int(static_cast<int64_t>(l.date_days()) - r.date_days());
+    }
+    return Status::TypeError("unsupported date arithmetic in " + ToString());
+  }
+
+  if (!l.type().IsNumeric() || !r.type().IsNumeric()) {
+    return Status::TypeError("arithmetic on non-numeric values " +
+                             l.ToString() + ", " + r.ToString());
+  }
+  return NumericArith(op_, l, r);
+}
+
+Result<bool> EvalPredicate(const ScalarExpr& pred, const Tuple& tuple) {
+  MRA_ASSIGN_OR_RETURN(Value v, pred.Eval(tuple));
+  if (v.kind() != TypeKind::kBool) {
+    return Status::TypeError("selection condition evaluated to non-boolean " +
+                             v.ToString());
+  }
+  return v.bool_value();
+}
+
+Status CheckPredicate(const ExprPtr& pred, const RelationSchema& input) {
+  MRA_ASSIGN_OR_RETURN(Type t, pred->Infer(input));
+  if (t.kind() != TypeKind::kBool) {
+    return Status::TypeError("selection condition " + pred->ToString() +
+                             " has type " + t.ToString() + ", expected bool");
+  }
+  return Status::OK();
+}
+
+Result<RelationSchema> InferProjectionSchema(
+    const std::vector<ExprPtr>& exprs, const RelationSchema& input,
+    const std::vector<std::string>& names) {
+  if (exprs.empty()) {
+    return Status::InvalidArgument(
+        "projection requires at least one expression (Definition 2.4: n >= 1)");
+  }
+  if (!names.empty() && names.size() != exprs.size()) {
+    return Status::InvalidArgument(
+        "projection name list size does not match expression list");
+  }
+  std::vector<Attribute> attrs;
+  attrs.reserve(exprs.size());
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    MRA_ASSIGN_OR_RETURN(Type t, exprs[i]->Infer(input));
+    std::string name;
+    if (!names.empty()) {
+      name = names[i];
+    } else if (exprs[i]->kind() == ExprKind::kAttrRef) {
+      name = input.attribute(static_cast<const AttrRefExpr&>(*exprs[i]).index())
+                 .name;
+    } else {
+      name = "e" + std::to_string(i + 1);
+    }
+    attrs.push_back({std::move(name), t});
+  }
+  return RelationSchema(std::move(attrs));
+}
+
+Result<Tuple> ProjectTuple(const std::vector<ExprPtr>& exprs,
+                           const Tuple& tuple) {
+  std::vector<Value> values;
+  values.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) {
+    MRA_ASSIGN_OR_RETURN(Value v, e->Eval(tuple));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+}  // namespace mra

@@ -1,0 +1,36 @@
+// Evaluation conveniences layered over ScalarExpr::Eval.
+
+#ifndef MRA_EXPR_EVAL_H_
+#define MRA_EXPR_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "mra/expr/scalar_expr.h"
+
+namespace mra {
+
+/// Evaluates a selection condition φ over one tuple (Definition 3.1 treats φ
+/// as a function into the boolean domain; a non-boolean result here means the
+/// caller skipped type checking and is reported as TypeError).
+Result<bool> EvalPredicate(const ScalarExpr& pred, const Tuple& tuple);
+
+/// Type-checks `pred` against `input` and verifies it is boolean.
+Status CheckPredicate(const ExprPtr& pred, const RelationSchema& input);
+
+/// Infers the output schema of an extended projection π_(e1,…,en)
+/// (Definition 3.4): one attribute per expression.  Attribute names are
+/// taken from `names` when provided, else synthesised ("e1", "e2", … with
+/// plain attribute references keeping their input names).
+Result<RelationSchema> InferProjectionSchema(
+    const std::vector<ExprPtr>& exprs, const RelationSchema& input,
+    const std::vector<std::string>& names = {});
+
+/// Applies an extended projection to one tuple: [e1(x), …, en(x)]
+/// (Definition 3.4, square-bracket tuple construction).
+Result<Tuple> ProjectTuple(const std::vector<ExprPtr>& exprs,
+                           const Tuple& tuple);
+
+}  // namespace mra
+
+#endif  // MRA_EXPR_EVAL_H_

@@ -1,0 +1,427 @@
+#include "mra/expr/scalar_expr.h"
+
+#include <sstream>
+
+namespace mra {
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmetic(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+// --- Type inference. ---
+
+Result<Type> AttrRefExpr::Infer(const RelationSchema& input) const {
+  if (index_ >= input.arity()) {
+    return Status::InvalidArgument(
+        "attribute %" + std::to_string(index_ + 1) +
+        " out of range for schema " + input.ToString());
+  }
+  return input.TypeOf(index_);
+}
+
+Result<Type> LiteralExpr::Infer(const RelationSchema&) const {
+  return value_.type();
+}
+
+Result<Type> UnaryExpr::Infer(const RelationSchema& input) const {
+  MRA_ASSIGN_OR_RETURN(Type t, operand_->Infer(input));
+  switch (op_) {
+    case UnaryOp::kNeg:
+      if (!t.IsNumeric()) {
+        return Status::TypeError("unary - requires a numeric operand, got " +
+                                 t.ToString() + " in " + ToString());
+      }
+      return t;
+    case UnaryOp::kNot:
+      if (t.kind() != TypeKind::kBool) {
+        return Status::TypeError("not requires a boolean operand, got " +
+                                 t.ToString() + " in " + ToString());
+      }
+      return t;
+  }
+  return Status::Internal("bad unary op");
+}
+
+Result<Type> BinaryExpr::Infer(const RelationSchema& input) const {
+  MRA_ASSIGN_OR_RETURN(Type lt, lhs_->Infer(input));
+  MRA_ASSIGN_OR_RETURN(Type rt, rhs_->Infer(input));
+  if (IsArithmetic(op_)) {
+    if (op_ == BinaryOp::kMod) {
+      if (lt.kind() != TypeKind::kInt || rt.kind() != TypeKind::kInt) {
+        return Status::TypeError("%% requires int operands in " + ToString());
+      }
+      return Type::Int();
+    }
+    // Date arithmetic: date ± int, date − date.
+    if (lt.kind() == TypeKind::kDate || rt.kind() == TypeKind::kDate) {
+      if (op_ == BinaryOp::kAdd && lt.kind() == TypeKind::kDate &&
+          rt.kind() == TypeKind::kInt) {
+        return Type::Date();
+      }
+      if (op_ == BinaryOp::kSub && lt.kind() == TypeKind::kDate &&
+          rt.kind() == TypeKind::kInt) {
+        return Type::Date();
+      }
+      if (op_ == BinaryOp::kSub && lt.kind() == TypeKind::kDate &&
+          rt.kind() == TypeKind::kDate) {
+        return Type::Int();
+      }
+      return Status::TypeError("unsupported date arithmetic in " + ToString());
+    }
+    if (!lt.IsNumeric() || !rt.IsNumeric()) {
+      return Status::TypeError("arithmetic requires numeric operands, got " +
+                               lt.ToString() + " and " + rt.ToString() +
+                               " in " + ToString());
+    }
+    return Type::CommonNumeric(lt, rt);
+  }
+  if (IsComparison(op_)) {
+    bool comparable = (lt.IsNumeric() && rt.IsNumeric()) || lt == rt;
+    if (!comparable) {
+      return Status::TypeError("cannot compare " + lt.ToString() + " with " +
+                               rt.ToString() + " in " + ToString());
+    }
+    return Type::Bool();
+  }
+  // and / or.
+  if (lt.kind() != TypeKind::kBool || rt.kind() != TypeKind::kBool) {
+    return Status::TypeError("boolean connective requires bool operands in " +
+                             ToString());
+  }
+  return Type::Bool();
+}
+
+// --- Display. ---
+
+std::string AttrRefExpr::ToString() const {
+  return "%" + std::to_string(index_ + 1);
+}
+
+std::string LiteralExpr::ToString() const { return value_.ToString(); }
+
+std::string UnaryExpr::ToString() const {
+  switch (op_) {
+    case UnaryOp::kNeg:
+      return "(-" + operand_->ToString() + ")";
+    case UnaryOp::kNot:
+      return "(not " + operand_->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string BinaryExpr::ToString() const {
+  std::ostringstream out;
+  out << "(" << lhs_->ToString() << " " << BinaryOpName(op_) << " "
+      << rhs_->ToString() << ")";
+  return out.str();
+}
+
+// --- Builders. ---
+
+ExprPtr Attr(size_t index) { return std::make_shared<AttrRefExpr>(index); }
+ExprPtr Lit(Value value) {
+  return std::make_shared<LiteralExpr>(std::move(value));
+}
+ExprPtr Lit(int64_t v) { return Lit(Value::Int(v)); }
+ExprPtr Lit(double v) { return Lit(Value::Real(v)); }
+ExprPtr Lit(const char* v) { return Lit(Value::Str(v)); }
+ExprPtr Lit(bool v) { return Lit(Value::Bool(v)); }
+ExprPtr Neg(ExprPtr e) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kNeg, std::move(e));
+}
+ExprPtr Not(ExprPtr e) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kNot, std::move(e));
+}
+
+namespace {
+ExprPtr MakeBinary(BinaryOp op, ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(op, std::move(a), std::move(b));
+}
+}  // namespace
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kDiv, std::move(a), std::move(b));
+}
+ExprPtr Mod(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kMod, std::move(a), std::move(b));
+}
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kGe, std::move(a), std::move(b));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kOr, std::move(a), std::move(b));
+}
+
+// --- Analysis and rewriting. ---
+
+void CollectAttrs(const ExprPtr& expr, std::set<size_t>* out) {
+  switch (expr->kind()) {
+    case ExprKind::kAttrRef:
+      out->insert(static_cast<const AttrRefExpr&>(*expr).index());
+      return;
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kUnary:
+      CollectAttrs(static_cast<const UnaryExpr&>(*expr).operand(), out);
+      return;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(*expr);
+      CollectAttrs(b.lhs(), out);
+      CollectAttrs(b.rhs(), out);
+      return;
+    }
+  }
+}
+
+std::set<size_t> AttrsUsed(const ExprPtr& expr) {
+  std::set<size_t> out;
+  CollectAttrs(expr, &out);
+  return out;
+}
+
+bool IsConstantExpr(const ExprPtr& expr) { return AttrsUsed(expr).empty(); }
+
+namespace {
+
+// Generic rebuild: applies `leaf` to each attribute reference.
+template <typename LeafFn>
+ExprPtr RebuildAttrs(const ExprPtr& expr, const LeafFn& leaf) {
+  switch (expr->kind()) {
+    case ExprKind::kAttrRef:
+      return leaf(static_cast<const AttrRefExpr&>(*expr).index());
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(*expr);
+      ExprPtr child = RebuildAttrs(u.operand(), leaf);
+      if (child == u.operand()) return expr;
+      return std::make_shared<UnaryExpr>(u.op(), std::move(child));
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(*expr);
+      ExprPtr l = RebuildAttrs(b.lhs(), leaf);
+      ExprPtr r = RebuildAttrs(b.rhs(), leaf);
+      if (l == b.lhs() && r == b.rhs()) return expr;
+      return std::make_shared<BinaryExpr>(b.op(), std::move(l), std::move(r));
+    }
+  }
+  MRA_CHECK(false) << "unreachable";
+  return expr;
+}
+
+}  // namespace
+
+ExprPtr RemapAttrs(const ExprPtr& expr, const std::vector<size_t>& mapping) {
+  return RebuildAttrs(expr, [&](size_t i) -> ExprPtr {
+    MRA_CHECK_LT(i, mapping.size()) << "RemapAttrs: unmapped attribute";
+    return Attr(mapping[i]);
+  });
+}
+
+ExprPtr ShiftAttrs(const ExprPtr& expr, int64_t delta) {
+  return RebuildAttrs(expr, [&](size_t i) -> ExprPtr {
+    int64_t shifted = static_cast<int64_t>(i) + delta;
+    MRA_CHECK_GE(shifted, 0) << "ShiftAttrs underflow";
+    return Attr(static_cast<size_t>(shifted));
+  });
+}
+
+ExprPtr SubstituteAttrs(const ExprPtr& expr,
+                        const std::vector<ExprPtr>& substitutions) {
+  return RebuildAttrs(expr, [&](size_t i) -> ExprPtr {
+    MRA_CHECK_LT(i, substitutions.size())
+        << "SubstituteAttrs: no substitution for attribute";
+    return substitutions[i];
+  });
+}
+
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(*expr);
+    if (b.op() == BinaryOp::kAnd) {
+      SplitConjuncts(b.lhs(), out);
+      SplitConjuncts(b.rhs(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return Lit(true);
+  ExprPtr result = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    result = And(std::move(result), conjuncts[i]);
+  }
+  return result;
+}
+
+ExprPtr FoldConstants(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kAttrRef:
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(*expr);
+      ExprPtr child = FoldConstants(u.operand());
+      ExprPtr folded =
+          child == u.operand()
+              ? expr
+              : std::make_shared<UnaryExpr>(u.op(), child);
+      if (child->kind() == ExprKind::kLiteral) {
+        Result<Value> v = folded->Eval(Tuple{});
+        if (v.ok()) return Lit(std::move(v).value());
+      }
+      return folded;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(*expr);
+      ExprPtr l = FoldConstants(b.lhs());
+      ExprPtr r = FoldConstants(b.rhs());
+      ExprPtr folded = (l == b.lhs() && r == b.rhs())
+                           ? expr
+                           : std::make_shared<BinaryExpr>(b.op(), l, r);
+      if (l->kind() == ExprKind::kLiteral &&
+          r->kind() == ExprKind::kLiteral) {
+        Result<Value> v = folded->Eval(Tuple{});
+        if (v.ok()) return Lit(std::move(v).value());
+        // Runtime errors (1/0) stay unfolded so evaluation reports them.
+        return folded;
+      }
+      // Boolean short-circuit simplification with a constant side.
+      if (b.op() == BinaryOp::kAnd || b.op() == BinaryOp::kOr) {
+        auto bool_lit = [](const ExprPtr& e, bool* out) {
+          if (e->kind() != ExprKind::kLiteral) return false;
+          const Value& v = static_cast<const LiteralExpr&>(*e).value();
+          if (v.kind() != TypeKind::kBool) return false;
+          *out = v.bool_value();
+          return true;
+        };
+        bool lv;
+        if (bool_lit(l, &lv)) {
+          if (b.op() == BinaryOp::kAnd) return lv ? r : Lit(false);
+          return lv ? Lit(true) : r;
+        }
+        bool rv;
+        if (bool_lit(r, &rv)) {
+          if (b.op() == BinaryOp::kAnd) return rv ? l : Lit(false);
+          return rv ? Lit(true) : l;
+        }
+      }
+      return folded;
+    }
+  }
+  MRA_CHECK(false) << "unreachable";
+  return expr;
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case ExprKind::kAttrRef:
+      return static_cast<const AttrRefExpr&>(*a).index() ==
+             static_cast<const AttrRefExpr&>(*b).index();
+    case ExprKind::kLiteral: {
+      const Value& va = static_cast<const LiteralExpr&>(*a).value();
+      const Value& vb = static_cast<const LiteralExpr&>(*b).value();
+      return va.kind() == vb.kind() && va.Equals(vb);
+    }
+    case ExprKind::kUnary: {
+      const auto& ua = static_cast<const UnaryExpr&>(*a);
+      const auto& ub = static_cast<const UnaryExpr&>(*b);
+      return ua.op() == ub.op() && ExprEquals(ua.operand(), ub.operand());
+    }
+    case ExprKind::kBinary: {
+      const auto& ba = static_cast<const BinaryExpr&>(*a);
+      const auto& bb = static_cast<const BinaryExpr&>(*b);
+      return ba.op() == bb.op() && ExprEquals(ba.lhs(), bb.lhs()) &&
+             ExprEquals(ba.rhs(), bb.rhs());
+    }
+  }
+  return false;
+}
+
+}  // namespace mra

@@ -1,0 +1,129 @@
+#include "mra/lang/ast.h"
+
+#include <sstream>
+
+namespace mra {
+namespace lang {
+
+namespace {
+
+void RenderExprList(const std::vector<ExprPtr>& exprs, std::ostream& out) {
+  out << "[";
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << exprs[i]->ToString();
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string RelExpr::ToString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kName:
+      return name;
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kUnion:
+      out << "union(" << children[0]->ToString() << ", "
+          << children[1]->ToString() << ")";
+      break;
+    case Kind::kDiff:
+      out << "diff(" << children[0]->ToString() << ", "
+          << children[1]->ToString() << ")";
+      break;
+    case Kind::kIntersect:
+      out << "intersect(" << children[0]->ToString() << ", "
+          << children[1]->ToString() << ")";
+      break;
+    case Kind::kProduct:
+      out << "product(" << children[0]->ToString() << ", "
+          << children[1]->ToString() << ")";
+      break;
+    case Kind::kJoin:
+      out << "join(" << condition->ToString() << ", "
+          << children[0]->ToString() << ", " << children[1]->ToString() << ")";
+      break;
+    case Kind::kSelect:
+      out << "select(" << condition->ToString() << ", "
+          << children[0]->ToString() << ")";
+      break;
+    case Kind::kProject:
+      out << "project(";
+      RenderExprList(projections, out);
+      out << ", " << children[0]->ToString() << ")";
+      break;
+    case Kind::kUnique:
+      out << "unique(" << children[0]->ToString() << ")";
+      break;
+    case Kind::kClosure:
+      out << "closure(" << children[0]->ToString() << ")";
+      break;
+    case Kind::kGroupBy: {
+      out << "groupby([";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << "%" << keys[i] + 1;
+      }
+      out << "], ";
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << AggKindName(aggs[i].kind) << "(%" << aggs[i].attr + 1 << ")";
+      }
+      out << ", " << children[0]->ToString() << ")";
+      break;
+    }
+  }
+  return out.str();
+}
+
+std::string Stmt::ToString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kCreate: {
+      out << "create " << target << "(";
+      for (size_t i = 0; i < schema.arity(); ++i) {
+        if (i > 0) out << ", ";
+        out << schema.attribute(i).name << ": "
+            << schema.attribute(i).type.name();
+      }
+      out << ")";
+      break;
+    }
+    case Kind::kDrop:
+      out << "drop " << target;
+      break;
+    case Kind::kInsert:
+      out << "insert(" << target << ", " << expr->ToString() << ")";
+      break;
+    case Kind::kDelete:
+      out << "delete(" << target << ", " << expr->ToString() << ")";
+      break;
+    case Kind::kUpdate: {
+      out << "update(" << target << ", " << expr->ToString() << ", [";
+      for (size_t i = 0; i < alpha.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << alpha[i]->ToString();
+      }
+      out << "])";
+      break;
+    }
+    case Kind::kAssign:
+      out << target << " := " << expr->ToString();
+      break;
+    case Kind::kQuery:
+      out << "? " << expr->ToString();
+      break;
+    case Kind::kConstraint:
+      out << "constraint " << target << " (" << expr->ToString() << ")";
+      break;
+    case Kind::kDropConstraint:
+      out << "drop constraint " << target;
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace lang
+}  // namespace mra

@@ -1,0 +1,83 @@
+#include "mra/lang/binder.h"
+
+namespace mra {
+namespace lang {
+
+namespace {
+
+// Decorates an error status with the source line of the offending node.
+Status AtLine(Status s, int line) {
+  if (s.ok()) return s;
+  return Status(s.code(), s.message() + " (line " + std::to_string(line) + ")");
+}
+
+template <typename T>
+Result<T> AtLine(Result<T> r, int line) {
+  if (r.ok()) return r;
+  return AtLine(r.status(), line);
+}
+
+}  // namespace
+
+Result<PlanPtr> BindRelExpr(const RelExpr& expr,
+                            const RelationProvider& provider) {
+  switch (expr.kind) {
+    case RelExpr::Kind::kName: {
+      MRA_ASSIGN_OR_RETURN(const Relation* rel,
+                           AtLine(provider.GetRelation(expr.name), expr.line));
+      return Plan::Scan(expr.name, rel->schema());
+    }
+    case RelExpr::Kind::kLiteral:
+      return Plan::ConstRel(expr.literal);
+    case RelExpr::Kind::kUnion:
+    case RelExpr::Kind::kDiff:
+    case RelExpr::Kind::kIntersect:
+    case RelExpr::Kind::kProduct: {
+      MRA_ASSIGN_OR_RETURN(PlanPtr l, BindRelExpr(*expr.children[0], provider));
+      MRA_ASSIGN_OR_RETURN(PlanPtr r, BindRelExpr(*expr.children[1], provider));
+      switch (expr.kind) {
+        case RelExpr::Kind::kUnion:
+          return AtLine(Plan::Union(std::move(l), std::move(r)), expr.line);
+        case RelExpr::Kind::kDiff:
+          return AtLine(Plan::Difference(std::move(l), std::move(r)),
+                        expr.line);
+        case RelExpr::Kind::kIntersect:
+          return AtLine(Plan::Intersect(std::move(l), std::move(r)),
+                        expr.line);
+        default:
+          return AtLine(Plan::Product(std::move(l), std::move(r)), expr.line);
+      }
+    }
+    case RelExpr::Kind::kJoin: {
+      MRA_ASSIGN_OR_RETURN(PlanPtr l, BindRelExpr(*expr.children[0], provider));
+      MRA_ASSIGN_OR_RETURN(PlanPtr r, BindRelExpr(*expr.children[1], provider));
+      return AtLine(Plan::Join(expr.condition, std::move(l), std::move(r)),
+                    expr.line);
+    }
+    case RelExpr::Kind::kSelect: {
+      MRA_ASSIGN_OR_RETURN(PlanPtr in, BindRelExpr(*expr.children[0], provider));
+      return AtLine(Plan::Select(expr.condition, std::move(in)), expr.line);
+    }
+    case RelExpr::Kind::kProject: {
+      MRA_ASSIGN_OR_RETURN(PlanPtr in, BindRelExpr(*expr.children[0], provider));
+      return AtLine(Plan::Project(expr.projections, std::move(in)), expr.line);
+    }
+    case RelExpr::Kind::kUnique: {
+      MRA_ASSIGN_OR_RETURN(PlanPtr in, BindRelExpr(*expr.children[0], provider));
+      return AtLine(Plan::Unique(std::move(in)), expr.line);
+    }
+    case RelExpr::Kind::kClosure: {
+      MRA_ASSIGN_OR_RETURN(PlanPtr in, BindRelExpr(*expr.children[0], provider));
+      return AtLine(Plan::Closure(std::move(in)), expr.line);
+    }
+    case RelExpr::Kind::kGroupBy: {
+      MRA_ASSIGN_OR_RETURN(PlanPtr in, BindRelExpr(*expr.children[0], provider));
+      return AtLine(Plan::GroupBy(expr.keys, expr.aggs, std::move(in)),
+                    expr.line);
+    }
+  }
+  return Status::Internal("bad relation expression kind");
+}
+
+}  // namespace lang
+}  // namespace mra

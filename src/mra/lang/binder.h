@@ -1,0 +1,24 @@
+// Binds parsed relation expressions to typed logical plans, resolving
+// relation names against a RelationProvider (the executing transaction's
+// view, so temporaries created by earlier statements are visible —
+// Definition 4.3's intermediate states D^{t.i}).
+
+#ifndef MRA_LANG_BINDER_H_
+#define MRA_LANG_BINDER_H_
+
+#include "mra/algebra/evaluator.h"
+#include "mra/algebra/plan.h"
+#include "mra/lang/ast.h"
+
+namespace mra {
+namespace lang {
+
+/// Produces a type-checked logical plan for `expr`.  All schema and type
+/// errors surface here with source line context.
+Result<PlanPtr> BindRelExpr(const RelExpr& expr,
+                            const RelationProvider& provider);
+
+}  // namespace lang
+}  // namespace mra
+
+#endif  // MRA_LANG_BINDER_H_

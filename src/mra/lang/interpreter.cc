@@ -1,0 +1,130 @@
+#include "mra/lang/interpreter.h"
+
+#include "mra/exec/physical_planner.h"
+#include "mra/lang/binder.h"
+#include "mra/lang/parser.h"
+
+namespace mra {
+namespace lang {
+
+Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
+                                           const RelationProvider& provider) {
+  MRA_ASSIGN_OR_RETURN(PlanPtr plan, BindRelExpr(expr, provider));
+  if (options_.optimize) {
+    opt::Optimizer optimizer(&provider);
+    MRA_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
+  }
+  if (options_.use_physical_exec) {
+    return exec::ExecutePlan(plan, provider);
+  }
+  return EvaluatePlan(*plan, provider);
+}
+
+Status Interpreter::ExecuteStmt(const Stmt& stmt, Transaction& txn,
+                                const QueryCallback& on_query) {
+  switch (stmt.kind) {
+    case Stmt::Kind::kCreate:
+    case Stmt::Kind::kDrop:
+    case Stmt::Kind::kConstraint:
+    case Stmt::Kind::kDropConstraint:
+      return Status::TxnError(
+          "DDL statements are top-level only (line " +
+          std::to_string(stmt.line) + ")");
+    case Stmt::Kind::kInsert: {
+      MRA_ASSIGN_OR_RETURN(Relation delta, EvaluateExpr(*stmt.expr, txn));
+      return txn.Insert(stmt.target, delta);
+    }
+    case Stmt::Kind::kDelete: {
+      MRA_ASSIGN_OR_RETURN(Relation delta, EvaluateExpr(*stmt.expr, txn));
+      return txn.Delete(stmt.target, delta);
+    }
+    case Stmt::Kind::kUpdate: {
+      MRA_ASSIGN_OR_RETURN(Relation matched, EvaluateExpr(*stmt.expr, txn));
+      return txn.Update(stmt.target, matched, stmt.alpha);
+    }
+    case Stmt::Kind::kAssign: {
+      MRA_ASSIGN_OR_RETURN(Relation value, EvaluateExpr(*stmt.expr, txn));
+      return txn.Assign(stmt.target, std::move(value));
+    }
+    case Stmt::Kind::kQuery: {
+      MRA_ASSIGN_OR_RETURN(Relation result, EvaluateExpr(*stmt.expr, txn));
+      if (on_query) on_query(stmt.ToString(), result);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad statement kind");
+}
+
+Status Interpreter::ExecuteItem(const Script::Item& item,
+                                const QueryCallback& on_query) {
+  // Top-level DDL runs outside transaction brackets.
+  if (!item.is_transaction && item.stmts.size() == 1) {
+    const Stmt& stmt = item.stmts[0];
+    if (stmt.kind == Stmt::Kind::kCreate) {
+      return db_->CreateRelation(stmt.schema);
+    }
+    if (stmt.kind == Stmt::Kind::kDrop) {
+      return db_->DropRelation(stmt.target);
+    }
+    if (stmt.kind == Stmt::Kind::kConstraint) {
+      MRA_ASSIGN_OR_RETURN(PlanPtr violation_query,
+                           BindRelExpr(*stmt.expr, db_->catalog()));
+      return db_->AddConstraint(stmt.target, std::move(violation_query));
+    }
+    if (stmt.kind == Stmt::Kind::kDropConstraint) {
+      return db_->DropConstraint(stmt.target);
+    }
+  }
+
+  MRA_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn, db_->Begin());
+  for (const Stmt& stmt : item.stmts) {
+    Status s = ExecuteStmt(stmt, *txn, on_query);
+    if (!s.ok()) {
+      // Atomicity (Definition 4.3): the whole bracket rolls back.
+      (void)txn->Abort();
+      return s;
+    }
+  }
+  return txn->Commit();
+}
+
+Status Interpreter::ExecuteScript(std::string_view source,
+                                  const QueryCallback& on_query) {
+  MRA_ASSIGN_OR_RETURN(Script script, ParseScript(source));
+  for (const Script::Item& item : script.items) {
+    MRA_RETURN_IF_ERROR(ExecuteItem(item, on_query));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Relation>> Interpreter::ExecuteScriptCollect(
+    std::string_view source) {
+  std::vector<Relation> results;
+  MRA_RETURN_IF_ERROR(ExecuteScript(
+      source, [&results](const std::string&, const Relation& r) {
+        results.push_back(r);
+      }));
+  return results;
+}
+
+Result<Relation> Interpreter::Query(std::string_view rel_expr_source) {
+  MRA_ASSIGN_OR_RETURN(RelExprPtr expr, ParseRelExpr(rel_expr_source));
+  return EvaluateExpr(*expr, db_->catalog());
+}
+
+Result<std::string> Interpreter::Explain(std::string_view rel_expr_source) {
+  MRA_ASSIGN_OR_RETURN(RelExprPtr expr, ParseRelExpr(rel_expr_source));
+  const Catalog& catalog = db_->catalog();
+  MRA_ASSIGN_OR_RETURN(PlanPtr plan, BindRelExpr(*expr, catalog));
+  std::string out = "logical plan:\n" + plan->ToString();
+  opt::Optimizer optimizer(&catalog);
+  MRA_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
+  out += "\noptimized plan:\n" + optimized->ToString();
+  MRA_ASSIGN_OR_RETURN(exec::PhysOpPtr physical,
+                       exec::LowerPlan(optimized, catalog));
+  out += "\nphysical plan:\n" + physical->ToString();
+  return out;
+}
+
+}  // namespace lang
+}  // namespace mra

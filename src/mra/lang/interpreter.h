@@ -1,0 +1,83 @@
+// Executes XRA scripts against a Database: the complete sequential data
+// manipulation language of §4 (statements → programs → transactions).
+//
+// Execution model:
+//  * `begin s1; …; sn end` runs as one transaction bracket: any statement
+//    failure aborts the whole bracket (atomicity, Definition 4.3) and
+//    aborts script execution with the error;
+//  * a bare top-level statement runs as a single-statement transaction;
+//  * `create`/`drop` are top-level only (DDL extension, see DESIGN.md);
+//  * `? E` results are delivered through the query callback.
+
+#ifndef MRA_LANG_INTERPRETER_H_
+#define MRA_LANG_INTERPRETER_H_
+
+#include <functional>
+#include <string_view>
+
+#include "mra/lang/ast.h"
+#include "mra/opt/optimizer.h"
+#include "mra/txn/database.h"
+#include "mra/txn/transaction.h"
+
+namespace mra {
+namespace lang {
+
+struct InterpreterOptions {
+  /// Run plans through the optimizer before execution.
+  bool optimize = true;
+  /// Execute through the physical operators (mra/exec); when false the
+  /// definitional evaluator (mra/algebra) runs instead.
+  bool use_physical_exec = true;
+};
+
+class Interpreter {
+ public:
+  using Options = InterpreterOptions;
+
+  /// Receives each `? E` result, with the statement's source text form.
+  using QueryCallback =
+      std::function<void(const std::string& query, const Relation& result)>;
+
+  explicit Interpreter(Database* db, Options options = {})
+      : db_(db), options_(options) {
+    MRA_CHECK(db != nullptr);
+  }
+
+  /// Parses and executes a whole script.  Statements after a failing
+  /// transaction do not run; the failing bracket leaves D_t unchanged.
+  Status ExecuteScript(std::string_view source, const QueryCallback& on_query);
+
+  /// Convenience: execute a script, collecting the query results.
+  Result<std::vector<Relation>> ExecuteScriptCollect(std::string_view source);
+
+  /// Evaluates one relation expression against the committed state,
+  /// outside any transaction (a read-only query).
+  Result<Relation> Query(std::string_view rel_expr_source);
+
+  /// Renders the bound logical plan, the optimized plan and the lowered
+  /// physical plan of a relation expression (EXPLAIN).
+  Result<std::string> Explain(std::string_view rel_expr_source);
+
+  /// Executes one already-parsed DML/query statement inside an open
+  /// transaction (used by the SQL front end, which manages its own
+  /// bracketing).  DDL statements are rejected here.
+  Status ExecuteStmt(const Stmt& stmt, Transaction& txn,
+                     const QueryCallback& on_query);
+
+  /// Binds, optimizes and evaluates a relation expression against an
+  /// arbitrary view (committed state or transaction overlay).
+  Result<Relation> EvaluateExpr(const RelExpr& expr,
+                                const RelationProvider& provider);
+
+ private:
+  Status ExecuteItem(const Script::Item& item, const QueryCallback& on_query);
+
+  Database* db_;
+  Options options_;
+};
+
+}  // namespace lang
+}  // namespace mra
+
+#endif  // MRA_LANG_INTERPRETER_H_

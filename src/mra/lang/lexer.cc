@@ -1,0 +1,270 @@
+#include "mra/lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace mra {
+namespace lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& Keywords() {
+  static const auto* keywords =
+      new std::unordered_map<std::string_view, TokenKind>{
+          {"create", TokenKind::kKwCreate},
+          {"drop", TokenKind::kKwDrop},
+          {"insert", TokenKind::kKwInsert},
+          {"delete", TokenKind::kKwDelete},
+          {"update", TokenKind::kKwUpdate},
+          {"begin", TokenKind::kKwBegin},
+          {"end", TokenKind::kKwEnd},
+          {"union", TokenKind::kKwUnion},
+          {"diff", TokenKind::kKwDiff},
+          {"intersect", TokenKind::kKwIntersect},
+          {"product", TokenKind::kKwProduct},
+          {"join", TokenKind::kKwJoin},
+          {"select", TokenKind::kKwSelect},
+          {"project", TokenKind::kKwProject},
+          {"unique", TokenKind::kKwUnique},
+          {"groupby", TokenKind::kKwGroupby},
+          {"closure", TokenKind::kKwClosure},
+          {"constraint", TokenKind::kKwConstraint},
+          {"empty", TokenKind::kKwEmpty},
+          {"cnt", TokenKind::kKwCnt},
+          {"sum", TokenKind::kKwSum},
+          {"avg", TokenKind::kKwAvg},
+          {"min", TokenKind::kKwMin},
+          {"max", TokenKind::kKwMax},
+          {"and", TokenKind::kKwAnd},
+          {"or", TokenKind::kKwOr},
+          {"not", TokenKind::kKwNot},
+          {"true", TokenKind::kKwTrue},
+          {"false", TokenKind::kKwFalse},
+      };
+  return *keywords;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      MRA_ASSIGN_OR_RETURN(Token t, Lex());
+      tokens.push_back(std::move(t));
+    }
+    tokens.push_back(Make(TokenKind::kEnd));
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Token Make(TokenKind kind, std::string text = {}) const {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_;
+    t.column = column_;
+    return t;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(column_));
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && Peek(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<Token> Lex() {
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexWord();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
+    switch (c) {
+      case '%':
+        return LexAttrRef();
+      case '\'':
+        return LexString(TokenKind::kStringLit);
+      case '(':
+        Advance();
+        return Make(TokenKind::kLParen);
+      case ')':
+        Advance();
+        return Make(TokenKind::kRParen);
+      case '[':
+        Advance();
+        return Make(TokenKind::kLBracket);
+      case ']':
+        Advance();
+        return Make(TokenKind::kRBracket);
+      case '{':
+        Advance();
+        return Make(TokenKind::kLBrace);
+      case '}':
+        Advance();
+        return Make(TokenKind::kRBrace);
+      case ',':
+        Advance();
+        return Make(TokenKind::kComma);
+      case ';':
+        Advance();
+        return Make(TokenKind::kSemicolon);
+      case ':':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kAssign);
+        }
+        return Make(TokenKind::kColon);
+      case '?':
+        Advance();
+        return Make(TokenKind::kQuery);
+      case '=':
+        Advance();
+        return Make(TokenKind::kEq);
+      case '<':
+        Advance();
+        if (Peek() == '>') {
+          Advance();
+          return Make(TokenKind::kNe);
+        }
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kLe);
+        }
+        return Make(TokenKind::kLt);
+      case '>':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kGe);
+        }
+        return Make(TokenKind::kGt);
+      case '+':
+        Advance();
+        return Make(TokenKind::kPlus);
+      case '-':
+        Advance();
+        return Make(TokenKind::kMinus);
+      case '*':
+        Advance();
+        return Make(TokenKind::kStar);
+      case '/':
+        Advance();
+        return Make(TokenKind::kSlash);
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<Token> LexWord() {
+    std::string word;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      word.push_back(Advance());
+    }
+    // Prefixed literals: date'…' and dec'…'.
+    if ((word == "date" || word == "dec") && Peek() == '\'') {
+      MRA_ASSIGN_OR_RETURN(Token body, LexString(word == "date"
+                                                     ? TokenKind::kDateLit
+                                                     : TokenKind::kDecimalLit));
+      return body;
+    }
+    auto it = Keywords().find(word);
+    if (it != Keywords().end()) return Make(it->second, std::move(word));
+    return Make(TokenKind::kIdentifier, std::move(word));
+  }
+
+  Result<Token> LexNumber() {
+    std::string digits;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits.push_back(Advance());
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      digits.push_back(Advance());
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits.push_back(Advance());
+      }
+      return Make(TokenKind::kRealLit, std::move(digits));
+    }
+    return Make(TokenKind::kIntLit, std::move(digits));
+  }
+
+  Result<Token> LexAttrRef() {
+    Advance();  // '%'
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      // A bare % is the modulo operator.
+      return Make(TokenKind::kPercent);
+    }
+    std::string digits;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits.push_back(Advance());
+    }
+    size_t index = std::stoull(digits);
+    if (index == 0) return Error("attribute references are 1-based (%1, %2, …)");
+    Token t = Make(TokenKind::kAttrRef);
+    t.attr_index = index - 1;
+    return t;
+  }
+
+  Result<Token> LexString(TokenKind kind) {
+    Advance();  // opening quote
+    std::string body;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      char c = Advance();
+      if (c == '\'') {
+        if (Peek() == '\'') {
+          body.push_back(Advance());  // '' escapes a quote
+          continue;
+        }
+        break;
+      }
+      body.push_back(c);
+    }
+    return Make(kind, std::move(body));
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace lang
+}  // namespace mra

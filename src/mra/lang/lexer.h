@@ -1,0 +1,23 @@
+// Lexer for XRA source text.  `--` starts a comment that runs to the end of
+// the line; string bodies escape a quote by doubling it ('it''s').
+
+#ifndef MRA_LANG_LEXER_H_
+#define MRA_LANG_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "mra/common/result.h"
+#include "mra/lang/token.h"
+
+namespace mra {
+namespace lang {
+
+/// Tokenises the whole input (the final token is kEnd).  Returns ParseError
+/// with line/column context on malformed input.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace lang
+}  // namespace mra
+
+#endif  // MRA_LANG_LEXER_H_

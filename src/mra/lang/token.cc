@@ -1,0 +1,143 @@
+#include "mra/lang/token.h"
+
+namespace mra {
+namespace lang {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kAttrRef:
+      return "attribute reference";
+    case TokenKind::kIntLit:
+      return "integer literal";
+    case TokenKind::kRealLit:
+      return "real literal";
+    case TokenKind::kStringLit:
+      return "string literal";
+    case TokenKind::kDateLit:
+      return "date literal";
+    case TokenKind::kDecimalLit:
+      return "decimal literal";
+    case TokenKind::kKwCreate:
+      return "'create'";
+    case TokenKind::kKwDrop:
+      return "'drop'";
+    case TokenKind::kKwInsert:
+      return "'insert'";
+    case TokenKind::kKwDelete:
+      return "'delete'";
+    case TokenKind::kKwUpdate:
+      return "'update'";
+    case TokenKind::kKwBegin:
+      return "'begin'";
+    case TokenKind::kKwEnd:
+      return "'end'";
+    case TokenKind::kKwUnion:
+      return "'union'";
+    case TokenKind::kKwDiff:
+      return "'diff'";
+    case TokenKind::kKwIntersect:
+      return "'intersect'";
+    case TokenKind::kKwProduct:
+      return "'product'";
+    case TokenKind::kKwJoin:
+      return "'join'";
+    case TokenKind::kKwSelect:
+      return "'select'";
+    case TokenKind::kKwProject:
+      return "'project'";
+    case TokenKind::kKwUnique:
+      return "'unique'";
+    case TokenKind::kKwGroupby:
+      return "'groupby'";
+    case TokenKind::kKwClosure:
+      return "'closure'";
+    case TokenKind::kKwConstraint:
+      return "'constraint'";
+    case TokenKind::kKwEmpty:
+      return "'empty'";
+    case TokenKind::kKwCnt:
+      return "'cnt'";
+    case TokenKind::kKwSum:
+      return "'sum'";
+    case TokenKind::kKwAvg:
+      return "'avg'";
+    case TokenKind::kKwMin:
+      return "'min'";
+    case TokenKind::kKwMax:
+      return "'max'";
+    case TokenKind::kKwAnd:
+      return "'and'";
+    case TokenKind::kKwOr:
+      return "'or'";
+    case TokenKind::kKwNot:
+      return "'not'";
+    case TokenKind::kKwTrue:
+      return "'true'";
+    case TokenKind::kKwFalse:
+      return "'false'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kAssign:
+      return "':='";
+    case TokenKind::kQuery:
+      return "'?'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  std::string out(TokenKindName(kind));
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kIntLit ||
+      kind == TokenKind::kRealLit || kind == TokenKind::kStringLit) {
+    out += " '" + text + "'";
+  }
+  if (kind == TokenKind::kAttrRef) {
+    out += " %" + std::to_string(attr_index + 1);
+  }
+  return out;
+}
+
+}  // namespace lang
+}  // namespace mra

@@ -1,0 +1,98 @@
+// Tokens of the XRA language — the textual form of the extended relational
+// algebra, after the PRISMA/DB language the paper cites as its practical
+// instantiation.
+
+#ifndef MRA_LANG_TOKEN_H_
+#define MRA_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mra {
+namespace lang {
+
+enum class TokenKind : uint8_t {
+  kEnd,         // end of input
+  kIdentifier,  // relation / attribute names
+  kAttrRef,     // %1, %2, …
+  kIntLit,
+  kRealLit,
+  kStringLit,   // 'text'
+  kDateLit,     // date'1994-02-14'
+  kDecimalLit,  // dec'12.34'
+
+  // Keywords.
+  kKwCreate,
+  kKwDrop,
+  kKwInsert,
+  kKwDelete,
+  kKwUpdate,
+  kKwBegin,
+  kKwEnd,
+  kKwUnion,
+  kKwDiff,
+  kKwIntersect,
+  kKwProduct,
+  kKwJoin,
+  kKwSelect,
+  kKwProject,
+  kKwUnique,
+  kKwGroupby,
+  kKwClosure,
+  kKwConstraint,
+  kKwEmpty,
+  kKwCnt,
+  kKwSum,
+  kKwAvg,
+  kKwMin,
+  kKwMax,
+  kKwAnd,
+  kKwOr,
+  kKwNot,
+  kKwTrue,
+  kKwFalse,
+
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kColon,
+  kAssign,  // :=
+  kQuery,   // ?
+  kEq,      // =
+  kNe,      // <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Raw text (identifier name, literal body without quotes/prefix).
+  std::string text;
+  /// 0-based attribute index for kAttrRef (the source %i is 1-based).
+  size_t attr_index = 0;
+  int line = 0;
+  int column = 0;
+
+  std::string Describe() const;
+};
+
+}  // namespace lang
+}  // namespace mra
+
+#endif  // MRA_LANG_TOKEN_H_

@@ -1,0 +1,159 @@
+#include "mra/opt/optimizer.h"
+
+namespace mra {
+namespace opt {
+
+namespace {
+
+using RuleFn = Result<PlanPtr> (*)(const PlanPtr&);
+
+// Rebuilds `plan` with new children (no-op when all children are unchanged).
+Result<PlanPtr> WithChildren(const PlanPtr& plan,
+                             std::vector<PlanPtr> children) {
+  bool same = children.size() == plan->num_children();
+  for (size_t i = 0; same && i < children.size(); ++i) {
+    same = children[i] == plan->child(i);
+  }
+  if (same) return plan;
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+    case PlanKind::kConstRel:
+      return plan;
+    case PlanKind::kUnion:
+      return Plan::Union(std::move(children[0]), std::move(children[1]));
+    case PlanKind::kDifference:
+      return Plan::Difference(std::move(children[0]), std::move(children[1]));
+    case PlanKind::kIntersect:
+      return Plan::Intersect(std::move(children[0]), std::move(children[1]));
+    case PlanKind::kProduct:
+      return Plan::Product(std::move(children[0]), std::move(children[1]));
+    case PlanKind::kJoin:
+      return Plan::Join(plan->condition(), std::move(children[0]),
+                        std::move(children[1]));
+    case PlanKind::kSelect:
+      return Plan::Select(plan->condition(), std::move(children[0]));
+    case PlanKind::kProject: {
+      std::vector<std::string> names;
+      for (const Attribute& a : plan->schema().attributes()) {
+        names.push_back(a.name);
+      }
+      return Plan::Project(plan->projections(), std::move(children[0]),
+                           std::move(names));
+    }
+    case PlanKind::kUnique:
+      return Plan::Unique(std::move(children[0]));
+    case PlanKind::kClosure:
+      return Plan::Closure(std::move(children[0]));
+    case PlanKind::kGroupBy: {
+      std::vector<AggSpec> aggs = plan->aggregates();
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        aggs[i].output_name =
+            plan->schema().attribute(plan->group_keys().size() + i).name;
+      }
+      return Plan::GroupBy(plan->group_keys(), std::move(aggs),
+                           std::move(children[0]));
+    }
+  }
+  return Status::Internal("bad plan kind");
+}
+
+// One bottom-up sweep: rewrite children first, then apply the rule set at
+// this node repeatedly until no rule fires.
+Result<PlanPtr> Sweep(const PlanPtr& plan, const std::vector<RuleFn>& rules,
+                      bool* changed, int max_iterations) {
+  std::vector<PlanPtr> children;
+  children.reserve(plan->num_children());
+  for (const PlanPtr& child : plan->children()) {
+    MRA_ASSIGN_OR_RETURN(PlanPtr c, Sweep(child, rules, changed,
+                                          max_iterations));
+    children.push_back(std::move(c));
+  }
+  MRA_ASSIGN_OR_RETURN(PlanPtr current, WithChildren(plan, std::move(children)));
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool fired = false;
+    for (RuleFn rule : rules) {
+      MRA_ASSIGN_OR_RETURN(PlanPtr next, rule(current));
+      if (next != nullptr && next != current && !PlanEquals(next, current)) {
+        current = std::move(next);
+        fired = true;
+        *changed = true;
+        // The rewritten node may expose new opportunities below it.
+        std::vector<PlanPtr> sub;
+        sub.reserve(current->num_children());
+        for (const PlanPtr& child : current->children()) {
+          MRA_ASSIGN_OR_RETURN(
+              PlanPtr c, Sweep(child, rules, changed, max_iterations));
+          sub.push_back(std::move(c));
+        }
+        MRA_ASSIGN_OR_RETURN(current, WithChildren(current, std::move(sub)));
+        break;
+      }
+    }
+    if (!fired) break;
+  }
+  return current;
+}
+
+}  // namespace
+
+Result<PlanPtr> Optimizer::Optimize(PlanPtr plan) const {
+  // Pass 1: logical simplification + pushdown to a fixpoint.
+  std::vector<RuleFn> logical;
+  if (options_.constant_folding) logical.push_back(&TryConstantSimplify);
+  logical.push_back(&TryMergeSelects);
+  if (options_.select_pushdown) logical.push_back(&TrySelectPushdown);
+  logical.push_back(&TryMergeProjects);
+  if (options_.unique_simplify) logical.push_back(&TryUniqueSimplify);
+  if (options_.pre_dedup_union) logical.push_back(&TryUniquePreDedupUnion);
+
+  for (int round = 0; round < options_.max_iterations; ++round) {
+    bool changed = false;
+    MRA_ASSIGN_OR_RETURN(
+        plan, Sweep(plan, logical, &changed, options_.max_iterations));
+    if (!changed) break;
+  }
+
+  // Pass 2: early projection (Example 3.2).
+  if (options_.column_pruning) {
+    MRA_ASSIGN_OR_RETURN(plan, PruneColumns(plan));
+    // Pruning inserts projections; clean up identities and merge chains.
+    bool changed = false;
+    MRA_ASSIGN_OR_RETURN(
+        plan, Sweep(plan, logical, &changed, options_.max_iterations));
+  }
+
+  // Pass 3: cost-based build-side choice (Theorem 3.3 legitimises
+  // reordering; statistics choose).
+  if (options_.join_commute) {
+    // TryJoinCommute needs the provider, so it cannot be a plain RuleFn;
+    // run a dedicated bottom-up sweep.
+    StatsCache stats(provider_);
+    struct Recurse {
+      const RelationProvider& provider;
+      StatsCache* stats;
+      Result<PlanPtr> operator()(const PlanPtr& node) const {
+        std::vector<PlanPtr> children;
+        children.reserve(node->num_children());
+        for (const PlanPtr& child : node->children()) {
+          MRA_ASSIGN_OR_RETURN(PlanPtr c, (*this)(child));
+          children.push_back(std::move(c));
+        }
+        MRA_ASSIGN_OR_RETURN(PlanPtr current,
+                             WithChildren(node, std::move(children)));
+        MRA_ASSIGN_OR_RETURN(PlanPtr next,
+                             TryJoinCommute(current, provider, stats));
+        return next != nullptr ? next : current;
+      }
+    };
+    MRA_ASSIGN_OR_RETURN(plan, (Recurse{*provider_, &stats}(plan)));
+    // Commutation can introduce restore-projections; merge them.
+    bool changed = false;
+    MRA_ASSIGN_OR_RETURN(
+        plan, Sweep(plan, logical, &changed, options_.max_iterations));
+  }
+
+  return plan;
+}
+
+}  // namespace opt
+}  // namespace mra

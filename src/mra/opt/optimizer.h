@@ -1,0 +1,61 @@
+// Rule-driven plan optimizer.
+//
+// The paper's §3.3 argues that the standard algebra's equivalences — the
+// raw material of query optimization — carry over to the multi-set algebra.
+// This optimizer is that argument made executable: every pass applies only
+// equivalences proved (or noted) in the paper or their bag-valid relatives
+// documented in rules.h, and the whole pipeline is property-tested to
+// preserve plan semantics exactly.
+
+#ifndef MRA_OPT_OPTIMIZER_H_
+#define MRA_OPT_OPTIMIZER_H_
+
+#include "mra/algebra/evaluator.h"
+#include "mra/algebra/plan.h"
+#include "mra/opt/rules.h"
+
+namespace mra {
+namespace opt {
+
+/// Pass toggles, mainly for ablation benchmarks.
+struct OptimizerOptions {
+  bool constant_folding = true;
+  /// Select pushdown + join introduction (Theorems 3.1, 3.2).
+  bool select_pushdown = true;
+  /// Early projection / column pruning (Example 3.2, Theorem 3.2).
+  bool column_pruning = true;
+  /// δ simplifications (δδ, δΓ, δ×).
+  bool unique_simplify = true;
+  /// Cost-based ⋈/× commutation (build-side choice, Theorem 3.3).
+  bool join_commute = true;
+  /// δ(E1⊎E2) → δ(δE1⊎δE2); off by default (pays only for very
+  /// duplicate-heavy inputs — bench E9).
+  bool pre_dedup_union = false;
+
+  /// Safety bound on rewrite iterations per pass.
+  int max_iterations = 16;
+};
+
+class Optimizer {
+ public:
+  /// `provider` supplies cardinalities for cost-based choices; it is only
+  /// read during Optimize.
+  Optimizer(const RelationProvider* provider, OptimizerOptions options = {})
+      : provider_(provider), options_(options) {
+    MRA_CHECK(provider != nullptr);
+  }
+
+  /// Rewrites `plan` into an equivalent, typically cheaper plan.
+  Result<PlanPtr> Optimize(PlanPtr plan) const;
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  const RelationProvider* provider_;
+  OptimizerOptions options_;
+};
+
+}  // namespace opt
+}  // namespace mra
+
+#endif  // MRA_OPT_OPTIMIZER_H_

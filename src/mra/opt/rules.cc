@@ -1,0 +1,562 @@
+#include "mra/opt/rules.h"
+
+#include <algorithm>
+
+#include "mra/opt/stats.h"
+
+namespace mra {
+namespace opt {
+
+namespace {
+
+// Splits the conjuncts of `condition` (over a ⊕-concatenated schema with
+// `left_arity` left attributes) into left-only, right-only (shifted to the
+// right child's frame) and cross-side groups.
+void SplitBySide(const ExprPtr& condition, size_t left_arity,
+                 std::vector<ExprPtr>* left, std::vector<ExprPtr>* right,
+                 std::vector<ExprPtr>* mixed) {
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(condition, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    std::set<size_t> attrs = AttrsUsed(c);
+    bool any_left = false, any_right = false;
+    for (size_t a : attrs) {
+      (a < left_arity ? any_left : any_right) = true;
+    }
+    if (!any_right) {
+      left->push_back(c);  // Includes constant conjuncts.
+    } else if (!any_left) {
+      right->push_back(ShiftAttrs(c, -static_cast<int64_t>(left_arity)));
+    } else {
+      mixed->push_back(c);
+    }
+  }
+}
+
+// Wraps `plan` in a selection unless the conjunct list is empty.
+Result<PlanPtr> MaybeSelect(const std::vector<ExprPtr>& conjuncts,
+                            PlanPtr plan) {
+  if (conjuncts.empty()) return plan;
+  return Plan::Select(CombineConjuncts(conjuncts), std::move(plan));
+}
+
+// True when the projection expressions referenced by `attrs` are all plain
+// attribute references or literals (safe to duplicate by substitution).
+bool CheapToSubstitute(const std::vector<ExprPtr>& exprs,
+                       const std::set<size_t>& attrs) {
+  for (size_t a : attrs) {
+    MRA_CHECK_LT(a, exprs.size());
+    ExprKind k = exprs[a]->kind();
+    if (k != ExprKind::kAttrRef && k != ExprKind::kLiteral) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<PlanPtr> TryMergeSelects(const PlanPtr& plan) {
+  if (plan->kind() != PlanKind::kSelect) return PlanPtr();
+  const PlanPtr& child = plan->child(0);
+  if (child->kind() != PlanKind::kSelect) return PlanPtr();
+  // σ_p(σ_q E) = σ_{q ∧ p} E: evaluate q first to preserve any
+  // short-circuit guarding (e.g. q checks a divisor that p divides by).
+  MRA_ASSIGN_OR_RETURN(
+      PlanPtr merged,
+      Plan::Select(And(child->condition(), plan->condition()),
+                   child->child(0)));
+  return merged;
+}
+
+Result<PlanPtr> TrySelectPushdown(const PlanPtr& plan) {
+  // Case A: a bare join whose condition has one-sided conjuncts.
+  if (plan->kind() == PlanKind::kJoin) {
+    size_t la = plan->child(0)->schema().arity();
+    std::vector<ExprPtr> left, right, mixed;
+    SplitBySide(plan->condition(), la, &left, &right, &mixed);
+    if (left.empty() && right.empty()) return PlanPtr();
+    MRA_ASSIGN_OR_RETURN(PlanPtr l, MaybeSelect(left, plan->child(0)));
+    MRA_ASSIGN_OR_RETURN(PlanPtr r, MaybeSelect(right, plan->child(1)));
+    if (mixed.empty()) {
+      return Plan::Product(std::move(l), std::move(r));
+    }
+    return Plan::Join(CombineConjuncts(mixed), std::move(l), std::move(r));
+  }
+
+  if (plan->kind() != PlanKind::kSelect) return PlanPtr();
+  const ExprPtr& p = plan->condition();
+  const PlanPtr& child = plan->child(0);
+
+  switch (child->kind()) {
+    case PlanKind::kUnion: {
+      // Theorem 3.2: σ_p(E1 ⊎ E2) = σ_pE1 ⊎ σ_pE2.
+      MRA_ASSIGN_OR_RETURN(PlanPtr l, Plan::Select(p, child->child(0)));
+      MRA_ASSIGN_OR_RETURN(PlanPtr r, Plan::Select(p, child->child(1)));
+      return Plan::Union(std::move(l), std::move(r));
+    }
+    case PlanKind::kDifference: {
+      // Bag-valid: max(0, a−b) commutes with a pointwise filter.
+      MRA_ASSIGN_OR_RETURN(PlanPtr l, Plan::Select(p, child->child(0)));
+      MRA_ASSIGN_OR_RETURN(PlanPtr r, Plan::Select(p, child->child(1)));
+      return Plan::Difference(std::move(l), std::move(r));
+    }
+    case PlanKind::kIntersect: {
+      MRA_ASSIGN_OR_RETURN(PlanPtr l, Plan::Select(p, child->child(0)));
+      MRA_ASSIGN_OR_RETURN(PlanPtr r, Plan::Select(p, child->child(1)));
+      return Plan::Intersect(std::move(l), std::move(r));
+    }
+    case PlanKind::kUnique: {
+      // σ_p(δE) = δ(σ_pE).
+      MRA_ASSIGN_OR_RETURN(PlanPtr sel, Plan::Select(p, child->child(0)));
+      return Plan::Unique(std::move(sel));
+    }
+    case PlanKind::kProject: {
+      // σ_p(π_α E) = π_α(σ_{p[α]} E) when the substitution is cheap.
+      std::set<size_t> attrs = AttrsUsed(p);
+      if (!CheapToSubstitute(child->projections(), attrs)) return PlanPtr();
+      ExprPtr pushed = SubstituteAttrs(p, child->projections());
+      MRA_ASSIGN_OR_RETURN(PlanPtr sel,
+                           Plan::Select(std::move(pushed), child->child(0)));
+      std::vector<std::string> names;
+      for (const Attribute& a : child->schema().attributes()) {
+        names.push_back(a.name);
+      }
+      return Plan::Project(child->projections(), std::move(sel),
+                           std::move(names));
+    }
+    case PlanKind::kProduct:
+    case PlanKind::kJoin: {
+      // σ over × / ⋈: merge conditions, split per side.  Cross-side
+      // conjuncts form the join condition (Theorem 3.1: σ_φ(E1 × E2) =
+      // E1 ⋈_φ E2).
+      ExprPtr all = child->kind() == PlanKind::kJoin
+                        ? And(child->condition(), p)
+                        : p;
+      size_t la = child->child(0)->schema().arity();
+      std::vector<ExprPtr> left, right, mixed;
+      SplitBySide(all, la, &left, &right, &mixed);
+      if (left.empty() && right.empty() &&
+          child->kind() == PlanKind::kJoin) {
+        // Nothing pushes; re-merging p into the join is still progress
+        // (removes the σ node), unless p is empty — it never is here.
+        return Plan::Join(CombineConjuncts(mixed), child->child(0),
+                          child->child(1));
+      }
+      if (left.empty() && right.empty() && mixed.size() == 1 &&
+          child->kind() == PlanKind::kProduct) {
+        // σ_φ(E1 × E2) → E1 ⋈_φ E2 with nothing to push.
+        return Plan::Join(mixed[0], child->child(0), child->child(1));
+      }
+      MRA_ASSIGN_OR_RETURN(PlanPtr l, MaybeSelect(left, child->child(0)));
+      MRA_ASSIGN_OR_RETURN(PlanPtr r, MaybeSelect(right, child->child(1)));
+      if (mixed.empty()) return Plan::Product(std::move(l), std::move(r));
+      return Plan::Join(CombineConjuncts(mixed), std::move(l), std::move(r));
+    }
+    default:
+      return PlanPtr();
+  }
+}
+
+Result<PlanPtr> TryMergeProjects(const PlanPtr& plan) {
+  if (plan->kind() != PlanKind::kProject) return PlanPtr();
+  const PlanPtr& child = plan->child(0);
+  if (child->kind() != PlanKind::kProject) return PlanPtr();
+  std::set<size_t> used;
+  for (const ExprPtr& e : plan->projections()) CollectAttrs(e, &used);
+  if (!CheapToSubstitute(child->projections(), used)) return PlanPtr();
+  std::vector<ExprPtr> merged;
+  merged.reserve(plan->projections().size());
+  for (const ExprPtr& e : plan->projections()) {
+    merged.push_back(SubstituteAttrs(e, child->projections()));
+  }
+  std::vector<std::string> names;
+  for (const Attribute& a : plan->schema().attributes()) names.push_back(a.name);
+  return Plan::Project(std::move(merged), child->child(0), std::move(names));
+}
+
+Result<PlanPtr> TryUniqueSimplify(const PlanPtr& plan) {
+  if (plan->kind() != PlanKind::kUnique) return PlanPtr();
+  const PlanPtr& child = plan->child(0);
+  switch (child->kind()) {
+    case PlanKind::kUnique:
+    case PlanKind::kGroupBy:
+    case PlanKind::kClosure:
+      // Already duplicate-free.
+      return child;
+    case PlanKind::kProduct: {
+      // δ(E1 × E2) = δE1 × δE2 — and the product of sets is a set.
+      MRA_ASSIGN_OR_RETURN(PlanPtr l, Plan::Unique(child->child(0)));
+      MRA_ASSIGN_OR_RETURN(PlanPtr r, Plan::Unique(child->child(1)));
+      return Plan::Product(std::move(l), std::move(r));
+    }
+    case PlanKind::kJoin: {
+      // δ(E1 ⋈_φ E2) = δE1 ⋈_φ δE2 (σ commutes with δ, then as above).
+      MRA_ASSIGN_OR_RETURN(PlanPtr l, Plan::Unique(child->child(0)));
+      MRA_ASSIGN_OR_RETURN(PlanPtr r, Plan::Unique(child->child(1)));
+      return Plan::Join(child->condition(), std::move(l), std::move(r));
+    }
+    default:
+      return PlanPtr();
+  }
+}
+
+Result<PlanPtr> TryUniquePreDedupUnion(const PlanPtr& plan) {
+  if (plan->kind() != PlanKind::kUnique) return PlanPtr();
+  const PlanPtr& child = plan->child(0);
+  if (child->kind() != PlanKind::kUnion) return PlanPtr();
+  // Guard against re-application: skip when both inputs are already δ.
+  if (child->child(0)->kind() == PlanKind::kUnique &&
+      child->child(1)->kind() == PlanKind::kUnique) {
+    return PlanPtr();
+  }
+  MRA_ASSIGN_OR_RETURN(PlanPtr l, Plan::Unique(child->child(0)));
+  MRA_ASSIGN_OR_RETURN(PlanPtr r, Plan::Unique(child->child(1)));
+  MRA_ASSIGN_OR_RETURN(PlanPtr u, Plan::Union(std::move(l), std::move(r)));
+  return Plan::Unique(std::move(u));
+}
+
+namespace {
+
+bool IsBoolLiteral(const ExprPtr& e, bool value) {
+  if (e->kind() != ExprKind::kLiteral) return false;
+  const Value& v = static_cast<const LiteralExpr&>(*e).value();
+  return v.kind() == TypeKind::kBool && v.bool_value() == value;
+}
+
+bool IsIdentityProjection(const Plan& plan) {
+  const auto& exprs = plan.projections();
+  const RelationSchema& in = plan.child(0)->schema();
+  if (exprs.size() != in.arity()) return false;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (exprs[i]->kind() != ExprKind::kAttrRef ||
+        static_cast<const AttrRefExpr&>(*exprs[i]).index() != i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<PlanPtr> TryConstantSimplify(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanKind::kSelect: {
+      ExprPtr folded = FoldConstants(plan->condition());
+      if (IsBoolLiteral(folded, true)) return plan->child(0);
+      if (IsBoolLiteral(folded, false)) {
+        return Plan::ConstRel(Relation(plan->schema()));
+      }
+      if (folded == plan->condition()) return PlanPtr();
+      return Plan::Select(std::move(folded), plan->child(0));
+    }
+    case PlanKind::kJoin: {
+      ExprPtr folded = FoldConstants(plan->condition());
+      if (IsBoolLiteral(folded, true)) {
+        return Plan::Product(plan->child(0), plan->child(1));
+      }
+      if (IsBoolLiteral(folded, false)) {
+        return Plan::ConstRel(Relation(plan->schema()));
+      }
+      if (folded == plan->condition()) return PlanPtr();
+      return Plan::Join(std::move(folded), plan->child(0), plan->child(1));
+    }
+    case PlanKind::kProject: {
+      if (IsIdentityProjection(*plan)) return plan->child(0);
+      bool changed = false;
+      std::vector<ExprPtr> folded;
+      folded.reserve(plan->projections().size());
+      for (const ExprPtr& e : plan->projections()) {
+        ExprPtr f = FoldConstants(e);
+        changed |= (f != e);
+        folded.push_back(std::move(f));
+      }
+      if (!changed) return PlanPtr();
+      std::vector<std::string> names;
+      for (const Attribute& a : plan->schema().attributes()) {
+        names.push_back(a.name);
+      }
+      return Plan::Project(std::move(folded), plan->child(0),
+                           std::move(names));
+    }
+    default:
+      return PlanPtr();
+  }
+}
+
+Result<PlanPtr> TryJoinCommute(const PlanPtr& plan,
+                               const RelationProvider& provider,
+                               StatsCache* cache) {
+  if (plan->kind() != PlanKind::kJoin && plan->kind() != PlanKind::kProduct) {
+    return PlanPtr();
+  }
+  double l = EstimateCardinality(*plan->child(0), provider, cache);
+  double r = EstimateCardinality(*plan->child(1), provider, cache);
+  // The right child is the hash-join build side / inner loop: keep the
+  // smaller input there.  A 10% margin prevents churn on near-ties.
+  if (r <= l * 1.1) return PlanPtr();
+  size_t la = plan->child(0)->schema().arity();
+  size_t ra = plan->child(1)->schema().arity();
+  if (plan->kind() == PlanKind::kProduct) {
+    // Commuting × permutes columns; restore the original order above.
+    MRA_ASSIGN_OR_RETURN(PlanPtr swapped,
+                         Plan::Product(plan->child(1), plan->child(0)));
+    std::vector<size_t> restore;
+    restore.reserve(la + ra);
+    for (size_t i = 0; i < la; ++i) restore.push_back(ra + i);
+    for (size_t j = 0; j < ra; ++j) restore.push_back(j);
+    return Plan::ProjectIndexes(restore, std::move(swapped));
+  }
+  // Join: remap the condition into the swapped frame, then restore order.
+  std::vector<size_t> remap(la + ra);
+  for (size_t i = 0; i < la; ++i) remap[i] = ra + i;
+  for (size_t j = 0; j < ra; ++j) remap[la + j] = j;
+  ExprPtr cond = RemapAttrs(plan->condition(), remap);
+  MRA_ASSIGN_OR_RETURN(
+      PlanPtr swapped,
+      Plan::Join(std::move(cond), plan->child(1), plan->child(0)));
+  std::vector<size_t> restore;
+  restore.reserve(la + ra);
+  for (size_t i = 0; i < la; ++i) restore.push_back(ra + i);
+  for (size_t j = 0; j < ra; ++j) restore.push_back(j);
+  return Plan::ProjectIndexes(restore, std::move(swapped));
+}
+
+// --- Column pruning (early projection, Example 3.2). ---
+
+namespace {
+
+struct PruneResult {
+  PlanPtr plan;
+  // mapping[old_index] = index in the pruned plan's output; only entries
+  // for requested columns are meaningful.
+  std::vector<size_t> mapping;
+};
+
+std::vector<size_t> NeededList(const std::vector<bool>& needed) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < needed.size(); ++i) {
+    if (needed[i]) out.push_back(i);
+  }
+  return out;
+}
+
+// Builds the identity prune result (all columns kept, plan unchanged).
+PruneResult Unpruned(const PlanPtr& plan) {
+  PruneResult r;
+  r.mapping.resize(plan->schema().arity());
+  for (size_t i = 0; i < r.mapping.size(); ++i) r.mapping[i] = i;
+  r.plan = plan;
+  return r;
+}
+
+Result<PruneResult> PruneRec(const PlanPtr& plan,
+                             const std::vector<bool>& needed);
+
+// Recurses with all columns required.
+Result<PruneResult> PruneAll(const PlanPtr& plan) {
+  return PruneRec(plan, std::vector<bool>(plan->schema().arity(), true));
+}
+
+// Wraps `r.plan` with a projection keeping only `needed` (in the ORIGINAL
+// plan's frame), updating the mapping.  No-op when nothing is dropped.
+Result<PruneResult> Narrow(PruneResult r, const std::vector<bool>& needed) {
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < needed.size(); ++i) {
+    if (needed[i]) keep.push_back(r.mapping[i]);
+  }
+  if (keep.size() == r.plan->schema().arity()) {
+    bool identity = true;
+    for (size_t i = 0; i < keep.size(); ++i) identity &= (keep[i] == i);
+    if (identity) return r;
+  }
+  MRA_ASSIGN_OR_RETURN(PlanPtr narrowed,
+                       Plan::ProjectIndexes(keep, std::move(r.plan)));
+  PruneResult out;
+  out.plan = std::move(narrowed);
+  out.mapping.assign(needed.size(), 0);
+  size_t next = 0;
+  for (size_t i = 0; i < needed.size(); ++i) {
+    if (needed[i]) out.mapping[i] = next++;
+  }
+  return out;
+}
+
+Result<PruneResult> PruneRec(const PlanPtr& plan,
+                             const std::vector<bool>& needed) {
+  const size_t arity = plan->schema().arity();
+  MRA_CHECK_EQ(needed.size(), arity);
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+    case PlanKind::kConstRel:
+      return Narrow(Unpruned(plan), needed);
+    case PlanKind::kSelect: {
+      std::vector<bool> child_needed = needed;
+      for (size_t a : AttrsUsed(plan->condition())) child_needed[a] = true;
+      MRA_ASSIGN_OR_RETURN(PruneResult c, PruneRec(plan->child(0), child_needed));
+      ExprPtr cond = RemapAttrs(plan->condition(), c.mapping);
+      MRA_ASSIGN_OR_RETURN(PlanPtr sel,
+                           Plan::Select(std::move(cond), std::move(c.plan)));
+      // The select's output frame equals the pruned child's frame; drop
+      // the condition-only columns above it.
+      PruneResult r;
+      r.plan = std::move(sel);
+      r.mapping = c.mapping;
+      return Narrow(std::move(r), needed);
+    }
+    case PlanKind::kProject: {
+      const auto& exprs = plan->projections();
+      std::vector<bool> child_needed(plan->child(0)->schema().arity(), false);
+      std::vector<ExprPtr> kept_exprs;
+      std::vector<std::string> kept_names;
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        if (!needed[i]) continue;
+        for (size_t a : AttrsUsed(exprs[i])) child_needed[a] = true;
+        kept_exprs.push_back(exprs[i]);
+        kept_names.push_back(plan->schema().attribute(i).name);
+      }
+      if (kept_exprs.empty()) {
+        // Definition 2.4 requires n >= 1: keep the first column to
+        // preserve cardinality.
+        for (size_t a : AttrsUsed(exprs[0])) child_needed[a] = true;
+        kept_exprs.push_back(exprs[0]);
+        kept_names.push_back(plan->schema().attribute(0).name);
+      }
+      MRA_ASSIGN_OR_RETURN(PruneResult c, PruneRec(plan->child(0), child_needed));
+      std::vector<ExprPtr> remapped;
+      remapped.reserve(kept_exprs.size());
+      for (const ExprPtr& e : kept_exprs) {
+        remapped.push_back(RemapAttrs(e, c.mapping));
+      }
+      MRA_ASSIGN_OR_RETURN(PlanPtr proj,
+                           Plan::Project(std::move(remapped), std::move(c.plan),
+                                         std::move(kept_names)));
+      PruneResult r;
+      r.plan = std::move(proj);
+      r.mapping.assign(arity, 0);
+      size_t next = 0;
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        if (needed[i]) r.mapping[i] = next++;
+      }
+      return r;
+    }
+    case PlanKind::kUnion: {
+      // Theorem 3.2: π distributes over ⊎ — prune both sides alike.
+      MRA_ASSIGN_OR_RETURN(PruneResult l, PruneRec(plan->child(0), needed));
+      MRA_ASSIGN_OR_RETURN(PruneResult r, PruneRec(plan->child(1), needed));
+      MRA_ASSIGN_OR_RETURN(PlanPtr u,
+                           Plan::Union(std::move(l.plan), std::move(r.plan)));
+      PruneResult out;
+      out.plan = std::move(u);
+      out.mapping = l.mapping;
+      return out;
+    }
+    case PlanKind::kDifference:
+    case PlanKind::kIntersect: {
+      // π does NOT distribute over − or ∩ in the bag algebra: keep the
+      // children whole and narrow above.
+      MRA_ASSIGN_OR_RETURN(PruneResult l, PruneAll(plan->child(0)));
+      MRA_ASSIGN_OR_RETURN(PruneResult r, PruneAll(plan->child(1)));
+      Result<PlanPtr> combined =
+          plan->kind() == PlanKind::kDifference
+              ? Plan::Difference(std::move(l.plan), std::move(r.plan))
+              : Plan::Intersect(std::move(l.plan), std::move(r.plan));
+      MRA_RETURN_IF_ERROR(combined);
+      return Narrow(Unpruned(std::move(combined).value()), needed);
+    }
+    case PlanKind::kUnique: {
+      // π does not commute with δ: keep the child whole, narrow above δ.
+      MRA_ASSIGN_OR_RETURN(PruneResult c, PruneAll(plan->child(0)));
+      MRA_ASSIGN_OR_RETURN(PlanPtr u, Plan::Unique(std::move(c.plan)));
+      return Narrow(Unpruned(std::move(u)), needed);
+    }
+    case PlanKind::kClosure: {
+      // The closure's recursion needs both columns: keep the child whole
+      // and narrow above.
+      MRA_ASSIGN_OR_RETURN(PruneResult c, PruneAll(plan->child(0)));
+      MRA_ASSIGN_OR_RETURN(PlanPtr cl, Plan::Closure(std::move(c.plan)));
+      return Narrow(Unpruned(std::move(cl)), needed);
+    }
+    case PlanKind::kProduct:
+    case PlanKind::kJoin: {
+      size_t la = plan->child(0)->schema().arity();
+      size_t ra = plan->child(1)->schema().arity();
+      std::vector<bool> lneed(la, false), rneed(ra, false);
+      for (size_t i = 0; i < la; ++i) lneed[i] = needed[i];
+      for (size_t j = 0; j < ra; ++j) rneed[j] = needed[la + j];
+      if (plan->kind() == PlanKind::kJoin) {
+        for (size_t a : AttrsUsed(plan->condition())) {
+          if (a < la) {
+            lneed[a] = true;
+          } else {
+            rneed[a - la] = true;
+          }
+        }
+      }
+      // π preserves total cardinality, so keeping one column per side
+      // preserves the product's multiplicities when a side is unused.
+      if (NeededList(lneed).empty()) lneed[0] = true;
+      if (NeededList(rneed).empty()) rneed[0] = true;
+      MRA_ASSIGN_OR_RETURN(PruneResult l, PruneRec(plan->child(0), lneed));
+      MRA_ASSIGN_OR_RETURN(PruneResult r, PruneRec(plan->child(1), rneed));
+      size_t la2 = l.plan->schema().arity();
+      PlanPtr joined;
+      if (plan->kind() == PlanKind::kJoin) {
+        std::vector<size_t> remap(la + ra, 0);
+        for (size_t i = 0; i < la; ++i) {
+          if (lneed[i]) remap[i] = l.mapping[i];
+        }
+        for (size_t j = 0; j < ra; ++j) {
+          if (rneed[j]) remap[la + j] = la2 + r.mapping[j];
+        }
+        ExprPtr cond = RemapAttrs(plan->condition(), remap);
+        MRA_ASSIGN_OR_RETURN(joined, Plan::Join(std::move(cond),
+                                                std::move(l.plan),
+                                                std::move(r.plan)));
+      } else {
+        MRA_ASSIGN_OR_RETURN(
+            joined, Plan::Product(std::move(l.plan), std::move(r.plan)));
+      }
+      PruneResult out;
+      out.plan = std::move(joined);
+      out.mapping.assign(arity, 0);
+      for (size_t i = 0; i < la; ++i) {
+        if (lneed[i]) out.mapping[i] = l.mapping[i];
+      }
+      for (size_t j = 0; j < ra; ++j) {
+        if (rneed[j]) out.mapping[la + j] = la2 + r.mapping[j];
+      }
+      return Narrow(std::move(out), needed);
+    }
+    case PlanKind::kGroupBy: {
+      std::vector<bool> child_needed(plan->child(0)->schema().arity(), false);
+      for (size_t k : plan->group_keys()) child_needed[k] = true;
+      for (const AggSpec& a : plan->aggregates()) child_needed[a.attr] = true;
+      MRA_ASSIGN_OR_RETURN(PruneResult c, PruneRec(plan->child(0), child_needed));
+      std::vector<size_t> keys;
+      keys.reserve(plan->group_keys().size());
+      for (size_t k : plan->group_keys()) keys.push_back(c.mapping[k]);
+      std::vector<AggSpec> aggs = plan->aggregates();
+      for (AggSpec& a : aggs) {
+        // Preserve the display name chosen at original planning time.
+        size_t out_index = plan->group_keys().size() +
+                           static_cast<size_t>(&a - aggs.data());
+        a.output_name = plan->schema().attribute(out_index).name;
+        a.attr = c.mapping[a.attr];
+      }
+      MRA_ASSIGN_OR_RETURN(
+          PlanPtr g,
+          Plan::GroupBy(std::move(keys), std::move(aggs), std::move(c.plan)));
+      return Narrow(Unpruned(std::move(g)), needed);
+    }
+  }
+  return Status::Internal("bad plan kind");
+}
+
+}  // namespace
+
+Result<PlanPtr> PruneColumns(const PlanPtr& root) {
+  MRA_ASSIGN_OR_RETURN(PruneResult r, PruneAll(root));
+  return r.plan;
+}
+
+}  // namespace opt
+}  // namespace mra

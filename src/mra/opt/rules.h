@@ -1,0 +1,82 @@
+// Rewrite rules.  Every rule realises an expression equivalence that holds
+// in the multi-set algebra — the paper's central optimization claim (§3.3):
+// the classical set-algebra equivalences carry over to bags.
+//
+//   Theorem 3.1   σ_φ(E1 × E2) = E1 ⋈_φ E2          (join introduction)
+//                 E1 ∩ E2 = E1 − (E1 − E2)           (tested, not a rewrite)
+//   Theorem 3.2   σ_p(E1 ⊎ E2) = σ_pE1 ⊎ σ_pE2      (selection pushdown)
+//                 π_a(E1 ⊎ E2) = π_aE1 ⊎ π_aE2      (column pruning)
+//   Theorem 3.3   associativity of ×, ⋈, ⊎, ∩        (join commute/ordering)
+//   §3.3 note     δ(E1 ⊎ E2) = δ(δE1 ⊎ δE2)          (optional pre-dedup)
+//
+// plus bag-valid relatives (σ through −, ∩, δ and π; δδ = δ;
+// δ(E1 × E2) = δE1 × δE2) and the early-projection transformation of
+// Example 3.2.  All rules are verified against the definitional evaluator
+// by property tests.
+//
+// Each Try* function returns the rewritten node, or nullptr when the rule
+// does not apply.  Rules are *local*: they inspect one node (and its
+// children's shapes) and never recurse — the optimizer driver handles
+// traversal and fixpoints.
+
+#ifndef MRA_OPT_RULES_H_
+#define MRA_OPT_RULES_H_
+
+#include "mra/algebra/evaluator.h"
+#include "mra/algebra/plan.h"
+#include "mra/opt/stats.h"
+
+namespace mra {
+namespace opt {
+
+/// σ_p(σ_q E) → σ_{q ∧ p} E.
+Result<PlanPtr> TryMergeSelects(const PlanPtr& plan);
+
+/// Pushes a selection through ⊎ (Theorem 3.2), − , ∩ , δ and π (bag-valid
+/// relatives), and into/through × and ⋈ by splitting conjuncts per side
+/// (subsumes Theorem 3.1's join introduction: a σ over × with cross-side
+/// conjuncts becomes a ⋈).  Applies to bare ⋈ nodes too, pushing one-sided
+/// conjuncts of the join condition below the join.
+Result<PlanPtr> TrySelectPushdown(const PlanPtr& plan);
+
+/// π_a(π_b E) → π_{a∘b} E (substitutes the inner expressions into the
+/// outer ones).  Applies when the inner expressions referenced by the
+/// outer projection are cheap (attribute references or literals), so work
+/// is never duplicated.
+Result<PlanPtr> TryMergeProjects(const PlanPtr& plan);
+
+/// δδE → δE;  δ(Γ…E) → Γ…E (group-by output is duplicate-free);
+/// δ(E1 × E2) → δE1 × δE2;  δ(E1 ⋈_φ E2) → δE1 ⋈_φ δE2.
+Result<PlanPtr> TryUniqueSimplify(const PlanPtr& plan);
+
+/// δ(E1 ⊎ E2) → δ(δE1 ⊎ δE2) — the equivalence the paper states when
+/// noting that δ does NOT distribute over ⊎.  Profitable only for very
+/// duplicate-heavy inputs, so it is not part of the default pass; bench E9
+/// measures both sides.
+Result<PlanPtr> TryUniquePreDedupUnion(const PlanPtr& plan);
+
+/// Folds constants inside σ/π/⋈ payloads; σ_true E → E;
+/// σ_false E → ∅ (a ConstRel of the right schema); ⋈_true → ×;
+/// drops identity projections.
+Result<PlanPtr> TryConstantSimplify(const PlanPtr& plan);
+
+/// Commutes ⋈/× so the smaller (estimated) input sits on the right — the
+/// hash-join build side (Theorem 3.3 makes orderings interchangeable;
+/// statistics pick the cheap one).  `cache` (optional) supplies live
+/// column statistics for sharper estimates.
+Result<PlanPtr> TryJoinCommute(const PlanPtr& plan,
+                               const RelationProvider& provider,
+                               StatsCache* cache = nullptr);
+
+/// The early-projection pass of Example 3.2: pushes column requirements
+/// top-down and inserts narrow projections beneath joins, products and set
+/// operations wherever that is semantics-preserving in the bag algebra
+/// (through ⊎, ×, ⋈, σ, π, Γ; *not* through −, ∩ or δ, where π does not
+/// distribute).  Returns a plan producing the same relation (schema column
+/// order preserved at the root).
+Result<PlanPtr> PruneColumns(const PlanPtr& root);
+
+}  // namespace opt
+}  // namespace mra
+
+#endif  // MRA_OPT_RULES_H_

@@ -1,0 +1,333 @@
+#include "mra/opt/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace mra {
+namespace opt {
+
+namespace {
+
+// Cardinality assumed for relations we cannot resolve.
+constexpr double kUnknownCardinality = 1000.0;
+
+bool IsRangeDomain(Type type) {
+  return type.IsNumeric() || type.kind() == TypeKind::kDate;
+}
+
+double ValueAsDouble(const Value& v) {
+  if (v.kind() == TypeKind::kDate) return static_cast<double>(v.date_days());
+  return v.AsReal();
+}
+
+double ConjunctSelectivity(const ExprPtr& conjunct) {
+  if (conjunct->kind() == ExprKind::kLiteral) {
+    const Value& v = static_cast<const LiteralExpr&>(*conjunct).value();
+    if (v.kind() == TypeKind::kBool) return v.bool_value() ? 1.0 : 0.0;
+    return kDefaultSelectivity;
+  }
+  if (conjunct->kind() == ExprKind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(*conjunct);
+    switch (b.op()) {
+      case BinaryOp::kEq:
+        return kEqSelectivity;
+      case BinaryOp::kNe:
+        return 1.0 - kEqSelectivity;
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return kRangeSelectivity;
+      case BinaryOp::kOr: {
+        double l = ConjunctSelectivity(b.lhs());
+        double r = ConjunctSelectivity(b.rhs());
+        return std::min(1.0, l + r - l * r);
+      }
+      default:
+        return kDefaultSelectivity;
+    }
+  }
+  if (conjunct->kind() == ExprKind::kUnary) {
+    const auto& u = static_cast<const UnaryExpr&>(*conjunct);
+    if (u.op() == UnaryOp::kNot) {
+      return 1.0 - ConjunctSelectivity(u.operand());
+    }
+  }
+  return kDefaultSelectivity;
+}
+
+// Matches `attr <op> literal` (either orientation); fills the attribute
+// index, the comparison with the attribute on the LEFT, and the literal.
+bool MatchAttrLiteral(const BinaryExpr& b, size_t* attr, BinaryOp* op,
+                      Value* literal) {
+  auto flipped = [](BinaryOp o) {
+    switch (o) {
+      case BinaryOp::kLt:
+        return BinaryOp::kGt;
+      case BinaryOp::kLe:
+        return BinaryOp::kGe;
+      case BinaryOp::kGt:
+        return BinaryOp::kLt;
+      case BinaryOp::kGe:
+        return BinaryOp::kLe;
+      default:
+        return o;  // =, <> are symmetric
+    }
+  };
+  if (b.lhs()->kind() == ExprKind::kAttrRef &&
+      b.rhs()->kind() == ExprKind::kLiteral) {
+    *attr = static_cast<const AttrRefExpr&>(*b.lhs()).index();
+    *op = b.op();
+    *literal = static_cast<const LiteralExpr&>(*b.rhs()).value();
+    return true;
+  }
+  if (b.rhs()->kind() == ExprKind::kAttrRef &&
+      b.lhs()->kind() == ExprKind::kLiteral) {
+    *attr = static_cast<const AttrRefExpr&>(*b.rhs()).index();
+    *op = flipped(b.op());
+    *literal = static_cast<const LiteralExpr&>(*b.lhs()).value();
+    return true;
+  }
+  return false;
+}
+
+double StatsConjunctSelectivity(const ExprPtr& conjunct,
+                                const RelationSchema& schema,
+                                const TableStats& stats) {
+  if (conjunct->kind() == ExprKind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(*conjunct);
+    if (b.op() == BinaryOp::kOr) {
+      double l = StatsConjunctSelectivity(b.lhs(), schema, stats);
+      double r = StatsConjunctSelectivity(b.rhs(), schema, stats);
+      return std::min(1.0, l + r - l * r);
+    }
+    size_t attr;
+    BinaryOp op;
+    Value literal;
+    if (MatchAttrLiteral(b, &attr, &op, &literal) &&
+        attr < stats.columns.size()) {
+      const ColumnStats& column = stats.columns[attr];
+      switch (op) {
+        case BinaryOp::kEq:
+          return 1.0 / std::max<double>(1.0, column.distinct);
+        case BinaryOp::kNe:
+          return 1.0 - 1.0 / std::max<double>(1.0, column.distinct);
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          if (!column.has_range ||
+              !IsRangeDomain(literal.type())) {
+            break;
+          }
+          double width = column.max - column.min;
+          if (width <= 0) return 0.5;
+          double fraction =
+              (ValueAsDouble(literal) - column.min) / width;
+          fraction = std::clamp(fraction, 0.0, 1.0);
+          return (op == BinaryOp::kLt || op == BinaryOp::kLe)
+                     ? fraction
+                     : 1.0 - fraction;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  if (conjunct->kind() == ExprKind::kUnary) {
+    const auto& u = static_cast<const UnaryExpr&>(*conjunct);
+    if (u.op() == UnaryOp::kNot) {
+      return 1.0 - StatsConjunctSelectivity(u.operand(), schema, stats);
+    }
+  }
+  return ConjunctSelectivity(conjunct);
+}
+
+}  // namespace
+
+TableStats ComputeTableStats(const Relation& relation,
+                             size_t max_tracked_distinct) {
+  TableStats stats;
+  stats.total_tuples = relation.size();
+  stats.distinct_tuples = relation.distinct_size();
+  size_t arity = relation.schema().arity();
+  stats.columns.resize(arity);
+
+  std::vector<std::unordered_set<size_t>> seen_hashes(arity);
+  std::vector<bool> capped(arity, false);
+  std::vector<bool> first(arity, true);
+  for (const auto& [tuple, count] : relation) {
+    (void)count;
+    for (size_t i = 0; i < arity; ++i) {
+      const Value& v = tuple.at(i);
+      if (!capped[i]) {
+        seen_hashes[i].insert(v.Hash());
+        if (seen_hashes[i].size() >= max_tracked_distinct) capped[i] = true;
+      }
+      if (IsRangeDomain(v.type())) {
+        double x = ValueAsDouble(v);
+        ColumnStats& column = stats.columns[i];
+        if (first[i]) {
+          column.min = column.max = x;
+          column.has_range = true;
+          first[i] = false;
+        } else {
+          column.min = std::min(column.min, x);
+          column.max = std::max(column.max, x);
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < arity; ++i) {
+    // Hash-set distinct counting is exact up to hash collisions; when the
+    // cap was hit, extrapolate conservatively to the distinct tuple count.
+    stats.columns[i].distinct =
+        capped[i] ? stats.distinct_tuples : seen_hashes[i].size();
+  }
+  return stats;
+}
+
+const TableStats* StatsCache::StatsFor(const std::string& name) {
+  auto it = cache_.find(name);
+  if (it != cache_.end()) return &it->second;
+  Result<const Relation*> rel = provider_->GetRelation(name);
+  if (!rel.ok()) return nullptr;
+  auto [inserted, ok] = cache_.emplace(name, ComputeTableStats(**rel));
+  (void)ok;
+  return &inserted->second;
+}
+
+double EstimateSelectivity(const ExprPtr& condition) {
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(condition, &conjuncts);
+  double s = 1.0;
+  for (const ExprPtr& c : conjuncts) s *= ConjunctSelectivity(c);
+  return s;
+}
+
+double EstimateSelectivityWithStats(const ExprPtr& condition,
+                                    const RelationSchema& schema,
+                                    const TableStats& stats) {
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(condition, &conjuncts);
+  double s = 1.0;
+  for (const ExprPtr& c : conjuncts) {
+    s *= StatsConjunctSelectivity(c, schema, stats);
+  }
+  return s;
+}
+
+double EstimateCardinality(const Plan& plan, const RelationProvider& provider,
+                           StatsCache* cache) {
+  switch (plan.kind()) {
+    case PlanKind::kScan: {
+      Result<const Relation*> rel = provider.GetRelation(plan.relation_name());
+      if (!rel.ok()) return kUnknownCardinality;
+      return static_cast<double>((*rel)->size());
+    }
+    case PlanKind::kConstRel:
+      return static_cast<double>(plan.const_relation().size());
+    case PlanKind::kUnion:
+      return EstimateCardinality(*plan.child(0), provider, cache) +
+             EstimateCardinality(*plan.child(1), provider, cache);
+    case PlanKind::kDifference: {
+      double l = EstimateCardinality(*plan.child(0), provider, cache);
+      double r = EstimateCardinality(*plan.child(1), provider, cache);
+      // Half the right side is assumed to hit the left side.
+      return std::max(l - r / 2.0, l / 10.0);
+    }
+    case PlanKind::kIntersect:
+      return std::min(EstimateCardinality(*plan.child(0), provider, cache),
+                      EstimateCardinality(*plan.child(1), provider, cache)) /
+             2.0;
+    case PlanKind::kProduct:
+      return EstimateCardinality(*plan.child(0), provider, cache) *
+             EstimateCardinality(*plan.child(1), provider, cache);
+    case PlanKind::kJoin: {
+      double l = EstimateCardinality(*plan.child(0), provider, cache);
+      double r = EstimateCardinality(*plan.child(1), provider, cache);
+      // With statistics and an equi-join over two scans, use the classic
+      // |L|·|R| / max(d(L.k), d(R.k)) estimate.
+      if (cache != nullptr && plan.child(0)->kind() == PlanKind::kScan &&
+          plan.child(1)->kind() == PlanKind::kScan) {
+        const TableStats* ls = cache->StatsFor(plan.child(0)->relation_name());
+        const TableStats* rs = cache->StatsFor(plan.child(1)->relation_name());
+        if (ls != nullptr && rs != nullptr &&
+            plan.condition()->kind() == ExprKind::kBinary) {
+          const auto& b = static_cast<const BinaryExpr&>(*plan.condition());
+          if (b.op() == BinaryOp::kEq &&
+              b.lhs()->kind() == ExprKind::kAttrRef &&
+              b.rhs()->kind() == ExprKind::kAttrRef) {
+            size_t i = static_cast<const AttrRefExpr&>(*b.lhs()).index();
+            size_t j = static_cast<const AttrRefExpr&>(*b.rhs()).index();
+            size_t la = plan.child(0)->schema().arity();
+            if (i > j) std::swap(i, j);
+            if (i < la && j >= la && i < ls->columns.size() &&
+                j - la < rs->columns.size()) {
+              double d = std::max<double>(
+                  {1.0, static_cast<double>(ls->columns[i].distinct),
+                   static_cast<double>(rs->columns[j - la].distinct)});
+              return l * r / d;
+            }
+          }
+        }
+      }
+      return l * r * EstimateSelectivity(plan.condition());
+    }
+    case PlanKind::kSelect: {
+      double input = EstimateCardinality(*plan.child(0), provider, cache);
+      if (cache != nullptr && plan.child(0)->kind() == PlanKind::kScan) {
+        const TableStats* stats =
+            cache->StatsFor(plan.child(0)->relation_name());
+        if (stats != nullptr) {
+          return input * EstimateSelectivityWithStats(
+                             plan.condition(), plan.child(0)->schema(),
+                             *stats);
+        }
+      }
+      return input * EstimateSelectivity(plan.condition());
+    }
+    case PlanKind::kProject:
+      // π is additive under bag semantics: cardinality is unchanged —
+      // exactly the property Example 3.2 relies on.
+      return EstimateCardinality(*plan.child(0), provider, cache);
+    case PlanKind::kUnique: {
+      double n = EstimateCardinality(*plan.child(0), provider, cache);
+      if (cache != nullptr && plan.child(0)->kind() == PlanKind::kScan) {
+        const TableStats* stats =
+            cache->StatsFor(plan.child(0)->relation_name());
+        if (stats != nullptr) {
+          return static_cast<double>(stats->distinct_tuples);
+        }
+      }
+      // Distinct-count guess without column statistics: sub-linear growth.
+      return std::min(n, std::pow(n, 0.8) + 1.0);
+    }
+    case PlanKind::kGroupBy: {
+      double n = EstimateCardinality(*plan.child(0), provider, cache);
+      if (plan.group_keys().empty()) return 1.0;
+      if (cache != nullptr && plan.child(0)->kind() == PlanKind::kScan &&
+          plan.group_keys().size() == 1) {
+        const TableStats* stats =
+            cache->StatsFor(plan.child(0)->relation_name());
+        size_t key = plan.group_keys()[0];
+        if (stats != nullptr && key < stats->columns.size()) {
+          return static_cast<double>(
+              std::max<size_t>(1, stats->columns[key].distinct));
+        }
+      }
+      return std::min(n, std::pow(n, 0.75) + 1.0);
+    }
+    case PlanKind::kClosure: {
+      // Reachability can approach n² on dense inputs; assume moderate
+      // fan-out growth.
+      double n = EstimateCardinality(*plan.child(0), provider, cache);
+      return std::min(n * n, n * 8.0 + 1.0);
+    }
+  }
+  return kUnknownCardinality;
+}
+
+}  // namespace opt
+}  // namespace mra

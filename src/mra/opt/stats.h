@@ -1,0 +1,90 @@
+// Cardinality estimation for the rewrite-based optimizer.
+//
+// Scans use exact catalog statistics (total and distinct cardinality of the
+// live relation); operators above them use textbook System-R style
+// heuristics.  Estimates only steer physical choices such as hash-join
+// build-side selection — rewrite rules themselves are semantics-preserving
+// regardless of estimate quality (Theorems 3.1–3.3).
+
+#ifndef MRA_OPT_STATS_H_
+#define MRA_OPT_STATS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mra/algebra/evaluator.h"
+#include "mra/algebra/plan.h"
+
+namespace mra {
+namespace opt {
+
+/// Default selectivity of an equality comparison (σ or ⋈ conjunct).
+inline constexpr double kEqSelectivity = 0.1;
+/// Default selectivity of a range comparison.
+inline constexpr double kRangeSelectivity = 1.0 / 3.0;
+/// Selectivity of an unrecognised condition.
+inline constexpr double kDefaultSelectivity = 0.5;
+
+/// Per-attribute statistics gathered from a live relation.
+struct ColumnStats {
+  /// Number of distinct values in the column.
+  size_t distinct = 0;
+  /// Numeric/date range, when the domain is ordered-numeric.
+  bool has_range = false;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Whole-relation statistics.
+struct TableStats {
+  uint64_t total_tuples = 0;
+  size_t distinct_tuples = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Scans `relation` once, collecting per-column distinct counts and
+/// numeric ranges.  Distinct counting is capped at `max_tracked_distinct`
+/// values per column (counts beyond the cap extrapolate conservatively).
+TableStats ComputeTableStats(const Relation& relation,
+                             size_t max_tracked_distinct = 65536);
+
+/// Lazily computes and caches TableStats for catalog relations during one
+/// optimization pass.
+class StatsCache {
+ public:
+  explicit StatsCache(const RelationProvider* provider)
+      : provider_(provider) {}
+
+  /// Statistics for `name`, or nullptr when the relation is unknown.
+  const TableStats* StatsFor(const std::string& name);
+
+ private:
+  const RelationProvider* provider_;
+  std::map<std::string, TableStats> cache_;
+};
+
+/// Estimated selectivity of a condition (product over its conjuncts),
+/// using fixed heuristics only.
+double EstimateSelectivity(const ExprPtr& condition);
+
+/// Selectivity of a condition over tuples of `schema` drawn from a
+/// relation with the given statistics: equality against a literal uses
+/// 1/distinct, range comparisons interpolate against the column's value
+/// range, everything else falls back to the fixed heuristics.
+double EstimateSelectivityWithStats(const ExprPtr& condition,
+                                    const RelationSchema& schema,
+                                    const TableStats& stats);
+
+/// Estimated total cardinality (counting duplicates) of `plan`.  Relations
+/// missing from `provider` contribute a neutral default rather than an
+/// error, so estimation never fails planning.  With a non-null `cache`,
+/// selections and equi-joins directly over scans use live column
+/// statistics instead of the fixed selectivity constants.
+double EstimateCardinality(const Plan& plan, const RelationProvider& provider,
+                           StatsCache* cache = nullptr);
+
+}  // namespace opt
+}  // namespace mra
+
+#endif  // MRA_OPT_STATS_H_

@@ -1,0 +1,214 @@
+#include "mra/parallel/parallel.h"
+
+#include <thread>
+
+#include "mra/algebra/ops.h"
+#include "mra/common/hash.h"
+#include "mra/exec/operator.h"
+#include "mra/expr/eval.h"
+
+namespace mra {
+namespace parallel {
+
+namespace {
+
+size_t ResolveThreads(const ParallelOptions& options) {
+  if (options.num_threads > 0) return options.num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : hw;
+}
+
+// Runs `fn(i)` for i in [0, n) on n threads, collecting the first error.
+template <typename Fn>
+Status RunWorkers(size_t n, const Fn& fn) {
+  std::vector<Status> statuses(n);
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers.emplace_back([i, &fn, &statuses] { statuses[i] = fn(i); });
+  }
+  for (std::thread& t : workers) t.join();
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+// ⊎-recombination of the fragment results.
+Relation UnionAll(std::vector<Relation> fragments,
+                  const RelationSchema& schema) {
+  Relation out(schema);
+  for (Relation& fragment : fragments) {
+    for (const auto& [tuple, count] : fragment) {
+      out.InsertUnchecked(tuple, count);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Relation> HashPartition(const Relation& input,
+                                    const std::vector<size_t>& key_attrs,
+                                    size_t fragments) {
+  MRA_CHECK_GT(fragments, 0u);
+  std::vector<Relation> out(fragments, Relation(input.schema()));
+  for (const auto& [tuple, count] : input) {
+    size_t h;
+    if (key_attrs.empty()) {
+      h = tuple.Hash();
+    } else {
+      h = Mix64(key_attrs.size());
+      for (size_t k : key_attrs) h = HashCombine(h, tuple.at(k).Hash());
+    }
+    out[h % fragments].InsertUnchecked(tuple, count);
+  }
+  return out;
+}
+
+std::vector<Relation> RoundRobinPartition(const Relation& input,
+                                          size_t fragments) {
+  MRA_CHECK_GT(fragments, 0u);
+  std::vector<Relation> out(fragments, Relation(input.schema()));
+  size_t i = 0;
+  for (const auto& [tuple, count] : input) {
+    out[i++ % fragments].InsertUnchecked(tuple, count);
+  }
+  return out;
+}
+
+Result<Relation> ParallelSelect(const ExprPtr& condition,
+                                const Relation& input,
+                                ParallelOptions options) {
+  MRA_RETURN_IF_ERROR(CheckPredicate(condition, input.schema()));
+  size_t n = ResolveThreads(options);
+  std::vector<Relation> fragments = RoundRobinPartition(input, n);
+  std::vector<Relation> results(n, Relation(input.schema()));
+  MRA_RETURN_IF_ERROR(RunWorkers(n, [&](size_t i) -> Status {
+    MRA_ASSIGN_OR_RETURN(results[i], ops::Select(condition, fragments[i]));
+    return Status::OK();
+  }));
+  return UnionAll(std::move(results), input.schema());
+}
+
+Result<Relation> ParallelProject(const std::vector<ExprPtr>& exprs,
+                                 const Relation& input,
+                                 ParallelOptions options) {
+  MRA_ASSIGN_OR_RETURN(RelationSchema schema,
+                       InferProjectionSchema(exprs, input.schema()));
+  size_t n = ResolveThreads(options);
+  std::vector<Relation> fragments = RoundRobinPartition(input, n);
+  std::vector<Relation> results(n, Relation(schema));
+  MRA_RETURN_IF_ERROR(RunWorkers(n, [&](size_t i) -> Status {
+    MRA_ASSIGN_OR_RETURN(results[i], ops::Project(exprs, fragments[i]));
+    return Status::OK();
+  }));
+  return UnionAll(std::move(results), schema);
+}
+
+Result<Relation> ParallelEquiJoin(const std::vector<size_t>& left_keys,
+                                  const std::vector<size_t>& right_keys,
+                                  const ExprPtr& residual_or_null,
+                                  const Relation& left, const Relation& right,
+                                  ParallelOptions options) {
+  if (left_keys.empty() || left_keys.size() != right_keys.size()) {
+    return Status::InvalidArgument(
+        "parallel equi-join needs matching, non-empty key lists");
+  }
+  for (size_t i = 0; i < left_keys.size(); ++i) {
+    if (left_keys[i] >= left.schema().arity() ||
+        right_keys[i] >= right.schema().arity()) {
+      return Status::InvalidArgument("join key attribute out of range");
+    }
+    if (left.schema().TypeOf(left_keys[i]) !=
+        right.schema().TypeOf(right_keys[i])) {
+      return Status::TypeError(
+          "parallel equi-join keys must share one domain");
+    }
+  }
+  if (residual_or_null != nullptr) {
+    MRA_RETURN_IF_ERROR(CheckPredicate(
+        residual_or_null, left.schema().Concat(right.schema())));
+  }
+  size_t n = ResolveThreads(options);
+  // Co-partition: equal key values hash to the same fragment on each side,
+  // so fragment i of the join is exactly left_i ⋈ right_i; each fragment
+  // joins hash-based (as PRISMA's local operators would).
+  std::vector<Relation> left_fragments = HashPartition(left, left_keys, n);
+  std::vector<Relation> right_fragments = HashPartition(right, right_keys, n);
+  RelationSchema joined = left.schema().Concat(right.schema());
+  std::vector<Relation> results(n, Relation(joined));
+  MRA_RETURN_IF_ERROR(RunWorkers(n, [&](size_t i) -> Status {
+    exec::HashJoinOp join(
+        left_keys, right_keys, residual_or_null,
+        std::make_unique<exec::ScanOp>(&left_fragments[i]),
+        std::make_unique<exec::ScanOp>(&right_fragments[i]));
+    MRA_ASSIGN_OR_RETURN(results[i], exec::ExecuteToRelation(join));
+    return Status::OK();
+  }));
+  return UnionAll(std::move(results), joined);
+}
+
+Result<Relation> ParallelGroupBy(const std::vector<size_t>& keys,
+                                 const std::vector<AggSpec>& aggs,
+                                 const Relation& input,
+                                 ParallelOptions options) {
+  MRA_ASSIGN_OR_RETURN(RelationSchema out_schema,
+                       ops::GroupBySchema(keys, aggs, input.schema()));
+  size_t n = ResolveThreads(options);
+
+  if (!keys.empty()) {
+    // Partition by the grouping keys: every group lives wholly in one
+    // fragment, so the fragment results just concatenate.
+    std::vector<Relation> fragments = HashPartition(input, keys, n);
+    std::vector<Relation> results(n, Relation(out_schema));
+    MRA_RETURN_IF_ERROR(RunWorkers(n, [&](size_t i) -> Status {
+      if (fragments[i].empty()) {
+        results[i] = Relation(out_schema);
+        return Status::OK();
+      }
+      MRA_ASSIGN_OR_RETURN(results[i], ops::GroupBy(keys, aggs, fragments[i]));
+      return Status::OK();
+    }));
+    return UnionAll(std::move(results), out_schema);
+  }
+
+  // Key-free (single global row): two-phase aggregation — per-fragment
+  // partial accumulators, merged sequentially at the end.
+  std::vector<Relation> fragments = RoundRobinPartition(input, n);
+  std::vector<std::vector<AggAccumulator>> partials;
+  partials.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<AggAccumulator> accs;
+    accs.reserve(aggs.size());
+    for (const AggSpec& agg : aggs) {
+      accs.emplace_back(agg.kind, input.schema().TypeOf(agg.attr));
+    }
+    partials.push_back(std::move(accs));
+  }
+  MRA_RETURN_IF_ERROR(RunWorkers(n, [&](size_t i) -> Status {
+    for (const auto& [tuple, count] : fragments[i]) {
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        partials[i][a].Add(tuple.at(aggs[a].attr), count);
+      }
+    }
+    return Status::OK();
+  }));
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      partials[0][a].Merge(partials[i][a]);
+    }
+  }
+  Relation out(out_schema);
+  std::vector<Value> values;
+  values.reserve(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    MRA_ASSIGN_OR_RETURN(Value v, partials[0][a].Finish());
+    values.push_back(std::move(v));
+  }
+  out.InsertUnchecked(Tuple(std::move(values)), 1);
+  return out;
+}
+
+}  // namespace parallel
+}  // namespace mra

@@ -1,0 +1,83 @@
+// Parallel data processing — the PRISMA/DB direction §5 points at: "the
+// language has been extended with special operators to support parallel
+// data processing.  This demonstrates that extensions are well possible,
+// without violating the well-structuredness of the language."
+//
+// The operators here are the shared-memory analogues of PRISMA's
+// fragmentation operators:
+//
+//  * HashPartition      — splits a multi-set into disjoint fragments by a
+//                         hash of key attributes (counts preserved);
+//  * ParallelSelect     — fragments round-robin, filters on worker threads,
+//                         reunites with ⊎;
+//  * ParallelJoin       — partitions both inputs by the equi-join keys so
+//                         matching tuples land in the same fragment, joins
+//                         fragments in parallel, reunites;
+//  * ParallelGroupBy    — partitions by the grouping keys (groups are
+//                         whole per fragment), aggregates in parallel;
+//                         with no keys, runs two-phase: per-fragment
+//                         partial accumulators merged at the end.
+//
+// Every operator is provably a ⊎-recombination of the sequential operator
+// over a partition of its input(s), so the multi-set semantics is exactly
+// that of the corresponding mra/algebra operator — which the tests assert.
+
+#ifndef MRA_PARALLEL_PARALLEL_H_
+#define MRA_PARALLEL_PARALLEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "mra/algebra/aggregate.h"
+#include "mra/core/relation.h"
+#include "mra/expr/scalar_expr.h"
+
+namespace mra {
+namespace parallel {
+
+struct ParallelOptions {
+  /// Worker threads (and fragments).  0 means hardware concurrency.
+  size_t num_threads = 0;
+};
+
+/// Splits `input` into `fragments` disjoint relations: tuple x goes to
+/// fragment hash(x[key_attrs]) mod fragments, keeping its multiplicity.
+/// With empty `key_attrs` the whole tuple is the key.
+std::vector<Relation> HashPartition(const Relation& input,
+                                    const std::vector<size_t>& key_attrs,
+                                    size_t fragments);
+
+/// Splits `input` into `fragments` relations of roughly equal distinct
+/// size, irrespective of values (for key-free parallelism).
+std::vector<Relation> RoundRobinPartition(const Relation& input,
+                                          size_t fragments);
+
+/// σ_φ in parallel.  Result ≡ ops::Select(condition, input).
+Result<Relation> ParallelSelect(const ExprPtr& condition,
+                                const Relation& input,
+                                ParallelOptions options = {});
+
+/// π_α in parallel.  Result ≡ ops::Project(exprs, input).
+Result<Relation> ParallelProject(const std::vector<ExprPtr>& exprs,
+                                 const Relation& input,
+                                 ParallelOptions options = {});
+
+/// Equi-join in parallel: `left_keys[i]` pairs with `right_keys[i]`;
+/// `residual_or_null` applies to the concatenated tuple.  Result ≡
+/// ops::Join of the conjunction.  Key lists must be non-empty.
+Result<Relation> ParallelEquiJoin(const std::vector<size_t>& left_keys,
+                                  const std::vector<size_t>& right_keys,
+                                  const ExprPtr& residual_or_null,
+                                  const Relation& left, const Relation& right,
+                                  ParallelOptions options = {});
+
+/// Γ in parallel.  Result ≡ ops::GroupBy(keys, aggs, input).
+Result<Relation> ParallelGroupBy(const std::vector<size_t>& keys,
+                                 const std::vector<AggSpec>& aggs,
+                                 const Relation& input,
+                                 ParallelOptions options = {});
+
+}  // namespace parallel
+}  // namespace mra
+
+#endif  // MRA_PARALLEL_PARALLEL_H_

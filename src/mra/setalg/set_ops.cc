@@ -1,0 +1,65 @@
+#include "mra/setalg/set_ops.h"
+
+#include "mra/algebra/ops.h"
+
+namespace mra {
+namespace setalg {
+
+Result<Relation> ToSet(const Relation& input) { return ops::Unique(input); }
+
+Result<Relation> Union(const Relation& left, const Relation& right) {
+  MRA_ASSIGN_OR_RETURN(Relation bag, ops::Union(left, right));
+  return ops::Unique(bag);
+}
+
+Result<Relation> Difference(const Relation& left, const Relation& right) {
+  if (!left.schema().CompatibleWith(right.schema())) {
+    return Status::InvalidArgument(
+        "set difference requires operands of one schema");
+  }
+  Relation out(left.schema());
+  for (const auto& [tuple, count] : left) {
+    (void)count;
+    if (!right.Contains(tuple)) out.InsertUnchecked(tuple, 1);
+  }
+  return out;
+}
+
+Result<Relation> Intersect(const Relation& left, const Relation& right) {
+  MRA_ASSIGN_OR_RETURN(Relation bag, ops::Intersect(left, right));
+  return ops::Unique(bag);
+}
+
+Result<Relation> Product(const Relation& left, const Relation& right) {
+  MRA_ASSIGN_OR_RETURN(Relation ls, ToSet(left));
+  MRA_ASSIGN_OR_RETURN(Relation rs, ToSet(right));
+  return ops::Product(ls, rs);
+}
+
+Result<Relation> Select(const ExprPtr& condition, const Relation& input) {
+  MRA_ASSIGN_OR_RETURN(Relation set, ToSet(input));
+  return ops::Select(condition, set);
+}
+
+Result<Relation> Project(const std::vector<ExprPtr>& exprs,
+                         const Relation& input) {
+  MRA_ASSIGN_OR_RETURN(Relation bag, ops::Project(exprs, input));
+  return ops::Unique(bag);
+}
+
+Result<Relation> Join(const ExprPtr& condition, const Relation& left,
+                      const Relation& right) {
+  MRA_ASSIGN_OR_RETURN(Relation ls, ToSet(left));
+  MRA_ASSIGN_OR_RETURN(Relation rs, ToSet(right));
+  return ops::Join(condition, ls, rs);
+}
+
+Result<Relation> GroupBy(const std::vector<size_t>& keys,
+                         const std::vector<AggSpec>& aggs,
+                         const Relation& input) {
+  MRA_ASSIGN_OR_RETURN(Relation set, ToSet(input));
+  return ops::GroupBy(keys, aggs, set);
+}
+
+}  // namespace setalg
+}  // namespace mra

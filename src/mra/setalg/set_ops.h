@@ -1,0 +1,65 @@
+// The baseline comparator: the classical *set*-semantics relational algebra.
+//
+// The paper's introduction motivates bag semantics with two observations:
+// (1) set semantics forces duplicate elimination inside operators, which is
+// expensive (claim C1 in DESIGN.md), and (2) set semantics silently breaks
+// aggregate queries when a projection is inserted to shrink intermediate
+// results (Example 3.2).  This module implements a faithful set-based
+// algebra — every operator's output is duplicate-free — so tests and
+// benchmarks can demonstrate both effects against the multi-set operators
+// of mra/algebra/ops.h.
+//
+// All relations returned here are sets (every multiplicity is 1).  Inputs
+// are interpreted set-wise: a tuple is "in" an operand iff its multiplicity
+// is positive.
+
+#ifndef MRA_SETALG_SET_OPS_H_
+#define MRA_SETALG_SET_OPS_H_
+
+#include <vector>
+
+#include "mra/algebra/aggregate.h"
+#include "mra/core/relation.h"
+#include "mra/expr/scalar_expr.h"
+
+namespace mra {
+namespace setalg {
+
+/// δE — the set interpretation of a (possibly duplicate-carrying) relation.
+Result<Relation> ToSet(const Relation& input);
+
+/// E1 ∪ E2 (set union).
+Result<Relation> Union(const Relation& left, const Relation& right);
+
+/// E1 − E2 (set difference: membership, not multiplicity subtraction).
+Result<Relation> Difference(const Relation& left, const Relation& right);
+
+/// E1 ∩ E2 (set intersection).
+Result<Relation> Intersect(const Relation& left, const Relation& right);
+
+/// E1 × E2 (set product of the supports).
+Result<Relation> Product(const Relation& left, const Relation& right);
+
+/// σ_φ E over the support.
+Result<Relation> Select(const ExprPtr& condition, const Relation& input);
+
+/// π_α E with duplicate elimination — the classical projection, and the
+/// operator whose hidden δ both costs time (C1) and breaks Example 3.2.
+Result<Relation> Project(const std::vector<ExprPtr>& exprs,
+                         const Relation& input);
+
+/// E1 ⋈_φ E2 over the supports.
+Result<Relation> Join(const ExprPtr& condition, const Relation& left,
+                      const Relation& right);
+
+/// Γ_{α,f,p} over the support: aggregates see each distinct tuple once —
+/// which is precisely why set semantics yields incorrect aggregates after a
+/// duplicate-removing projection (Example 3.2).
+Result<Relation> GroupBy(const std::vector<size_t>& keys,
+                         const std::vector<AggSpec>& aggs,
+                         const Relation& input);
+
+}  // namespace setalg
+}  // namespace mra
+
+#endif  // MRA_SETALG_SET_OPS_H_

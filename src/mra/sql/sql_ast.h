@@ -1,0 +1,117 @@
+// Abstract syntax for the SQL subset the paper positions the algebra as a
+// formal background for (§1, §5; Examples 3.2 and 4.1 give the SQL forms):
+// SELECT [DISTINCT] … FROM … WHERE … GROUP BY …, INSERT INTO … VALUES,
+// UPDATE … SET … WHERE, DELETE FROM … WHERE, CREATE TABLE, DROP TABLE and
+// BEGIN/COMMIT/ROLLBACK.
+//
+// SQL scalar expressions carry *named* column references; the translator
+// (translator.h) resolves them to positional %i references over the FROM
+// product schema, exactly in the spirit of the paper's translation.
+
+#ifndef MRA_SQL_SQL_AST_H_
+#define MRA_SQL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "mra/algebra/aggregate.h"
+#include "mra/core/schema.h"
+#include "mra/core/value.h"
+#include "mra/expr/scalar_expr.h"
+
+namespace mra {
+namespace sql {
+
+struct SqlExpr;
+using SqlExprPtr = std::shared_ptr<const SqlExpr>;
+
+/// A (possibly qualified) column reference: [table.]column.
+struct ColumnRef {
+  std::string table;  // empty when unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// SQL scalar expression.  Aggregate calls (kAggregate) are only legal in
+/// select lists and HAVING clauses; the translator rejects them elsewhere.
+struct SqlExpr {
+  enum class Kind : uint8_t { kColumn, kLiteral, kUnary, kBinary, kAggregate };
+
+  Kind kind;
+  ColumnRef column;          // kColumn
+  Value literal;             // kLiteral
+  UnaryOp unary_op{};        // kUnary
+  BinaryOp binary_op{};      // kBinary
+  SqlExprPtr lhs, rhs;       // kUnary/kAggregate use lhs only
+  AggKind agg{};             // kAggregate; lhs null means COUNT(*)
+
+  std::string ToString() const;
+};
+
+SqlExprPtr SqlColumn(ColumnRef ref);
+SqlExprPtr SqlLiteral(Value v);
+SqlExprPtr SqlUnary(UnaryOp op, SqlExprPtr operand);
+SqlExprPtr SqlBinary(BinaryOp op, SqlExprPtr lhs, SqlExprPtr rhs);
+SqlExprPtr SqlAggregate(AggKind agg, SqlExprPtr arg_or_null);
+
+/// One item of a select list.
+struct SelectItem {
+  enum class Kind : uint8_t { kStar, kExpr, kAggregate };
+
+  Kind kind;
+  SqlExprPtr expr;            // kExpr; kAggregate argument (null for COUNT(*))
+  AggKind agg{};              // kAggregate
+  std::string alias;          // AS name (optional)
+
+  std::string ToString() const;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<std::string> tables;  // FROM t1, t2, …
+  SqlExprPtr where;                 // nullable
+  std::vector<ColumnRef> group_by;
+  SqlExprPtr having;                // nullable; may contain aggregates
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<Value>> rows;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, SqlExprPtr>> assignments;
+  SqlExprPtr where;  // nullable
+};
+
+struct DeleteStmt {
+  std::string table;
+  SqlExprPtr where;  // nullable
+};
+
+struct CreateTableStmt {
+  RelationSchema schema;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+enum class TxnControl : uint8_t { kBegin, kCommit, kRollback };
+
+using SqlStatement =
+    std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
+                 CreateTableStmt, DropTableStmt, TxnControl>;
+
+}  // namespace sql
+}  // namespace mra
+
+#endif  // MRA_SQL_SQL_AST_H_

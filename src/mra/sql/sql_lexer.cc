@@ -1,0 +1,193 @@
+#include "mra/sql/sql_lexer.h"
+
+#include <cctype>
+
+namespace mra {
+namespace sql {
+
+std::string SqlToken::Describe() const {
+  switch (kind) {
+    case SqlTokenKind::kEnd:
+      return "end of input";
+    case SqlTokenKind::kIdentifier:
+      return "'" + text + "'";
+    case SqlTokenKind::kIntLit:
+    case SqlTokenKind::kRealLit:
+      return "number '" + text + "'";
+    case SqlTokenKind::kStringLit:
+      return "string '" + text + "'";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+Result<std::vector<SqlToken>> SqlTokenize(std::string_view source) {
+  std::vector<SqlToken> tokens;
+  size_t pos = 0;
+  int line = 1;
+
+  auto peek = [&](size_t ahead = 0) -> char {
+    return pos + ahead < source.size() ? source[pos + ahead] : '\0';
+  };
+  auto advance = [&]() -> char {
+    char c = source[pos++];
+    if (c == '\n') ++line;
+    return c;
+  };
+  auto make = [&](SqlTokenKind kind, std::string text) {
+    SqlToken t;
+    t.kind = kind;
+    t.upper = text;
+    for (char& c : t.upper) c = static_cast<char>(std::toupper(c));
+    t.text = std::move(text);
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (pos < source.size()) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '-' && peek(1) == '-') {
+      while (pos < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        word.push_back(advance());
+      }
+      make(SqlTokenKind::kIdentifier, std::move(word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      bool real = false;
+      while (pos < source.size() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits.push_back(advance());
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        real = true;
+        digits.push_back(advance());
+        while (pos < source.size() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          digits.push_back(advance());
+        }
+      }
+      make(real ? SqlTokenKind::kRealLit : SqlTokenKind::kIntLit,
+           std::move(digits));
+      continue;
+    }
+    if (c == '\'') {
+      advance();
+      std::string body;
+      while (true) {
+        if (pos >= source.size()) {
+          return Status::ParseError("unterminated SQL string at line " +
+                                    std::to_string(line));
+        }
+        char ch = advance();
+        if (ch == '\'') {
+          if (peek() == '\'') {
+            body.push_back(advance());
+            continue;
+          }
+          break;
+        }
+        body.push_back(ch);
+      }
+      make(SqlTokenKind::kStringLit, std::move(body));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        advance();
+        make(SqlTokenKind::kLParen, "(");
+        break;
+      case ')':
+        advance();
+        make(SqlTokenKind::kRParen, ")");
+        break;
+      case ',':
+        advance();
+        make(SqlTokenKind::kComma, ",");
+        break;
+      case ';':
+        advance();
+        make(SqlTokenKind::kSemicolon, ";");
+        break;
+      case '.':
+        advance();
+        make(SqlTokenKind::kDot, ".");
+        break;
+      case '*':
+        advance();
+        make(SqlTokenKind::kStar, "*");
+        break;
+      case '=':
+        advance();
+        make(SqlTokenKind::kEq, "=");
+        break;
+      case '<':
+        advance();
+        if (peek() == '>') {
+          advance();
+          make(SqlTokenKind::kNe, "<>");
+        } else if (peek() == '=') {
+          advance();
+          make(SqlTokenKind::kLe, "<=");
+        } else {
+          make(SqlTokenKind::kLt, "<");
+        }
+        break;
+      case '>':
+        advance();
+        if (peek() == '=') {
+          advance();
+          make(SqlTokenKind::kGe, ">=");
+        } else {
+          make(SqlTokenKind::kGt, ">");
+        }
+        break;
+      case '!':
+        advance();
+        if (peek() == '=') {
+          advance();
+          make(SqlTokenKind::kNe, "!=");
+        } else {
+          return Status::ParseError("unexpected '!' at line " +
+                                    std::to_string(line));
+        }
+        break;
+      case '+':
+        advance();
+        make(SqlTokenKind::kPlus, "+");
+        break;
+      case '-':
+        advance();
+        make(SqlTokenKind::kMinus, "-");
+        break;
+      case '/':
+        advance();
+        make(SqlTokenKind::kSlash, "/");
+        break;
+      case '%':
+        advance();
+        make(SqlTokenKind::kPercent, "%");
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line));
+    }
+  }
+  make(SqlTokenKind::kEnd, "");
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace mra

@@ -1,0 +1,56 @@
+// Lexer for the SQL subset.  Keywords are case-insensitive; identifiers
+// keep their case.  Strings use single quotes with '' escaping; `--`
+// comments run to the end of the line.
+
+#ifndef MRA_SQL_SQL_LEXER_H_
+#define MRA_SQL_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mra/common/result.h"
+
+namespace mra {
+namespace sql {
+
+enum class SqlTokenKind : uint8_t {
+  kEnd,
+  kIdentifier,  // raw identifiers AND keywords (text is upper-cased for
+                // keywords lookup by the parser via `upper`)
+  kIntLit,
+  kRealLit,
+  kStringLit,
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+};
+
+struct SqlToken {
+  SqlTokenKind kind = SqlTokenKind::kEnd;
+  std::string text;   // original spelling
+  std::string upper;  // upper-cased spelling (keyword matching)
+  int line = 0;
+
+  std::string Describe() const;
+};
+
+Result<std::vector<SqlToken>> SqlTokenize(std::string_view source);
+
+}  // namespace sql
+}  // namespace mra
+
+#endif  // MRA_SQL_SQL_LEXER_H_

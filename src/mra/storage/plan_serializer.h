@@ -1,0 +1,37 @@
+// Binary serialization of scalar expressions and logical plans.  Used to
+// persist integrity constraints (their violation queries are plans) in the
+// WAL and checkpoint; also usable for shipping plans between processes.
+//
+// Decoding rebuilds plans through the Plan builder functions, so every
+// decoded plan is re-type-checked; corrupt or inconsistent bytes surface
+// as Corruption/TypeError rather than invalid plans.
+
+#ifndef MRA_STORAGE_PLAN_SERIALIZER_H_
+#define MRA_STORAGE_PLAN_SERIALIZER_H_
+
+#include "mra/algebra/plan.h"
+#include "mra/storage/serializer.h"
+
+namespace mra {
+namespace storage {
+
+/// Appends an encoded expression tree.
+void EncodeExpr(Encoder* encoder, const ScalarExpr& expr);
+
+/// Decodes one expression tree.
+Result<ExprPtr> DecodeExpr(Decoder* decoder);
+
+/// Appends an encoded logical plan.
+void EncodePlan(Encoder* encoder, const Plan& plan);
+
+/// Decodes one logical plan, re-validating every node.
+Result<PlanPtr> DecodePlan(Decoder* decoder);
+
+/// Convenience: plan → bytes and back.
+std::string EncodePlanToString(const Plan& plan);
+Result<PlanPtr> DecodePlanFromString(std::string_view data);
+
+}  // namespace storage
+}  // namespace mra
+
+#endif  // MRA_STORAGE_PLAN_SERIALIZER_H_

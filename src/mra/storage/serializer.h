@@ -1,0 +1,83 @@
+// Binary serialization of values, tuples, schemas, relations and whole
+// database states.  Fixed-width little-endian encoding with length-prefixed
+// strings; used by the write-ahead log and checkpoint files.
+
+#ifndef MRA_STORAGE_SERIALIZER_H_
+#define MRA_STORAGE_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "mra/common/result.h"
+#include "mra/core/relation.h"
+
+namespace mra {
+
+class Catalog;
+
+namespace storage {
+
+/// Appends encoded data to an owned byte buffer.
+class Encoder {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view v);
+
+  void PutValue(const Value& v);
+  void PutTuple(const Tuple& t);
+  void PutSchema(const RelationSchema& s);
+  /// Schema + (tuple, multiplicity) pairs, deterministic order.
+  void PutRelation(const Relation& r);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Reads encoded data from a borrowed byte range.  All getters return
+/// Corruption on underflow or malformed content.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+
+  Result<Value> GetValue();
+  Result<Tuple> GetTuple();
+  Result<RelationSchema> GetSchema();
+  Result<Relation> GetRelation();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial) of `data` — frames WAL records.
+uint32_t Crc32(std::string_view data);
+
+/// Serializes a full database state (all relations + logical time).
+std::string EncodeCatalog(const Catalog& catalog);
+/// Inverse of EncodeCatalog.
+Result<Catalog> DecodeCatalog(std::string_view data);
+
+}  // namespace storage
+}  // namespace mra
+
+#endif  // MRA_STORAGE_SERIALIZER_H_

@@ -1,0 +1,153 @@
+#include "mra/storage/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "mra/storage/serializer.h"
+
+namespace mra {
+namespace storage {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x4d524157;  // "WARM" little-endian.
+constexpr size_t kHeaderSize = 12;
+
+std::string EncodeU32(uint32_t v) {
+  std::string out(4, '\0');
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  return out;
+}
+
+uint32_t DecodeU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() { Close(); }
+
+WalWriter::WalWriter(WalWriter&& other) noexcept : file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  WalWriter writer;
+  writer.file_ = f;
+  return writer;
+}
+
+Status WalWriter::Append(std::string_view payload, bool sync) {
+  if (file_ == nullptr) return Status::IoError("WAL is closed");
+  std::string frame = EncodeU32(kFrameMagic);
+  frame += EncodeU32(static_cast<uint32_t>(payload.size()));
+  frame += EncodeU32(Crc32(payload));
+  frame.append(payload.data(), payload.size());
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IoError("short write to WAL");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("cannot flush WAL");
+  }
+  if (sync) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::IoError("WAL is closed");
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IoError(std::string("fsync failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  WalReadResult result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return result;  // No log yet: empty history.
+
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IoError("cannot read WAL " + path);
+
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    if (pos + kHeaderSize > contents.size()) {
+      result.torn_tail = true;  // Incomplete header at EOF.
+      return result;
+    }
+    uint32_t magic = DecodeU32(contents.data() + pos);
+    if (magic != kFrameMagic) {
+      return Status::Corruption("bad WAL frame magic at offset " +
+                                std::to_string(pos));
+    }
+    uint32_t len = DecodeU32(contents.data() + pos + 4);
+    uint32_t crc = DecodeU32(contents.data() + pos + 8);
+    if (pos + kHeaderSize + len > contents.size()) {
+      result.torn_tail = true;  // Incomplete payload at EOF.
+      return result;
+    }
+    std::string_view payload(contents.data() + pos + kHeaderSize, len);
+    if (Crc32(payload) != crc) {
+      // A bad CRC on the final record is a torn tail; earlier it is real
+      // corruption.
+      if (pos + kHeaderSize + len == contents.size()) {
+        result.torn_tail = true;
+        return result;
+      }
+      return Status::Corruption("WAL CRC mismatch at offset " +
+                                std::to_string(pos));
+    }
+    result.records.emplace_back(payload);
+    pos += kHeaderSize + len;
+  }
+  return result;
+}
+
+Status TruncateWal(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, 0, ec);
+  if (ec && ec != std::errc::no_such_file_or_directory) {
+    return Status::IoError("cannot truncate WAL " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace mra

@@ -1,0 +1,68 @@
+// Write-ahead log: an append-only file of CRC-framed records providing the
+// durability half of the paper's transaction model (§4.3).  Each committed
+// transaction appends one record before its effects are considered durable;
+// recovery replays intact records and tolerates a torn tail (a partially
+// written final record), reporting corruption anywhere else.
+//
+// Frame layout: [u32 magic][u32 payload_len][u32 crc32(payload)][payload].
+
+#ifndef MRA_STORAGE_WAL_H_
+#define MRA_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mra/common/result.h"
+
+namespace mra {
+namespace storage {
+
+/// Appends framed records to a log file.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating if needed) `path` for appending.
+  static Result<WalWriter> Open(const std::string& path);
+
+  /// Appends one framed record and flushes it to the OS.  When `sync` is
+  /// true the record is also fsync'ed to stable storage before returning.
+  Status Append(std::string_view payload, bool sync);
+
+  /// fsync the file.
+  Status Sync();
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Outcome of reading a log.
+struct WalReadResult {
+  std::vector<std::string> records;
+  /// True when the file ended with a partially written record, which
+  /// recovery discards (the transaction never acknowledged its commit).
+  bool torn_tail = false;
+};
+
+/// Reads all intact records of the log at `path`.  A missing file yields an
+/// empty result.  A malformed frame that is not a clean torn tail (e.g. a
+/// CRC mismatch followed by further data) returns Corruption.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+/// Truncates the log to empty (after a checkpoint).
+Status TruncateWal(const std::string& path);
+
+}  // namespace storage
+}  // namespace mra
+
+#endif  // MRA_STORAGE_WAL_H_

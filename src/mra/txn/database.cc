@@ -1,0 +1,329 @@
+#include "mra/txn/database.h"
+
+#include <filesystem>
+
+#include "mra/storage/plan_serializer.h"
+#include "mra/storage/serializer.h"
+#include "mra/txn/transaction.h"
+
+namespace mra {
+
+namespace {
+
+// WAL record kinds.
+constexpr uint8_t kRecCommit = 1;
+constexpr uint8_t kRecCreateRelation = 2;
+constexpr uint8_t kRecDropRelation = 3;
+constexpr uint8_t kRecAddConstraint = 4;
+constexpr uint8_t kRecDropConstraint = 5;
+
+constexpr char kWalFile[] = "wal.log";
+constexpr char kCheckpointFile[] = "checkpoint.mra";
+
+Result<std::string> ReadFileContents(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no file " + path);
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::IoError("cannot read " + path);
+  return contents;
+}
+
+Status WriteFileAtomically(const std::string& path,
+                           const std::string& contents) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot create " + tmp);
+  bool ok = std::fwrite(contents.data(), 1, contents.size(), f) ==
+            contents.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return Status::IoError("cannot write " + tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::IoError("cannot install " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Database::wal_path() const {
+  return options_.directory + "/" + kWalFile;
+}
+
+std::string Database::checkpoint_path() const {
+  return options_.directory + "/" + kCheckpointFile;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->options_ = std::move(options);
+  if (db->durable()) {
+    std::error_code ec;
+    std::filesystem::create_directories(db->options_.directory, ec);
+    if (ec) {
+      return Status::IoError("cannot create database directory: " +
+                             ec.message());
+    }
+    MRA_RETURN_IF_ERROR(db->Recover());
+    MRA_ASSIGN_OR_RETURN(db->wal_, storage::WalWriter::Open(db->wal_path()));
+  }
+  return db;
+}
+
+Database::~Database() = default;
+
+Status Database::Recover() {
+  // 1. Load the newest checkpoint, if any (catalog image + constraints).
+  Result<std::string> image = ReadFileContents(checkpoint_path());
+  if (image.ok()) {
+    storage::Decoder dec(*image);
+    MRA_ASSIGN_OR_RETURN(std::string catalog_bytes, dec.GetString());
+    MRA_ASSIGN_OR_RETURN(catalog_, storage::DecodeCatalog(catalog_bytes));
+    MRA_ASSIGN_OR_RETURN(uint32_t n_constraints, dec.GetU32());
+    for (uint32_t i = 0; i < n_constraints; ++i) {
+      MRA_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+      MRA_ASSIGN_OR_RETURN(PlanPtr plan, storage::DecodePlan(&dec));
+      constraints_.emplace(std::move(name), std::move(plan));
+    }
+    if (!dec.AtEnd()) {
+      return Status::Corruption("trailing bytes in checkpoint image");
+    }
+  } else if (image.status().code() != StatusCode::kNotFound) {
+    return image.status();
+  }
+
+  // 2. Replay intact WAL records.
+  MRA_ASSIGN_OR_RETURN(storage::WalReadResult wal, storage::ReadWal(wal_path()));
+  for (const std::string& record : wal.records) {
+    storage::Decoder dec(record);
+    MRA_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+    switch (kind) {
+      case kRecCreateRelation: {
+        MRA_ASSIGN_OR_RETURN(RelationSchema schema, dec.GetSchema());
+        MRA_RETURN_IF_ERROR(catalog_.CreateRelation(std::move(schema)));
+        break;
+      }
+      case kRecDropRelation: {
+        MRA_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+        MRA_RETURN_IF_ERROR(catalog_.DropRelation(name));
+        break;
+      }
+      case kRecAddConstraint: {
+        MRA_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+        MRA_ASSIGN_OR_RETURN(PlanPtr plan, storage::DecodePlan(&dec));
+        constraints_.emplace(std::move(name), std::move(plan));
+        break;
+      }
+      case kRecDropConstraint: {
+        MRA_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+        if (constraints_.erase(name) == 0) {
+          return Status::Corruption("WAL drops unknown constraint " + name);
+        }
+        break;
+      }
+      case kRecCommit: {
+        MRA_ASSIGN_OR_RETURN(uint64_t txn_id, dec.GetU64());
+        MRA_ASSIGN_OR_RETURN(uint64_t time, dec.GetU64());
+        MRA_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+        for (uint32_t i = 0; i < n; ++i) {
+          MRA_ASSIGN_OR_RETURN(Relation rel, dec.GetRelation());
+          std::string name = rel.schema().name();
+          MRA_RETURN_IF_ERROR(catalog_.SetRelation(name, std::move(rel)));
+        }
+        catalog_.set_logical_time(time);
+        next_txn_id_ = std::max(next_txn_id_, txn_id + 1);
+        break;
+      }
+      default:
+        return Status::Corruption("unknown WAL record kind " +
+                                  std::to_string(kind));
+    }
+    if (!dec.AtEnd()) {
+      return Status::Corruption("trailing bytes in WAL record");
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::CreateRelation(RelationSchema schema) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (txn_active_) {
+    return Status::TxnError(
+        "DDL is not allowed inside a transaction bracket");
+  }
+  MRA_RETURN_IF_ERROR(catalog_.CreateRelation(schema));
+  if (durable()) {
+    Status s = AppendDdlRecord(kRecCreateRelation, schema, schema.name());
+    if (!s.ok()) {
+      // Keep memory and log consistent on failure.
+      (void)catalog_.DropRelation(schema.name());
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::DropRelation(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (txn_active_) {
+    return Status::TxnError(
+        "DDL is not allowed inside a transaction bracket");
+  }
+  MRA_ASSIGN_OR_RETURN(const Relation* existing, catalog_.GetRelation(name));
+  Relation saved = *existing;
+  MRA_RETURN_IF_ERROR(catalog_.DropRelation(name));
+  if (durable()) {
+    Status s = AppendDdlRecord(kRecDropRelation, RelationSchema{}, name);
+    if (!s.ok()) {
+      RelationSchema schema = saved.schema();
+      (void)catalog_.CreateRelation(schema);
+      (void)catalog_.SetRelation(name, std::move(saved));
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::AppendDdlRecord(uint8_t kind, const RelationSchema& schema,
+                                 const std::string& name) {
+  storage::Encoder enc;
+  enc.PutU8(kind);
+  if (kind == kRecCreateRelation) {
+    enc.PutSchema(schema);
+  } else {
+    enc.PutString(name);
+  }
+  return wal_.Append(enc.buffer(), options_.sync_commits);
+}
+
+Status Database::AddConstraint(const std::string& name,
+                               PlanPtr violation_query) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (txn_active_) {
+    return Status::TxnError(
+        "constraints cannot be registered inside a transaction bracket");
+  }
+  if (name.empty() || violation_query == nullptr) {
+    return Status::InvalidArgument("constraint needs a name and a query");
+  }
+  if (constraints_.count(name) > 0) {
+    return Status::AlreadyExists("constraint " + name + " already exists");
+  }
+  // The current state must already satisfy the constraint.
+  MRA_ASSIGN_OR_RETURN(Relation violations,
+                       EvaluatePlan(*violation_query, catalog_));
+  if (!violations.empty()) {
+    return Status::ConstraintViolation(
+        "constraint " + name + " is violated by the current state (e.g. " +
+        violations.begin()->first.ToString() + ")");
+  }
+  if (durable()) {
+    storage::Encoder enc;
+    enc.PutU8(kRecAddConstraint);
+    enc.PutString(name);
+    storage::EncodePlan(&enc, *violation_query);
+    MRA_RETURN_IF_ERROR(wal_.Append(enc.buffer(), options_.sync_commits));
+  }
+  constraints_.emplace(name, std::move(violation_query));
+  return Status::OK();
+}
+
+Status Database::DropConstraint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (txn_active_) {
+    return Status::TxnError(
+        "constraints cannot be dropped inside a transaction bracket");
+  }
+  if (constraints_.count(name) == 0) {
+    return Status::NotFound("no constraint named " + name);
+  }
+  if (durable()) {
+    storage::Encoder enc;
+    enc.PutU8(kRecDropConstraint);
+    enc.PutString(name);
+    MRA_RETURN_IF_ERROR(wal_.Append(enc.buffer(), options_.sync_commits));
+  }
+  constraints_.erase(name);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::ConstraintNames() const {
+  std::vector<std::string> names;
+  names.reserve(constraints_.size());
+  for (const auto& [name, plan] : constraints_) names.push_back(name);
+  return names;
+}
+
+Status Database::CheckConstraints(const RelationProvider& view) const {
+  for (const auto& [name, plan] : constraints_) {
+    MRA_ASSIGN_OR_RETURN(Relation violations, EvaluatePlan(*plan, view));
+    if (!violations.empty()) {
+      return Status::ConstraintViolation(
+          "transaction would violate constraint " + name + " (e.g. " +
+          violations.begin()->first.ToString() + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Transaction>> Database::Begin() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (txn_active_) {
+    return Status::TxnError(
+        "a transaction is already active (serial isolation)");
+  }
+  txn_active_ = true;
+  return std::unique_ptr<Transaction>(new Transaction(this, next_txn_id_++));
+}
+
+Status Database::ApplyCommit(
+    uint64_t txn_id, const std::map<std::string, Relation>& after_images) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Log first (write-ahead), then install in memory.
+  if (durable()) {
+    storage::Encoder enc;
+    enc.PutU8(kRecCommit);
+    enc.PutU64(txn_id);
+    enc.PutU64(catalog_.logical_time() + 1);
+    enc.PutU32(static_cast<uint32_t>(after_images.size()));
+    for (const auto& [name, rel] : after_images) {
+      enc.PutRelation(rel);
+    }
+    MRA_RETURN_IF_ERROR(wal_.Append(enc.buffer(), options_.sync_commits));
+  }
+  for (const auto& [name, rel] : after_images) {
+    MRA_RETURN_IF_ERROR(catalog_.SetRelation(name, rel));
+  }
+  catalog_.AdvanceTime();
+  txn_active_ = false;
+  return Status::OK();
+}
+
+void Database::EndTransaction() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  txn_active_ = false;
+}
+
+Status Database::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!durable()) return Status::OK();
+  if (txn_active_) {
+    return Status::TxnError("cannot checkpoint while a transaction is active");
+  }
+  storage::Encoder image;
+  std::string catalog_bytes = storage::EncodeCatalog(catalog_);
+  image.PutString(catalog_bytes);
+  image.PutU32(static_cast<uint32_t>(constraints_.size()));
+  for (const auto& [name, plan] : constraints_) {
+    image.PutString(name);
+    storage::EncodePlan(&image, *plan);
+  }
+  MRA_RETURN_IF_ERROR(WriteFileAtomically(checkpoint_path(), image.buffer()));
+  return storage::TruncateWal(wal_path());
+}
+
+}  // namespace mra

@@ -1,0 +1,115 @@
+// The database engine: committed state + transaction management +
+// durability.  Implements §4.3 of the paper: transactions are bracketed
+// programs executed with atomicity (all-or-nothing installation of
+// D_{t+1}), correctness (schema validation throughout), isolation (serial:
+// one active transaction at a time) and durability (WAL + checkpoint).
+
+#ifndef MRA_TXN_DATABASE_H_
+#define MRA_TXN_DATABASE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "mra/algebra/plan.h"
+#include "mra/catalog/catalog.h"
+#include "mra/storage/wal.h"
+
+namespace mra {
+
+class Transaction;
+
+struct DatabaseOptions {
+  /// Directory for the WAL and checkpoint files.  Empty means a purely
+  /// in-memory database (no durability).
+  std::string directory;
+  /// fsync the WAL on every commit.  Off by default: crash-consistency
+  /// is preserved either way (torn tails are discarded), fsync only
+  /// narrows the window of acknowledged-but-lost commits.
+  bool sync_commits = false;
+};
+
+/// A multi-set relational database.
+class Database {
+ public:
+  /// Opens (and, when `options.directory` is set, recovers) a database.
+  /// Recovery loads the newest checkpoint and replays the WAL; a torn WAL
+  /// tail is discarded, other corruption fails the open.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options = {});
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// DDL (a documented extension; see DESIGN.md): creates an empty
+  /// relation.  Not allowed while a transaction is active; logged for
+  /// durability.
+  Status CreateRelation(RelationSchema schema);
+  Status DropRelation(const std::string& name);
+
+  /// The committed state D_t (Definition 2.5/2.6).
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Opens a transaction bracket (Definition 4.3).  Serial isolation: at
+  /// most one transaction is active; a second Begin is a TxnError.
+  Result<std::unique_ptr<Transaction>> Begin();
+
+  /// Registers an integrity constraint: `violation_query` is a plan that
+  /// must evaluate to the EMPTY multi-set in every committed state (the
+  /// §4.3 correctness property; semantics after the paper's companion
+  /// work [11]).  The current state must already satisfy it.  Constraints
+  /// are checked against each transaction's post-state at commit;
+  /// violations abort the bracket.  Constraints are in-memory: reopen
+  /// re-registers them (see DESIGN.md).  Not allowed mid-transaction.
+  Status AddConstraint(const std::string& name, PlanPtr violation_query);
+
+  Status DropConstraint(const std::string& name);
+
+  /// Names of registered constraints, sorted.
+  std::vector<std::string> ConstraintNames() const;
+
+  /// Serializes the full state and truncates the WAL.
+  Status Checkpoint();
+
+  uint64_t logical_time() const { return catalog_.logical_time(); }
+
+  /// Paths used when durable (for tests).
+  std::string wal_path() const;
+  std::string checkpoint_path() const;
+
+ private:
+  friend class Transaction;
+
+  Database() = default;
+
+  bool durable() const { return !options_.directory.empty(); }
+
+  // Called by Transaction::Commit with the after-images of modified
+  // relations; installs them, advances time, logs the commit record and
+  // releases the transaction slot.
+  Status ApplyCommit(uint64_t txn_id,
+                     const std::map<std::string, Relation>& after_images);
+
+  // Releases the transaction slot without committing (abort / destruction).
+  void EndTransaction();
+
+  // Evaluates every constraint against `view` (a transaction's post-state);
+  // returns ConstraintViolation naming the first violated constraint.
+  Status CheckConstraints(const RelationProvider& view) const;
+
+  Status AppendDdlRecord(uint8_t kind, const RelationSchema& schema,
+                         const std::string& name);
+  Status Recover();
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  std::map<std::string, PlanPtr> constraints_;
+  storage::WalWriter wal_;
+  uint64_t next_txn_id_ = 1;
+  bool txn_active_ = false;
+  std::mutex mutex_;
+};
+
+}  // namespace mra
+
+#endif  // MRA_TXN_DATABASE_H_

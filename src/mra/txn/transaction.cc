@@ -1,0 +1,147 @@
+#include "mra/txn/transaction.h"
+
+#include "mra/algebra/ops.h"
+
+namespace mra {
+
+Transaction::~Transaction() {
+  // An abandoned bracket aborts (atomicity: D_t remains current).
+  if (active_) {
+    (void)Abort();
+  }
+}
+
+Status Transaction::CheckActive() const {
+  if (!active_) {
+    return Status::TxnError("transaction " + std::to_string(id_) +
+                            " is no longer active");
+  }
+  return Status::OK();
+}
+
+Result<const Relation*> Transaction::GetRelation(
+    const std::string& name) const {
+  MRA_RETURN_IF_ERROR(CheckActive());
+  if (auto it = temps_.find(name); it != temps_.end()) return &it->second;
+  if (auto it = working_.find(name); it != working_.end()) return &it->second;
+  return db_->catalog_.GetRelation(name);
+}
+
+Result<Relation*> Transaction::GetWritable(const std::string& name) {
+  if (temps_.count(name) > 0) {
+    return Status::TxnError("cannot update temporary relation " + name +
+                            " (temporaries are assignment-only)");
+  }
+  if (auto it = working_.find(name); it != working_.end()) return &it->second;
+  MRA_ASSIGN_OR_RETURN(const Relation* base, db_->catalog_.GetRelation(name));
+  auto [it, inserted] = working_.emplace(name, *base);
+  (void)inserted;
+  return &it->second;
+}
+
+Status Transaction::Insert(const std::string& name, const Relation& delta) {
+  MRA_RETURN_IF_ERROR(CheckActive());
+  MRA_ASSIGN_OR_RETURN(Relation* rel, GetWritable(name));
+  // R ← R ⊎ E.
+  MRA_ASSIGN_OR_RETURN(Relation merged, ops::Union(*rel, delta));
+  merged.set_schema_name(name);
+  *rel = std::move(merged);
+  return Status::OK();
+}
+
+Status Transaction::Delete(const std::string& name, const Relation& delta) {
+  MRA_RETURN_IF_ERROR(CheckActive());
+  MRA_ASSIGN_OR_RETURN(Relation* rel, GetWritable(name));
+  // R ← R − E.
+  MRA_ASSIGN_OR_RETURN(Relation remaining, ops::Difference(*rel, delta));
+  remaining.set_schema_name(name);
+  *rel = std::move(remaining);
+  return Status::OK();
+}
+
+Status Transaction::Update(const std::string& name, const Relation& matched,
+                           const std::vector<ExprPtr>& alpha) {
+  MRA_RETURN_IF_ERROR(CheckActive());
+  MRA_ASSIGN_OR_RETURN(Relation* rel, GetWritable(name));
+  // Definition 4.1 requires α to be structure-preserving: π_α of a
+  // relation with R's schema has R's schema again.
+  MRA_ASSIGN_OR_RETURN(RelationSchema projected,
+                       InferProjectionSchema(alpha, rel->schema()));
+  if (!projected.CompatibleWith(rel->schema())) {
+    return Status::TypeError(
+        "update expression list is not structure-preserving: yields " +
+        projected.ToString() + " for relation " + rel->schema().ToString());
+  }
+  // R ← (R − E) ⊎ π_α(R ∩ E).
+  MRA_ASSIGN_OR_RETURN(Relation untouched, ops::Difference(*rel, matched));
+  MRA_ASSIGN_OR_RETURN(Relation hit, ops::Intersect(*rel, matched));
+  MRA_ASSIGN_OR_RETURN(Relation rewritten, ops::Project(alpha, hit));
+  // ops::Project synthesises attribute names; restore R's.
+  Relation renamed(rel->schema());
+  for (const auto& [tuple, count] : rewritten) {
+    MRA_RETURN_IF_ERROR(renamed.Insert(tuple, count));
+  }
+  MRA_ASSIGN_OR_RETURN(Relation result, ops::Union(untouched, renamed));
+  result.set_schema_name(name);
+  *rel = std::move(result);
+  return Status::OK();
+}
+
+Status Transaction::Assign(const std::string& name, Relation value) {
+  MRA_RETURN_IF_ERROR(CheckActive());
+  if (db_->catalog_.HasRelation(name)) {
+    return Status::AlreadyExists(
+        "assignment target " + name +
+        " names a database relation (Definition 4.1: assignment introduces "
+        "a new relational variable)");
+  }
+  value.set_schema_name(name);
+  temps_[name] = std::move(value);  // Re-assignment of a temporary is allowed.
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  MRA_RETURN_IF_ERROR(CheckActive());
+  // Correctness (§4.3): the post-state D_{t+1} must satisfy every
+  // registered integrity constraint; otherwise the bracket aborts and D_t
+  // stays current.  The overlay view *is* the candidate post-state.
+  Status valid = db_->CheckConstraints(*this);
+  if (!valid.ok()) {
+    active_ = false;
+    working_.clear();
+    temps_.clear();
+    db_->EndTransaction();
+    return valid;
+  }
+  Status s = db_->ApplyCommit(id_, working_);
+  if (!s.ok()) {
+    // Failed installation leaves D_t current; the bracket ends aborted.
+    active_ = false;
+    working_.clear();
+    temps_.clear();
+    db_->EndTransaction();
+    return s;
+  }
+  active_ = false;
+  working_.clear();
+  temps_.clear();
+  return Status::OK();
+}
+
+Status Transaction::Abort() {
+  MRA_RETURN_IF_ERROR(CheckActive());
+  active_ = false;
+  working_.clear();
+  temps_.clear();
+  db_->EndTransaction();
+  return Status::OK();
+}
+
+std::vector<std::string> Transaction::TemporaryNames() const {
+  std::vector<std::string> names;
+  names.reserve(temps_.size());
+  for (const auto& [name, rel] : temps_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mra

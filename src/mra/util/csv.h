@@ -1,0 +1,38 @@
+// CSV import/export for relations.  Quoted fields follow RFC 4180 ("" to
+// escape a quote inside a quoted field).  Values parse according to the
+// target schema's domains; multiplicities are represented by repeated rows.
+
+#ifndef MRA_UTIL_CSV_H_
+#define MRA_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "mra/common/result.h"
+#include "mra/core/relation.h"
+
+namespace mra {
+namespace util {
+
+/// Parses CSV text into a relation of `schema`.  When `has_header` is true
+/// the first row is skipped.  Each data row must have exactly
+/// schema.arity() fields parsable in the respective domains (dates as
+/// YYYY-MM-DD, bools as true/false, decimals as digits[.digits]).
+Result<Relation> RelationFromCsv(std::string_view csv,
+                                 const RelationSchema& schema,
+                                 bool has_header = true);
+
+/// Renders a relation as CSV (header row + one row per tuple occurrence,
+/// duplicates repeated, deterministic order).
+std::string RelationToCsv(const Relation& relation);
+
+/// File convenience wrappers.
+Result<Relation> LoadCsvFile(const std::string& path,
+                             const RelationSchema& schema,
+                             bool has_header = true);
+Status SaveCsvFile(const std::string& path, const Relation& relation);
+
+}  // namespace util
+}  // namespace mra
+
+#endif  // MRA_UTIL_CSV_H_

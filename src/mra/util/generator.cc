@@ -1,0 +1,103 @@
+#include "mra/util/generator.h"
+
+#include <cmath>
+
+namespace mra {
+namespace util {
+
+RelationSchema BeerSchema() {
+  return RelationSchema("beer", {{"name", Type::String()},
+                                 {"brewery", Type::String()},
+                                 {"alcperc", Type::Real()}});
+}
+
+RelationSchema BrewerySchema() {
+  return RelationSchema("brewery", {{"name", Type::String()},
+                                    {"city", Type::String()},
+                                    {"country", Type::String()}});
+}
+
+BeerDb MakeBeerDb(const BeerDbOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  BeerDb db{Relation(BeerSchema()), Relation(BrewerySchema())};
+
+  // Breweries: geometric country skew (country[0] most common).
+  std::geometric_distribution<size_t> country_dist(0.5);
+  std::vector<std::string> brewery_names;
+  brewery_names.reserve(options.num_breweries);
+  for (size_t i = 0; i < options.num_breweries; ++i) {
+    std::string name = "brewery" + std::to_string(i);
+    size_t c = std::min(country_dist(rng), options.countries.size() - 1);
+    db.brewery.InsertUnchecked(
+        Tuple({Value::Str(name), Value::Str("city" + std::to_string(i % 37)),
+               Value::Str(options.countries[c])}),
+        1);
+    brewery_names.push_back(std::move(name));
+  }
+
+  // Beers: random name/brewery/alcperc, multiplicity ~ duplicate_factor.
+  std::uniform_int_distribution<size_t> name_dist(0,
+                                                  options.num_beer_names - 1);
+  std::uniform_int_distribution<size_t> brewery_dist(
+      0, options.num_breweries - 1);
+  std::uniform_real_distribution<double> alc_dist(0.0, 12.0);
+  for (size_t i = 0; i < options.num_beers; ++i) {
+    uint64_t count = 1;
+    if (options.duplicate_factor > 1.0) {
+      // Geometric with the requested mean.
+      std::geometric_distribution<uint64_t> dup(1.0 /
+                                                options.duplicate_factor);
+      count = 1 + dup(rng);
+    }
+    // One-decimal alcohol percentages keep Example 3.2 outputs readable.
+    double alc = std::round(alc_dist(rng) * 10.0) / 10.0;
+    db.beer.InsertUnchecked(
+        Tuple({Value::Str("beer" + std::to_string(name_dist(rng))),
+               Value::Str(brewery_names[brewery_dist(rng)]),
+               Value::Real(alc)}),
+        count);
+  }
+  return db;
+}
+
+Relation MakeIntRelation(const IntRelationOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::vector<Attribute> attrs;
+  attrs.reserve(options.arity);
+  for (size_t i = 0; i < options.arity; ++i) {
+    attrs.push_back({"c" + std::to_string(i + 1), Type::Int()});
+  }
+  Relation rel(RelationSchema(options.name, std::move(attrs)));
+
+  std::uniform_int_distribution<int64_t> value_dist(0,
+                                                    options.value_range - 1);
+  std::uniform_int_distribution<uint64_t> uniform_dup(1,
+                                                      options.max_multiplicity);
+  for (size_t i = 0; i < options.distinct_tuples; ++i) {
+    std::vector<Value> values;
+    values.reserve(options.arity);
+    for (size_t a = 0; a < options.arity; ++a) {
+      values.push_back(Value::Int(value_dist(rng)));
+    }
+    uint64_t count = 1;
+    switch (options.duplicates) {
+      case DupDistribution::kNone:
+        break;
+      case DupDistribution::kUniform:
+        count = uniform_dup(rng);
+        break;
+      case DupDistribution::kZipf: {
+        // Inverse-power sampling: multiplicity ~ 1/u, capped.
+        double u = std::uniform_real_distribution<double>(
+            1.0 / static_cast<double>(options.max_multiplicity), 1.0)(rng);
+        count = static_cast<uint64_t>(1.0 / u);
+        break;
+      }
+    }
+    rel.InsertUnchecked(Tuple(std::move(values)), count);
+  }
+  return rel;
+}
+
+}  // namespace util
+}  // namespace mra

@@ -1,0 +1,77 @@
+// Synthetic workload generators.
+//
+// The paper's running example is a beer/brewery database (Examples 3.1, 3.2
+// and 4.1).  BeerDbGenerator scales it up with controlled duplicate factors
+// and country skew; MakeIntRelation builds generic integer relations with
+// uniform or zipfian multiplicity distributions for the operator-level
+// benchmarks.  All generators are deterministically seeded.
+
+#ifndef MRA_UTIL_GENERATOR_H_
+#define MRA_UTIL_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "mra/core/relation.h"
+
+namespace mra {
+namespace util {
+
+/// The beer relation schema of the paper: beer(name, brewery, alcperc).
+RelationSchema BeerSchema();
+/// The brewery relation schema: brewery(name, city, country).
+RelationSchema BrewerySchema();
+
+struct BeerDbOptions {
+  /// Number of distinct breweries.
+  size_t num_breweries = 100;
+  /// Number of beer tuples (each names a brewery uniformly at random).
+  size_t num_beers = 1000;
+  /// Number of distinct beer names — smaller values create duplicates
+  /// after projections (Example 3.1's point).
+  size_t num_beer_names = 500;
+  /// Average multiplicity of each beer tuple (≥ 1): 1 means a set-like
+  /// relation, larger means a duplicate-heavy multi-set.
+  double duplicate_factor = 1.0;
+  /// Countries are drawn from this list with geometric skew.
+  std::vector<std::string> countries = {"NL", "BE", "DE", "UK", "US", "CZ"};
+  uint64_t seed = 42;
+};
+
+struct BeerDb {
+  Relation beer;
+  Relation brewery;
+};
+
+/// Generates a scaled beer database.
+BeerDb MakeBeerDb(const BeerDbOptions& options);
+
+/// Multiplicity distribution for generic relations.
+enum class DupDistribution {
+  kNone,     // every tuple has multiplicity 1
+  kUniform,  // multiplicities uniform in [1, max_multiplicity]
+  kZipf,     // few tuples very frequent, most rare
+};
+
+struct IntRelationOptions {
+  /// Number of *distinct* tuples.
+  size_t distinct_tuples = 1000;
+  /// Attributes per tuple.
+  size_t arity = 2;
+  /// Attribute values are uniform in [0, value_range).
+  int64_t value_range = 1000;
+  DupDistribution duplicates = DupDistribution::kNone;
+  uint64_t max_multiplicity = 8;
+  uint64_t seed = 7;
+  std::string name = "r";
+};
+
+/// Generates an integer relation with the requested multiplicity shape.
+Relation MakeIntRelation(const IntRelationOptions& options);
+
+}  // namespace util
+}  // namespace mra
+
+#endif  // MRA_UTIL_GENERATOR_H_

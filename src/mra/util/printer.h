@@ -1,0 +1,36 @@
+// Tabular rendering of relations for examples, the REPL and benchmarks.
+//
+// Output rows are sorted by display form for determinism only — the algebra
+// itself has no order (§5 of the paper explicitly excludes sorting from the
+// formalism).
+
+#ifndef MRA_UTIL_PRINTER_H_
+#define MRA_UTIL_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "mra/core/relation.h"
+
+namespace mra {
+namespace util {
+
+struct PrintOptions {
+  /// Show a multiplicity column ("#") when any tuple has count > 1.
+  bool show_multiplicity = true;
+  /// Cap on printed rows (0 = unlimited); a summary line notes elision.
+  size_t max_rows = 50;
+};
+
+/// Renders `relation` as an aligned ASCII table.
+std::string RenderTable(const Relation& relation, PrintOptions options = {});
+
+/// Writes RenderTable output plus a header naming the relation and its
+/// cardinalities.
+void PrintRelation(std::ostream& out, const Relation& relation,
+                   PrintOptions options = {});
+
+}  // namespace util
+}  // namespace mra
+
+#endif  // MRA_UTIL_PRINTER_H_

@@ -1,0 +1,219 @@
+// Tests for the multi-set aggregate functions (Definition 3.3) and the
+// groupby operator (Definition 3.4).
+
+#include "mra/algebra/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "mra/algebra/ops.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::IntTuple;
+
+Relation WeightedInts() {
+  // (2):3, (5):1  → CNT 4, SUM 11, AVG 2.75, MIN 2, MAX 5.
+  Relation r(RelationSchema("r", {{"x", Type::Int()}}));
+  EXPECT_TRUE(r.Insert(IntTuple({2}), 3).ok());
+  EXPECT_TRUE(r.Insert(IntTuple({5}), 1).ok());
+  return r;
+}
+
+TEST(AggregateTest, CntCountsDuplicates) {
+  auto v = Aggregate(AggKind::kCnt, 0, WeightedInts());
+  ASSERT_OK(v);
+  EXPECT_EQ(v->int_value(), 4);
+}
+
+TEST(AggregateTest, SumIsMultiplicityWeighted) {
+  auto v = Aggregate(AggKind::kSum, 0, WeightedInts());
+  ASSERT_OK(v);
+  EXPECT_EQ(v->int_value(), 11);  // 2*3 + 5 — NOT 2 + 5
+}
+
+TEST(AggregateTest, AvgIsSumOverCnt) {
+  auto v = Aggregate(AggKind::kAvg, 0, WeightedInts());
+  ASSERT_OK(v);
+  EXPECT_DOUBLE_EQ(v->real_value(), 2.75);
+}
+
+TEST(AggregateTest, MinMaxOverSupport) {
+  Relation r = WeightedInts();
+  EXPECT_EQ(Aggregate(AggKind::kMin, 0, r)->int_value(), 2);
+  EXPECT_EQ(Aggregate(AggKind::kMax, 0, r)->int_value(), 5);
+}
+
+TEST(AggregateTest, MinMaxOnStringsUseLexicographicOrder) {
+  Relation r(RelationSchema("r", {{"s", Type::String()}}));
+  ASSERT_OK(r.Insert(Tuple({Value::Str("pils")})));
+  ASSERT_OK(r.Insert(Tuple({Value::Str("ale")}), 5));
+  EXPECT_EQ(Aggregate(AggKind::kMin, 0, r)->string_value(), "ale");
+  EXPECT_EQ(Aggregate(AggKind::kMax, 0, r)->string_value(), "pils");
+}
+
+TEST(AggregateTest, EmptyInputPartialFunctions) {
+  // Definition 3.3: AVG/MIN/MAX are partial — undefined on empty input.
+  Relation empty = IntRel("e", {}, 1);
+  EXPECT_EQ(Aggregate(AggKind::kAvg, 0, empty).status().code(),
+            StatusCode::kUndefined);
+  EXPECT_EQ(Aggregate(AggKind::kMin, 0, empty).status().code(),
+            StatusCode::kUndefined);
+  EXPECT_EQ(Aggregate(AggKind::kMax, 0, empty).status().code(),
+            StatusCode::kUndefined);
+  // CNT and SUM are total: the empty sum is 0.
+  EXPECT_EQ(Aggregate(AggKind::kCnt, 0, empty)->int_value(), 0);
+  EXPECT_EQ(Aggregate(AggKind::kSum, 0, empty)->int_value(), 0);
+}
+
+TEST(AggregateTest, SumRejectsNonNumeric) {
+  Relation r(RelationSchema("r", {{"s", Type::String()}}));
+  ASSERT_OK(r.Insert(Tuple({Value::Str("a")})));
+  EXPECT_EQ(Aggregate(AggKind::kSum, 0, r).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Aggregate(AggKind::kAvg, 0, r).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(AggregateTest, CntAttributeIsDummy) {
+  // "parameter p is a dummy parameter, included only for reasons of
+  // syntactical uniformity" (Definition 3.3).
+  Relation r(RelationSchema("r", {{"s", Type::String()}, {"x", Type::Int()}}));
+  ASSERT_OK(r.Insert(Tuple({Value::Str("a"), Value::Int(1)}), 3));
+  EXPECT_EQ(Aggregate(AggKind::kCnt, 0, r)->int_value(), 3);
+  EXPECT_EQ(Aggregate(AggKind::kCnt, 1, r)->int_value(), 3);
+}
+
+TEST(AggregateTest, AttributeOutOfRange) {
+  EXPECT_EQ(Aggregate(AggKind::kCnt, 5, WeightedInts()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AggregateTest, RealAndDecimalSums) {
+  Relation r(RelationSchema("r", {{"x", Type::Real()}}));
+  ASSERT_OK(r.Insert(Tuple({Value::Real(1.5)}), 2));
+  ASSERT_OK(r.Insert(Tuple({Value::Real(2.0)}), 1));
+  EXPECT_DOUBLE_EQ(Aggregate(AggKind::kSum, 0, r)->real_value(), 5.0);
+
+  Relation d(RelationSchema("d", {{"m", Type::Decimal()}}));
+  ASSERT_OK(d.Insert(Tuple({Value::DecimalScaled(12500)}), 2));  // 1.25 × 2
+  auto sum = Aggregate(AggKind::kSum, 0, d);
+  ASSERT_OK(sum);
+  EXPECT_EQ(sum->decimal_scaled(), 25000);
+  auto avg = Aggregate(AggKind::kAvg, 0, d);
+  ASSERT_OK(avg);
+  EXPECT_EQ(avg->kind(), TypeKind::kDecimal);
+  EXPECT_EQ(avg->decimal_scaled(), 12500);
+}
+
+TEST(AggResultTypeTest, Ranges) {
+  EXPECT_EQ(*AggResultType(AggKind::kCnt, Type::String()), Type::Int());
+  EXPECT_EQ(*AggResultType(AggKind::kSum, Type::Int()), Type::Int());
+  EXPECT_EQ(*AggResultType(AggKind::kSum, Type::Decimal()), Type::Decimal());
+  EXPECT_EQ(*AggResultType(AggKind::kAvg, Type::Int()), Type::Real());
+  EXPECT_EQ(*AggResultType(AggKind::kAvg, Type::Decimal()), Type::Decimal());
+  EXPECT_EQ(*AggResultType(AggKind::kMin, Type::Date()), Type::Date());
+  EXPECT_EQ(*AggResultType(AggKind::kMax, Type::String()), Type::String());
+}
+
+TEST(AggKindTest, NamesRoundTrip) {
+  for (AggKind k : {AggKind::kCnt, AggKind::kSum, AggKind::kAvg,
+                    AggKind::kMin, AggKind::kMax}) {
+    auto parsed = AggKindFromName(AggKindName(k));
+    ASSERT_OK(parsed);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_OK(AggKindFromName("count"));  // SQL spelling
+  EXPECT_FALSE(AggKindFromName("median").ok());
+}
+
+// --- GroupBy (Definition 3.4). ---
+
+TEST(GroupByTest, GroupsByKeyEquality) {
+  Relation r = IntRel("r", {{1, 10}, {1, 20}, {2, 30}, {2, 30}}, 2);
+  auto g = ops::GroupBy({0}, {{AggKind::kSum, 1, "total"}}, r);
+  ASSERT_OK(g);
+  EXPECT_EQ(g->Multiplicity(IntTuple({1, 30})), 1u);
+  EXPECT_EQ(g->Multiplicity(IntTuple({2, 60})), 1u);  // 30 × 2
+  EXPECT_EQ(g->size(), 2u);
+}
+
+TEST(GroupByTest, OutputIsDuplicateFree) {
+  Relation r = IntRel("r", {{1, 1}, {1, 1}, {1, 2}}, 2);
+  auto g = ops::GroupBy({0}, {{AggKind::kCnt, 0, ""}}, r);
+  ASSERT_OK(g);
+  for (const auto& [tuple, count] : *g) {
+    EXPECT_EQ(count, 1u);
+  }
+}
+
+TEST(GroupByTest, EmptyKeysProducesSingleRow) {
+  // "If the attribute list α is empty … the result is one single attribute
+  // tuple" (Definition 3.4).
+  Relation r = IntRel("r", {{1}, {2}, {2}}, 1);
+  auto g = ops::GroupBy({}, {{AggKind::kCnt, 0, ""}}, r);
+  ASSERT_OK(g);
+  EXPECT_EQ(g->size(), 1u);
+  EXPECT_EQ(g->Multiplicity(IntTuple({3})), 1u);
+}
+
+TEST(GroupByTest, EmptyKeysOverEmptyInputCntIsZero) {
+  Relation empty = IntRel("e", {}, 1);
+  auto g = ops::GroupBy({}, {{AggKind::kCnt, 0, ""}}, empty);
+  ASSERT_OK(g);
+  EXPECT_EQ(g->Multiplicity(IntTuple({0})), 1u);
+}
+
+TEST(GroupByTest, EmptyKeysOverEmptyInputAvgUndefined) {
+  Relation empty = IntRel("e", {}, 1);
+  EXPECT_EQ(ops::GroupBy({}, {{AggKind::kAvg, 0, ""}}, empty)
+                .status()
+                .code(),
+            StatusCode::kUndefined);
+}
+
+TEST(GroupByTest, NonEmptyKeysOverEmptyInputIsEmpty) {
+  Relation empty = IntRel("e", {}, 1);
+  auto g = ops::GroupBy({0}, {{AggKind::kCnt, 0, ""}}, empty);
+  ASSERT_OK(g);
+  EXPECT_TRUE(g->empty());
+}
+
+TEST(GroupByTest, MultipleAggregatesExtension) {
+  // Documented extension: the paper's single (f, p) is the one-element case.
+  Relation r = IntRel("r", {{1, 10}, {1, 30}, {2, 5}}, 2);
+  auto g = ops::GroupBy(
+      {0},
+      {{AggKind::kCnt, 0, "n"}, {AggKind::kMin, 1, "lo"},
+       {AggKind::kMax, 1, "hi"}},
+      r);
+  ASSERT_OK(g);
+  EXPECT_EQ(g->schema().arity(), 4u);
+  EXPECT_EQ(g->Multiplicity(IntTuple({1, 2, 10, 30})), 1u);
+  EXPECT_EQ(g->Multiplicity(IntTuple({2, 1, 5, 5})), 1u);
+}
+
+TEST(GroupByTest, MultiKeyGrouping) {
+  Relation r = IntRel("r", {{1, 1, 100}, {1, 1, 200}, {1, 2, 300}}, 3);
+  auto g = ops::GroupBy({0, 1}, {{AggKind::kSum, 2, ""}}, r);
+  ASSERT_OK(g);
+  EXPECT_EQ(g->Multiplicity(IntTuple({1, 1, 300})), 1u);
+  EXPECT_EQ(g->Multiplicity(IntTuple({1, 2, 300})), 1u);
+}
+
+TEST(GroupByTest, MultiplicityWeightedAverages) {
+  // The whole point of Example 3.2: duplicates must weight the average.
+  Relation r(RelationSchema("r", {{"k", Type::Int()}, {"v", Type::Real()}}));
+  ASSERT_OK(r.Insert(Tuple({Value::Int(1), Value::Real(5.0)}), 2));
+  ASSERT_OK(r.Insert(Tuple({Value::Int(1), Value::Real(6.5)}), 1));
+  auto g = ops::GroupBy({0}, {{AggKind::kAvg, 1, ""}}, r);
+  ASSERT_OK(g);
+  ASSERT_EQ(g->size(), 1u);
+  const Tuple& out = g->begin()->first;
+  EXPECT_DOUBLE_EQ(out.at(1).real_value(), (5.0 * 2 + 6.5) / 3.0);
+}
+
+}  // namespace
+}  // namespace mra

@@ -1,0 +1,209 @@
+// Tests for the transitive closure operator (§5's named extension):
+// definitional properties, semi-naive vs naive agreement, plan/executor
+// integration and the XRA surface syntax.
+
+#include "mra/algebra/closure.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mra/algebra/evaluator.h"
+#include "mra/algebra/ops.h"
+#include "mra/catalog/catalog.h"
+#include "mra/exec/physical_planner.h"
+#include "mra/lang/interpreter.h"
+#include "mra/opt/optimizer.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::IntTuple;
+
+TEST(ClosureTest, ChainReachability) {
+  // 1→2→3→4 closes to all 6 forward pairs.
+  Relation edges = IntRel("e", {{1, 2}, {2, 3}, {3, 4}}, 2);
+  auto c = ops::TransitiveClosure(edges);
+  ASSERT_OK(c);
+  EXPECT_EQ(c->size(), 6u);
+  EXPECT_TRUE(c->Contains(IntTuple({1, 4})));
+  EXPECT_TRUE(c->Contains(IntTuple({2, 4})));
+  EXPECT_FALSE(c->Contains(IntTuple({4, 1})));
+}
+
+TEST(ClosureTest, CycleTerminatesWithFiniteResult) {
+  // 1→2→3→1: every node reaches every node (including itself).
+  Relation edges = IntRel("e", {{1, 2}, {2, 3}, {3, 1}}, 2);
+  auto c = ops::TransitiveClosure(edges);
+  ASSERT_OK(c);
+  EXPECT_EQ(c->size(), 9u);
+  EXPECT_TRUE(c->Contains(IntTuple({1, 1})));
+  EXPECT_TRUE(c->Contains(IntTuple({3, 2})));
+}
+
+TEST(ClosureTest, ResultIsDuplicateFree) {
+  // Duplicate edges and multiple paths collapse: closure is set-valued.
+  Relation edges(RelationSchema("e", {{"a", Type::Int()}, {"b", Type::Int()}}));
+  ASSERT_OK(edges.Insert(IntTuple({1, 2}), 5));
+  ASSERT_OK(edges.Insert(IntTuple({1, 3})));
+  ASSERT_OK(edges.Insert(IntTuple({3, 2})));  // second path 1→2
+  auto c = ops::TransitiveClosure(edges);
+  ASSERT_OK(c);
+  for (const auto& [tuple, count] : *c) {
+    EXPECT_EQ(count, 1u) << tuple.ToString();
+  }
+  EXPECT_EQ(c->Multiplicity(IntTuple({1, 2})), 1u);
+}
+
+TEST(ClosureTest, EmptyAndSelfLoopInputs) {
+  Relation empty = IntRel("e", {}, 2);
+  auto c = ops::TransitiveClosure(empty);
+  ASSERT_OK(c);
+  EXPECT_TRUE(c->empty());
+
+  Relation self = IntRel("s", {{7, 7}}, 2);
+  auto cs = ops::TransitiveClosure(self);
+  ASSERT_OK(cs);
+  EXPECT_EQ(cs->size(), 1u);
+}
+
+TEST(ClosureTest, InputValidation) {
+  Relation unary = IntRel("u", {{1}}, 1);
+  EXPECT_EQ(ops::TransitiveClosure(unary).status().code(),
+            StatusCode::kInvalidArgument);
+  Relation mixed(RelationSchema("m", {{"a", Type::Int()},
+                                      {"b", Type::String()}}));
+  EXPECT_EQ(ops::TransitiveClosure(mixed).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ClosureTest, ContainsDedupedInputAndIsTransitive) {
+  std::mt19937_64 rng(99);
+  Relation edges = ::mra::testing::RandomIntRelation(rng, 2, 40, 15, 3);
+  auto c = ops::TransitiveClosure(edges);
+  ASSERT_OK(c);
+  // δE ⊑ closure(E).
+  auto base = ops::Unique(edges);
+  ASSERT_OK(base);
+  EXPECT_TRUE(base->MultiSubsetOf(*c));
+  // Transitivity: (x,y), (y,z) ∈ C ⟹ (x,z) ∈ C.
+  for (const auto& [p1, c1] : *c) {
+    for (const auto& [p2, c2] : *c) {
+      if (p1.at(1).Equals(p2.at(0))) {
+        EXPECT_TRUE(c->Contains(Tuple({p1.at(0), p2.at(1)})))
+            << p1.ToString() << " + " << p2.ToString();
+      }
+    }
+  }
+}
+
+TEST(ClosureTest, Idempotent) {
+  std::mt19937_64 rng(7);
+  Relation edges = ::mra::testing::RandomIntRelation(rng, 2, 30, 10, 2);
+  auto once = ops::TransitiveClosure(edges);
+  ASSERT_OK(once);
+  auto twice = ops::TransitiveClosure(*once);
+  ASSERT_OK(twice);
+  EXPECT_REL_EQ(*once, *twice);
+}
+
+class ClosureStrategyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClosureStrategyTest, SemiNaiveMatchesNaive) {
+  std::mt19937_64 rng(GetParam());
+  Relation edges = ::mra::testing::RandomIntRelation(rng, 2, 30, 12, 3);
+  auto semi = ops::TransitiveClosure(edges);
+  auto naive = ops::TransitiveClosureNaive(edges);
+  ASSERT_OK(semi);
+  ASSERT_OK(naive);
+  EXPECT_REL_EQ(*semi, *naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureStrategyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+TEST(ClosurePlanTest, PlanBuilderValidatesAndEvaluates) {
+  Relation edges = IntRel("e", {{1, 2}, {2, 3}}, 2);
+  Catalog catalog;
+  RelationSchema schema = edges.schema();
+  schema.set_name("e");
+  ASSERT_OK(catalog.CreateRelation(schema));
+  ASSERT_OK(catalog.SetRelation("e", edges));
+
+  PlanPtr scan = Plan::Scan("e", schema);
+  auto plan = Plan::Closure(scan);
+  ASSERT_OK(plan);
+  EXPECT_EQ((*plan)->ToInlineString(), "closure(e)");
+
+  auto reference = EvaluatePlan(**plan, catalog);
+  auto physical = exec::ExecutePlan(*plan, catalog);
+  ASSERT_OK(reference);
+  ASSERT_OK(physical);
+  EXPECT_REL_EQ(*reference, *physical);
+  EXPECT_EQ(reference->size(), 3u);
+
+  // Non-binary input rejected at build time.
+  PlanPtr wide = Plan::ConstRel(IntRel("w", {{1, 2, 3}}, 3));
+  EXPECT_EQ(Plan::Closure(wide).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ClosurePlanTest, OptimizerPreservesClosureSemantics) {
+  Relation edges = IntRel("e", {{1, 2}, {2, 3}, {3, 1}, {4, 4}}, 2);
+  Catalog catalog;
+  RelationSchema schema = edges.schema();
+  schema.set_name("e");
+  ASSERT_OK(catalog.CreateRelation(schema));
+  ASSERT_OK(catalog.SetRelation("e", edges));
+  PlanPtr scan = Plan::Scan("e", schema);
+  // σ over δ over closure, projected to one column: exercises narrowing
+  // around the opaque closure node plus the δ-elimination rule.
+  auto closure = Plan::Closure(scan);
+  ASSERT_OK(closure);
+  auto uniq = Plan::Unique(*closure);
+  ASSERT_OK(uniq);
+  auto sel = Plan::Select(Ne(Attr(0), Attr(1)), *uniq);
+  ASSERT_OK(sel);
+  auto proj = Plan::ProjectIndexes({0}, *sel);
+  ASSERT_OK(proj);
+
+  opt::Optimizer optimizer(&catalog);
+  auto optimized = optimizer.Optimize(*proj);
+  ASSERT_OK(optimized);
+  auto before = EvaluatePlan(**proj, catalog);
+  auto after = EvaluatePlan(**optimized, catalog);
+  ASSERT_OK(before);
+  ASSERT_OK(after);
+  EXPECT_REL_EQ(*before, *after);
+}
+
+TEST(ClosureXraTest, ParsesAndExecutes) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get());
+  auto results = interp.ExecuteScriptCollect(
+      "create flight(origin: string, dest: string);"
+      "insert(flight, {('AMS', 'LHR'), ('LHR', 'JFK'), ('JFK', 'SFO')});"
+      "? closure(flight);");
+  ASSERT_OK(results);
+  ASSERT_EQ(results->size(), 1u);
+  const Relation& reachable = (*results)[0];
+  EXPECT_EQ(reachable.size(), 6u);
+  EXPECT_TRUE(reachable.Contains(
+      Tuple({Value::Str("AMS"), Value::Str("SFO")})));
+}
+
+TEST(ClosureXraTest, RejectsNonBinaryRelation) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get());
+  ASSERT_OK(interp.ExecuteScript(
+      "create beer(name: string, brewery: string, alcperc: real);", nullptr));
+  EXPECT_EQ(interp.ExecuteScriptCollect("? closure(beer);").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mra

@@ -1,0 +1,177 @@
+// Tests for integrity constraints — the correctness property of §4.3:
+// a transaction commits only if its post-state satisfies every registered
+// constraint (violation queries must stay empty), following the
+// integrity-control companion work the paper cites as [11].
+
+#include <gtest/gtest.h>
+
+#include "mra/lang/interpreter.h"
+#include "mra/lang/parser.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::IntTuple;
+
+class ConstraintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open();
+    ASSERT_OK(db);
+    db_ = std::move(*db);
+    interp_ = std::make_unique<lang::Interpreter>(db_.get());
+    ASSERT_OK(interp_->ExecuteScript(
+        "create account(owner: string, balance: int);"
+        "insert(account, {('ann', 100), ('bob', 50)});",
+        nullptr));
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<lang::Interpreter> interp_;
+};
+
+TEST_F(ConstraintTest, RegisterAndList) {
+  ASSERT_OK(interp_->ExecuteScript(
+      "constraint nonneg (select(%2 < 0, account));", nullptr));
+  EXPECT_EQ(db_->ConstraintNames(), (std::vector<std::string>{"nonneg"}));
+}
+
+TEST_F(ConstraintTest, ViolatingTransactionAborts) {
+  ASSERT_OK(interp_->ExecuteScript(
+      "constraint nonneg (select(%2 < 0, account));", nullptr));
+  Status s = interp_->ExecuteScript(
+      "insert(account, {('eve', -10)});", nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  EXPECT_NE(s.message().find("nonneg"), std::string::npos);
+  // Atomicity: nothing committed.
+  auto account = interp_->Query("account");
+  ASSERT_OK(account);
+  EXPECT_EQ(account->size(), 2u);
+  EXPECT_EQ(db_->logical_time(), 1u);  // only the initial insert committed
+}
+
+TEST_F(ConstraintTest, SatisfyingTransactionCommits) {
+  ASSERT_OK(interp_->ExecuteScript(
+      "constraint nonneg (select(%2 < 0, account));", nullptr));
+  ASSERT_OK(interp_->ExecuteScript(
+      "insert(account, {('eve', 10)});", nullptr));
+  auto account = interp_->Query("account");
+  ASSERT_OK(account);
+  EXPECT_EQ(account->size(), 3u);
+}
+
+TEST_F(ConstraintTest, BracketCheckedAsAWhole) {
+  // A bracket may pass through "invalid" intermediate states; only the
+  // post-state counts (the paper: intermediate states have no semantics
+  // beyond the execution of T).
+  ASSERT_OK(interp_->ExecuteScript(
+      "constraint nonneg (select(%2 < 0, account));", nullptr));
+  ASSERT_OK(interp_->ExecuteScript(
+      "begin"
+      "  insert(account, {('eve', -10)});"  // invalid here…
+      "  delete(account, {('eve', -10)});"  // …repaired before the end
+      "  insert(account, {('eve', 5)})"
+      " end;",
+      nullptr));
+  auto eve = interp_->Query("select(%1 = 'eve', account)");
+  ASSERT_OK(eve);
+  EXPECT_EQ(eve->Multiplicity(Tuple({Value::Str("eve"), Value::Int(5)})), 1u);
+}
+
+TEST_F(ConstraintTest, PreViolatedConstraintRejectedAtRegistration) {
+  ASSERT_OK(interp_->ExecuteScript(
+      "insert(account, {('debtor', -1)});", nullptr));
+  Status s = interp_->ExecuteScript(
+      "constraint nonneg (select(%2 < 0, account));", nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  EXPECT_TRUE(db_->ConstraintNames().empty());
+}
+
+TEST_F(ConstraintTest, CrossRelationForeignKeyStyle) {
+  ASSERT_OK(interp_->ExecuteScript(
+      "create owner(name: string);"
+      "insert(owner, {('ann'), ('bob')});"
+      // Violation: account owners without an owner row.
+      "constraint fk_owner (diff(unique(project([%1], account)),"
+      "                          unique(project([%1], owner))));",
+      nullptr));
+  // Insert with a known owner: fine.
+  ASSERT_OK(interp_->ExecuteScript(
+      "insert(account, {('ann', 7)});", nullptr));
+  // Insert with an unknown owner: rejected.
+  Status s = interp_->ExecuteScript(
+      "insert(account, {('mallory', 1)});", nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  // Deleting the last owner row of an account holder is also rejected.
+  s = interp_->ExecuteScript("delete(owner, {('bob')});", nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  // But bob's owner row can go once his accounts are gone.
+  ASSERT_OK(interp_->ExecuteScript(
+      "begin"
+      "  delete(account, select(%1 = 'bob', account));"
+      "  delete(owner, {('bob')})"
+      " end;"
+      "drop constraint fk_owner;",
+      nullptr));
+  EXPECT_TRUE(db_->ConstraintNames().empty());
+}
+
+TEST_F(ConstraintTest, MultipleConstraintsAllChecked) {
+  ASSERT_OK(interp_->ExecuteScript(
+      "constraint nonneg (select(%2 < 0, account));"
+      "constraint cap (select(%2 > 1000, account));",
+      nullptr));
+  EXPECT_EQ(interp_->ExecuteScript("insert(account, {('x', -1)});", nullptr)
+                .code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(interp_->ExecuteScript("insert(account, {('x', 2000)});", nullptr)
+                .code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_OK(interp_->ExecuteScript("insert(account, {('x', 500)});", nullptr));
+}
+
+TEST_F(ConstraintTest, UpdateStatementsAreCheckedToo) {
+  ASSERT_OK(interp_->ExecuteScript(
+      "constraint nonneg (select(%2 < 0, account));", nullptr));
+  Status s = interp_->ExecuteScript(
+      "update(account, account, [%1, %2 - 200]);", nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  // Balances unchanged.
+  auto ann = interp_->Query("select(%1 = 'ann', account)");
+  ASSERT_OK(ann);
+  EXPECT_EQ(ann->Multiplicity(Tuple({Value::Str("ann"), Value::Int(100)})),
+            1u);
+}
+
+TEST_F(ConstraintTest, DdlRules) {
+  // Duplicate and unknown names.
+  ASSERT_OK(interp_->ExecuteScript(
+      "constraint c1 (select(%2 < 0, account));", nullptr));
+  EXPECT_EQ(interp_->ExecuteScript(
+                    "constraint c1 (select(%2 < 0, account));", nullptr)
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(interp_->ExecuteScript("drop constraint ghost;", nullptr).code(),
+            StatusCode::kNotFound);
+  // Not inside transactions.
+  EXPECT_EQ(interp_->ExecuteScript(
+                    "begin constraint c2 (select(%2 < 0, account));"
+                    " insert(account, {('y', 1)}) end;",
+                    nullptr)
+                .code(),
+            StatusCode::kTxnError);
+}
+
+TEST_F(ConstraintTest, StatementFormRoundTrips) {
+  auto script = lang::ParseScript(
+      "constraint nonneg (select((%2 < 0), account));"
+      "drop constraint nonneg;");
+  ASSERT_OK(script);
+  EXPECT_EQ(script->items[0].stmts[0].ToString(),
+            "constraint nonneg (select((%2 < 0), account))");
+  EXPECT_EQ(script->items[1].stmts[0].ToString(), "drop constraint nonneg");
+}
+
+}  // namespace
+}  // namespace mra

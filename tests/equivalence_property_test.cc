@@ -1,0 +1,254 @@
+// Property tests for §3.3: the expression equivalences of the multi-set
+// algebra, executed over randomized relations.  Each TEST_P runs across a
+// sweep of seeds (parameterized gtest), so every law is checked on many
+// random multi-sets with overlapping supports and non-trivial
+// multiplicities.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mra/algebra/ops.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::RandomIntRelation;
+
+class AlgebraLawTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  AlgebraLawTest() : rng_(GetParam()) {}
+
+  // Unary-schema relations with heavy support overlap.
+  Relation R1() { return RandomIntRelation(rng_, 1, 40, 12, 4); }
+  // Binary-schema relations.
+  Relation R2() { return RandomIntRelation(rng_, 2, 40, 6, 4); }
+
+  ExprPtr RandomUnaryPred() {
+    std::uniform_int_distribution<int64_t> c(0, 11);
+    switch (rng_() % 3) {
+      case 0:
+        return Lt(Attr(0), Lit(c(rng_)));
+      case 1:
+        return Eq(Attr(0), Lit(c(rng_)));
+      default:
+        return Ge(Attr(0), Lit(c(rng_)));
+    }
+  }
+
+  std::mt19937_64 rng_;
+};
+
+// Theorem 3.1: E1 ∩ E2 = E1 − (E1 − E2).
+TEST_P(AlgebraLawTest, IntersectEqualsDoubleDifference) {
+  Relation a = R1(), b = R1();
+  auto direct = ops::Intersect(a, b);
+  auto via = ops::Difference(a, *ops::Difference(a, b));
+  ASSERT_OK(direct);
+  ASSERT_OK(via);
+  EXPECT_REL_EQ(*direct, *via);
+}
+
+// Theorem 3.1: E1 ⋈_φ E2 = σ_φ(E1 × E2).
+TEST_P(AlgebraLawTest, JoinEqualsSelectOverProduct) {
+  Relation a = R2(), b = R2();
+  ExprPtr cond = Eq(Attr(0), Attr(2));
+  auto direct = ops::Join(cond, a, b);
+  auto via = ops::Select(cond, *ops::Product(a, b));
+  ASSERT_OK(direct);
+  ASSERT_OK(via);
+  EXPECT_REL_EQ(*direct, *via);
+}
+
+// Theorem 3.2: σ_p(E1 ⊎ E2) = σ_p E1 ⊎ σ_p E2.
+TEST_P(AlgebraLawTest, SelectDistributesOverUnion) {
+  Relation a = R1(), b = R1();
+  ExprPtr p = RandomUnaryPred();
+  auto lhs = ops::Select(p, *ops::Union(a, b));
+  auto rhs = ops::Union(*ops::Select(p, a), *ops::Select(p, b));
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+// Theorem 3.2: π_a(E1 ⊎ E2) = π_a E1 ⊎ π_a E2.
+TEST_P(AlgebraLawTest, ProjectDistributesOverUnion) {
+  Relation a = R2(), b = R2();
+  auto lhs = ops::ProjectIndexes({1}, *ops::Union(a, b));
+  auto rhs = ops::Union(*ops::ProjectIndexes({1}, a),
+                        *ops::ProjectIndexes({1}, b));
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+// Bag-valid relatives used by the optimizer's pushdown rules.
+TEST_P(AlgebraLawTest, SelectDistributesOverDifference) {
+  Relation a = R1(), b = R1();
+  ExprPtr p = RandomUnaryPred();
+  auto lhs = ops::Select(p, *ops::Difference(a, b));
+  auto rhs = ops::Difference(*ops::Select(p, a), *ops::Select(p, b));
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+TEST_P(AlgebraLawTest, SelectDistributesOverIntersection) {
+  Relation a = R1(), b = R1();
+  ExprPtr p = RandomUnaryPred();
+  auto lhs = ops::Select(p, *ops::Intersect(a, b));
+  auto rhs = ops::Intersect(*ops::Select(p, a), *ops::Select(p, b));
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+TEST_P(AlgebraLawTest, SelectCommutesWithUnique) {
+  Relation a = R1();
+  ExprPtr p = RandomUnaryPred();
+  auto lhs = ops::Select(p, *ops::Unique(a));
+  auto rhs = ops::Unique(*ops::Select(p, a));
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+// §3.3 (stated in the note after Theorem 3.2): δ does NOT distribute over
+// ⊎, but δ(E1 ⊎ E2) = δ(δE1 ⊎ δE2) holds.
+TEST_P(AlgebraLawTest, UniqueOverUnionLaw) {
+  Relation a = R1(), b = R1();
+  auto lhs = ops::Unique(*ops::Union(a, b));
+  auto rhs = ops::Unique(*ops::Union(*ops::Unique(a), *ops::Unique(b)));
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+TEST_P(AlgebraLawTest, UniqueDoesNotDistributeOverUnionWhenOverlapping) {
+  // Verify the *inequivalence* on a constructed witness (random relations
+  // may miss the overlap; this one cannot).
+  Relation a = ::mra::testing::IntRel("a", {{1}}, 1);
+  Relation b = ::mra::testing::IntRel("b", {{1}}, 1);
+  auto lhs = ops::Unique(*ops::Union(a, b));          // {1 : 1}
+  auto rhs = ops::Union(*ops::Unique(a), *ops::Unique(b));  // {1 : 2}
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  EXPECT_FALSE(lhs->Equals(*rhs));
+}
+
+TEST_P(AlgebraLawTest, UniqueDistributesOverProduct) {
+  Relation a = R1(), b = R1();
+  auto lhs = ops::Unique(*ops::Product(a, b));
+  auto rhs = ops::Product(*ops::Unique(a), *ops::Unique(b));
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+// Theorem 3.3: associativity of ×, ⋈, ⊎ and ∩.
+TEST_P(AlgebraLawTest, UnionAssociative) {
+  Relation a = R1(), b = R1(), c = R1();
+  auto lhs = ops::Union(*ops::Union(a, b), c);
+  auto rhs = ops::Union(a, *ops::Union(b, c));
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+TEST_P(AlgebraLawTest, IntersectAssociative) {
+  Relation a = R1(), b = R1(), c = R1();
+  auto lhs = ops::Intersect(*ops::Intersect(a, b), c);
+  auto rhs = ops::Intersect(a, *ops::Intersect(b, c));
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+TEST_P(AlgebraLawTest, ProductAssociativeUpToSchema) {
+  Relation a = R1(), b = R1(), c = R1();
+  auto lhs = ops::Product(*ops::Product(a, b), c);
+  auto rhs = ops::Product(a, *ops::Product(b, c));
+  ASSERT_OK(lhs);
+  ASSERT_OK(rhs);
+  // (A × B) × C and A × (B × C) produce the same tuples and counts.
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+TEST_P(AlgebraLawTest, JoinAssociative) {
+  Relation a = R1(), b = R1(), c = R1();
+  // (a ⋈_{%1=%2} b) ⋈_{%2=%3} c  vs  a ⋈_{%1=%2} (b ⋈_{%1=%2} c).
+  auto ab = ops::Join(Eq(Attr(0), Attr(1)), a, b);
+  ASSERT_OK(ab);
+  auto lhs = ops::Join(Eq(Attr(1), Attr(2)), *ab, c);
+  ASSERT_OK(lhs);
+  auto bc = ops::Join(Eq(Attr(0), Attr(1)), b, c);
+  ASSERT_OK(bc);
+  auto rhs = ops::Join(Eq(Attr(0), Attr(1)), a, *bc);
+  ASSERT_OK(rhs);
+  EXPECT_REL_EQ(*lhs, *rhs);
+}
+
+// Commutativity (referenced implicitly by the optimizer's join commute).
+TEST_P(AlgebraLawTest, UnionAndIntersectCommutative) {
+  Relation a = R1(), b = R1();
+  EXPECT_REL_EQ(*ops::Union(a, b), *ops::Union(b, a));
+  EXPECT_REL_EQ(*ops::Intersect(a, b), *ops::Intersect(b, a));
+}
+
+TEST_P(AlgebraLawTest, ProductCommutativeUpToColumnOrder) {
+  Relation a = R1(), b = R1();
+  auto ab = ops::Product(a, b);
+  auto ba = ops::Product(b, a);
+  ASSERT_OK(ab);
+  ASSERT_OK(ba);
+  auto ba_swapped = ops::ProjectIndexes({1, 0}, *ba);
+  ASSERT_OK(ba_swapped);
+  EXPECT_REL_EQ(*ab, *ba_swapped);
+}
+
+// Union/difference interplay: (E1 ⊎ E2) − E2 = E1 in bags (unlike sets!).
+TEST_P(AlgebraLawTest, UnionThenDifferenceRestores) {
+  Relation a = R1(), b = R1();
+  auto lhs = ops::Difference(*ops::Union(a, b), b);
+  ASSERT_OK(lhs);
+  EXPECT_REL_EQ(*lhs, a);
+}
+
+// Size laws implied by the multiplicity definitions.
+TEST_P(AlgebraLawTest, CardinalityLaws) {
+  Relation a = R1(), b = R1();
+  EXPECT_EQ(ops::Union(a, b)->size(), a.size() + b.size());
+  EXPECT_EQ(ops::Product(a, b)->size(), a.size() * b.size());
+  EXPECT_EQ(ops::ProjectIndexes({0}, a)->size(), a.size());
+  EXPECT_EQ(ops::Unique(a)->size(), a.distinct_size());
+}
+
+// Definition 4.1's update identity: with α the identity list,
+// (R − E) ⊎ π_α(R ∩ E) = R whenever E ⊑ has arbitrary overlap with R.
+TEST_P(AlgebraLawTest, UpdateWithIdentityAlphaIsNoop) {
+  Relation r = R2(), e = R2();
+  auto untouched = ops::Difference(r, e);
+  auto hit = ops::Intersect(r, e);
+  ASSERT_OK(untouched);
+  ASSERT_OK(hit);
+  auto rewritten = ops::ProjectIndexes({0, 1}, *hit);
+  ASSERT_OK(rewritten);
+  auto result = ops::Union(*untouched, *rewritten);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, r);
+}
+
+// Difference/intersection partition: (E1 − E2) ⊎ (E1 ∩ E2) = E1.
+TEST_P(AlgebraLawTest, DifferencePlusIntersectionPartitions) {
+  Relation a = R1(), b = R1();
+  auto result = ops::Union(*ops::Difference(a, b), *ops::Intersect(a, b));
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraLawTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace mra

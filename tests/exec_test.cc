@@ -1,0 +1,292 @@
+// Tests for the physical executor: each operator against its definitional
+// counterpart, plus randomized whole-plan agreement between
+// exec::ExecutePlan and the reference evaluator.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mra/algebra/ops.h"
+#include "mra/catalog/catalog.h"
+#include "mra/exec/operator.h"
+#include "mra/exec/physical_planner.h"
+#include "test_util.h"
+
+namespace mra {
+namespace exec {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::IntTuple;
+using ::mra::testing::PaperBeerDb;
+using ::mra::testing::RandomIntRelation;
+
+TEST(ScanOpTest, StreamsAllEntries) {
+  Relation r = IntRel("r", {{1}, {1}, {2}}, 1);
+  ScanOp scan(&r);
+  auto result = ExecuteToRelation(scan);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, r);
+}
+
+TEST(ConstScanOpTest, OwnsItsRelation) {
+  auto op = std::make_unique<ConstScanOp>(IntRel("r", {{5}}, 1));
+  auto result = ExecuteToRelation(*op);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->Multiplicity(IntTuple({5})), 1u);
+}
+
+TEST(FilterOpTest, MatchesDefinitionalSelect) {
+  Relation r = IntRel("r", {{1}, {2}, {2}, {3}}, 1);
+  ExprPtr pred = Ge(Attr(0), Lit(int64_t{2}));
+  FilterOp op(pred, std::make_unique<ScanOp>(&r));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::Select(pred, r));
+}
+
+TEST(ComputeOpTest, MatchesDefinitionalProject) {
+  Relation r = IntRel("r", {{1, 10}, {2, 20}, {2, 20}}, 2);
+  std::vector<ExprPtr> exprs = {Add(Attr(0), Attr(1))};
+  auto schema = InferProjectionSchema(exprs, r.schema());
+  ASSERT_OK(schema);
+  ComputeOp op(exprs, *schema, std::make_unique<ScanOp>(&r));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::Project(exprs, r));
+}
+
+TEST(DedupOpTest, StreamsFirstOccurrenceOnly) {
+  Relation r = IntRel("r", {{1}, {1}, {2}}, 1);
+  DedupOp op(std::make_unique<ScanOp>(&r));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::Unique(r));
+}
+
+TEST(UnionAllOpTest, CountsAddAcrossStreams) {
+  Relation a = IntRel("a", {{1}, {1}}, 1);
+  Relation b = IntRel("b", {{1}, {2}}, 1);
+  UnionAllOp op(std::make_unique<ScanOp>(&a), std::make_unique<ScanOp>(&b));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::Union(a, b));
+}
+
+TEST(DifferenceOpTest, MatchesDefinitionalDifference) {
+  Relation a = IntRel("a", {{1}, {1}, {1}, {2}}, 1);
+  Relation b = IntRel("b", {{1}, {2}, {3}}, 1);
+  DifferenceOp op(std::make_unique<ScanOp>(&a), std::make_unique<ScanOp>(&b));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::Difference(a, b));
+}
+
+TEST(IntersectOpTest, MatchesDefinitionalIntersect) {
+  Relation a = IntRel("a", {{1}, {1}, {2}}, 1);
+  Relation b = IntRel("b", {{1}, {3}}, 1);
+  IntersectOp op(std::make_unique<ScanOp>(&a), std::make_unique<ScanOp>(&b));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::Intersect(a, b));
+}
+
+TEST(NestedLoopJoinOpTest, ProductWhenNoCondition) {
+  Relation a = IntRel("a", {{1}, {1}}, 1);
+  Relation b = IntRel("b", {{7}, {8}}, 1);
+  NestedLoopJoinOp op(nullptr, std::make_unique<ScanOp>(&a),
+                      std::make_unique<ScanOp>(&b));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::Product(a, b));
+  EXPECT_EQ(op.name(), "Product");
+}
+
+TEST(NestedLoopJoinOpTest, ThetaJoin) {
+  Relation a = IntRel("a", {{1}, {2}, {3}}, 1);
+  Relation b = IntRel("b", {{2}, {3}}, 1);
+  ExprPtr cond = Lt(Attr(0), Attr(1));
+  NestedLoopJoinOp op(cond, std::make_unique<ScanOp>(&a),
+                      std::make_unique<ScanOp>(&b));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::Join(cond, a, b));
+}
+
+TEST(HashJoinOpTest, EquiJoinMatchesDefinitional) {
+  Relation a = IntRel("a", {{1, 100}, {2, 200}, {2, 201}}, 2);
+  Relation b = IntRel("b", {{2, 7}, {3, 8}, {2, 9}}, 2);
+  ExprPtr cond = Eq(Attr(0), Attr(2));
+  HashJoinOp op({0}, {0}, nullptr, std::make_unique<ScanOp>(&a),
+                std::make_unique<ScanOp>(&b));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::Join(cond, a, b));
+}
+
+TEST(HashJoinOpTest, ResidualConditionApplied) {
+  Relation a = IntRel("a", {{1, 5}, {1, 50}}, 2);
+  Relation b = IntRel("b", {{1, 10}}, 2);
+  // Equi on col1 = col3, residual col2 < col4.
+  ExprPtr full = And(Eq(Attr(0), Attr(2)), Lt(Attr(1), Attr(3)));
+  HashJoinOp op({0}, {0}, Lt(Attr(1), Attr(3)), std::make_unique<ScanOp>(&a),
+                std::make_unique<ScanOp>(&b));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::Join(full, a, b));
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(HashGroupByOpTest, MatchesDefinitionalGroupBy) {
+  Relation r = IntRel("r", {{1, 10}, {1, 20}, {2, 30}}, 2);
+  std::vector<AggSpec> aggs = {{AggKind::kSum, 1, "s"},
+                               {AggKind::kCnt, 0, "n"}};
+  auto schema = ops::GroupBySchema({0}, aggs, r.schema());
+  ASSERT_OK(schema);
+  HashGroupByOp op({0}, aggs, *schema, std::make_unique<ScanOp>(&r));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *ops::GroupBy({0}, aggs, r));
+}
+
+TEST(HashGroupByOpTest, GlobalAggregateOverEmptyStream) {
+  Relation empty(RelationSchema("e", {{"x", Type::Int()}}));
+  std::vector<AggSpec> aggs = {{AggKind::kCnt, 0, "n"}};
+  auto schema = ops::GroupBySchema({}, aggs, empty.schema());
+  ASSERT_OK(schema);
+  HashGroupByOp op({}, aggs, *schema, std::make_unique<ScanOp>(&empty));
+  auto result = ExecuteToRelation(op);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->Multiplicity(IntTuple({0})), 1u);
+}
+
+TEST(ExtractEquiJoinKeysTest, FindsCrossSideEqualities) {
+  // Schema: 2 left ints + 2 right ints.
+  RelationSchema combined("j", {{"a", Type::Int()},
+                                {"b", Type::Int()},
+                                {"c", Type::Int()},
+                                {"d", Type::Int()}});
+  ExprPtr cond = And(Eq(Attr(0), Attr(2)),
+                     And(Eq(Attr(3), Attr(1)), Gt(Attr(1), Lit(int64_t{5}))));
+  std::vector<size_t> lk, rk;
+  ExprPtr residual;
+  EXPECT_TRUE(ExtractEquiJoinKeys(cond, combined, 2, &lk, &rk, &residual));
+  EXPECT_EQ(lk, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(rk, (std::vector<size_t>{0, 1}));
+  ASSERT_NE(residual, nullptr);
+  EXPECT_EQ(residual->ToString(), "(%2 > 5)");
+}
+
+TEST(ExtractEquiJoinKeysTest, RejectsSameSideAndMixedDomain) {
+  RelationSchema combined("j", {{"a", Type::Int()},
+                                {"b", Type::Int()},
+                                {"c", Type::Real()}});
+  // Same-side equality: not a join key.
+  std::vector<size_t> lk, rk;
+  ExprPtr residual;
+  EXPECT_FALSE(ExtractEquiJoinKeys(Eq(Attr(0), Attr(1)), combined, 2, &lk,
+                                   &rk, &residual));
+  ASSERT_NE(residual, nullptr);
+  // Cross-side but int vs real: promotion-based equality cannot be hashed.
+  EXPECT_FALSE(ExtractEquiJoinKeys(Eq(Attr(0), Attr(2)), combined, 2, &lk,
+                                   &rk, &residual));
+}
+
+TEST(PhysicalPlannerTest, LowersJoinToHashJoin) {
+  Catalog catalog;
+  PaperBeerDb db;
+  ASSERT_OK(catalog.CreateRelation(db.beer.schema()));
+  ASSERT_OK(catalog.SetRelation("beer", db.beer));
+  ASSERT_OK(catalog.CreateRelation(db.brewery.schema()));
+  ASSERT_OK(catalog.SetRelation("brewery", db.brewery));
+
+  PlanPtr beer = Plan::Scan("beer", db.beer.schema());
+  PlanPtr brewery = Plan::Scan("brewery", db.brewery.schema());
+  auto join = Plan::Join(Eq(Attr(1), Attr(3)), beer, brewery);
+  ASSERT_OK(join);
+  auto op = LowerPlan(*join, catalog);
+  ASSERT_OK(op);
+  EXPECT_EQ((*op)->name(), "HashJoin");
+
+  auto theta = Plan::Join(Lt(Attr(2), Attr(2)), beer, brewery);
+  ASSERT_OK(theta);
+  auto op2 = LowerPlan(*theta, catalog);
+  ASSERT_OK(op2);
+  EXPECT_EQ((*op2)->name(), "NestedLoopJoin");
+}
+
+TEST(PhysicalPlannerTest, PhysicalToStringShowsTree) {
+  Catalog catalog;
+  PaperBeerDb db;
+  ASSERT_OK(catalog.CreateRelation(db.beer.schema()));
+  ASSERT_OK(catalog.SetRelation("beer", db.beer));
+  PlanPtr beer = Plan::Scan("beer", db.beer.schema());
+  auto sel = Plan::Select(Eq(Attr(1), Lit("Guineken")), beer);
+  ASSERT_OK(sel);
+  auto op = LowerPlan(*sel, catalog);
+  ASSERT_OK(op);
+  std::string rendered = (*op)->ToString();
+  EXPECT_NE(rendered.find("Filter"), std::string::npos);
+  EXPECT_NE(rendered.find("Scan"), std::string::npos);
+}
+
+class ExecAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Random plans over random catalogs: the physical executor must agree with
+// the definitional evaluator exactly.
+TEST_P(ExecAgreementTest, PhysicalMatchesReference) {
+  std::mt19937_64 rng(GetParam());
+  Catalog catalog;
+  Relation r = RandomIntRelation(rng, 2, 30, 8, 3);
+  Relation s = RandomIntRelation(rng, 2, 30, 8, 3);
+  RelationSchema rs = r.schema();
+  rs.set_name("r");
+  RelationSchema ss = s.schema();
+  ss.set_name("s");
+  ASSERT_OK(catalog.CreateRelation(rs));
+  ASSERT_OK(catalog.SetRelation("r", r));
+  ASSERT_OK(catalog.CreateRelation(ss));
+  ASSERT_OK(catalog.SetRelation("s", s));
+
+  PlanPtr scan_r = Plan::Scan("r", rs);
+  PlanPtr scan_s = Plan::Scan("s", ss);
+
+  std::vector<PlanPtr> plans;
+  auto add = [&plans](Result<PlanPtr> p) {
+    ASSERT_OK(p);
+    plans.push_back(*p);
+  };
+  add(Plan::Union(scan_r, scan_s));
+  add(Plan::Difference(scan_r, scan_s));
+  add(Plan::Intersect(scan_r, scan_s));
+  add(Plan::Join(Eq(Attr(0), Attr(2)), scan_r, scan_s));
+  add(Plan::Join(And(Eq(Attr(0), Attr(2)), Lt(Attr(1), Attr(3))), scan_r,
+                 scan_s));
+  add(Plan::Select(Gt(Attr(1), Lit(int64_t{3})), scan_r));
+  add(Plan::Unique(Plan::ProjectIndexes({0}, scan_r).value()));
+  add(Plan::GroupBy({0}, {{AggKind::kSum, 1, ""}, {AggKind::kCnt, 0, ""}},
+                    scan_r));
+  // A deeper composite: Γ(δ(σ(join))).
+  auto join = Plan::Join(Eq(Attr(1), Attr(2)), scan_r, scan_s);
+  ASSERT_OK(join);
+  auto sel = Plan::Select(Le(Attr(0), Lit(int64_t{6})), *join);
+  ASSERT_OK(sel);
+  auto uniq = Plan::Unique(*sel);
+  ASSERT_OK(uniq);
+  add(Plan::GroupBy({0}, {{AggKind::kMax, 3, ""}}, *uniq));
+
+  for (const PlanPtr& plan : plans) {
+    auto reference = EvaluatePlan(*plan, catalog);
+    auto physical = ExecutePlan(plan, catalog);
+    ASSERT_OK(reference);
+    ASSERT_OK(physical);
+    EXPECT_REL_EQ(*physical, *reference) << plan->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecAgreementTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{16}));
+
+}  // namespace
+}  // namespace exec
+}  // namespace mra

@@ -1,0 +1,274 @@
+// Tests for scalar expressions: the σ conditions of Definition 3.1 and the
+// arithmetic expressions of the extended projection (Definition 3.4).
+
+#include <gtest/gtest.h>
+
+#include "mra/expr/eval.h"
+#include "mra/expr/scalar_expr.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::IntTuple;
+
+RelationSchema IntSchema(size_t arity) {
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < arity; ++i) {
+    attrs.push_back({"c" + std::to_string(i + 1), Type::Int()});
+  }
+  return RelationSchema("t", std::move(attrs));
+}
+
+Value EvalOk(const ExprPtr& e, const Tuple& t) {
+  auto r = e->Eval(t);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : Value();
+}
+
+TEST(ExprInferTest, AttrRefTypesFromSchema) {
+  RelationSchema s("t", {{"x", Type::Int()}, {"y", Type::String()}});
+  EXPECT_EQ(*Attr(0)->Infer(s), Type::Int());
+  EXPECT_EQ(*Attr(1)->Infer(s), Type::String());
+  EXPECT_EQ(Attr(2)->Infer(s).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExprInferTest, ArithmeticPromotion) {
+  RelationSchema s("t", {{"i", Type::Int()},
+                         {"r", Type::Real()},
+                         {"d", Type::Decimal()}});
+  EXPECT_EQ(*Add(Attr(0), Attr(0))->Infer(s), Type::Int());
+  EXPECT_EQ(*Add(Attr(0), Attr(1))->Infer(s), Type::Real());
+  EXPECT_EQ(*Mul(Attr(0), Attr(2))->Infer(s), Type::Decimal());
+  EXPECT_EQ(*Div(Attr(2), Attr(1))->Infer(s), Type::Real());
+}
+
+TEST(ExprInferTest, ArithmeticRejectsNonNumeric) {
+  RelationSchema s("t", {{"x", Type::String()}});
+  EXPECT_EQ(Add(Attr(0), Lit(int64_t{1}))->Infer(s).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(ExprInferTest, ModRequiresInts) {
+  RelationSchema s("t", {{"r", Type::Real()}});
+  EXPECT_EQ(Mod(Attr(0), Lit(int64_t{2}))->Infer(s).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(ExprInferTest, ComparisonsYieldBool) {
+  RelationSchema s("t", {{"i", Type::Int()}, {"s", Type::String()}});
+  EXPECT_EQ(*Lt(Attr(0), Lit(int64_t{3}))->Infer(s), Type::Bool());
+  EXPECT_EQ(*Eq(Attr(1), Lit("x"))->Infer(s), Type::Bool());
+  // Cross-domain non-numeric comparison is a type error.
+  EXPECT_EQ(Eq(Attr(0), Attr(1))->Infer(s).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(ExprInferTest, MixedNumericComparisonAllowed) {
+  RelationSchema s("t", {{"i", Type::Int()}, {"r", Type::Real()}});
+  EXPECT_EQ(*Le(Attr(0), Attr(1))->Infer(s), Type::Bool());
+}
+
+TEST(ExprInferTest, BooleanConnectives) {
+  RelationSchema s("t", {{"b", Type::Bool()}, {"i", Type::Int()}});
+  EXPECT_EQ(*And(Attr(0), Not(Attr(0)))->Infer(s), Type::Bool());
+  EXPECT_EQ(And(Attr(0), Attr(1))->Infer(s).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Not(Attr(1))->Infer(s).status().code(), StatusCode::kTypeError);
+}
+
+TEST(ExprInferTest, DateArithmetic) {
+  RelationSchema s("t", {{"d", Type::Date()}, {"i", Type::Int()}});
+  EXPECT_EQ(*Add(Attr(0), Attr(1))->Infer(s), Type::Date());
+  EXPECT_EQ(*Sub(Attr(0), Attr(1))->Infer(s), Type::Date());
+  EXPECT_EQ(*Sub(Attr(0), Attr(0))->Infer(s), Type::Int());
+  EXPECT_EQ(Mul(Attr(0), Attr(1))->Infer(s).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Add(Attr(1), Attr(0))->Infer(s).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(ExprEvalTest, IntArithmetic) {
+  Tuple t = IntTuple({7, 3});
+  EXPECT_EQ(EvalOk(Add(Attr(0), Attr(1)), t).int_value(), 10);
+  EXPECT_EQ(EvalOk(Sub(Attr(0), Attr(1)), t).int_value(), 4);
+  EXPECT_EQ(EvalOk(Mul(Attr(0), Attr(1)), t).int_value(), 21);
+  EXPECT_EQ(EvalOk(Div(Attr(0), Attr(1)), t).int_value(), 2);  // truncating
+  EXPECT_EQ(EvalOk(Mod(Attr(0), Attr(1)), t).int_value(), 1);
+  EXPECT_EQ(EvalOk(Neg(Attr(0)), t).int_value(), -7);
+}
+
+TEST(ExprEvalTest, DivisionByZeroIsEvalError) {
+  Tuple t = IntTuple({1, 0});
+  EXPECT_EQ(Div(Attr(0), Attr(1))->Eval(t).status().code(),
+            StatusCode::kEvalError);
+  EXPECT_EQ(Mod(Attr(0), Attr(1))->Eval(t).status().code(),
+            StatusCode::kEvalError);
+  Tuple rt({Value::Real(1.0), Value::Real(0.0)});
+  EXPECT_EQ(Div(Attr(0), Attr(1))->Eval(rt).status().code(),
+            StatusCode::kEvalError);
+}
+
+TEST(ExprEvalTest, MixedNumericPromotesToReal) {
+  Tuple t({Value::Int(3), Value::Real(0.5)});
+  Value v = EvalOk(Add(Attr(0), Attr(1)), t);
+  EXPECT_EQ(v.kind(), TypeKind::kReal);
+  EXPECT_DOUBLE_EQ(v.real_value(), 3.5);
+}
+
+TEST(ExprEvalTest, DecimalArithmetic) {
+  Tuple t({Value::DecimalScaled(25000), Value::DecimalScaled(15000)});  // 2.5, 1.5
+  EXPECT_EQ(EvalOk(Add(Attr(0), Attr(1)), t).decimal_scaled(), 40000);
+  EXPECT_EQ(EvalOk(Mul(Attr(0), Attr(1)), t).decimal_scaled(), 37500);  // 3.75
+  EXPECT_EQ(EvalOk(Div(Attr(0), Attr(1)), t).decimal_scaled(), 16666);
+  // int * decimal promotes to decimal.
+  Tuple t2({Value::Int(3), Value::DecimalScaled(15000)});
+  EXPECT_EQ(EvalOk(Mul(Attr(0), Attr(1)), t2).decimal_scaled(), 45000);
+}
+
+TEST(ExprEvalTest, DateArithmetic) {
+  Tuple t({Value::Date(100), Value::Int(5), Value::Date(90)});
+  EXPECT_EQ(EvalOk(Add(Attr(0), Attr(1)), t).date_days(), 105);
+  EXPECT_EQ(EvalOk(Sub(Attr(0), Attr(1)), t).date_days(), 95);
+  EXPECT_EQ(EvalOk(Sub(Attr(0), Attr(2)), t).int_value(), 10);
+}
+
+TEST(ExprEvalTest, Comparisons) {
+  Tuple t = IntTuple({2, 3});
+  EXPECT_TRUE(EvalOk(Lt(Attr(0), Attr(1)), t).bool_value());
+  EXPECT_FALSE(EvalOk(Gt(Attr(0), Attr(1)), t).bool_value());
+  EXPECT_TRUE(EvalOk(Ne(Attr(0), Attr(1)), t).bool_value());
+  EXPECT_TRUE(EvalOk(Le(Attr(0), Attr(0)), t).bool_value());
+  EXPECT_TRUE(EvalOk(Ge(Attr(1), Attr(0)), t).bool_value());
+  EXPECT_FALSE(EvalOk(Eq(Attr(0), Attr(1)), t).bool_value());
+}
+
+TEST(ExprEvalTest, MixedNumericComparison) {
+  Tuple t({Value::Int(2), Value::Real(2.0), Value::DecimalScaled(20000)});
+  EXPECT_TRUE(EvalOk(Eq(Attr(0), Attr(1)), t).bool_value());
+  EXPECT_TRUE(EvalOk(Eq(Attr(0), Attr(2)), t).bool_value());
+}
+
+TEST(ExprEvalTest, ShortCircuitGuardsRuntimeErrors) {
+  // false AND (1/0 = 1) must not evaluate the division.
+  Tuple t = IntTuple({0});
+  ExprPtr e = And(Lit(false), Eq(Div(Lit(int64_t{1}), Attr(0)),
+                                 Lit(int64_t{1})));
+  auto r = e->Eval(t);
+  ASSERT_OK(r);
+  EXPECT_FALSE(r->bool_value());
+  ExprPtr o = Or(Lit(true), Eq(Div(Lit(int64_t{1}), Attr(0)),
+                               Lit(int64_t{1})));
+  ASSERT_OK(o->Eval(t));
+}
+
+TEST(ExprEvalTest, PredicateHelpers) {
+  RelationSchema s = IntSchema(1);
+  ExprPtr good = Gt(Attr(0), Lit(int64_t{5}));
+  EXPECT_OK(CheckPredicate(good, s));
+  // Non-boolean condition rejected statically.
+  EXPECT_EQ(CheckPredicate(Add(Attr(0), Attr(0)), s).code(),
+            StatusCode::kTypeError);
+  auto v = EvalPredicate(*good, IntTuple({9}));
+  ASSERT_OK(v);
+  EXPECT_TRUE(*v);
+}
+
+TEST(ExprToStringTest, PaperNotation) {
+  // %i is printed 1-based, as in the paper.
+  EXPECT_EQ(Attr(0)->ToString(), "%1");
+  EXPECT_EQ(Eq(Attr(1), Lit("Guineken"))->ToString(), "(%2 = 'Guineken')");
+  EXPECT_EQ(Mul(Attr(2), Lit(1.1))->ToString(), "(%3 * 1.1)");
+  EXPECT_EQ(And(Lit(true), Not(Lit(false)))->ToString(),
+            "(true and (not false))");
+}
+
+TEST(ExprRewriteTest, AttrsUsed) {
+  ExprPtr e = And(Eq(Attr(0), Attr(3)), Gt(Attr(5), Lit(int64_t{1})));
+  std::set<size_t> attrs = AttrsUsed(e);
+  EXPECT_EQ(attrs, (std::set<size_t>{0, 3, 5}));
+  EXPECT_TRUE(IsConstantExpr(Lit(int64_t{1})));
+  EXPECT_FALSE(IsConstantExpr(e));
+}
+
+TEST(ExprRewriteTest, RemapAndShift) {
+  ExprPtr e = Eq(Attr(0), Attr(2));
+  ExprPtr remapped = RemapAttrs(e, {5, 6, 7});
+  EXPECT_EQ(remapped->ToString(), "(%6 = %8)");
+  ExprPtr shifted = ShiftAttrs(e, 3);
+  EXPECT_EQ(shifted->ToString(), "(%4 = %6)");
+  ExprPtr back = ShiftAttrs(shifted, -3);
+  EXPECT_TRUE(ExprEquals(back, e));
+}
+
+TEST(ExprRewriteTest, SubstituteAttrs) {
+  // σ condition over a projection's outputs, rewritten to the inputs.
+  ExprPtr cond = Gt(Attr(1), Lit(int64_t{10}));
+  std::vector<ExprPtr> projections = {Attr(3), Add(Attr(0), Attr(1))};
+  ExprPtr pushed = SubstituteAttrs(cond, projections);
+  EXPECT_EQ(pushed->ToString(), "((%1 + %2) > 10)");
+}
+
+TEST(ExprRewriteTest, ConjunctSplitAndCombine) {
+  ExprPtr e = And(And(Eq(Attr(0), Lit(int64_t{1})), Gt(Attr(1), Attr(2))),
+                  Lit(true));
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(e, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  ExprPtr combined = CombineConjuncts(conjuncts);
+  EXPECT_TRUE(ExprEquals(combined, e));
+  EXPECT_EQ(CombineConjuncts({})->ToString(), "true");
+}
+
+TEST(ExprRewriteTest, FoldConstants) {
+  ExprPtr e = Add(Lit(int64_t{2}), Mul(Lit(int64_t{3}), Lit(int64_t{4})));
+  ExprPtr folded = FoldConstants(e);
+  ASSERT_EQ(folded->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(static_cast<const LiteralExpr&>(*folded).value().int_value(), 14);
+}
+
+TEST(ExprRewriteTest, FoldKeepsRuntimeErrorsUnfolded) {
+  ExprPtr e = Div(Lit(int64_t{1}), Lit(int64_t{0}));
+  ExprPtr folded = FoldConstants(e);
+  EXPECT_EQ(folded->kind(), ExprKind::kBinary);  // still a division
+}
+
+TEST(ExprRewriteTest, FoldShortCircuitsBooleans) {
+  ExprPtr x = Gt(Attr(0), Lit(int64_t{1}));
+  EXPECT_TRUE(ExprEquals(FoldConstants(And(Lit(true), x)), x));
+  EXPECT_EQ(FoldConstants(And(Lit(false), x))->ToString(), "false");
+  EXPECT_EQ(FoldConstants(Or(Lit(true), x))->ToString(), "true");
+  EXPECT_TRUE(ExprEquals(FoldConstants(Or(x, Lit(false))), x));
+}
+
+TEST(ExprRewriteTest, StructuralEquality) {
+  EXPECT_TRUE(ExprEquals(Add(Attr(0), Lit(int64_t{1})),
+                         Add(Attr(0), Lit(int64_t{1}))));
+  EXPECT_FALSE(ExprEquals(Add(Attr(0), Lit(int64_t{1})),
+                          Add(Attr(0), Lit(int64_t{2}))));
+  EXPECT_FALSE(ExprEquals(Lit(int64_t{1}), Lit(1.0)));
+}
+
+TEST(ProjectionHelperTest, InferSchemaAndApply) {
+  RelationSchema s("t", {{"x", Type::Int()}, {"y", Type::Int()}});
+  std::vector<ExprPtr> exprs = {Attr(1), Mul(Attr(0), Lit(int64_t{2}))};
+  auto schema = InferProjectionSchema(exprs, s);
+  ASSERT_OK(schema);
+  EXPECT_EQ(schema->attribute(0).name, "y");  // plain refs keep their name
+  EXPECT_EQ(schema->attribute(1).name, "e2");
+  EXPECT_EQ(schema->TypeOf(1), Type::Int());
+  auto t = ProjectTuple(exprs, IntTuple({3, 4}));
+  ASSERT_OK(t);
+  EXPECT_EQ(t->at(0).int_value(), 4);
+  EXPECT_EQ(t->at(1).int_value(), 6);
+}
+
+TEST(ProjectionHelperTest, RequiresAtLeastOneExpr) {
+  // Definition 2.4: attribute lists have n >= 1.
+  RelationSchema s("t", {{"x", Type::Int()}});
+  EXPECT_EQ(InferProjectionSchema({}, s).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mra

@@ -1,0 +1,292 @@
+// Tests for the definitional multi-set operators of Definitions 3.1, 3.2
+// and 3.4, against hand-computed multiplicities, plus the paper's worked
+// Examples 3.1 and 3.2.
+
+#include "mra/algebra/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::IntTuple;
+using ::mra::testing::PaperBeerDb;
+
+TEST(UnionTest, MultiplicitiesAdd) {
+  Relation a = IntRel("a", {{1}, {1}, {2}}, 1);
+  Relation b = IntRel("b", {{1}, {3}}, 1);
+  auto u = ops::Union(a, b);
+  ASSERT_OK(u);
+  EXPECT_EQ(u->Multiplicity(IntTuple({1})), 3u);
+  EXPECT_EQ(u->Multiplicity(IntTuple({2})), 1u);
+  EXPECT_EQ(u->Multiplicity(IntTuple({3})), 1u);
+  EXPECT_EQ(u->size(), 5u);
+}
+
+TEST(UnionTest, RejectsIncompatibleSchemas) {
+  Relation a = IntRel("a", {{1}}, 1);
+  Relation b = IntRel("b", {{1, 2}}, 2);
+  EXPECT_EQ(ops::Union(a, b).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UnionTest, WithEmptyIsIdentity) {
+  Relation a = IntRel("a", {{1}, {1}}, 1);
+  Relation empty = IntRel("e", {}, 1);
+  EXPECT_REL_EQ(*ops::Union(a, empty), a);
+  EXPECT_REL_EQ(*ops::Union(empty, a), a);
+}
+
+TEST(DifferenceTest, SubtractsClampedAtZero) {
+  Relation a = IntRel("a", {{1}, {1}, {1}, {2}}, 1);
+  Relation b = IntRel("b", {{1}, {2}, {2}, {3}}, 1);
+  auto d = ops::Difference(a, b);
+  ASSERT_OK(d);
+  EXPECT_EQ(d->Multiplicity(IntTuple({1})), 2u);  // 3 - 1
+  EXPECT_EQ(d->Multiplicity(IntTuple({2})), 0u);  // max(0, 1 - 2)
+  EXPECT_EQ(d->Multiplicity(IntTuple({3})), 0u);
+  EXPECT_EQ(d->size(), 2u);
+}
+
+TEST(DifferenceTest, SelfDifferenceIsEmpty) {
+  Relation a = IntRel("a", {{1}, {1}, {2}}, 1);
+  auto d = ops::Difference(a, a);
+  ASSERT_OK(d);
+  EXPECT_TRUE(d->empty());
+}
+
+TEST(ProductTest, MultiplicitiesMultiply) {
+  Relation a = IntRel("a", {{1}, {1}}, 1);       // (1):2
+  Relation b = IntRel("b", {{7}, {7}, {8}}, 1);  // (7):2, (8):1
+  auto p = ops::Product(a, b);
+  ASSERT_OK(p);
+  EXPECT_EQ(p->schema().arity(), 2u);
+  EXPECT_EQ(p->Multiplicity(IntTuple({1, 7})), 4u);  // 2 * 2
+  EXPECT_EQ(p->Multiplicity(IntTuple({1, 8})), 2u);  // 2 * 1
+  EXPECT_EQ(p->size(), 6u);
+}
+
+TEST(ProductTest, SchemaIsOplus) {
+  PaperBeerDb db;
+  auto p = ops::Product(db.beer, db.brewery);
+  ASSERT_OK(p);
+  EXPECT_EQ(p->schema().arity(), 6u);
+  EXPECT_EQ(p->schema().attribute(5).name, "country");
+  EXPECT_EQ(p->size(), db.beer.size() * db.brewery.size());
+}
+
+TEST(SelectTest, FiltersByCondition) {
+  Relation a = IntRel("a", {{1}, {1}, {2}, {3}}, 1);
+  auto s = ops::Select(Ge(Attr(0), Lit(int64_t{2})), a);
+  ASSERT_OK(s);
+  EXPECT_EQ(s->Multiplicity(IntTuple({1})), 0u);
+  EXPECT_EQ(s->Multiplicity(IntTuple({2})), 1u);
+  EXPECT_EQ(s->Multiplicity(IntTuple({3})), 1u);
+}
+
+TEST(SelectTest, PreservesMultiplicities) {
+  Relation a = IntRel("a", {{5}, {5}, {5}}, 1);
+  auto s = ops::Select(Eq(Attr(0), Lit(int64_t{5})), a);
+  ASSERT_OK(s);
+  EXPECT_EQ(s->Multiplicity(IntTuple({5})), 3u);
+}
+
+TEST(SelectTest, TypeChecksCondition) {
+  Relation a = IntRel("a", {{1}}, 1);
+  EXPECT_EQ(ops::Select(Add(Attr(0), Attr(0)), a).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(ops::Select(Eq(Attr(3), Lit(int64_t{0})), a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProjectTest, AdditiveNoDedup) {
+  // π sums multiplicities of tuples mapping to the same image — and does
+  // NOT remove duplicates (the core multi-set departure from sets).
+  Relation a = IntRel("a", {{1, 10}, {1, 20}, {2, 30}}, 2);
+  auto p = ops::ProjectIndexes({0}, a);
+  ASSERT_OK(p);
+  EXPECT_EQ(p->Multiplicity(IntTuple({1})), 2u);
+  EXPECT_EQ(p->Multiplicity(IntTuple({2})), 1u);
+  EXPECT_EQ(p->size(), a.size());  // cardinality preserved
+}
+
+TEST(ProjectTest, ExtendedProjectionComputes) {
+  Relation a = IntRel("a", {{2, 3}}, 2);
+  auto p = ops::Project({Mul(Attr(0), Attr(1)), Add(Attr(0), Lit(int64_t{1}))},
+                        a);
+  ASSERT_OK(p);
+  EXPECT_EQ(p->Multiplicity(IntTuple({6, 3})), 1u);
+}
+
+TEST(ProjectTest, ReportsEvalErrors) {
+  Relation a = IntRel("a", {{1, 0}}, 2);
+  EXPECT_EQ(ops::Project({Div(Attr(0), Attr(1))}, a).status().code(),
+            StatusCode::kEvalError);
+}
+
+TEST(IntersectTest, TakesMinimum) {
+  Relation a = IntRel("a", {{1}, {1}, {1}, {2}}, 1);
+  Relation b = IntRel("b", {{1}, {1}, {3}}, 1);
+  auto i = ops::Intersect(a, b);
+  ASSERT_OK(i);
+  EXPECT_EQ(i->Multiplicity(IntTuple({1})), 2u);  // min(3, 2)
+  EXPECT_EQ(i->Multiplicity(IntTuple({2})), 0u);
+  EXPECT_EQ(i->Multiplicity(IntTuple({3})), 0u);
+}
+
+TEST(IntersectTest, WithSelfIsIdentity) {
+  Relation a = IntRel("a", {{1}, {1}, {2}}, 1);
+  EXPECT_REL_EQ(*ops::Intersect(a, a), a);
+}
+
+TEST(JoinTest, MatchesConditionAcrossSides) {
+  Relation a = IntRel("a", {{1}, {2}}, 1);
+  Relation b = IntRel("b", {{1, 10}, {2, 20}, {2, 21}}, 2);
+  auto j = ops::Join(Eq(Attr(0), Attr(1)), a, b);
+  ASSERT_OK(j);
+  EXPECT_EQ(j->Multiplicity(IntTuple({1, 1, 10})), 1u);
+  EXPECT_EQ(j->Multiplicity(IntTuple({2, 2, 20})), 1u);
+  EXPECT_EQ(j->Multiplicity(IntTuple({2, 2, 21})), 1u);
+  EXPECT_EQ(j->size(), 3u);
+}
+
+TEST(JoinTest, MultiplicitiesMultiplyThroughJoin) {
+  Relation a = IntRel("a", {{1}, {1}}, 1);
+  Relation b = IntRel("b", {{1}, {1}, {1}}, 1);
+  auto j = ops::Join(Eq(Attr(0), Attr(1)), a, b);
+  ASSERT_OK(j);
+  EXPECT_EQ(j->Multiplicity(IntTuple({1, 1})), 6u);
+}
+
+TEST(UniqueTest, MapsPositiveMultiplicityToOne) {
+  Relation a = IntRel("a", {{1}, {1}, {1}, {2}}, 1);
+  auto u = ops::Unique(a);
+  ASSERT_OK(u);
+  EXPECT_EQ(u->Multiplicity(IntTuple({1})), 1u);
+  EXPECT_EQ(u->Multiplicity(IntTuple({2})), 1u);
+  EXPECT_EQ(u->size(), 2u);
+}
+
+TEST(UniqueTest, Idempotent) {
+  Relation a = IntRel("a", {{1}, {1}, {2}}, 1);
+  auto once = ops::Unique(a);
+  ASSERT_OK(once);
+  auto twice = ops::Unique(*once);
+  ASSERT_OK(twice);
+  EXPECT_REL_EQ(*once, *twice);
+}
+
+// --- Theorem 3.1 on concrete relations (the paper proves it; we execute
+// both sides). ---
+
+TEST(Theorem31Test, IntersectViaDoubleDifference) {
+  Relation a = IntRel("a", {{1}, {1}, {1}, {2}, {4}}, 1);
+  Relation b = IntRel("b", {{1}, {1}, {2}, {2}, {3}}, 1);
+  auto direct = ops::Intersect(a, b);
+  auto via = ops::Difference(a, *ops::Difference(a, b));
+  ASSERT_OK(direct);
+  ASSERT_OK(via);
+  EXPECT_REL_EQ(*direct, *via);
+}
+
+TEST(Theorem31Test, JoinViaSelectionOverProduct) {
+  Relation a = IntRel("a", {{1}, {2}, {2}}, 1);
+  Relation b = IntRel("b", {{2, 7}, {3, 8}}, 2);
+  ExprPtr cond = Eq(Attr(0), Attr(1));
+  auto direct = ops::Join(cond, a, b);
+  auto via = ops::Select(cond, *ops::Product(a, b));
+  ASSERT_OK(direct);
+  ASSERT_OK(via);
+  EXPECT_REL_EQ(*direct, *via);
+}
+
+// --- Example 3.1: names of beers brewn in the Netherlands, duplicates
+// preserved. ---
+
+TEST(PaperExampleTest, Example31DutchBeerNames) {
+  PaperBeerDb db;
+  // π_(%1) σ_(%6 = 'NL') (beer ⋈_(%2 = %4) brewery)
+  auto joined = ops::Join(Eq(Attr(1), Attr(3)), db.beer, db.brewery);
+  ASSERT_OK(joined);
+  auto dutch = ops::Select(Eq(Attr(5), Lit("NL")), *joined);
+  ASSERT_OK(dutch);
+  auto names = ops::ProjectIndexes({0}, *dutch);
+  ASSERT_OK(names);
+  // Guineken (NL): pils ×2, dubbel ×1.  Bavapils (NL): dubbel ×1.
+  // Kirin (JP) excluded.  "dubbel" appears twice — the duplicates the
+  // example highlights.
+  EXPECT_EQ(names->Multiplicity(Tuple({Value::Str("pils")})), 2u);
+  EXPECT_EQ(names->Multiplicity(Tuple({Value::Str("dubbel")})), 2u);
+  EXPECT_EQ(names->Multiplicity(Tuple({Value::Str("stout")})), 0u);
+  EXPECT_EQ(names->size(), 4u);
+}
+
+// --- Example 3.2: average alcohol percentage per country; inserting an
+// early projection preserves the result under bag semantics. ---
+
+TEST(PaperExampleTest, Example32EarlyProjectionEquivalent) {
+  PaperBeerDb db;
+  ExprPtr join_cond = Eq(Attr(1), Attr(3));
+  auto joined = ops::Join(join_cond, db.beer, db.brewery);
+  ASSERT_OK(joined);
+
+  // Γ_(country),AVG,alcperc over the full join.
+  auto direct = ops::GroupBy({5}, {{AggKind::kAvg, 2, "avg_alcperc"}},
+                             *joined);
+  ASSERT_OK(direct);
+
+  // With the size-reducing projection π_(alcperc, country) inserted.
+  auto narrowed = ops::ProjectIndexes({2, 5}, *joined);
+  ASSERT_OK(narrowed);
+  auto via = ops::GroupBy({1}, {{AggKind::kAvg, 0, "avg_alcperc"}},
+                          *narrowed);
+  ASSERT_OK(via);
+
+  EXPECT_REL_EQ(*direct, *via);
+
+  // Hand-check the NL average: (5.0*2 + 6.5 + 7.0) / 4 = 5.875.
+  bool found_nl = false;
+  for (const auto& [tuple, count] : *direct) {
+    if (tuple.at(0).string_value() == "NL") {
+      found_nl = true;
+      EXPECT_DOUBLE_EQ(tuple.at(1).real_value(), 5.875);
+      EXPECT_EQ(count, 1u);
+    }
+  }
+  EXPECT_TRUE(found_nl);
+}
+
+TEST(GroupBySchemaTest, KeySchemaPlusAggregateRange) {
+  PaperBeerDb db;
+  auto schema = ops::GroupBySchema({5}, {{AggKind::kAvg, 2, ""}},
+                                   db.beer.schema().Concat(
+                                       db.brewery.schema()));
+  ASSERT_OK(schema);
+  EXPECT_EQ(schema->arity(), 2u);
+  EXPECT_EQ(schema->attribute(0).name, "country");
+  EXPECT_EQ(schema->attribute(1).name, "avg_alcperc");
+  EXPECT_EQ(schema->TypeOf(1), Type::Real());
+}
+
+TEST(GroupBySchemaTest, RejectsDuplicateKeys) {
+  Relation a = IntRel("a", {{1, 2}}, 2);
+  EXPECT_EQ(ops::GroupBySchema({0, 0}, {{AggKind::kCnt, 0, ""}},
+                               a.schema())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GroupBySchemaTest, RejectsSumOverString) {
+  PaperBeerDb db;
+  EXPECT_EQ(ops::GroupBySchema({}, {{AggKind::kSum, 0, ""}},
+                               db.beer.schema())
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace mra

@@ -1,0 +1,202 @@
+// Tests for the PRISMA-style parallel operators: every parallel operator
+// must produce exactly the multi-set its sequential counterpart defines,
+// for any thread count.
+
+#include "mra/parallel/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mra/algebra/ops.h"
+#include "test_util.h"
+
+namespace mra {
+namespace parallel {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::IntTuple;
+using ::mra::testing::RandomIntRelation;
+
+TEST(PartitionTest, HashPartitionIsDisjointAndComplete) {
+  std::mt19937_64 rng(3);
+  Relation input = RandomIntRelation(rng, 2, 200, 50, 4);
+  std::vector<Relation> fragments = HashPartition(input, {0}, 4);
+  ASSERT_EQ(fragments.size(), 4u);
+  // Recombining with ⊎ restores the input exactly.
+  Relation combined(input.schema());
+  uint64_t total = 0;
+  for (const Relation& f : fragments) {
+    total += f.size();
+    for (const auto& [tuple, count] : f) combined.InsertUnchecked(tuple, count);
+  }
+  EXPECT_EQ(total, input.size());
+  EXPECT_REL_EQ(combined, input);
+  // Tuples with one key value land in one fragment.
+  for (const auto& [tuple, count] : input) {
+    int owners = 0;
+    for (const Relation& f : fragments) owners += f.Contains(tuple) ? 1 : 0;
+    EXPECT_EQ(owners, 1) << tuple.ToString();
+  }
+}
+
+TEST(PartitionTest, HashPartitionKeepsEqualKeysTogether) {
+  Relation input = IntRel("r", {{1, 10}, {1, 20}, {1, 30}, {2, 40}}, 2);
+  std::vector<Relation> fragments = HashPartition(input, {0}, 3);
+  // All key-1 tuples share one fragment.
+  int fragment_of_key1 = -1;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    if (fragments[i].Contains(IntTuple({1, 10}))) {
+      fragment_of_key1 = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(fragment_of_key1, 0);
+  EXPECT_TRUE(fragments[fragment_of_key1].Contains(IntTuple({1, 20})));
+  EXPECT_TRUE(fragments[fragment_of_key1].Contains(IntTuple({1, 30})));
+}
+
+TEST(PartitionTest, RoundRobinBalances) {
+  std::mt19937_64 rng(5);
+  Relation input = RandomIntRelation(rng, 1, 100, 1000, 1);
+  std::vector<Relation> fragments = RoundRobinPartition(input, 4);
+  size_t total = 0;
+  for (const Relation& f : fragments) {
+    total += f.distinct_size();
+    EXPECT_LE(f.distinct_size(), input.distinct_size() / 4 + 1);
+  }
+  EXPECT_EQ(total, input.distinct_size());
+}
+
+class ParallelAgreementTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {
+ protected:
+  uint64_t seed() const { return std::get<0>(GetParam()); }
+  ParallelOptions Opts() const {
+    ParallelOptions o;
+    o.num_threads = std::get<1>(GetParam());
+    return o;
+  }
+};
+
+TEST_P(ParallelAgreementTest, SelectMatchesSequential) {
+  std::mt19937_64 rng(seed());
+  Relation input = RandomIntRelation(rng, 2, 300, 40, 4);
+  ExprPtr pred = Lt(Attr(0), Lit(int64_t{20}));
+  auto sequential = ops::Select(pred, input);
+  auto par = ParallelSelect(pred, input, Opts());
+  ASSERT_OK(sequential);
+  ASSERT_OK(par);
+  EXPECT_REL_EQ(*par, *sequential);
+}
+
+TEST_P(ParallelAgreementTest, ProjectMatchesSequential) {
+  std::mt19937_64 rng(seed());
+  Relation input = RandomIntRelation(rng, 2, 300, 40, 4);
+  std::vector<ExprPtr> exprs = {Add(Attr(0), Attr(1))};
+  auto sequential = ops::Project(exprs, input);
+  auto par = ParallelProject(exprs, input, Opts());
+  ASSERT_OK(sequential);
+  ASSERT_OK(par);
+  EXPECT_REL_EQ(*par, *sequential);
+}
+
+TEST_P(ParallelAgreementTest, EquiJoinMatchesSequential) {
+  std::mt19937_64 rng(seed());
+  Relation left = RandomIntRelation(rng, 2, 200, 30, 3);
+  Relation right = RandomIntRelation(rng, 2, 200, 30, 3);
+  ExprPtr condition = Eq(Attr(0), Attr(2));
+  auto sequential = ops::Join(condition, left, right);
+  auto par = ParallelEquiJoin({0}, {0}, nullptr, left, right, Opts());
+  ASSERT_OK(sequential);
+  ASSERT_OK(par);
+  EXPECT_REL_EQ(*par, *sequential);
+}
+
+TEST_P(ParallelAgreementTest, EquiJoinWithResidualMatchesSequential) {
+  std::mt19937_64 rng(seed());
+  Relation left = RandomIntRelation(rng, 2, 200, 30, 3);
+  Relation right = RandomIntRelation(rng, 2, 200, 30, 3);
+  ExprPtr residual = Lt(Attr(1), Attr(3));
+  ExprPtr condition = And(Eq(Attr(0), Attr(2)), residual);
+  auto sequential = ops::Join(condition, left, right);
+  auto par = ParallelEquiJoin({0}, {0}, residual, left, right, Opts());
+  ASSERT_OK(sequential);
+  ASSERT_OK(par);
+  EXPECT_REL_EQ(*par, *sequential);
+}
+
+TEST_P(ParallelAgreementTest, KeyedGroupByMatchesSequential) {
+  std::mt19937_64 rng(seed());
+  Relation input = RandomIntRelation(rng, 2, 300, 20, 5);
+  std::vector<AggSpec> aggs = {{AggKind::kSum, 1, "s"},
+                               {AggKind::kCnt, 0, "n"},
+                               {AggKind::kMax, 1, "m"}};
+  if (input.empty()) return;  // keyed groupby over empty is trivially empty
+  auto sequential = ops::GroupBy({0}, aggs, input);
+  auto par = ParallelGroupBy({0}, aggs, input, Opts());
+  ASSERT_OK(sequential);
+  ASSERT_OK(par);
+  EXPECT_REL_EQ(*par, *sequential);
+}
+
+TEST_P(ParallelAgreementTest, GlobalGroupByMatchesSequential) {
+  std::mt19937_64 rng(seed());
+  Relation input = RandomIntRelation(rng, 2, 300, 20, 5);
+  std::vector<AggSpec> aggs = {{AggKind::kSum, 1, "s"},
+                               {AggKind::kCnt, 0, "n"},
+                               {AggKind::kMin, 0, "lo"}};
+  if (input.empty()) return;  // MIN over empty is the partial-function case
+  auto sequential = ops::GroupBy({}, aggs, input);
+  auto par = ParallelGroupBy({}, aggs, input, Opts());
+  ASSERT_OK(sequential);
+  ASSERT_OK(par);
+  EXPECT_REL_EQ(*par, *sequential);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThreads, ParallelAgreementTest,
+    ::testing::Combine(::testing::Values(uint64_t{1}, uint64_t{2},
+                                         uint64_t{3}, uint64_t{4}),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{4},
+                                         size_t{7})));
+
+TEST(ParallelErrorsTest, JoinValidation) {
+  Relation a = IntRel("a", {{1, 2}}, 2);
+  Relation b = IntRel("b", {{1, 2}}, 2);
+  EXPECT_EQ(ParallelEquiJoin({}, {}, nullptr, a, b).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParallelEquiJoin({0, 1}, {0}, nullptr, a, b).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParallelEquiJoin({5}, {0}, nullptr, a, b).status().code(),
+            StatusCode::kInvalidArgument);
+  Relation s(RelationSchema("s", {{"x", Type::String()}, {"y", Type::Int()}}));
+  EXPECT_EQ(ParallelEquiJoin({0}, {0}, nullptr, a, s).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(ParallelErrorsTest, WorkerErrorsPropagate) {
+  // Division by zero inside a parallel projection surfaces as EvalError.
+  Relation input = IntRel("r", {{1, 0}, {2, 1}}, 2);
+  std::vector<ExprPtr> exprs = {Div(Attr(0), Attr(1))};
+  ParallelOptions options;
+  options.num_threads = 2;
+  EXPECT_EQ(ParallelProject(exprs, input, options).status().code(),
+            StatusCode::kEvalError);
+}
+
+TEST(ParallelErrorsTest, GlobalAvgOverEmptyIsUndefined) {
+  Relation empty = IntRel("e", {}, 1);
+  EXPECT_EQ(ParallelGroupBy({}, {{AggKind::kAvg, 0, ""}}, empty)
+                .status()
+                .code(),
+            StatusCode::kUndefined);
+  // CNT over empty still yields the single zero row.
+  auto cnt = ParallelGroupBy({}, {{AggKind::kCnt, 0, ""}}, empty);
+  ASSERT_OK(cnt);
+  EXPECT_EQ(cnt->Multiplicity(IntTuple({0})), 1u);
+}
+
+}  // namespace
+}  // namespace parallel
+}  // namespace mra

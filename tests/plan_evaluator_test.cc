@@ -1,0 +1,227 @@
+// Tests for logical plan construction (type checking at build time) and the
+// definitional plan evaluator.
+
+#include <gtest/gtest.h>
+
+#include "mra/algebra/evaluator.h"
+#include "mra/algebra/ops.h"
+#include "mra/algebra/plan.h"
+#include "mra/catalog/catalog.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::IntTuple;
+using ::mra::testing::PaperBeerDb;
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PaperBeerDb db;
+    ASSERT_OK(catalog_.CreateRelation(db.beer.schema()));
+    ASSERT_OK(catalog_.SetRelation("beer", db.beer));
+    ASSERT_OK(catalog_.CreateRelation(db.brewery.schema()));
+    ASSERT_OK(catalog_.SetRelation("brewery", db.brewery));
+  }
+
+  Result<PlanPtr> ScanOf(const std::string& name) {
+    MRA_ASSIGN_OR_RETURN(const Relation* rel, catalog_.GetRelation(name));
+    return Plan::Scan(name, rel->schema());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PlanTest, ScanEvaluatesToRelation) {
+  auto plan = ScanOf("beer");
+  ASSERT_OK(plan);
+  auto result = EvaluatePlan(**plan, catalog_);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *catalog_.GetRelation("beer").value());
+}
+
+TEST_F(PlanTest, ScanOfUnknownRelationFailsAtEvaluation) {
+  PlanPtr plan = Plan::Scan("ghost", RelationSchema("ghost", {{"x", Type::Int()}}));
+  EXPECT_EQ(EvaluatePlan(*plan, catalog_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PlanTest, ConstRelEvaluatesToItself) {
+  Relation lit = IntRel("lit", {{1}, {1}}, 1);
+  PlanPtr plan = Plan::ConstRel(lit);
+  auto result = EvaluatePlan(*plan, EmptyProvider());
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, lit);
+}
+
+TEST_F(PlanTest, BuildersValidateSchemas) {
+  auto beer = ScanOf("beer");
+  auto brewery = ScanOf("brewery");
+  ASSERT_OK(beer);
+  ASSERT_OK(brewery);
+  // beer(string,string,real) vs brewery(string,string,string): union is
+  // rejected at build time.
+  EXPECT_EQ(Plan::Union(*beer, *brewery).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Plan::Difference(*beer, *brewery).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Plan::Intersect(*beer, *brewery).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanTest, BuildersValidateConditions) {
+  auto beer = ScanOf("beer");
+  ASSERT_OK(beer);
+  // Non-boolean selection condition.
+  EXPECT_EQ(Plan::Select(Attr(0), *beer).status().code(),
+            StatusCode::kTypeError);
+  // Attribute out of range.
+  EXPECT_EQ(Plan::Select(Eq(Attr(9), Lit("x")), *beer).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanTest, JoinConditionSeesConcatenatedSchema) {
+  auto beer = ScanOf("beer");
+  auto brewery = ScanOf("brewery");
+  ASSERT_OK(beer);
+  ASSERT_OK(brewery);
+  auto join = Plan::Join(Eq(Attr(1), Attr(3)), *beer, *brewery);
+  ASSERT_OK(join);
+  EXPECT_EQ((*join)->schema().arity(), 6u);
+  // %7 does not exist in the 6-attribute join schema.
+  EXPECT_EQ(Plan::Join(Eq(Attr(1), Attr(6)), *beer, *brewery)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanTest, FullExample31PlanEvaluates) {
+  auto beer = ScanOf("beer");
+  auto brewery = ScanOf("brewery");
+  ASSERT_OK(beer);
+  ASSERT_OK(brewery);
+  auto join = Plan::Join(Eq(Attr(1), Attr(3)), *beer, *brewery);
+  ASSERT_OK(join);
+  auto sel = Plan::Select(Eq(Attr(5), Lit("NL")), *join);
+  ASSERT_OK(sel);
+  auto proj = Plan::ProjectIndexes({0}, *sel);
+  ASSERT_OK(proj);
+  auto result = EvaluatePlan(**proj, catalog_);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->size(), 4u);
+  EXPECT_EQ(result->Multiplicity(Tuple({Value::Str("dubbel")})), 2u);
+}
+
+TEST_F(PlanTest, GroupByPlanValidates) {
+  auto beer = ScanOf("beer");
+  ASSERT_OK(beer);
+  auto good = Plan::GroupBy({1}, {{AggKind::kAvg, 2, ""}}, *beer);
+  ASSERT_OK(good);
+  EXPECT_EQ((*good)->schema().arity(), 2u);
+  // SUM over a string attribute.
+  EXPECT_EQ(Plan::GroupBy({1}, {{AggKind::kSum, 0, ""}}, *beer)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+  // No aggregates.
+  EXPECT_EQ(Plan::GroupBy({1}, {}, *beer).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanTest, EvaluatorMatchesOpsComposition) {
+  auto beer = ScanOf("beer");
+  auto brewery = ScanOf("brewery");
+  ASSERT_OK(beer);
+  ASSERT_OK(brewery);
+  auto join = Plan::Join(Eq(Attr(1), Attr(3)), *beer, *brewery);
+  ASSERT_OK(join);
+  auto grouped = Plan::GroupBy({5}, {{AggKind::kAvg, 2, "avg_alcperc"}},
+                               *join);
+  ASSERT_OK(grouped);
+  auto via_plan = EvaluatePlan(**grouped, catalog_);
+  ASSERT_OK(via_plan);
+
+  PaperBeerDb db;
+  auto joined = ops::Join(Eq(Attr(1), Attr(3)), db.beer, db.brewery);
+  auto direct = ops::GroupBy({5}, {{AggKind::kAvg, 2, "avg_alcperc"}},
+                             *joined);
+  ASSERT_OK(direct);
+  EXPECT_REL_EQ(*via_plan, *direct);
+}
+
+TEST_F(PlanTest, ToStringRendersTree) {
+  auto beer = ScanOf("beer");
+  ASSERT_OK(beer);
+  auto sel = Plan::Select(Eq(Attr(1), Lit("Guineken")), *beer);
+  ASSERT_OK(sel);
+  std::string rendered = (*sel)->ToString();
+  EXPECT_NE(rendered.find("select"), std::string::npos);
+  EXPECT_NE(rendered.find("beer"), std::string::npos);
+  EXPECT_NE(rendered.find("%2 = 'Guineken'"), std::string::npos);
+}
+
+TEST_F(PlanTest, ToInlineStringExample31) {
+  auto beer = ScanOf("beer");
+  auto brewery = ScanOf("brewery");
+  ASSERT_OK(beer);
+  ASSERT_OK(brewery);
+  auto join = Plan::Join(Eq(Attr(1), Attr(3)), *beer, *brewery);
+  ASSERT_OK(join);
+  auto sel = Plan::Select(Eq(Attr(5), Lit("NL")), *join);
+  ASSERT_OK(sel);
+  auto proj = Plan::ProjectIndexes({0}, *sel);
+  ASSERT_OK(proj);
+  EXPECT_EQ((*proj)->ToInlineString(),
+            "project([%1], select((%6 = 'NL'), "
+            "join((%2 = %4), beer, brewery)))");
+}
+
+TEST_F(PlanTest, PlanEqualsStructural) {
+  auto beer1 = ScanOf("beer");
+  auto beer2 = ScanOf("beer");
+  ASSERT_OK(beer1);
+  ASSERT_OK(beer2);
+  EXPECT_TRUE(PlanEquals(*beer1, *beer2));
+  auto s1 = Plan::Select(Eq(Attr(0), Lit("x")), *beer1);
+  auto s2 = Plan::Select(Eq(Attr(0), Lit("x")), *beer2);
+  auto s3 = Plan::Select(Eq(Attr(0), Lit("y")), *beer2);
+  ASSERT_OK(s1);
+  ASSERT_OK(s2);
+  ASSERT_OK(s3);
+  EXPECT_TRUE(PlanEquals(*s1, *s2));
+  EXPECT_FALSE(PlanEquals(*s1, *s3));
+  EXPECT_FALSE(PlanEquals(*s1, *beer1));
+}
+
+TEST_F(PlanTest, CatalogBasics) {
+  EXPECT_TRUE(catalog_.HasRelation("beer"));
+  EXPECT_FALSE(catalog_.HasRelation("wine"));
+  EXPECT_EQ(catalog_.relation_count(), 2u);
+  EXPECT_EQ(catalog_.RelationNames(),
+            (std::vector<std::string>{"beer", "brewery"}));
+  EXPECT_EQ(catalog_.logical_time(), 0u);
+  catalog_.AdvanceTime();
+  EXPECT_EQ(catalog_.logical_time(), 1u);
+}
+
+TEST_F(PlanTest, CatalogRejectsDuplicateAndAnonymous) {
+  EXPECT_EQ(catalog_.CreateRelation(RelationSchema("beer", {{"x", Type::Int()}}))
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog_.CreateRelation(RelationSchema({{"x", Type::Int()}}))
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanTest, CatalogSetRelationChecksSchema) {
+  Relation wrong = IntRel("beer", {{1}}, 1);
+  EXPECT_EQ(catalog_.SetRelation("beer", wrong).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog_.SetRelation("missing", wrong).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mra

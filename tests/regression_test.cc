@@ -1,0 +1,207 @@
+// Assorted edge cases and regression pins across modules: numeric
+// boundaries, empty/degenerate inputs, rendering stability, and the
+// Explain surface.
+
+#include <gtest/gtest.h>
+
+#include "mra/algebra/ops.h"
+#include "mra/lang/interpreter.h"
+#include "mra/storage/serializer.h"
+#include "mra/util/printer.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::IntTuple;
+
+TEST(RegressionTest, DecimalFormattingAtBoundaries) {
+  EXPECT_EQ(Value::DecimalScaled(0).ToString(), "0");
+  EXPECT_EQ(Value::DecimalScaled(-1).ToString(), "-0.0001");
+  // Large magnitudes survive formatting and serialization.
+  int64_t big = int64_t{922337203685477} * 10000;  // near the scaled max
+  Value v = Value::DecimalScaled(big);
+  storage::Encoder enc;
+  enc.PutValue(v);
+  storage::Decoder dec(enc.buffer());
+  auto back = dec.GetValue();
+  ASSERT_OK(back);
+  EXPECT_EQ(back->decimal_scaled(), big);
+}
+
+TEST(RegressionTest, NegativeIntLiteralsThroughXra) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get());
+  auto results = interp.ExecuteScriptCollect(
+      "create t(x: int);"
+      "insert(t, {(-5), (0), (5)});"
+      "? select(%1 < 0, t);"
+      "? project([-%1 * 2], t);");
+  ASSERT_OK(results);
+  EXPECT_EQ((*results)[0].Multiplicity(IntTuple({-5})), 1u);
+  EXPECT_EQ((*results)[1].Multiplicity(IntTuple({10})), 1u);
+  EXPECT_EQ((*results)[1].Multiplicity(IntTuple({-10})), 1u);
+}
+
+TEST(RegressionTest, ProjectionOntoSingleRepeatedColumn) {
+  Relation r = IntRel("r", {{1, 2}}, 2);
+  auto p = ops::ProjectIndexes({1, 1, 1}, r);
+  ASSERT_OK(p);
+  EXPECT_EQ(p->Multiplicity(IntTuple({2, 2, 2})), 1u);
+}
+
+TEST(RegressionTest, SelfJoinDoesNotAliasState) {
+  // Joining a relation with itself must not corrupt shared state.
+  Relation r = IntRel("r", {{1, 2}, {2, 3}}, 2);
+  auto j = ops::Join(Eq(Attr(1), Attr(2)), r, r);
+  ASSERT_OK(j);
+  EXPECT_EQ(j->Multiplicity(IntTuple({1, 2, 2, 3})), 1u);
+  EXPECT_EQ(j->size(), 1u);
+  // r unchanged.
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RegressionTest, UnionOfRelationWithItself) {
+  Relation r = IntRel("r", {{1}}, 1);
+  auto u = ops::Union(r, r);
+  ASSERT_OK(u);
+  EXPECT_EQ(u->Multiplicity(IntTuple({1})), 2u);
+}
+
+TEST(RegressionTest, GroupByOnAllColumns) {
+  // Grouping on every column degenerates to per-distinct-tuple counts.
+  Relation r = IntRel("r", {{1, 2}, {1, 2}, {3, 4}}, 2);
+  auto g = ops::GroupBy({0, 1}, {{AggKind::kCnt, 0, "n"}}, r);
+  ASSERT_OK(g);
+  EXPECT_EQ(g->Multiplicity(IntTuple({1, 2, 2})), 1u);
+  EXPECT_EQ(g->Multiplicity(IntTuple({3, 4, 1})), 1u);
+}
+
+TEST(RegressionTest, EmptyRelationThroughEveryOperator) {
+  Relation empty = IntRel("e", {}, 2);
+  Relation some = IntRel("s", {{1, 2}}, 2);
+  EXPECT_EQ(ops::Union(empty, empty)->size(), 0u);
+  EXPECT_EQ(ops::Difference(empty, some)->size(), 0u);
+  EXPECT_EQ(ops::Intersect(empty, some)->size(), 0u);
+  EXPECT_EQ(ops::Product(empty, some)->size(), 0u);
+  EXPECT_EQ(ops::Select(Lit(true), empty)->size(), 0u);
+  EXPECT_EQ(ops::ProjectIndexes({0}, empty)->size(), 0u);
+  EXPECT_EQ(ops::Unique(empty)->size(), 0u);
+  EXPECT_EQ(ops::Join(Lit(true), empty, some)->size(), 0u);
+}
+
+TEST(RegressionTest, PrinterHandlesEmptyRelation) {
+  Relation empty = IntRel("e", {}, 1);
+  std::string table = util::RenderTable(empty);
+  EXPECT_NE(table.find("c1"), std::string::npos);  // header still renders
+}
+
+TEST(RegressionTest, ExplainRendersAllThreePlans) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get());
+  ASSERT_OK(interp.ExecuteScript(
+      "create r(a: int, b: int); create s(a: int, c: int);"
+      "insert(r, {(1, 2)}); insert(s, {(1, 3)});",
+      nullptr));
+  auto explained = interp.Explain(
+      "project([%2], select(%1 = %3, product(r, s)))");
+  ASSERT_OK(explained);
+  EXPECT_NE(explained->find("logical plan:"), std::string::npos);
+  EXPECT_NE(explained->find("optimized plan:"), std::string::npos);
+  EXPECT_NE(explained->find("physical plan:"), std::string::npos);
+  // Theorem 3.1 fired: σ(×) became a join, lowered to HashJoin.
+  EXPECT_NE(explained->find("HashJoin"), std::string::npos);
+  // Errors surface cleanly.
+  EXPECT_FALSE(interp.Explain("select(%9 = 1, r)").ok());
+}
+
+TEST(RegressionTest, StringsWithQuotesAndUnicodeBytes) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get());
+  auto results = interp.ExecuteScriptCollect(
+      "create t(s: string);"
+      "insert(t, {('it''s'), ('h\xc3\xa4llo')});"
+      "? select(%1 = 'it''s', t);");
+  ASSERT_OK(results);
+  EXPECT_EQ((*results)[0].size(), 1u);
+  EXPECT_EQ((*results)[0].begin()->first.at(0).string_value(), "it's");
+}
+
+TEST(RegressionTest, DeepExpressionNesting) {
+  // 200-deep arithmetic chain parses and evaluates without issue.
+  std::string expr = "%1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get());
+  ASSERT_OK(interp.ExecuteScript("create t(x: int); insert(t, {(0)});",
+                                 nullptr));
+  auto result = interp.Query("project([" + expr + "], t)");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->begin()->first.at(0).int_value(), 200);
+}
+
+TEST(RegressionTest, ManyRelationsInOneCatalog) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get());
+  for (int i = 0; i < 100; ++i) {
+    std::string n = "rel" + std::to_string(i);
+    ASSERT_OK(interp.ExecuteScript(
+        "create " + n + "(x: int); insert(" + n + ", {(" +
+            std::to_string(i) + ")});",
+        nullptr));
+  }
+  EXPECT_EQ((*db)->catalog().relation_count(), 100u);
+  auto r = interp.Query("union(rel3, rel97)");
+  ASSERT_OK(r);
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(RegressionTest, UpdateWithEmptyMatchSetIsNoop) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get());
+  ASSERT_OK(interp.ExecuteScript(
+      "create t(x: int); insert(t, {(1) : 5});"
+      "update(t, select(%1 = 99, t), [%1 * 2]);",
+      nullptr));
+  auto r = interp.Query("t");
+  ASSERT_OK(r);
+  EXPECT_EQ(r->Multiplicity(IntTuple({1})), 5u);
+}
+
+TEST(RegressionTest, DeleteMoreThanPresentClampsToEmpty) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get());
+  ASSERT_OK(interp.ExecuteScript(
+      "create t(x: int); insert(t, {(1) : 2});"
+      "delete(t, {(1) : 10});",
+      nullptr));
+  auto r = interp.Query("t");
+  ASSERT_OK(r);
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(RegressionTest, DateArithmeticThroughLanguage) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get());
+  auto results = interp.ExecuteScriptCollect(
+      "create ev(day: date);"
+      "insert(ev, {(date'1994-02-14'), (date'1994-03-02')});"
+      "? select(%1 - date'1994-02-14' > 10, ev);"
+      "? project([%1 + 7], ev);");
+  ASSERT_OK(results);
+  EXPECT_EQ((*results)[0].size(), 1u);
+  EXPECT_TRUE((*results)[1].Contains(
+      Tuple({Value::DateFromString("1994-02-21").value()})));
+}
+
+}  // namespace
+}  // namespace mra

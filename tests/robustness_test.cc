@@ -1,0 +1,132 @@
+// Final robustness pins: optimizer idempotence, physical bag-stream
+// composition (operators consuming streams that repeat tuples across
+// rows), and cross-layer agreement on randomized deep plans.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mra/algebra/ops.h"
+#include "mra/catalog/catalog.h"
+#include "mra/exec/physical_planner.h"
+#include "mra/opt/optimizer.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::IntTuple;
+using ::mra::testing::RandomIntRelation;
+
+class RobustnessTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    std::mt19937_64 rng(GetParam());
+    for (const char* name : {"a", "b", "c"}) {
+      Relation rel = RandomIntRelation(rng, 2, 30, 10, 4);
+      RelationSchema schema = rel.schema();
+      schema.set_name(name);
+      ASSERT_OK(catalog_.CreateRelation(schema));
+      ASSERT_OK(catalog_.SetRelation(name, std::move(rel)));
+    }
+  }
+
+  PlanPtr ScanOf(const char* name) {
+    return Plan::Scan(name, catalog_.GetRelation(name).value()->schema());
+  }
+
+  Catalog catalog_;
+};
+
+// Optimizing an already-optimized plan changes neither semantics nor
+// (after the first pass reaches its fixpoint) the plan materially.
+TEST_P(RobustnessTest, OptimizerIsIdempotentInSemantics) {
+  auto product = Plan::Product(ScanOf("a"), ScanOf("b"));
+  ASSERT_OK(product);
+  auto sel = Plan::Select(
+      And(Eq(Attr(0), Attr(2)), Lt(Attr(1), Lit(int64_t{7}))), *product);
+  ASSERT_OK(sel);
+  auto grouped = Plan::GroupBy({0}, {{AggKind::kSum, 3, ""}}, *sel);
+  ASSERT_OK(grouped);
+
+  opt::Optimizer optimizer(&catalog_);
+  auto once = optimizer.Optimize(*grouped);
+  ASSERT_OK(once);
+  auto twice = optimizer.Optimize(*once);
+  ASSERT_OK(twice);
+
+  auto r0 = EvaluatePlan(**grouped, catalog_);
+  auto r1 = EvaluatePlan(**once, catalog_);
+  auto r2 = EvaluatePlan(**twice, catalog_);
+  ASSERT_OK(r0);
+  ASSERT_OK(r1);
+  ASSERT_OK(r2);
+  EXPECT_REL_EQ(*r0, *r1);
+  EXPECT_REL_EQ(*r1, *r2);
+}
+
+// A stream that repeats tuples across rows (UnionAll of overlapping
+// inputs) feeding every stream-consuming operator must aggregate counts
+// correctly.
+TEST_P(RobustnessTest, BagStreamsComposeThroughAllOperators) {
+  PlanPtr a = ScanOf("a");
+  auto u = Plan::Union(a, a);  // every tuple appears in two stream rows
+  ASSERT_OK(u);
+
+  std::vector<PlanPtr> plans;
+  auto add = [&plans](Result<PlanPtr> p) {
+    ASSERT_OK(p);
+    plans.push_back(*p);
+  };
+  add(Plan::Unique(*u));
+  add(Plan::Difference(*u, a));
+  add(Plan::Intersect(*u, a));
+  add(Plan::GroupBy({0}, {{AggKind::kCnt, 0, ""}, {AggKind::kSum, 1, ""}},
+                    *u));
+  add(Plan::Join(Eq(Attr(0), Attr(2)), *u, *u));
+
+  for (const PlanPtr& plan : plans) {
+    auto reference = EvaluatePlan(*plan, catalog_);
+    auto physical = exec::ExecutePlan(plan, catalog_);
+    ASSERT_OK(reference);
+    ASSERT_OK(physical);
+    EXPECT_REL_EQ(*physical, *reference) << plan->ToString();
+  }
+}
+
+// Deep randomized three-relation plans: reference evaluator, physical
+// engine, and optimized physical plans all agree.
+TEST_P(RobustnessTest, ThreeWayAgreementOnDeepPlans) {
+  auto j1 = Plan::Join(Eq(Attr(0), Attr(2)), ScanOf("a"), ScanOf("b"));
+  ASSERT_OK(j1);
+  auto sel = Plan::Select(Le(Attr(1), Lit(int64_t{8})), *j1);
+  ASSERT_OK(sel);
+  auto j2 = Plan::Join(Eq(Attr(3), Attr(4)), *sel, ScanOf("c"));
+  ASSERT_OK(j2);
+  auto proj = Plan::Project({Attr(0), Add(Attr(1), Attr(5))}, *j2);
+  ASSERT_OK(proj);
+  auto uniq = Plan::Unique(*proj);
+  ASSERT_OK(uniq);
+  auto grouped = Plan::GroupBy({0}, {{AggKind::kMax, 1, ""}}, *uniq);
+  ASSERT_OK(grouped);
+
+  auto reference = EvaluatePlan(**grouped, catalog_);
+  auto physical = exec::ExecutePlan(*grouped, catalog_);
+  ASSERT_OK(reference);
+  ASSERT_OK(physical);
+  EXPECT_REL_EQ(*physical, *reference);
+
+  opt::Optimizer optimizer(&catalog_);
+  auto optimized = optimizer.Optimize(*grouped);
+  ASSERT_OK(optimized);
+  auto optimized_physical = exec::ExecutePlan(*optimized, catalog_);
+  ASSERT_OK(optimized_physical);
+  EXPECT_REL_EQ(*optimized_physical, *reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace mra

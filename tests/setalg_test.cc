@@ -1,0 +1,145 @@
+// Tests for the set-semantics baseline algebra, including the paper's
+// central cautionary example: under set semantics, inserting a
+// size-reducing projection silently changes aggregate results
+// (Example 3.2), while the bag algebra is immune.
+
+#include "mra/setalg/set_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "mra/algebra/ops.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::IntTuple;
+using ::mra::testing::PaperBeerDb;
+
+TEST(SetAlgTest, ToSetRemovesDuplicates) {
+  Relation r = IntRel("r", {{1}, {1}, {2}}, 1);
+  auto s = setalg::ToSet(r);
+  ASSERT_OK(s);
+  EXPECT_EQ(s->size(), 2u);
+  EXPECT_EQ(s->Multiplicity(IntTuple({1})), 1u);
+}
+
+TEST(SetAlgTest, UnionIsSetUnion) {
+  Relation a = IntRel("a", {{1}, {1}}, 1);
+  Relation b = IntRel("b", {{1}, {2}}, 1);
+  auto u = setalg::Union(a, b);
+  ASSERT_OK(u);
+  EXPECT_EQ(u->size(), 2u);  // {1, 2}, not {1:3, 2:1}
+}
+
+TEST(SetAlgTest, DifferenceIsMembershipBased) {
+  // Set semantics: 1 ∈ b ⟹ no copy of 1 survives — unlike the bag
+  // difference, which would keep 3 − 1 = 2 copies.
+  Relation a = IntRel("a", {{1}, {1}, {1}, {2}}, 1);
+  Relation b = IntRel("b", {{1}}, 1);
+  auto set_diff = setalg::Difference(a, b);
+  ASSERT_OK(set_diff);
+  EXPECT_EQ(set_diff->Multiplicity(IntTuple({1})), 0u);
+  EXPECT_EQ(set_diff->Multiplicity(IntTuple({2})), 1u);
+  auto bag_diff = ops::Difference(a, b);
+  ASSERT_OK(bag_diff);
+  EXPECT_EQ(bag_diff->Multiplicity(IntTuple({1})), 2u);
+}
+
+TEST(SetAlgTest, IntersectAndProductAreSets) {
+  Relation a = IntRel("a", {{1}, {1}, {2}}, 1);
+  Relation b = IntRel("b", {{1}, {1}, {3}}, 1);
+  auto i = setalg::Intersect(a, b);
+  ASSERT_OK(i);
+  EXPECT_EQ(i->Multiplicity(IntTuple({1})), 1u);
+  auto p = setalg::Product(a, b);
+  ASSERT_OK(p);
+  EXPECT_EQ(p->Multiplicity(IntTuple({1, 1})), 1u);  // 2×2 copies collapse
+  EXPECT_EQ(p->size(), 4u);                          // {1,2} × {1,3}
+}
+
+TEST(SetAlgTest, ProjectDeduplicates) {
+  Relation r = IntRel("r", {{1, 10}, {1, 20}, {2, 30}}, 2);
+  auto p = setalg::Project({Attr(0)}, r);
+  ASSERT_OK(p);
+  EXPECT_EQ(p->size(), 2u);  // bag projection would keep 3
+  auto bag = ops::ProjectIndexes({0}, r);
+  ASSERT_OK(bag);
+  EXPECT_EQ(bag->size(), 3u);
+}
+
+TEST(SetAlgTest, SelectAndJoinOperateOnSupports) {
+  Relation a = IntRel("a", {{1}, {1}, {2}}, 1);
+  auto s = setalg::Select(Ge(Attr(0), Lit(int64_t{1})), a);
+  ASSERT_OK(s);
+  EXPECT_EQ(s->size(), 2u);
+  Relation b = IntRel("b", {{1}, {1}}, 1);
+  auto j = setalg::Join(Eq(Attr(0), Attr(1)), a, b);
+  ASSERT_OK(j);
+  EXPECT_EQ(j->Multiplicity(IntTuple({1, 1})), 1u);
+}
+
+TEST(SetAlgTest, OutputsAreAlwaysDuplicateFree) {
+  Relation a = IntRel("a", {{1}, {1}, {2}, {2}, {3}}, 1);
+  Relation b = IntRel("b", {{2}, {2}, {3}, {4}}, 1);
+  for (const auto& result :
+       {setalg::Union(a, b), setalg::Difference(a, b),
+        setalg::Intersect(a, b), setalg::Select(Lt(Attr(0), Lit(int64_t{9})), a)}) {
+    ASSERT_OK(result);
+    for (const auto& [tuple, count] : *result) {
+      EXPECT_EQ(count, 1u) << tuple.ToString();
+    }
+  }
+}
+
+TEST(SetAlgTest, Example32SetSemanticsGivesWrongAggregate) {
+  // The paper's key demonstration.  Under bag semantics the early
+  // projection is harmless; under set semantics it collapses duplicate
+  // (alcperc, country) pairs and corrupts AVG.
+  PaperBeerDb db;
+  ExprPtr join_cond = Eq(Attr(1), Attr(3));
+
+  // Correct reference: bag pipeline over the full join.
+  auto bag_join = ops::Join(join_cond, db.beer, db.brewery);
+  ASSERT_OK(bag_join);
+  auto correct = ops::GroupBy({5}, {{AggKind::kAvg, 2, "avg"}}, *bag_join);
+  ASSERT_OK(correct);
+
+  // Set pipeline WITH the early projection of Example 3.2.
+  auto set_join = setalg::Join(join_cond, db.beer, db.brewery);
+  ASSERT_OK(set_join);
+  auto set_narrow = setalg::Project({Attr(2), Attr(5)}, *set_join);
+  ASSERT_OK(set_narrow);
+  auto set_result = setalg::GroupBy({1}, {{AggKind::kAvg, 0, "avg"}},
+                                    *set_narrow);
+  ASSERT_OK(set_result);
+
+  // Both have one row per country, but the NL averages differ: the set
+  // pipeline lost one of the two (5.0, NL) rows to duplicate removal.
+  EXPECT_EQ(correct->size(), set_result->size());
+  double correct_nl = 0, set_nl = 0;
+  for (const auto& [tuple, count] : *correct) {
+    if (tuple.at(0).string_value() == "NL") correct_nl = tuple.at(1).real_value();
+  }
+  for (const auto& [tuple, count] : *set_result) {
+    if (tuple.at(0).string_value() == "NL") set_nl = tuple.at(1).real_value();
+  }
+  EXPECT_DOUBLE_EQ(correct_nl, (5.0 * 2 + 6.5 + 7.0) / 4.0);
+  EXPECT_DOUBLE_EQ(set_nl, (5.0 + 6.5 + 7.0) / 3.0);
+  EXPECT_NE(correct_nl, set_nl);
+}
+
+TEST(SetAlgTest, SetAndBagAgreeOnDuplicateFreeInputs) {
+  // On genuine sets the two algebras coincide (the classical theory is
+  // the restriction of the bag theory).
+  Relation a = IntRel("a", {{1}, {2}, {3}}, 1);
+  Relation b = IntRel("b", {{2}, {3}, {4}}, 1);
+  EXPECT_REL_EQ(*setalg::Union(a, b), *ops::Unique(*ops::Union(a, b)));
+  EXPECT_REL_EQ(*setalg::Intersect(a, b), *ops::Intersect(a, b));
+  EXPECT_REL_EQ(*setalg::Difference(a, b), *ops::Difference(a, b));
+  EXPECT_REL_EQ(*setalg::Product(a, b), *ops::Product(a, b));
+}
+
+}  // namespace
+}  // namespace mra

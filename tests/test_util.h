@@ -1,0 +1,119 @@
+// Shared helpers for the mra test suite.
+
+#ifndef MRA_TESTS_TEST_UTIL_H_
+#define MRA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "mra/core/relation.h"
+
+namespace mra {
+namespace testing {
+
+/// Builds an all-int relation from rows; duplicates in `rows` accumulate
+/// multiplicity, matching multi-set insertion.
+inline Relation IntRel(const std::string& name,
+                       const std::vector<std::vector<int64_t>>& rows,
+                       size_t arity) {
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < arity; ++i) {
+    attrs.push_back({"c" + std::to_string(i + 1), Type::Int()});
+  }
+  Relation rel(RelationSchema(name, std::move(attrs)));
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.size(), arity);
+    std::vector<Value> values;
+    for (int64_t v : row) values.push_back(Value::Int(v));
+    rel.InsertUnchecked(Tuple(std::move(values)), 1);
+  }
+  return rel;
+}
+
+/// Builds an int tuple.
+inline Tuple IntTuple(const std::vector<int64_t>& values) {
+  std::vector<Value> vs;
+  for (int64_t v : values) vs.push_back(Value::Int(v));
+  return Tuple(std::move(vs));
+}
+
+/// Random int relation with controlled multiplicities, for property tests.
+/// Small value ranges force overlaps so −, ∩ and δ get exercised.
+inline Relation RandomIntRelation(std::mt19937_64& rng, size_t arity,
+                                  size_t max_distinct, int64_t value_range,
+                                  uint64_t max_multiplicity) {
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < arity; ++i) {
+    attrs.push_back({"c" + std::to_string(i + 1), Type::Int()});
+  }
+  Relation rel(RelationSchema("rnd", std::move(attrs)));
+  std::uniform_int_distribution<size_t> distinct_dist(0, max_distinct);
+  std::uniform_int_distribution<int64_t> value_dist(0, value_range - 1);
+  std::uniform_int_distribution<uint64_t> count_dist(1, max_multiplicity);
+  size_t n = distinct_dist(rng);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Value> values;
+    for (size_t a = 0; a < arity; ++a) {
+      values.push_back(Value::Int(value_dist(rng)));
+    }
+    rel.InsertUnchecked(Tuple(std::move(values)), count_dist(rng));
+  }
+  return rel;
+}
+
+/// The paper's beer database (Examples 3.1, 3.2, 4.1), small and
+/// hand-checkable.  Both Guineken and Bavapils brew a beer named
+/// "dubbel", so projecting beer names yields duplicates (Example 3.1),
+/// and beer "pils" by Guineken carries multiplicity 2 to make the
+/// multi-set character explicit.
+struct PaperBeerDb {
+  Relation beer;
+  Relation brewery;
+
+  PaperBeerDb()
+      : beer(RelationSchema("beer", {{"name", Type::String()},
+                                     {"brewery", Type::String()},
+                                     {"alcperc", Type::Real()}})),
+        brewery(RelationSchema("brewery", {{"name", Type::String()},
+                                           {"city", Type::String()},
+                                           {"country", Type::String()}})) {
+    auto b = [](const char* n, const char* br, double a) {
+      return Tuple({Value::Str(n), Value::Str(br), Value::Real(a)});
+    };
+    EXPECT_TRUE(beer.Insert(b("pils", "Guineken", 5.0), 2).ok());
+    EXPECT_TRUE(beer.Insert(b("dubbel", "Guineken", 6.5)).ok());
+    EXPECT_TRUE(beer.Insert(b("dubbel", "Bavapils", 7.0)).ok());
+    EXPECT_TRUE(beer.Insert(b("stout", "Kirin", 4.2)).ok());
+    auto w = [](const char* n, const char* c, const char* co) {
+      return Tuple({Value::Str(n), Value::Str(c), Value::Str(co)});
+    };
+    EXPECT_TRUE(brewery.Insert(w("Guineken", "Amsterdam", "NL")).ok());
+    EXPECT_TRUE(brewery.Insert(w("Bavapils", "Lieshout", "NL")).ok());
+    EXPECT_TRUE(brewery.Insert(w("Kirin", "Tokyo", "JP")).ok());
+  }
+};
+
+}  // namespace testing
+}  // namespace mra
+
+/// Relation equality with readable diagnostics.
+#define EXPECT_REL_EQ(a, b)                                           \
+  EXPECT_TRUE((a).Equals(b)) << "left:  " << (a).ToString() << "\n"   \
+                             << "right: " << (b).ToString()
+
+#define ASSERT_OK(expr)                                               \
+  do {                                                                \
+    const auto& mra_st_ = (expr);                                     \
+    ASSERT_TRUE(mra_st_.ok()) << ::mra::internal::ToStatus(mra_st_).ToString(); \
+  } while (false)
+
+#define EXPECT_OK(expr)                                               \
+  do {                                                                \
+    const auto& mra_st_ = (expr);                                     \
+    EXPECT_TRUE(mra_st_.ok()) << ::mra::internal::ToStatus(mra_st_).ToString(); \
+  } while (false)
+
+#endif  // MRA_TESTS_TEST_UTIL_H_

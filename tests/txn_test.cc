@@ -1,0 +1,363 @@
+// Tests for the transaction layer: the statement semantics of
+// Definition 4.1 and the ACID properties of Definition 4.3, including
+// durability (WAL + checkpoint recovery) and crash injection.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "mra/algebra/ops.h"
+#include "mra/txn/database.h"
+#include "mra/txn/transaction.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::IntTuple;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("mra_txn_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+RelationSchema XSchema(const std::string& name) {
+  return RelationSchema(name, {{"x", Type::Int()}});
+}
+
+Relation Delta(const std::vector<std::pair<int64_t, uint64_t>>& rows) {
+  Relation r(RelationSchema({{"x", Type::Int()}}));
+  for (auto [v, c] : rows) r.InsertUnchecked(IntTuple({v}), c);
+  return r;
+}
+
+TEST(DatabaseTest, CreateAndDropRelations) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  EXPECT_EQ((*db)->CreateRelation(XSchema("r")).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_OK((*db)->DropRelation("r"));
+  EXPECT_EQ((*db)->DropRelation("r").code(), StatusCode::kNotFound);
+}
+
+TEST(TransactionTest, InsertIsUnion) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  ASSERT_OK((*txn)->Insert("r", Delta({{1, 2}})));
+  ASSERT_OK((*txn)->Insert("r", Delta({{1, 1}, {2, 1}})));
+  auto view = (*txn)->GetRelation("r");
+  ASSERT_OK(view);
+  EXPECT_EQ((*view)->Multiplicity(IntTuple({1})), 3u);
+  ASSERT_OK((*txn)->Commit());
+  EXPECT_EQ((*db)->catalog().GetRelation("r").value()->size(), 4u);
+}
+
+TEST(TransactionTest, DeleteIsClampedDifference) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  {
+    auto txn = (*db)->Begin();
+    ASSERT_OK(txn);
+    ASSERT_OK((*txn)->Insert("r", Delta({{1, 3}, {2, 1}})));
+    ASSERT_OK((*txn)->Commit());
+  }
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  ASSERT_OK((*txn)->Delete("r", Delta({{1, 5}, {9, 1}})));
+  ASSERT_OK((*txn)->Commit());
+  const Relation* r = (*db)->catalog().GetRelation("r").value();
+  EXPECT_EQ(r->Multiplicity(IntTuple({1})), 0u);
+  EXPECT_EQ(r->Multiplicity(IntTuple({2})), 1u);
+}
+
+TEST(TransactionTest, UpdateFollowsDefinition41) {
+  // update(R, E, α): R ← (R − E) ⊎ π_α(R ∩ E).
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  {
+    auto txn = (*db)->Begin();
+    ASSERT_OK(txn);
+    ASSERT_OK((*txn)->Insert("r", Delta({{1, 2}, {5, 1}})));
+    ASSERT_OK((*txn)->Commit());
+  }
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  // E = {1:1} (only one of the two copies), α = (x * 10).
+  ASSERT_OK((*txn)->Update("r", Delta({{1, 1}}),
+                           {Mul(Attr(0), Lit(int64_t{10}))}));
+  ASSERT_OK((*txn)->Commit());
+  const Relation* r = (*db)->catalog().GetRelation("r").value();
+  EXPECT_EQ(r->Multiplicity(IntTuple({1})), 1u);   // one copy stayed
+  EXPECT_EQ(r->Multiplicity(IntTuple({10})), 1u);  // one copy rewritten
+  EXPECT_EQ(r->Multiplicity(IntTuple({5})), 1u);
+}
+
+TEST(TransactionTest, UpdateRejectsNonStructurePreservingAlpha) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  EXPECT_EQ((*txn)->Update("r", Delta({}), {Lit("wrong-type")}).code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TransactionTest, AbortRestoresPreTransactionState) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  uint64_t t0 = (*db)->logical_time();
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  ASSERT_OK((*txn)->Insert("r", Delta({{1, 100}})));
+  ASSERT_OK((*txn)->Abort());
+  EXPECT_TRUE((*db)->catalog().GetRelation("r").value()->empty());
+  EXPECT_EQ((*db)->logical_time(), t0);  // no transition happened
+}
+
+TEST(TransactionTest, CommitAdvancesLogicalTime) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  uint64_t t0 = (*db)->logical_time();
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  ASSERT_OK((*txn)->Insert("r", Delta({{1, 1}})));
+  ASSERT_OK((*txn)->Commit());
+  EXPECT_EQ((*db)->logical_time(), t0 + 1);
+}
+
+TEST(TransactionTest, IntermediateStatesInvisibleOutside) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  ASSERT_OK((*txn)->Insert("r", Delta({{7, 1}})));
+  // The committed catalog still shows D_t while the bracket is open.
+  EXPECT_TRUE((*db)->catalog().GetRelation("r").value()->empty());
+  ASSERT_OK((*txn)->Commit());
+  EXPECT_EQ((*db)->catalog().GetRelation("r").value()->size(), 1u);
+}
+
+TEST(TransactionTest, SerialIsolationOneActiveBracket) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  auto t1 = (*db)->Begin();
+  ASSERT_OK(t1);
+  EXPECT_EQ((*db)->Begin().status().code(), StatusCode::kTxnError);
+  ASSERT_OK((*t1)->Commit());
+  auto t2 = (*db)->Begin();
+  EXPECT_OK(t2);
+}
+
+TEST(TransactionTest, AbandonedBracketAborts) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  {
+    auto txn = (*db)->Begin();
+    ASSERT_OK(txn);
+    ASSERT_OK((*txn)->Insert("r", Delta({{1, 1}})));
+    // Destructor runs without Commit.
+  }
+  EXPECT_TRUE((*db)->catalog().GetRelation("r").value()->empty());
+  EXPECT_OK((*db)->Begin());  // the slot was released
+}
+
+TEST(TransactionTest, TemporariesAreAssignmentOnly) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  ASSERT_OK((*txn)->Assign("tmp", Delta({{1, 1}})));
+  EXPECT_EQ((*txn)->TemporaryNames(),
+            (std::vector<std::string>{"tmp"}));
+  // Reading works; updating does not.
+  ASSERT_OK((*txn)->GetRelation("tmp"));
+  EXPECT_EQ((*txn)->Insert("tmp", Delta({{2, 1}})).code(),
+            StatusCode::kTxnError);
+  // Re-assignment replaces.
+  ASSERT_OK((*txn)->Assign("tmp", Delta({{9, 4}})));
+  EXPECT_EQ((*txn)->GetRelation("tmp").value()->size(), 4u);
+}
+
+TEST(TransactionTest, AssignCannotShadowDatabaseRelation) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  EXPECT_EQ((*txn)->Assign("r", Delta({})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TransactionTest, StatementsAfterEndAreRejected) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  ASSERT_OK((*txn)->Commit());
+  EXPECT_EQ((*txn)->Insert("r", Delta({{1, 1}})).code(),
+            StatusCode::kTxnError);
+  EXPECT_EQ((*txn)->Commit().code(), StatusCode::kTxnError);
+  EXPECT_EQ((*txn)->Abort().code(), StatusCode::kTxnError);
+}
+
+// --- Durability. ---
+
+TEST(DurabilityTest, CommittedStateSurvivesReopen) {
+  TempDir dir;
+  {
+    auto db = Database::Open({.directory = dir.path()});
+    ASSERT_OK(db);
+    ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+    auto txn = (*db)->Begin();
+    ASSERT_OK(txn);
+    ASSERT_OK((*txn)->Insert("r", Delta({{1, 3}, {2, 1}})));
+    ASSERT_OK((*txn)->Commit());
+  }
+  auto db = Database::Open({.directory = dir.path()});
+  ASSERT_OK(db);
+  const Relation* r = (*db)->catalog().GetRelation("r").value();
+  EXPECT_EQ(r->Multiplicity(IntTuple({1})), 3u);
+  EXPECT_EQ(r->size(), 4u);
+  EXPECT_EQ((*db)->logical_time(), 1u);
+}
+
+TEST(DurabilityTest, UncommittedWorkIsNotRecovered) {
+  TempDir dir;
+  {
+    auto db = Database::Open({.directory = dir.path()});
+    ASSERT_OK(db);
+    ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+    auto txn = (*db)->Begin();
+    ASSERT_OK(txn);
+    ASSERT_OK((*txn)->Insert("r", Delta({{1, 1}})));
+    // Process "crashes" before commit: destructor aborts.
+  }
+  auto db = Database::Open({.directory = dir.path()});
+  ASSERT_OK(db);
+  EXPECT_TRUE((*db)->catalog().GetRelation("r").value()->empty());
+}
+
+TEST(DurabilityTest, CheckpointPlusWalRecovery) {
+  TempDir dir;
+  {
+    auto db = Database::Open({.directory = dir.path()});
+    ASSERT_OK(db);
+    ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+    auto t1 = (*db)->Begin();
+    ASSERT_OK(t1);
+    ASSERT_OK((*t1)->Insert("r", Delta({{1, 1}})));
+    ASSERT_OK((*t1)->Commit());
+    ASSERT_OK((*db)->Checkpoint());  // r = {1:1} in the checkpoint
+    auto t2 = (*db)->Begin();
+    ASSERT_OK(t2);
+    ASSERT_OK((*t2)->Insert("r", Delta({{2, 2}})));
+    ASSERT_OK((*t2)->Commit());      // {2:2} only in the WAL
+  }
+  auto db = Database::Open({.directory = dir.path()});
+  ASSERT_OK(db);
+  const Relation* r = (*db)->catalog().GetRelation("r").value();
+  EXPECT_EQ(r->Multiplicity(IntTuple({1})), 1u);
+  EXPECT_EQ(r->Multiplicity(IntTuple({2})), 2u);
+  EXPECT_EQ((*db)->logical_time(), 2u);
+}
+
+TEST(DurabilityTest, TornWalTailLosesOnlyTheTornCommit) {
+  TempDir dir;
+  std::string wal_path;
+  {
+    auto db = Database::Open({.directory = dir.path()});
+    ASSERT_OK(db);
+    wal_path = (*db)->wal_path();
+    ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+    for (int i = 1; i <= 2; ++i) {
+      auto txn = (*db)->Begin();
+      ASSERT_OK(txn);
+      ASSERT_OK((*txn)->Insert("r", Delta({{i, 1}})));
+      ASSERT_OK((*txn)->Commit());
+    }
+  }
+  // Crash injection: chop the final commit record in half.
+  auto size = std::filesystem::file_size(wal_path);
+  std::filesystem::resize_file(wal_path, size - 7);
+  auto db = Database::Open({.directory = dir.path()});
+  ASSERT_OK(db);
+  const Relation* r = (*db)->catalog().GetRelation("r").value();
+  EXPECT_EQ(r->Multiplicity(IntTuple({1})), 1u);  // first commit survives
+  EXPECT_EQ(r->Multiplicity(IntTuple({2})), 0u);  // torn commit discarded
+}
+
+TEST(DurabilityTest, DdlIsDurable) {
+  TempDir dir;
+  {
+    auto db = Database::Open({.directory = dir.path()});
+    ASSERT_OK(db);
+    ASSERT_OK((*db)->CreateRelation(XSchema("keep")));
+    ASSERT_OK((*db)->CreateRelation(XSchema("gone")));
+    ASSERT_OK((*db)->DropRelation("gone"));
+  }
+  auto db = Database::Open({.directory = dir.path()});
+  ASSERT_OK(db);
+  EXPECT_TRUE((*db)->catalog().HasRelation("keep"));
+  EXPECT_FALSE((*db)->catalog().HasRelation("gone"));
+}
+
+TEST(DurabilityTest, CheckpointTruncatesWal) {
+  TempDir dir;
+  auto db = Database::Open({.directory = dir.path()});
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  ASSERT_OK((*txn)->Insert("r", Delta({{1, 1}})));
+  ASSERT_OK((*txn)->Commit());
+  ASSERT_OK((*db)->Checkpoint());
+  EXPECT_EQ(std::filesystem::file_size((*db)->wal_path()), 0u);
+  // State is still intact after a further reopen.
+  db->reset();
+  auto reopened = Database::Open({.directory = dir.path()});
+  ASSERT_OK(reopened);
+  EXPECT_EQ((*reopened)->catalog().GetRelation("r").value()->size(), 1u);
+}
+
+TEST(DurabilityTest, SyncCommitsModeWorks) {
+  TempDir dir;
+  auto db = Database::Open({.directory = dir.path(), .sync_commits = true});
+  ASSERT_OK(db);
+  ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  ASSERT_OK((*txn)->Insert("r", Delta({{1, 1}})));
+  ASSERT_OK((*txn)->Commit());
+  db->reset();
+  auto reopened = Database::Open({.directory = dir.path()});
+  ASSERT_OK(reopened);
+  EXPECT_EQ((*reopened)->catalog().GetRelation("r").value()->size(), 1u);
+}
+
+}  // namespace
+}  // namespace mra

@@ -1,0 +1,164 @@
+// Tests for the workload generators, table printer and CSV I/O.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "mra/util/csv.h"
+#include "mra/util/generator.h"
+#include "mra/util/printer.h"
+#include "test_util.h"
+
+namespace mra {
+namespace util {
+namespace {
+
+using ::mra::testing::IntRel;
+
+TEST(GeneratorTest, BeerDbRespectsOptions) {
+  BeerDbOptions options;
+  options.num_breweries = 10;
+  options.num_beers = 200;
+  options.num_beer_names = 20;
+  BeerDb db = MakeBeerDb(options);
+  EXPECT_EQ(db.brewery.size(), 10u);
+  EXPECT_EQ(db.beer.distinct_size(), 200u);
+  EXPECT_EQ(db.beer.size(), 200u);  // duplicate_factor 1.0
+  EXPECT_TRUE(db.beer.schema().CompatibleWith(BeerSchema()));
+  EXPECT_TRUE(db.brewery.schema().CompatibleWith(BrewerySchema()));
+}
+
+TEST(GeneratorTest, DuplicateFactorInflatesMultiplicities) {
+  BeerDbOptions options;
+  options.num_beers = 500;
+  options.duplicate_factor = 4.0;
+  BeerDb db = MakeBeerDb(options);
+  EXPECT_GT(db.beer.size(), 2 * db.beer.distinct_size());
+}
+
+TEST(GeneratorTest, Deterministic) {
+  BeerDbOptions options;
+  options.seed = 123;
+  BeerDb a = MakeBeerDb(options);
+  BeerDb b = MakeBeerDb(options);
+  EXPECT_REL_EQ(a.beer, b.beer);
+  EXPECT_REL_EQ(a.brewery, b.brewery);
+}
+
+TEST(GeneratorTest, IntRelationShapes) {
+  IntRelationOptions options;
+  options.distinct_tuples = 100;
+  options.arity = 3;
+  options.duplicates = DupDistribution::kNone;
+  Relation flat = MakeIntRelation(options);
+  EXPECT_EQ(flat.size(), flat.distinct_size());
+  EXPECT_EQ(flat.schema().arity(), 3u);
+
+  options.duplicates = DupDistribution::kUniform;
+  options.max_multiplicity = 10;
+  Relation uniform = MakeIntRelation(options);
+  EXPECT_GT(uniform.size(), uniform.distinct_size());
+
+  options.duplicates = DupDistribution::kZipf;
+  Relation zipf = MakeIntRelation(options);
+  EXPECT_GE(zipf.size(), zipf.distinct_size());
+}
+
+TEST(PrinterTest, RendersAlignedTable) {
+  Relation r = IntRel("r", {{1, 10}, {1, 10}, {2, 20}}, 2);
+  std::string table = RenderTable(r);
+  EXPECT_NE(table.find("| c1"), std::string::npos);
+  EXPECT_NE(table.find("#"), std::string::npos);  // multiplicity column
+  EXPECT_NE(table.find("| 1 "), std::string::npos);
+  EXPECT_NE(table.find("| 2 "), std::string::npos);
+}
+
+TEST(PrinterTest, OmitsMultiplicityColumnForSets) {
+  Relation r = IntRel("r", {{1}, {2}}, 1);
+  std::string table = RenderTable(r);
+  EXPECT_EQ(table.find("#"), std::string::npos);
+}
+
+TEST(PrinterTest, ElidesBeyondMaxRows) {
+  Relation r(RelationSchema("r", {{"x", Type::Int()}}));
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_OK(r.Insert(Tuple({Value::Int(i)})));
+  }
+  PrintOptions options;
+  options.max_rows = 5;
+  std::string table = RenderTable(r, options);
+  EXPECT_NE(table.find("95 more distinct tuples elided"), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripWithDuplicatesAndQuoting) {
+  Relation r(RelationSchema("r", {{"name", Type::String()},
+                                  {"score", Type::Real()}}));
+  ASSERT_OK(r.Insert(Tuple({Value::Str("plain"), Value::Real(1.5)}), 2));
+  ASSERT_OK(r.Insert(Tuple({Value::Str("with,comma"), Value::Real(2.0)})));
+  ASSERT_OK(r.Insert(Tuple({Value::Str("with\"quote"), Value::Real(3.0)})));
+  ASSERT_OK(r.Insert(Tuple({Value::Str("with\nnewline"), Value::Real(4.0)})));
+  std::string csv = RelationToCsv(r);
+  auto back = RelationFromCsv(csv, r.schema());
+  ASSERT_OK(back);
+  EXPECT_REL_EQ(*back, r);
+}
+
+TEST(CsvTest, ParsesAllDomains) {
+  RelationSchema schema("t", {{"b", Type::Bool()},
+                              {"i", Type::Int()},
+                              {"d", Type::Decimal()},
+                              {"r", Type::Real()},
+                              {"s", Type::String()},
+                              {"day", Type::Date()}});
+  auto r = RelationFromCsv("b,i,d,r,s,day\ntrue,-3,9.99,2.5,hi,1994-02-14\n",
+                           schema);
+  ASSERT_OK(r);
+  EXPECT_EQ(r->size(), 1u);
+  const Tuple& t = r->begin()->first;
+  EXPECT_TRUE(t.at(0).bool_value());
+  EXPECT_EQ(t.at(1).int_value(), -3);
+  EXPECT_EQ(t.at(2).decimal_scaled(), 99900);
+  EXPECT_DOUBLE_EQ(t.at(3).real_value(), 2.5);
+  EXPECT_EQ(t.at(4).string_value(), "hi");
+  EXPECT_EQ(t.at(5).date_days(), 8810);
+}
+
+TEST(CsvTest, RejectsMalformedFields) {
+  RelationSchema schema("t", {{"i", Type::Int()}});
+  EXPECT_FALSE(RelationFromCsv("i\nabc\n", schema).ok());
+  EXPECT_FALSE(RelationFromCsv("i\n1,2\n", schema).ok());
+  EXPECT_FALSE(RelationFromCsv("i\n\"unterminated\n", schema).ok());
+}
+
+TEST(CsvTest, HeaderHandling) {
+  RelationSchema schema("t", {{"i", Type::Int()}});
+  auto with = RelationFromCsv("i\n5\n", schema, /*has_header=*/true);
+  ASSERT_OK(with);
+  EXPECT_EQ(with->size(), 1u);
+  auto without = RelationFromCsv("5\n7\n", schema, /*has_header=*/false);
+  ASSERT_OK(without);
+  EXPECT_EQ(without->size(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto path = std::filesystem::temp_directory_path() /
+              ("mra_csv_" + std::to_string(::getpid()) + ".csv");
+  Relation r = IntRel("r", {{1, 2}, {3, 4}, {3, 4}}, 2);
+  ASSERT_OK(SaveCsvFile(path.string(), r));
+  auto back = LoadCsvFile(path.string(), r.schema());
+  std::filesystem::remove(path);
+  ASSERT_OK(back);
+  EXPECT_REL_EQ(*back, r);
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  RelationSchema schema("t", {{"i", Type::Int()}});
+  EXPECT_EQ(LoadCsvFile("/no/such/file.csv", schema).status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace mra

@@ -1,0 +1,201 @@
+// Tests for the atomic value domains (Definition 2.1).
+
+#include "mra/core/value.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+TEST(TypeTest, NamesRoundTrip) {
+  for (Type t : {Type::Bool(), Type::Int(), Type::Decimal(), Type::Real(),
+                 Type::String(), Type::Date()}) {
+    auto parsed = Type::FromName(t.name());
+    ASSERT_OK(parsed);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(TypeTest, FromNameRejectsUnknown) {
+  EXPECT_EQ(Type::FromName("float").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Type::FromName("INT").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TypeTest, NumericClassification) {
+  EXPECT_TRUE(Type::Int().IsNumeric());
+  EXPECT_TRUE(Type::Real().IsNumeric());
+  EXPECT_TRUE(Type::Decimal().IsNumeric());
+  EXPECT_FALSE(Type::Bool().IsNumeric());
+  EXPECT_FALSE(Type::String().IsNumeric());
+  EXPECT_FALSE(Type::Date().IsNumeric());
+}
+
+TEST(TypeTest, CommonNumericPromotion) {
+  EXPECT_EQ(Type::CommonNumeric(Type::Int(), Type::Int()), Type::Int());
+  EXPECT_EQ(Type::CommonNumeric(Type::Int(), Type::Decimal()),
+            Type::Decimal());
+  EXPECT_EQ(Type::CommonNumeric(Type::Decimal(), Type::Real()), Type::Real());
+  EXPECT_EQ(Type::CommonNumeric(Type::Real(), Type::Int()), Type::Real());
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(-7).int_value(), -7);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).real_value(), 2.5);
+  EXPECT_EQ(Value::Str("abc").string_value(), "abc");
+  EXPECT_EQ(Value::Date(100).date_days(), 100);
+  EXPECT_EQ(Value::Decimal(12).decimal_scaled(), 120000);
+  EXPECT_EQ(Value::DecimalScaled(123456).decimal_scaled(), 123456);
+}
+
+TEST(ValueTest, EqualitySameKind) {
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Int(3)));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::Int(4)));
+  EXPECT_TRUE(Value::Str("x").Equals(Value::Str("x")));
+  EXPECT_FALSE(Value::Str("x").Equals(Value::Str("y")));
+  EXPECT_TRUE(Value::Bool(false) == Value::Bool(false));
+  EXPECT_TRUE(Value::Real(1.5) != Value::Real(1.6));
+}
+
+TEST(ValueTest, CompareOrdersWithinDomain) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(5).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)), 0);
+  EXPECT_LT(Value::Real(-1.0).Compare(Value::Real(0.0)), 0);
+  EXPECT_LT(Value::Date(10).Compare(Value::Date(11)), 0);
+  EXPECT_LT(Value::DecimalScaled(100).Compare(Value::DecimalScaled(200)), 0);
+}
+
+TEST(ValueTest, HashEqualForEqualValues) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::Str("beer").Hash(), Value::Str("beer").Hash());
+  EXPECT_EQ(Value::Real(0.0).Hash(), Value::Real(-0.0).Hash());
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  // int 1 and bool true share representation; kinds must separate them.
+  EXPECT_NE(Value::Int(1).Hash(), Value::Bool(true).Hash());
+  EXPECT_NE(Value::Int(5).Hash(), Value::Date(5).Hash());
+}
+
+TEST(ValueTest, AsRealWidensNumerics) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsReal(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(2.25).AsReal(), 2.25);
+  EXPECT_DOUBLE_EQ(Value::DecimalScaled(123400).AsReal(), 12.34);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-12).ToString(), "-12");
+  EXPECT_EQ(Value::Real(3.5).ToString(), "3.5");
+  EXPECT_EQ(Value::Real(4.0).ToString(), "4.0");
+  EXPECT_EQ(Value::Str("ale").ToString(), "'ale'");
+}
+
+TEST(DecimalTest, ParsePlain) {
+  auto v = Value::DecimalFromString("12.34");
+  ASSERT_OK(v);
+  EXPECT_EQ(v->decimal_scaled(), 123400);
+  EXPECT_EQ(v->ToString(), "12.34");
+}
+
+TEST(DecimalTest, ParseWholeAndFractionOnly) {
+  EXPECT_EQ(Value::DecimalFromString("7")->decimal_scaled(), 70000);
+  EXPECT_EQ(Value::DecimalFromString("0.5")->decimal_scaled(), 5000);
+  EXPECT_EQ(Value::DecimalFromString(".25")->decimal_scaled(), 2500);
+}
+
+TEST(DecimalTest, ParseNegative) {
+  EXPECT_EQ(Value::DecimalFromString("-3.1")->decimal_scaled(), -31000);
+  EXPECT_EQ(Value::DecimalFromString("-3.1")->ToString(), "-3.1");
+}
+
+TEST(DecimalTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Value::DecimalFromString("").ok());
+  EXPECT_FALSE(Value::DecimalFromString("abc").ok());
+  EXPECT_FALSE(Value::DecimalFromString("1.23456").ok());  // > 4 digits
+  EXPECT_FALSE(Value::DecimalFromString("1.2.3").ok());
+  EXPECT_FALSE(Value::DecimalFromString("-").ok());
+}
+
+TEST(DecimalTest, ToStringTrimsTrailingZeros) {
+  EXPECT_EQ(Value::DecimalScaled(50000).ToString(), "5");
+  EXPECT_EQ(Value::DecimalScaled(51000).ToString(), "5.1");
+  EXPECT_EQ(Value::DecimalScaled(50100).ToString(), "5.01");
+  EXPECT_EQ(Value::DecimalScaled(1).ToString(), "0.0001");
+}
+
+TEST(DateTest, EpochIsDayZero) {
+  EXPECT_EQ(Value::DaysFromCivil(1970, 1, 1), 0);
+  int y, m, d;
+  Value::CivilFromDays(0, &y, &m, &d);
+  EXPECT_EQ(y, 1970);
+  EXPECT_EQ(m, 1);
+  EXPECT_EQ(d, 1);
+}
+
+TEST(DateTest, KnownDates) {
+  // The paper appeared at ICDE, February 1994.
+  EXPECT_EQ(Value::DaysFromCivil(1994, 2, 14), 8810);
+  EXPECT_EQ(Value::DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(Value::DaysFromCivil(1969, 12, 31), -1);
+}
+
+TEST(DateTest, CivilRoundTripAcrossLeapYears) {
+  for (int64_t days = -1000; days <= 25000; days += 13) {
+    int y, m, d;
+    Value::CivilFromDays(days, &y, &m, &d);
+    EXPECT_EQ(Value::DaysFromCivil(y, m, d), days);
+  }
+}
+
+TEST(DateTest, ParseAndPrint) {
+  auto v = Value::DateFromString("1994-02-14");
+  ASSERT_OK(v);
+  EXPECT_EQ(v->date_days(), 8810);
+  EXPECT_EQ(v->ToString(), "1994-02-14");
+}
+
+TEST(DateTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Value::DateFromString("1994/02/14").ok());
+  EXPECT_FALSE(Value::DateFromString("94-02-14").ok());
+  EXPECT_FALSE(Value::DateFromString("1994-13-01").ok());
+  EXPECT_FALSE(Value::DateFromString("1994-02-30").ok());
+  EXPECT_FALSE(Value::DateFromString("").ok());
+}
+
+TEST(DateTest, LeapDayValidation) {
+  EXPECT_OK(Value::DateFromCivil(2000, 2, 29));  // 400-year leap
+  EXPECT_FALSE(Value::DateFromCivil(1900, 2, 29).ok());  // century non-leap
+  EXPECT_FALSE(Value::DateFromCivil(1994, 2, 29).ok());
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::TypeError("bad domain");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kTypeError);
+  EXPECT_EQ(err.ToString(), "TypeError: bad domain");
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad = Status::NotFound("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(good.value_or(-1), 42);
+}
+
+}  // namespace
+}  // namespace mra
