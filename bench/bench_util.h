@@ -14,6 +14,7 @@
 
 #include "mra/catalog/catalog.h"
 #include "mra/common/check.h"
+#include "mra/obs/metrics.h"
 #include "mra/util/generator.h"
 
 namespace mra {
@@ -74,6 +75,14 @@ void Row(const char* format, Args... args) {
 
 inline void Header(const char* experiment, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+/// Dumps the process-wide metrics registry as JSON, tagged with the
+/// experiment name — run after the summary block so each bench reports
+/// what the engine actually did (rule firings, WAL traffic, queries).
+inline void DumpMetricsJson(const char* experiment) {
+  std::printf("\n--- metrics after %s ---\n%s\n", experiment,
+              obs::MetricsRegistry::Global().RenderJson().c_str());
 }
 
 }  // namespace bench

@@ -127,5 +127,6 @@ int main(int argc, char** argv) {
   mra::bench::VerifyTheorem();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mra::bench::DumpMetricsJson("E1");
   return 0;
 }

@@ -159,5 +159,6 @@ int main(int argc, char** argv) {
   mra::bench::Report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mra::bench::DumpMetricsJson("E6");
   return 0;
 }

@@ -18,6 +18,8 @@
 #include <string>
 
 #include "mra/lang/interpreter.h"
+#include "mra/obs/metrics.h"
+#include "mra/obs/trace.h"
 #include "mra/util/printer.h"
 
 namespace {
@@ -33,6 +35,7 @@ constexpr char kHelp[] = R"(XRA statements (end with ';'):
   update(<name>, E, [e1, ..., en])      R <- (R - E) union proj(R intersect E)
   <name> := E                           bind a temporary (inside begin/end)
   ? E                                   query
+  explain [analyze] E                   show plans; analyze also executes
   begin s1; ...; sn end                 transaction bracket (atomic)
   constraint <name> (E)                 integrity constraint: E must stay
                                         empty in every committed state
@@ -47,7 +50,9 @@ Expressions E:
 Conditions/expressions use %1, %2, ... for attributes; literals include
 42, 3.14, 'text', true, date'1994-02-14', dec'9.99'.
 
-Meta: \h help, \d relations, \e <E> explain plans, \checkpoint, \q quit.)";
+Meta: \h help, \d relations, \e <E> explain plans, \ea <E> explain analyze,
+      \metrics [json|reset] process metrics, \trace [on|off] spans,
+      \checkpoint, \q quit.)";
 
 void PrintRelations(const Database& db) {
   for (const std::string& name : db.catalog().RelationNames()) {
@@ -93,11 +98,32 @@ int main(int argc, char** argv) {
         std::cout << kHelp << "\n";
       } else if (line == "\\d") {
         PrintRelations(*db);
+      } else if (line.rfind("\\ea ", 0) == 0) {
+        auto explained = interp.ExplainAnalyze(line.substr(4));
+        std::cout << (explained.ok() ? *explained
+                                     : explained.status().ToString())
+                  << "\n";
       } else if (line.rfind("\\e ", 0) == 0) {
         auto explained = interp.Explain(line.substr(3));
         std::cout << (explained.ok() ? *explained
                                      : explained.status().ToString())
                   << "\n";
+      } else if (line == "\\metrics") {
+        std::cout << obs::MetricsRegistry::Global().RenderText();
+      } else if (line == "\\metrics json") {
+        std::cout << obs::MetricsRegistry::Global().RenderJson() << "\n";
+      } else if (line == "\\metrics reset") {
+        obs::MetricsRegistry::Global().Reset();
+        std::cout << "metrics reset.\n";
+      } else if (line == "\\trace on") {
+        obs::Tracer::Global().SetEnabled(true);
+        obs::Tracer::Global().Clear();
+        std::cout << "tracing on.\n";
+      } else if (line == "\\trace off") {
+        obs::Tracer::Global().SetEnabled(false);
+        std::cout << "tracing off.\n";
+      } else if (line == "\\trace") {
+        std::cout << obs::Tracer::Global().Render();
       } else if (line == "\\checkpoint") {
         Status s = db->Checkpoint();
         std::cout << (s.ok() ? "checkpointed.\n" : s.ToString() + "\n");
@@ -121,6 +147,13 @@ int main(int argc, char** argv) {
     Status s = interp.ExecuteScript(
         buffer, [](const std::string& query, const Relation& result) {
           std::cout << query << "\n";
+          // `explain` delivers its text as a one-tuple relation; print the
+          // text itself rather than a one-cell table.
+          if (result.schema().name() == "explain" &&
+              result.schema().arity() == 1 && result.distinct_size() == 1) {
+            std::cout << result.begin()->first.at(0).string_value();
+            return;
+          }
           util::PrintOptions print_options;
           print_options.max_rows = 40;
           util::PrintRelation(std::cout, result, print_options);

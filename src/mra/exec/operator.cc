@@ -1,5 +1,7 @@
 #include "mra/exec/operator.h"
 
+#include <chrono>
+#include <cstdio>
 #include <sstream>
 
 #include "mra/algebra/closure.h"
@@ -10,6 +12,13 @@ namespace exec {
 
 namespace {
 
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 void RenderPhysical(const PhysicalOperator& op, int depth,
                     std::ostream& out) {
   for (int i = 0; i < depth; ++i) out << "  ";
@@ -19,11 +28,100 @@ void RenderPhysical(const PhysicalOperator& op, int depth,
   }
 }
 
+void RenderAnalyzed(const PhysicalOperator& op, int depth, std::ostream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << op.name();
+  const obs::OperatorMetrics& m = op.metrics();
+  char buf[64];
+  if (op.estimated_rows() >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", op.estimated_rows());
+    out << "  (est=" << buf;
+    // Estimation error as a symmetric over/under factor against the
+    // multiplicity-weighted actual (what EstimateCardinality predicts).
+    double actual = static_cast<double>(m.weighted_rows);
+    double est = op.estimated_rows() < 1.0 ? 1.0 : op.estimated_rows();
+    double act = actual < 1.0 ? 1.0 : actual;
+    double err = est >= act ? est / act : act / est;
+    std::snprintf(buf, sizeof(buf), "%.2f", err);
+    out << ", err=" << buf << "x)";
+  }
+  out << "  (actual rows=" << m.rows_emitted
+      << " weighted=" << m.weighted_rows;
+  if (m.distinct_rows > 0) out << " distinct=" << m.distinct_rows;
+  if (m.peak_hash_entries > 0) out << " hash=" << m.peak_hash_entries;
+  if (m.total_ns() > 0) {
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(m.total_ns()) / 1e6);
+    out << " time=" << buf << "ms";
+  }
+  out << ")\n";
+  for (const PhysicalOperator* child : op.children()) {
+    RenderAnalyzed(*child, depth + 1, out);
+  }
+}
+
 }  // namespace
+
+Status PhysicalOperator::Open() {
+  MRA_CHECK(state_ != State::kOpen) << "Open() while already open";
+  if (state_ == State::kClosed) metrics_.ResetRuntime();
+  timing_ = obs::ExecTimingEnabled();
+  Status s;
+  if (timing_) {
+    uint64_t t0 = NowNs();
+    s = OpenImpl();
+    metrics_.open_ns += NowNs() - t0;
+  } else {
+    s = OpenImpl();
+  }
+  // A failed Open leaves the operator Closed: resources the impl did
+  // acquire are released by Close-idempotent destruction paths, and the
+  // contract (Next only after a successful Open) stays enforced.
+  state_ = s.ok() ? State::kOpen : State::kClosed;
+  return s;
+}
+
+Result<std::optional<Row>> PhysicalOperator::Next() {
+  MRA_CHECK(state_ == State::kOpen) << "Next() before Open()";
+  if (timing_) {
+    uint64_t t0 = NowNs();
+    Result<std::optional<Row>> row = NextImpl();
+    metrics_.next_ns += NowNs() - t0;
+    if (row.ok() && row->has_value()) {
+      ++metrics_.rows_emitted;
+      metrics_.weighted_rows += (*row)->count;
+    }
+    return row;
+  }
+  Result<std::optional<Row>> row = NextImpl();
+  if (row.ok() && row->has_value()) {
+    ++metrics_.rows_emitted;
+    metrics_.weighted_rows += (*row)->count;
+  }
+  return row;
+}
+
+void PhysicalOperator::Close() {
+  if (state_ != State::kOpen) return;  // Contract: double/early Close is safe.
+  if (timing_) {
+    uint64_t t0 = NowNs();
+    CloseImpl();
+    metrics_.close_ns += NowNs() - t0;
+  } else {
+    CloseImpl();
+  }
+  state_ = State::kClosed;
+}
 
 std::string PhysicalOperator::ToString() const {
   std::ostringstream out;
   RenderPhysical(*this, 0, out);
+  return out.str();
+}
+
+std::string RenderPlanWithMetrics(const PhysicalOperator& root) {
+  std::ostringstream out;
+  RenderAnalyzed(root, 0, out);
   return out.str();
 }
 
@@ -45,21 +143,19 @@ ScanOp::ScanOp(const Relation* relation) : relation_(relation) {
   MRA_CHECK(relation != nullptr);
 }
 
-Status ScanOp::Open() {
+Status ScanOp::OpenImpl() {
   it_ = relation_->begin();
-  open_ = true;
   return Status::OK();
 }
 
-Result<std::optional<Row>> ScanOp::Next() {
-  MRA_CHECK(open_) << "Next() before Open()";
+Result<std::optional<Row>> ScanOp::NextImpl() {
   if (it_ == relation_->end()) return std::optional<Row>();
   Row row{it_->first, it_->second};
   ++it_;
   return std::optional<Row>(std::move(row));
 }
 
-void ScanOp::Close() { open_ = false; }
+void ScanOp::CloseImpl() {}
 
 const RelationSchema& ScanOp::schema() const { return relation_->schema(); }
 
@@ -67,21 +163,19 @@ const RelationSchema& ScanOp::schema() const { return relation_->schema(); }
 
 ConstScanOp::ConstScanOp(Relation relation) : relation_(std::move(relation)) {}
 
-Status ConstScanOp::Open() {
+Status ConstScanOp::OpenImpl() {
   it_ = relation_.begin();
-  open_ = true;
   return Status::OK();
 }
 
-Result<std::optional<Row>> ConstScanOp::Next() {
-  MRA_CHECK(open_) << "Next() before Open()";
+Result<std::optional<Row>> ConstScanOp::NextImpl() {
   if (it_ == relation_.end()) return std::optional<Row>();
   Row row{it_->first, it_->second};
   ++it_;
   return std::optional<Row>(std::move(row));
 }
 
-void ConstScanOp::Close() { open_ = false; }
+void ConstScanOp::CloseImpl() {}
 
 const RelationSchema& ConstScanOp::schema() const {
   return relation_.schema();
@@ -92,9 +186,9 @@ const RelationSchema& ConstScanOp::schema() const {
 FilterOp::FilterOp(ExprPtr condition, PhysOpPtr child)
     : condition_(std::move(condition)), child_(std::move(child)) {}
 
-Status FilterOp::Open() { return child_->Open(); }
+Status FilterOp::OpenImpl() { return child_->Open(); }
 
-Result<std::optional<Row>> FilterOp::Next() {
+Result<std::optional<Row>> FilterOp::NextImpl() {
   while (true) {
     MRA_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
     if (!row.has_value()) return row;
@@ -103,7 +197,7 @@ Result<std::optional<Row>> FilterOp::Next() {
   }
 }
 
-void FilterOp::Close() { child_->Close(); }
+void FilterOp::CloseImpl() { child_->Close(); }
 
 // --- ComputeOp. ---
 
@@ -113,27 +207,27 @@ ComputeOp::ComputeOp(std::vector<ExprPtr> exprs, RelationSchema output_schema,
       schema_(std::move(output_schema)),
       child_(std::move(child)) {}
 
-Status ComputeOp::Open() { return child_->Open(); }
+Status ComputeOp::OpenImpl() { return child_->Open(); }
 
-Result<std::optional<Row>> ComputeOp::Next() {
+Result<std::optional<Row>> ComputeOp::NextImpl() {
   MRA_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
   if (!row.has_value()) return row;
   MRA_ASSIGN_OR_RETURN(Tuple projected, ProjectTuple(exprs_, row->tuple));
   return std::optional<Row>(Row{std::move(projected), row->count});
 }
 
-void ComputeOp::Close() { child_->Close(); }
+void ComputeOp::CloseImpl() { child_->Close(); }
 
 // --- DedupOp. ---
 
 DedupOp::DedupOp(PhysOpPtr child) : child_(std::move(child)) {}
 
-Status DedupOp::Open() {
+Status DedupOp::OpenImpl() {
   seen_.clear();
   return child_->Open();
 }
 
-Result<std::optional<Row>> DedupOp::Next() {
+Result<std::optional<Row>> DedupOp::NextImpl() {
   while (true) {
     MRA_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
     if (!row.has_value()) return row;
@@ -143,7 +237,9 @@ Result<std::optional<Row>> DedupOp::Next() {
   }
 }
 
-void DedupOp::Close() {
+void DedupOp::CloseImpl() {
+  metrics_.distinct_rows = seen_.size();
+  metrics_.peak_hash_entries = seen_.size();
   seen_.clear();
   child_->Close();
 }
@@ -156,13 +252,13 @@ UnionAllOp::UnionAllOp(PhysOpPtr left, PhysOpPtr right)
       << "UnionAll over incompatible schemas";
 }
 
-Status UnionAllOp::Open() {
+Status UnionAllOp::OpenImpl() {
   on_right_ = false;
   MRA_RETURN_IF_ERROR(left_->Open());
   return right_->Open();
 }
 
-Result<std::optional<Row>> UnionAllOp::Next() {
+Result<std::optional<Row>> UnionAllOp::NextImpl() {
   if (!on_right_) {
     MRA_ASSIGN_OR_RETURN(std::optional<Row> row, left_->Next());
     if (row.has_value()) return row;
@@ -171,7 +267,7 @@ Result<std::optional<Row>> UnionAllOp::Next() {
   return right_->Next();
 }
 
-void UnionAllOp::Close() {
+void UnionAllOp::CloseImpl() {
   left_->Close();
   right_->Close();
 }
@@ -184,7 +280,7 @@ DifferenceOp::DifferenceOp(PhysOpPtr left, PhysOpPtr right)
       << "Difference over incompatible schemas";
 }
 
-Status DifferenceOp::Open() {
+Status DifferenceOp::OpenImpl() {
   MRA_ASSIGN_OR_RETURN(Relation lhs, ExecuteToRelation(*left_));
   MRA_ASSIGN_OR_RETURN(Relation rhs, ExecuteToRelation(*right_));
   result_ = Relation(lhs.schema());
@@ -192,23 +288,19 @@ Status DifferenceOp::Open() {
     uint64_t other = rhs.Multiplicity(tuple);
     if (count > other) result_.InsertUnchecked(tuple, count - other);
   }
+  metrics_.distinct_rows = result_.distinct_size();
   it_ = result_.begin();
-  open_ = true;
   return Status::OK();
 }
 
-Result<std::optional<Row>> DifferenceOp::Next() {
-  MRA_CHECK(open_) << "Next() before Open()";
+Result<std::optional<Row>> DifferenceOp::NextImpl() {
   if (it_ == result_.end()) return std::optional<Row>();
   Row row{it_->first, it_->second};
   ++it_;
   return std::optional<Row>(std::move(row));
 }
 
-void DifferenceOp::Close() {
-  result_.Clear();
-  open_ = false;
-}
+void DifferenceOp::CloseImpl() { result_.Clear(); }
 
 // --- IntersectOp. ---
 
@@ -218,7 +310,7 @@ IntersectOp::IntersectOp(PhysOpPtr left, PhysOpPtr right)
       << "Intersect over incompatible schemas";
 }
 
-Status IntersectOp::Open() {
+Status IntersectOp::OpenImpl() {
   MRA_ASSIGN_OR_RETURN(Relation lhs, ExecuteToRelation(*left_));
   MRA_ASSIGN_OR_RETURN(Relation rhs, ExecuteToRelation(*right_));
   result_ = Relation(lhs.schema());
@@ -226,23 +318,19 @@ Status IntersectOp::Open() {
     uint64_t m = std::min(count, rhs.Multiplicity(tuple));
     if (m > 0) result_.InsertUnchecked(tuple, m);
   }
+  metrics_.distinct_rows = result_.distinct_size();
   it_ = result_.begin();
-  open_ = true;
   return Status::OK();
 }
 
-Result<std::optional<Row>> IntersectOp::Next() {
-  MRA_CHECK(open_) << "Next() before Open()";
+Result<std::optional<Row>> IntersectOp::NextImpl() {
   if (it_ == result_.end()) return std::optional<Row>();
   Row row{it_->first, it_->second};
   ++it_;
   return std::optional<Row>(std::move(row));
 }
 
-void IntersectOp::Close() {
-  result_.Clear();
-  open_ = false;
-}
+void IntersectOp::CloseImpl() { result_.Clear(); }
 
 // --- NestedLoopJoinOp. ---
 
@@ -253,7 +341,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(ExprPtr condition_or_null, PhysOpPtr left,
       left_(std::move(left)),
       right_(std::move(right)) {}
 
-Status NestedLoopJoinOp::Open() {
+Status NestedLoopJoinOp::OpenImpl() {
   right_rows_.clear();
   MRA_RETURN_IF_ERROR(right_->Open());
   while (true) {
@@ -267,7 +355,7 @@ Status NestedLoopJoinOp::Open() {
   return left_->Open();
 }
 
-Result<std::optional<Row>> NestedLoopJoinOp::Next() {
+Result<std::optional<Row>> NestedLoopJoinOp::NextImpl() {
   while (true) {
     if (!current_left_.has_value()) {
       MRA_ASSIGN_OR_RETURN(current_left_, left_->Next());
@@ -288,7 +376,7 @@ Result<std::optional<Row>> NestedLoopJoinOp::Next() {
   }
 }
 
-void NestedLoopJoinOp::Close() {
+void NestedLoopJoinOp::CloseImpl() {
   right_rows_.clear();
   left_->Close();
 }
@@ -309,7 +397,7 @@ HashJoinOp::HashJoinOp(std::vector<size_t> left_keys,
   MRA_CHECK(!left_keys_.empty()) << "HashJoin requires at least one key pair";
 }
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   table_.clear();
   MRA_RETURN_IF_ERROR(right_->Open());
   while (true) {
@@ -319,13 +407,14 @@ Status HashJoinOp::Open() {
     table_[std::move(key)].push_back(std::move(*row));
   }
   right_->Close();
+  metrics_.peak_hash_entries = table_.size();
   current_left_.reset();
   matches_ = nullptr;
   match_pos_ = 0;
   return left_->Open();
 }
 
-Result<std::optional<Row>> HashJoinOp::Next() {
+Result<std::optional<Row>> HashJoinOp::NextImpl() {
   while (true) {
     if (!current_left_.has_value()) {
       MRA_ASSIGN_OR_RETURN(current_left_, left_->Next());
@@ -353,7 +442,7 @@ Result<std::optional<Row>> HashJoinOp::Next() {
   }
 }
 
-void HashJoinOp::Close() {
+void HashJoinOp::CloseImpl() {
   table_.clear();
   left_->Close();
 }
@@ -362,26 +451,22 @@ void HashJoinOp::Close() {
 
 ClosureOp::ClosureOp(PhysOpPtr child) : child_(std::move(child)) {}
 
-Status ClosureOp::Open() {
+Status ClosureOp::OpenImpl() {
   MRA_ASSIGN_OR_RETURN(Relation input, ExecuteToRelation(*child_));
   MRA_ASSIGN_OR_RETURN(result_, ops::TransitiveClosure(input));
+  metrics_.distinct_rows = result_.distinct_size();
   it_ = result_.begin();
-  open_ = true;
   return Status::OK();
 }
 
-Result<std::optional<Row>> ClosureOp::Next() {
-  MRA_CHECK(open_) << "Next() before Open()";
+Result<std::optional<Row>> ClosureOp::NextImpl() {
   if (it_ == result_.end()) return std::optional<Row>();
   Row row{it_->first, it_->second};
   ++it_;
   return std::optional<Row>(std::move(row));
 }
 
-void ClosureOp::Close() {
-  result_.Clear();
-  open_ = false;
-}
+void ClosureOp::CloseImpl() { result_.Clear(); }
 
 // --- HashGroupByOp. ---
 
@@ -393,7 +478,7 @@ HashGroupByOp::HashGroupByOp(std::vector<size_t> keys,
       schema_(std::move(output_schema)),
       child_(std::move(child)) {}
 
-Status HashGroupByOp::Open() {
+Status HashGroupByOp::OpenImpl() {
   const RelationSchema& in_schema = child_->schema();
   auto make_accumulators = [&] {
     std::vector<AggAccumulator> accs;
@@ -422,6 +507,7 @@ Status HashGroupByOp::Open() {
   if (keys_.empty() && groups.empty()) {
     groups.try_emplace(Tuple{}, make_accumulators());
   }
+  metrics_.peak_hash_entries = groups.size();
 
   result_ = Relation(schema_);
   for (const auto& [key, accs] : groups) {
@@ -432,23 +518,19 @@ Status HashGroupByOp::Open() {
     }
     result_.InsertUnchecked(Tuple(std::move(values)), 1);
   }
+  metrics_.distinct_rows = result_.distinct_size();
   it_ = result_.begin();
-  open_ = true;
   return Status::OK();
 }
 
-Result<std::optional<Row>> HashGroupByOp::Next() {
-  MRA_CHECK(open_) << "Next() before Open()";
+Result<std::optional<Row>> HashGroupByOp::NextImpl() {
   if (it_ == result_.end()) return std::optional<Row>();
   Row row{it_->first, it_->second};
   ++it_;
   return std::optional<Row>(std::move(row));
 }
 
-void HashGroupByOp::Close() {
-  result_.Clear();
-  open_ = false;
-}
+void HashGroupByOp::CloseImpl() { result_.Clear(); }
 
 // --- Equi-join key extraction. ---
 

@@ -7,6 +7,14 @@
 // denotes is the per-tuple sum of the emitted counts.  Operators that need
 // exact per-tuple totals (difference, intersection, group-by) materialise
 // internally.
+//
+// The public Open/Next/Close entry points are non-virtual wrappers around
+// the per-operator OpenImpl/NextImpl/CloseImpl hooks.  The wrappers own the
+// operator lifecycle contract — Open before Next, Close idempotent, Close
+// without Open a no-op — and collect per-operator execution metrics
+// (obs::OperatorMetrics): emitted rows and multiplicity-weighted counts
+// always, wall time when obs::ExecTimingEnabled() (EXPLAIN ANALYZE flips
+// it around a run).
 
 #ifndef MRA_EXEC_OPERATOR_H_
 #define MRA_EXEC_OPERATOR_H_
@@ -21,6 +29,7 @@
 #include "mra/algebra/aggregate.h"
 #include "mra/core/relation.h"
 #include "mra/expr/scalar_expr.h"
+#include "mra/obs/op_metrics.h"
 
 namespace mra {
 namespace exec {
@@ -37,14 +46,16 @@ class PhysicalOperator {
   virtual ~PhysicalOperator() = default;
 
   /// Prepares the operator (builds hash tables, opens children).  Must be
-  /// called exactly once before Next().
-  virtual Status Open() = 0;
+  /// called before Next(); reopening a Closed operator restarts it (and
+  /// resets its metrics), reopening an Open one is a programming error.
+  Status Open();
 
   /// Produces the next row, or nullopt at end of stream.
-  virtual Result<std::optional<Row>> Next() = 0;
+  Result<std::optional<Row>> Next();
 
-  /// Releases resources; idempotent.
-  virtual void Close() = 0;
+  /// Releases resources.  Idempotent by contract — enforced here: a second
+  /// Close, or a Close without Open, is a safe no-op.
+  void Close();
 
   virtual const RelationSchema& schema() const = 0;
 
@@ -54,14 +65,42 @@ class PhysicalOperator {
   /// Children, for plan rendering.
   virtual std::vector<const PhysicalOperator*> children() const { return {}; }
 
+  /// Runtime metrics collected by the wrappers (valid after execution;
+  /// hash/distinct figures are recorded by CloseImpl before freeing).
+  const obs::OperatorMetrics& metrics() const { return metrics_; }
+
+  /// Planner's cardinality estimate (multiplicity-weighted), < 0 when the
+  /// plan was lowered without an estimator.
+  double estimated_rows() const { return estimated_rows_; }
+  void set_estimated_rows(double rows) { estimated_rows_ = rows; }
+
   /// Multi-line indented rendering of the physical plan.
   std::string ToString() const;
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<std::optional<Row>> NextImpl() = 0;
+  virtual void CloseImpl() = 0;
+
+  obs::OperatorMetrics metrics_;
+
+ private:
+  enum class State : uint8_t { kCreated, kOpen, kClosed };
+
+  State state_ = State::kCreated;
+  bool timing_ = false;
+  double estimated_rows_ = -1.0;
 };
 
 using PhysOpPtr = std::unique_ptr<PhysicalOperator>;
 
 /// Drains `op` (Open/Next*/Close) into a materialised relation.
 Result<Relation> ExecuteToRelation(PhysicalOperator& op);
+
+/// Renders the operator tree annotated per node with estimated vs. actual
+/// cardinalities, estimation error, wall time and hash-table peaks — the
+/// EXPLAIN ANALYZE body.  Call after execution.
+std::string RenderPlanWithMetrics(const PhysicalOperator& root);
 
 // --- Leaf operators. ---
 
@@ -70,16 +109,17 @@ class ScanOp final : public PhysicalOperator {
  public:
   explicit ScanOp(const Relation* relation);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override;
   std::string_view name() const override { return "Scan"; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
 
  private:
   const Relation* relation_;
   Relation::const_iterator it_;
-  bool open_ = false;
 };
 
 /// Scans an owned relation (inline literals, pre-materialised inputs).
@@ -87,16 +127,17 @@ class ConstScanOp final : public PhysicalOperator {
  public:
   explicit ConstScanOp(Relation relation);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override;
   std::string_view name() const override { return "ConstScan"; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
 
  private:
   Relation relation_;
   Relation::const_iterator it_;
-  bool open_ = false;
 };
 
 // --- Streaming unary operators. ---
@@ -106,14 +147,16 @@ class FilterOp final : public PhysicalOperator {
  public:
   FilterOp(ExprPtr condition, PhysOpPtr child);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override { return child_->schema(); }
   std::string_view name() const override { return "Filter"; }
   std::vector<const PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
 
  private:
   ExprPtr condition_;
@@ -126,14 +169,16 @@ class ComputeOp final : public PhysicalOperator {
   ComputeOp(std::vector<ExprPtr> exprs, RelationSchema output_schema,
             PhysOpPtr child);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override { return schema_; }
   std::string_view name() const override { return "Compute"; }
   std::vector<const PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
 
  private:
   std::vector<ExprPtr> exprs_;
@@ -147,14 +192,16 @@ class DedupOp final : public PhysicalOperator {
  public:
   explicit DedupOp(PhysOpPtr child);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override { return child_->schema(); }
   std::string_view name() const override { return "Dedup"; }
   std::vector<const PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
 
  private:
   PhysOpPtr child_;
@@ -169,14 +216,16 @@ class UnionAllOp final : public PhysicalOperator {
  public:
   UnionAllOp(PhysOpPtr left, PhysOpPtr right);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override { return left_->schema(); }
   std::string_view name() const override { return "UnionAll"; }
   std::vector<const PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
 
  private:
   PhysOpPtr left_;
@@ -189,21 +238,22 @@ class DifferenceOp final : public PhysicalOperator {
  public:
   DifferenceOp(PhysOpPtr left, PhysOpPtr right);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override { return left_->schema(); }
   std::string_view name() const override { return "Difference"; }
   std::vector<const PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
   }
 
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
+
  private:
   PhysOpPtr left_;
   PhysOpPtr right_;
   Relation result_;
   Relation::const_iterator it_;
-  bool open_ = false;
 };
 
 /// ∩ with min(·,·) multiplicities.  Materialises both inputs on Open.
@@ -211,21 +261,22 @@ class IntersectOp final : public PhysicalOperator {
  public:
   IntersectOp(PhysOpPtr left, PhysOpPtr right);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override { return left_->schema(); }
   std::string_view name() const override { return "Intersect"; }
   std::vector<const PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
   }
 
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
+
  private:
   PhysOpPtr left_;
   PhysOpPtr right_;
   Relation result_;
   Relation::const_iterator it_;
-  bool open_ = false;
 };
 
 /// × and ⋈_φ without equi-keys: materialises the right input, then streams
@@ -236,9 +287,6 @@ class NestedLoopJoinOp final : public PhysicalOperator {
  public:
   NestedLoopJoinOp(ExprPtr condition_or_null, PhysOpPtr left, PhysOpPtr right);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override { return schema_; }
   std::string_view name() const override {
     return condition_ ? "NestedLoopJoin" : "Product";
@@ -246,6 +294,11 @@ class NestedLoopJoinOp final : public PhysicalOperator {
   std::vector<const PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
 
  private:
   ExprPtr condition_;
@@ -267,14 +320,16 @@ class HashJoinOp final : public PhysicalOperator {
   HashJoinOp(std::vector<size_t> left_keys, std::vector<size_t> right_keys,
              ExprPtr residual_or_null, PhysOpPtr left, PhysOpPtr right);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override { return schema_; }
   std::string_view name() const override { return "HashJoin"; }
   std::vector<const PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
 
  private:
   std::vector<size_t> left_keys_;
@@ -295,20 +350,21 @@ class ClosureOp final : public PhysicalOperator {
  public:
   explicit ClosureOp(PhysOpPtr child);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override { return child_->schema(); }
   std::string_view name() const override { return "Closure"; }
   std::vector<const PhysicalOperator*> children() const override {
     return {child_.get()};
   }
 
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
+
  private:
   PhysOpPtr child_;
   Relation result_;
   Relation::const_iterator it_;
-  bool open_ = false;
 };
 
 /// Γ — hash aggregation; materialises groups on Open.
@@ -317,14 +373,16 @@ class HashGroupByOp final : public PhysicalOperator {
   HashGroupByOp(std::vector<size_t> keys, std::vector<AggSpec> aggs,
                 RelationSchema output_schema, PhysOpPtr child);
 
-  Status Open() override;
-  Result<std::optional<Row>> Next() override;
-  void Close() override;
   const RelationSchema& schema() const override { return schema_; }
   std::string_view name() const override { return "HashGroupBy"; }
   std::vector<const PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
 
  private:
   std::vector<size_t> keys_;
@@ -333,7 +391,6 @@ class HashGroupByOp final : public PhysicalOperator {
   PhysOpPtr child_;
   Relation result_;
   Relation::const_iterator it_;
-  bool open_ = false;
 };
 
 /// Extracts equi-join key pairs from a join condition over a concatenated

@@ -3,8 +3,16 @@
 namespace mra {
 namespace exec {
 
-Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
-                            const RelationProvider& provider) {
+namespace {
+
+Result<PhysOpPtr> LowerPlanImpl(const PlanPtr& plan,
+                                const RelationProvider& provider,
+                                const CardinalityEstimator* estimator);
+
+/// Picks and constructs the physical operator for one logical node.
+Result<PhysOpPtr> LowerNode(const PlanPtr& plan,
+                            const RelationProvider& provider,
+                            const CardinalityEstimator* estimator) {
   switch (plan->kind()) {
     case PlanKind::kScan: {
       MRA_ASSIGN_OR_RETURN(const Relation* rel,
@@ -18,46 +26,59 @@ Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
     case PlanKind::kConstRel:
       return PhysOpPtr(std::make_unique<ConstScanOp>(plan->const_relation()));
     case PlanKind::kSelect: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlan(plan->child(0), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
+                           LowerPlanImpl(plan->child(0), provider, estimator));
       return PhysOpPtr(
           std::make_unique<FilterOp>(plan->condition(), std::move(child)));
     }
     case PlanKind::kProject: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlan(plan->child(0), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
+                           LowerPlanImpl(plan->child(0), provider, estimator));
       return PhysOpPtr(std::make_unique<ComputeOp>(
           plan->projections(), plan->schema(), std::move(child)));
     }
     case PlanKind::kUnique: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlan(plan->child(0), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
+                           LowerPlanImpl(plan->child(0), provider, estimator));
       return PhysOpPtr(std::make_unique<DedupOp>(std::move(child)));
     }
     case PlanKind::kUnion: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlan(plan->child(0), provider));
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlan(plan->child(1), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
+                           LowerPlanImpl(plan->child(0), provider, estimator));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
+                           LowerPlanImpl(plan->child(1), provider, estimator));
       return PhysOpPtr(
           std::make_unique<UnionAllOp>(std::move(l), std::move(r)));
     }
     case PlanKind::kDifference: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlan(plan->child(0), provider));
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlan(plan->child(1), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
+                           LowerPlanImpl(plan->child(0), provider, estimator));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
+                           LowerPlanImpl(plan->child(1), provider, estimator));
       return PhysOpPtr(
           std::make_unique<DifferenceOp>(std::move(l), std::move(r)));
     }
     case PlanKind::kIntersect: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlan(plan->child(0), provider));
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlan(plan->child(1), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
+                           LowerPlanImpl(plan->child(0), provider, estimator));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
+                           LowerPlanImpl(plan->child(1), provider, estimator));
       return PhysOpPtr(
           std::make_unique<IntersectOp>(std::move(l), std::move(r)));
     }
     case PlanKind::kProduct: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlan(plan->child(0), provider));
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlan(plan->child(1), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
+                           LowerPlanImpl(plan->child(0), provider, estimator));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
+                           LowerPlanImpl(plan->child(1), provider, estimator));
       return PhysOpPtr(std::make_unique<NestedLoopJoinOp>(
           nullptr, std::move(l), std::move(r)));
     }
     case PlanKind::kJoin: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlan(plan->child(0), provider));
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlan(plan->child(1), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
+                           LowerPlanImpl(plan->child(0), provider, estimator));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
+                           LowerPlanImpl(plan->child(1), provider, estimator));
       std::vector<size_t> left_keys, right_keys;
       ExprPtr residual;
       if (ExtractEquiJoinKeys(plan->condition(), plan->schema(),
@@ -71,17 +92,35 @@ Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
           plan->condition(), std::move(l), std::move(r)));
     }
     case PlanKind::kGroupBy: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlan(plan->child(0), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
+                           LowerPlanImpl(plan->child(0), provider, estimator));
       return PhysOpPtr(std::make_unique<HashGroupByOp>(
           plan->group_keys(), plan->aggregates(), plan->schema(),
           std::move(child)));
     }
     case PlanKind::kClosure: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlan(plan->child(0), provider));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
+                           LowerPlanImpl(plan->child(0), provider, estimator));
       return PhysOpPtr(std::make_unique<ClosureOp>(std::move(child)));
     }
   }
   return Status::Internal("bad plan kind");
+}
+
+Result<PhysOpPtr> LowerPlanImpl(const PlanPtr& plan,
+                                const RelationProvider& provider,
+                                const CardinalityEstimator* estimator) {
+  MRA_ASSIGN_OR_RETURN(PhysOpPtr op, LowerNode(plan, provider, estimator));
+  if (estimator != nullptr) op->set_estimated_rows((*estimator)(*plan));
+  return op;
+}
+
+}  // namespace
+
+Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
+                            const RelationProvider& provider,
+                            const CardinalityEstimator* estimator) {
+  return LowerPlanImpl(plan, provider, estimator);
 }
 
 Result<Relation> ExecutePlan(const PlanPtr& plan,

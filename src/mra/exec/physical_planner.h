@@ -16,6 +16,8 @@
 #ifndef MRA_EXEC_PHYSICAL_PLANNER_H_
 #define MRA_EXEC_PHYSICAL_PLANNER_H_
 
+#include <functional>
+
 #include "mra/algebra/evaluator.h"
 #include "mra/algebra/plan.h"
 #include "mra/exec/operator.h"
@@ -23,11 +25,21 @@
 namespace mra {
 namespace exec {
 
+/// Predicts the multiplicity-weighted cardinality of a logical plan node.
+/// Lowering is node-isomorphic (one physical operator per logical node), so
+/// annotating each physical operator with the estimate of its logical
+/// counterpart is exact.  Kept as a callback so exec does not depend on
+/// mra/opt; callers typically wrap opt::EstimateCardinality.
+using CardinalityEstimator = std::function<double(const Plan&)>;
+
 /// Builds an executable operator tree for `plan`.  Scan nodes resolve
 /// through `provider`, whose relations must outlive the returned tree's
-/// execution.
+/// execution.  When `estimator` is non-null every operator is annotated
+/// with its logical node's estimate (PhysicalOperator::estimated_rows),
+/// which EXPLAIN ANALYZE renders against the actuals.
 Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
-                            const RelationProvider& provider);
+                            const RelationProvider& provider,
+                            const CardinalityEstimator* estimator = nullptr);
 
 /// Lower + execute + materialise.  This is the production evaluation path
 /// (EvaluatePlan in mra/algebra is the definitional one).

@@ -121,6 +121,9 @@ std::string Stmt::ToString() const {
     case Kind::kDropConstraint:
       out << "drop constraint " << target;
       break;
+    case Kind::kExplain:
+      out << "explain " << (analyze ? "analyze " : "") << expr->ToString();
+      break;
   }
   return out.str();
 }

@@ -67,14 +67,16 @@ struct Stmt {
     kQuery,           // ? E
     kConstraint,      // constraint name (E)   [extension: §4.3 correctness]
     kDropConstraint,  // drop constraint name   [extension]
+    kExplain,         // explain [analyze] E    [extension: observability]
   };
 
   Kind kind;
   int line = 0;
   std::string target;              // relation / temporary name
   RelationSchema schema;           // kCreate
-  RelExprPtr expr;                 // kInsert/kDelete/kUpdate/kAssign/kQuery
+  RelExprPtr expr;                 // kInsert/kDelete/kUpdate/kAssign/kQuery/kExplain
   std::vector<ExprPtr> alpha;      // kUpdate attribute expression list
+  bool analyze = false;            // kExplain: execute and report actuals
 
   std::string ToString() const;
 };

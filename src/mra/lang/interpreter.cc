@@ -1,23 +1,79 @@
 #include "mra/lang/interpreter.h"
 
+#include <chrono>
+#include <cstdio>
+
 #include "mra/exec/physical_planner.h"
 #include "mra/lang/binder.h"
 #include "mra/lang/parser.h"
+#include "mra/obs/metrics.h"
+#include "mra/obs/trace.h"
+#include "mra/opt/stats.h"
 
 namespace mra {
 namespace lang {
 
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void HarvestOpStats(const exec::PhysicalOperator& op, uint32_t depth,
+                    QueryStats* stats) {
+  stats->operators.push_back(QueryStats::OpStats{
+      std::string(op.name()), depth, op.estimated_rows(), op.metrics()});
+  for (const exec::PhysicalOperator* child : op.children()) {
+    HarvestOpStats(*child, depth + 1, stats);
+  }
+}
+
+obs::Counter* QueryCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("exec.queries");
+  return c;
+}
+
+}  // namespace
+
 Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
                                            const RelationProvider& provider) {
-  MRA_ASSIGN_OR_RETURN(PlanPtr plan, BindRelExpr(expr, provider));
+  QueryCounter()->Inc();
+  PlanPtr plan;
+  {
+    obs::ScopedSpan span("bind");
+    MRA_ASSIGN_OR_RETURN(plan, BindRelExpr(expr, provider));
+  }
   if (options_.optimize) {
+    obs::ScopedSpan span("optimize");
     opt::Optimizer optimizer(&provider);
     MRA_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
   }
-  if (options_.use_physical_exec) {
-    return exec::ExecutePlan(plan, provider);
+  if (!options_.use_physical_exec) {
+    obs::ScopedSpan span("execute");
+    return EvaluatePlan(*plan, provider);
   }
-  return EvaluatePlan(*plan, provider);
+  exec::PhysOpPtr root;
+  {
+    obs::ScopedSpan span("lower");
+    MRA_ASSIGN_OR_RETURN(root, exec::LowerPlan(plan, provider));
+  }
+  uint64_t t0 = NowMicros();
+  Result<Relation> result = [&]() -> Result<Relation> {
+    obs::ScopedSpan span("execute");
+    return exec::ExecuteToRelation(*root);
+  }();
+  last_query_stats_ = QueryStats{};
+  last_query_stats_.exec_us = NowMicros() - t0;
+  HarvestOpStats(*root, 0, &last_query_stats_);
+  if (result.ok()) {
+    last_query_stats_.result_rows = result->size();
+    last_query_stats_.valid = true;
+  }
+  return result;
 }
 
 Status Interpreter::ExecuteStmt(const Stmt& stmt, Transaction& txn,
@@ -49,6 +105,20 @@ Status Interpreter::ExecuteStmt(const Stmt& stmt, Transaction& txn,
     case Stmt::Kind::kQuery: {
       MRA_ASSIGN_OR_RETURN(Relation result, EvaluateExpr(*stmt.expr, txn));
       if (on_query) on_query(stmt.ToString(), result);
+      return Status::OK();
+    }
+    case Stmt::Kind::kExplain: {
+      MRA_ASSIGN_OR_RETURN(std::string text,
+                           ExplainExpr(*stmt.expr, txn, stmt.analyze));
+      if (on_query) {
+        // The plan text travels as a one-tuple relation so it flows through
+        // the ordinary query channel (a multi-row rendering would lose line
+        // order: relations are unordered bags).
+        Relation rel(
+            RelationSchema("explain", {Attribute{"plan", Type::String()}}));
+        rel.InsertUnchecked(Tuple({Value::Str(std::move(text))}), 1);
+        on_query(stmt.ToString(), rel);
+      }
       return Status::OK();
     }
   }
@@ -90,7 +160,12 @@ Status Interpreter::ExecuteItem(const Script::Item& item,
 
 Status Interpreter::ExecuteScript(std::string_view source,
                                   const QueryCallback& on_query) {
-  MRA_ASSIGN_OR_RETURN(Script script, ParseScript(source));
+  obs::ScopedSpan script_span("script");
+  Script script;
+  {
+    obs::ScopedSpan span("parse");
+    MRA_ASSIGN_OR_RETURN(script, ParseScript(source));
+  }
   for (const Script::Item& item : script.items) {
     MRA_RETURN_IF_ERROR(ExecuteItem(item, on_query));
   }
@@ -108,21 +183,71 @@ Result<std::vector<Relation>> Interpreter::ExecuteScriptCollect(
 }
 
 Result<Relation> Interpreter::Query(std::string_view rel_expr_source) {
-  MRA_ASSIGN_OR_RETURN(RelExprPtr expr, ParseRelExpr(rel_expr_source));
+  obs::ScopedSpan query_span("query");
+  RelExprPtr expr;
+  {
+    obs::ScopedSpan span("parse");
+    MRA_ASSIGN_OR_RETURN(expr, ParseRelExpr(rel_expr_source));
+  }
   return EvaluateExpr(*expr, db_->catalog());
 }
 
 Result<std::string> Interpreter::Explain(std::string_view rel_expr_source) {
   MRA_ASSIGN_OR_RETURN(RelExprPtr expr, ParseRelExpr(rel_expr_source));
-  const Catalog& catalog = db_->catalog();
-  MRA_ASSIGN_OR_RETURN(PlanPtr plan, BindRelExpr(*expr, catalog));
+  return ExplainExpr(*expr, db_->catalog(), /*analyze=*/false);
+}
+
+Result<std::string> Interpreter::ExplainAnalyze(
+    std::string_view rel_expr_source) {
+  MRA_ASSIGN_OR_RETURN(RelExprPtr expr, ParseRelExpr(rel_expr_source));
+  return ExplainExpr(*expr, db_->catalog(), /*analyze=*/true);
+}
+
+Result<std::string> Interpreter::ExplainExpr(const RelExpr& expr,
+                                             const RelationProvider& provider,
+                                             bool analyze) {
+  MRA_ASSIGN_OR_RETURN(PlanPtr plan, BindRelExpr(expr, provider));
   std::string out = "logical plan:\n" + plan->ToString();
-  opt::Optimizer optimizer(&catalog);
+  opt::Optimizer optimizer(&provider);
   MRA_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
   out += "\noptimized plan:\n" + optimized->ToString();
+
+  // Annotate every operator with the planner's cardinality prediction so
+  // the analyzed rendering can expose the estimation error per node.
+  opt::StatsCache stats_cache(&provider);
+  exec::CardinalityEstimator estimator =
+      [&provider, &stats_cache](const Plan& node) {
+        return opt::EstimateCardinality(node, provider, &stats_cache);
+      };
   MRA_ASSIGN_OR_RETURN(exec::PhysOpPtr physical,
-                       exec::LowerPlan(optimized, catalog));
-  out += "\nphysical plan:\n" + physical->ToString();
+                       exec::LowerPlan(optimized, provider, &estimator));
+  if (!analyze) {
+    out += "\nphysical plan:\n" + physical->ToString();
+    return out;
+  }
+
+  QueryCounter()->Inc();
+  obs::ScopedExecTiming timing(true);
+  uint64_t t0 = NowMicros();
+  Result<Relation> result = [&]() -> Result<Relation> {
+    obs::ScopedSpan span("execute");
+    return exec::ExecuteToRelation(*physical);
+  }();
+  uint64_t exec_us = NowMicros() - t0;
+  MRA_RETURN_IF_ERROR(result.status());
+
+  last_query_stats_ = QueryStats{};
+  last_query_stats_.exec_us = exec_us;
+  HarvestOpStats(*physical, 0, &last_query_stats_);
+  last_query_stats_.result_rows = result->size();
+  last_query_stats_.valid = true;
+
+  out += "\nphysical plan (analyzed):\n" + exec::RenderPlanWithMetrics(*physical);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(exec_us) / 1e3);
+  out += "result: " + std::to_string(result->size()) + " rows (" +
+         std::to_string(result->distinct_size()) + " distinct), " + buf +
+         "ms\n";
   return out;
 }
 

@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "mra/lang/ast.h"
+#include "mra/obs/op_metrics.h"
 #include "mra/opt/optimizer.h"
 #include "mra/txn/database.h"
 #include "mra/txn/transaction.h"
@@ -29,6 +30,28 @@ struct InterpreterOptions {
   /// Execute through the physical operators (mra/exec); when false the
   /// definitional evaluator (mra/algebra) runs instead.
   bool use_physical_exec = true;
+};
+
+/// Execution statistics of the most recent physically-executed query,
+/// harvested from the operator tree after it drains.  Programmatic
+/// counterpart of EXPLAIN ANALYZE's rendering.
+struct QueryStats {
+  struct OpStats {
+    std::string name;            // operator name, e.g. "HashJoin"
+    uint32_t depth = 0;          // depth in the plan tree (root = 0)
+    double estimated_rows = -1;  // planner estimate; < 0 when not annotated
+    obs::OperatorMetrics metrics;
+  };
+
+  /// Operators in preorder (parent before children, matching the
+  /// EXPLAIN rendering top to bottom).
+  std::vector<OpStats> operators;
+  /// Multiplicity-weighted cardinality of the result.
+  uint64_t result_rows = 0;
+  /// Wall time of the execute phase.
+  uint64_t exec_us = 0;
+  /// False until a physically-executed query completes.
+  bool valid = false;
 };
 
 class Interpreter {
@@ -59,6 +82,22 @@ class Interpreter {
   /// physical plan of a relation expression (EXPLAIN).
   Result<std::string> Explain(std::string_view rel_expr_source);
 
+  /// EXPLAIN ANALYZE: executes the expression with per-call timing enabled
+  /// and renders the plans with the physical tree annotated per operator —
+  /// estimated vs. actual cardinality, estimation error, wall time and
+  /// hash-table peaks.  Also fills last_query_stats().
+  Result<std::string> ExplainAnalyze(std::string_view rel_expr_source);
+
+  /// Shared EXPLAIN body over an already-parsed expression and an
+  /// arbitrary view (the SQL front end explains against its transaction).
+  Result<std::string> ExplainExpr(const RelExpr& expr,
+                                  const RelationProvider& provider,
+                                  bool analyze);
+
+  /// Stats of the most recent query run through the physical executor
+  /// (`valid` is false before the first one).
+  const QueryStats& last_query_stats() const { return last_query_stats_; }
+
   /// Executes one already-parsed DML/query statement inside an open
   /// transaction (used by the SQL front end, which manages its own
   /// bracketing).  DDL statements are rejected here.
@@ -75,6 +114,7 @@ class Interpreter {
 
   Database* db_;
   Options options_;
+  QueryStats last_query_stats_;
 };
 
 }  // namespace lang

@@ -29,6 +29,8 @@ const std::unordered_map<std::string_view, TokenKind>& Keywords() {
           {"groupby", TokenKind::kKwGroupby},
           {"closure", TokenKind::kKwClosure},
           {"constraint", TokenKind::kKwConstraint},
+          {"explain", TokenKind::kKwExplain},
+          {"analyze", TokenKind::kKwAnalyze},
           {"empty", TokenKind::kKwEmpty},
           {"cnt", TokenKind::kKwCnt},
           {"sum", TokenKind::kKwSum},

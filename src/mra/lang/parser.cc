@@ -141,6 +141,16 @@ class Parser {
         MRA_ASSIGN_OR_RETURN(stmt.expr, ParseRelExpr());
         return stmt;
       }
+      case TokenKind::kKwExplain: {
+        Advance();
+        stmt.kind = Stmt::Kind::kExplain;
+        if (Check(TokenKind::kKwAnalyze)) {
+          Advance();
+          stmt.analyze = true;
+        }
+        MRA_ASSIGN_OR_RETURN(stmt.expr, ParseRelExpr());
+        return stmt;
+      }
       case TokenKind::kIdentifier: {
         stmt.kind = Stmt::Kind::kAssign;
         MRA_ASSIGN_OR_RETURN(stmt.target, ExpectIdentifier());

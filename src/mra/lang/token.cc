@@ -57,6 +57,10 @@ std::string_view TokenKindName(TokenKind kind) {
       return "'closure'";
     case TokenKind::kKwConstraint:
       return "'constraint'";
+    case TokenKind::kKwExplain:
+      return "'explain'";
+    case TokenKind::kKwAnalyze:
+      return "'analyze'";
     case TokenKind::kKwEmpty:
       return "'empty'";
     case TokenKind::kKwCnt:

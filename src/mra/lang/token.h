@@ -41,6 +41,8 @@ enum class TokenKind : uint8_t {
   kKwGroupby,
   kKwClosure,
   kKwConstraint,
+  kKwExplain,
+  kKwAnalyze,
   kKwEmpty,
   kKwCnt,
   kKwSum,

@@ -1,0 +1,157 @@
+#include "mra/obs/metrics.h"
+
+#include <sstream>
+
+namespace mra {
+namespace obs {
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i + 1 >= kNumBuckets) return UINT64_MAX;
+  return uint64_t{1} << i;
+}
+
+size_t Histogram::BucketFor(uint64_t micros) {
+  size_t i = 0;
+  while (i + 1 < kNumBuckets && micros > BucketUpperBound(i)) ++i;
+  return i;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::RenderText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out << name << " count=" << h.count << " sum_us=" << h.sum_micros;
+    if (h.count > 0) {
+      out << " mean_us=" << (h.sum_micros / h.count) << " buckets=[";
+      bool first = true;
+      for (size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i] == 0) continue;
+        if (!first) out << " ";
+        first = false;
+        if (Histogram::BucketUpperBound(i) == UINT64_MAX) {
+          out << "inf:" << h.buckets[i];
+        } else {
+          out << "le" << Histogram::BucketUpperBound(i) << "us:"
+              << h.buckets[i];
+        }
+      }
+      out << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void AppendJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::RenderJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ",";
+    first = false;
+    AppendJsonString(out, name);
+    out << ":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out << ",";
+    first = false;
+    AppendJsonString(out, name);
+    out << ":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out << ",";
+    first = false;
+    AppendJsonString(out, name);
+    out << ":{\"count\":" << h.count << ",\"sum_us\":" << h.sum_micros
+        << ",\"buckets\":[";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out << ",";
+      out << h.buckets[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = h->count();
+    data.sum_micros = h->sum_micros();
+    data.buckets.reserve(Histogram::kNumBuckets);
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      data.buckets.push_back(h->bucket(i));
+    }
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, g] : gauges_) g->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace mra

@@ -1,0 +1,143 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// latency histograms with lock-free hot paths.
+//
+// Registration (name → metric) takes a mutex once; the returned pointers
+// are stable for the process lifetime, so instrumentation sites cache them
+// in a function-local static and pay one relaxed atomic RMW per event:
+//
+//   static obs::Counter* appends =
+//       obs::MetricsRegistry::Global().GetCounter("wal.appends");
+//   appends->Inc();
+//
+// Snapshots iterate the (sorted) registration maps, so text and JSON
+// exports list metrics in a deterministic order.  The metrics catalog is
+// documented in docs/OBSERVABILITY.md.
+
+#ifndef MRA_OBS_METRICS_H_
+#define MRA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mra {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can move both ways (active transactions, open files, …).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency histogram with fixed exponential buckets: bucket i counts
+/// observations in (2^{i-1}, 2^i] microseconds (bucket 0 is ≤ 1µs, the
+/// last bucket is unbounded).  Observe/merge are lock-free.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 26;  // ≤1µs … >~33s.
+
+  void Observe(uint64_t micros) {
+    buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_micros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket `i` in µs (UINT64_MAX for the last).
+  static uint64_t BucketUpperBound(size_t i);
+
+  void Reset();
+
+ private:
+  static size_t BucketFor(uint64_t micros);
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct HistogramData {
+    uint64_t count = 0;
+    uint64_t sum_micros = 0;
+    std::vector<uint64_t> buckets;  // kNumBuckets entries.
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Human-oriented rendering, one metric per line, sorted by name.
+  std::string RenderText() const;
+  /// Machine-oriented rendering: one JSON object with "counters",
+  /// "gauges" and "histograms" members, keys sorted.
+  std::string RenderJson() const;
+};
+
+/// The process-wide registry.  `Global()` is the instance everything in
+/// the engine instruments; tests may construct private registries.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric.  Pointers stay valid for the
+  /// registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string RenderText() const { return Snapshot().RenderText(); }
+  std::string RenderJson() const { return Snapshot().RenderJson(); }
+
+  /// Zeroes every registered metric (registrations and pointers survive).
+  /// For tests and REPL `\metrics reset`.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;  // Guards the maps, not the metric values.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace mra
+
+#endif  // MRA_OBS_METRICS_H_

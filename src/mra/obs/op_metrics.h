@@ -1,0 +1,78 @@
+// Per-operator execution metrics, filled in by the PhysicalOperator
+// Open/Next/Close wrappers (mra/exec/operator.h).
+//
+// Row counts are always collected (plain single-threaded increments on the
+// operator's own state — a volcano tree never shares an operator across
+// threads).  Wall-clock timing costs two steady_clock reads per call, so
+// it is gated behind the process-wide toggle below, which EXPLAIN ANALYZE
+// and the REPL flip around an execution.  Both the multiplicity-weighted
+// and the emitted-row cardinality are reported: their ratio is exactly the
+// duplication factor the paper's multi-set semantics exploits.
+
+#ifndef MRA_OBS_OP_METRICS_H_
+#define MRA_OBS_OP_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mra {
+namespace obs {
+
+struct OperatorMetrics {
+  /// Rows emitted by Next() (bag-stream rows, not tuples).
+  uint64_t rows_emitted = 0;
+  /// Multiplicity-weighted tuple count: the sum of the emitted counts —
+  /// the cardinality of the multi-set the stream denotes.
+  uint64_t weighted_rows = 0;
+  /// Distinct tuples, for operators that materialise (difference,
+  /// intersection, group-by, dedup); 0 for pure streaming operators.
+  uint64_t distinct_rows = 0;
+  /// Peak entries held in the operator's hash table (join build side,
+  /// dedup's seen-set, group-by's group table); 0 when hash-free.
+  uint64_t peak_hash_entries = 0;
+
+  // Wall time, only nonzero while exec timing is enabled.
+  uint64_t open_ns = 0;
+  uint64_t next_ns = 0;
+  uint64_t close_ns = 0;
+
+  uint64_t total_ns() const { return open_ns + next_ns + close_ns; }
+
+  void ResetRuntime() { *this = OperatorMetrics{}; }
+};
+
+namespace internal {
+inline std::atomic<bool>& ExecTimingFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace internal
+
+/// Whether operators should measure wall time per Open/Next/Close call.
+inline bool ExecTimingEnabled() {
+  return internal::ExecTimingFlag().load(std::memory_order_relaxed);
+}
+
+inline void SetExecTiming(bool enabled) {
+  internal::ExecTimingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+/// RAII: enables exec timing for a scope, restoring the previous setting.
+class ScopedExecTiming {
+ public:
+  explicit ScopedExecTiming(bool enabled) : previous_(ExecTimingEnabled()) {
+    SetExecTiming(enabled);
+  }
+  ~ScopedExecTiming() { SetExecTiming(previous_); }
+
+  ScopedExecTiming(const ScopedExecTiming&) = delete;
+  ScopedExecTiming& operator=(const ScopedExecTiming&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace obs
+}  // namespace mra
+
+#endif  // MRA_OBS_OP_METRICS_H_

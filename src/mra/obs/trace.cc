@@ -1,0 +1,105 @@
+#include "mra/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mra {
+namespace obs {
+
+namespace {
+
+thread_local uint32_t tls_span_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(kCapacity);
+}
+
+uint64_t Tracer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % kCapacity;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = ring_;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.depth < b.depth;
+            });
+  return events;
+}
+
+std::string Tracer::Render() const {
+  std::vector<TraceEvent> events = Events();
+  std::ostringstream out;
+  if (events.empty()) {
+    out << "(no spans recorded; enable tracing first)\n";
+    return out.str();
+  }
+  for (const TraceEvent& e : events) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "[+%10.3fms] ",
+                  static_cast<double>(e.start_us) / 1000.0);
+    out << line;
+    for (uint32_t i = 0; i < e.depth; ++i) out << "  ";
+    std::snprintf(line, sizeof(line), " %.3fms",
+                  static_cast<double>(e.duration_us) / 1000.0);
+    out << e.name << line << "\n";
+  }
+  if (dropped() > 0) {
+    out << "(" << dropped() << " older spans dropped)\n";
+  }
+  return out.str();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name)
+    : active_(Tracer::Global().enabled()) {
+  if (!active_) return;
+  name_ = std::string(name);
+  depth_ = tls_span_depth++;
+  start_us_ = Tracer::Global().NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --tls_span_depth;
+  Tracer& tracer = Tracer::Global();
+  uint64_t end_us = tracer.NowMicros();
+  tracer.Record(TraceEvent{std::move(name_), depth_, start_us_,
+                           end_us - start_us_});
+}
+
+}  // namespace obs
+}  // namespace mra

@@ -1,0 +1,94 @@
+// Lightweight scoped-span tracing: RAII spans around engine phases
+// (parse → bind → optimize → plan → execute), recorded into a fixed-size
+// ring buffer.  Tracing is off by default; a disabled ScopedSpan costs one
+// relaxed atomic load and nothing else.
+//
+// Spans nest through a thread-local depth counter, so the rendering
+// indents a span under the span that was open when it started.  Events
+// are recorded at span end; `Render()` re-sorts by start time to restore
+// chronological (parent-before-child) order.
+
+#ifndef MRA_OBS_TRACE_H_
+#define MRA_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mra {
+namespace obs {
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  uint32_t depth = 0;        // Nesting level at span start.
+  uint64_t start_us = 0;     // Relative to the tracer epoch.
+  uint64_t duration_us = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kCapacity = 4096;
+
+  static Tracer& Global();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one event, overwriting the oldest once kCapacity is reached.
+  void Record(TraceEvent event);
+
+  /// Completed events in chronological (start-time) order.
+  std::vector<TraceEvent> Events() const;
+
+  /// Events dropped to the ring buffer's overwrite so far.
+  uint64_t dropped() const { return dropped_; }
+
+  /// Indented text rendering of Events().
+  std::string Render() const;
+
+  void Clear();
+
+  /// Microseconds since the tracer epoch (its construction).
+  uint64_t NowMicros() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;       // Ring insertion cursor once full.
+  uint64_t dropped_ = 0;  // Overwritten events.
+};
+
+/// RAII span: records [construction, destruction) into Tracer::Global()
+/// when tracing is enabled at construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  uint32_t depth_ = 0;
+  uint64_t start_us_ = 0;
+  std::string name_;
+};
+
+}  // namespace obs
+}  // namespace mra
+
+#endif  // MRA_OBS_TRACE_H_

@@ -1,11 +1,26 @@
 #include "mra/opt/optimizer.h"
 
+#include "mra/obs/metrics.h"
+
 namespace mra {
 namespace opt {
 
 namespace {
 
 using RuleFn = Result<PlanPtr> (*)(const PlanPtr&);
+
+/// A rewrite rule with the name its firing counter is registered under
+/// (`opt.rule.<name>` in the global metrics registry).
+struct NamedRule {
+  const char* name;
+  RuleFn fn;
+};
+
+void CountRuleFiring(const char* rule_name) {
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("opt.rule.") + rule_name)
+      ->Inc();
+}
 
 // Rebuilds `plan` with new children (no-op when all children are unchanged).
 Result<PlanPtr> WithChildren(const PlanPtr& plan,
@@ -59,7 +74,7 @@ Result<PlanPtr> WithChildren(const PlanPtr& plan,
 
 // One bottom-up sweep: rewrite children first, then apply the rule set at
 // this node repeatedly until no rule fires.
-Result<PlanPtr> Sweep(const PlanPtr& plan, const std::vector<RuleFn>& rules,
+Result<PlanPtr> Sweep(const PlanPtr& plan, const std::vector<NamedRule>& rules,
                       bool* changed, int max_iterations) {
   std::vector<PlanPtr> children;
   children.reserve(plan->num_children());
@@ -71,9 +86,10 @@ Result<PlanPtr> Sweep(const PlanPtr& plan, const std::vector<RuleFn>& rules,
   MRA_ASSIGN_OR_RETURN(PlanPtr current, WithChildren(plan, std::move(children)));
   for (int iter = 0; iter < max_iterations; ++iter) {
     bool fired = false;
-    for (RuleFn rule : rules) {
-      MRA_ASSIGN_OR_RETURN(PlanPtr next, rule(current));
+    for (const NamedRule& rule : rules) {
+      MRA_ASSIGN_OR_RETURN(PlanPtr next, rule.fn(current));
       if (next != nullptr && next != current && !PlanEquals(next, current)) {
+        CountRuleFiring(rule.name);
         current = std::move(next);
         fired = true;
         *changed = true;
@@ -98,13 +114,21 @@ Result<PlanPtr> Sweep(const PlanPtr& plan, const std::vector<RuleFn>& rules,
 
 Result<PlanPtr> Optimizer::Optimize(PlanPtr plan) const {
   // Pass 1: logical simplification + pushdown to a fixpoint.
-  std::vector<RuleFn> logical;
-  if (options_.constant_folding) logical.push_back(&TryConstantSimplify);
-  logical.push_back(&TryMergeSelects);
-  if (options_.select_pushdown) logical.push_back(&TrySelectPushdown);
-  logical.push_back(&TryMergeProjects);
-  if (options_.unique_simplify) logical.push_back(&TryUniqueSimplify);
-  if (options_.pre_dedup_union) logical.push_back(&TryUniquePreDedupUnion);
+  std::vector<NamedRule> logical;
+  if (options_.constant_folding) {
+    logical.push_back({"constant_simplify", &TryConstantSimplify});
+  }
+  logical.push_back({"merge_selects", &TryMergeSelects});
+  if (options_.select_pushdown) {
+    logical.push_back({"select_pushdown", &TrySelectPushdown});
+  }
+  logical.push_back({"merge_projects", &TryMergeProjects});
+  if (options_.unique_simplify) {
+    logical.push_back({"unique_simplify", &TryUniqueSimplify});
+  }
+  if (options_.pre_dedup_union) {
+    logical.push_back({"pre_dedup_union", &TryUniquePreDedupUnion});
+  }
 
   for (int round = 0; round < options_.max_iterations; ++round) {
     bool changed = false;
@@ -115,7 +139,11 @@ Result<PlanPtr> Optimizer::Optimize(PlanPtr plan) const {
 
   // Pass 2: early projection (Example 3.2).
   if (options_.column_pruning) {
+    PlanPtr before = plan;
     MRA_ASSIGN_OR_RETURN(plan, PruneColumns(plan));
+    if (plan != before && !PlanEquals(plan, before)) {
+      CountRuleFiring("prune_columns");
+    }
     // Pruning inserts projections; clean up identities and merge chains.
     bool changed = false;
     MRA_ASSIGN_OR_RETURN(
@@ -142,6 +170,7 @@ Result<PlanPtr> Optimizer::Optimize(PlanPtr plan) const {
                              WithChildren(node, std::move(children)));
         MRA_ASSIGN_OR_RETURN(PlanPtr next,
                              TryJoinCommute(current, provider, stats));
+        if (next != nullptr) CountRuleFiring("join_commute");
         return next != nullptr ? next : current;
       }
     };

@@ -6,6 +6,7 @@
 #include "mra/common/hash.h"
 #include "mra/exec/operator.h"
 #include "mra/expr/eval.h"
+#include "mra/obs/metrics.h"
 
 namespace mra {
 namespace parallel {
@@ -21,6 +22,9 @@ size_t ResolveThreads(const ParallelOptions& options) {
 // Runs `fn(i)` for i in [0, n) on n threads, collecting the first error.
 template <typename Fn>
 Status RunWorkers(size_t n, const Fn& fn) {
+  static obs::Counter* tasks =
+      obs::MetricsRegistry::Global().GetCounter("parallel.tasks");
+  tasks->Inc(n);
   std::vector<Status> statuses(n);
   std::vector<std::thread> workers;
   workers.reserve(n);

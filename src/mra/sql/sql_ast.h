@@ -107,9 +107,17 @@ struct DropTableStmt {
 
 enum class TxnControl : uint8_t { kBegin, kCommit, kRollback };
 
+/// EXPLAIN [ANALYZE] SELECT … — renders the translated plans; with ANALYZE
+/// the query also executes and the physical tree carries actual vs.
+/// estimated cardinalities and wall time.
+struct ExplainStmt {
+  bool analyze = false;
+  std::shared_ptr<SelectStmt> select;
+};
+
 using SqlStatement =
     std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
-                 CreateTableStmt, DropTableStmt, TxnControl>;
+                 CreateTableStmt, DropTableStmt, TxnControl, ExplainStmt>;
 
 }  // namespace sql
 }  // namespace mra

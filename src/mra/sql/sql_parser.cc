@@ -71,6 +71,17 @@ class SqlParser {
   }
 
   Result<SqlStatement> ParseStatement() {
+    if (AcceptKw("EXPLAIN")) {
+      ExplainStmt stmt;
+      stmt.analyze = AcceptKw("ANALYZE");
+      if (!CheckKw("SELECT")) {
+        return Error("expected SELECT after EXPLAIN");
+      }
+      MRA_ASSIGN_OR_RETURN(SqlStatement select, ParseSelect());
+      stmt.select =
+          std::make_shared<SelectStmt>(std::get<SelectStmt>(std::move(select)));
+      return SqlStatement(std::move(stmt));
+    }
     if (CheckKw("SELECT")) return ParseSelect();
     if (CheckKw("INSERT")) return ParseInsert();
     if (CheckKw("UPDATE")) return ParseUpdate();

@@ -451,6 +451,13 @@ Result<lang::Stmt> TranslateStatement(const SqlStatement& stmt,
     out.target = drop->table;
     return out;
   }
+  if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+    out.kind = lang::Stmt::Kind::kExplain;
+    out.analyze = explain->analyze;
+    MRA_ASSIGN_OR_RETURN(out.expr,
+                         TranslateSelect(*explain->select, provider));
+    return out;
+  }
   return Status::InvalidArgument(
       "transaction control has no statement translation");
 }

@@ -3,9 +3,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 
+#include "mra/obs/metrics.h"
 #include "mra/storage/serializer.h"
 
 namespace mra {
@@ -28,6 +30,13 @@ uint32_t DecodeU32(const char* p) {
     v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
   }
   return v;
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -59,7 +68,16 @@ Result<WalWriter> WalWriter::Open(const std::string& path) {
 }
 
 Status WalWriter::Append(std::string_view payload, bool sync) {
+  // Registered once; the registry hands out stable pointers.
+  static obs::Counter* appends =
+      obs::MetricsRegistry::Global().GetCounter("wal.appends");
+  static obs::Counter* append_bytes =
+      obs::MetricsRegistry::Global().GetCounter("wal.append_bytes");
+  static obs::Histogram* append_us =
+      obs::MetricsRegistry::Global().GetHistogram("wal.append_us");
+
   if (file_ == nullptr) return Status::IoError("WAL is closed");
+  uint64_t t0 = NowMicros();
   std::string frame = EncodeU32(kFrameMagic);
   frame += EncodeU32(static_cast<uint32_t>(payload.size()));
   frame += EncodeU32(Crc32(payload));
@@ -70,16 +88,27 @@ Status WalWriter::Append(std::string_view payload, bool sync) {
   if (std::fflush(file_) != 0) {
     return Status::IoError("cannot flush WAL");
   }
-  if (sync) return Sync();
-  return Status::OK();
+  appends->Inc();
+  append_bytes->Inc(frame.size());
+  Status s = sync ? Sync() : Status::OK();
+  append_us->Observe(NowMicros() - t0);
+  return s;
 }
 
 Status WalWriter::Sync() {
+  static obs::Counter* fsyncs =
+      obs::MetricsRegistry::Global().GetCounter("wal.fsyncs");
+  static obs::Histogram* fsync_us =
+      obs::MetricsRegistry::Global().GetHistogram("wal.fsync_us");
+
   if (file_ == nullptr) return Status::IoError("WAL is closed");
+  uint64_t t0 = NowMicros();
   if (::fsync(::fileno(file_)) != 0) {
     return Status::IoError(std::string("fsync failed: ") +
                            std::strerror(errno));
   }
+  fsyncs->Inc();
+  fsync_us->Observe(NowMicros() - t0);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "mra/obs/metrics.h"
 #include "mra/storage/plan_serializer.h"
 #include "mra/storage/serializer.h"
 #include "mra/txn/transaction.h"
@@ -323,7 +324,9 @@ Status Database::Checkpoint() {
     storage::EncodePlan(&image, *plan);
   }
   MRA_RETURN_IF_ERROR(WriteFileAtomically(checkpoint_path(), image.buffer()));
-  return storage::TruncateWal(wal_path());
+  MRA_RETURN_IF_ERROR(storage::TruncateWal(wal_path()));
+  obs::MetricsRegistry::Global().GetCounter("db.checkpoints")->Inc();
+  return Status::OK();
 }
 
 }  // namespace mra

@@ -1,8 +1,34 @@
 #include "mra/txn/transaction.h"
 
+#include <chrono>
+
 #include "mra/algebra/ops.h"
+#include "mra/obs/metrics.h"
 
 namespace mra {
+
+namespace {
+
+obs::Counter* TxnCommitCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("txn.commits");
+  return c;
+}
+
+obs::Counter* TxnAbortCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("txn.aborts");
+  return c;
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 Transaction::~Transaction() {
   // An abandoned bracket aborts (atomicity: D_t remains current).
@@ -101,7 +127,11 @@ Status Transaction::Assign(const std::string& name, Relation value) {
 }
 
 Status Transaction::Commit() {
+  static obs::Histogram* commit_us =
+      obs::MetricsRegistry::Global().GetHistogram("txn.commit_us");
+
   MRA_RETURN_IF_ERROR(CheckActive());
+  uint64_t t0 = NowMicros();
   // Correctness (§4.3): the post-state D_{t+1} must satisfy every
   // registered integrity constraint; otherwise the bracket aborts and D_t
   // stays current.  The overlay view *is* the candidate post-state.
@@ -111,6 +141,7 @@ Status Transaction::Commit() {
     working_.clear();
     temps_.clear();
     db_->EndTransaction();
+    TxnAbortCounter()->Inc();
     return valid;
   }
   Status s = db_->ApplyCommit(id_, working_);
@@ -120,11 +151,14 @@ Status Transaction::Commit() {
     working_.clear();
     temps_.clear();
     db_->EndTransaction();
+    TxnAbortCounter()->Inc();
     return s;
   }
   active_ = false;
   working_.clear();
   temps_.clear();
+  TxnCommitCounter()->Inc();
+  commit_us->Observe(NowMicros() - t0);
   return Status::OK();
 }
 
@@ -134,6 +168,7 @@ Status Transaction::Abort() {
   working_.clear();
   temps_.clear();
   db_->EndTransaction();
+  TxnAbortCounter()->Inc();
   return Status::OK();
 }
 

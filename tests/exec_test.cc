@@ -287,6 +287,60 @@ TEST_P(ExecAgreementTest, PhysicalMatchesReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecAgreementTest,
                          ::testing::Range(uint64_t{1}, uint64_t{16}));
 
+// --- Operator lifecycle contract (enforced by the base wrappers). ---
+
+TEST(OperatorContractTest, CloseWithoutOpenIsANoOp) {
+  Relation r = IntRel("r", {{1}}, 1);
+  ScanOp scan(&r);
+  scan.Close();  // Never opened: must not crash or touch resources.
+  scan.Close();
+}
+
+TEST(OperatorContractTest, DoubleCloseIsSafe) {
+  Relation a = IntRel("a", {{1}, {2}}, 1);
+  Relation b = IntRel("b", {{2}, {3}}, 1);
+  // A materialising operator: the second Close must not double-free.
+  IntersectOp op(std::make_unique<ScanOp>(&a), std::make_unique<ScanOp>(&b));
+  ASSERT_OK(op.Open());
+  op.Close();
+  op.Close();
+  op.Close();
+}
+
+TEST(OperatorContractTest, ReopenAfterCloseRestartsTheStream) {
+  Relation r = IntRel("r", {{1}, {2}}, 1);
+  ScanOp scan(&r);
+  auto first = ExecuteToRelation(scan);
+  ASSERT_OK(first);
+  auto second = ExecuteToRelation(scan);
+  ASSERT_OK(second);
+  EXPECT_REL_EQ(*second, *first);
+  // Metrics reset on reopen: counts reflect the second run only.
+  EXPECT_EQ(scan.metrics().weighted_rows, r.size());
+}
+
+TEST(OperatorContractTest, CloseMidStreamReleasesCleanly) {
+  Relation a = IntRel("a", {{1}, {2}, {3}}, 1);
+  Relation b = IntRel("b", {{1}, {2}, {3}}, 1);
+  HashJoinOp op({0}, {0}, nullptr, std::make_unique<ScanOp>(&a),
+                std::make_unique<ScanOp>(&b));
+  ASSERT_OK(op.Open());
+  auto row = op.Next();
+  ASSERT_OK(row);
+  EXPECT_TRUE(row->has_value());
+  op.Close();  // Build table freed with the stream half-drained.
+  op.Close();
+  EXPECT_EQ(op.metrics().peak_hash_entries, 3u);
+}
+
+TEST(OperatorContractTest, EstimateAnnotationDefaultsToUnset) {
+  Relation r = IntRel("r", {{1}}, 1);
+  ScanOp scan(&r);
+  EXPECT_LT(scan.estimated_rows(), 0.0);
+  scan.set_estimated_rows(17.0);
+  EXPECT_DOUBLE_EQ(scan.estimated_rows(), 17.0);
+}
+
 }  // namespace
 }  // namespace exec
 }  // namespace mra

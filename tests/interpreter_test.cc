@@ -226,6 +226,79 @@ TEST_F(InterpreterTest, RelationLiteralSchemaMismatchRejected) {
       interp_->ExecuteScript("insert(beer, {(1, 2, 3)});", nullptr).ok());
 }
 
+TEST_F(InterpreterTest, ExplainAnalyzeReportsActualsAgainstEstimates) {
+  auto out = interp_->ExplainAnalyze(
+      "groupby([%6], avg(%3), join(%2 = %4, beer, brewery))");
+  ASSERT_OK(out);
+  EXPECT_NE(out->find("logical plan:"), std::string::npos);
+  EXPECT_NE(out->find("optimized plan:"), std::string::npos);
+  EXPECT_NE(out->find("physical plan (analyzed):"), std::string::npos);
+  EXPECT_NE(out->find("est="), std::string::npos);
+  EXPECT_NE(out->find("err="), std::string::npos);
+  EXPECT_NE(out->find("actual rows="), std::string::npos);
+  EXPECT_NE(out->find("result: "), std::string::npos);
+
+  // The analyzed run fills the programmatic stats, preorder, with a
+  // cardinality estimate annotated on every node.
+  QueryStats stats = interp_->last_query_stats();
+  ASSERT_TRUE(stats.valid);
+  ASSERT_FALSE(stats.operators.empty());
+  EXPECT_EQ(stats.operators[0].depth, 0u);
+  for (const auto& op : stats.operators) {
+    EXPECT_GE(op.estimated_rows, 0.0) << op.name;
+  }
+
+  // Actual cardinalities match an independent execution of the same query.
+  auto result = Query("groupby([%6], avg(%3), join(%2 = %4, beer, brewery))");
+  ASSERT_OK(result);
+  EXPECT_EQ(stats.result_rows, result->size());
+  EXPECT_EQ(stats.operators[0].metrics.weighted_rows, result->size());
+}
+
+TEST_F(InterpreterTest, QueryStatsCaptureLastPhysicalExecution) {
+  auto result = Query("join(%2 = %4, beer, brewery)");
+  ASSERT_OK(result);
+  const QueryStats& stats = interp_->last_query_stats();
+  ASSERT_TRUE(stats.valid);
+  EXPECT_EQ(stats.result_rows, result->size());
+  ASSERT_FALSE(stats.operators.empty());
+  EXPECT_EQ(stats.operators[0].metrics.weighted_rows, result->size());
+  // Plain queries carry no estimates; only EXPLAIN ANALYZE wires them in.
+  EXPECT_LT(stats.operators[0].estimated_rows, 0.0);
+  // The hash join reports its materialised build side.
+  bool saw_join = false;
+  for (const auto& op : stats.operators) {
+    if (op.name.find("HashJoin") != std::string::npos) {
+      saw_join = true;
+      EXPECT_GT(op.metrics.peak_hash_entries, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_join);
+}
+
+TEST_F(InterpreterTest, ExplainAnalyzeStatementReturnsPlanRelation) {
+  auto results = interp_->ExecuteScriptCollect(
+      "explain analyze select(%3 > 4.5, beer);");
+  ASSERT_OK(results);
+  ASSERT_EQ(results->size(), 1u);
+  const Relation& rel = (*results)[0];
+  EXPECT_EQ(rel.schema().name(), "explain");
+  ASSERT_EQ(rel.distinct_size(), 1u);
+  const std::string& text = rel.begin()->first.at(0).string_value();
+  EXPECT_NE(text.find("physical plan (analyzed):"), std::string::npos);
+  EXPECT_NE(text.find("Scan"), std::string::npos);
+}
+
+TEST_F(InterpreterTest, ExplainStatementWithoutAnalyzeSkipsExecution) {
+  auto results = interp_->ExecuteScriptCollect("explain select(%3 > 4.5, beer);");
+  ASSERT_OK(results);
+  ASSERT_EQ(results->size(), 1u);
+  const std::string& text = (*results)[0].begin()->first.at(0).string_value();
+  EXPECT_NE(text.find("physical plan:"), std::string::npos);
+  EXPECT_EQ(text.find("analyzed"), std::string::npos);
+  EXPECT_EQ(text.find("actual rows="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace lang
 }  // namespace mra

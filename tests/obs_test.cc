@@ -1,0 +1,200 @@
+// Tests for the observability layer: metrics registry (counters, gauges,
+// histograms, snapshot exports), trace spans, and the per-operator metrics
+// collected by the PhysicalOperator wrappers.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mra/exec/operator.h"
+#include "mra/obs/metrics.h"
+#include "mra/obs/op_metrics.h"
+#include "mra/obs/trace.h"
+#include "test_util.h"
+
+namespace mra {
+namespace obs {
+namespace {
+
+using ::mra::testing::IntRel;
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, MovesBothWays) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(HistogramTest, BucketBoundariesAreExponential) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBucket) {
+  Histogram h;
+  h.Observe(0);    // ≤ 1µs → bucket 0
+  h.Observe(1);    // ≤ 1µs → bucket 0
+  h.Observe(2);    // (1, 2] → bucket 1
+  h.Observe(3);    // (2, 4] → bucket 2
+  h.Observe(100);  // (64, 128] → bucket 7
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum_micros(), 106u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(7), 1u);
+}
+
+TEST(MetricsRegistryTest, ReturnsStablePointersPerName) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x");
+  Counter* b = reg.GetCounter("x");
+  Counter* c = reg.GetCounter("y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      Counter* c = reg.GetCounter("shared");
+      for (int i = 0; i < kIncrements; ++i) c->Inc();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(reg.GetCounter("shared")->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, SnapshotExportsAreDeterministic) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.count")->Inc(2);
+  reg.GetCounter("a.count")->Inc(1);
+  reg.GetGauge("depth")->Set(3);
+  reg.GetHistogram("lat_us")->Observe(5);
+
+  std::string json1 = reg.RenderJson();
+  std::string json2 = reg.RenderJson();
+  EXPECT_EQ(json1, json2);
+  // Keys are sorted, so a.count precedes b.count.
+  EXPECT_LT(json1.find("\"a.count\":1"), json1.find("\"b.count\":2"));
+  EXPECT_NE(json1.find("\"gauges\":{\"depth\":3}"), std::string::npos);
+  EXPECT_NE(json1.find("\"lat_us\":{\"count\":1,\"sum_us\":5"),
+            std::string::npos);
+
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("a.count 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_us count=1 sum_us=5"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("n");
+  c->Inc(7);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(reg.GetCounter("n"), c);
+  EXPECT_NE(reg.RenderJson().find("\"n\":0"), std::string::npos);
+}
+
+TEST(TracerTest, RecordsNestedSpansWithDepth) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);
+  tracer.Clear();
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+  }
+  tracer.SetEnabled(false);
+
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Events sort by start time: outer starts first at depth 0.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_GE(events[0].duration_us, events[1].duration_us);
+
+  std::string rendered = tracer.Render();
+  EXPECT_NE(rendered.find("outer"), std::string::npos);
+  EXPECT_NE(rendered.find("inner"), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(false);
+  tracer.Clear();
+  { ScopedSpan span("ghost"); }
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+TEST(ExecTimingTest, ScopedToggleRestoresPreviousState) {
+  ASSERT_FALSE(ExecTimingEnabled());
+  {
+    ScopedExecTiming on(true);
+    EXPECT_TRUE(ExecTimingEnabled());
+    {
+      ScopedExecTiming off(false);
+      EXPECT_FALSE(ExecTimingEnabled());
+    }
+    EXPECT_TRUE(ExecTimingEnabled());
+  }
+  EXPECT_FALSE(ExecTimingEnabled());
+}
+
+TEST(OperatorMetricsTest, RowCountsAlwaysCollected) {
+  Relation r = IntRel("r", {{1}, {1}, {2}}, 1);
+  // {1} twice inserts as one distinct tuple with multiplicity 2.
+  exec::ScanOp scan(&r);
+  auto result = exec::ExecuteToRelation(scan);
+  ASSERT_OK(result);
+  const OperatorMetrics& m = scan.metrics();
+  EXPECT_EQ(m.rows_emitted, r.distinct_size());
+  EXPECT_EQ(m.weighted_rows, r.size());
+  // Timing was off, so no wall time was measured.
+  EXPECT_EQ(m.total_ns(), 0u);
+}
+
+TEST(OperatorMetricsTest, WallTimeOnlyWhenTimingEnabled) {
+  std::vector<std::vector<int64_t>> rows;
+  for (int i = 0; i < 512; ++i) rows.push_back({i});
+  Relation r = IntRel("r", rows, 1);
+  exec::ScanOp scan(&r);
+  ScopedExecTiming timing(true);
+  auto result = exec::ExecuteToRelation(scan);
+  ASSERT_OK(result);
+  EXPECT_GT(scan.metrics().total_ns(), 0u);
+}
+
+TEST(OperatorMetricsTest, HashOperatorsReportPeakAndDistinct) {
+  Relation r = IntRel("r", {{1}, {1}, {2}, {3}}, 1);
+  exec::DedupOp dedup(std::make_unique<exec::ScanOp>(&r));
+  auto result = exec::ExecuteToRelation(dedup);
+  ASSERT_OK(result);
+  EXPECT_EQ(dedup.metrics().distinct_rows, 3u);
+  EXPECT_EQ(dedup.metrics().peak_hash_entries, 3u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mra

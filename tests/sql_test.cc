@@ -377,6 +377,33 @@ TEST_F(SqlTest, HavingTranslationShape) {
             "select((%2 = %4), product(beer, brewery))))");
 }
 
+TEST_F(SqlTest, ExplainSelectRendersPlans) {
+  auto rel = One("EXPLAIN SELECT * FROM beer WHERE alcperc > 5.0");
+  ASSERT_OK(rel);
+  EXPECT_EQ(rel->schema().name(), "explain");
+  ASSERT_EQ(rel->distinct_size(), 1u);
+  const std::string& text = rel->begin()->first.at(0).string_value();
+  EXPECT_NE(text.find("logical plan:"), std::string::npos);
+  EXPECT_NE(text.find("physical plan:"), std::string::npos);
+  EXPECT_EQ(text.find("analyzed"), std::string::npos);
+}
+
+TEST_F(SqlTest, ExplainAnalyzeSelectExecutesAndReportsActuals) {
+  auto rel = One(
+      "EXPLAIN ANALYZE SELECT country, AVG(alcperc) FROM beer, brewery"
+      " WHERE beer.brewery = brewery.name GROUP BY country");
+  ASSERT_OK(rel);
+  EXPECT_EQ(rel->schema().name(), "explain");
+  const std::string& text = rel->begin()->first.at(0).string_value();
+  EXPECT_NE(text.find("physical plan (analyzed):"), std::string::npos);
+  EXPECT_NE(text.find("est="), std::string::npos);
+  EXPECT_NE(text.find("actual rows="), std::string::npos);
+}
+
+TEST_F(SqlTest, ExplainRequiresSelect) {
+  EXPECT_FALSE(ParseSql("EXPLAIN DROP TABLE beer").ok());
+}
+
 TEST_F(SqlTest, DropTable) {
   ASSERT_OK(session_->Execute("DROP TABLE brewery"));
   EXPECT_EQ(One("SELECT * FROM brewery").status().code(),
