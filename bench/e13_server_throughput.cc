@@ -1,0 +1,116 @@
+// E13 — network query server throughput.
+//
+// Measures end-to-end request throughput over the loopback TCP server:
+// handshake-amortised query round trips (select over the beer relation),
+// committing scripts that queue on the serial transaction slot, and pings
+// (pure framing + socket cost, no query evaluation).  Each benchmark
+// thread owns one client connection, so ->ThreadRange(1, 8) reports how
+// qps scales with concurrent sessions against one shared Database.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <mutex>
+
+#include "bench_util.h"
+#include "mra/lang/interpreter.h"
+#include "mra/net/client.h"
+#include "mra/net/server.h"
+
+namespace mra {
+namespace bench {
+namespace {
+
+// One server for the whole binary: started lazily, torn down at exit.
+class ServerHarness {
+ public:
+  static ServerHarness& Get() {
+    static ServerHarness harness;
+    return harness;
+  }
+
+  int port() const { return server_->port(); }
+
+ private:
+  ServerHarness() {
+    db_ = std::move(Database::Open({}).value());
+    lang::Interpreter interp(db_.get());
+    Status s = interp.ExecuteScript(
+        "create beer(name: string, brewery: string, alcperc: real);"
+        "create tally(n: int);",
+        nullptr);
+    if (!s.ok()) std::abort();
+    // 1000 distinct beers so the select has real work to do.
+    for (int chunk = 0; chunk < 10; ++chunk) {
+      std::string script = "insert(beer, {";
+      for (int i = 0; i < 100; ++i) {
+        int id = chunk * 100 + i;
+        if (i > 0) script += ",";
+        script += "('beer" + std::to_string(id) + "', 'brew" +
+                  std::to_string(id % 7) + "', " +
+                  std::to_string(3.0 + (id % 60) * 0.1) + ")";
+      }
+      script += "});";
+      if (!interp.ExecuteScript(script, nullptr).ok()) std::abort();
+    }
+    net::ServerOptions options;
+    options.max_sessions = 64;
+    server_ = std::make_unique<net::Server>(db_.get(), options);
+    if (!server_->Start().ok()) std::abort();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<net::Server> server_;
+};
+
+net::Client ConnectClient() {
+  auto client = net::Client::Connect("127.0.0.1", ServerHarness::Get().port());
+  if (!client.ok()) std::abort();
+  return std::move(*client);
+}
+
+void BM_ServerQuery(benchmark::State& state) {
+  net::Client client = ConnectClient();
+  for (auto _ : state) {
+    auto result = client.Query("select(%3 > 5.5, beer)");
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerQuery)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ServerCommitScript(benchmark::State& state) {
+  net::Client client = ConnectClient();
+  int64_t tick = state.thread_index() * 1'000'000;
+  for (auto _ : state) {
+    auto results = client.ExecuteScript(
+        "insert(tally, {(" + std::to_string(tick++) + ")});");
+    if (!results.ok()) {
+      state.SkipWithError(results.status().ToString().c_str());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerCommitScript)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ServerPing(benchmark::State& state) {
+  net::Client client = ConnectClient();
+  for (auto _ : state) {
+    Status s = client.Ping();
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerPing)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace mra
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  mra::bench::DumpMetricsJson("E13");  // Includes the net.* family.
+  return 0;
+}

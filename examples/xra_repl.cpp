@@ -2,9 +2,13 @@
 // after PRISMA/DB's primary database language.
 //
 //   $ ./build/examples/xra_repl [database-directory]
+//   $ ./build/examples/xra_repl --connect host:port
 //
 // With a directory argument the database is durable (WAL + checkpoint) and
-// your relations survive restarts.  Statements end with ';'.  Examples:
+// your relations survive restarts.  With --connect the shell speaks the
+// wire protocol to a running mra_serverd instead of embedding an engine
+// (statements run server-side; \metrics shows the *server's* registry).
+// Statements end with ';'.  Examples:
 //
 //   create beer(name: string, brewery: string, alcperc: real);
 //   insert(beer, {('pils', 'Guineken', 5.0) : 2, ('stout', 'Kirin', 4.2)});
@@ -18,6 +22,7 @@
 #include <string>
 
 #include "mra/lang/interpreter.h"
+#include "mra/net/client.h"
 #include "mra/obs/metrics.h"
 #include "mra/obs/trace.h"
 #include "mra/util/printer.h"
@@ -65,9 +70,110 @@ void PrintRelations(const Database& db) {
   }
 }
 
+void PrintResult(const Relation& result) {
+  // `explain` delivers its text as a one-tuple relation; print the text
+  // itself rather than a one-cell table.
+  if (result.schema().name() == "explain" && result.schema().arity() == 1 &&
+      result.distinct_size() == 1) {
+    std::cout << result.begin()->first.at(0).string_value();
+    return;
+  }
+  util::PrintOptions print_options;
+  print_options.max_rows = 40;
+  util::PrintRelation(std::cout, result, print_options);
+}
+
+constexpr char kClientHelp[] =
+    R"(Connected to a remote server: statements run server-side (type \h
+locally known statements are the same as the embedded shell's).
+
+Meta: \h help, \metrics server metrics (JSON), \ping liveness probe,
+      \shutdown drain and stop the server, \q quit.)";
+
+// The --connect mode: the same line-buffered loop, but every statement
+// travels to a server as a Script frame and results come back as
+// serialized relations.
+int RunClientMode(const std::string& spec) {
+  auto host_port = net::ParseHostPort(spec);
+  if (!host_port.ok()) {
+    std::cerr << host_port.status().ToString() << "\n";
+    return 2;
+  }
+  net::ClientOptions client_options;
+  client_options.client_name = "xra_repl";
+  auto client_or =
+      net::Client::Connect(host_port->first, host_port->second, client_options);
+  if (!client_or.ok()) {
+    std::cerr << "cannot connect to " << spec << ": "
+              << client_or.status().ToString() << "\n";
+    return 1;
+  }
+  net::Client client = std::move(*client_or);
+  std::cout << "connected to " << client.server_banner() << " at " << spec
+            << " (protocol v" << client.server_version() << ").\n"
+            << "Type \\h for help, \\q to quit.\n";
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::cout << (buffer.empty() ? "xra> " : "...> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\q") break;
+      if (line == "\\h") {
+        std::cout << kClientHelp << "\n";
+      } else if (line == "\\metrics") {
+        auto stats = client.ServerStats();
+        std::cout << (stats.ok() ? *stats : stats.status().ToString()) << "\n";
+      } else if (line == "\\ping") {
+        Status s = client.Ping();
+        std::cout << (s.ok() ? "pong.\n" : s.ToString() + "\n");
+      } else if (line == "\\shutdown") {
+        Status s = client.RequestShutdown();
+        if (!s.ok()) {
+          std::cout << s.ToString() << "\n";
+        } else {
+          std::cout << "server draining; bye.\n";
+          return 0;
+        }
+      } else {
+        std::cout << "unknown meta command in --connect mode (try \\h)\n";
+      }
+      continue;
+    }
+
+    buffer += line;
+    buffer += '\n';
+    auto trimmed = buffer.find_last_not_of(" \t\n");
+    if (trimmed == std::string::npos) {
+      buffer.clear();
+      continue;
+    }
+    if (buffer[trimmed] != ';') continue;
+
+    auto results = client.ExecuteScript(buffer);
+    if (results.ok()) {
+      for (const Relation& r : *results) PrintResult(r);
+    } else {
+      std::cout << results.status().ToString() << "\n";
+      if (!client.connected()) {
+        std::cout << "connection lost.\n";
+        return 1;
+      }
+    }
+    buffer.clear();
+  }
+  std::cout << "\nbye.\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 2 && std::string(argv[1]) == "--connect") {
+    return RunClientMode(argv[2]);
+  }
   DatabaseOptions options;
   if (argc > 1) options.directory = argv[1];
   auto db_or = Database::Open(options);
@@ -147,16 +253,7 @@ int main(int argc, char** argv) {
     Status s = interp.ExecuteScript(
         buffer, [](const std::string& query, const Relation& result) {
           std::cout << query << "\n";
-          // `explain` delivers its text as a one-tuple relation; print the
-          // text itself rather than a one-cell table.
-          if (result.schema().name() == "explain" &&
-              result.schema().arity() == 1 && result.distinct_size() == 1) {
-            std::cout << result.begin()->first.at(0).string_value();
-            return;
-          }
-          util::PrintOptions print_options;
-          print_options.max_rows = 40;
-          util::PrintRelation(std::cout, result, print_options);
+          PrintResult(result);
         });
     if (!s.ok()) std::cout << s.ToString() << "\n";
     buffer.clear();

@@ -137,8 +137,14 @@ Status Interpreter::ExecuteItem(const Script::Item& item,
       return db_->DropRelation(stmt.target);
     }
     if (stmt.kind == Stmt::Kind::kConstraint) {
-      MRA_ASSIGN_OR_RETURN(PlanPtr violation_query,
-                           BindRelExpr(*stmt.expr, db_->catalog()));
+      PlanPtr violation_query;
+      {
+        // Bind against a stable committed state; AddConstraint re-locks
+        // exclusively, so the read lock must not outlive the binding.
+        auto read_lock = db_->ReadLock();
+        MRA_ASSIGN_OR_RETURN(violation_query,
+                             BindRelExpr(*stmt.expr, db_->catalog()));
+      }
       return db_->AddConstraint(stmt.target, std::move(violation_query));
     }
     if (stmt.kind == Stmt::Kind::kDropConstraint) {
@@ -146,7 +152,8 @@ Status Interpreter::ExecuteItem(const Script::Item& item,
     }
   }
 
-  MRA_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn, db_->Begin());
+  MRA_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                       db_->Begin(options_.block_on_txn_slot));
   for (const Stmt& stmt : item.stmts) {
     Status s = ExecuteStmt(stmt, *txn, on_query);
     if (!s.ok()) {
@@ -189,17 +196,23 @@ Result<Relation> Interpreter::Query(std::string_view rel_expr_source) {
     obs::ScopedSpan span("parse");
     MRA_ASSIGN_OR_RETURN(expr, ParseRelExpr(rel_expr_source));
   }
+  // Bind-through-execute pins relation instances from the committed
+  // catalog, so the whole evaluation runs under the shared read lock —
+  // concurrent with other queries, serialized against commits.
+  auto read_lock = db_->ReadLock();
   return EvaluateExpr(*expr, db_->catalog());
 }
 
 Result<std::string> Interpreter::Explain(std::string_view rel_expr_source) {
   MRA_ASSIGN_OR_RETURN(RelExprPtr expr, ParseRelExpr(rel_expr_source));
+  auto read_lock = db_->ReadLock();
   return ExplainExpr(*expr, db_->catalog(), /*analyze=*/false);
 }
 
 Result<std::string> Interpreter::ExplainAnalyze(
     std::string_view rel_expr_source) {
   MRA_ASSIGN_OR_RETURN(RelExprPtr expr, ParseRelExpr(rel_expr_source));
+  auto read_lock = db_->ReadLock();
   return ExplainExpr(*expr, db_->catalog(), /*analyze=*/true);
 }
 

@@ -30,6 +30,11 @@ struct InterpreterOptions {
   /// Execute through the physical operators (mra/exec); when false the
   /// definitional evaluator (mra/algebra) runs instead.
   bool use_physical_exec = true;
+  /// When the database's (serial) transaction slot is taken, wait for it
+  /// instead of failing with TxnError.  Off for interactive/embedded use;
+  /// the network server turns it on so concurrent sessions queue their
+  /// brackets rather than bounce.
+  bool block_on_txn_slot = false;
 };
 
 /// Execution statistics of the most recent physically-executed query,
@@ -54,6 +59,10 @@ struct QueryStats {
   bool valid = false;
 };
 
+/// Not itself thread-safe: use one Interpreter per thread/session.  Many
+/// interpreters may share one Database — Query/Explain evaluate under the
+/// database's shared read lock, transaction brackets serialize on its
+/// transaction slot (see the thread-model note in txn/database.h).
 class Interpreter {
  public:
   using Options = InterpreterOptions;

@@ -1,0 +1,149 @@
+#include "mra/net/client.h"
+
+namespace mra {
+namespace net {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               ClientOptions options) {
+  MRA_ASSIGN_OR_RETURN(Socket sock, Socket::Connect(host, port));
+  Client client(std::move(sock), std::move(options));
+  MRA_ASSIGN_OR_RETURN(
+      Frame hello_response,
+      client.RoundTrip(FrameKind::kHello,
+                       EncodeHello(kProtocolVersion,
+                                   client.options_.client_name)));
+  if (hello_response.kind != FrameKind::kHello) {
+    return Status::Corruption("handshake answered with " +
+                              std::string(FrameKindName(hello_response.kind)));
+  }
+  MRA_ASSIGN_OR_RETURN(Hello hello, DecodeHello(hello_response.payload));
+  client.server_version_ = hello.version;
+  client.server_banner_ = std::move(hello.peer);
+  return client;
+}
+
+Result<Frame> Client::RoundTrip(FrameKind kind, std::string_view payload) {
+  if (!sock_.valid()) return Status::IoError("client is not connected");
+  Result<size_t> sent = WriteFrame(sock_, kind, payload);
+  if (!sent.ok()) {
+    sock_.Close();
+    return sent.status();
+  }
+  Result<Frame> response =
+      ReadFrame(sock_, WireLimits{options_.max_frame_bytes},
+                options_.io_timeout_ms);
+  if (!response.ok()) {
+    // Framing is connection state; after any read failure the stream
+    // position is unknown, so the connection is done.
+    sock_.Close();
+    return response.status();
+  }
+  if (response->kind == FrameKind::kError) {
+    return DecodeError(response->payload);
+  }
+  return response;
+}
+
+Result<Relation> Client::Query(std::string_view rel_expr_source) {
+  MRA_ASSIGN_OR_RETURN(Frame response,
+                       RoundTrip(FrameKind::kQuery, rel_expr_source));
+  if (response.kind != FrameKind::kResultSet) {
+    return Status::Corruption("Query answered with " +
+                              std::string(FrameKindName(response.kind)));
+  }
+  MRA_ASSIGN_OR_RETURN(std::vector<Relation> relations,
+                       DecodeResultSet(response.payload));
+  if (relations.size() != 1) {
+    return Status::Corruption("Query expects exactly one relation, got " +
+                              std::to_string(relations.size()));
+  }
+  return std::move(relations[0]);
+}
+
+Result<std::vector<Relation>> Client::ExecuteScript(std::string_view source) {
+  MRA_ASSIGN_OR_RETURN(Frame response,
+                       RoundTrip(FrameKind::kScript, source));
+  if (response.kind != FrameKind::kResultSet) {
+    return Status::Corruption("Script answered with " +
+                              std::string(FrameKindName(response.kind)));
+  }
+  return DecodeResultSet(response.payload);
+}
+
+Result<std::string> Client::ServerStats() {
+  MRA_ASSIGN_OR_RETURN(Frame response, RoundTrip(FrameKind::kStats, {}));
+  if (response.kind != FrameKind::kStats) {
+    return Status::Corruption("Stats answered with " +
+                              std::string(FrameKindName(response.kind)));
+  }
+  return std::move(response.payload);
+}
+
+Status Client::Ping() {
+  constexpr std::string_view kProbe = "mra-ping";
+  Result<Frame> response = RoundTrip(FrameKind::kPing, kProbe);
+  MRA_RETURN_IF_ERROR(response.status());
+  if (response->kind != FrameKind::kPing || response->payload != kProbe) {
+    return Status::Corruption("Ping echo mismatch");
+  }
+  return Status::OK();
+}
+
+Status Client::RequestShutdown() {
+  Result<Frame> response = RoundTrip(FrameKind::kShutdown, {});
+  MRA_RETURN_IF_ERROR(response.status());
+  if (response->kind != FrameKind::kShutdown) {
+    return Status::Corruption("Shutdown answered with " +
+                              std::string(FrameKindName(response->kind)));
+  }
+  sock_.Close();  // The server closes its side after the ack.
+  return Status::OK();
+}
+
+Result<std::pair<std::string, uint16_t>> ParseHostPort(std::string_view spec) {
+  size_t colon;
+  std::string host;
+  if (!spec.empty() && spec.front() == '[') {
+    // Bracketed IPv6 literal: [::1]:7411.
+    size_t close = spec.find(']');
+    if (close == std::string_view::npos || close + 1 >= spec.size() ||
+        spec[close + 1] != ':') {
+      return Status::InvalidArgument("expected [v6-address]:port, got \"" +
+                                     std::string(spec) + "\"");
+    }
+    host = std::string(spec.substr(1, close - 1));
+    colon = close + 1;
+  } else {
+    colon = spec.rfind(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("expected host:port, got \"" +
+                                     std::string(spec) + "\"");
+    }
+    host = std::string(spec.substr(0, colon));
+  }
+  std::string_view port_str = spec.substr(colon + 1);
+  if (host.empty() || port_str.empty()) {
+    return Status::InvalidArgument("expected host:port, got \"" +
+                                   std::string(spec) + "\"");
+  }
+  uint32_t port = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad port in \"" + std::string(spec) +
+                                     "\"");
+    }
+    port = port * 10 + static_cast<uint32_t>(c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range in \"" +
+                                     std::string(spec) + "\"");
+    }
+  }
+  if (port == 0) {
+    return Status::InvalidArgument("port must be nonzero in \"" +
+                                   std::string(spec) + "\"");
+  }
+  return std::make_pair(std::move(host), static_cast<uint16_t>(port));
+}
+
+}  // namespace net
+}  // namespace mra

@@ -1,0 +1,85 @@
+// Blocking client for the mra query server: connects, handshakes, and
+// exposes the request kinds as typed calls.  Results arrive as ordinary
+// mra::Relation values — the same bytes the storage layer would write to
+// a checkpoint.  Not thread-safe; use one Client per thread.
+
+#ifndef MRA_NET_CLIENT_H_
+#define MRA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mra/common/result.h"
+#include "mra/core/relation.h"
+#include "mra/net/protocol.h"
+#include "mra/net/socket.h"
+
+namespace mra {
+namespace net {
+
+struct ClientOptions {
+  /// Bounds every network wait (connect-to-response); < 0 waits forever.
+  int io_timeout_ms = 30'000;
+  uint32_t max_frame_bytes = 16u << 20;
+  /// Reported to the server in the Hello handshake.
+  std::string client_name = "mra-client";
+};
+
+class Client {
+ public:
+  /// Connects and performs the Hello handshake; fails on a version
+  /// mismatch (the server's Error status is passed through).
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                ClientOptions options = {});
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Evaluates one XRA relation expression server-side.
+  Result<Relation> Query(std::string_view rel_expr_source);
+
+  /// Runs a whole XRA script server-side (statements, brackets, DDL);
+  /// returns every `? E` result in order.  A failing bracket rolls back
+  /// server-side and surfaces here as its Status.
+  Result<std::vector<Relation>> ExecuteScript(std::string_view source);
+
+  /// The server's metrics registry as JSON (net.*, exec.*, txn.*, …).
+  Result<std::string> ServerStats();
+
+  /// Round-trip liveness probe (payload echoed server-side).
+  Status Ping();
+
+  /// Asks the server to drain and stop.  Returns once the ack arrives.
+  Status RequestShutdown();
+
+  /// Server banner from the handshake, e.g. "mra_serverd".
+  const std::string& server_banner() const { return server_banner_; }
+  uint32_t server_version() const { return server_version_; }
+
+  bool connected() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+
+ private:
+  Client(Socket sock, ClientOptions options)
+      : sock_(std::move(sock)), options_(std::move(options)) {}
+
+  /// Sends one request frame and reads the response; an Error response is
+  /// unwrapped into its transported Status.
+  Result<Frame> RoundTrip(FrameKind kind, std::string_view payload);
+
+  Socket sock_;
+  ClientOptions options_;
+  std::string server_banner_;
+  uint32_t server_version_ = 0;
+};
+
+/// Parses "host:port" (e.g. "127.0.0.1:7411", "[::1]:7411", "db.example:7411").
+Result<std::pair<std::string, uint16_t>> ParseHostPort(std::string_view spec);
+
+}  // namespace net
+}  // namespace mra
+
+#endif  // MRA_NET_CLIENT_H_

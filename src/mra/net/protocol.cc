@@ -1,0 +1,210 @@
+#include "mra/net/protocol.h"
+
+#include "mra/net/socket.h"
+#include "mra/storage/serializer.h"
+
+namespace mra {
+namespace net {
+
+namespace {
+
+// Sanity bound on ResultSet cardinality: a response cannot carry more
+// relations than one byte per relation would allow, so a corrupt count is
+// refused before the decode loop spins.
+constexpr uint32_t kMaxRelationsPerResultSet = 1u << 20;
+
+}  // namespace
+
+std::string_view FrameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kHello:
+      return "Hello";
+    case FrameKind::kQuery:
+      return "Query";
+    case FrameKind::kScript:
+      return "Script";
+    case FrameKind::kResultSet:
+      return "ResultSet";
+    case FrameKind::kError:
+      return "Error";
+    case FrameKind::kStats:
+      return "Stats";
+    case FrameKind::kPing:
+      return "Ping";
+    case FrameKind::kShutdown:
+      return "Shutdown";
+  }
+  return "?";
+}
+
+bool IsValidFrameKind(uint8_t kind) {
+  return kind >= static_cast<uint8_t>(FrameKind::kHello) &&
+         kind <= static_cast<uint8_t>(FrameKind::kShutdown);
+}
+
+std::string EncodeFrame(FrameKind kind, std::string_view payload) {
+  // CRC covers the kind byte and the payload, so a frame whose kind byte
+  // was flipped in flight fails the check even though the length is fine.
+  storage::Encoder crc_input;
+  crc_input.PutU8(static_cast<uint8_t>(kind));
+  std::string crc_buffer = crc_input.TakeBuffer();
+  crc_buffer.append(payload.data(), payload.size());
+  uint32_t crc = storage::Crc32(crc_buffer);
+
+  storage::Encoder enc;
+  enc.PutU32(kMagic);
+  enc.PutU8(static_cast<uint8_t>(kind));
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(crc);
+  std::string out = enc.TakeBuffer();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Result<FrameHeader> ParseFrameHeader(std::string_view header,
+                                     const WireLimits& limits) {
+  if (header.size() != kFrameHeaderBytes) {
+    return Status::Corruption("frame header must be " +
+                              std::to_string(kFrameHeaderBytes) + " bytes");
+  }
+  storage::Decoder dec(header);
+  MRA_ASSIGN_OR_RETURN(uint32_t magic, dec.GetU32());
+  if (magic != kMagic) {
+    return Status::Corruption("bad frame magic (not an mra peer?)");
+  }
+  MRA_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+  if (!IsValidFrameKind(kind)) {
+    return Status::Corruption("unknown frame kind " + std::to_string(kind));
+  }
+  FrameHeader out;
+  out.kind = static_cast<FrameKind>(kind);
+  MRA_ASSIGN_OR_RETURN(out.payload_len, dec.GetU32());
+  MRA_ASSIGN_OR_RETURN(out.crc, dec.GetU32());
+  if (out.payload_len > limits.max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(out.payload_len) +
+        " bytes exceeds the " + std::to_string(limits.max_frame_bytes) +
+        "-byte limit");
+  }
+  return out;
+}
+
+Status CheckFramePayload(const FrameHeader& header, std::string_view payload) {
+  if (payload.size() != header.payload_len) {
+    return Status::Corruption("frame payload length mismatch");
+  }
+  storage::Encoder crc_input;
+  crc_input.PutU8(static_cast<uint8_t>(header.kind));
+  std::string crc_buffer = crc_input.TakeBuffer();
+  crc_buffer.append(payload.data(), payload.size());
+  if (storage::Crc32(crc_buffer) != header.crc) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  return Status::OK();
+}
+
+Result<Frame> DecodeFrame(std::string_view data, const WireLimits& limits) {
+  if (data.size() < kFrameHeaderBytes) {
+    return Status::Corruption("truncated frame header");
+  }
+  MRA_ASSIGN_OR_RETURN(
+      FrameHeader header,
+      ParseFrameHeader(data.substr(0, kFrameHeaderBytes), limits));
+  std::string_view payload = data.substr(kFrameHeaderBytes);
+  if (payload.size() < header.payload_len) {
+    return Status::Corruption("truncated frame payload");
+  }
+  if (payload.size() > header.payload_len) {
+    return Status::Corruption("trailing bytes after frame payload");
+  }
+  MRA_RETURN_IF_ERROR(CheckFramePayload(header, payload));
+  return Frame{header.kind, std::string(payload)};
+}
+
+Result<size_t> WriteFrame(Socket& sock, FrameKind kind,
+                          std::string_view payload) {
+  std::string wire = EncodeFrame(kind, payload);
+  MRA_RETURN_IF_ERROR(sock.SendAll(wire));
+  return wire.size();
+}
+
+Result<Frame> ReadFrame(Socket& sock, const WireLimits& limits,
+                        int timeout_ms) {
+  MRA_ASSIGN_OR_RETURN(std::string header_bytes,
+                       sock.RecvExact(kFrameHeaderBytes, timeout_ms));
+  MRA_ASSIGN_OR_RETURN(FrameHeader header,
+                       ParseFrameHeader(header_bytes, limits));
+  std::string payload;
+  if (header.payload_len > 0) {
+    MRA_ASSIGN_OR_RETURN(payload,
+                         sock.RecvExact(header.payload_len, timeout_ms));
+  }
+  MRA_RETURN_IF_ERROR(CheckFramePayload(header, payload));
+  return Frame{header.kind, std::move(payload)};
+}
+
+std::string EncodeHello(uint32_t version, std::string_view peer) {
+  storage::Encoder enc;
+  enc.PutU32(version);
+  enc.PutString(peer);
+  return enc.TakeBuffer();
+}
+
+Result<Hello> DecodeHello(std::string_view payload) {
+  storage::Decoder dec(payload);
+  Hello out;
+  MRA_ASSIGN_OR_RETURN(out.version, dec.GetU32());
+  MRA_ASSIGN_OR_RETURN(out.peer, dec.GetString());
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes in Hello payload");
+  }
+  return out;
+}
+
+std::string EncodeError(const Status& status) {
+  storage::Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(status.code()));
+  enc.PutString(status.message());
+  return enc.TakeBuffer();
+}
+
+Status DecodeError(std::string_view payload) {
+  storage::Decoder dec(payload);
+  Result<uint8_t> code = dec.GetU8();
+  if (!code.ok()) return code.status();
+  Result<std::string> message = dec.GetString();
+  if (!message.ok()) return message.status();
+  if (!dec.AtEnd() || *code == 0 ||
+      *code > static_cast<uint8_t>(StatusCode::kConstraintViolation)) {
+    return Status::Corruption("malformed Error payload");
+  }
+  return Status(static_cast<StatusCode>(*code), *std::move(message));
+}
+
+std::string EncodeResultSet(const std::vector<Relation>& relations) {
+  storage::Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(relations.size()));
+  for (const Relation& r : relations) enc.PutRelation(r);
+  return enc.TakeBuffer();
+}
+
+Result<std::vector<Relation>> DecodeResultSet(std::string_view payload) {
+  storage::Decoder dec(payload);
+  MRA_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+  if (n > kMaxRelationsPerResultSet) {
+    return Status::Corruption("implausible ResultSet cardinality");
+  }
+  std::vector<Relation> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MRA_ASSIGN_OR_RETURN(Relation r, dec.GetRelation());
+    out.push_back(std::move(r));
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes in ResultSet payload");
+  }
+  return out;
+}
+
+}  // namespace net
+}  // namespace mra

@@ -1,0 +1,133 @@
+// The mra wire protocol: CRC-framed, length-prefixed binary frames that
+// carry XRA text toward the server and serialized relations back, reusing
+// the storage layer's Encoder/Decoder (and PutRelation/GetRelation) so the
+// network format is byte-compatible with the WAL/checkpoint encoding.
+//
+// Frame layout (all integers little-endian):
+//
+//   [u32 magic "MRA1"][u8 kind][u32 payload_len][u32 crc][payload bytes]
+//
+// where crc = Crc32(kind byte ++ payload).  The 13-byte header is fixed, so
+// a reader pulls the header, validates magic/kind/length against its
+// limits, then pulls exactly payload_len bytes and checks the CRC.
+//
+// Frame kinds and payloads (client → server unless noted):
+//
+//   Hello      u32 protocol_version, string peer_name.  First frame in each
+//              direction; the server answers with its own Hello (version +
+//              banner) or an Error on version mismatch.
+//   Query      string: one XRA relation expression.  Answered with a
+//              ResultSet of exactly one relation, or Error.
+//   Script     string: a whole XRA script (statements, transactions, DDL).
+//              Answered with a ResultSet holding every `? E` result, or
+//              Error (the failing bracket rolled back server-side).
+//   ResultSet  (server) u32 n, then n relations (storage::PutRelation).
+//   Error      (server) u8 StatusCode, string message.
+//   Stats      empty request; the server answers with a Stats frame whose
+//              payload is the metrics registry's JSON export.
+//   Ping       arbitrary payload; echoed back verbatim in a Ping frame.
+//   Shutdown   empty.  The server acks with a Shutdown frame, then drains:
+//              stops accepting, lets in-flight requests finish, closes.
+
+#ifndef MRA_NET_PROTOCOL_H_
+#define MRA_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mra/common/result.h"
+#include "mra/core/relation.h"
+
+namespace mra {
+namespace net {
+
+class Socket;
+
+constexpr uint32_t kMagic = 0x3141524du;  // "MRA1" when read little-endian.
+constexpr uint32_t kProtocolVersion = 1;
+constexpr size_t kFrameHeaderBytes = 13;  // magic + kind + len + crc.
+
+enum class FrameKind : uint8_t {
+  kHello = 1,
+  kQuery = 2,
+  kScript = 3,
+  kResultSet = 4,
+  kError = 5,
+  kStats = 6,
+  kPing = 7,
+  kShutdown = 8,
+};
+
+/// Stable name for diagnostics, e.g. "Query".
+std::string_view FrameKindName(FrameKind kind);
+
+bool IsValidFrameKind(uint8_t kind);
+
+struct Frame {
+  FrameKind kind = FrameKind::kPing;
+  std::string payload;
+};
+
+/// Per-connection wire limits; both sides enforce them on receive.
+struct WireLimits {
+  /// Upper bound on a frame's payload size.  A header announcing more is
+  /// refused before any payload is read (anti-allocation-bomb).
+  uint32_t max_frame_bytes = 16u << 20;
+};
+
+/// Renders a complete frame (header + payload) ready to send.
+std::string EncodeFrame(FrameKind kind, std::string_view payload);
+
+struct FrameHeader {
+  FrameKind kind = FrameKind::kPing;
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;
+};
+
+/// Parses and validates the fixed 13-byte header: magic, known kind, and
+/// payload_len against `limits` (InvalidArgument when over the limit,
+/// Corruption for malformed bytes).
+Result<FrameHeader> ParseFrameHeader(std::string_view header,
+                                     const WireLimits& limits);
+
+/// Validates a received payload against its header's CRC.
+Status CheckFramePayload(const FrameHeader& header, std::string_view payload);
+
+/// One-shot decode of a complete frame image.  Refuses trailing bytes.
+Result<Frame> DecodeFrame(std::string_view data, const WireLimits& limits);
+
+// ---- blocking frame I/O over a Socket ----
+
+/// Sends one frame; returns the bytes written on success.
+Result<size_t> WriteFrame(Socket& sock, FrameKind kind,
+                          std::string_view payload);
+
+/// Receives one frame, enforcing `limits`; `timeout_ms` bounds each
+/// underlying read (< 0 blocks indefinitely).
+Result<Frame> ReadFrame(Socket& sock, const WireLimits& limits,
+                        int timeout_ms);
+
+// ---- payload builders / parsers ----
+
+struct Hello {
+  uint32_t version = 0;
+  std::string peer;  // Client name or server banner.
+};
+
+std::string EncodeHello(uint32_t version, std::string_view peer);
+Result<Hello> DecodeHello(std::string_view payload);
+
+/// Error payload ⇄ Status (the status travels code + message).
+std::string EncodeError(const Status& status);
+/// Returns the transported (non-OK) status; Corruption on a bad payload.
+Status DecodeError(std::string_view payload);
+
+std::string EncodeResultSet(const std::vector<Relation>& relations);
+Result<std::vector<Relation>> DecodeResultSet(std::string_view payload);
+
+}  // namespace net
+}  // namespace mra
+
+#endif  // MRA_NET_PROTOCOL_H_

@@ -1,0 +1,299 @@
+#include "mra/net/server.h"
+
+#include <chrono>
+
+#include "mra/obs/metrics.h"
+
+namespace mra {
+namespace net {
+
+namespace {
+
+// How often blocked waits re-check the draining flag.  Bounds both the
+// shutdown latency of an idle session and the accept loop's reaction time.
+constexpr int kPollSliceMs = 50;
+
+struct NetMetrics {
+  obs::Counter* accepted;
+  obs::Gauge* active;
+  obs::Counter* requests;
+  obs::Counter* request_errors;
+  obs::Counter* request_timeouts;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* idle_reaped;
+  obs::Counter* shutdowns;
+  obs::Histogram* request_latency_us;
+
+  static NetMetrics& Get() {
+    static NetMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      NetMetrics out;
+      out.accepted = reg.GetCounter("net.connections");
+      out.active = reg.GetGauge("net.connections.active");
+      out.requests = reg.GetCounter("net.requests");
+      out.request_errors = reg.GetCounter("net.requests.errors");
+      out.request_timeouts = reg.GetCounter("net.requests.timeouts");
+      out.bytes_in = reg.GetCounter("net.bytes_in");
+      out.bytes_out = reg.GetCounter("net.bytes_out");
+      out.idle_reaped = reg.GetCounter("net.sessions.idle_reaped");
+      out.shutdowns = reg.GetCounter("net.shutdowns");
+      out.request_latency_us = reg.GetHistogram("net.request_us");
+      return out;
+    }();
+    return m;
+  }
+};
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {
+  MRA_CHECK(db != nullptr);
+  // Concurrent sessions must queue their brackets on the serial slot.
+  options_.interpreter.block_on_txn_slot = true;
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::Internal("server already started");
+  }
+  MRA_ASSIGN_OR_RETURN(
+      listener_,
+      Listener::Bind(options_.host, options_.port, options_.accept_backlog));
+  port_ = listener_.port();
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  return Status::OK();
+}
+
+void Server::RequestShutdown() {
+  draining_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  cv_.notify_all();
+}
+
+void Server::Shutdown() {
+  if (!started_.load(std::memory_order_relaxed)) return;
+  RequestShutdown();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Sessions notice draining_ within a poll slice and exit after the
+  // request in flight (if any) completes.
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return active_ == 0; });
+  ReapFinishedLocked();
+  for (auto& [id, thread] : sessions_) {
+    if (thread.joinable()) thread.join();
+  }
+  sessions_.clear();
+  listener_.Close();
+}
+
+int Server::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+uint64_t Server::sessions_served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_served_;
+}
+
+void Server::ReapFinishedLocked() {
+  for (uint64_t id : finished_) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) continue;
+    if (it->second.joinable()) it->second.join();
+    sessions_.erase(it);
+  }
+  finished_.clear();
+}
+
+void Server::AcceptLoop() {
+  NetMetrics& metrics = NetMetrics::Get();
+  while (!draining()) {
+    {
+      // Backpressure: hold off accepting while at the session cap, so
+      // waiting clients sit in the kernel's bounded accept queue.
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return draining() || active_ < options_.max_sessions;
+      });
+      if (draining()) break;
+      ReapFinishedLocked();
+    }
+    Result<bool> acceptable = listener_.WaitAcceptable(kPollSliceMs);
+    if (!acceptable.ok()) break;  // Listener closed underneath us.
+    if (!*acceptable) continue;
+    Result<Socket> sock = listener_.Accept();
+    if (!sock.ok()) continue;  // Client gave up while queued; keep serving.
+    metrics.accepted->Inc();
+    metrics.active->Add(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t id = next_session_id_++;
+    ++active_;
+    ++sessions_served_;
+    sessions_.emplace(
+        id, std::thread(&Server::RunSession, this, id, std::move(*sock)));
+  }
+}
+
+bool Server::Send(Socket& sock, FrameKind kind, std::string_view payload) {
+  Result<size_t> sent = WriteFrame(sock, kind, payload);
+  if (sent.ok()) NetMetrics::Get().bytes_out->Inc(*sent);
+  return sent.ok();
+}
+
+bool Server::HandleFrame(lang::Interpreter& interp, const Frame& request,
+                         Socket& sock) {
+  NetMetrics& metrics = NetMetrics::Get();
+  metrics.requests->Inc();
+  uint64_t t0 = NowMicros();
+
+  // Produce the response; `close` requests ending the session afterwards.
+  bool close = false;
+  FrameKind response_kind = FrameKind::kError;
+  std::string response;
+  switch (request.kind) {
+    case FrameKind::kHello: {
+      Result<Hello> hello = DecodeHello(request.payload);
+      if (!hello.ok()) {
+        response = EncodeError(hello.status());
+        close = true;
+      } else if (hello->version != kProtocolVersion) {
+        response = EncodeError(Status::InvalidArgument(
+            "protocol version " + std::to_string(hello->version) +
+            " unsupported (server speaks " +
+            std::to_string(kProtocolVersion) + ")"));
+        close = true;
+      } else {
+        response_kind = FrameKind::kHello;
+        response = EncodeHello(kProtocolVersion, "mra_serverd");
+      }
+      break;
+    }
+    case FrameKind::kQuery: {
+      Result<Relation> result = interp.Query(request.payload);
+      if (result.ok()) {
+        response_kind = FrameKind::kResultSet;
+        response = EncodeResultSet({*std::move(result)});
+      } else {
+        response = EncodeError(result.status());
+      }
+      break;
+    }
+    case FrameKind::kScript: {
+      Result<std::vector<Relation>> results =
+          interp.ExecuteScriptCollect(request.payload);
+      if (results.ok()) {
+        response_kind = FrameKind::kResultSet;
+        response = EncodeResultSet(*results);
+      } else {
+        response = EncodeError(results.status());
+      }
+      break;
+    }
+    case FrameKind::kStats: {
+      response_kind = FrameKind::kStats;
+      response = obs::MetricsRegistry::Global().RenderJson();
+      break;
+    }
+    case FrameKind::kPing: {
+      response_kind = FrameKind::kPing;
+      response = request.payload;
+      break;
+    }
+    case FrameKind::kShutdown: {
+      metrics.shutdowns->Inc();
+      response_kind = FrameKind::kShutdown;
+      close = true;
+      RequestShutdown();
+      break;
+    }
+    case FrameKind::kResultSet:
+    case FrameKind::kError: {
+      response = EncodeError(Status::InvalidArgument(
+          std::string(FrameKindName(request.kind)) +
+          " frames are server-to-client only"));
+      close = true;
+      break;
+    }
+  }
+
+  uint64_t elapsed_us = NowMicros() - t0;
+  metrics.request_latency_us->Observe(elapsed_us);
+  if (response_kind == FrameKind::kError) metrics.request_errors->Inc();
+
+  // The deadline cannot preempt a running plan, but an over-deadline
+  // result is not delivered: the client already gave up on it.
+  if (options_.request_timeout_ms > 0 &&
+      elapsed_us / 1000 > static_cast<uint64_t>(options_.request_timeout_ms)) {
+    metrics.request_timeouts->Inc();
+    Send(sock, FrameKind::kError,
+         EncodeError(Status::IoError(
+             "request exceeded the " +
+             std::to_string(options_.request_timeout_ms) + "ms deadline")));
+    return false;
+  }
+  if (!Send(sock, response_kind, response)) return false;
+  return !close;
+}
+
+void Server::RunSession(uint64_t session_id, Socket sock) {
+  NetMetrics& metrics = NetMetrics::Get();
+  lang::Interpreter interp(db_, options_.interpreter);
+  int idle_ms = 0;
+
+  while (!draining()) {
+    Result<bool> readable = sock.WaitReadable(kPollSliceMs);
+    if (!readable.ok()) break;
+    if (!*readable) {
+      idle_ms += kPollSliceMs;
+      if (options_.idle_timeout_ms > 0 && idle_ms >= options_.idle_timeout_ms) {
+        metrics.idle_reaped->Inc();
+        break;
+      }
+      continue;
+    }
+    idle_ms = 0;
+    // A readable socket either holds a frame or an EOF; the remaining
+    // reads are bounded by the request deadline (slow-loris protection).
+    Result<Frame> frame =
+        ReadFrame(sock, WireLimits{options_.max_frame_bytes},
+                  options_.request_timeout_ms);
+    if (!frame.ok()) {
+      // Framing is lost (or the peer closed): report if the socket still
+      // works, then drop the connection.
+      if (frame.status().code() != StatusCode::kIoError) {
+        metrics.request_errors->Inc();
+        Send(sock, FrameKind::kError, EncodeError(frame.status()));
+      }
+      break;
+    }
+    metrics.bytes_in->Inc(kFrameHeaderBytes + frame->payload.size());
+    if (!HandleFrame(interp, *frame, sock)) break;
+  }
+
+  sock.Close();
+  metrics.active->Add(-1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  --active_;
+  finished_.push_back(session_id);
+  cv_.notify_all();
+}
+
+}  // namespace net
+}  // namespace mra

@@ -1,0 +1,135 @@
+// A multi-threaded TCP query server over one shared Database.
+//
+// Architecture: one accept thread plus one thread per connected session.
+// Each session owns a lang::Interpreter (with block_on_txn_slot set, so
+// concurrent transaction brackets queue on the database's serial slot
+// instead of bouncing) and speaks the frame protocol of net/protocol.h.
+//
+// Robustness limits, all configurable through ServerOptions:
+//  * max_sessions       — the accept thread stops pulling connections once
+//                         this many sessions are live; further clients
+//                         queue in the kernel backlog (accept_backlog) —
+//                         backpressure, not rejection;
+//  * max_frame_bytes    — a header announcing more is answered with an
+//                         Error frame and the connection is closed before
+//                         any payload is read;
+//  * request_timeout_ms — bounds each network read of a request and the
+//                         total handling time; an over-deadline request is
+//                         answered with an Error and the session closed
+//                         (execution is not preempted mid-plan — the
+//                         deadline is checked at the phase boundaries);
+//  * idle_timeout_ms    — sessions with no frame for this long are reaped.
+//
+// Shutdown is drain-then-stop: RequestShutdown() (also triggered by a
+// client Shutdown frame) stops the accept loop; sessions finish the
+// request in flight, then close.  Shutdown() blocks until every session
+// thread is joined.  Metrics land in obs::MetricsRegistry::Global() under
+// the net.* prefix (catalog in docs/OBSERVABILITY.md).
+
+#ifndef MRA_NET_SERVER_H_
+#define MRA_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mra/lang/interpreter.h"
+#include "mra/net/protocol.h"
+#include "mra/net/socket.h"
+#include "mra/txn/database.h"
+
+namespace mra {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; Server::port() reports the resolved one.
+  uint16_t port = 0;
+  /// Cap on concurrently served sessions (thread-per-connection).
+  int max_sessions = 64;
+  /// Kernel accept-queue bound: clients beyond max_sessions wait here.
+  int accept_backlog = 16;
+  uint32_t max_frame_bytes = 16u << 20;
+  int request_timeout_ms = 30'000;
+  /// 0 disables idle reaping.
+  int idle_timeout_ms = 300'000;
+  /// Per-session interpreter configuration.  block_on_txn_slot is forced
+  /// on regardless: concurrent brackets must queue, not error.
+  lang::InterpreterOptions interpreter;
+};
+
+class Server {
+ public:
+  /// The database must outlive the server.
+  explicit Server(Database* db, ServerOptions options = {});
+
+  /// Stops and joins everything (Shutdown()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and starts the accept thread.
+  Status Start();
+
+  /// Resolved listen port (after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Non-blocking shutdown trigger: stop accepting, ask sessions to drain.
+  /// Safe from any thread, including a session's own (a Shutdown frame).
+  void RequestShutdown();
+
+  /// RequestShutdown() + blocks until the accept thread and every session
+  /// have exited.  Idempotent; called by the destructor.
+  void Shutdown();
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Live sessions right now (0 after Shutdown()).
+  int active_sessions() const;
+
+  /// Total sessions ever accepted.
+  uint64_t sessions_served() const;
+
+ private:
+  void AcceptLoop();
+  void RunSession(uint64_t session_id, Socket sock);
+
+  /// Handles one request frame; returns false when the session must close
+  /// (shutdown ack, protocol violation, send failure).
+  bool HandleFrame(lang::Interpreter& interp, const Frame& request,
+                   Socket& sock);
+
+  /// Sends a frame, counting bytes; false on send failure.
+  bool Send(Socket& sock, FrameKind kind, std::string_view payload);
+
+  /// Joins session threads that have finished (mutex_ must be held).
+  void ReapFinishedLocked();
+
+  Database* db_;
+  ServerOptions options_;
+  Listener listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<uint64_t, std::thread> sessions_;  // Running or finished.
+  std::vector<uint64_t> finished_;            // Ready to join.
+  int active_ = 0;
+  uint64_t next_session_id_ = 1;
+  uint64_t sessions_served_ = 0;
+  bool joined_ = false;
+};
+
+}  // namespace net
+}  // namespace mra
+
+#endif  // MRA_NET_SERVER_H_

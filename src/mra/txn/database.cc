@@ -151,7 +151,7 @@ Status Database::Recover() {
 }
 
 Status Database::CreateRelation(RelationSchema schema) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (txn_active_) {
     return Status::TxnError(
         "DDL is not allowed inside a transaction bracket");
@@ -169,7 +169,7 @@ Status Database::CreateRelation(RelationSchema schema) {
 }
 
 Status Database::DropRelation(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (txn_active_) {
     return Status::TxnError(
         "DDL is not allowed inside a transaction bracket");
@@ -203,7 +203,7 @@ Status Database::AppendDdlRecord(uint8_t kind, const RelationSchema& schema,
 
 Status Database::AddConstraint(const std::string& name,
                                PlanPtr violation_query) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (txn_active_) {
     return Status::TxnError(
         "constraints cannot be registered inside a transaction bracket");
@@ -234,7 +234,7 @@ Status Database::AddConstraint(const std::string& name,
 }
 
 Status Database::DropConstraint(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (txn_active_) {
     return Status::TxnError(
         "constraints cannot be dropped inside a transaction bracket");
@@ -271,19 +271,20 @@ Status Database::CheckConstraints(const RelationProvider& view) const {
   return Status::OK();
 }
 
-Result<std::unique_ptr<Transaction>> Database::Begin() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (txn_active_) {
+Result<std::unique_ptr<Transaction>> Database::Begin(bool wait) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (txn_active_ && !wait) {
     return Status::TxnError(
         "a transaction is already active (serial isolation)");
   }
+  txn_slot_cv_.wait(lock, [this] { return !txn_active_; });
   txn_active_ = true;
   return std::unique_ptr<Transaction>(new Transaction(this, next_txn_id_++));
 }
 
 Status Database::ApplyCommit(
     uint64_t txn_id, const std::map<std::string, Relation>& after_images) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   // Log first (write-ahead), then install in memory.
   if (durable()) {
     storage::Encoder enc;
@@ -301,16 +302,18 @@ Status Database::ApplyCommit(
   }
   catalog_.AdvanceTime();
   txn_active_ = false;
+  txn_slot_cv_.notify_all();
   return Status::OK();
 }
 
 void Database::EndTransaction() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   txn_active_ = false;
+  txn_slot_cv_.notify_all();
 }
 
 Status Database::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (!durable()) return Status::OK();
   if (txn_active_) {
     return Status::TxnError("cannot checkpoint while a transaction is active");

@@ -3,12 +3,23 @@
 // programs executed with atomicity (all-or-nothing installation of
 // D_{t+1}), correctness (schema validation throughout), isolation (serial:
 // one active transaction at a time) and durability (WAL + checkpoint).
+//
+// Thread model: a Database may be shared across threads (the network
+// server hands every session its own Interpreter over one Database).
+// Writers — Begin/commit, DDL, constraints, Checkpoint — serialize on an
+// internal shared_mutex; read-only queries hold a shared lock for their
+// whole evaluation (take one via ReadLock()), so they run concurrently
+// with each other and never observe a half-installed commit.  A
+// Transaction's own reads of the committed state need no lock: while a
+// bracket is active every other mutator is refused before touching the
+// catalog, so only the bracket's thread can write.
 
 #ifndef MRA_TXN_DATABASE_H_
 #define MRA_TXN_DATABASE_H_
 
+#include <condition_variable>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "mra/algebra/plan.h"
@@ -51,8 +62,17 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
 
   /// Opens a transaction bracket (Definition 4.3).  Serial isolation: at
-  /// most one transaction is active; a second Begin is a TxnError.
-  Result<std::unique_ptr<Transaction>> Begin();
+  /// most one transaction is active; a second Begin is a TxnError — unless
+  /// `wait` is set, in which case Begin blocks until the slot frees (how
+  /// concurrent server sessions queue their brackets).
+  Result<std::unique_ptr<Transaction>> Begin(bool wait = false);
+
+  /// Shared lock over the committed state.  Hold it while evaluating a
+  /// read-only query against catalog() from a thread that may race with
+  /// commits; Interpreter::Query does this automatically.
+  std::shared_lock<std::shared_mutex> ReadLock() const {
+    return std::shared_lock<std::shared_mutex>(mutex_);
+  }
 
   /// Registers an integrity constraint: `violation_query` is a plan that
   /// must evaluate to the EMPTY multi-set in every committed state (the
@@ -107,7 +127,11 @@ class Database {
   storage::WalWriter wal_;
   uint64_t next_txn_id_ = 1;
   bool txn_active_ = false;
-  std::mutex mutex_;
+  /// Writers exclusive, query evaluation shared (see the thread model
+  /// note at the top of this header).
+  mutable std::shared_mutex mutex_;
+  /// Signalled when the transaction slot frees, for Begin(wait=true).
+  std::condition_variable_any txn_slot_cv_;
 };
 
 }  // namespace mra

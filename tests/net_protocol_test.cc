@@ -1,0 +1,193 @@
+// Wire-protocol unit tests: frame encode/decode round trips, CRC and
+// framing violations, size limits, and the payload codecs (Hello, Error,
+// ResultSet) — all on in-memory buffers, no sockets.
+
+#include "mra/net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "mra/net/client.h"
+#include "mra/storage/serializer.h"
+
+namespace mra {
+namespace net {
+namespace {
+
+Relation SmallRelation() {
+  Relation r(RelationSchema(
+      "beer", {Attribute{"name", Type::String()},
+               Attribute{"alcperc", Type::Real()}}));
+  EXPECT_TRUE(r.Insert(Tuple({Value::Str("pils"), Value::Real(5.0)}), 2).ok());
+  EXPECT_TRUE(
+      r.Insert(Tuple({Value::Str("stout"), Value::Real(4.2)}), 1).ok());
+  return r;
+}
+
+TEST(FrameCodec, RoundTripsEveryKind) {
+  WireLimits limits;
+  for (uint8_t k = 1; k <= 8; ++k) {
+    FrameKind kind = static_cast<FrameKind>(k);
+    std::string payload = "payload for " + std::string(FrameKindName(kind));
+    std::string wire = EncodeFrame(kind, payload);
+    auto frame = DecodeFrame(wire, limits);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->kind, kind);
+    EXPECT_EQ(frame->payload, payload);
+  }
+}
+
+TEST(FrameCodec, RoundTripsEmptyPayload) {
+  std::string wire = EncodeFrame(FrameKind::kPing, "");
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes);
+  auto frame = DecodeFrame(wire, WireLimits{});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(FrameCodec, RejectsBadMagic) {
+  std::string wire = EncodeFrame(FrameKind::kPing, "x");
+  wire[0] ^= 0x5a;
+  auto frame = DecodeFrame(wire, WireLimits{});
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameCodec, RejectsUnknownKind) {
+  std::string wire = EncodeFrame(FrameKind::kPing, "x");
+  wire[4] = 99;
+  auto frame = DecodeFrame(wire, WireLimits{});
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameCodec, CrcCoversKindByte) {
+  // Flipping the kind to another *valid* kind must still fail the CRC.
+  std::string wire = EncodeFrame(FrameKind::kQuery, "? beer");
+  wire[4] = static_cast<char>(FrameKind::kScript);
+  auto frame = DecodeFrame(wire, WireLimits{});
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameCodec, RejectsCorruptPayload) {
+  std::string wire = EncodeFrame(FrameKind::kQuery, "? beer");
+  wire.back() ^= 0x01;
+  auto frame = DecodeFrame(wire, WireLimits{});
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameCodec, RejectsEveryTruncation) {
+  std::string wire = EncodeFrame(FrameKind::kScript, "insert(beer, {...});");
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto frame = DecodeFrame(std::string_view(wire).substr(0, len),
+                             WireLimits{});
+    EXPECT_FALSE(frame.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(FrameCodec, RejectsTrailingBytes) {
+  std::string wire = EncodeFrame(FrameKind::kPing, "x");
+  wire += "junk";
+  EXPECT_FALSE(DecodeFrame(wire, WireLimits{}).ok());
+}
+
+TEST(FrameCodec, EnforcesFrameSizeLimit) {
+  WireLimits tight;
+  tight.max_frame_bytes = 16;
+  std::string wire =
+      EncodeFrame(FrameKind::kScript, std::string(1000, 'x'));
+  auto frame = DecodeFrame(wire, tight);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  // The same frame passes under the default limit.
+  EXPECT_TRUE(DecodeFrame(wire, WireLimits{}).ok());
+}
+
+TEST(FrameCodec, HeaderAloneIsValidatedBeforePayload) {
+  // An adversarial header announcing 4GiB must be refused from the header
+  // bytes alone — no payload allocation.
+  std::string wire = EncodeFrame(FrameKind::kQuery, "q");
+  storage::Encoder enc;
+  enc.PutU32(0xffffff00u);
+  std::string len_bytes = enc.TakeBuffer();
+  wire.replace(5, 4, len_bytes);  // Overwrite payload_len in the header.
+  auto header = ParseFrameHeader(
+      std::string_view(wire).substr(0, kFrameHeaderBytes), WireLimits{});
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HelloCodec, RoundTrips) {
+  std::string payload = EncodeHello(kProtocolVersion, "xra_repl");
+  auto hello = DecodeHello(payload);
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->version, kProtocolVersion);
+  EXPECT_EQ(hello->peer, "xra_repl");
+  EXPECT_FALSE(DecodeHello(payload + "x").ok());
+  EXPECT_FALSE(DecodeHello(payload.substr(0, 3)).ok());
+}
+
+TEST(ErrorCodec, TransportsStatusCodeAndMessage) {
+  Status original = Status::ParseError("unexpected token ')' at line 3");
+  Status decoded = DecodeError(EncodeError(original));
+  EXPECT_EQ(decoded.code(), original.code());
+  EXPECT_EQ(decoded.message(), original.message());
+}
+
+TEST(ErrorCodec, RefusesMalformedPayloads) {
+  EXPECT_EQ(DecodeError("").code(), StatusCode::kCorruption);
+  // A payload claiming StatusCode 0 (OK) is nonsense for an Error frame.
+  storage::Encoder enc;
+  enc.PutU8(0);
+  enc.PutString("not an error");
+  EXPECT_EQ(DecodeError(enc.buffer()).code(), StatusCode::kCorruption);
+}
+
+TEST(ResultSetCodec, RoundTripsRelations) {
+  Relation beer = SmallRelation();
+  Relation empty(RelationSchema("empty_rel", {Attribute{"a", Type::Int()}}));
+  std::string payload = EncodeResultSet({beer, empty});
+  auto decoded = DecodeResultSet(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0], beer);
+  EXPECT_EQ((*decoded)[1], empty);
+}
+
+TEST(ResultSetCodec, RoundTripsZeroRelations) {
+  auto decoded = DecodeResultSet(EncodeResultSet({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ResultSetCodec, RefusesGarbage) {
+  EXPECT_FALSE(DecodeResultSet("garbage").ok());
+  std::string payload = EncodeResultSet({SmallRelation()});
+  EXPECT_FALSE(DecodeResultSet(payload.substr(0, payload.size() - 1)).ok());
+  EXPECT_FALSE(DecodeResultSet(payload + "x").ok());
+}
+
+TEST(HostPort, ParsesAndRejects) {
+  auto hp = ParseHostPort("127.0.0.1:7411");
+  ASSERT_TRUE(hp.ok());
+  EXPECT_EQ(hp->first, "127.0.0.1");
+  EXPECT_EQ(hp->second, 7411);
+
+  auto v6 = ParseHostPort("[::1]:9000");
+  ASSERT_TRUE(v6.ok());
+  EXPECT_EQ(v6->first, "::1");
+  EXPECT_EQ(v6->second, 9000);
+
+  EXPECT_FALSE(ParseHostPort("nohost").ok());
+  EXPECT_FALSE(ParseHostPort("host:").ok());
+  EXPECT_FALSE(ParseHostPort(":123").ok());
+  EXPECT_FALSE(ParseHostPort("host:0").ok());
+  EXPECT_FALSE(ParseHostPort("host:99999").ok());
+  EXPECT_FALSE(ParseHostPort("host:12x").ok());
+  EXPECT_FALSE(ParseHostPort("[::1]9000").ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mra

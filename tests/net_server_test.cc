@@ -1,0 +1,280 @@
+// Loopback integration tests for the TCP query server: ephemeral-port
+// startup, concurrent clients, error frames, protocol violations, idle
+// reaping, frame-size limits, and drain-then-shutdown without leaked
+// sessions.  Also run under TSan in CI (.github/workflows/ci.yml).
+
+#include "mra/net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mra/net/client.h"
+
+namespace mra {
+namespace net {
+namespace {
+
+std::unique_ptr<Database> MakeSeededDb() {
+  auto db = std::move(Database::Open({}).value());
+  lang::Interpreter interp(db.get());
+  Status s = interp.ExecuteScript(
+      "create beer(name: string, brewery: string, alcperc: real);"
+      "insert(beer, {('pils', 'Guineken', 5.0) : 2,"
+      "              ('stout', 'Kirin', 4.2),"
+      "              ('tripel', 'Bavapils', 8.0) : 3});"
+      "create tally(n: int);",
+      nullptr);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return db;
+}
+
+Client MustConnect(const Server& server, ClientOptions options = {}) {
+  auto client = Client::Connect("127.0.0.1", server.port(), options);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(*client);
+}
+
+TEST(NetServer, HandshakeQueryPingStats) {
+  auto db = MakeSeededDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  Client client = MustConnect(server);
+  EXPECT_EQ(client.server_version(), kProtocolVersion);
+  EXPECT_EQ(client.server_banner(), "mra_serverd");
+
+  auto result = client.Query("select(%3 > 4.5, beer)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 5u);          // pils ×2 + tripel ×3.
+  EXPECT_EQ(result->distinct_size(), 2u);
+
+  EXPECT_TRUE(client.Ping().ok());
+
+  auto stats = client.ServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"net.requests\""), std::string::npos);
+  EXPECT_NE(stats->find("\"net.connections\""), std::string::npos);
+  EXPECT_NE(stats->find("\"net.request_us\""), std::string::npos);
+
+  server.Shutdown();
+  EXPECT_EQ(server.active_sessions(), 0);
+}
+
+TEST(NetServer, ScriptsCommitAndQueryResultsFlowBack) {
+  auto db = MakeSeededDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server);
+
+  auto results = client.ExecuteScript(
+      "begin insert(tally, {(1), (2)}); ? tally end;"
+      "? unique(project([%2], beer));");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].size(), 2u);           // tally inside the bracket.
+  EXPECT_EQ((*results)[1].distinct_size(), 3u);  // Three breweries.
+
+  // The committed state is visible to a later query on the same session.
+  auto tally = client.Query("tally");
+  ASSERT_TRUE(tally.ok());
+  EXPECT_EQ(tally->size(), 2u);
+  server.Shutdown();
+}
+
+TEST(NetServer, ErrorFrameKeepsSessionUsable) {
+  auto db = MakeSeededDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server);
+
+  auto bad = client.Query("select(");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+
+  auto missing = client.Query("no_such_relation");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // A failed bracket rolls back server-side and reports its status.
+  auto aborted = client.ExecuteScript(
+      "begin insert(tally, {(7)}); insert(tally, {('oops')}) end;");
+  ASSERT_FALSE(aborted.ok());
+  auto tally = client.Query("tally");
+  ASSERT_TRUE(tally.ok());
+  EXPECT_EQ(tally->size(), 0u) << "aborted bracket leaked effects";
+
+  EXPECT_TRUE(client.Ping().ok()) << "session should survive error frames";
+  server.Shutdown();
+}
+
+TEST(NetServer, EightConcurrentClientsQueryAndCommit) {
+  auto db = MakeSeededDb();
+  ServerOptions options;
+  options.max_sessions = 8;
+  Server server(db.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        auto q = client->Query("select(%3 > 4.5, beer)");
+        if (!q.ok() || q->size() != 5u) ++failures;
+        // Every client also commits: brackets queue on the serial slot.
+        auto s = client->ExecuteScript("insert(tally, {(" +
+                                       std::to_string(c * kRounds + round) +
+                                       ")});");
+        if (!s.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  Client checker = MustConnect(server);
+  auto tally = checker.Query("tally");
+  ASSERT_TRUE(tally.ok());
+  EXPECT_EQ(tally->size(), static_cast<uint64_t>(kClients * kRounds));
+
+  server.Shutdown();
+  EXPECT_EQ(server.active_sessions(), 0);
+  EXPECT_GE(server.sessions_served(), static_cast<uint64_t>(kClients));
+}
+
+TEST(NetServer, SessionCapQueuesExcessClients) {
+  auto db = MakeSeededDb();
+  ServerOptions options;
+  options.max_sessions = 1;
+  Server server(db.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // With a cap of one, a second client queues in the kernel backlog until
+  // the first disconnects — it is never rejected.
+  Client first = MustConnect(server);
+  EXPECT_TRUE(first.Ping().ok());
+
+  std::thread second_thread([&] {
+    Client second = MustConnect(server);
+    EXPECT_TRUE(second.Ping().ok());
+  });
+  // Give the second client time to land in the backlog, then free the slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  first.Close();
+  second_thread.join();
+  server.Shutdown();
+}
+
+TEST(NetServer, ShutdownFrameDrainsServer) {
+  auto db = MakeSeededDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client = MustConnect(server);
+  EXPECT_TRUE(client.RequestShutdown().ok());
+
+  server.Shutdown();  // Joins the drain triggered by the frame.
+  EXPECT_EQ(server.active_sessions(), 0);
+  EXPECT_TRUE(server.draining());
+
+  // New connections are refused once drained (connect or handshake fails).
+  auto late = Client::Connect("127.0.0.1", server.port());
+  EXPECT_FALSE(late.ok());
+}
+
+TEST(NetServer, IdleSessionsAreReaped) {
+  auto db = MakeSeededDb();
+  ServerOptions options;
+  options.idle_timeout_ms = 150;
+  Server server(db.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client = MustConnect(server);
+  EXPECT_TRUE(client.Ping().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  // The server reaped the session; the next request fails.
+  EXPECT_FALSE(client.Ping().ok());
+  server.Shutdown();
+  EXPECT_EQ(server.active_sessions(), 0);
+}
+
+TEST(NetServer, OversizedFrameIsRefused) {
+  auto db = MakeSeededDb();
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  Server server(db.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client = MustConnect(server);
+  std::string big_script = "? select(%1 = '" + std::string(4096, 'x') +
+                           "', beer);";
+  auto result = client.ExecuteScript(big_script);
+  ASSERT_FALSE(result.ok());
+  // Either the server's Error frame arrived (InvalidArgument) or the
+  // connection was already torn down (IoError) — both are clean refusals.
+  EXPECT_TRUE(result.status().code() == StatusCode::kInvalidArgument ||
+              result.status().code() == StatusCode::kIoError)
+      << result.status().ToString();
+  server.Shutdown();
+}
+
+TEST(NetServer, VersionMismatchIsRejected) {
+  auto db = MakeSeededDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sock = Socket::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(
+      WriteFrame(*sock, FrameKind::kHello, EncodeHello(999, "old-client"))
+          .ok());
+  auto response = ReadFrame(*sock, WireLimits{}, 5000);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->kind, FrameKind::kError);
+  Status error = DecodeError(response->payload);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+  server.Shutdown();
+}
+
+TEST(NetServer, GarbageBytesCloseTheConnection) {
+  auto db = MakeSeededDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sock = Socket::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(sock->SendAll("GET / HTTP/1.1\r\n\r\n").ok());
+  // The server answers with an Error frame (bad magic) and/or closes; the
+  // key property is that it neither crashes nor hangs.
+  auto response = ReadFrame(*sock, WireLimits{}, 5000);
+  if (response.ok()) {
+    EXPECT_EQ(response->kind, FrameKind::kError);
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.active_sessions(), 0);
+}
+
+TEST(NetServer, DoubleShutdownIsIdempotent) {
+  auto db = MakeSeededDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  server.Shutdown();
+  server.Shutdown();
+  EXPECT_EQ(server.active_sessions(), 0);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mra
