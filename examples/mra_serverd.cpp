@@ -16,6 +16,7 @@
 #include <iostream>
 #include <thread>
 
+#include "mra/fault/failpoint.h"
 #include "mra/net/server.h"
 
 namespace {
@@ -34,7 +35,15 @@ void Usage(const char* argv0) {
       << "  --max-sessions N        concurrent session cap (default 64)\n"
       << "  --request-timeout-ms N  per-request deadline (default 30000)\n"
       << "  --idle-timeout-ms N     reap idle sessions after N ms; 0 keeps "
-         "them (default 300000)\n";
+         "them (default 300000)\n"
+      << "  --shed-grace-ms N       shed with Busy after N ms at the session "
+         "cap; negative queues forever (default 1000)\n"
+      << "  --busy-retry-after-ms N retry-after hint in Busy frames "
+         "(default 200)\n"
+      << "  --salvage-wal           recover the intact prefix of a corrupt "
+         "WAL instead of refusing to start\n"
+      << "  --failpoints SPEC       arm fault-injection sites, e.g. "
+         "\"wal.sync=error:after=3\" (docs/RECOVERY.md)\n";
 }
 
 }  // namespace
@@ -67,6 +76,20 @@ int main(int argc, char** argv) {
       options.request_timeout_ms = std::atoi(next());
     } else if (arg == "--idle-timeout-ms") {
       options.idle_timeout_ms = std::atoi(next());
+    } else if (arg == "--shed-grace-ms") {
+      options.shed_grace_ms = std::atoi(next());
+    } else if (arg == "--busy-retry-after-ms") {
+      options.busy_retry_after_ms =
+          static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--salvage-wal") {
+      db_options.salvage_wal = true;
+    } else if (arg == "--failpoints") {
+      Status armed =
+          fault::FaultRegistry::Global().ConfigureFromSpec(next());
+      if (!armed.ok()) {
+        std::cerr << "bad --failpoints spec: " << armed.ToString() << "\n";
+        return 2;
+      }
     } else {
       Usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;

@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kConstraintViolation:
       return "ConstraintViolation";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -45,6 +45,10 @@ enum class StatusCode : int {
   /// (the correctness property of §4.3; constraint semantics follow the
   /// integrity-control companion work the paper cites as [11]).
   kConstraintViolation = 12,
+  /// The service is temporarily overloaded (e.g. the query server shed
+  /// the connection with a Busy frame).  Retriable after a backoff, in
+  /// contrast to the fatal protocol errors above.
+  kUnavailable = 13,
 };
 
 /// Returns a stable human-readable name, e.g. "TypeError".
@@ -99,6 +103,9 @@ class Status {
   }
   static Status ConstraintViolation(std::string msg) {
     return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

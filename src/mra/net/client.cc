@@ -1,25 +1,91 @@
 #include "mra/net/client.h"
 
+#include <chrono>
+#include <thread>
+
+#include "mra/obs/metrics.h"
+
 namespace mra {
 namespace net {
 
+namespace {
+
+struct ClientMetrics {
+  obs::Counter* retries;
+  obs::Counter* reconnects;
+  obs::Counter* busy;
+
+  static ClientMetrics& Get() {
+    static ClientMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      ClientMetrics out;
+      out.retries = reg.GetCounter("net.client.retries");
+      out.reconnects = reg.GetCounter("net.client.reconnects");
+      out.busy = reg.GetCounter("net.client.busy");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+bool Client::IsRetriable(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
+}
+
 Result<Client> Client::Connect(const std::string& host, uint16_t port,
                                ClientOptions options) {
-  MRA_ASSIGN_OR_RETURN(Socket sock, Socket::Connect(host, port));
-  Client client(std::move(sock), std::move(options));
+  Client client(std::move(options), host, port);
+  Status status = client.Reconnect();
+  // Connecting is idempotent, so the handshake retries like a read.
+  for (int attempt = 0;
+       !status.ok() && IsRetriable(status) &&
+       attempt < client.options_.max_retries;
+       ++attempt) {
+    client.BackoffSleep(attempt);
+    ClientMetrics::Get().retries->Inc();
+    status = client.Reconnect();
+  }
+  MRA_RETURN_IF_ERROR(status);
+  return client;
+}
+
+Status Client::Reconnect() {
+  sock_.Close();
+  MRA_ASSIGN_OR_RETURN(sock_, Socket::Connect(host_, port_));
   MRA_ASSIGN_OR_RETURN(
       Frame hello_response,
-      client.RoundTrip(FrameKind::kHello,
-                       EncodeHello(kProtocolVersion,
-                                   client.options_.client_name)));
+      RoundTrip(FrameKind::kHello,
+                EncodeHello(kProtocolVersion, options_.client_name)));
   if (hello_response.kind != FrameKind::kHello) {
     return Status::Corruption("handshake answered with " +
                               std::string(FrameKindName(hello_response.kind)));
   }
   MRA_ASSIGN_OR_RETURN(Hello hello, DecodeHello(hello_response.payload));
-  client.server_version_ = hello.version;
-  client.server_banner_ = std::move(hello.peer);
-  return client;
+  server_version_ = hello.version;
+  server_banner_ = std::move(hello.peer);
+  return Status::OK();
+}
+
+void Client::BackoffSleep(int attempt) {
+  // Exponential growth with a cap; << is safe because attempt is bounded
+  // by the number of doublings it takes to pass the cap.
+  int64_t delay = options_.retry_base_ms > 0 ? options_.retry_base_ms : 1;
+  for (int i = 0; i < attempt && delay < options_.retry_cap_ms; ++i) {
+    delay *= 2;
+  }
+  if (delay > options_.retry_cap_ms) delay = options_.retry_cap_ms;
+  // A Busy hint is the server telling us when capacity should free up;
+  // never retry sooner than that.
+  if (busy_hint_ms_ > 0 && delay < static_cast<int64_t>(busy_hint_ms_)) {
+    delay = busy_hint_ms_;
+  }
+  // Full jitter over the upper half: decorrelates a thundering herd of
+  // clients that all saw the same failure at the same time.
+  std::uniform_int_distribution<int64_t> dist(delay / 2, delay);
+  std::this_thread::sleep_for(std::chrono::milliseconds(dist(rng_)));
 }
 
 Result<Frame> Client::RoundTrip(FrameKind kind, std::string_view payload) {
@@ -41,12 +107,46 @@ Result<Frame> Client::RoundTrip(FrameKind kind, std::string_view payload) {
   if (response->kind == FrameKind::kError) {
     return DecodeError(response->payload);
   }
+  if (response->kind == FrameKind::kBusy) {
+    // The server shed this connection and is about to close it.
+    sock_.Close();
+    ClientMetrics::Get().busy->Inc();
+    Result<BusyNotice> notice = DecodeBusy(response->payload);
+    if (!notice.ok()) return notice.status();
+    busy_hint_ms_ = notice->retry_after_ms;
+    return Status::Unavailable(
+        notice->message + " (retry after " +
+        std::to_string(notice->retry_after_ms) + "ms)");
+  }
+  return response;
+}
+
+Result<Frame> Client::RetryingRoundTrip(FrameKind kind,
+                                        std::string_view payload) {
+  Result<Frame> response = RoundTrip(kind, payload);
+  for (int attempt = 0;
+       !response.ok() && IsRetriable(response.status()) &&
+       attempt < options_.max_retries;
+       ++attempt) {
+    BackoffSleep(attempt);
+    ClientMetrics::Get().retries->Inc();
+    if (!sock_.valid()) {
+      Status reconnected = Reconnect();
+      if (!reconnected.ok()) {
+        // The failed reconnect consumed this attempt.
+        response = reconnected;
+        continue;
+      }
+      ClientMetrics::Get().reconnects->Inc();
+    }
+    response = RoundTrip(kind, payload);
+  }
   return response;
 }
 
 Result<Relation> Client::Query(std::string_view rel_expr_source) {
   MRA_ASSIGN_OR_RETURN(Frame response,
-                       RoundTrip(FrameKind::kQuery, rel_expr_source));
+                       RetryingRoundTrip(FrameKind::kQuery, rel_expr_source));
   if (response.kind != FrameKind::kResultSet) {
     return Status::Corruption("Query answered with " +
                               std::string(FrameKindName(response.kind)));
@@ -71,7 +171,8 @@ Result<std::vector<Relation>> Client::ExecuteScript(std::string_view source) {
 }
 
 Result<std::string> Client::ServerStats() {
-  MRA_ASSIGN_OR_RETURN(Frame response, RoundTrip(FrameKind::kStats, {}));
+  MRA_ASSIGN_OR_RETURN(Frame response,
+                       RetryingRoundTrip(FrameKind::kStats, {}));
   if (response.kind != FrameKind::kStats) {
     return Status::Corruption("Stats answered with " +
                               std::string(FrameKindName(response.kind)));
@@ -81,7 +182,7 @@ Result<std::string> Client::ServerStats() {
 
 Status Client::Ping() {
   constexpr std::string_view kProbe = "mra-ping";
-  Result<Frame> response = RoundTrip(FrameKind::kPing, kProbe);
+  Result<Frame> response = RetryingRoundTrip(FrameKind::kPing, kProbe);
   MRA_RETURN_IF_ERROR(response.status());
   if (response->kind != FrameKind::kPing || response->payload != kProbe) {
     return Status::Corruption("Ping echo mismatch");

@@ -2,11 +2,24 @@
 // exposes the request kinds as typed calls.  Results arrive as ordinary
 // mra::Relation values — the same bytes the storage layer would write to
 // a checkpoint.  Not thread-safe; use one Client per thread.
+//
+// Robustness: with max_retries > 0 the client retries *idempotent*
+// (read-only) requests — Query, Stats, Ping — and the Connect handshake
+// after retriable failures, reconnecting automatically when the
+// connection died.  Retriable means a transport fault (IoError: refused,
+// reset, timed out, torn frame) or the server shedding load (a Busy frame,
+// surfaced as Unavailable with a retry-after hint that floors the
+// backoff).  Protocol errors — bad CRC, version mismatch, malformed
+// payloads (Corruption / InvalidArgument) — and server-side evaluation
+// errors are fatal: retrying cannot fix them and mutating requests
+// (Script, Shutdown) are never retried because the first attempt may have
+// executed.
 
 #ifndef MRA_NET_CLIENT_H_
 #define MRA_NET_CLIENT_H_
 
 #include <cstdint>
+#include <random>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -26,6 +39,14 @@ struct ClientOptions {
   uint32_t max_frame_bytes = 16u << 20;
   /// Reported to the server in the Hello handshake.
   std::string client_name = "mra-client";
+  /// Retries after a retriable failure, for idempotent requests and the
+  /// Connect handshake only (see the header comment).  0 disables.
+  int max_retries = 0;
+  /// Exponential backoff with jitter: attempt k sleeps a uniform-random
+  /// time in [d/2, d] where d = min(retry_cap_ms, retry_base_ms << k),
+  /// floored by the server's Busy retry-after hint when one arrived.
+  int retry_base_ms = 10;
+  int retry_cap_ms = 2'000;
 };
 
 class Client {
@@ -62,18 +83,44 @@ class Client {
   bool connected() const { return sock_.valid(); }
   void Close() { sock_.Close(); }
 
+  /// The retry-after hint (ms) from the most recent Busy shed notice the
+  /// server sent this client; 0 when none arrived yet.
+  uint32_t last_busy_retry_after_ms() const { return busy_hint_ms_; }
+
+  /// True when `status` is worth retrying: a transport fault (IoError) or
+  /// the server shedding load (Unavailable).  Protocol and evaluation
+  /// errors are fatal.
+  static bool IsRetriable(const Status& status);
+
  private:
-  Client(Socket sock, ClientOptions options)
-      : sock_(std::move(sock)), options_(std::move(options)) {}
+  Client(ClientOptions options, std::string host, uint16_t port)
+      : options_(std::move(options)),
+        host_(std::move(host)),
+        port_(port),
+        rng_(std::random_device{}()) {}
 
   /// Sends one request frame and reads the response; an Error response is
-  /// unwrapped into its transported Status.
+  /// unwrapped into its transported Status, a Busy response into
+  /// Unavailable (stashing the retry-after hint).
   Result<Frame> RoundTrip(FrameKind kind, std::string_view payload);
+
+  /// RoundTrip plus the retry/reconnect loop, for idempotent kinds only.
+  Result<Frame> RetryingRoundTrip(FrameKind kind, std::string_view payload);
+
+  /// (Re)establishes the connection and redoes the Hello handshake.
+  Status Reconnect();
+
+  /// Sleeps the jittered exponential backoff for retry attempt `attempt`.
+  void BackoffSleep(int attempt);
 
   Socket sock_;
   ClientOptions options_;
+  std::string host_;
+  uint16_t port_ = 0;
   std::string server_banner_;
   uint32_t server_version_ = 0;
+  uint32_t busy_hint_ms_ = 0;
+  std::mt19937 rng_;
 };
 
 /// Parses "host:port" (e.g. "127.0.0.1:7411", "[::1]:7411", "db.example:7411").

@@ -33,13 +33,15 @@ std::string_view FrameKindName(FrameKind kind) {
       return "Ping";
     case FrameKind::kShutdown:
       return "Shutdown";
+    case FrameKind::kBusy:
+      return "Busy";
   }
   return "?";
 }
 
 bool IsValidFrameKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(FrameKind::kHello) &&
-         kind <= static_cast<uint8_t>(FrameKind::kShutdown);
+         kind <= static_cast<uint8_t>(FrameKind::kBusy);
 }
 
 std::string EncodeFrame(FrameKind kind, std::string_view payload) {
@@ -175,7 +177,7 @@ Status DecodeError(std::string_view payload) {
   Result<std::string> message = dec.GetString();
   if (!message.ok()) return message.status();
   if (!dec.AtEnd() || *code == 0 ||
-      *code > static_cast<uint8_t>(StatusCode::kConstraintViolation)) {
+      *code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::Corruption("malformed Error payload");
   }
   return Status(static_cast<StatusCode>(*code), *std::move(message));
@@ -202,6 +204,24 @@ Result<std::vector<Relation>> DecodeResultSet(std::string_view payload) {
   }
   if (!dec.AtEnd()) {
     return Status::Corruption("trailing bytes in ResultSet payload");
+  }
+  return out;
+}
+
+std::string EncodeBusy(uint32_t retry_after_ms, std::string_view message) {
+  storage::Encoder enc;
+  enc.PutU32(retry_after_ms);
+  enc.PutString(message);
+  return enc.TakeBuffer();
+}
+
+Result<BusyNotice> DecodeBusy(std::string_view payload) {
+  storage::Decoder dec(payload);
+  BusyNotice out;
+  MRA_ASSIGN_OR_RETURN(out.retry_after_ms, dec.GetU32());
+  MRA_ASSIGN_OR_RETURN(out.message, dec.GetString());
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes in Busy payload");
   }
   return out;
 }

@@ -28,6 +28,10 @@
 //   Ping       arbitrary payload; echoed back verbatim in a Ping frame.
 //   Shutdown   empty.  The server acks with a Shutdown frame, then drains:
 //              stops accepting, lets in-flight requests finish, closes.
+//   Busy       (server) u32 retry_after_ms, string message.  Sent instead
+//              of the server Hello when the server sheds load; the
+//              connection is closed right after.  Clients surface it as
+//              Unavailable and may reconnect after the hinted delay.
 
 #ifndef MRA_NET_PROTOCOL_H_
 #define MRA_NET_PROTOCOL_H_
@@ -58,6 +62,7 @@ enum class FrameKind : uint8_t {
   kStats = 6,
   kPing = 7,
   kShutdown = 8,
+  kBusy = 9,
 };
 
 /// Stable name for diagnostics, e.g. "Query".
@@ -126,6 +131,15 @@ Status DecodeError(std::string_view payload);
 
 std::string EncodeResultSet(const std::vector<Relation>& relations);
 Result<std::vector<Relation>> DecodeResultSet(std::string_view payload);
+
+/// Busy payload: the server's load-shed notice with a retry-after hint.
+struct BusyNotice {
+  uint32_t retry_after_ms = 0;
+  std::string message;
+};
+
+std::string EncodeBusy(uint32_t retry_after_ms, std::string_view message);
+Result<BusyNotice> DecodeBusy(std::string_view payload);
 
 }  // namespace net
 }  // namespace mra

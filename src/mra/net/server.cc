@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "mra/fault/failpoint.h"
 #include "mra/obs/metrics.h"
 
 namespace mra {
@@ -23,6 +24,7 @@ struct NetMetrics {
   obs::Counter* bytes_out;
   obs::Counter* idle_reaped;
   obs::Counter* shutdowns;
+  obs::Counter* sheds;
   obs::Histogram* request_latency_us;
 
   static NetMetrics& Get() {
@@ -38,6 +40,7 @@ struct NetMetrics {
       out.bytes_out = reg.GetCounter("net.bytes_out");
       out.idle_reaped = reg.GetCounter("net.sessions.idle_reaped");
       out.shutdowns = reg.GetCounter("net.shutdowns");
+      out.sheds = reg.GetCounter("net.sheds");
       out.request_latency_us = reg.GetHistogram("net.request_us");
       return out;
     }();
@@ -125,13 +128,24 @@ void Server::ReapFinishedLocked() {
 void Server::AcceptLoop() {
   NetMetrics& metrics = NetMetrics::Get();
   while (!draining()) {
+    bool shedding = false;
     {
       // Backpressure: hold off accepting while at the session cap, so
-      // waiting clients sit in the kernel's bounded accept queue.
+      // waiting clients sit in the kernel's bounded accept queue.  After
+      // shed_grace_ms at the cap, degrade gracefully instead: pull queued
+      // connections and turn them away with a Busy frame, so clients get
+      // a structured retry-after hint rather than an unbounded wait.
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] {
+      auto have_slot = [this] {
         return draining() || active_ < options_.max_sessions;
-      });
+      };
+      if (options_.shed_grace_ms < 0) {
+        cv_.wait(lock, have_slot);
+      } else {
+        shedding = !cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.shed_grace_ms),
+            have_slot);
+      }
       if (draining()) break;
       ReapFinishedLocked();
     }
@@ -140,6 +154,15 @@ void Server::AcceptLoop() {
     if (!*acceptable) continue;
     Result<Socket> sock = listener_.Accept();
     if (!sock.ok()) continue;  // Client gave up while queued; keep serving.
+    if (shedding) {
+      metrics.sheds->Inc();
+      // Best-effort notice; the shed connection closes either way.
+      (void)WriteFrame(*sock, FrameKind::kBusy,
+                       EncodeBusy(options_.busy_retry_after_ms,
+                                  "server at session capacity"));
+      sock->Close();
+      continue;
+    }
     metrics.accepted->Inc();
     metrics.active->Add(1);
     std::lock_guard<std::mutex> lock(mutex_);
@@ -224,7 +247,8 @@ bool Server::HandleFrame(lang::Interpreter& interp, const Frame& request,
       break;
     }
     case FrameKind::kResultSet:
-    case FrameKind::kError: {
+    case FrameKind::kError:
+    case FrameKind::kBusy: {
       response = EncodeError(Status::InvalidArgument(
           std::string(FrameKindName(request.kind)) +
           " frames are server-to-client only"));
@@ -253,11 +277,23 @@ bool Server::HandleFrame(lang::Interpreter& interp, const Frame& request,
 }
 
 void Server::RunSession(uint64_t session_id, Socket sock) {
+  // Failpoint `server.session`: fail the session right after accept —
+  // `error` answers with an Error frame and closes, `abort` kills the
+  // whole process mid-session (crash-recovery drills).
+  static fault::Failpoint* fp_session =
+      fault::FaultRegistry::Global().Get("server.session");
+
   NetMetrics& metrics = NetMetrics::Get();
   lang::Interpreter interp(db_, options_.interpreter);
   int idle_ms = 0;
 
-  while (!draining()) {
+  Status session_fault = fault::InjectIfArmed(fp_session);
+  if (!session_fault.ok()) {
+    metrics.request_errors->Inc();
+    Send(sock, FrameKind::kError, EncodeError(session_fault));
+  }
+
+  while (session_fault.ok() && !draining()) {
     Result<bool> readable = sock.WaitReadable(kPollSliceMs);
     if (!readable.ok()) break;
     if (!*readable) {

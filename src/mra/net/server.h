@@ -10,6 +10,12 @@
 //                         this many sessions are live; further clients
 //                         queue in the kernel backlog (accept_backlog) —
 //                         backpressure, not rejection;
+//  * shed_grace_ms      — how long the accept loop tolerates sitting at the
+//                         session cap before it degrades gracefully: queued
+//                         connections are then accepted, answered with a
+//                         Busy frame carrying busy_retry_after_ms, and
+//                         closed (shed, not served), until a slot frees.
+//                         Negative disables shedding (pure backpressure);
 //  * max_frame_bytes    — a header announcing more is answered with an
 //                         Error frame and the connection is closed before
 //                         any payload is read;
@@ -54,6 +60,13 @@ struct ServerOptions {
   int max_sessions = 64;
   /// Kernel accept-queue bound: clients beyond max_sessions wait here.
   int accept_backlog = 16;
+  /// At the session cap, wait this long for a slot before shedding queued
+  /// connections with a Busy frame.  Short cap-holds still queue (clients
+  /// see backpressure, not errors); sustained overload sheds.  Negative
+  /// disables shedding entirely.
+  int shed_grace_ms = 1'000;
+  /// Retry-after hint carried in Busy frames sent while shedding.
+  uint32_t busy_retry_after_ms = 200;
   uint32_t max_frame_bytes = 16u << 20;
   int request_timeout_ms = 30'000;
   /// 0 disables idle reaping.

@@ -9,9 +9,12 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
+
+#include "mra/fault/failpoint.h"
 
 namespace mra {
 namespace net {
@@ -86,7 +89,17 @@ Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
 }
 
 Status Socket::SendAll(std::string_view data) {
+  // Failpoint `net.send`: `error` fails before any byte leaves, `torn(N)`
+  // sends only the first N bytes and then fails — the peer sees a
+  // truncated frame, exactly as if this endpoint died mid-send.
+  static fault::Failpoint* fp_send =
+      fault::FaultRegistry::Global().Get("net.send");
+
   if (fd_ < 0) return Status::IoError("send on closed socket");
+  fault::Failpoint::Outcome fo = fp_send->Hit();
+  if (fo.kind == fault::ActionKind::kError) return fp_send->InjectedError();
+  bool torn = fo.kind == fault::ActionKind::kTorn;
+  if (torn) data = data.substr(0, std::min<size_t>(fo.keep_bytes, data.size()));
   size_t sent = 0;
   while (sent < data.size()) {
     // MSG_NOSIGNAL: a peer that vanished mid-response must surface as a
@@ -99,11 +112,18 @@ Status Socket::SendAll(std::string_view data) {
     }
     sent += static_cast<size_t>(n);
   }
-  return Status::OK();
+  // A torn send delivers its prefix, then reports the transport failure.
+  return torn ? fp_send->InjectedError() : Status::OK();
 }
 
 Result<std::string> Socket::RecvExact(size_t n, int timeout_ms) {
+  // Failpoint `net.recv`: `error` fails the read (the connection state is
+  // then unknown, as after a real transport fault); `delay(MS)` stalls.
+  static fault::Failpoint* fp_recv =
+      fault::FaultRegistry::Global().Get("net.recv");
+
   if (fd_ < 0) return Status::IoError("recv on closed socket");
+  MRA_RETURN_IF_ERROR(fault::InjectIfArmed(fp_recv));
   std::string out;
   out.resize(n);
   size_t got = 0;

@@ -2,11 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
 
+#include "mra/fault/failpoint.h"
 #include "mra/obs/metrics.h"
 #include "mra/storage/serializer.h"
 
@@ -76,12 +78,25 @@ Status WalWriter::Append(std::string_view payload, bool sync) {
   static obs::Histogram* append_us =
       obs::MetricsRegistry::Global().GetHistogram("wal.append_us");
 
+  static fault::Failpoint* fp_append =
+      fault::FaultRegistry::Global().Get("wal.append");
+
   if (file_ == nullptr) return Status::IoError("WAL is closed");
   uint64_t t0 = NowMicros();
   std::string frame = EncodeU32(kFrameMagic);
   frame += EncodeU32(static_cast<uint32_t>(payload.size()));
   frame += EncodeU32(Crc32(payload));
   frame.append(payload.data(), payload.size());
+  fault::Failpoint::Outcome fo = fp_append->Hit();
+  if (fo.kind == fault::ActionKind::kError) return fp_append->InjectedError();
+  if (fo.kind == fault::ActionKind::kTorn) {
+    // Persist only a prefix of the frame, exactly as a crash mid-write
+    // would, then fail the append.
+    size_t keep = std::min<size_t>(fo.keep_bytes, frame.size());
+    std::fwrite(frame.data(), 1, keep, file_);
+    std::fflush(file_);
+    return fp_append->InjectedError();
+  }
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status::IoError("short write to WAL");
   }
@@ -101,7 +116,11 @@ Status WalWriter::Sync() {
   static obs::Histogram* fsync_us =
       obs::MetricsRegistry::Global().GetHistogram("wal.fsync_us");
 
+  static fault::Failpoint* fp_sync =
+      fault::FaultRegistry::Global().Get("wal.sync");
+
   if (file_ == nullptr) return Status::IoError("WAL is closed");
+  MRA_RETURN_IF_ERROR(fault::InjectIfArmed(fp_sync));
   uint64_t t0 = NowMicros();
   if (::fsync(::fileno(file_)) != 0) {
     return Status::IoError(std::string("fsync failed: ") +
@@ -119,7 +138,53 @@ void WalWriter::Close() {
   }
 }
 
-Result<WalReadResult> ReadWal(const std::string& path) {
+namespace {
+
+/// Counts frames after a corruption point that still look structurally
+/// sound (magic at some offset, length that fits the file) — a
+/// best-effort tally of how many records a salvage discards, on top of
+/// the corrupt frame itself.
+uint64_t CountResyncFrames(std::string_view contents, size_t from) {
+  uint64_t found = 0;
+  size_t scan = from;
+  while (scan + kHeaderSize <= contents.size()) {
+    if (DecodeU32(contents.data() + scan) != kFrameMagic) {
+      ++scan;
+      continue;
+    }
+    uint32_t len = DecodeU32(contents.data() + scan + 4);
+    if (scan + kHeaderSize + len > contents.size()) {
+      ++scan;
+      continue;
+    }
+    ++found;
+    scan += kHeaderSize + len;
+  }
+  return found;
+}
+
+/// Finishes a kPrefix read: marks the result salvaged at `pos` and
+/// reports what was dropped through the wal.salvaged_* metrics.
+WalReadResult SalvagePrefix(WalReadResult result, std::string_view contents,
+                            size_t pos) {
+  result.salvaged = true;
+  result.valid_bytes = pos;
+  result.discarded_records =
+      1 + CountResyncFrames(contents, pos + 1);
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("wal.salvaged_opens")->Inc();
+  reg.GetCounter("wal.salvaged_bytes")->Inc(contents.size() - pos);
+  reg.GetCounter("wal.salvaged_records")->Inc(result.discarded_records);
+  return result;
+}
+
+}  // namespace
+
+Result<WalReadResult> ReadWal(const std::string& path, Salvage salvage) {
+  static fault::Failpoint* fp_replay =
+      fault::FaultRegistry::Global().Get("wal.replay");
+  MRA_RETURN_IF_ERROR(fault::InjectIfArmed(fp_replay));
+
   WalReadResult result;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return result;  // No log yet: empty history.
@@ -142,6 +207,9 @@ Result<WalReadResult> ReadWal(const std::string& path) {
     }
     uint32_t magic = DecodeU32(contents.data() + pos);
     if (magic != kFrameMagic) {
+      if (salvage == Salvage::kPrefix) {
+        return SalvagePrefix(std::move(result), contents, pos);
+      }
       return Status::Corruption("bad WAL frame magic at offset " +
                                 std::to_string(pos));
     }
@@ -159,11 +227,15 @@ Result<WalReadResult> ReadWal(const std::string& path) {
         result.torn_tail = true;
         return result;
       }
+      if (salvage == Salvage::kPrefix) {
+        return SalvagePrefix(std::move(result), contents, pos);
+      }
       return Status::Corruption("WAL CRC mismatch at offset " +
                                 std::to_string(pos));
     }
     result.records.emplace_back(payload);
     pos += kHeaderSize + len;
+    result.valid_bytes = pos;
   }
   return result;
 }
@@ -175,6 +247,18 @@ Status TruncateWal(const std::string& path) {
     return Status::IoError("cannot truncate WAL " + path + ": " +
                            ec.message());
   }
+  return Status::OK();
+}
+
+Status TruncateWalToOffset(const std::string& path, uint64_t valid_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec) {
+    return Status::IoError("cannot truncate WAL " + path + " to " +
+                           std::to_string(valid_bytes) + " bytes: " +
+                           ec.message());
+  }
+  obs::MetricsRegistry::Global().GetCounter("wal.truncated_tails")->Inc();
   return Status::OK();
 }
 

@@ -1,7 +1,14 @@
 #include "mra/txn/database.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 
+#include "mra/fault/failpoint.h"
 #include "mra/obs/metrics.h"
 #include "mra/storage/plan_serializer.h"
 #include "mra/storage/serializer.h"
@@ -34,19 +41,78 @@ Result<std::string> ReadFileContents(const std::string& path) {
   return contents;
 }
 
+/// fsyncs the directory containing `path`, making a just-renamed entry
+/// durable (the rename itself lives in the directory, not the file).
+Status SyncParentDir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("cannot fsync directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Crash-safe file install: write to `path.tmp`, fsync the data, rename
+/// over `path`, fsync the parent directory.  A crash at any point leaves
+/// either the old file or the complete new one — never a partial image,
+/// and never a rename that evaporates with the directory's page cache.
+///
+/// Failpoints: `checkpoint.write` (error / torn tmp image),
+/// `checkpoint.sync`, `checkpoint.rename` (fails or aborts before the
+/// rename), `checkpoint.dirsync` (after the rename, before the directory
+/// fsync).
 Status WriteFileAtomically(const std::string& path,
                            const std::string& contents) {
+  static fault::Failpoint* fp_write =
+      fault::FaultRegistry::Global().Get("checkpoint.write");
+  static fault::Failpoint* fp_sync =
+      fault::FaultRegistry::Global().Get("checkpoint.sync");
+  static fault::Failpoint* fp_rename =
+      fault::FaultRegistry::Global().Get("checkpoint.rename");
+  static fault::Failpoint* fp_dirsync =
+      fault::FaultRegistry::Global().Get("checkpoint.dirsync");
+
   std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot create " + tmp);
-  bool ok = std::fwrite(contents.data(), 1, contents.size(), f) ==
-            contents.size();
+  bool ok;
+  fault::Failpoint::Outcome fo = fp_write->Hit();
+  if (fo.kind == fault::ActionKind::kError) {
+    std::fclose(f);
+    return fp_write->InjectedError();
+  }
+  if (fo.kind == fault::ActionKind::kTorn) {
+    size_t keep = std::min<size_t>(fo.keep_bytes, contents.size());
+    std::fwrite(contents.data(), 1, keep, f);
+    std::fclose(f);
+    return fp_write->InjectedError();
+  }
+  ok = std::fwrite(contents.data(), 1, contents.size(), f) ==
+       contents.size();
+  ok = (std::fflush(f) == 0) && ok;
+  // fsync the image before the rename: renaming first could install a
+  // checkpoint whose bytes never reach the disk, and the subsequent WAL
+  // truncate would then delete the only durable copy of the database.
+  Status injected = fault::InjectIfArmed(fp_sync);
+  ok = injected.ok() && (::fsync(::fileno(f)) == 0) && ok;
   ok = (std::fclose(f) == 0) && ok;
-  if (!ok) return Status::IoError("cannot write " + tmp);
+  if (!ok) {
+    return injected.ok() ? Status::IoError("cannot write " + tmp) : injected;
+  }
+  MRA_RETURN_IF_ERROR(fault::InjectIfArmed(fp_rename));
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) return Status::IoError("cannot install " + path + ": " + ec.message());
-  return Status::OK();
+  MRA_RETURN_IF_ERROR(fault::InjectIfArmed(fp_dirsync));
+  return SyncParentDir(path);
 }
 
 }  // namespace
@@ -79,8 +145,10 @@ Database::~Database() = default;
 
 Status Database::Recover() {
   // 1. Load the newest checkpoint, if any (catalog image + constraints).
+  bool checkpoint_loaded = false;
   Result<std::string> image = ReadFileContents(checkpoint_path());
   if (image.ok()) {
+    checkpoint_loaded = true;
     storage::Decoder dec(*image);
     MRA_ASSIGN_OR_RETURN(std::string catalog_bytes, dec.GetString());
     MRA_ASSIGN_OR_RETURN(catalog_, storage::DecodeCatalog(catalog_bytes));
@@ -98,31 +166,62 @@ Status Database::Recover() {
   }
 
   // 2. Replay intact WAL records.
-  MRA_ASSIGN_OR_RETURN(storage::WalReadResult wal, storage::ReadWal(wal_path()));
+  //
+  // When a checkpoint image was loaded, a DDL record that is already
+  // reflected in it is tolerated rather than treated as corruption: a
+  // crash between the checkpoint's rename and the WAL truncate leaves a
+  // log whose records are all already applied (commit records carry
+  // absolute after-images, so re-installing them is naturally
+  // idempotent; DDL replay must be made so).  Without a checkpoint the
+  // WAL is the entire history and a duplicate create / missing drop is
+  // genuine corruption.
+  static obs::Counter* tolerated =
+      obs::MetricsRegistry::Global().GetCounter("wal.replay.tolerated");
+  MRA_ASSIGN_OR_RETURN(
+      storage::WalReadResult wal,
+      storage::ReadWal(wal_path(), options_.salvage_wal
+                                       ? storage::Salvage::kPrefix
+                                       : storage::Salvage::kNone));
   for (const std::string& record : wal.records) {
     storage::Decoder dec(record);
     MRA_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
     switch (kind) {
       case kRecCreateRelation: {
         MRA_ASSIGN_OR_RETURN(RelationSchema schema, dec.GetSchema());
-        MRA_RETURN_IF_ERROR(catalog_.CreateRelation(std::move(schema)));
+        Status s = catalog_.CreateRelation(std::move(schema));
+        if (!s.ok()) {
+          if (!(checkpoint_loaded &&
+                s.code() == StatusCode::kAlreadyExists)) {
+            return s;
+          }
+          tolerated->Inc();
+        }
         break;
       }
       case kRecDropRelation: {
         MRA_ASSIGN_OR_RETURN(std::string name, dec.GetString());
-        MRA_RETURN_IF_ERROR(catalog_.DropRelation(name));
+        Status s = catalog_.DropRelation(name);
+        if (!s.ok()) {
+          if (!(checkpoint_loaded && s.code() == StatusCode::kNotFound)) {
+            return s;
+          }
+          tolerated->Inc();
+        }
         break;
       }
       case kRecAddConstraint: {
         MRA_ASSIGN_OR_RETURN(std::string name, dec.GetString());
         MRA_ASSIGN_OR_RETURN(PlanPtr plan, storage::DecodePlan(&dec));
-        constraints_.emplace(std::move(name), std::move(plan));
+        constraints_[std::move(name)] = std::move(plan);
         break;
       }
       case kRecDropConstraint: {
         MRA_ASSIGN_OR_RETURN(std::string name, dec.GetString());
         if (constraints_.erase(name) == 0) {
-          return Status::Corruption("WAL drops unknown constraint " + name);
+          if (!checkpoint_loaded) {
+            return Status::Corruption("WAL drops unknown constraint " + name);
+          }
+          tolerated->Inc();
         }
         break;
       }
@@ -133,9 +232,18 @@ Status Database::Recover() {
         for (uint32_t i = 0; i < n; ++i) {
           MRA_ASSIGN_OR_RETURN(Relation rel, dec.GetRelation());
           std::string name = rel.schema().name();
-          MRA_RETURN_IF_ERROR(catalog_.SetRelation(name, std::move(rel)));
+          Status s = catalog_.SetRelation(name, std::move(rel));
+          if (!s.ok()) {
+            // Already-applied region only: the relation was dropped
+            // later in the same pre-checkpoint stretch, so its
+            // after-image has nowhere to land — and needs none.
+            if (!(checkpoint_loaded && s.code() == StatusCode::kNotFound)) {
+              return s;
+            }
+            tolerated->Inc();
+          }
         }
-        catalog_.set_logical_time(time);
+        catalog_.set_logical_time(std::max(catalog_.logical_time(), time));
         next_txn_id_ = std::max(next_txn_id_, txn_id + 1);
         break;
       }
@@ -146,6 +254,15 @@ Status Database::Recover() {
     if (!dec.AtEnd()) {
       return Status::Corruption("trailing bytes in WAL record");
     }
+  }
+
+  // 3. If the log ended in a torn frame (or a salvage dropped a corrupt
+  // suffix), chop the file back to its intact prefix *before* the writer
+  // reopens it for appending — a fresh commit written after a partial
+  // frame would make the whole log unreadable on the next recovery.
+  if (wal.torn_tail || wal.salvaged) {
+    MRA_RETURN_IF_ERROR(
+        storage::TruncateWalToOffset(wal_path(), wal.valid_bytes));
   }
   return Status::OK();
 }
@@ -327,6 +444,12 @@ Status Database::Checkpoint() {
     storage::EncodePlan(&image, *plan);
   }
   MRA_RETURN_IF_ERROR(WriteFileAtomically(checkpoint_path(), image.buffer()));
+  // A crash here (exercised via the wal.truncate failpoint) leaves the
+  // new checkpoint installed with the old WAL intact; recovery's
+  // tolerant replay converges back to this same state.
+  static fault::Failpoint* fp_truncate =
+      fault::FaultRegistry::Global().Get("wal.truncate");
+  MRA_RETURN_IF_ERROR(fault::InjectIfArmed(fp_truncate));
   MRA_RETURN_IF_ERROR(storage::TruncateWal(wal_path()));
   obs::MetricsRegistry::Global().GetCounter("db.checkpoints")->Inc();
   return Status::OK();

@@ -38,6 +38,11 @@ struct DatabaseOptions {
   /// is preserved either way (torn tails are discarded), fsync only
   /// narrows the window of acknowledged-but-lost commits.
   bool sync_commits = false;
+  /// Salvage a corrupt WAL on open: recover the intact prefix instead of
+  /// failing with Corruption (storage::Salvage::kPrefix; the dropped
+  /// suffix is reported through the wal.salvaged_* metrics).  The log is
+  /// truncated back to the surviving prefix before new commits append.
+  bool salvage_wal = false;
 };
 
 /// A multi-set relational database.

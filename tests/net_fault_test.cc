@@ -1,0 +1,265 @@
+// Error-path tests for the network layer: adversarial raw peers (close
+// mid-frame, corrupt CRC, stalls), the retriable-vs-fatal classification,
+// client retry/backoff/reconnect, and the server's Busy load-shedding.
+// Also run under TSan in CI (.github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "mra/fault/failpoint.h"
+#include "mra/net/client.h"
+#include "mra/net/server.h"
+#include "mra/obs/metrics.h"
+
+namespace mra {
+namespace net {
+namespace {
+
+std::unique_ptr<Database> MakeDb() {
+  auto db = std::move(Database::Open({}).value());
+  lang::Interpreter interp(db.get());
+  Status s = interp.ExecuteScript("create t(x: int);", nullptr);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return db;
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+// An adversarial single-shot peer: accepts one connection, reads the
+// client's request bytes, runs `respond`, and closes the connection.
+class RawPeer {
+ public:
+  explicit RawPeer(std::function<void(Socket&)> respond) {
+    listener_ = std::move(Listener::Bind("127.0.0.1", 0, 4).value());
+    thread_ = std::thread([this, respond = std::move(respond)] {
+      auto acceptable = listener_.WaitAcceptable(5'000);
+      if (!acceptable.ok() || !*acceptable) return;
+      auto sock = listener_.Accept();
+      if (!sock.ok()) return;
+      // Drain whatever request the client sent (one recv is enough: the
+      // client writes its frame in one SendAll on loopback).
+      (void)sock->RecvExact(1, 5'000);
+      respond(*sock);
+      sock->Close();
+    });
+  }
+  ~RawPeer() {
+    if (thread_.joinable()) thread_.join();
+    listener_.Close();
+  }
+  uint16_t port() const { return listener_.port(); }
+
+ private:
+  Listener listener_;
+  std::thread thread_;
+};
+
+class NetFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(NetFaultTest, RetriableVersusFatalClassification) {
+  EXPECT_TRUE(Client::IsRetriable(Status::IoError("connection reset")));
+  EXPECT_TRUE(Client::IsRetriable(Status::Unavailable("shedding")));
+  EXPECT_FALSE(Client::IsRetriable(Status::Corruption("bad CRC")));
+  EXPECT_FALSE(Client::IsRetriable(Status::ParseError("bad query")));
+  EXPECT_FALSE(Client::IsRetriable(Status::InvalidArgument("bad version")));
+  EXPECT_FALSE(Client::IsRetriable(Status::OK()));
+}
+
+TEST_F(NetFaultTest, BusyFramePayloadRoundTrips) {
+  std::string payload = EncodeBusy(250, "server at session capacity");
+  auto notice = DecodeBusy(payload);
+  ASSERT_TRUE(notice.ok()) << notice.status().ToString();
+  EXPECT_EQ(notice->retry_after_ms, 250u);
+  EXPECT_EQ(notice->message, "server at session capacity");
+  EXPECT_FALSE(DecodeBusy(payload.substr(0, 3)).ok());  // Truncated.
+  EXPECT_EQ(FrameKindName(FrameKind::kBusy), "Busy");
+  EXPECT_TRUE(IsValidFrameKind(static_cast<uint8_t>(FrameKind::kBusy)));
+  EXPECT_FALSE(IsValidFrameKind(10));
+}
+
+TEST_F(NetFaultTest, PeerClosingMidFrameIsRetriableIoError) {
+  // The peer sends a valid header announcing a payload, delivers only a
+  // fragment of it, and closes: framing dies mid-read.
+  RawPeer peer([](Socket& sock) {
+    std::string frame =
+        EncodeFrame(FrameKind::kHello, EncodeHello(kProtocolVersion, "evil"));
+    (void)sock.SendAll(std::string_view(frame).substr(0, frame.size() - 4));
+  });
+  auto client = Client::Connect("127.0.0.1", peer.port());
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kIoError);
+  EXPECT_TRUE(Client::IsRetriable(client.status()));
+}
+
+TEST_F(NetFaultTest, CorruptCrcIsFatalAndNotRetried) {
+  RawPeer peer([](Socket& sock) {
+    std::string frame =
+        EncodeFrame(FrameKind::kHello, EncodeHello(kProtocolVersion, "evil"));
+    frame.back() ^= 0x5a;  // Flip payload bits; the header CRC now lies.
+    (void)sock.SendAll(frame);
+  });
+  uint64_t retries_before = CounterValue("net.client.retries");
+  ClientOptions options;
+  options.max_retries = 3;  // Must not be spent on a protocol error.
+  options.retry_base_ms = 1;
+  auto client = Client::Connect("127.0.0.1", peer.port(), options);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(CounterValue("net.client.retries"), retries_before);
+}
+
+TEST_F(NetFaultTest, StallPastDeadlineTimesOut) {
+  RawPeer peer([](Socket&) {
+    // Say nothing until the client has long given up.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+  ClientOptions options;
+  options.io_timeout_ms = 50;
+  auto t0 = std::chrono::steady_clock::now();
+  auto client = Client::Connect("127.0.0.1", peer.port(), options);
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kIoError);
+  EXPECT_NE(client.status().message().find("timed out"), std::string::npos);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(2'000));
+}
+
+TEST_F(NetFaultTest, ConnectRetriesCapOutAgainstDeadEndpoint) {
+  // Bind-then-close guarantees a port that refuses connections.
+  uint16_t dead_port;
+  {
+    Listener gone = std::move(Listener::Bind("127.0.0.1", 0, 1).value());
+    dead_port = gone.port();
+  }
+  uint64_t retries_before = CounterValue("net.client.retries");
+  ClientOptions options;
+  options.max_retries = 2;
+  options.retry_base_ms = 1;
+  options.retry_cap_ms = 8;
+  auto t0 = std::chrono::steady_clock::now();
+  auto client = Client::Connect("127.0.0.1", dead_port, options);
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kIoError);
+  // Exactly max_retries extra attempts, each with a capped backoff.
+  EXPECT_EQ(CounterValue("net.client.retries"), retries_before + 2);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST_F(NetFaultTest, InjectedTransportFaultTriggersReconnectAndRetry) {
+  auto db = MakeDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions options;
+  options.max_retries = 4;
+  options.retry_base_ms = 1;
+  auto client = Client::Connect("127.0.0.1", server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // One injected receive failure: whichever side trips it, the client
+  // observes a transport fault, reconnects, and the retry succeeds.
+  uint64_t retries_before = CounterValue("net.client.retries");
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .ConfigureFromSpec("net.recv=error:limit=1")
+                  .ok());
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_TRUE(client->connected());
+  EXPECT_GT(CounterValue("net.client.retries"), retries_before);
+
+  fault::FaultRegistry::Global().DisarmAll();
+  server.Shutdown();
+}
+
+TEST_F(NetFaultTest, WithoutRetriesInjectedFaultSurfaces) {
+  auto db = MakeDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .ConfigureFromSpec("net.recv=error:limit=1")
+                  .ok());
+  Status ping = client->Ping();
+  fault::FaultRegistry::Global().DisarmAll();
+  EXPECT_EQ(ping.code(), StatusCode::kIoError);
+  EXPECT_FALSE(client->connected());
+  server.Shutdown();
+}
+
+TEST_F(NetFaultTest, OverloadedServerShedsWithBusyAndRetryAfterHint) {
+  auto db = MakeDb();
+  ServerOptions server_options;
+  server_options.max_sessions = 1;
+  server_options.shed_grace_ms = 0;  // Shed immediately at the cap.
+  server_options.busy_retry_after_ms = 123;
+  Server server(db.get(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client first = std::move(
+      Client::Connect("127.0.0.1", server.port()).value());
+  ASSERT_TRUE(first.Ping().ok());
+
+  // A second client without retries is turned away with the hint.
+  uint64_t sheds_before = CounterValue("net.sheds");
+  uint64_t busy_before = CounterValue("net.client.busy");
+  auto second = Client::Connect("127.0.0.1", server.port());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(second.status().message().find("123"), std::string::npos);
+  EXPECT_GT(CounterValue("net.sheds"), sheds_before);
+  EXPECT_GT(CounterValue("net.client.busy"), busy_before);
+
+  // With retries, the same client wins a slot once the first disconnects.
+  std::thread release([&first] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    first.Close();
+  });
+  ClientOptions retrying;
+  retrying.max_retries = 8;
+  retrying.retry_base_ms = 40;
+  retrying.retry_cap_ms = 400;
+  auto third = Client::Connect("127.0.0.1", server.port(), retrying);
+  release.join();
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_TRUE(third->Ping().ok());
+  server.Shutdown();
+}
+
+TEST_F(NetFaultTest, SessionFailpointFailsSessionsWithErrorFrame) {
+  auto db = MakeDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .ConfigureFromSpec("server.session=error:limit=1")
+                  .ok());
+  auto doomed = Client::Connect("127.0.0.1", server.port());
+  fault::FaultRegistry::Global().DisarmAll();
+  // The injected session failure answers the handshake with an Error
+  // frame (IoError naming the site) and closes.
+  ASSERT_FALSE(doomed.ok());
+  EXPECT_EQ(doomed.status().code(), StatusCode::kIoError);
+  EXPECT_NE(doomed.status().message().find("server.session"),
+            std::string::npos);
+
+  // The next session is healthy.
+  auto fine = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(fine.ok()) << fine.status().ToString();
+  EXPECT_TRUE(fine->Ping().ok());
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mra

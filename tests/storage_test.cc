@@ -203,6 +203,86 @@ TEST(WalTest, MidFileCorruptionIsError) {
   EXPECT_EQ(ReadWal(path).status().code(), StatusCode::kCorruption);
 }
 
+TEST(WalTest, SalvageKeepsIntactPrefixOfCorruptLog) {
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_OK(writer);
+    ASSERT_OK(writer->Append("good-1", false));
+    ASSERT_OK(writer->Append("good-2", false));
+    ASSERT_OK(writer->Append("corrupted", false));
+    ASSERT_OK(writer->Append("collateral", false));
+  }
+  // Flip a payload byte of the THIRD record: mid-log corruption that also
+  // costs the structurally intact record behind it.
+  uint64_t third_off = 2 * (12 + 6);
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, static_cast<long>(third_off + 12), SEEK_SET);
+  std::fputc('X', f);
+  std::fclose(f);
+
+  ASSERT_EQ(ReadWal(path).status().code(), StatusCode::kCorruption);
+  auto read = ReadWal(path, Salvage::kPrefix);
+  ASSERT_OK(read);
+  EXPECT_TRUE(read->salvaged);
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[0], "good-1");
+  EXPECT_EQ(read->records[1], "good-2");
+  EXPECT_EQ(read->valid_bytes, third_off);
+  // The corrupt frame plus the intact-but-unreachable one behind it.
+  EXPECT_EQ(read->discarded_records, 2u);
+}
+
+TEST(WalTest, SalvageOfCleanLogIsPassThrough) {
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_OK(writer);
+    ASSERT_OK(writer->Append("only", false));
+  }
+  auto read = ReadWal(path, Salvage::kPrefix);
+  ASSERT_OK(read);
+  EXPECT_FALSE(read->salvaged);
+  EXPECT_EQ(read->discarded_records, 0u);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->valid_bytes, 12u + 4u);
+}
+
+TEST(WalTest, TruncateToOffsetMakesTornLogAppendable) {
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_OK(writer);
+    ASSERT_OK(writer->Append("keep", false));
+    ASSERT_OK(writer->Append("torn-away", false));
+  }
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 3);
+  auto read = ReadWal(path);
+  ASSERT_OK(read);
+  ASSERT_TRUE(read->torn_tail);
+  ASSERT_OK(TruncateWalToOffset(path, read->valid_bytes));
+  EXPECT_EQ(std::filesystem::file_size(path), read->valid_bytes);
+  // Appending after the truncation yields a clean two-record log — the
+  // fresh record lands where the torn frame used to start.
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_OK(writer);
+    ASSERT_OK(writer->Append("after-recovery", false));
+  }
+  auto reread = ReadWal(path);
+  ASSERT_OK(reread);
+  EXPECT_FALSE(reread->torn_tail);
+  ASSERT_EQ(reread->records.size(), 2u);
+  EXPECT_EQ(reread->records[0], "keep");
+  EXPECT_EQ(reread->records[1], "after-recovery");
+}
+
 TEST(WalTest, BadMagicIsError) {
   TempDir dir;
   std::string path = dir.file("wal.log");

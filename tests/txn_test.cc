@@ -344,6 +344,93 @@ TEST(DurabilityTest, CheckpointTruncatesWal) {
   EXPECT_EQ((*reopened)->catalog().GetRelation("r").value()->size(), 1u);
 }
 
+TEST(DurabilityTest, TornTailIsTruncatedSoTheLogStaysAppendable) {
+  TempDir dir;
+  std::string wal_path;
+  {
+    auto db = Database::Open({.directory = dir.path()});
+    ASSERT_OK(db);
+    wal_path = (*db)->wal_path();
+    ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+    auto txn = (*db)->Begin();
+    ASSERT_OK(txn);
+    ASSERT_OK((*txn)->Insert("r", Delta({{1, 1}})));
+    ASSERT_OK((*txn)->Commit());
+  }
+  auto size = std::filesystem::file_size(wal_path);
+  std::filesystem::resize_file(wal_path, size - 7);
+  {
+    // Recovery must truncate the torn frame before appending, otherwise
+    // this commit lands after garbage and is unreadable on reopen.
+    auto db = Database::Open({.directory = dir.path()});
+    ASSERT_OK(db);
+    EXPECT_LT(std::filesystem::file_size(wal_path), size - 7);
+    auto txn = (*db)->Begin();
+    ASSERT_OK(txn);
+    ASSERT_OK((*txn)->Insert("r", Delta({{2, 1}})));
+    ASSERT_OK((*txn)->Commit());
+  }
+  auto reopened = Database::Open({.directory = dir.path()});
+  ASSERT_OK(reopened);
+  const Relation* r = (*reopened)->catalog().GetRelation("r").value();
+  EXPECT_EQ(r->Multiplicity(IntTuple({2})), 1u);
+}
+
+TEST(DurabilityTest, SalvageModeRecoversPrefixOfCorruptWal) {
+  TempDir dir;
+  std::string wal_path;
+  uint64_t first_commit_end = 0;
+  {
+    auto db = Database::Open({.directory = dir.path()});
+    ASSERT_OK(db);
+    wal_path = (*db)->wal_path();
+    ASSERT_OK((*db)->CreateRelation(XSchema("r")));
+    auto txn = (*db)->Begin();
+    ASSERT_OK(txn);
+    ASSERT_OK((*txn)->Insert("r", Delta({{1, 1}})));
+    ASSERT_OK((*txn)->Commit());
+    first_commit_end = std::filesystem::file_size(wal_path);
+    auto txn2 = (*db)->Begin();
+    ASSERT_OK(txn2);
+    ASSERT_OK((*txn2)->Insert("r", Delta({{2, 1}})));
+    ASSERT_OK((*txn2)->Commit());
+  }
+  // Corrupt the SECOND commit record's payload, then append garbage
+  // behind it so the damage is mid-log corruption rather than a clean
+  // torn tail.
+  {
+    std::FILE* f = std::fopen(wal_path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(first_commit_end) + 12 + 2, SEEK_SET);
+    std::fputc('X', f);
+    std::fseek(f, 0, SEEK_END);
+    std::fwrite("garbage-trailer!", 1, 16, f);
+    std::fclose(f);
+  }
+  // Default recovery refuses the corrupt log.
+  EXPECT_EQ(Database::Open({.directory = dir.path()}).status().code(),
+            StatusCode::kCorruption);
+  // Salvage keeps the intact prefix and truncates, so new commits work.
+  auto db = Database::Open({.directory = dir.path(), .salvage_wal = true});
+  ASSERT_OK(db);
+  {
+    const Relation* r = (*db)->catalog().GetRelation("r").value();
+    EXPECT_EQ(r->Multiplicity(IntTuple({1})), 1u);
+    EXPECT_EQ(r->Multiplicity(IntTuple({2})), 0u);  // Lost to corruption.
+  }
+  EXPECT_EQ(std::filesystem::file_size(wal_path), first_commit_end);
+  auto txn = (*db)->Begin();
+  ASSERT_OK(txn);
+  ASSERT_OK((*txn)->Insert("r", Delta({{3, 1}})));
+  ASSERT_OK((*txn)->Commit());
+  db->reset();
+  auto reopened = Database::Open({.directory = dir.path()});
+  ASSERT_OK(reopened);
+  const Relation* r = (*reopened)->catalog().GetRelation("r").value();
+  EXPECT_EQ(r->Multiplicity(IntTuple({1})), 1u);
+  EXPECT_EQ(r->Multiplicity(IntTuple({3})), 1u);
+}
+
 TEST(DurabilityTest, SyncCommitsModeWorks) {
   TempDir dir;
   auto db = Database::Open({.directory = dir.path(), .sync_commits = true});
