@@ -40,7 +40,7 @@ inline Catalog MakeBeerCatalog(size_t num_beers, double duplicate_factor,
   options.num_breweries = num_breweries;
   options.num_beer_names = std::max<size_t>(num_beers / 4, 1);
   options.duplicate_factor = duplicate_factor;
-  util::BeerDb db = util::MakeBeerDb(options);
+  util::BeerDb db = Unwrap(util::MakeBeerDb(options));
   Catalog catalog;
   Unwrap(catalog.CreateRelation(db.beer.schema()));
   Unwrap(catalog.SetRelation("beer", std::move(db.beer)));
@@ -61,7 +61,7 @@ inline void AddIntRelation(Catalog* catalog, const std::string& name,
   options.duplicates = dup;
   options.max_multiplicity = max_mult;
   options.seed = seed;
-  Relation rel = util::MakeIntRelation(options);
+  Relation rel = Unwrap(util::MakeIntRelation(options));
   Unwrap(catalog->CreateRelation(rel.schema()));
   Unwrap(catalog->SetRelation(name, std::move(rel)));
 }

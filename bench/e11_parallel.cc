@@ -24,7 +24,7 @@ Relation BigInts(size_t distinct, uint64_t seed) {
   options.duplicates = util::DupDistribution::kUniform;
   options.max_multiplicity = 3;
   options.seed = seed;
-  return util::MakeIntRelation(options);
+  return Unwrap(util::MakeIntRelation(options));
 }
 
 // An expensive predicate so per-tuple work dominates partitioning cost.

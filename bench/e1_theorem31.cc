@@ -29,9 +29,9 @@ IntersectInputs MakeIntersectInputs(size_t n) {
   options.duplicates = util::DupDistribution::kUniform;
   options.max_multiplicity = 4;
   options.seed = 11;
-  Relation a = util::MakeIntRelation(options);
+  Relation a = Unwrap(util::MakeIntRelation(options));
   options.seed = 12;
-  Relation b = util::MakeIntRelation(options);
+  Relation b = Unwrap(util::MakeIntRelation(options));
   return {std::move(a), std::move(b)};
 }
 

@@ -32,7 +32,7 @@ Relation MakeBeer(size_t n, double dup) {
   options.num_beers = n;
   options.num_beer_names = n / 4;
   options.duplicate_factor = dup;
-  return util::MakeBeerDb(options).beer;
+  return Unwrap(util::MakeBeerDb(options)).beer;
 }
 
 void BagPipeline(const Relation& beer, Relation* out) {

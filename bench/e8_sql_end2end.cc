@@ -31,7 +31,7 @@ std::unique_ptr<Database> MakeDb(size_t num_beers) {
   options.num_beers = num_beers;
   options.num_beer_names = std::max<size_t>(num_beers / 4, 1);
   options.duplicate_factor = 2.0;
-  util::BeerDb data = util::MakeBeerDb(options);
+  util::BeerDb data = Unwrap(util::MakeBeerDb(options));
   Unwrap(db->CreateRelation(data.beer.schema()));
   Unwrap(db->CreateRelation(data.brewery.schema()));
   auto txn = Unwrap(db->Begin());

@@ -29,7 +29,7 @@ Relation MakeInput(size_t distinct, uint64_t max_mult, uint64_t seed) {
                                      : util::DupDistribution::kUniform;
   options.max_multiplicity = max_mult;
   options.seed = seed;
-  return util::MakeIntRelation(options);
+  return Unwrap(util::MakeIntRelation(options));
 }
 
 void BM_UniqueOverUnionDirect(benchmark::State& state) {

@@ -53,7 +53,7 @@ int main() {
   options.num_breweries = 400;
   options.num_beer_names = 25000;
   options.duplicate_factor = 2.0;
-  util::BeerDb db = util::MakeBeerDb(options);
+  util::BeerDb db = Check(util::MakeBeerDb(options));
   Check(catalog.CreateRelation(db.beer.schema()));
   Check(catalog.SetRelation("beer", std::move(db.beer)));
   Check(catalog.CreateRelation(db.brewery.schema()));

@@ -40,6 +40,8 @@ void Usage(const char* argv0) {
          "cap; negative queues forever (default 1000)\n"
       << "  --busy-retry-after-ms N retry-after hint in Busy frames "
          "(default 200)\n"
+      << "  --batch-size N          rows per executor NextBatch pull; 0 "
+         "selects row-at-a-time (default 1024, docs/EXECUTION.md)\n"
       << "  --salvage-wal           recover the intact prefix of a corrupt "
          "WAL instead of refusing to start\n"
       << "  --failpoints SPEC       arm fault-injection sites, e.g. "
@@ -81,6 +83,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--busy-retry-after-ms") {
       options.busy_retry_after_ms =
           static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--batch-size") {
+      options.interpreter.batch_size =
+          static_cast<size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--salvage-wal") {
       db_options.salvage_wal = true;
     } else if (arg == "--failpoints") {

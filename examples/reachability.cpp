@@ -1,13 +1,16 @@
 // The recursive extension of §5: transitive closure in XRA, on a flight
 // network.  Shows reachability queries composed with the ordinary algebra
 // operators (which destinations are reachable from AMS, which city pairs
-// need more than a direct flight), all through the textual language.
+// need more than a direct flight), all through the textual language —
+// driven through mra::session::Session, the same interface xra_repl uses
+// (swap EmbeddedSession::Open for RemoteSession::Connect and this program
+// runs against an mra_serverd instead).
 //
 //   $ ./build/examples/reachability
 
 #include <iostream>
 
-#include "mra/lang/interpreter.h"
+#include "mra/session/session.h"
 #include "mra/util/printer.h"
 
 namespace {
@@ -21,46 +24,46 @@ void Check(const Status& status) {
   }
 }
 
+// Runs one script through the session and prints each query result.
+void Run(session::Session& sess, std::string_view script) {
+  auto result = sess.Execute(script);
+  Check(result.status());
+  for (const session::QueryResult::Item& item : result->items) {
+    std::cout << item.query << "\n";
+    util::PrintRelation(std::cout, item.relation);
+    std::cout << "\n";
+  }
+}
+
 }  // namespace
 
 int main() {
-  auto db_or = Database::Open();
-  Check(db_or.status());
-  std::unique_ptr<Database> db = std::move(*db_or);
-  lang::Interpreter interp(db.get());
+  auto sess_or = session::EmbeddedSession::Open();
+  Check(sess_or.status());
+  session::Session& sess = **sess_or;
 
-  auto show = [](const std::string& query, const Relation& result) {
-    std::cout << query << "\n";
-    util::PrintRelation(std::cout, result);
-    std::cout << "\n";
-  };
-
-  Check(interp.ExecuteScript(
+  Run(sess,
       "create flight(origin: string, dest: string);"
       "insert(flight, {('AMS', 'LHR'), ('AMS', 'CDG'), ('LHR', 'JFK'),"
       "                ('CDG', 'JFK'), ('JFK', 'SFO'), ('SFO', 'NRT'),"
-      "                ('NRT', 'SYD'), ('SYD', 'SFO')});",
-      nullptr));
+      "                ('NRT', 'SYD'), ('SYD', 'SFO')});");
 
   std::cout << "Flight network (direct connections):\n\n";
-  Check(interp.ExecuteScript("? flight;", show));
+  Run(sess, "? flight;");
 
   std::cout << "All reachable city pairs — closure(flight) "
                "(§5's recursive extension; note the NRT/SYD/SFO cycle "
                "still terminates):\n\n";
-  Check(interp.ExecuteScript("? closure(flight);", show));
+  Run(sess, "? closure(flight);");
 
   std::cout << "Destinations reachable from AMS:\n\n";
-  Check(interp.ExecuteScript(
-      "? project([%2], select(%1 = 'AMS', closure(flight)));", show));
+  Run(sess, "? project([%2], select(%1 = 'AMS', closure(flight)));");
 
   std::cout << "Pairs needing a connection (reachable but not direct) — "
                "the closure composed with the multi-set difference:\n\n";
-  Check(interp.ExecuteScript(
-      "? diff(closure(flight), unique(flight));", show));
+  Run(sess, "? diff(closure(flight), unique(flight));");
 
   std::cout << "Cities on a cycle (they reach themselves):\n\n";
-  Check(interp.ExecuteScript(
-      "? project([%1], select(%1 = %2, closure(flight)));", show));
+  Run(sess, "? project([%1], select(%1 = %2, closure(flight)));");
   return 0;
 }

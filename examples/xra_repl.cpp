@@ -1,14 +1,20 @@
 // An interactive shell for XRA — the textual extended relational algebra,
 // after PRISMA/DB's primary database language.
 //
-//   $ ./build/examples/xra_repl [database-directory]
+//   $ ./build/examples/xra_repl [database-directory] [--batch-size N]
 //   $ ./build/examples/xra_repl --connect host:port
 //
 // With a directory argument the database is durable (WAL + checkpoint) and
 // your relations survive restarts.  With --connect the shell speaks the
 // wire protocol to a running mra_serverd instead of embedding an engine
 // (statements run server-side; \metrics shows the *server's* registry).
-// Statements end with ';'.  Examples:
+// --batch-size tunes the embedded executor's rows-per-NextBatch pull
+// (default 1024; 0 selects row-at-a-time execution — see
+// docs/EXECUTION.md); in --connect mode the server's own setting applies.
+//
+// Both modes drive one mra::session::Session, so the loop below never
+// branches on where the database lives.  Statements end with ';'.
+// Examples:
 //
 //   create beer(name: string, brewery: string, alcperc: real);
 //   insert(beer, {('pils', 'Guineken', 5.0) : 2, ('stout', 'Kirin', 4.2)});
@@ -18,13 +24,14 @@
 //
 // Meta commands: \h help, \d list relations, \q quit, \checkpoint.
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
-#include "mra/lang/interpreter.h"
-#include "mra/net/client.h"
 #include "mra/obs/metrics.h"
 #include "mra/obs/trace.h"
+#include "mra/session/session.h"
 #include "mra/util/printer.h"
 
 namespace {
@@ -59,6 +66,13 @@ Meta: \h help, \d relations, \e <E> explain plans, \ea <E> explain analyze,
       \metrics [json|reset] process metrics, \trace [on|off] spans,
       \checkpoint, \q quit.)";
 
+constexpr char kClientHelp[] =
+    R"(Connected to a remote server: statements run server-side (the
+statements are the same as the embedded shell's).
+
+Meta: \h help, \metrics server metrics (JSON), \ping liveness probe,
+      \shutdown drain and stop the server, \q quit.)";
+
 void PrintRelations(const Database& db) {
   for (const std::string& name : db.catalog().RelationNames()) {
     auto rel = db.catalog().GetRelation(name);
@@ -83,158 +97,95 @@ void PrintResult(const Relation& result) {
   util::PrintRelation(std::cout, result, print_options);
 }
 
-constexpr char kClientHelp[] =
-    R"(Connected to a remote server: statements run server-side (type \h
-locally known statements are the same as the embedded shell's).
-
-Meta: \h help, \metrics server metrics (JSON), \ping liveness probe,
-      \shutdown drain and stop the server, \q quit.)";
-
-// The --connect mode: the same line-buffered loop, but every statement
-// travels to a server as a Script frame and results come back as
-// serialized relations.
-int RunClientMode(const std::string& spec) {
-  auto host_port = net::ParseHostPort(spec);
-  if (!host_port.ok()) {
-    std::cerr << host_port.status().ToString() << "\n";
-    return 2;
+// Meta commands: the shared set works against any Session; embedded-only
+// (\d, \e, \ea, \trace, \checkpoint, local metrics) and remote-only
+// (\ping, \shutdown) commands reach through the concrete type's escape
+// hatch.  Returns false when the shell should exit; commands that exit
+// without the farewell banner set *exit_code (otherwise it stays -1).
+bool HandleMeta(const std::string& line, session::Session& sess,
+                session::EmbeddedSession* embedded,
+                session::RemoteSession* remote, int* exit_code) {
+  if (line == "\\q") {
+    return false;
   }
-  net::ClientOptions client_options;
-  client_options.client_name = "xra_repl";
-  auto client_or =
-      net::Client::Connect(host_port->first, host_port->second, client_options);
-  if (!client_or.ok()) {
-    std::cerr << "cannot connect to " << spec << ": "
-              << client_or.status().ToString() << "\n";
-    return 1;
+  if (line == "\\h") {
+    std::cout << (embedded ? kHelp : kClientHelp) << "\n";
+    return true;
   }
-  net::Client client = std::move(*client_or);
-  std::cout << "connected to " << client.server_banner() << " at " << spec
-            << " (protocol v" << client.server_version() << ").\n"
-            << "Type \\h for help, \\q to quit.\n";
-
-  std::string buffer;
-  std::string line;
-  while (true) {
-    std::cout << (buffer.empty() ? "xra> " : "...> ") << std::flush;
-    if (!std::getline(std::cin, line)) break;
-
-    if (buffer.empty() && !line.empty() && line[0] == '\\') {
-      if (line == "\\q") break;
-      if (line == "\\h") {
-        std::cout << kClientHelp << "\n";
-      } else if (line == "\\metrics") {
-        auto stats = client.ServerStats();
-        std::cout << (stats.ok() ? *stats : stats.status().ToString()) << "\n";
-      } else if (line == "\\ping") {
-        Status s = client.Ping();
-        std::cout << (s.ok() ? "pong.\n" : s.ToString() + "\n");
-      } else if (line == "\\shutdown") {
-        Status s = client.RequestShutdown();
-        if (!s.ok()) {
-          std::cout << s.ToString() << "\n";
-        } else {
-          std::cout << "server draining; bye.\n";
-          return 0;
-        }
-      } else {
-        std::cout << "unknown meta command in --connect mode (try \\h)\n";
-      }
-      continue;
-    }
-
-    buffer += line;
-    buffer += '\n';
-    auto trimmed = buffer.find_last_not_of(" \t\n");
-    if (trimmed == std::string::npos) {
-      buffer.clear();
-      continue;
-    }
-    if (buffer[trimmed] != ';') continue;
-
-    auto results = client.ExecuteScript(buffer);
-    if (results.ok()) {
-      for (const Relation& r : *results) PrintResult(r);
+  if (embedded != nullptr) {
+    if (line == "\\d") {
+      PrintRelations(embedded->database());
+    } else if (line.rfind("\\ea ", 0) == 0) {
+      auto explained = embedded->interpreter().ExplainAnalyze(line.substr(4));
+      std::cout << (explained.ok() ? *explained
+                                   : explained.status().ToString())
+                << "\n";
+    } else if (line.rfind("\\e ", 0) == 0) {
+      auto explained = embedded->interpreter().Explain(line.substr(3));
+      std::cout << (explained.ok() ? *explained
+                                   : explained.status().ToString())
+                << "\n";
+    } else if (line == "\\metrics") {
+      std::cout << obs::MetricsRegistry::Global().RenderText();
+    } else if (line == "\\metrics json") {
+      auto stats = sess.Stats();
+      std::cout << (stats.ok() ? *stats : stats.status().ToString()) << "\n";
+    } else if (line == "\\metrics reset") {
+      obs::MetricsRegistry::Global().Reset();
+      std::cout << "metrics reset.\n";
+    } else if (line == "\\trace on") {
+      obs::Tracer::Global().SetEnabled(true);
+      obs::Tracer::Global().Clear();
+      std::cout << "tracing on.\n";
+    } else if (line == "\\trace off") {
+      obs::Tracer::Global().SetEnabled(false);
+      std::cout << "tracing off.\n";
+    } else if (line == "\\trace") {
+      std::cout << obs::Tracer::Global().Render();
+    } else if (line == "\\checkpoint") {
+      Status s = embedded->database().Checkpoint();
+      std::cout << (s.ok() ? "checkpointed.\n" : s.ToString() + "\n");
     } else {
-      std::cout << results.status().ToString() << "\n";
-      if (!client.connected()) {
-        std::cout << "connection lost.\n";
-        return 1;
-      }
+      std::cout << "unknown meta command (try \\h)\n";
     }
-    buffer.clear();
+    return true;
   }
-  std::cout << "\nbye.\n";
-  return 0;
+  if (line == "\\metrics") {
+    auto stats = sess.Stats();
+    std::cout << (stats.ok() ? *stats : stats.status().ToString()) << "\n";
+  } else if (line == "\\ping") {
+    Status s = sess.Ping();
+    std::cout << (s.ok() ? "pong.\n" : s.ToString() + "\n");
+  } else if (line == "\\shutdown") {
+    Status s = remote->client().RequestShutdown();
+    if (!s.ok()) {
+      std::cout << s.ToString() << "\n";
+    } else {
+      std::cout << "server draining; bye.\n";
+      *exit_code = 0;
+      return false;
+    }
+  } else {
+    std::cout << "unknown meta command in --connect mode (try \\h)\n";
+  }
+  return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc > 2 && std::string(argv[1]) == "--connect") {
-    return RunClientMode(argv[2]);
-  }
-  DatabaseOptions options;
-  if (argc > 1) options.directory = argv[1];
-  auto db_or = Database::Open(options);
-  if (!db_or.ok()) {
-    std::cerr << "cannot open database: " << db_or.status().ToString()
-              << "\n";
-    return 1;
-  }
-  std::unique_ptr<Database> db = std::move(*db_or);
-  lang::Interpreter interp(db.get());
-
-  std::cout << "mra XRA shell — a multi-set extended relational algebra "
-               "(Grefen & de By, ICDE 1994).\n"
-            << (options.directory.empty()
-                    ? "In-memory database; pass a directory for durability.\n"
-                    : "Durable database at " + options.directory + ".\n")
-            << "Type \\h for help, \\q to quit.\n";
-
+// The line-buffered loop both modes share: accumulate until a trailing
+// ';', then Execute() the script through the session.
+int RunShell(session::Session& sess, session::EmbeddedSession* embedded,
+             session::RemoteSession* remote) {
   std::string buffer;
   std::string line;
+  int exit_code = -1;
   while (true) {
     std::cout << (buffer.empty() ? "xra> " : "...> ") << std::flush;
     if (!std::getline(std::cin, line)) break;
 
     if (buffer.empty() && !line.empty() && line[0] == '\\') {
-      if (line == "\\q") break;
-      if (line == "\\h") {
-        std::cout << kHelp << "\n";
-      } else if (line == "\\d") {
-        PrintRelations(*db);
-      } else if (line.rfind("\\ea ", 0) == 0) {
-        auto explained = interp.ExplainAnalyze(line.substr(4));
-        std::cout << (explained.ok() ? *explained
-                                     : explained.status().ToString())
-                  << "\n";
-      } else if (line.rfind("\\e ", 0) == 0) {
-        auto explained = interp.Explain(line.substr(3));
-        std::cout << (explained.ok() ? *explained
-                                     : explained.status().ToString())
-                  << "\n";
-      } else if (line == "\\metrics") {
-        std::cout << obs::MetricsRegistry::Global().RenderText();
-      } else if (line == "\\metrics json") {
-        std::cout << obs::MetricsRegistry::Global().RenderJson() << "\n";
-      } else if (line == "\\metrics reset") {
-        obs::MetricsRegistry::Global().Reset();
-        std::cout << "metrics reset.\n";
-      } else if (line == "\\trace on") {
-        obs::Tracer::Global().SetEnabled(true);
-        obs::Tracer::Global().Clear();
-        std::cout << "tracing on.\n";
-      } else if (line == "\\trace off") {
-        obs::Tracer::Global().SetEnabled(false);
-        std::cout << "tracing off.\n";
-      } else if (line == "\\trace") {
-        std::cout << obs::Tracer::Global().Render();
-      } else if (line == "\\checkpoint") {
-        Status s = db->Checkpoint();
-        std::cout << (s.ok() ? "checkpointed.\n" : s.ToString() + "\n");
-      } else {
-        std::cout << "unknown meta command (try \\h)\n";
+      if (!HandleMeta(line, sess, embedded, remote, &exit_code)) {
+        if (exit_code >= 0) return exit_code;
+        break;
       }
       continue;
     }
@@ -250,14 +201,77 @@ int main(int argc, char** argv) {
     }
     if (buffer[trimmed] != ';') continue;
 
-    Status s = interp.ExecuteScript(
-        buffer, [](const std::string& query, const Relation& result) {
-          std::cout << query << "\n";
-          PrintResult(result);
-        });
-    if (!s.ok()) std::cout << s.ToString() << "\n";
+    auto result = sess.Execute(buffer);
+    if (result.ok()) {
+      for (const session::QueryResult::Item& item : result->items) {
+        if (!item.query.empty()) std::cout << item.query << "\n";
+        PrintResult(item.relation);
+      }
+    } else {
+      std::cout << result.status().ToString() << "\n";
+      if (remote != nullptr && !remote->client().connected()) {
+        std::cout << "connection lost.\n";
+        return 1;
+      }
+    }
     buffer.clear();
   }
   std::cout << "\nbye.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect_spec;
+  std::string directory;
+  size_t batch_size = lang::InterpreterOptions{}.batch_size;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect_spec = argv[++i];
+    } else if (arg == "--batch-size" && i + 1 < argc) {
+      batch_size = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      directory = std::move(arg);
+    }
+  }
+
+  if (!connect_spec.empty()) {
+    net::ClientOptions client_options;
+    client_options.client_name = "xra_repl";
+    auto sess_or = session::RemoteSession::Connect(connect_spec,
+                                                   client_options);
+    if (!sess_or.ok()) {
+      std::cerr << "cannot connect to " << connect_spec << ": "
+                << sess_or.status().ToString() << "\n";
+      return 1;
+    }
+    session::RemoteSession& sess = **sess_or;
+    std::cout << "connected to " << sess.client().server_banner() << " at "
+              << connect_spec << " (protocol v"
+              << sess.client().server_version() << ").\n"
+              << "Type \\h for help, \\q to quit.\n";
+    return RunShell(sess, /*embedded=*/nullptr, &sess);
+  }
+
+  DatabaseOptions db_options;
+  db_options.directory = directory;
+  lang::InterpreterOptions interp_options;
+  interp_options.batch_size = batch_size;
+  auto sess_or = session::EmbeddedSession::Open(db_options, interp_options);
+  if (!sess_or.ok()) {
+    std::cerr << "cannot open database: " << sess_or.status().ToString()
+              << "\n";
+    return 1;
+  }
+  session::EmbeddedSession& sess = **sess_or;
+
+  std::cout << "mra XRA shell — a multi-set extended relational algebra "
+               "(Grefen & de By, ICDE 1994).\n"
+            << (db_options.directory.empty()
+                    ? "In-memory database; pass a directory for durability.\n"
+                    : "Durable database at " + db_options.directory + ".\n")
+            << "Type \\h for help, \\q to quit.\n";
+  return RunShell(sess, &sess, /*remote=*/nullptr);
 }

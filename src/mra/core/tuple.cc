@@ -24,6 +24,17 @@ Tuple Tuple::Project(const std::vector<size_t>& indexes) const {
   return Tuple(std::move(values));
 }
 
+void Tuple::AssignProjection(const Tuple& src,
+                             const std::vector<size_t>& indexes) {
+  MRA_CHECK(this != &src) << "AssignProjection must not alias its source";
+  values_.resize(indexes.size());
+  for (size_t k = 0; k < indexes.size(); ++k) {
+    MRA_CHECK_LT(indexes[k], src.values_.size())
+        << "tuple projection index out of range";
+    values_[k] = src.values_[indexes[k]];
+  }
+}
+
 bool Tuple::Equals(const Tuple& other) const {
   MRA_CHECK_EQ(values_.size(), other.values_.size())
       << "Tuple::Equals across schemas";

@@ -43,6 +43,15 @@ class Tuple {
   /// against the schema first via RelationSchema::Project.
   Tuple Project(const std::vector<size_t>& indexes) const;
 
+  /// Overwrites this tuple with π_indexes(src), reusing this tuple's value
+  /// storage (no allocation when the arity fits the existing capacity).
+  /// `src` must not alias this tuple — the executor projects through a
+  /// scratch tuple and swaps.
+  void AssignProjection(const Tuple& src, const std::vector<size_t>& indexes);
+
+  /// Exchanges value storage with `other` in O(1), allocation-free.
+  void Swap(Tuple& other) { values_.swap(other.values_); }
+
   /// Attribute-wise equality (Definition 2.4).  Only meaningful between
   /// tuples of one schema; arity mismatch is a checked error.
   bool Equals(const Tuple& other) const;

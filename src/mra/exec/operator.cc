@@ -47,6 +47,7 @@ void RenderAnalyzed(const PhysicalOperator& op, int depth, std::ostream& out) {
   }
   out << "  (actual rows=" << m.rows_emitted
       << " weighted=" << m.weighted_rows;
+  if (m.batches_emitted > 0) out << " batches=" << m.batches_emitted;
   if (m.distinct_rows > 0) out << " distinct=" << m.distinct_rows;
   if (m.peak_hash_entries > 0) out << " hash=" << m.peak_hash_entries;
   if (m.total_ns() > 0) {
@@ -101,6 +102,39 @@ Result<std::optional<Row>> PhysicalOperator::Next() {
   return row;
 }
 
+Status PhysicalOperator::NextBatch(RowBatch& out) {
+  MRA_CHECK(state_ == State::kOpen) << "NextBatch() before Open()";
+  out.Clear();
+  Status s;
+  if (timing_) {
+    uint64_t t0 = NowNs();
+    s = NextBatchImpl(out);
+    metrics_.next_ns += NowNs() - t0;
+  } else {
+    s = NextBatchImpl(out);
+  }
+  if (s.ok() && !out.empty()) {
+    ++metrics_.batches_emitted;
+    metrics_.rows_emitted += out.size();
+    uint64_t weighted = 0;
+    for (const Row& row : out) weighted += row.count;
+    metrics_.weighted_rows += weighted;
+  }
+  return s;
+}
+
+// Default adapter: any operator with only a row-at-a-time NextImpl still
+// serves batches.  Calls NextImpl directly (not the public Next()) so the
+// batch wrapper above is the single place metrics accrue.
+Status PhysicalOperator::NextBatchImpl(RowBatch& out) {
+  while (!out.full()) {
+    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, NextImpl());
+    if (!row.has_value()) break;
+    out.Add(*std::move(row));
+  }
+  return Status::OK();
+}
+
 void PhysicalOperator::Close() {
   if (state_ != State::kOpen) return;  // Contract: double/early Close is safe.
   if (timing_) {
@@ -125,13 +159,25 @@ std::string RenderPlanWithMetrics(const PhysicalOperator& root) {
   return out.str();
 }
 
-Result<Relation> ExecuteToRelation(PhysicalOperator& op) {
+Result<Relation> ExecuteToRelation(PhysicalOperator& op, size_t batch_size) {
   MRA_RETURN_IF_ERROR(op.Open());
   Relation out(op.schema());
-  while (true) {
-    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, op.Next());
-    if (!row.has_value()) break;
-    out.InsertUnchecked(std::move(row->tuple), row->count);
+  if (batch_size == 0) {
+    // Legacy row-at-a-time drain.
+    while (true) {
+      MRA_ASSIGN_OR_RETURN(std::optional<Row> row, op.Next());
+      if (!row.has_value()) break;
+      out.InsertUnchecked(std::move(row->tuple), row->count);
+    }
+  } else {
+    RowBatch batch(batch_size);
+    while (true) {
+      MRA_RETURN_IF_ERROR(op.NextBatch(batch));
+      if (batch.empty()) break;
+      for (Row& row : batch) {
+        out.InsertUnchecked(std::move(row.tuple), row.count);
+      }
+    }
   }
   op.Close();
   return out;
@@ -155,6 +201,18 @@ Result<std::optional<Row>> ScanOp::NextImpl() {
   return std::optional<Row>(std::move(row));
 }
 
+Status ScanOp::NextBatchImpl(RowBatch& out) {
+  for (; it_ != relation_->end() && !out.full(); ++it_) {
+    // Copy-assign into the recycled slot: the tuple's value storage from
+    // the previous batch is reused, so a steady-state scan never
+    // allocates.
+    Row& slot = out.AppendSlot();
+    slot.tuple = it_->first;
+    slot.count = it_->second;
+  }
+  return Status::OK();
+}
+
 void ScanOp::CloseImpl() {}
 
 const RelationSchema& ScanOp::schema() const { return relation_->schema(); }
@@ -175,6 +233,15 @@ Result<std::optional<Row>> ConstScanOp::NextImpl() {
   return std::optional<Row>(std::move(row));
 }
 
+Status ConstScanOp::NextBatchImpl(RowBatch& out) {
+  for (; it_ != relation_.end() && !out.full(); ++it_) {
+    Row& slot = out.AppendSlot();
+    slot.tuple = it_->first;
+    slot.count = it_->second;
+  }
+  return Status::OK();
+}
+
 void ConstScanOp::CloseImpl() {}
 
 const RelationSchema& ConstScanOp::schema() const {
@@ -186,7 +253,10 @@ const RelationSchema& ConstScanOp::schema() const {
 FilterOp::FilterOp(ExprPtr condition, PhysOpPtr child)
     : condition_(std::move(condition)), child_(std::move(child)) {}
 
-Status FilterOp::OpenImpl() { return child_->Open(); }
+Status FilterOp::OpenImpl() {
+  compiled_ = CompiledPredicate::Compile(condition_, child_->schema());
+  return child_->Open();
+}
 
 Result<std::optional<Row>> FilterOp::NextImpl() {
   while (true) {
@@ -194,6 +264,38 @@ Result<std::optional<Row>> FilterOp::NextImpl() {
     if (!row.has_value()) return row;
     MRA_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*condition_, row->tuple));
     if (keep) return row;
+  }
+}
+
+Status FilterOp::NextBatchImpl(RowBatch& out) {
+  // In-place: the child fills `out`, then surviving rows are compacted to
+  // the front by swap — O(1) per row, and every tuple buffer (kept or
+  // dropped) stays parked in the batch for the child's next refill.
+  // Pull again until at least one row survives (an empty output means end
+  // of stream) or the child drains.
+  while (true) {
+    MRA_RETURN_IF_ERROR(child_->NextBatch(out));
+    if (out.empty()) return Status::OK();
+    size_t kept = 0;
+    if (compiled_.has_value()) {
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (compiled_->Matches(out[i].tuple)) {
+          if (kept != i) std::swap(out[kept], out[i]);
+          ++kept;
+        }
+      }
+    } else {
+      for (size_t i = 0; i < out.size(); ++i) {
+        MRA_ASSIGN_OR_RETURN(bool keep,
+                             EvalPredicate(*condition_, out[i].tuple));
+        if (keep) {
+          if (kept != i) std::swap(out[kept], out[i]);
+          ++kept;
+        }
+      }
+    }
+    out.Truncate(kept);
+    if (kept > 0) return Status::OK();
   }
 }
 
@@ -207,13 +309,37 @@ ComputeOp::ComputeOp(std::vector<ExprPtr> exprs, RelationSchema output_schema,
       schema_(std::move(output_schema)),
       child_(std::move(child)) {}
 
-Status ComputeOp::OpenImpl() { return child_->Open(); }
+Status ComputeOp::OpenImpl() {
+  attr_only_ = AttrOnlyProjection(exprs_, child_->schema().arity());
+  return child_->Open();
+}
 
 Result<std::optional<Row>> ComputeOp::NextImpl() {
   MRA_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
   if (!row.has_value()) return row;
   MRA_ASSIGN_OR_RETURN(Tuple projected, ProjectTuple(exprs_, row->tuple));
   return std::optional<Row>(Row{std::move(projected), row->count});
+}
+
+Status ComputeOp::NextBatchImpl(RowBatch& out) {
+  // In-place: the child fills `out` and each row's tuple is rewritten
+  // where it sits (multiplicities pass through unchanged).
+  MRA_RETURN_IF_ERROR(child_->NextBatch(out));
+  if (attr_only_.has_value()) {
+    // Project into the recycled scratch tuple, then swap it in: the row's
+    // old buffer becomes the next scratch, so the loop is allocation-free
+    // once warm.
+    for (Row& row : out) {
+      scratch_.AssignProjection(row.tuple, *attr_only_);
+      row.tuple.Swap(scratch_);
+    }
+    return Status::OK();
+  }
+  for (Row& row : out) {
+    MRA_ASSIGN_OR_RETURN(Tuple projected, ProjectTuple(exprs_, row.tuple));
+    row.tuple = std::move(projected);
+  }
+  return Status::OK();
 }
 
 void ComputeOp::CloseImpl() { child_->Close(); }
@@ -265,6 +391,17 @@ Result<std::optional<Row>> UnionAllOp::NextImpl() {
     on_right_ = true;
   }
   return right_->Next();
+}
+
+Status UnionAllOp::NextBatchImpl(RowBatch& out) {
+  // ⊎ forwards whole child batches: per-tuple counts add up across
+  // batches by the bag-stream convention, so no merging is needed.
+  if (!on_right_) {
+    MRA_RETURN_IF_ERROR(left_->NextBatch(out));
+    if (!out.empty()) return Status::OK();
+    on_right_ = true;
+  }
+  return right_->NextBatch(out);
 }
 
 void UnionAllOp::CloseImpl() {

@@ -15,6 +15,16 @@
 // (obs::OperatorMetrics): emitted rows and multiplicity-weighted counts
 // always, wall time when obs::ExecTimingEnabled() (EXPLAIN ANALYZE flips
 // it around a run).
+//
+// Batch-at-a-time execution: NextBatch(RowBatch&) is the same wrapper
+// pattern over NextBatchImpl, which by default loops NextImpl so every
+// operator speaks both protocols.  Hot pipeline operators (scan, filter,
+// projection, union) override NextBatchImpl natively: one virtual call and
+// one metrics update amortize over up to a whole batch of rows, and
+// filter/projection compile their expressions once per Open instead of
+// tree-walking per row.  A drained batch (out.empty() after a successful
+// call) is end of stream.  The two protocols share cursor state — consume
+// an open operator through one of them, not both interleaved.
 
 #ifndef MRA_EXEC_OPERATOR_H_
 #define MRA_EXEC_OPERATOR_H_
@@ -28,6 +38,7 @@
 
 #include "mra/algebra/aggregate.h"
 #include "mra/core/relation.h"
+#include "mra/expr/eval.h"
 #include "mra/expr/scalar_expr.h"
 #include "mra/obs/op_metrics.h"
 
@@ -38,6 +49,74 @@ namespace exec {
 struct Row {
   Tuple tuple;
   uint64_t count = 0;
+};
+
+/// Default NextBatch capacity: large enough to amortize per-batch costs,
+/// small enough that a batch of (tuple, count) rows stays cache-resident.
+inline constexpr size_t kDefaultBatchSize = 1024;
+
+/// A reusable buffer of bag-stream rows.  The capacity is a fill target
+/// for producers (NextBatchImpl stops adding at capacity), not a hard
+/// allocation bound.
+///
+/// Row storage is recycled: Clear() resets the logical size without
+/// destroying the Row objects, so the tuples parked past size() keep
+/// their heap buffers.  Producers that refill through AppendSlot() and
+/// *assign* into the slot's tuple (ScanOp copy-assigns, ComputeOp swaps
+/// a scratch tuple in) reuse those buffers — a drain loop allocates for
+/// the first batch and then runs allocation-free, which is where most of
+/// the batch protocol's throughput comes from.  Consumers that move
+/// tuples out (materialisation) merely forfeit that reuse for the slots
+/// they stole from.
+class RowBatch {
+ public:
+  explicit RowBatch(size_t capacity = kDefaultBatchSize)
+      : capacity_(capacity == 0 ? kDefaultBatchSize : capacity) {
+    rows_.reserve(capacity_);
+  }
+
+  size_t capacity() const { return capacity_; }
+  void SetCapacity(size_t capacity) {
+    capacity_ = capacity == 0 ? kDefaultBatchSize : capacity;
+    rows_.reserve(capacity_);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+
+  /// Logical reset; parked rows keep their tuple storage for reuse.
+  void Clear() { size_ = 0; }
+
+  void Add(Row row) { AppendSlot() = std::move(row); }
+
+  /// Exposes the next slot (recycled when available) for in-place fill.
+  Row& AppendSlot() {
+    if (size_ == rows_.size()) rows_.emplace_back();
+    return rows_[size_++];
+  }
+
+  /// Shrinks the logical size to `n` rows (compaction); the dropped rows
+  /// stay parked with their storage.
+  void Truncate(size_t n) {
+    MRA_CHECK_LE(n, size_);
+    size_ = n;
+  }
+
+  Row& operator[](size_t i) { return rows_[i]; }
+  const Row& operator[](size_t i) const { return rows_[i]; }
+
+  std::vector<Row>::iterator begin() { return rows_.begin(); }
+  std::vector<Row>::iterator end() { return rows_.begin() + size_; }
+  std::vector<Row>::const_iterator begin() const { return rows_.begin(); }
+  std::vector<Row>::const_iterator end() const {
+    return rows_.begin() + size_;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t size_ = 0;
+  size_t capacity_;
 };
 
 /// Abstract physical operator.
@@ -52,6 +131,11 @@ class PhysicalOperator {
 
   /// Produces the next row, or nullopt at end of stream.
   Result<std::optional<Row>> Next();
+
+  /// Produces the next batch of rows: clears `out`, then fills it with up
+  /// to out.capacity() rows.  An empty `out` after a successful call is
+  /// end of stream.  Metrics update once per batch, not per row.
+  Status NextBatch(RowBatch& out);
 
   /// Releases resources.  Idempotent by contract — enforced here: a second
   /// Close, or a Close without Open, is a safe no-op.
@@ -82,6 +166,12 @@ class PhysicalOperator {
   virtual Result<std::optional<Row>> NextImpl() = 0;
   virtual void CloseImpl() = 0;
 
+  /// Fills `out` (already cleared) with up to out.capacity() rows; leave
+  /// it empty at end of stream.  The default adapter loops NextImpl, so
+  /// row-at-a-time operators work batched unchanged; hot operators
+  /// override it to amortize work across the whole batch.
+  virtual Status NextBatchImpl(RowBatch& out);
+
   obs::OperatorMetrics metrics_;
 
  private:
@@ -94,8 +184,12 @@ class PhysicalOperator {
 
 using PhysOpPtr = std::unique_ptr<PhysicalOperator>;
 
-/// Drains `op` (Open/Next*/Close) into a materialised relation.
-Result<Relation> ExecuteToRelation(PhysicalOperator& op);
+/// Drains `op` (Open/NextBatch*/Close) into a materialised relation,
+/// pulling `batch_size` rows per call; batch_size 0 selects the legacy
+/// row-at-a-time Next() loop (kept for differential testing and the
+/// tuple-vs-batch benchmarks).
+Result<Relation> ExecuteToRelation(PhysicalOperator& op,
+                                   size_t batch_size = kDefaultBatchSize);
 
 /// Renders the operator tree annotated per node with estimated vs. actual
 /// cardinalities, estimation error, wall time and hash-table peaks — the
@@ -115,6 +209,7 @@ class ScanOp final : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Result<std::optional<Row>> NextImpl() override;
+  Status NextBatchImpl(RowBatch& out) override;
   void CloseImpl() override;
 
  private:
@@ -133,6 +228,7 @@ class ConstScanOp final : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Result<std::optional<Row>> NextImpl() override;
+  Status NextBatchImpl(RowBatch& out) override;
   void CloseImpl() override;
 
  private:
@@ -156,11 +252,14 @@ class FilterOp final : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Result<std::optional<Row>> NextImpl() override;
+  Status NextBatchImpl(RowBatch& out) override;
   void CloseImpl() override;
 
  private:
   ExprPtr condition_;
   PhysOpPtr child_;
+  /// Compiled once per Open when the condition fits the fast path.
+  std::optional<CompiledPredicate> compiled_;
 };
 
 /// π_α — extended projection; multiplicities pass through unchanged.
@@ -178,12 +277,18 @@ class ComputeOp final : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Result<std::optional<Row>> NextImpl() override;
+  Status NextBatchImpl(RowBatch& out) override;
   void CloseImpl() override;
 
  private:
   std::vector<ExprPtr> exprs_;
   RelationSchema schema_;
   PhysOpPtr child_;
+  /// Attribute indexes when every expression is a plain %i reference
+  /// (resolved once per Open): projection becomes a storage-recycling
+  /// in-place rewrite through `scratch_`.
+  std::optional<std::vector<size_t>> attr_only_;
+  Tuple scratch_;
 };
 
 /// δ — streaming duplicate elimination: first occurrence passes with
@@ -225,6 +330,7 @@ class UnionAllOp final : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Result<std::optional<Row>> NextImpl() override;
+  Status NextBatchImpl(RowBatch& out) override;
   void CloseImpl() override;
 
  private:

@@ -262,4 +262,66 @@ Result<Tuple> ProjectTuple(const std::vector<ExprPtr>& exprs,
   return Tuple(std::move(values));
 }
 
+std::optional<CompiledPredicate> CompiledPredicate::Compile(
+    const ExprPtr& pred, const RelationSchema& input) {
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(pred, &conjuncts);
+  std::vector<Term> terms;
+  terms.reserve(conjuncts.size());
+  for (const ExprPtr& c : conjuncts) {
+    // A literal `true` conjunct (CombineConjuncts' empty case) is vacuous.
+    if (c->kind() == ExprKind::kLiteral) {
+      const Value& v = static_cast<const LiteralExpr&>(*c).value();
+      if (v.kind() == TypeKind::kBool && v.bool_value()) continue;
+      return std::nullopt;
+    }
+    if (c->kind() != ExprKind::kBinary) return std::nullopt;
+    const auto& b = static_cast<const BinaryExpr&>(*c);
+    if (!IsComparison(b.op())) return std::nullopt;
+    const ScalarExpr* attr_side = nullptr;
+    const ScalarExpr* lit_side = nullptr;
+    BinaryOp op = b.op();
+    if (b.lhs()->kind() == ExprKind::kAttrRef &&
+        b.rhs()->kind() == ExprKind::kLiteral) {
+      attr_side = b.lhs().get();
+      lit_side = b.rhs().get();
+    } else if (b.lhs()->kind() == ExprKind::kLiteral &&
+               b.rhs()->kind() == ExprKind::kAttrRef) {
+      attr_side = b.rhs().get();
+      lit_side = b.lhs().get();
+      // Mirror the comparison so the attribute stays on the left.
+      switch (op) {
+        case BinaryOp::kLt: op = BinaryOp::kGt; break;
+        case BinaryOp::kLe: op = BinaryOp::kGe; break;
+        case BinaryOp::kGt: op = BinaryOp::kLt; break;
+        case BinaryOp::kGe: op = BinaryOp::kLe; break;
+        default: break;  // = and <> are symmetric.
+      }
+    } else {
+      return std::nullopt;
+    }
+    size_t index = static_cast<const AttrRefExpr&>(*attr_side).index();
+    const Value& literal = static_cast<const LiteralExpr&>(*lit_side).value();
+    if (index >= input.arity()) return std::nullopt;
+    // Same-domain only: a mixed numeric comparison (int attr vs decimal
+    // literal) promotes before comparing, which Value::Compare does not.
+    if (input.TypeOf(index) != literal.type()) return std::nullopt;
+    terms.push_back(Term{index, op, literal});
+  }
+  return CompiledPredicate(std::move(terms));
+}
+
+std::optional<std::vector<size_t>> AttrOnlyProjection(
+    const std::vector<ExprPtr>& exprs, size_t input_arity) {
+  std::vector<size_t> indexes;
+  indexes.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) {
+    if (e->kind() != ExprKind::kAttrRef) return std::nullopt;
+    size_t index = static_cast<const AttrRefExpr&>(*e).index();
+    if (index >= input_arity) return std::nullopt;
+    indexes.push_back(index);
+  }
+  return indexes;
+}
+
 }  // namespace mra

@@ -1,8 +1,11 @@
-// Evaluation conveniences layered over ScalarExpr::Eval.
+// Evaluation conveniences layered over ScalarExpr::Eval, plus the
+// batch-amortized fast paths the chunked executor compiles once per
+// operator and applies per row without re-walking the expression tree.
 
 #ifndef MRA_EXPR_EVAL_H_
 #define MRA_EXPR_EVAL_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +33,64 @@ Result<RelationSchema> InferProjectionSchema(
 /// (Definition 3.4, square-bracket tuple construction).
 Result<Tuple> ProjectTuple(const std::vector<ExprPtr>& exprs,
                            const Tuple& tuple);
+
+/// A selection condition pre-lowered to a flat list of `%i op literal`
+/// comparisons, for the batch executor's hot loop.  Compile() accepts
+/// conjunctions of comparisons between an attribute reference and a
+/// literal of the *same* domain (so Value::Compare applies directly, with
+/// no numeric promotion and no per-row type dispatch); anything else —
+/// disjunctions, attr-attr comparisons, arithmetic, mixed-domain
+/// comparisons needing promotion — declines, and the caller falls back to
+/// EvalPredicate on the full tree.  Matching a compiled predicate cannot
+/// fail: every condition Compile() accepts is total over schema-conformant
+/// tuples, which is what lets the batch loop skip Result plumbing per row.
+class CompiledPredicate {
+ public:
+  /// Lowers `pred` (type-checked against `input`) into comparison terms;
+  /// nullopt when the shape or domains do not fit the fast path.
+  static std::optional<CompiledPredicate> Compile(const ExprPtr& pred,
+                                                  const RelationSchema& input);
+
+  /// True when the tuple satisfies every term.
+  bool Matches(const Tuple& tuple) const {
+    for (const Term& term : terms_) {
+      int c = tuple.at(term.attr).Compare(term.literal);
+      bool ok;
+      switch (term.op) {
+        case BinaryOp::kEq: ok = c == 0; break;
+        case BinaryOp::kNe: ok = c != 0; break;
+        case BinaryOp::kLt: ok = c < 0; break;
+        case BinaryOp::kLe: ok = c <= 0; break;
+        case BinaryOp::kGt: ok = c > 0; break;
+        case BinaryOp::kGe: ok = c >= 0; break;
+        default: ok = false; break;
+      }
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  size_t num_terms() const { return terms_.size(); }
+
+ private:
+  struct Term {
+    size_t attr;
+    BinaryOp op;  // A comparison; the literal is the right operand.
+    Value literal;
+  };
+
+  explicit CompiledPredicate(std::vector<Term> terms)
+      : terms_(std::move(terms)) {}
+
+  std::vector<Term> terms_;
+};
+
+/// The attribute indexes of a projection whose expressions are all plain
+/// %i references (so applying it is Tuple::Project — no evaluation, no
+/// failure path); nullopt as soon as any expression computes.  Indexes are
+/// validated against `input_arity`.
+std::optional<std::vector<size_t>> AttrOnlyProjection(
+    const std::vector<ExprPtr>& exprs, size_t input_arity);
 
 }  // namespace mra
 

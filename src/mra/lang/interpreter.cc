@@ -64,7 +64,7 @@ Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
   uint64_t t0 = NowMicros();
   Result<Relation> result = [&]() -> Result<Relation> {
     obs::ScopedSpan span("execute");
-    return exec::ExecuteToRelation(*root);
+    return exec::ExecuteToRelation(*root, options_.batch_size);
   }();
   last_query_stats_ = QueryStats{};
   last_query_stats_.exec_us = NowMicros() - t0;
@@ -244,7 +244,7 @@ Result<std::string> Interpreter::ExplainExpr(const RelExpr& expr,
   uint64_t t0 = NowMicros();
   Result<Relation> result = [&]() -> Result<Relation> {
     obs::ScopedSpan span("execute");
-    return exec::ExecuteToRelation(*physical);
+    return exec::ExecuteToRelation(*physical, options_.batch_size);
   }();
   uint64_t exec_us = NowMicros() - t0;
   MRA_RETURN_IF_ERROR(result.status());

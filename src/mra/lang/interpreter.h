@@ -35,6 +35,10 @@ struct InterpreterOptions {
   /// the network server turns it on so concurrent sessions queue their
   /// brackets rather than bounce.
   bool block_on_txn_slot = false;
+  /// Rows pulled per NextBatch() call when draining a physical plan
+  /// (exec::kDefaultBatchSize); 0 selects the legacy row-at-a-time Next()
+  /// loop.  Only meaningful with use_physical_exec.
+  size_t batch_size = 1024;
 };
 
 /// Execution statistics of the most recent physically-executed query,

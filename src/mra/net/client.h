@@ -9,11 +9,13 @@
 // connection died.  Retriable means a transport fault (IoError: refused,
 // reset, timed out, torn frame) or the server shedding load (a Busy frame,
 // surfaced as Unavailable with a retry-after hint that floors the
-// backoff).  Protocol errors — bad CRC, version mismatch, malformed
-// payloads (Corruption / InvalidArgument) — and server-side evaluation
-// errors are fatal: retrying cannot fix them and mutating requests
-// (Script, Shutdown) are never retried because the first attempt may have
-// executed.
+// backoff).  A protocol-version mismatch also surfaces as Unavailable
+// (this server cannot serve the client's dialect); with retries off — the
+// default — it reaches the caller directly.  Protocol errors — bad CRC,
+// malformed payloads (Corruption / InvalidArgument) — and server-side
+// evaluation errors are fatal: retrying cannot fix them and mutating
+// requests (Script, Shutdown) are never retried because the first attempt
+// may have executed.
 
 #ifndef MRA_NET_CLIENT_H_
 #define MRA_NET_CLIENT_H_

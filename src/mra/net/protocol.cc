@@ -1,5 +1,8 @@
 #include "mra/net/protocol.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "mra/net/socket.h"
 #include "mra/storage/serializer.h"
 
@@ -186,7 +189,26 @@ Status DecodeError(std::string_view payload) {
 std::string EncodeResultSet(const std::vector<Relation>& relations) {
   storage::Encoder enc;
   enc.PutU32(static_cast<uint32_t>(relations.size()));
-  for (const Relation& r : relations) enc.PutRelation(r);
+  for (const Relation& r : relations) {
+    enc.PutSchema(r.schema());
+    // Chunked row encoding (protocol v2): the sorted entries stream out in
+    // batches of kResultSetChunkRows, each prefixed with its row count, so
+    // a streaming server can flush per executor RowBatch without knowing
+    // the total cardinality up front.  SortedEntries keeps the bytes
+    // deterministic for a given relation.
+    const std::vector<std::pair<Tuple, uint64_t>> entries = r.SortedEntries();
+    for (size_t begin = 0; begin < entries.size();
+         begin += kResultSetChunkRows) {
+      size_t end = std::min<size_t>(begin + kResultSetChunkRows,
+                                    entries.size());
+      enc.PutU32(static_cast<uint32_t>(end - begin));
+      for (size_t j = begin; j < end; ++j) {
+        enc.PutTuple(entries[j].first);
+        enc.PutU64(entries[j].second);
+      }
+    }
+    enc.PutU32(0);  // end-of-relation terminator
+  }
   return enc.TakeBuffer();
 }
 
@@ -199,7 +221,22 @@ Result<std::vector<Relation>> DecodeResultSet(std::string_view payload) {
   std::vector<Relation> out;
   out.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    MRA_ASSIGN_OR_RETURN(Relation r, dec.GetRelation());
+    MRA_ASSIGN_OR_RETURN(RelationSchema schema, dec.GetSchema());
+    Relation r(std::move(schema));
+    while (true) {
+      MRA_ASSIGN_OR_RETURN(uint32_t k, dec.GetU32());
+      if (k == 0) break;
+      // A corrupt, huge k fails fast at the first short GetTuple — every
+      // row costs at least one byte, so no allocation happens up front.
+      for (uint32_t j = 0; j < k; ++j) {
+        MRA_ASSIGN_OR_RETURN(Tuple t, dec.GetTuple());
+        MRA_ASSIGN_OR_RETURN(uint64_t count, dec.GetU64());
+        if (count == 0) {
+          return Status::Corruption("zero multiplicity in ResultSet chunk");
+        }
+        MRA_RETURN_IF_ERROR(r.Insert(std::move(t), count));
+      }
+    }
     out.push_back(std::move(r));
   }
   if (!dec.AtEnd()) {

@@ -15,13 +15,23 @@
 //
 //   Hello      u32 protocol_version, string peer_name.  First frame in each
 //              direction; the server answers with its own Hello (version +
-//              banner) or an Error on version mismatch.
+//              banner), or an Error carrying Unavailable on version
+//              mismatch (the server names both versions so an old client's
+//              operator knows what to upgrade).
 //   Query      string: one XRA relation expression.  Answered with a
 //              ResultSet of exactly one relation, or Error.
 //   Script     string: a whole XRA script (statements, transactions, DDL).
 //              Answered with a ResultSet holding every `? E` result, or
 //              Error (the failing bracket rolled back server-side).
-//   ResultSet  (server) u32 n, then n relations (storage::PutRelation).
+//   ResultSet  (server) u32 n, then n relations, each encoded batch-wise:
+//              the schema (storage::PutSchema) followed by row chunks
+//              [u32 k > 0, then k × (tuple, u64 count)] and a final u32 0
+//              terminator.  The server fills each chunk straight from one
+//              executor RowBatch, so the wire format mirrors the engine's
+//              batch-at-a-time execution (see docs/EXECUTION.md).  Protocol
+//              version 1 encoded a relation as a distinct-count header plus
+//              that many rows; version 2 is not decodable by v1 peers, hence
+//              the version bump.
 //   Error      (server) u8 StatusCode, string message.
 //   Stats      empty request; the server answers with a Stats frame whose
 //              payload is the metrics registry's JSON export.
@@ -50,7 +60,8 @@ namespace net {
 class Socket;
 
 constexpr uint32_t kMagic = 0x3141524du;  // "MRA1" when read little-endian.
-constexpr uint32_t kProtocolVersion = 1;
+/// Version 2 introduced the chunked (batch-serialized) ResultSet encoding.
+constexpr uint32_t kProtocolVersion = 2;
 constexpr size_t kFrameHeaderBytes = 13;  // magic + kind + len + crc.
 
 enum class FrameKind : uint8_t {
@@ -128,6 +139,11 @@ Result<Hello> DecodeHello(std::string_view payload);
 std::string EncodeError(const Status& status);
 /// Returns the transported (non-OK) status; Corruption on a bad payload.
 Status DecodeError(std::string_view payload);
+
+/// Rows per ResultSet chunk.  Chunks are an encoding detail — any k > 0 per
+/// chunk decodes identically — but the encoder emits at most this many rows
+/// per chunk, matching the executor's default batch size.
+constexpr uint32_t kResultSetChunkRows = 1024;
 
 std::string EncodeResultSet(const std::vector<Relation>& relations);
 Result<std::vector<Relation>> DecodeResultSet(std::string_view payload);

@@ -197,7 +197,10 @@ bool Server::HandleFrame(lang::Interpreter& interp, const Frame& request,
         response = EncodeError(hello.status());
         close = true;
       } else if (hello->version != kProtocolVersion) {
-        response = EncodeError(Status::InvalidArgument(
+        // Unavailable, not InvalidArgument: the request is well-formed,
+        // this server just cannot serve that dialect — the peer should
+        // upgrade (or find a server that speaks its version).
+        response = EncodeError(Status::Unavailable(
             "protocol version " + std::to_string(hello->version) +
             " unsupported (server speaks " +
             std::to_string(kProtocolVersion) + ")"));

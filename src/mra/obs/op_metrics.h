@@ -19,8 +19,11 @@ namespace mra {
 namespace obs {
 
 struct OperatorMetrics {
-  /// Rows emitted by Next() (bag-stream rows, not tuples).
+  /// Rows emitted by Next() / NextBatch() (bag-stream rows, not tuples).
   uint64_t rows_emitted = 0;
+  /// Non-empty batches emitted by NextBatch(); 0 under pure tuple-at-a-time
+  /// execution.  rows_emitted / batches_emitted is the realized batch fill.
+  uint64_t batches_emitted = 0;
   /// Multiplicity-weighted tuple count: the sum of the emitted counts —
   /// the cardinality of the multi-set the stream denotes.
   uint64_t weighted_rows = 0;

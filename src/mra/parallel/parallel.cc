@@ -147,7 +147,8 @@ Result<Relation> ParallelEquiJoin(const std::vector<size_t>& left_keys,
         left_keys, right_keys, residual_or_null,
         std::make_unique<exec::ScanOp>(&left_fragments[i]),
         std::make_unique<exec::ScanOp>(&right_fragments[i]));
-    MRA_ASSIGN_OR_RETURN(results[i], exec::ExecuteToRelation(join));
+    MRA_ASSIGN_OR_RETURN(results[i],
+                         exec::ExecuteToRelation(join, options.batch_size));
     return Status::OK();
   }));
   return UnionAll(std::move(results), joined);

@@ -38,6 +38,9 @@ namespace parallel {
 struct ParallelOptions {
   /// Worker threads (and fragments).  0 means hardware concurrency.
   size_t num_threads = 0;
+  /// Rows per NextBatch() pull when a worker drains a physical operator
+  /// (the per-fragment hash joins); 0 falls back to row-at-a-time.
+  size_t batch_size = 1024;
 };
 
 /// Splits `input` into `fragments` disjoint relations: tuple x goes to

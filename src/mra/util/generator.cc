@@ -17,7 +17,25 @@ RelationSchema BrewerySchema() {
                                     {"country", Type::String()}});
 }
 
-BeerDb MakeBeerDb(const BeerDbOptions& options) {
+Result<BeerDb> MakeBeerDb(const BeerDbOptions& options) {
+  // Each rejected shape would otherwise feed an empty range to a random
+  // distribution below — undefined behavior, not an empty database.
+  if (options.num_breweries == 0) {
+    return Status::InvalidArgument("BeerDbOptions.num_breweries must be > 0");
+  }
+  if (options.num_beer_names == 0) {
+    return Status::InvalidArgument(
+        "BeerDbOptions.num_beer_names must be > 0");
+  }
+  if (options.countries.empty()) {
+    return Status::InvalidArgument(
+        "BeerDbOptions.countries must not be empty");
+  }
+  if (options.duplicate_factor < 1.0) {
+    return Status::InvalidArgument(
+        "BeerDbOptions.duplicate_factor must be >= 1 (it is a mean "
+        "multiplicity)");
+  }
   std::mt19937_64 rng(options.seed);
   BeerDb db{Relation(BeerSchema()), Relation(BrewerySchema())};
 
@@ -60,7 +78,20 @@ BeerDb MakeBeerDb(const BeerDbOptions& options) {
   return db;
 }
 
-Relation MakeIntRelation(const IntRelationOptions& options) {
+Result<Relation> MakeIntRelation(const IntRelationOptions& options) {
+  if (options.arity == 0) {
+    return Status::InvalidArgument("IntRelationOptions.arity must be > 0");
+  }
+  if (options.value_range <= 0) {
+    return Status::InvalidArgument(
+        "IntRelationOptions.value_range must be > 0");
+  }
+  if (options.max_multiplicity == 0 &&
+      options.duplicates != DupDistribution::kNone) {
+    return Status::InvalidArgument(
+        "IntRelationOptions.max_multiplicity must be > 0 when a duplicate "
+        "distribution draws from it");
+  }
   std::mt19937_64 rng(options.seed);
   std::vector<Attribute> attrs;
   attrs.reserve(options.arity);
@@ -71,8 +102,6 @@ Relation MakeIntRelation(const IntRelationOptions& options) {
 
   std::uniform_int_distribution<int64_t> value_dist(0,
                                                     options.value_range - 1);
-  std::uniform_int_distribution<uint64_t> uniform_dup(1,
-                                                      options.max_multiplicity);
   for (size_t i = 0; i < options.distinct_tuples; ++i) {
     std::vector<Value> values;
     values.reserve(options.arity);
@@ -84,7 +113,8 @@ Relation MakeIntRelation(const IntRelationOptions& options) {
       case DupDistribution::kNone:
         break;
       case DupDistribution::kUniform:
-        count = uniform_dup(rng);
+        count = std::uniform_int_distribution<uint64_t>(
+            1, options.max_multiplicity)(rng);
         break;
       case DupDistribution::kZipf: {
         // Inverse-power sampling: multiplicity ~ 1/u, capped.

@@ -5,6 +5,11 @@
 // and country skew; MakeIntRelation builds generic integer relations with
 // uniform or zipfian multiplicity distributions for the operator-level
 // benchmarks.  All generators are deterministically seeded.
+//
+// Both entry points follow the repo-wide Status/Result convention (see
+// DESIGN.md): malformed options — zero counts, empty domains, a
+// sub-unity duplicate factor — come back as InvalidArgument instead of
+// invoking distributions on empty ranges (undefined behavior).
 
 #ifndef MRA_UTIL_GENERATOR_H_
 #define MRA_UTIL_GENERATOR_H_
@@ -14,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "mra/common/result.h"
 #include "mra/core/relation.h"
 
 namespace mra {
@@ -45,8 +51,10 @@ struct BeerDb {
   Relation brewery;
 };
 
-/// Generates a scaled beer database.
-BeerDb MakeBeerDb(const BeerDbOptions& options);
+/// Generates a scaled beer database.  InvalidArgument when the options
+/// name an empty domain: num_breweries, num_beer_names or countries of
+/// zero size, or duplicate_factor < 1.
+Result<BeerDb> MakeBeerDb(const BeerDbOptions& options);
 
 /// Multiplicity distribution for generic relations.
 enum class DupDistribution {
@@ -69,7 +77,10 @@ struct IntRelationOptions {
 };
 
 /// Generates an integer relation with the requested multiplicity shape.
-Relation MakeIntRelation(const IntRelationOptions& options);
+/// InvalidArgument on an empty domain: arity or value_range of zero, or
+/// max_multiplicity of zero with a duplicate distribution that draws
+/// from it.
+Result<Relation> MakeIntRelation(const IntRelationOptions& options);
 
 }  // namespace util
 }  // namespace mra

@@ -1,12 +1,16 @@
 // Wire-protocol unit tests: frame encode/decode round trips, CRC and
 // framing violations, size limits, and the payload codecs (Hello, Error,
-// ResultSet) — all on in-memory buffers, no sockets.
+// chunked ResultSet) on in-memory buffers — plus one loopback handshake
+// test pinning the version-mismatch contract (Unavailable, both versions
+// named).
 
 #include "mra/net/protocol.h"
 
 #include <gtest/gtest.h>
 
 #include "mra/net/client.h"
+#include "mra/net/server.h"
+#include "mra/net/socket.h"
 #include "mra/storage/serializer.h"
 
 namespace mra {
@@ -166,6 +170,93 @@ TEST(ResultSetCodec, RefusesGarbage) {
   std::string payload = EncodeResultSet({SmallRelation()});
   EXPECT_FALSE(DecodeResultSet(payload.substr(0, payload.size() - 1)).ok());
   EXPECT_FALSE(DecodeResultSet(payload + "x").ok());
+}
+
+TEST(ResultSetCodec, RoundTripsAcrossChunkBoundaries) {
+  // Enough distinct rows for three chunks (two full, one partial) — the
+  // decoder must reassemble them into one relation, multiplicities intact.
+  Relation big(RelationSchema("nums", {Attribute{"n", Type::Int()}}));
+  const uint64_t kRows = 2 * kResultSetChunkRows + 451;
+  for (uint64_t i = 0; i < kRows; ++i) {
+    ASSERT_TRUE(
+        big.Insert(Tuple({Value::Int(static_cast<int64_t>(i))}), i % 3 + 1)
+            .ok());
+  }
+  auto decoded = DecodeResultSet(EncodeResultSet({big}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0], big);
+}
+
+TEST(ResultSetCodec, ExactChunkMultipleRoundTrips) {
+  // Edge case: the last chunk is exactly full, so only the 0-terminator
+  // follows it.
+  Relation big(RelationSchema("nums", {Attribute{"n", Type::Int()}}));
+  for (uint64_t i = 0; i < kResultSetChunkRows; ++i) {
+    ASSERT_TRUE(
+        big.Insert(Tuple({Value::Int(static_cast<int64_t>(i))}), 1).ok());
+  }
+  auto decoded = DecodeResultSet(EncodeResultSet({big}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ((*decoded)[0], big);
+}
+
+TEST(ResultSetCodec, RefusesZeroMultiplicityInChunk) {
+  Relation beer = SmallRelation();
+  storage::Encoder enc;
+  enc.PutU32(1);
+  enc.PutSchema(beer.schema());
+  enc.PutU32(1);  // One-row chunk...
+  enc.PutTuple(Tuple({Value::Str("pils"), Value::Real(5.0)}));
+  enc.PutU64(0);  // ...carrying a nonsense multiplicity.
+  enc.PutU32(0);
+  auto decoded = DecodeResultSet(enc.buffer());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ResultSetCodec, ImplausibleChunkCountFailsFast) {
+  // A corrupt chunk header announcing 4 billion rows must fail at the
+  // first missing tuple, not allocate or spin.
+  Relation beer = SmallRelation();
+  storage::Encoder enc;
+  enc.PutU32(1);
+  enc.PutSchema(beer.schema());
+  enc.PutU32(0xfffffff0u);
+  auto decoded = DecodeResultSet(enc.buffer());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ResultSetCodec, MissingTerminatorIsRefused) {
+  // Strip the trailing end-of-relation terminator (the final u32 0): the
+  // decoder must report truncation instead of returning a relation.
+  std::string payload = EncodeResultSet({SmallRelation()});
+  EXPECT_FALSE(DecodeResultSet(payload.substr(0, payload.size() - 4)).ok());
+}
+
+TEST(Handshake, VersionMismatchIsUnavailableAndNamesBothVersions) {
+  auto db = std::move(Database::Open({}).value());
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sock = Socket::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(WriteFrame(*sock, FrameKind::kHello,
+                         EncodeHello(kProtocolVersion - 1, "v1-client"))
+                  .ok());
+  auto response = ReadFrame(*sock, WireLimits{}, 5000);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->kind, FrameKind::kError);
+  Status error = DecodeError(response->payload);
+  EXPECT_EQ(error.code(), StatusCode::kUnavailable);
+  EXPECT_NE(error.message().find("protocol version 1"), std::string::npos)
+      << error.ToString();
+  EXPECT_NE(error.message().find(
+                "server speaks " + std::to_string(kProtocolVersion)),
+            std::string::npos)
+      << error.ToString();
+  server.Shutdown();
 }
 
 TEST(HostPort, ParsesAndRejects) {

@@ -244,7 +244,8 @@ TEST(NetServer, VersionMismatchIsRejected) {
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   ASSERT_EQ(response->kind, FrameKind::kError);
   Status error = DecodeError(response->payload);
-  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(error.code(), StatusCode::kUnavailable);
+  EXPECT_NE(error.message().find("server speaks"), std::string::npos);
   server.Shutdown();
 }
 

@@ -22,7 +22,7 @@ TEST(GeneratorTest, BeerDbRespectsOptions) {
   options.num_breweries = 10;
   options.num_beers = 200;
   options.num_beer_names = 20;
-  BeerDb db = MakeBeerDb(options);
+  BeerDb db = *MakeBeerDb(options);
   EXPECT_EQ(db.brewery.size(), 10u);
   EXPECT_EQ(db.beer.distinct_size(), 200u);
   EXPECT_EQ(db.beer.size(), 200u);  // duplicate_factor 1.0
@@ -34,15 +34,15 @@ TEST(GeneratorTest, DuplicateFactorInflatesMultiplicities) {
   BeerDbOptions options;
   options.num_beers = 500;
   options.duplicate_factor = 4.0;
-  BeerDb db = MakeBeerDb(options);
+  BeerDb db = *MakeBeerDb(options);
   EXPECT_GT(db.beer.size(), 2 * db.beer.distinct_size());
 }
 
 TEST(GeneratorTest, Deterministic) {
   BeerDbOptions options;
   options.seed = 123;
-  BeerDb a = MakeBeerDb(options);
-  BeerDb b = MakeBeerDb(options);
+  BeerDb a = *MakeBeerDb(options);
+  BeerDb b = *MakeBeerDb(options);
   EXPECT_REL_EQ(a.beer, b.beer);
   EXPECT_REL_EQ(a.brewery, b.brewery);
 }
@@ -52,18 +52,67 @@ TEST(GeneratorTest, IntRelationShapes) {
   options.distinct_tuples = 100;
   options.arity = 3;
   options.duplicates = DupDistribution::kNone;
-  Relation flat = MakeIntRelation(options);
+  Relation flat = *MakeIntRelation(options);
   EXPECT_EQ(flat.size(), flat.distinct_size());
   EXPECT_EQ(flat.schema().arity(), 3u);
 
   options.duplicates = DupDistribution::kUniform;
   options.max_multiplicity = 10;
-  Relation uniform = MakeIntRelation(options);
+  Relation uniform = *MakeIntRelation(options);
   EXPECT_GT(uniform.size(), uniform.distinct_size());
 
   options.duplicates = DupDistribution::kZipf;
-  Relation zipf = MakeIntRelation(options);
+  Relation zipf = *MakeIntRelation(options);
   EXPECT_GE(zipf.size(), zipf.distinct_size());
+}
+
+TEST(GeneratorTest, BeerDbRejectsEmptyDomains) {
+  // Each of these would feed an empty range to a random distribution
+  // (undefined behavior) if not refused up front.
+  BeerDbOptions no_breweries;
+  no_breweries.num_breweries = 0;
+  EXPECT_EQ(MakeBeerDb(no_breweries).status().code(),
+            StatusCode::kInvalidArgument);
+
+  BeerDbOptions no_names;
+  no_names.num_beer_names = 0;
+  EXPECT_EQ(MakeBeerDb(no_names).status().code(),
+            StatusCode::kInvalidArgument);
+
+  BeerDbOptions no_countries;
+  no_countries.countries.clear();
+  EXPECT_EQ(MakeBeerDb(no_countries).status().code(),
+            StatusCode::kInvalidArgument);
+
+  BeerDbOptions shrinking;
+  shrinking.duplicate_factor = 0.5;
+  EXPECT_EQ(MakeBeerDb(shrinking).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GeneratorTest, IntRelationRejectsEmptyDomains) {
+  IntRelationOptions no_columns;
+  no_columns.arity = 0;
+  EXPECT_EQ(MakeIntRelation(no_columns).status().code(),
+            StatusCode::kInvalidArgument);
+
+  IntRelationOptions no_values;
+  no_values.value_range = 0;
+  EXPECT_EQ(MakeIntRelation(no_values).status().code(),
+            StatusCode::kInvalidArgument);
+
+  IntRelationOptions no_mult;
+  no_mult.duplicates = DupDistribution::kUniform;
+  no_mult.max_multiplicity = 0;
+  EXPECT_EQ(MakeIntRelation(no_mult).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // max_multiplicity is irrelevant without a duplicate distribution, so
+  // zero is fine there.
+  IntRelationOptions flat;
+  flat.duplicates = DupDistribution::kNone;
+  flat.max_multiplicity = 0;
+  EXPECT_TRUE(MakeIntRelation(flat).ok());
 }
 
 TEST(PrinterTest, RendersAlignedTable) {
