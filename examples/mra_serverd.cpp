@@ -42,6 +42,8 @@ void Usage(const char* argv0) {
          "(default 200)\n"
       << "  --batch-size N          rows per executor NextBatch pull; 0 "
          "selects row-at-a-time (default 1024, docs/EXECUTION.md)\n"
+      << "  --no-hash-ops           disable the hash-based join/dedup "
+         "kernels; plans fall back to NestedLoopJoin and SortDedup\n"
       << "  --salvage-wal           recover the intact prefix of a corrupt "
          "WAL instead of refusing to start\n"
       << "  --failpoints SPEC       arm fault-injection sites, e.g. "
@@ -86,6 +88,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--batch-size") {
       options.interpreter.batch_size =
           static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--no-hash-ops") {
+      options.interpreter.hash_ops = false;
     } else if (arg == "--salvage-wal") {
       db_options.salvage_wal = true;
     } else if (arg == "--failpoints") {

@@ -226,12 +226,15 @@ int main(int argc, char** argv) {
   std::string connect_spec;
   std::string directory;
   size_t batch_size = lang::InterpreterOptions{}.batch_size;
+  bool hash_ops = lang::InterpreterOptions{}.hash_ops;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
       connect_spec = argv[++i];
     } else if (arg == "--batch-size" && i + 1 < argc) {
       batch_size = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--no-hash-ops") {
+      hash_ops = false;
     } else {
       directory = std::move(arg);
     }
@@ -259,6 +262,7 @@ int main(int argc, char** argv) {
   db_options.directory = directory;
   lang::InterpreterOptions interp_options;
   interp_options.batch_size = batch_size;
+  interp_options.hash_ops = hash_ops;
   auto sess_or = session::EmbeddedSession::Open(db_options, interp_options);
   if (!sess_or.ok()) {
     std::cerr << "cannot open database: " << sess_or.status().ToString()

@@ -14,6 +14,15 @@ Tuple Tuple::Concat(const Tuple& other) const {
   return Tuple(std::move(values));
 }
 
+void Tuple::AssignConcat(const Tuple& a, const Tuple& b) {
+  MRA_CHECK(this != &a && this != &b) << "AssignConcat must not alias";
+  values_.resize(a.values_.size() + b.values_.size());
+  for (size_t i = 0; i < a.values_.size(); ++i) values_[i] = a.values_[i];
+  for (size_t i = 0; i < b.values_.size(); ++i) {
+    values_[a.values_.size() + i] = b.values_[i];
+  }
+}
+
 Tuple Tuple::Project(const std::vector<size_t>& indexes) const {
   std::vector<Value> values;
   values.reserve(indexes.size());
@@ -51,6 +60,25 @@ size_t Tuple::Hash() const {
   size_t h = Mix64(values_.size());
   for (const Value& v : values_) h = HashCombine(h, v.Hash());
   return h;
+}
+
+size_t Tuple::HashKey(const std::vector<size_t>& attrs) const {
+  size_t h = Mix64(attrs.size());
+  for (size_t i : attrs) {
+    MRA_CHECK_LT(i, values_.size()) << "key attribute out of range";
+    h = HashCombine(h, values_[i].Hash());
+  }
+  return h;
+}
+
+bool Tuple::KeyEquals(const Tuple& key, const std::vector<size_t>& attrs) const {
+  MRA_CHECK_EQ(key.arity(), attrs.size()) << "KeyEquals arity mismatch";
+  for (size_t k = 0; k < attrs.size(); ++k) {
+    const Value& mine = values_[attrs[k]];
+    const Value& theirs = key.values_[k];
+    if (mine.kind() != theirs.kind() || !mine.Equals(theirs)) return false;
+  }
+  return true;
 }
 
 Status Tuple::ConformsTo(const RelationSchema& schema) const {

@@ -37,6 +37,11 @@ class Tuple {
   /// Tuple concatenation r1 ⊕ r2 (Definition 2.4).
   Tuple Concat(const Tuple& other) const;
 
+  /// Overwrites this tuple with a ⊕ b, reusing this tuple's value storage
+  /// (no allocation when the combined arity fits the existing capacity).
+  /// Neither operand may alias this tuple.
+  void AssignConcat(const Tuple& a, const Tuple& b);
+
   /// Tuple projection π_a(r): concatenates the attributes named by the
   /// 0-based index list `a` into a new tuple; indexes may repeat
   /// (Definition 2.4).  Out-of-range indexes are checked errors — validate
@@ -59,6 +64,15 @@ class Tuple {
   bool operator!=(const Tuple& other) const { return !Equals(other); }
 
   size_t Hash() const;
+
+  /// Hash of π_attrs(*this) without materialising the projection; equal to
+  /// Project(attrs).Hash() by construction, so probe-side rows can be
+  /// hashed against stored key tuples allocation-free.
+  size_t HashKey(const std::vector<size_t>& attrs) const;
+
+  /// key == π_attrs(*this), again without materialising the projection.
+  /// `key` must have arity attrs.size().
+  bool KeyEquals(const Tuple& key, const std::vector<size_t>& attrs) const;
 
   /// Checks that this tuple inhabits dom(schema): arity and domains match.
   Status ConformsTo(const RelationSchema& schema) const;

@@ -1,16 +1,43 @@
 #include "mra/exec/operator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
 
 #include "mra/algebra/closure.h"
 #include "mra/expr/eval.h"
+#include "mra/obs/metrics.h"
 
 namespace mra {
 namespace exec {
 
 namespace {
+
+// Process-wide hash-operator metrics, recorded once per operator
+// open/close cycle (not per row): build/probe volumes and the largest
+// arena any single operator held.
+obs::Counter* HashBuildRowsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("hash.build_rows");
+  return c;
+}
+
+obs::Counter* HashProbeRowsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("hash.probe_rows");
+  return c;
+}
+
+void NoteHashPeakBytes(uint64_t bytes) {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("hash.peak_bytes");
+  // Max-tracked; the read-modify-write race is benign for a high-water
+  // gauge (a concurrent larger value wins either way on the next update).
+  if (static_cast<uint64_t>(g->value()) < bytes) {
+    g->Set(static_cast<int64_t>(bytes));
+  }
+}
 
 uint64_t NowNs() {
   return static_cast<uint64_t>(
@@ -22,7 +49,9 @@ uint64_t NowNs() {
 void RenderPhysical(const PhysicalOperator& op, int depth,
                     std::ostream& out) {
   for (int i = 0; i < depth; ++i) out << "  ";
-  out << op.name() << "\n";
+  out << op.name();
+  if (!op.annotation().empty()) out << "  [" << op.annotation() << "]";
+  out << "\n";
   for (const PhysicalOperator* child : op.children()) {
     RenderPhysical(*child, depth + 1, out);
   }
@@ -31,6 +60,7 @@ void RenderPhysical(const PhysicalOperator& op, int depth,
 void RenderAnalyzed(const PhysicalOperator& op, int depth, std::ostream& out) {
   for (int i = 0; i < depth; ++i) out << "  ";
   out << op.name();
+  if (!op.annotation().empty()) out << "  [" << op.annotation() << "]";
   const obs::OperatorMetrics& m = op.metrics();
   char buf[64];
   if (op.estimated_rows() >= 0.0) {
@@ -50,6 +80,9 @@ void RenderAnalyzed(const PhysicalOperator& op, int depth, std::ostream& out) {
   if (m.batches_emitted > 0) out << " batches=" << m.batches_emitted;
   if (m.distinct_rows > 0) out << " distinct=" << m.distinct_rows;
   if (m.peak_hash_entries > 0) out << " hash=" << m.peak_hash_entries;
+  if (m.build_rows > 0) out << " build=" << m.build_rows;
+  if (m.probe_rows > 0) out << " probe=" << m.probe_rows;
+  if (m.hash_bytes > 0) out << " hashKB=" << (m.hash_bytes + 1023) / 1024;
   if (m.total_ns() > 0) {
     std::snprintf(buf, sizeof(buf), "%.3f",
                   static_cast<double>(m.total_ns()) / 1e6);
@@ -346,10 +379,13 @@ void ComputeOp::CloseImpl() { child_->Close(); }
 
 // --- DedupOp. ---
 
-DedupOp::DedupOp(PhysOpPtr child) : child_(std::move(child)) {}
+DedupOp::DedupOp(PhysOpPtr child) : child_(std::move(child)) {
+  identity_.resize(child_->schema().arity());
+  for (size_t i = 0; i < identity_.size(); ++i) identity_[i] = i;
+}
 
 Status DedupOp::OpenImpl() {
-  seen_.clear();
+  seen_.Reset();
   return child_->Open();
 }
 
@@ -357,17 +393,89 @@ Result<std::optional<Row>> DedupOp::NextImpl() {
   while (true) {
     MRA_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
     if (!row.has_value()) return row;
-    if (seen_.insert(row->tuple).second) {
+    ++metrics_.build_rows;
+    bool inserted = false;
+    seen_.InsertKey(row->tuple, identity_, &inserted);
+    if (inserted) {
       return std::optional<Row>(Row{std::move(row->tuple), 1});
     }
+  }
+}
+
+Status DedupOp::NextBatchImpl(RowBatch& out) {
+  // In-place like FilterOp: the child fills `out`, first occurrences are
+  // compacted to the front with multiplicity 1, duplicates stay parked for
+  // the child's next refill.  Pull again until something survives or the
+  // child drains.
+  while (true) {
+    MRA_RETURN_IF_ERROR(child_->NextBatch(out));
+    if (out.empty()) return Status::OK();
+    metrics_.build_rows += out.size();
+    size_t kept = 0;
+    for (size_t i = 0; i < out.size(); ++i) {
+      bool inserted = false;
+      seen_.InsertKey(out[i].tuple, identity_, &inserted);
+      if (inserted) {
+        if (kept != i) std::swap(out[kept], out[i]);
+        out[kept].count = 1;
+        ++kept;
+      }
+    }
+    out.Truncate(kept);
+    if (kept > 0) return Status::OK();
   }
 }
 
 void DedupOp::CloseImpl() {
   metrics_.distinct_rows = seen_.size();
   metrics_.peak_hash_entries = seen_.size();
-  seen_.clear();
+  metrics_.hash_bytes = seen_.ApproxBytes();
+  HashBuildRowsCounter()->Inc(metrics_.build_rows);
+  NoteHashPeakBytes(metrics_.hash_bytes);
+  seen_.Reset();
   child_->Close();
+}
+
+// --- SortDedupOp. ---
+
+SortDedupOp::SortDedupOp(PhysOpPtr child) : child_(std::move(child)) {}
+
+Status SortDedupOp::OpenImpl() {
+  tuples_.clear();
+  pos_ = 0;
+  MRA_RETURN_IF_ERROR(child_->Open());
+  RowBatch batch;
+  while (true) {
+    MRA_RETURN_IF_ERROR(child_->NextBatch(batch));
+    if (batch.empty()) break;
+    for (Row& row : batch) tuples_.push_back(std::move(row.tuple));
+  }
+  child_->Close();
+  std::sort(tuples_.begin(), tuples_.end(),
+            [](const Tuple& a, const Tuple& b) {
+              for (size_t i = 0; i < a.arity(); ++i) {
+                int c = a.at(i).Compare(b.at(i));
+                if (c != 0) return c < 0;
+              }
+              return false;
+            });
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end(),
+                            [](const Tuple& a, const Tuple& b) {
+                              return a.Equals(b);
+                            }),
+                tuples_.end());
+  metrics_.distinct_rows = tuples_.size();
+  return Status::OK();
+}
+
+Result<std::optional<Row>> SortDedupOp::NextImpl() {
+  if (pos_ == tuples_.size()) return std::optional<Row>();
+  return std::optional<Row>(Row{std::move(tuples_[pos_++]), 1});
+}
+
+void SortDedupOp::CloseImpl() {
+  tuples_.clear();
+  tuples_.shrink_to_fit();
 }
 
 // --- UnionAllOp. ---
@@ -535,52 +643,123 @@ HashJoinOp::HashJoinOp(std::vector<size_t> left_keys,
 }
 
 Status HashJoinOp::OpenImpl() {
-  table_.clear();
+  // Build phase: drain the right child into the recycled arena.  Rows with
+  // the same key are chained through `next_` off the key's `heads_` entry,
+  // newest first — chain order only permutes output order, which the bag
+  // stream convention does not observe.
+  index_.Reset();
+  heads_.clear();
+  build_size_ = 0;
+  probe_batch_.Clear();
+  probe_pos_ = 0;
+  current_left_.reset();
+  chain_ = kNone;
+
   MRA_RETURN_IF_ERROR(right_->Open());
+  RowBatch batch;
   while (true) {
-    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
-    if (!row.has_value()) break;
-    Tuple key = row->tuple.Project(right_keys_);
-    table_[std::move(key)].push_back(std::move(*row));
+    MRA_RETURN_IF_ERROR(right_->NextBatch(batch));
+    if (batch.empty()) break;
+    for (Row& row : batch) {
+      bool inserted = false;
+      size_t id = index_.InsertKey(row.tuple, right_keys_, &inserted);
+      if (inserted) heads_.push_back(kNone);
+      if (build_size_ == build_rows_.size()) {
+        build_rows_.emplace_back();
+        next_.emplace_back();
+      }
+      // Copy-assign into the (possibly parked) slot so its buffers recycle.
+      build_rows_[build_size_].tuple = row.tuple;
+      build_rows_[build_size_].count = row.count;
+      next_[build_size_] = heads_[id];
+      heads_[id] = build_size_;
+      ++build_size_;
+    }
   }
   right_->Close();
-  metrics_.peak_hash_entries = table_.size();
-  current_left_.reset();
-  matches_ = nullptr;
-  match_pos_ = 0;
+
+  metrics_.build_rows = build_size_;
+  metrics_.peak_hash_entries = index_.size();
+  metrics_.hash_bytes = index_.ApproxBytes() +
+                        heads_.capacity() * sizeof(size_t) +
+                        next_.capacity() * sizeof(size_t) +
+                        build_rows_.capacity() * sizeof(Row);
   return left_->Open();
+}
+
+Result<bool> HashJoinOp::EmitMatch(const Row& probe, size_t match,
+                                   RowBatch& out) {
+  Row& slot = out.AppendSlot();
+  slot.tuple.AssignConcat(probe.tuple, build_rows_[match].tuple);
+  slot.count = probe.count * build_rows_[match].count;
+  if (residual_ != nullptr) {
+    MRA_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*residual_, slot.tuple));
+    if (!keep) {
+      out.Truncate(out.size() - 1);
+      return false;
+    }
+  }
+  return true;
 }
 
 Result<std::optional<Row>> HashJoinOp::NextImpl() {
   while (true) {
-    if (!current_left_.has_value()) {
+    if (chain_ == kNone) {
       MRA_ASSIGN_OR_RETURN(current_left_, left_->Next());
       if (!current_left_.has_value()) return std::optional<Row>();
-      Tuple key = current_left_->tuple.Project(left_keys_);
-      auto it = table_.find(key);
-      if (it == table_.end()) {
-        current_left_.reset();
-        continue;
-      }
-      matches_ = &it->second;
-      match_pos_ = 0;
+      ++metrics_.probe_rows;
+      size_t id = index_.FindKey(current_left_->tuple, left_keys_);
+      if (id == HashKeyIndex::kNotFound) continue;
+      chain_ = heads_[id];
+      if (chain_ == kNone) continue;
     }
-    while (match_pos_ < matches_->size()) {
-      const Row& rhs = (*matches_)[match_pos_++];
-      Tuple combined = current_left_->tuple.Concat(rhs.tuple);
-      if (residual_ != nullptr) {
-        MRA_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*residual_, combined));
-        if (!keep) continue;
-      }
-      return std::optional<Row>(
-          Row{std::move(combined), current_left_->count * rhs.count});
+    const Row& rhs = build_rows_[chain_];
+    chain_ = next_[chain_];
+    Tuple combined = current_left_->tuple.Concat(rhs.tuple);
+    if (residual_ != nullptr) {
+      MRA_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*residual_, combined));
+      if (!keep) continue;
     }
-    current_left_.reset();
+    return std::optional<Row>(
+        Row{std::move(combined), current_left_->count * rhs.count});
   }
 }
 
+Status HashJoinOp::NextBatchImpl(RowBatch& out) {
+  while (!out.full()) {
+    if (chain_ == kNone) {
+      if (probe_pos_ == probe_batch_.size()) {
+        MRA_RETURN_IF_ERROR(left_->NextBatch(probe_batch_));
+        probe_pos_ = 0;
+        if (probe_batch_.empty()) return Status::OK();
+      }
+      ++metrics_.probe_rows;
+      size_t id = index_.FindKey(probe_batch_[probe_pos_].tuple, left_keys_);
+      if (id == HashKeyIndex::kNotFound || heads_[id] == kNone) {
+        ++probe_pos_;
+        continue;
+      }
+      chain_ = heads_[id];
+    }
+    MRA_ASSIGN_OR_RETURN(bool emitted,
+                         EmitMatch(probe_batch_[probe_pos_], chain_, out));
+    (void)emitted;
+    chain_ = next_[chain_];
+    if (chain_ == kNone) ++probe_pos_;
+  }
+  return Status::OK();
+}
+
 void HashJoinOp::CloseImpl() {
-  table_.clear();
+  HashBuildRowsCounter()->Inc(metrics_.build_rows);
+  HashProbeRowsCounter()->Inc(metrics_.probe_rows);
+  NoteHashPeakBytes(metrics_.hash_bytes);
+  index_.Reset();
+  build_size_ = 0;
+  probe_batch_.Clear();
+  probe_pos_ = 0;
+  current_left_.reset();
+  chain_ = kNone;
   left_->Close();
 }
 
@@ -616,58 +795,89 @@ HashGroupByOp::HashGroupByOp(std::vector<size_t> keys,
       child_(std::move(child)) {}
 
 Status HashGroupByOp::OpenImpl() {
+  // Aggregation phase: drain the child, folding every row into its group's
+  // accumulators.  InsertKey assigns dense ids in first-occurrence order,
+  // so the flat accumulator array grows strictly at the tail and
+  // accs_[id * aggs_.size() + i] addresses group id's i-th aggregate.
   const RelationSchema& in_schema = child_->schema();
-  auto make_accumulators = [&] {
-    std::vector<AggAccumulator> accs;
-    accs.reserve(aggs_.size());
+  index_.Reset();
+  accs_.clear();
+  emit_pos_ = 0;
+  auto append_accumulators = [&] {
     for (const AggSpec& agg : aggs_) {
-      accs.emplace_back(agg.kind, in_schema.TypeOf(agg.attr));
+      accs_.emplace_back(agg.kind, in_schema.TypeOf(agg.attr));
     }
-    return accs;
   };
 
-  std::unordered_map<Tuple, std::vector<AggAccumulator>, TupleHash, TupleEq>
-      groups;
   MRA_RETURN_IF_ERROR(child_->Open());
+  RowBatch batch;
   while (true) {
-    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-    if (!row.has_value()) break;
-    Tuple key = row->tuple.Project(keys_);
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    if (inserted) it->second = make_accumulators();
-    for (size_t i = 0; i < aggs_.size(); ++i) {
-      it->second[i].Add(row->tuple.at(aggs_[i].attr), row->count);
+    MRA_RETURN_IF_ERROR(child_->NextBatch(batch));
+    if (batch.empty()) break;
+    metrics_.build_rows += batch.size();
+    for (const Row& row : batch) {
+      bool inserted = false;
+      size_t id = index_.InsertKey(row.tuple, keys_, &inserted);
+      if (inserted) append_accumulators();
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        accs_[id * aggs_.size() + i].Add(row.tuple.at(aggs_[i].attr),
+                                         row.count);
+      }
     }
   }
   child_->Close();
 
-  if (keys_.empty() && groups.empty()) {
-    groups.try_emplace(Tuple{}, make_accumulators());
+  // Def 3.3: Γ over an empty relation with no grouping attributes still
+  // denotes the one global group (whose AVG/MIN/MAX are then undefined).
+  if (keys_.empty() && index_.empty()) {
+    bool inserted = false;
+    index_.InsertKey(Tuple{}, keys_, &inserted);
+    append_accumulators();
   }
-  metrics_.peak_hash_entries = groups.size();
-
-  result_ = Relation(schema_);
-  for (const auto& [key, accs] : groups) {
-    std::vector<Value> values = key.values();
-    for (const AggAccumulator& acc : accs) {
-      MRA_ASSIGN_OR_RETURN(Value v, acc.Finish());
-      values.push_back(std::move(v));
-    }
-    result_.InsertUnchecked(Tuple(std::move(values)), 1);
-  }
-  metrics_.distinct_rows = result_.distinct_size();
-  it_ = result_.begin();
+  metrics_.peak_hash_entries = index_.size();
+  metrics_.distinct_rows = index_.size();
+  metrics_.hash_bytes =
+      index_.ApproxBytes() + accs_.capacity() * sizeof(AggAccumulator);
   return Status::OK();
 }
 
+Result<Row> HashGroupByOp::EmitGroup(size_t id) {
+  // Finish() is where Def 3.3's partiality surfaces: AVG/MIN/MAX over an
+  // empty group return kUndefined, which propagates out of Next/NextBatch.
+  std::vector<Value> values = index_.key(id).values();
+  values.reserve(keys_.size() + aggs_.size());
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    MRA_ASSIGN_OR_RETURN(Value v, accs_[id * aggs_.size() + i].Finish());
+    values.push_back(std::move(v));
+  }
+  return Row{Tuple(std::move(values)), 1};
+}
+
 Result<std::optional<Row>> HashGroupByOp::NextImpl() {
-  if (it_ == result_.end()) return std::optional<Row>();
-  Row row{it_->first, it_->second};
-  ++it_;
+  if (emit_pos_ == index_.size()) return std::optional<Row>();
+  MRA_ASSIGN_OR_RETURN(Row row, EmitGroup(emit_pos_));
+  ++emit_pos_;
   return std::optional<Row>(std::move(row));
 }
 
-void HashGroupByOp::CloseImpl() { result_.Clear(); }
+Status HashGroupByOp::NextBatchImpl(RowBatch& out) {
+  while (!out.full() && emit_pos_ < index_.size()) {
+    MRA_ASSIGN_OR_RETURN(Row row, EmitGroup(emit_pos_));
+    ++emit_pos_;
+    Row& slot = out.AppendSlot();
+    slot.tuple = std::move(row.tuple);
+    slot.count = row.count;
+  }
+  return Status::OK();
+}
+
+void HashGroupByOp::CloseImpl() {
+  HashBuildRowsCounter()->Inc(metrics_.build_rows);
+  NoteHashPeakBytes(metrics_.hash_bytes);
+  index_.Reset();
+  accs_.clear();
+  emit_pos_ = 0;
+}
 
 // --- Equi-join key extraction. ---
 

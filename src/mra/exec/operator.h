@@ -38,6 +38,7 @@
 
 #include "mra/algebra/aggregate.h"
 #include "mra/core/relation.h"
+#include "mra/exec/hash_table.h"
 #include "mra/expr/eval.h"
 #include "mra/expr/scalar_expr.h"
 #include "mra/obs/op_metrics.h"
@@ -158,6 +159,12 @@ class PhysicalOperator {
   double estimated_rows() const { return estimated_rows_; }
   void set_estimated_rows(double rows) { estimated_rows_ = rows; }
 
+  /// Free-form planner note rendered next to the operator name in EXPLAIN
+  /// output ("keys: %2=%4", "fallback: predicate not hashable", …) — how
+  /// the lowering choice between hash and legacy operators stays visible.
+  const std::string& annotation() const { return annotation_; }
+  void set_annotation(std::string note) { annotation_ = std::move(note); }
+
   /// Multi-line indented rendering of the physical plan.
   std::string ToString() const;
 
@@ -180,6 +187,7 @@ class PhysicalOperator {
   State state_ = State::kCreated;
   bool timing_ = false;
   double estimated_rows_ = -1.0;
+  std::string annotation_;
 };
 
 using PhysOpPtr = std::unique_ptr<PhysicalOperator>;
@@ -291,8 +299,10 @@ class ComputeOp final : public PhysicalOperator {
   Tuple scratch_;
 };
 
-/// δ — streaming duplicate elimination: first occurrence passes with
-/// multiplicity 1, later occurrences are dropped.
+/// δ — streaming hash duplicate elimination: first occurrence passes with
+/// multiplicity 1, later occurrences are dropped.  The seen-set is a
+/// recycled HashKeyIndex; the native batch kernel compacts survivors in
+/// place (FilterOp-style), so a drain stays allocation-free once warm.
 class DedupOp final : public PhysicalOperator {
  public:
   explicit DedupOp(PhysOpPtr child);
@@ -306,11 +316,37 @@ class DedupOp final : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Result<std::optional<Row>> NextImpl() override;
+  Status NextBatchImpl(RowBatch& out) override;
   void CloseImpl() override;
 
  private:
   PhysOpPtr child_;
-  std::unordered_set<Tuple, TupleHash, TupleEq> seen_;
+  HashKeyIndex seen_;
+  std::vector<size_t> identity_;  // 0, 1, …, arity-1: δ keys on all attrs.
+};
+
+/// δ via materialise + sort + adjacent-unique: the hash-free fallback
+/// (selected when hash operators are disabled) and the legacy comparator
+/// for bench/e16_hash_ops.
+class SortDedupOp final : public PhysicalOperator {
+ public:
+  explicit SortDedupOp(PhysOpPtr child);
+
+  const RelationSchema& schema() const override { return child_->schema(); }
+  std::string_view name() const override { return "SortDedup"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  void CloseImpl() override;
+
+ private:
+  PhysOpPtr child_;
+  std::vector<Tuple> tuples_;  // Sorted, uniqued on Open.
+  size_t pos_ = 0;
 };
 
 // --- Binary operators. ---
@@ -418,7 +454,15 @@ class NestedLoopJoinOp final : public PhysicalOperator {
 
 /// ⋈ on equi-key conjuncts %i = %j: builds a hash table over the right
 /// input keyed by its key attributes, probes with left rows, and applies
-/// the residual condition (non-equi conjuncts) to survivors.
+/// the residual condition (non-equi conjuncts) to survivors.  Output
+/// multiplicity is the product of the matched input multiplicities
+/// (Definition 3.1 via Theorem 3.1's σ_φ(E1 × E2) equivalence).
+///
+/// The build side lives in a recycled arena: a HashKeyIndex over the key
+/// projection plus per-key chains through flat row storage.  The native
+/// batch kernel pulls whole probe batches, hashes each probe row's key
+/// attributes in place (no key tuple materialised) and concatenates match
+/// rows into recycled output slots.
 class HashJoinOp final : public PhysicalOperator {
  public:
   /// `left_keys[i]` pairs with `right_keys[i]` (indexes are local to each
@@ -435,19 +479,37 @@ class HashJoinOp final : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Result<std::optional<Row>> NextImpl() override;
+  Status NextBatchImpl(RowBatch& out) override;
   void CloseImpl() override;
 
  private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  /// Appends probe ⊕ build_rows_[match] to `out` (recycled slot), applying
+  /// the residual; on residual rejection the slot is truncated back off.
+  Result<bool> EmitMatch(const Row& probe, size_t match, RowBatch& out);
+
   std::vector<size_t> left_keys_;
   std::vector<size_t> right_keys_;
   ExprPtr residual_;
   RelationSchema schema_;
   PhysOpPtr left_;
   PhysOpPtr right_;
-  std::unordered_map<Tuple, std::vector<Row>, TupleHash, TupleEq> table_;
-  std::optional<Row> current_left_;
-  const std::vector<Row>* matches_ = nullptr;
-  size_t match_pos_ = 0;
+
+  // Build arena, all recycled across Opens: key index, per-key chain heads
+  // (id-indexed), flat build rows with next-links.
+  HashKeyIndex index_;
+  std::vector<size_t> heads_;
+  std::vector<Row> build_rows_;  // Parked past build_size_.
+  std::vector<size_t> next_;
+  size_t build_size_ = 0;
+
+  // Probe cursor, shared by both protocols: the current probe row and its
+  // position in the match chain (kNone = fetch the next probe row).
+  RowBatch probe_batch_;
+  size_t probe_pos_ = 0;
+  std::optional<Row> current_left_;  // Row-protocol probe row.
+  size_t chain_ = kNone;
 };
 
 /// Transitive closure (§5 extension): materialises the child on Open and
@@ -473,7 +535,13 @@ class ClosureOp final : public PhysicalOperator {
   Relation::const_iterator it_;
 };
 
-/// Γ — hash aggregation; materialises groups on Open.
+/// Γ — hash aggregation (Definition 3.4 with the Definition 3.3
+/// multiplicity-weighted aggregates).  Builds the group table on Open by
+/// draining the child batch-at-a-time into a recycled HashKeyIndex with a
+/// flat accumulator arena (group id × aggregate), then streams one output
+/// row per group, finishing accumulators lazily — AVG/MIN/MAX partiality
+/// over an empty input surfaces as kUndefined at emission, exactly like
+/// the definitional operator.
 class HashGroupByOp final : public PhysicalOperator {
  public:
   HashGroupByOp(std::vector<size_t> keys, std::vector<AggSpec> aggs,
@@ -488,15 +556,21 @@ class HashGroupByOp final : public PhysicalOperator {
  protected:
   Status OpenImpl() override;
   Result<std::optional<Row>> NextImpl() override;
+  Status NextBatchImpl(RowBatch& out) override;
   void CloseImpl() override;
 
  private:
+  /// The output row for one group id: key attributes ⊕ finished aggregates.
+  Result<Row> EmitGroup(size_t id);
+
   std::vector<size_t> keys_;
   std::vector<AggSpec> aggs_;
   RelationSchema schema_;
   PhysOpPtr child_;
-  Relation result_;
-  Relation::const_iterator it_;
+
+  HashKeyIndex index_;
+  std::vector<AggAccumulator> accs_;  // index_.size() × aggs_.size(), flat.
+  size_t emit_pos_ = 0;
 };
 
 /// Extracts equi-join key pairs from a join condition over a concatenated

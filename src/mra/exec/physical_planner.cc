@@ -7,12 +7,14 @@ namespace {
 
 Result<PhysOpPtr> LowerPlanImpl(const PlanPtr& plan,
                                 const RelationProvider& provider,
-                                const CardinalityEstimator* estimator);
+                                const CardinalityEstimator* estimator,
+                                const PlannerOptions& options);
 
 /// Picks and constructs the physical operator for one logical node.
 Result<PhysOpPtr> LowerNode(const PlanPtr& plan,
                             const RelationProvider& provider,
-                            const CardinalityEstimator* estimator) {
+                            const CardinalityEstimator* estimator,
+                            const PlannerOptions& options) {
   switch (plan->kind()) {
     case PlanKind::kScan: {
       MRA_ASSIGN_OR_RETURN(const Relation* rel,
@@ -27,80 +29,97 @@ Result<PhysOpPtr> LowerNode(const PlanPtr& plan,
       return PhysOpPtr(std::make_unique<ConstScanOp>(plan->const_relation()));
     case PlanKind::kSelect: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
-                           LowerPlanImpl(plan->child(0), provider, estimator));
+                           LowerPlanImpl(plan->child(0), provider, estimator, options));
       return PhysOpPtr(
           std::make_unique<FilterOp>(plan->condition(), std::move(child)));
     }
     case PlanKind::kProject: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
-                           LowerPlanImpl(plan->child(0), provider, estimator));
+                           LowerPlanImpl(plan->child(0), provider, estimator, options));
       return PhysOpPtr(std::make_unique<ComputeOp>(
           plan->projections(), plan->schema(), std::move(child)));
     }
     case PlanKind::kUnique: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
-                           LowerPlanImpl(plan->child(0), provider, estimator));
+                           LowerPlanImpl(plan->child(0), provider, estimator, options));
+      if (!options.hash_ops) {
+        PhysOpPtr op(std::make_unique<SortDedupOp>(std::move(child)));
+        op->set_annotation("fallback: hash ops disabled");
+        return op;
+      }
       return PhysOpPtr(std::make_unique<DedupOp>(std::move(child)));
     }
     case PlanKind::kUnion: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
-                           LowerPlanImpl(plan->child(0), provider, estimator));
+                           LowerPlanImpl(plan->child(0), provider, estimator, options));
       MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
-                           LowerPlanImpl(plan->child(1), provider, estimator));
+                           LowerPlanImpl(plan->child(1), provider, estimator, options));
       return PhysOpPtr(
           std::make_unique<UnionAllOp>(std::move(l), std::move(r)));
     }
     case PlanKind::kDifference: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
-                           LowerPlanImpl(plan->child(0), provider, estimator));
+                           LowerPlanImpl(plan->child(0), provider, estimator, options));
       MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
-                           LowerPlanImpl(plan->child(1), provider, estimator));
+                           LowerPlanImpl(plan->child(1), provider, estimator, options));
       return PhysOpPtr(
           std::make_unique<DifferenceOp>(std::move(l), std::move(r)));
     }
     case PlanKind::kIntersect: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
-                           LowerPlanImpl(plan->child(0), provider, estimator));
+                           LowerPlanImpl(plan->child(0), provider, estimator, options));
       MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
-                           LowerPlanImpl(plan->child(1), provider, estimator));
+                           LowerPlanImpl(plan->child(1), provider, estimator, options));
       return PhysOpPtr(
           std::make_unique<IntersectOp>(std::move(l), std::move(r)));
     }
     case PlanKind::kProduct: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
-                           LowerPlanImpl(plan->child(0), provider, estimator));
+                           LowerPlanImpl(plan->child(0), provider, estimator, options));
       MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
-                           LowerPlanImpl(plan->child(1), provider, estimator));
+                           LowerPlanImpl(plan->child(1), provider, estimator, options));
       return PhysOpPtr(std::make_unique<NestedLoopJoinOp>(
           nullptr, std::move(l), std::move(r)));
     }
     case PlanKind::kJoin: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
-                           LowerPlanImpl(plan->child(0), provider, estimator));
+                           LowerPlanImpl(plan->child(0), provider, estimator, options));
       MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
-                           LowerPlanImpl(plan->child(1), provider, estimator));
+                           LowerPlanImpl(plan->child(1), provider, estimator, options));
       std::vector<size_t> left_keys, right_keys;
       ExprPtr residual;
-      if (ExtractEquiJoinKeys(plan->condition(), plan->schema(),
-                              plan->child(0)->schema().arity(), &left_keys,
-                              &right_keys, &residual)) {
-        return PhysOpPtr(std::make_unique<HashJoinOp>(
+      size_t left_arity = plan->child(0)->schema().arity();
+      if (options.hash_ops &&
+          ExtractEquiJoinKeys(plan->condition(), plan->schema(), left_arity,
+                              &left_keys, &right_keys, &residual)) {
+        std::string keys = "keys:";
+        for (size_t i = 0; i < left_keys.size(); ++i) {
+          keys += (i == 0 ? " %" : ", %") +
+                  std::to_string(left_keys[i] + 1) + "=%" +
+                  std::to_string(left_arity + right_keys[i] + 1);
+        }
+        PhysOpPtr op(std::make_unique<HashJoinOp>(
             std::move(left_keys), std::move(right_keys), std::move(residual),
             std::move(l), std::move(r)));
+        op->set_annotation(std::move(keys));
+        return op;
       }
-      return PhysOpPtr(std::make_unique<NestedLoopJoinOp>(
+      PhysOpPtr op(std::make_unique<NestedLoopJoinOp>(
           plan->condition(), std::move(l), std::move(r)));
+      op->set_annotation(options.hash_ops ? "fallback: predicate not hashable"
+                                          : "fallback: hash ops disabled");
+      return op;
     }
     case PlanKind::kGroupBy: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
-                           LowerPlanImpl(plan->child(0), provider, estimator));
+                           LowerPlanImpl(plan->child(0), provider, estimator, options));
       return PhysOpPtr(std::make_unique<HashGroupByOp>(
           plan->group_keys(), plan->aggregates(), plan->schema(),
           std::move(child)));
     }
     case PlanKind::kClosure: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
-                           LowerPlanImpl(plan->child(0), provider, estimator));
+                           LowerPlanImpl(plan->child(0), provider, estimator, options));
       return PhysOpPtr(std::make_unique<ClosureOp>(std::move(child)));
     }
   }
@@ -109,8 +128,10 @@ Result<PhysOpPtr> LowerNode(const PlanPtr& plan,
 
 Result<PhysOpPtr> LowerPlanImpl(const PlanPtr& plan,
                                 const RelationProvider& provider,
-                                const CardinalityEstimator* estimator) {
-  MRA_ASSIGN_OR_RETURN(PhysOpPtr op, LowerNode(plan, provider, estimator));
+                                const CardinalityEstimator* estimator,
+                                const PlannerOptions& options) {
+  MRA_ASSIGN_OR_RETURN(PhysOpPtr op,
+                       LowerNode(plan, provider, estimator, options));
   if (estimator != nullptr) op->set_estimated_rows((*estimator)(*plan));
   return op;
 }
@@ -119,8 +140,9 @@ Result<PhysOpPtr> LowerPlanImpl(const PlanPtr& plan,
 
 Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
                             const RelationProvider& provider,
-                            const CardinalityEstimator* estimator) {
-  return LowerPlanImpl(plan, provider, estimator);
+                            const CardinalityEstimator* estimator,
+                            const PlannerOptions& options) {
+  return LowerPlanImpl(plan, provider, estimator, options);
 }
 
 Result<Relation> ExecutePlan(const PlanPtr& plan,

@@ -3,7 +3,7 @@
 // Lowering choices:
 //   σ        → Filter
 //   π        → Compute
-//   δ        → Dedup (streaming)
+//   δ        → Dedup (streaming hash), SortDedup when hash ops are disabled
 //   ⊎        → UnionAll (streaming)
 //   −        → Difference (materialising)
 //   ∩        → Intersect (materialising)
@@ -12,6 +12,12 @@
 //              across the inputs (residual applied after the probe),
 //              NestedLoopJoin otherwise
 //   Γ        → HashGroupBy
+//
+// Each choice is annotated on the operator (PhysicalOperator::annotation):
+// HashJoin shows its key pairs, the fallbacks say why they were taken — so
+// EXPLAIN makes the selection visible.  PlannerOptions::hash_ops = false
+// steers δ to SortDedup and ⋈ to NestedLoopJoin (Γ keeps HashGroupBy — it
+// is the only Γ implementation).
 
 #ifndef MRA_EXEC_PHYSICAL_PLANNER_H_
 #define MRA_EXEC_PHYSICAL_PLANNER_H_
@@ -32,6 +38,15 @@ namespace exec {
 /// mra/opt; callers typically wrap opt::EstimateCardinality.
 using CardinalityEstimator = std::function<double(const Plan&)>;
 
+/// Knobs for physical-operator selection.
+struct PlannerOptions {
+  /// Use the hash-based kernels (HashJoin, streaming hash Dedup) where they
+  /// apply.  When false, δ lowers to SortDedup and ⋈ to NestedLoopJoin —
+  /// the definitional/legacy paths the hash kernels are benchmarked and
+  /// differentially tested against.
+  bool hash_ops = true;
+};
+
 /// Builds an executable operator tree for `plan`.  Scan nodes resolve
 /// through `provider`, whose relations must outlive the returned tree's
 /// execution.  When `estimator` is non-null every operator is annotated
@@ -39,7 +54,8 @@ using CardinalityEstimator = std::function<double(const Plan&)>;
 /// which EXPLAIN ANALYZE renders against the actuals.
 Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
                             const RelationProvider& provider,
-                            const CardinalityEstimator* estimator = nullptr);
+                            const CardinalityEstimator* estimator = nullptr,
+                            const PlannerOptions& options = PlannerOptions{});
 
 /// Lower + execute + materialise.  This is the production evaluation path
 /// (EvaluatePlan in mra/algebra is the definitional one).

@@ -59,7 +59,10 @@ Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
   exec::PhysOpPtr root;
   {
     obs::ScopedSpan span("lower");
-    MRA_ASSIGN_OR_RETURN(root, exec::LowerPlan(plan, provider));
+    exec::PlannerOptions planner_options;
+    planner_options.hash_ops = options_.hash_ops;
+    MRA_ASSIGN_OR_RETURN(
+        root, exec::LowerPlan(plan, provider, nullptr, planner_options));
   }
   uint64_t t0 = NowMicros();
   Result<Relation> result = [&]() -> Result<Relation> {
@@ -232,8 +235,11 @@ Result<std::string> Interpreter::ExplainExpr(const RelExpr& expr,
       [&provider, &stats_cache](const Plan& node) {
         return opt::EstimateCardinality(node, provider, &stats_cache);
       };
-  MRA_ASSIGN_OR_RETURN(exec::PhysOpPtr physical,
-                       exec::LowerPlan(optimized, provider, &estimator));
+  exec::PlannerOptions planner_options;
+  planner_options.hash_ops = options_.hash_ops;
+  MRA_ASSIGN_OR_RETURN(
+      exec::PhysOpPtr physical,
+      exec::LowerPlan(optimized, provider, &estimator, planner_options));
   if (!analyze) {
     out += "\nphysical plan:\n" + physical->ToString();
     return out;

@@ -39,6 +39,11 @@ struct InterpreterOptions {
   /// (exec::kDefaultBatchSize); 0 selects the legacy row-at-a-time Next()
   /// loop.  Only meaningful with use_physical_exec.
   size_t batch_size = 1024;
+  /// Select the hash-based kernels (HashJoin, hash Dedup) when they apply;
+  /// when false the planner falls back to NestedLoopJoin and SortDedup
+  /// (exec::PlannerOptions::hash_ops).  Only meaningful with
+  /// use_physical_exec.
+  bool hash_ops = true;
 };
 
 /// Execution statistics of the most recent physically-executed query,

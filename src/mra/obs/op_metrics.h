@@ -33,6 +33,14 @@ struct OperatorMetrics {
   /// Peak entries held in the operator's hash table (join build side,
   /// dedup's seen-set, group-by's group table); 0 when hash-free.
   uint64_t peak_hash_entries = 0;
+  /// Rows consumed into a hash build: the join's build side, group-by's
+  /// whole input, dedup's insertion stream.  0 for hash-free operators.
+  uint64_t build_rows = 0;
+  /// Probe-side rows hashed against a build table (hash join only).
+  uint64_t probe_rows = 0;
+  /// Peak approximate heap bytes held by the operator's hash arena
+  /// (HashKeyIndex::ApproxBytes plus payload vectors).
+  uint64_t hash_bytes = 0;
 
   // Wall time, only nonzero while exec timing is enabled.
   uint64_t open_ns = 0;

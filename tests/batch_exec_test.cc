@@ -112,6 +112,18 @@ TEST_P(BatchDifferentialTest, ComputeOpGeneralExpression) {
 TEST_P(BatchDifferentialTest, DedupOp) {
   ExpectBatchAgreement(
       [&] { return std::make_unique<DedupOp>(std::make_unique<ScanOp>(&c.r)); });
+  ExpectBatchAgreement([&] {
+    return std::make_unique<DedupOp>(std::make_unique<ScanOp>(&c.empty));
+  });
+}
+
+TEST_P(BatchDifferentialTest, SortDedupOp) {
+  ExpectBatchAgreement([&] {
+    return std::make_unique<SortDedupOp>(std::make_unique<ScanOp>(&c.r));
+  });
+  ExpectBatchAgreement([&] {
+    return std::make_unique<SortDedupOp>(std::make_unique<ScanOp>(&c.empty));
+  });
 }
 
 TEST_P(BatchDifferentialTest, UnionAllOp) {
@@ -168,6 +180,29 @@ TEST_P(BatchDifferentialTest, HashJoinOp) {
   });
 }
 
+TEST_P(BatchDifferentialTest, HashJoinOpMultiKey) {
+  ExpectBatchAgreement([&] {
+    return std::make_unique<HashJoinOp>(
+        std::vector<size_t>{0, 1}, std::vector<size_t>{1, 0}, nullptr,
+        std::make_unique<ScanOp>(&c.r), std::make_unique<ScanOp>(&c.s));
+  });
+}
+
+TEST_P(BatchDifferentialTest, HashJoinOpEmptySides) {
+  // Empty build side: every probe misses.  Empty probe side: the build
+  // table is constructed and then never probed.
+  ExpectBatchAgreement([&] {
+    return std::make_unique<HashJoinOp>(
+        std::vector<size_t>{0}, std::vector<size_t>{0}, nullptr,
+        std::make_unique<ScanOp>(&c.r), std::make_unique<ScanOp>(&c.empty));
+  });
+  ExpectBatchAgreement([&] {
+    return std::make_unique<HashJoinOp>(
+        std::vector<size_t>{0}, std::vector<size_t>{0}, nullptr,
+        std::make_unique<ScanOp>(&c.empty), std::make_unique<ScanOp>(&c.s));
+  });
+}
+
 TEST_P(BatchDifferentialTest, ClosureOp) {
   ExpectBatchAgreement([&] {
     return std::make_unique<ClosureOp>(std::make_unique<ScanOp>(&c.r));
@@ -183,6 +218,34 @@ TEST_P(BatchDifferentialTest, HashGroupByOp) {
   ExpectBatchAgreement([&] {
     return std::make_unique<HashGroupByOp>(
         std::vector<size_t>{0}, aggs, *schema, std::make_unique<ScanOp>(&c.r));
+  });
+}
+
+TEST_P(BatchDifferentialTest, HashGroupByOpGlobalAndEmpty) {
+  // Global group (no keys) and an empty input.  Only the total aggregates
+  // (CNT/SUM) appear here: AVG/MIN/MAX over the empty input are undefined
+  // by Def 3.3 and would (correctly) error on both protocols.
+  std::vector<AggSpec> aggs = {{AggKind::kCnt, 0, "n"},
+                               {AggKind::kSum, 1, "s"}};
+  auto schema = ops::GroupBySchema({}, aggs, c.r.schema());
+  ASSERT_OK(schema);
+  ExpectBatchAgreement([&] {
+    return std::make_unique<HashGroupByOp>(std::vector<size_t>{}, aggs,
+                                           *schema,
+                                           std::make_unique<ScanOp>(&c.r));
+  });
+  ExpectBatchAgreement([&] {
+    return std::make_unique<HashGroupByOp>(
+        std::vector<size_t>{}, aggs, *schema,
+        std::make_unique<ScanOp>(&c.empty));
+  });
+  // Keyed group-by over an empty input: no groups, empty result.
+  auto keyed_schema = ops::GroupBySchema({0}, aggs, c.r.schema());
+  ASSERT_OK(keyed_schema);
+  ExpectBatchAgreement([&] {
+    return std::make_unique<HashGroupByOp>(
+        std::vector<size_t>{0}, aggs, *keyed_schema,
+        std::make_unique<ScanOp>(&c.empty));
   });
 }
 
