@@ -18,6 +18,9 @@
 
 #include "mra/fault/failpoint.h"
 #include "mra/net/server.h"
+#include "mra/obs/op_metrics.h"
+#include "mra/obs/slow_log.h"
+#include "mra/obs/trace.h"
 
 namespace {
 
@@ -44,6 +47,13 @@ void Usage(const char* argv0) {
          "selects row-at-a-time (default 1024, docs/EXECUTION.md)\n"
       << "  --no-hash-ops           disable the hash-based join/dedup "
          "kernels; plans fall back to NestedLoopJoin and SortDedup\n"
+      << "  --slow-query-ms N       log queries at/over N ms to the "
+         "slow-query log (\\slowlog; 0 logs all, default -1 = off)\n"
+      << "  --trace                 record trace spans server-side "
+         "(\\trace <id> in a connected REPL pulls them by query id)\n"
+      << "  --exec-timing / --no-exec-timing\n"
+      << "                          per-operator wall-time measurement "
+         "(default on; feeds the stats trailer and exec.op_batch_us)\n"
       << "  --salvage-wal           recover the intact prefix of a corrupt "
          "WAL instead of refusing to start\n"
       << "  --failpoints SPEC       arm fault-injection sites, e.g. "
@@ -58,6 +68,10 @@ int main(int argc, char** argv) {
   DatabaseOptions db_options;
   net::ServerOptions options;
   options.port = 7411;
+  // Operator timing on by default: it is what makes the per-query stats
+  // trailer and exec.op_batch_us meaningful, and bench/e17_obs_overhead
+  // pins its cost under 3%.  --no-exec-timing turns it off.
+  bool exec_timing = true;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -90,6 +104,15 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--no-hash-ops") {
       options.interpreter.hash_ops = false;
+    } else if (arg == "--slow-query-ms") {
+      obs::SlowQueryLog::Global().SetThresholdMs(
+          std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--trace") {
+      obs::Tracer::Global().SetEnabled(true);
+    } else if (arg == "--exec-timing") {
+      exec_timing = true;
+    } else if (arg == "--no-exec-timing") {
+      exec_timing = false;
     } else if (arg == "--salvage-wal") {
       db_options.salvage_wal = true;
     } else if (arg == "--failpoints") {
@@ -104,6 +127,8 @@ int main(int argc, char** argv) {
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
+
+  obs::SetExecTiming(exec_timing);
 
   auto db_or = Database::Open(db_options);
   if (!db_or.ok()) {

@@ -11,6 +11,8 @@
 // --batch-size tunes the embedded executor's rows-per-NextBatch pull
 // (default 1024; 0 selects row-at-a-time execution — see
 // docs/EXECUTION.md); in --connect mode the server's own setting applies.
+// --slow-query-ms N arms the embedded slow-query log (\slowlog): queries
+// at or over N ms land there as JSON lines (0 logs everything).
 //
 // Both modes drive one mra::session::Session, so the loop below never
 // branches on where the database lives.  Statements end with ';'.
@@ -25,11 +27,13 @@
 // Meta commands: \h help, \d list relations, \q quit, \checkpoint.
 
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "mra/obs/metrics.h"
+#include "mra/obs/slow_log.h"
 #include "mra/obs/trace.h"
 #include "mra/session/session.h"
 #include "mra/util/printer.h"
@@ -63,15 +67,19 @@ Conditions/expressions use %1, %2, ... for attributes; literals include
 42, 3.14, 'text', true, date'1994-02-14', dec'9.99'.
 
 Meta: \h help, \d relations, \e <E> explain plans, \ea <E> explain analyze,
-      \metrics [json|reset] process metrics, \trace [on|off] spans,
-      \checkpoint, \q quit.)";
+      \metrics [json|prom|reset] process metrics, \trace [on|off] spans,
+      \slowlog slow-query log, \checkpoint, \q quit.)";
 
 constexpr char kClientHelp[] =
     R"(Connected to a remote server: statements run server-side (the
 statements are the same as the embedded shell's).
 
-Meta: \h help, \metrics server metrics (JSON), \ping liveness probe,
-      \shutdown drain and stop the server, \q quit.)";
+Meta: \h help, \metrics [prom|text] server metrics (JSON by default),
+      \top live server introspection (sessions, latency histogram, sheds),
+      \slowlog the server's slow-query log (JSON lines),
+      \trace [id] server-side trace spans (defaults to your last query),
+      \last your last query's server-side stats (id, phases, operators),
+      \ping liveness probe, \shutdown drain and stop the server, \q quit.)";
 
 void PrintRelations(const Database& db) {
   for (const std::string& name : db.catalog().RelationNames()) {
@@ -95,6 +103,64 @@ void PrintResult(const Relation& result) {
   util::PrintOptions print_options;
   print_options.max_rows = 40;
   util::PrintRelation(std::cout, result, print_options);
+}
+
+void PrintLatencySummary(const obs::HistogramData& h) {
+  std::cout << "  query latency (exec.query_us): count=" << h.count
+            << " p50=" << h.Quantile(0.50) << "us p95=" << h.Quantile(0.95)
+            << "us p99=" << h.Quantile(0.99) << "us max=" << h.max_micros
+            << "us\n";
+}
+
+void PrintServerTop(const net::ServerStatsReply& top) {
+  std::cout << "server up " << top.uptime_us / 1'000'000 << "s, sessions "
+            << top.active_sessions << " active / " << top.sessions_served
+            << " served, queries=" << top.queries << " sheds=" << top.sheds
+            << " slow_logged=" << top.slow_logged << "\n";
+  PrintLatencySummary(top.query_latency);
+  if (top.sessions.empty()) {
+    std::cout << "  (no live sessions)\n";
+    return;
+  }
+  std::cout << "  " << std::left << std::setw(6) << "id" << std::setw(16)
+            << "peer" << std::setw(5) << "busy" << std::setw(9) << "queries"
+            << std::setw(12) << "last_us" << std::setw(9) << "idle_ms"
+            << "current query\n";
+  for (const net::ServerSessionInfo& s : top.sessions) {
+    std::cout << "  " << std::left << std::setw(6) << s.id << std::setw(16)
+              << s.peer << std::setw(5) << (s.busy ? "*" : "-")
+              << std::setw(9) << s.queries << std::setw(12)
+              << s.last_latency_us << std::setw(9) << s.idle_ms
+              << (s.current_query.empty() ? "(idle)" : s.current_query)
+              << "\n";
+  }
+  std::cout << std::right;
+}
+
+void PrintLastQueryStats(const session::Session& sess) {
+  const lang::QueryStats* stats = sess.last_query_stats();
+  if (stats == nullptr) {
+    std::cout << "no per-query stats yet (run a query first; remote "
+                 "servers need protocol v3).\n";
+    return;
+  }
+  std::cout << "query " << stats->query_id << ": rows=" << stats->result_rows
+            << " total=" << stats->total_us << "us (bind=" << stats->bind_us
+            << " optimize=" << stats->optimize_us
+            << " lower=" << stats->lower_us << " exec=" << stats->exec_us
+            << ")\n";
+  for (const lang::QueryStats::OpStats& op : stats->operators) {
+    std::cout << "  " << std::string(2 * op.depth, ' ') << op.name
+              << " rows=" << op.metrics.rows_emitted
+              << " weighted=" << op.metrics.weighted_rows;
+    if (op.metrics.batches_emitted > 0) {
+      std::cout << " batches=" << op.metrics.batches_emitted;
+    }
+    if (op.metrics.timed) {
+      std::cout << " time=" << op.metrics.total_ns() / 1000 << "us";
+    }
+    std::cout << "\n";
+  }
 }
 
 // Meta commands: the shared set works against any Session; embedded-only
@@ -130,6 +196,13 @@ bool HandleMeta(const std::string& line, session::Session& sess,
     } else if (line == "\\metrics json") {
       auto stats = sess.Stats();
       std::cout << (stats.ok() ? *stats : stats.status().ToString()) << "\n";
+    } else if (line == "\\metrics prom") {
+      std::cout << obs::MetricsRegistry::Global().RenderPrometheus();
+    } else if (line == "\\slowlog") {
+      std::string lines = obs::SlowQueryLog::Global().RenderJsonLines();
+      std::cout << (lines.empty() ? "(slow-query log empty)\n" : lines);
+    } else if (line == "\\last") {
+      PrintLastQueryStats(sess);
     } else if (line == "\\metrics reset") {
       obs::MetricsRegistry::Global().Reset();
       std::cout << "metrics reset.\n";
@@ -153,6 +226,43 @@ bool HandleMeta(const std::string& line, session::Session& sess,
   if (line == "\\metrics") {
     auto stats = sess.Stats();
     std::cout << (stats.ok() ? *stats : stats.status().ToString()) << "\n";
+  } else if (line == "\\metrics prom" || line == "\\metrics text") {
+    auto stats = remote->client().ServerStats(line.substr(9));
+    std::cout << (stats.ok() ? *stats : stats.status().ToString()) << "\n";
+  } else if (line == "\\top") {
+    auto top = remote->client().FetchServerStats();
+    if (top.ok()) {
+      PrintServerTop(*top);
+    } else {
+      std::cout << top.status().ToString() << "\n";
+    }
+  } else if (line == "\\slowlog") {
+    auto top = remote->client().FetchServerStats();
+    if (!top.ok()) {
+      std::cout << top.status().ToString() << "\n";
+    } else if (top->slow_log.empty()) {
+      std::cout << "(server slow-query log empty)\n";
+    } else {
+      for (const std::string& entry : top->slow_log) {
+        std::cout << entry << "\n";
+      }
+    }
+  } else if (line == "\\trace" || line.rfind("\\trace ", 0) == 0) {
+    uint64_t id = line == "\\trace"
+                      ? sess.last_query_id()
+                      : std::strtoull(line.c_str() + 7, nullptr, 10);
+    auto top = remote->client().FetchServerStats(id);
+    if (!top.ok()) {
+      std::cout << top.status().ToString() << "\n";
+    } else if (top->trace.empty()) {
+      std::cout << "(no trace spans"
+                << (id != 0 ? " for query " + std::to_string(id) : "")
+                << "; is the server tracing? mra_serverd --trace)\n";
+    } else {
+      std::cout << top->trace;
+    }
+  } else if (line == "\\last") {
+    PrintLastQueryStats(sess);
   } else if (line == "\\ping") {
     Status s = sess.Ping();
     std::cout << (s.ok() ? "pong.\n" : s.ToString() + "\n");
@@ -227,18 +337,22 @@ int main(int argc, char** argv) {
   std::string directory;
   size_t batch_size = lang::InterpreterOptions{}.batch_size;
   bool hash_ops = lang::InterpreterOptions{}.hash_ops;
+  long long slow_query_ms = -1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
       connect_spec = argv[++i];
     } else if (arg == "--batch-size" && i + 1 < argc) {
       batch_size = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--slow-query-ms" && i + 1 < argc) {
+      slow_query_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--no-hash-ops") {
       hash_ops = false;
     } else {
       directory = std::move(arg);
     }
   }
+  obs::SlowQueryLog::Global().SetThresholdMs(slow_query_ms);
 
   if (!connect_spec.empty()) {
     net::ClientOptions client_options;

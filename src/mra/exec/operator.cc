@@ -46,6 +46,14 @@ uint64_t NowNs() {
           .count());
 }
 
+// Per-operator batch latency distribution, only fed while exec timing is
+// on (EXPLAIN ANALYZE, or a server started with timing enabled).
+obs::Histogram* OpBatchLatency() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("exec.op_batch_us");
+  return h;
+}
+
 void RenderPhysical(const PhysicalOperator& op, int depth,
                     std::ostream& out) {
   for (int i = 0; i < depth; ++i) out << "  ";
@@ -77,16 +85,26 @@ void RenderAnalyzed(const PhysicalOperator& op, int depth, std::ostream& out) {
   }
   out << "  (actual rows=" << m.rows_emitted
       << " weighted=" << m.weighted_rows;
-  if (m.batches_emitted > 0) out << " batches=" << m.batches_emitted;
+  // `batches` and `time` render uniformly across nodes: `-` marks the
+  // row-at-a-time path (no batches) and an untimed run respectively, so
+  // the columns line up whatever mode produced the tree.
+  out << " batches=";
+  if (m.batches_emitted > 0) {
+    out << m.batches_emitted;
+  } else {
+    out << "-";
+  }
   if (m.distinct_rows > 0) out << " distinct=" << m.distinct_rows;
   if (m.peak_hash_entries > 0) out << " hash=" << m.peak_hash_entries;
   if (m.build_rows > 0) out << " build=" << m.build_rows;
   if (m.probe_rows > 0) out << " probe=" << m.probe_rows;
   if (m.hash_bytes > 0) out << " hashKB=" << (m.hash_bytes + 1023) / 1024;
-  if (m.total_ns() > 0) {
+  if (m.timed) {
     std::snprintf(buf, sizeof(buf), "%.3f",
                   static_cast<double>(m.total_ns()) / 1e6);
     out << " time=" << buf << "ms";
+  } else {
+    out << " time=-";
   }
   out << ")\n";
   for (const PhysicalOperator* child : op.children()) {
@@ -100,6 +118,7 @@ Status PhysicalOperator::Open() {
   MRA_CHECK(state_ != State::kOpen) << "Open() while already open";
   if (state_ == State::kClosed) metrics_.ResetRuntime();
   timing_ = obs::ExecTimingEnabled();
+  metrics_.timed = timing_;
   Status s;
   if (timing_) {
     uint64_t t0 = NowNs();
@@ -142,7 +161,9 @@ Status PhysicalOperator::NextBatch(RowBatch& out) {
   if (timing_) {
     uint64_t t0 = NowNs();
     s = NextBatchImpl(out);
-    metrics_.next_ns += NowNs() - t0;
+    uint64_t elapsed_ns = NowNs() - t0;
+    metrics_.next_ns += elapsed_ns;
+    OpBatchLatency()->Observe(elapsed_ns / 1000);
   } else {
     s = NextBatchImpl(out);
   }

@@ -2,11 +2,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "mra/exec/physical_planner.h"
 #include "mra/lang/binder.h"
 #include "mra/lang/parser.h"
 #include "mra/obs/metrics.h"
+#include "mra/obs/slow_log.h"
 #include "mra/obs/trace.h"
 #include "mra/opt/stats.h"
 
@@ -37,24 +39,39 @@ obs::Counter* QueryCounter() {
   return c;
 }
 
+obs::Histogram* QueryLatency() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("exec.query_us");
+  return h;
+}
+
 }  // namespace
 
 Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
                                            const RelationProvider& provider) {
   QueryCounter()->Inc();
+  QueryStats stats;
+  stats.query_id = obs::CurrentQueryId();
+  uint64_t t0 = NowMicros();
   PlanPtr plan;
   {
     obs::ScopedSpan span("bind");
     MRA_ASSIGN_OR_RETURN(plan, BindRelExpr(expr, provider));
   }
+  uint64_t t1 = NowMicros();
+  stats.bind_us = t1 - t0;
   if (options_.optimize) {
     obs::ScopedSpan span("optimize");
     opt::Optimizer optimizer(&provider);
     MRA_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
   }
+  uint64_t t2 = NowMicros();
+  stats.optimize_us = t2 - t1;
   if (!options_.use_physical_exec) {
     obs::ScopedSpan span("execute");
-    return EvaluatePlan(*plan, provider);
+    Result<Relation> result = EvaluatePlan(*plan, provider);
+    QueryLatency()->Observe(NowMicros() - t0);
+    return result;
   }
   exec::PhysOpPtr root;
   {
@@ -64,23 +81,43 @@ Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
     MRA_ASSIGN_OR_RETURN(
         root, exec::LowerPlan(plan, provider, nullptr, planner_options));
   }
-  uint64_t t0 = NowMicros();
+  uint64_t t3 = NowMicros();
+  stats.lower_us = t3 - t2;
   Result<Relation> result = [&]() -> Result<Relation> {
     obs::ScopedSpan span("execute");
     return exec::ExecuteToRelation(*root, options_.batch_size);
   }();
-  last_query_stats_ = QueryStats{};
-  last_query_stats_.exec_us = NowMicros() - t0;
-  HarvestOpStats(*root, 0, &last_query_stats_);
+  uint64_t t4 = NowMicros();
+  stats.exec_us = t4 - t3;
+  stats.total_us = t4 - t0;
+  HarvestOpStats(*root, 0, &stats);
   if (result.ok()) {
-    last_query_stats_.result_rows = result->size();
-    last_query_stats_.valid = true;
+    stats.result_rows = result->size();
+    stats.valid = true;
+  }
+  last_query_stats_ = std::move(stats);
+  QueryLatency()->Observe(last_query_stats_.total_us);
+
+  obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
+  if (result.ok() && slow_log.ShouldLog(last_query_stats_.total_us)) {
+    obs::SlowQueryEntry entry;
+    entry.query_id = last_query_stats_.query_id;
+    entry.latency_us = last_query_stats_.total_us;
+    entry.bind_us = last_query_stats_.bind_us;
+    entry.optimize_us = last_query_stats_.optimize_us;
+    entry.lower_us = last_query_stats_.lower_us;
+    entry.exec_us = last_query_stats_.exec_us;
+    entry.result_rows = last_query_stats_.result_rows;
+    entry.source = current_source_;
+    entry.plan = exec::RenderPlanWithMetrics(*root);
+    slow_log.Record(std::move(entry));
   }
   return result;
 }
 
 Status Interpreter::ExecuteStmt(const Stmt& stmt, Transaction& txn,
                                 const QueryCallback& on_query) {
+  current_source_ = stmt.ToString();
   switch (stmt.kind) {
     case Stmt::Kind::kCreate:
     case Stmt::Kind::kDrop:
@@ -170,6 +207,10 @@ Status Interpreter::ExecuteItem(const Script::Item& item,
 
 Status Interpreter::ExecuteScript(std::string_view source,
                                   const QueryCallback& on_query) {
+  // The whole script shares one query id unless the caller (e.g. the
+  // network server, which binds the wire-provided id) set one already.
+  std::optional<obs::ScopedQueryId> qid;
+  if (obs::CurrentQueryId() == 0) qid.emplace(obs::NextQueryId());
   obs::ScopedSpan script_span("script");
   Script script;
   {
@@ -193,6 +234,9 @@ Result<std::vector<Relation>> Interpreter::ExecuteScriptCollect(
 }
 
 Result<Relation> Interpreter::Query(std::string_view rel_expr_source) {
+  std::optional<obs::ScopedQueryId> qid;
+  if (obs::CurrentQueryId() == 0) qid.emplace(obs::NextQueryId());
+  current_source_ = std::string(rel_expr_source);
   obs::ScopedSpan query_span("query");
   RelExprPtr expr;
   {
@@ -253,10 +297,13 @@ Result<std::string> Interpreter::ExplainExpr(const RelExpr& expr,
     return exec::ExecuteToRelation(*physical, options_.batch_size);
   }();
   uint64_t exec_us = NowMicros() - t0;
+  QueryLatency()->Observe(exec_us);
   MRA_RETURN_IF_ERROR(result.status());
 
   last_query_stats_ = QueryStats{};
+  last_query_stats_.query_id = obs::CurrentQueryId();
   last_query_stats_.exec_us = exec_us;
+  last_query_stats_.total_us = exec_us;
   HarvestOpStats(*physical, 0, &last_query_stats_);
   last_query_stats_.result_rows = result->size();
   last_query_stats_.valid = true;

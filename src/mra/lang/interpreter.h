@@ -60,9 +60,16 @@ struct QueryStats {
   /// Operators in preorder (parent before children, matching the
   /// EXPLAIN rendering top to bottom).
   std::vector<OpStats> operators;
+  /// Query id the stats belong to (obs::CurrentQueryId() at evaluation;
+  /// 0 when the caller established none).
+  uint64_t query_id = 0;
   /// Multiplicity-weighted cardinality of the result.
   uint64_t result_rows = 0;
-  /// Wall time of the execute phase.
+  /// Wall time per phase (total = bind + optimize + lower + execute).
+  uint64_t total_us = 0;
+  uint64_t bind_us = 0;
+  uint64_t optimize_us = 0;
+  uint64_t lower_us = 0;
   uint64_t exec_us = 0;
   /// False until a physically-executed query completes.
   bool valid = false;
@@ -133,6 +140,9 @@ class Interpreter {
   Database* db_;
   Options options_;
   QueryStats last_query_stats_;
+  /// Source text of the query being evaluated, for the slow-query log
+  /// (set by Query/ExecuteScript; the interpreter is single-threaded).
+  std::string current_source_;
 };
 
 }  // namespace lang

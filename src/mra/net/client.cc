@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "mra/obs/metrics.h"
+#include "mra/obs/trace.h"
 
 namespace mra {
 namespace net {
@@ -14,6 +15,7 @@ struct ClientMetrics {
   obs::Counter* retries;
   obs::Counter* reconnects;
   obs::Counter* busy;
+  obs::Histogram* rtt_us;
 
   static ClientMetrics& Get() {
     static ClientMetrics m = [] {
@@ -22,11 +24,19 @@ struct ClientMetrics {
       out.retries = reg.GetCounter("net.client.retries");
       out.reconnects = reg.GetCounter("net.client.reconnects");
       out.busy = reg.GetCounter("net.client.busy");
+      out.rtt_us = reg.GetHistogram("net.client.rtt_us");
       return out;
     }();
     return m;
   }
 };
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -90,6 +100,7 @@ void Client::BackoffSleep(int attempt) {
 
 Result<Frame> Client::RoundTrip(FrameKind kind, std::string_view payload) {
   if (!sock_.valid()) return Status::IoError("client is not connected");
+  uint64_t t0 = NowMicros();
   Result<size_t> sent = WriteFrame(sock_, kind, payload);
   if (!sent.ok()) {
     sock_.Close();
@@ -98,6 +109,11 @@ Result<Frame> Client::RoundTrip(FrameKind kind, std::string_view payload) {
   Result<Frame> response =
       ReadFrame(sock_, WireLimits{options_.max_frame_bytes},
                 options_.io_timeout_ms);
+  if (response.ok()) {
+    // A completed exchange (even one carrying an Error/Busy frame) is a
+    // measured round trip; transport failures are not.
+    ClientMetrics::Get().rtt_us->Observe(NowMicros() - t0);
+  }
   if (!response.ok()) {
     // Framing is connection state; after any read failure the stream
     // position is unknown, so the connection is done.
@@ -144,15 +160,35 @@ Result<Frame> Client::RetryingRoundTrip(FrameKind kind,
   return response;
 }
 
-Result<Relation> Client::Query(std::string_view rel_expr_source) {
-  MRA_ASSIGN_OR_RETURN(Frame response,
-                       RetryingRoundTrip(FrameKind::kQuery, rel_expr_source));
+Result<std::vector<Relation>> Client::DecodeResults(const Frame& response) {
+  last_query_stats_.reset();
   if (response.kind != FrameKind::kResultSet) {
-    return Status::Corruption("Query answered with " +
+    return Status::Corruption("query answered with " +
                               std::string(FrameKindName(response.kind)));
   }
+  if (server_version_ >= 3) {
+    return DecodeResultSetWithStats(response.payload, &last_query_stats_);
+  }
+  return DecodeResultSet(response.payload);
+}
+
+Result<Relation> Client::Query(std::string_view rel_expr_source) {
+  std::string payload;
+  std::string_view wire = rel_expr_source;
+  if (server_version_ >= 3) {
+    // Mint the id client-side so the caller can correlate this query with
+    // server-side traces before the response even arrives.  A retry
+    // resends the same payload, so the id stays stable across attempts.
+    last_query_id_ = obs::NextQueryId();
+    payload = EncodeQueryRequest(last_query_id_, rel_expr_source);
+    wire = payload;
+  } else {
+    last_query_id_ = 0;
+  }
+  MRA_ASSIGN_OR_RETURN(Frame response,
+                       RetryingRoundTrip(FrameKind::kQuery, wire));
   MRA_ASSIGN_OR_RETURN(std::vector<Relation> relations,
-                       DecodeResultSet(response.payload));
+                       DecodeResults(response));
   if (relations.size() != 1) {
     return Status::Corruption("Query expects exactly one relation, got " +
                               std::to_string(relations.size()));
@@ -161,23 +197,44 @@ Result<Relation> Client::Query(std::string_view rel_expr_source) {
 }
 
 Result<std::vector<Relation>> Client::ExecuteScript(std::string_view source) {
-  MRA_ASSIGN_OR_RETURN(Frame response,
-                       RoundTrip(FrameKind::kScript, source));
-  if (response.kind != FrameKind::kResultSet) {
-    return Status::Corruption("Script answered with " +
-                              std::string(FrameKindName(response.kind)));
+  std::string payload;
+  std::string_view wire = source;
+  if (server_version_ >= 3) {
+    last_query_id_ = obs::NextQueryId();
+    payload = EncodeQueryRequest(last_query_id_, source);
+    wire = payload;
+  } else {
+    last_query_id_ = 0;
   }
-  return DecodeResultSet(response.payload);
+  MRA_ASSIGN_OR_RETURN(Frame response, RoundTrip(FrameKind::kScript, wire));
+  return DecodeResults(response);
 }
 
-Result<std::string> Client::ServerStats() {
+Result<std::string> Client::ServerStats(std::string_view format) {
   MRA_ASSIGN_OR_RETURN(Frame response,
-                       RetryingRoundTrip(FrameKind::kStats, {}));
+                       RetryingRoundTrip(FrameKind::kStats, format));
   if (response.kind != FrameKind::kStats) {
     return Status::Corruption("Stats answered with " +
                               std::string(FrameKindName(response.kind)));
   }
   return std::move(response.payload);
+}
+
+Result<ServerStatsReply> Client::FetchServerStats(uint64_t query_id) {
+  if (server_version_ != 0 && server_version_ < 3) {
+    return Status::InvalidArgument(
+        "server speaks protocol v" + std::to_string(server_version_) +
+        "; ServerStats needs v3");
+  }
+  MRA_ASSIGN_OR_RETURN(
+      Frame response,
+      RetryingRoundTrip(FrameKind::kServerStats,
+                        EncodeServerStatsRequest(query_id)));
+  if (response.kind != FrameKind::kServerStats) {
+    return Status::Corruption("ServerStats answered with " +
+                              std::string(FrameKindName(response.kind)));
+  }
+  return DecodeServerStatsReply(response.payload);
 }
 
 Status Client::Ping() {

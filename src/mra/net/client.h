@@ -21,6 +21,7 @@
 #define MRA_NET_CLIENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <random>
 #include <string>
 #include <string_view>
@@ -69,8 +70,15 @@ class Client {
   /// server-side and surfaces here as its Status.
   Result<std::vector<Relation>> ExecuteScript(std::string_view source);
 
-  /// The server's metrics registry as JSON (net.*, exec.*, txn.*, …).
-  Result<std::string> ServerStats();
+  /// The server's metrics registry export.  `format` selects the dialect:
+  /// "" or "json" (default), "prom" (Prometheus exposition), "text".
+  Result<std::string> ServerStats(std::string_view format = {});
+
+  /// Live-introspection snapshot (v3 servers): sessions, latency
+  /// histogram, slow-query log, trace spans.  `query_id` filters the
+  /// trace to one query; 0 asks for the overview.  Read-only, so retried
+  /// like Query.  InvalidArgument against a v2 server.
+  Result<ServerStatsReply> FetchServerStats(uint64_t query_id = 0);
 
   /// Round-trip liveness probe (payload echoed server-side).
   Status Ping();
@@ -80,7 +88,20 @@ class Client {
 
   /// Server banner from the handshake, e.g. "mra_serverd".
   const std::string& server_banner() const { return server_banner_; }
+  /// The negotiated protocol version (min of both dialects); payload
+  /// shapes downgrade to v2 automatically when the server is older.
   uint32_t server_version() const { return server_version_; }
+
+  /// The id this client minted for its most recent Query/ExecuteScript
+  /// (0 before the first one, or when the server predates v3).  Feed it
+  /// to FetchServerStats() to pull that query's server-side trace.
+  uint64_t last_query_id() const { return last_query_id_; }
+
+  /// Server-side stats trailer from the most recent Query/ExecuteScript
+  /// response; empty against a v2 server or when the server sent none.
+  const std::optional<WireQueryStats>& last_query_stats() const {
+    return last_query_stats_;
+  }
 
   bool connected() const { return sock_.valid(); }
   void Close() { sock_.Close(); }
@@ -115,6 +136,10 @@ class Client {
   /// Sleeps the jittered exponential backoff for retry attempt `attempt`.
   void BackoffSleep(int attempt);
 
+  /// Decodes a ResultSet response at the negotiated version, stashing the
+  /// v3 stats trailer (when present) into last_query_stats_.
+  Result<std::vector<Relation>> DecodeResults(const Frame& response);
+
   Socket sock_;
   ClientOptions options_;
   std::string host_;
@@ -122,6 +147,8 @@ class Client {
   std::string server_banner_;
   uint32_t server_version_ = 0;
   uint32_t busy_hint_ms_ = 0;
+  uint64_t last_query_id_ = 0;
+  std::optional<WireQueryStats> last_query_stats_;
   std::mt19937 rng_;
 };
 

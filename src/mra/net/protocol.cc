@@ -38,13 +38,15 @@ std::string_view FrameKindName(FrameKind kind) {
       return "Shutdown";
     case FrameKind::kBusy:
       return "Busy";
+    case FrameKind::kServerStats:
+      return "ServerStats";
   }
   return "?";
 }
 
 bool IsValidFrameKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(FrameKind::kHello) &&
-         kind <= static_cast<uint8_t>(FrameKind::kBusy);
+         kind <= static_cast<uint8_t>(FrameKind::kServerStats);
 }
 
 std::string EncodeFrame(FrameKind kind, std::string_view payload) {
@@ -186,8 +188,10 @@ Status DecodeError(std::string_view payload) {
   return Status(static_cast<StatusCode>(*code), *std::move(message));
 }
 
-std::string EncodeResultSet(const std::vector<Relation>& relations) {
-  storage::Encoder enc;
+namespace {
+
+void EncodeRelations(storage::Encoder& enc,
+                     const std::vector<Relation>& relations) {
   enc.PutU32(static_cast<uint32_t>(relations.size()));
   for (const Relation& r : relations) {
     enc.PutSchema(r.schema());
@@ -209,11 +213,9 @@ std::string EncodeResultSet(const std::vector<Relation>& relations) {
     }
     enc.PutU32(0);  // end-of-relation terminator
   }
-  return enc.TakeBuffer();
 }
 
-Result<std::vector<Relation>> DecodeResultSet(std::string_view payload) {
-  storage::Decoder dec(payload);
+Result<std::vector<Relation>> DecodeRelations(storage::Decoder& dec) {
   MRA_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
   if (n > kMaxRelationsPerResultSet) {
     return Status::Corruption("implausible ResultSet cardinality");
@@ -239,8 +241,246 @@ Result<std::vector<Relation>> DecodeResultSet(std::string_view payload) {
     }
     out.push_back(std::move(r));
   }
+  return out;
+}
+
+void EncodeWireQueryStats(storage::Encoder& enc, const WireQueryStats& s) {
+  enc.PutU64(s.query_id);
+  enc.PutU64(s.result_rows);
+  enc.PutU64(s.total_us);
+  enc.PutU64(s.bind_us);
+  enc.PutU64(s.optimize_us);
+  enc.PutU64(s.lower_us);
+  enc.PutU64(s.exec_us);
+  enc.PutU32(static_cast<uint32_t>(s.operators.size()));
+  for (const WireOpStats& op : s.operators) {
+    enc.PutString(op.name);
+    enc.PutU32(op.depth);
+    enc.PutDouble(op.estimated_rows);
+    enc.PutU64(op.rows_emitted);
+    enc.PutU64(op.batches_emitted);
+    enc.PutU64(op.weighted_rows);
+    enc.PutU64(op.distinct_rows);
+    enc.PutU64(op.peak_hash_entries);
+    enc.PutU64(op.build_rows);
+    enc.PutU64(op.probe_rows);
+    enc.PutU64(op.hash_bytes);
+    enc.PutU64(op.time_ns);
+  }
+}
+
+// A plan deeper than this is not a plan, it is an attack.
+constexpr uint32_t kMaxWireOperators = 1u << 16;
+
+Result<WireQueryStats> DecodeWireQueryStats(storage::Decoder& dec) {
+  WireQueryStats s;
+  MRA_ASSIGN_OR_RETURN(s.query_id, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(s.result_rows, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(s.total_us, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(s.bind_us, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(s.optimize_us, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(s.lower_us, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(s.exec_us, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+  if (n > kMaxWireOperators) {
+    return Status::Corruption("implausible operator count in stats trailer");
+  }
+  s.operators.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WireOpStats op;
+    MRA_ASSIGN_OR_RETURN(op.name, dec.GetString());
+    MRA_ASSIGN_OR_RETURN(op.depth, dec.GetU32());
+    MRA_ASSIGN_OR_RETURN(op.estimated_rows, dec.GetDouble());
+    MRA_ASSIGN_OR_RETURN(op.rows_emitted, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(op.batches_emitted, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(op.weighted_rows, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(op.distinct_rows, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(op.peak_hash_entries, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(op.build_rows, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(op.probe_rows, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(op.hash_bytes, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(op.time_ns, dec.GetU64());
+    s.operators.push_back(std::move(op));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string EncodeResultSet(const std::vector<Relation>& relations) {
+  storage::Encoder enc;
+  EncodeRelations(enc, relations);
+  return enc.TakeBuffer();
+}
+
+Result<std::vector<Relation>> DecodeResultSet(std::string_view payload) {
+  storage::Decoder dec(payload);
+  MRA_ASSIGN_OR_RETURN(std::vector<Relation> out, DecodeRelations(dec));
   if (!dec.AtEnd()) {
     return Status::Corruption("trailing bytes in ResultSet payload");
+  }
+  return out;
+}
+
+std::string EncodeQueryRequest(uint64_t query_id, std::string_view text) {
+  storage::Encoder enc;
+  enc.PutU64(query_id);
+  enc.PutString(text);
+  return enc.TakeBuffer();
+}
+
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
+  storage::Decoder dec(payload);
+  QueryRequest out;
+  MRA_ASSIGN_OR_RETURN(out.query_id, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(out.text, dec.GetString());
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes in QueryRequest payload");
+  }
+  return out;
+}
+
+std::string EncodeResultSetWithStats(const std::vector<Relation>& relations,
+                                     const WireQueryStats* stats) {
+  storage::Encoder enc;
+  EncodeRelations(enc, relations);
+  enc.PutU8(stats != nullptr ? 1 : 0);
+  if (stats != nullptr) EncodeWireQueryStats(enc, *stats);
+  return enc.TakeBuffer();
+}
+
+Result<std::vector<Relation>> DecodeResultSetWithStats(
+    std::string_view payload, std::optional<WireQueryStats>* stats_out) {
+  storage::Decoder dec(payload);
+  MRA_ASSIGN_OR_RETURN(std::vector<Relation> out, DecodeRelations(dec));
+  if (stats_out != nullptr) stats_out->reset();
+  MRA_ASSIGN_OR_RETURN(uint8_t has_stats, dec.GetU8());
+  if (has_stats > 1) {
+    return Status::Corruption("malformed ResultSet stats flag");
+  }
+  if (has_stats == 1) {
+    MRA_ASSIGN_OR_RETURN(WireQueryStats stats, DecodeWireQueryStats(dec));
+    if (stats_out != nullptr) *stats_out = std::move(stats);
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes in ResultSet payload");
+  }
+  return out;
+}
+
+std::string EncodeServerStatsRequest(uint64_t query_id) {
+  storage::Encoder enc;
+  enc.PutU64(query_id);
+  return enc.TakeBuffer();
+}
+
+Result<uint64_t> DecodeServerStatsRequest(std::string_view payload) {
+  storage::Decoder dec(payload);
+  MRA_ASSIGN_OR_RETURN(uint64_t query_id, dec.GetU64());
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes in ServerStats request");
+  }
+  return query_id;
+}
+
+std::string EncodeServerStatsReply(const ServerStatsReply& reply) {
+  storage::Encoder enc;
+  enc.PutU64(reply.uptime_us);
+  enc.PutU64(reply.sessions_served);
+  enc.PutU32(reply.active_sessions);
+  enc.PutU64(reply.queries);
+  enc.PutU64(reply.sheds);
+  enc.PutU64(reply.slow_logged);
+  enc.PutU64(reply.query_latency.count);
+  enc.PutU64(reply.query_latency.sum_micros);
+  enc.PutU64(reply.query_latency.max_micros);
+  // Histogram buckets travel sparsely: (u32 index, u64 count) pairs.
+  uint32_t nonzero = 0;
+  for (uint64_t b : reply.query_latency.buckets) {
+    if (b != 0) ++nonzero;
+  }
+  enc.PutU32(nonzero);
+  for (size_t i = 0; i < reply.query_latency.buckets.size(); ++i) {
+    if (reply.query_latency.buckets[i] == 0) continue;
+    enc.PutU32(static_cast<uint32_t>(i));
+    enc.PutU64(reply.query_latency.buckets[i]);
+  }
+  enc.PutU32(static_cast<uint32_t>(reply.sessions.size()));
+  for (const ServerSessionInfo& s : reply.sessions) {
+    enc.PutU64(s.id);
+    enc.PutString(s.peer);
+    enc.PutString(s.current_query);
+    enc.PutU8(s.busy ? 1 : 0);
+    enc.PutU64(s.queries);
+    enc.PutU64(s.last_latency_us);
+    enc.PutU64(s.idle_ms);
+  }
+  enc.PutU32(static_cast<uint32_t>(reply.slow_log.size()));
+  for (const std::string& line : reply.slow_log) enc.PutString(line);
+  enc.PutString(reply.trace);
+  return enc.TakeBuffer();
+}
+
+Result<ServerStatsReply> DecodeServerStatsReply(std::string_view payload) {
+  // Sanity bounds: a reply lists live sessions (bounded by the server's
+  // session cap) and a fixed-capacity slow-log ring; anything far past
+  // those is a corrupt count.
+  constexpr uint32_t kMaxSessions = 1u << 16;
+  constexpr uint32_t kMaxSlowLogLines = 1u << 16;
+  storage::Decoder dec(payload);
+  ServerStatsReply out;
+  MRA_ASSIGN_OR_RETURN(out.uptime_us, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(out.sessions_served, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(out.active_sessions, dec.GetU32());
+  MRA_ASSIGN_OR_RETURN(out.queries, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(out.sheds, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(out.slow_logged, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(out.query_latency.count, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(out.query_latency.sum_micros, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(out.query_latency.max_micros, dec.GetU64());
+  MRA_ASSIGN_OR_RETURN(uint32_t nonzero, dec.GetU32());
+  if (nonzero > obs::Histogram::kNumBuckets) {
+    return Status::Corruption("implausible histogram bucket count");
+  }
+  out.query_latency.buckets.assign(obs::Histogram::kNumBuckets, 0);
+  for (uint32_t i = 0; i < nonzero; ++i) {
+    MRA_ASSIGN_OR_RETURN(uint32_t index, dec.GetU32());
+    MRA_ASSIGN_OR_RETURN(uint64_t count, dec.GetU64());
+    if (index >= obs::Histogram::kNumBuckets) {
+      return Status::Corruption("histogram bucket index out of range");
+    }
+    out.query_latency.buckets[index] = count;
+  }
+  MRA_ASSIGN_OR_RETURN(uint32_t n_sessions, dec.GetU32());
+  if (n_sessions > kMaxSessions) {
+    return Status::Corruption("implausible session count");
+  }
+  out.sessions.reserve(n_sessions);
+  for (uint32_t i = 0; i < n_sessions; ++i) {
+    ServerSessionInfo s;
+    MRA_ASSIGN_OR_RETURN(s.id, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(s.peer, dec.GetString());
+    MRA_ASSIGN_OR_RETURN(s.current_query, dec.GetString());
+    MRA_ASSIGN_OR_RETURN(uint8_t busy, dec.GetU8());
+    if (busy > 1) return Status::Corruption("malformed session busy flag");
+    s.busy = busy == 1;
+    MRA_ASSIGN_OR_RETURN(s.queries, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(s.last_latency_us, dec.GetU64());
+    MRA_ASSIGN_OR_RETURN(s.idle_ms, dec.GetU64());
+    out.sessions.push_back(std::move(s));
+  }
+  MRA_ASSIGN_OR_RETURN(uint32_t n_lines, dec.GetU32());
+  if (n_lines > kMaxSlowLogLines) {
+    return Status::Corruption("implausible slow-log line count");
+  }
+  out.slow_log.reserve(n_lines);
+  for (uint32_t i = 0; i < n_lines; ++i) {
+    MRA_ASSIGN_OR_RETURN(std::string line, dec.GetString());
+    out.slow_log.push_back(std::move(line));
+  }
+  MRA_ASSIGN_OR_RETURN(out.trace, dec.GetString());
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes in ServerStats reply");
   }
   return out;
 }

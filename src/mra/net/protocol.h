@@ -14,15 +14,21 @@
 // Frame kinds and payloads (client → server unless noted):
 //
 //   Hello      u32 protocol_version, string peer_name.  First frame in each
-//              direction; the server answers with its own Hello (version +
-//              banner), or an Error carrying Unavailable on version
-//              mismatch (the server names both versions so an old client's
-//              operator knows what to upgrade).
-//   Query      string: one XRA relation expression.  Answered with a
-//              ResultSet of exactly one relation, or Error.
-//   Script     string: a whole XRA script (statements, transactions, DDL).
-//              Answered with a ResultSet holding every `? E` result, or
-//              Error (the failing bracket rolled back server-side).
+//              direction; the server answers with its own Hello carrying
+//              the negotiated version — min(client, server) — as long as
+//              the client speaks ≥ kMinProtocolVersion, or an Error
+//              carrying Unavailable otherwise (the server names both
+//              versions so an old client's operator knows what to upgrade).
+//   Query      At the negotiated version 2: string, one XRA relation
+//              expression.  At version 3: u64 query_id, then the string —
+//              the id the client minted, bound server-side for the whole
+//              evaluation so traces, operator stats and slow-log entries
+//              attribute to it.  Answered with a ResultSet of exactly one
+//              relation, or Error.
+//   Script     Same payload shape as Query (raw text at v2, id + text at
+//              v3) carrying a whole XRA script.  Answered with a ResultSet
+//              holding every `? E` result, or Error (the failing bracket
+//              rolled back server-side).
 //   ResultSet  (server) u32 n, then n relations, each encoded batch-wise:
 //              the schema (storage::PutSchema) followed by row chunks
 //              [u32 k > 0, then k × (tuple, u64 count)] and a final u32 0
@@ -31,10 +37,16 @@
 //              batch-at-a-time execution (see docs/EXECUTION.md).  Protocol
 //              version 1 encoded a relation as a distinct-count header plus
 //              that many rows; version 2 is not decodable by v1 peers, hence
-//              the version bump.
+//              the version bump.  At version 3 the relations are followed
+//              by u8 has_stats and, when 1, a WireQueryStats trailer — the
+//              server-side per-query stats summary (per-phase latencies and
+//              the per-operator metrics tree) that RemoteSession::Stats()
+//              and EXPLAIN-style tooling surface client-side.
 //   Error      (server) u8 StatusCode, string message.
 //   Stats      empty request; the server answers with a Stats frame whose
-//              payload is the metrics registry's JSON export.
+//              payload is the metrics registry's JSON export.  An optional
+//              string payload selects the export: "" or "json" (default),
+//              "prom" (Prometheus text exposition), "text".
 //   Ping       arbitrary payload; echoed back verbatim in a Ping frame.
 //   Shutdown   empty.  The server acks with a Shutdown frame, then drains:
 //              stops accepting, lets in-flight requests finish, closes.
@@ -42,17 +54,26 @@
 //              of the server Hello when the server sheds load; the
 //              connection is closed right after.  Clients surface it as
 //              Unavailable and may reconnect after the hinted delay.
+//   ServerStats (v3) u64 query_id request (0 = overview).  The server
+//              answers with a ServerStats frame carrying a ServerStatsReply:
+//              uptime, session registry (live sessions with their current
+//              query), the query-latency histogram, shed/slow-query
+//              counters, the slow-query log's JSON lines, and the trace
+//              spans (filtered to query_id when nonzero).  Powers `\top`,
+//              `\slowlog` and `\trace <id>` in xra_repl --connect.
 
 #ifndef MRA_NET_PROTOCOL_H_
 #define MRA_NET_PROTOCOL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "mra/common/result.h"
 #include "mra/core/relation.h"
+#include "mra/obs/metrics.h"
 
 namespace mra {
 namespace net {
@@ -60,8 +81,11 @@ namespace net {
 class Socket;
 
 constexpr uint32_t kMagic = 0x3141524du;  // "MRA1" when read little-endian.
-/// Version 2 introduced the chunked (batch-serialized) ResultSet encoding.
-constexpr uint32_t kProtocolVersion = 2;
+/// Version 2 introduced the chunked (batch-serialized) ResultSet encoding;
+/// version 3 adds query ids, the ResultSet stats trailer and ServerStats.
+constexpr uint32_t kProtocolVersion = 3;
+/// Oldest client version the server still serves (with v2 payload shapes).
+constexpr uint32_t kMinProtocolVersion = 2;
 constexpr size_t kFrameHeaderBytes = 13;  // magic + kind + len + crc.
 
 enum class FrameKind : uint8_t {
@@ -74,6 +98,7 @@ enum class FrameKind : uint8_t {
   kPing = 7,
   kShutdown = 8,
   kBusy = 9,
+  kServerStats = 10,
 };
 
 /// Stable name for diagnostics, e.g. "Query".
@@ -147,6 +172,89 @@ constexpr uint32_t kResultSetChunkRows = 1024;
 
 std::string EncodeResultSet(const std::vector<Relation>& relations);
 Result<std::vector<Relation>> DecodeResultSet(std::string_view payload);
+
+/// Query/Script request payload at protocol version 3: the client-minted
+/// query id plus the XRA text.  (Version 2 sends the raw text alone.)
+struct QueryRequest {
+  uint64_t query_id = 0;
+  std::string text;
+};
+
+std::string EncodeQueryRequest(uint64_t query_id, std::string_view text);
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload);
+
+/// Per-operator stats as they travel on the wire — a mirror of
+/// lang::QueryStats::OpStats flattened to plain integers (net stays
+/// independent of the lang layer; session/session.cc converts).
+struct WireOpStats {
+  std::string name;
+  uint32_t depth = 0;
+  double estimated_rows = -1;
+  uint64_t rows_emitted = 0;
+  uint64_t batches_emitted = 0;
+  uint64_t weighted_rows = 0;
+  uint64_t distinct_rows = 0;
+  uint64_t peak_hash_entries = 0;
+  uint64_t build_rows = 0;
+  uint64_t probe_rows = 0;
+  uint64_t hash_bytes = 0;
+  uint64_t time_ns = 0;
+};
+
+/// The ResultSet stats trailer: the server-side summary of the query that
+/// produced the response (wire mirror of lang::QueryStats).
+struct WireQueryStats {
+  uint64_t query_id = 0;
+  uint64_t result_rows = 0;
+  uint64_t total_us = 0;
+  uint64_t bind_us = 0;
+  uint64_t optimize_us = 0;
+  uint64_t lower_us = 0;
+  uint64_t exec_us = 0;
+  std::vector<WireOpStats> operators;  // Preorder, as in QueryStats.
+};
+
+/// v3 ResultSet: the v2 relation encoding followed by u8 has_stats and,
+/// when set, the WireQueryStats trailer.  `stats == nullptr` encodes
+/// has_stats = 0; DecodeResultSetWithStats then returns an empty optional
+/// in `stats_out` (pass nullptr to skip the trailer entirely).
+std::string EncodeResultSetWithStats(const std::vector<Relation>& relations,
+                                     const WireQueryStats* stats);
+Result<std::vector<Relation>> DecodeResultSetWithStats(
+    std::string_view payload, std::optional<WireQueryStats>* stats_out);
+
+/// One live session in a ServerStats reply.
+struct ServerSessionInfo {
+  uint64_t id = 0;
+  std::string peer;
+  std::string current_query;  // Truncated text; empty when idle.
+  bool busy = false;          // A request is executing right now.
+  uint64_t queries = 0;       // Query/Script requests served.
+  uint64_t last_latency_us = 0;
+  uint64_t idle_ms = 0;       // Milliseconds since the last request.
+};
+
+/// ServerStats reply: the server's live-introspection snapshot.
+struct ServerStatsReply {
+  uint64_t uptime_us = 0;
+  uint64_t sessions_served = 0;
+  uint32_t active_sessions = 0;
+  uint64_t queries = 0;      // exec.queries counter.
+  uint64_t sheds = 0;        // net.sheds counter.
+  uint64_t slow_logged = 0;  // SlowQueryLog::total_logged().
+  /// Server-side exec.query_us distribution; mergeable client-side
+  /// because both ends share obs::Histogram's bucket layout.
+  obs::HistogramData query_latency;
+  std::vector<ServerSessionInfo> sessions;
+  std::vector<std::string> slow_log;  // JSON lines, oldest first.
+  std::string trace;  // Rendered spans (query-filtered when requested).
+};
+
+std::string EncodeServerStatsRequest(uint64_t query_id);
+Result<uint64_t> DecodeServerStatsRequest(std::string_view payload);
+
+std::string EncodeServerStatsReply(const ServerStatsReply& reply);
+Result<ServerStatsReply> DecodeServerStatsReply(std::string_view payload);
 
 /// Busy payload: the server's load-shed notice with a retry-after hint.
 struct BusyNotice {

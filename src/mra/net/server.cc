@@ -1,9 +1,12 @@
 #include "mra/net/server.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "mra/fault/failpoint.h"
 #include "mra/obs/metrics.h"
+#include "mra/obs/slow_log.h"
+#include "mra/obs/trace.h"
 
 namespace mra {
 namespace net {
@@ -55,6 +58,45 @@ uint64_t NowMicros() {
           .count());
 }
 
+// `\top` shows at most this much of a session's current query text.
+constexpr size_t kCurrentQueryClip = 200;
+
+std::string ClipQueryText(std::string_view text) {
+  if (text.size() <= kCurrentQueryClip) return std::string(text);
+  return std::string(text.substr(0, kCurrentQueryClip)) + "…";
+}
+
+// Converts the interpreter's harvested stats into the wire mirror that
+// rides back in the ResultSet trailer.
+WireQueryStats ToWireStats(const lang::QueryStats& stats) {
+  WireQueryStats out;
+  out.query_id = stats.query_id;
+  out.result_rows = stats.result_rows;
+  out.total_us = stats.total_us;
+  out.bind_us = stats.bind_us;
+  out.optimize_us = stats.optimize_us;
+  out.lower_us = stats.lower_us;
+  out.exec_us = stats.exec_us;
+  out.operators.reserve(stats.operators.size());
+  for (const lang::QueryStats::OpStats& op : stats.operators) {
+    WireOpStats w;
+    w.name = op.name;
+    w.depth = op.depth;
+    w.estimated_rows = op.estimated_rows;
+    w.rows_emitted = op.metrics.rows_emitted;
+    w.batches_emitted = op.metrics.batches_emitted;
+    w.weighted_rows = op.metrics.weighted_rows;
+    w.distinct_rows = op.metrics.distinct_rows;
+    w.peak_hash_entries = op.metrics.peak_hash_entries;
+    w.build_rows = op.metrics.build_rows;
+    w.probe_rows = op.metrics.probe_rows;
+    w.hash_bytes = op.metrics.hash_bytes;
+    w.time_ns = op.metrics.total_ns();
+    out.operators.push_back(std::move(w));
+  }
+  return out;
+}
+
 }  // namespace
 
 Server::Server(Database* db, ServerOptions options)
@@ -74,6 +116,7 @@ Status Server::Start() {
       listener_,
       Listener::Bind(options_.host, options_.port, options_.accept_backlog));
   port_ = listener_.port();
+  start_us_ = NowMicros();
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
   return Status::OK();
 }
@@ -156,6 +199,15 @@ void Server::AcceptLoop() {
     if (!sock.ok()) continue;  // Client gave up while queued; keep serving.
     if (shedding) {
       metrics.sheds->Inc();
+      // Sheds are operator-relevant overload signals, so they land in the
+      // slow-query stream too (query_id 0: no query ever started).
+      obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
+      if (slow_log.enabled()) {
+        obs::SlowQueryEntry entry;
+        entry.source = "(connection shed before handshake)";
+        entry.events.push_back("shed");
+        slow_log.Record(std::move(entry));
+      }
       // Best-effort notice; the shed connection closes either way.
       (void)WriteFrame(*sock, FrameKind::kBusy,
                        EncodeBusy(options_.busy_retry_after_ms,
@@ -180,11 +232,14 @@ bool Server::Send(Socket& sock, FrameKind kind, std::string_view payload) {
   return sent.ok();
 }
 
-bool Server::HandleFrame(lang::Interpreter& interp, const Frame& request,
-                         Socket& sock) {
+bool Server::HandleFrame(SessionContext& ctx, lang::Interpreter& interp,
+                         const Frame& request, Socket& sock) {
   NetMetrics& metrics = NetMetrics::Get();
   metrics.requests->Inc();
   uint64_t t0 = NowMicros();
+
+  bool is_exec = request.kind == FrameKind::kQuery ||
+                 request.kind == FrameKind::kScript;
 
   // Produce the response; `close` requests ending the session afterwards.
   bool close = false;
@@ -196,45 +251,124 @@ bool Server::HandleFrame(lang::Interpreter& interp, const Frame& request,
       if (!hello.ok()) {
         response = EncodeError(hello.status());
         close = true;
-      } else if (hello->version != kProtocolVersion) {
+      } else if (hello->version < kMinProtocolVersion ||
+                 hello->version > kProtocolVersion) {
         // Unavailable, not InvalidArgument: the request is well-formed,
         // this server just cannot serve that dialect — the peer should
         // upgrade (or find a server that speaks its version).
         response = EncodeError(Status::Unavailable(
             "protocol version " + std::to_string(hello->version) +
             " unsupported (server speaks " +
-            std::to_string(kProtocolVersion) + ")"));
+            std::to_string(kProtocolVersion) + ", accepts down to " +
+            std::to_string(kMinProtocolVersion) + ")"));
         close = true;
       } else {
+        // Negotiate down to the client's dialect; the reply names the
+        // version this session will actually speak.
+        ctx.version = std::min(hello->version, kProtocolVersion);
         response_kind = FrameKind::kHello;
-        response = EncodeHello(kProtocolVersion, "mra_serverd");
+        response = EncodeHello(ctx.version, "mra_serverd");
+        std::lock_guard<std::mutex> lock(info_mutex_);
+        session_info_[ctx.id].peer = hello->peer;
       }
       break;
     }
-    case FrameKind::kQuery: {
-      Result<Relation> result = interp.Query(request.payload);
-      if (result.ok()) {
-        response_kind = FrameKind::kResultSet;
-        response = EncodeResultSet({*std::move(result)});
-      } else {
-        response = EncodeError(result.status());
-      }
-      break;
-    }
+    case FrameKind::kQuery:
     case FrameKind::kScript: {
-      Result<std::vector<Relation>> results =
-          interp.ExecuteScriptCollect(request.payload);
-      if (results.ok()) {
-        response_kind = FrameKind::kResultSet;
-        response = EncodeResultSet(*results);
+      // v3 requests carry a client-minted query id ahead of the text;
+      // v2 requests are the raw text (id minted here so server-side
+      // attribution works for old clients too).
+      uint64_t query_id = 0;
+      std::string_view text;
+      std::string text_storage;
+      Status decode_status = Status::OK();
+      if (ctx.version >= 3) {
+        Result<QueryRequest> req = DecodeQueryRequest(request.payload);
+        if (!req.ok()) {
+          decode_status = req.status();
+        } else {
+          query_id = req->query_id;
+          text_storage = std::move(req->text);
+          text = text_storage;
+        }
       } else {
-        response = EncodeError(results.status());
+        text = request.payload;
+      }
+      if (!decode_status.ok()) {
+        response = EncodeError(decode_status);
+        close = true;
+        break;
+      }
+      if (query_id == 0) query_id = obs::NextQueryId();
+      {
+        std::lock_guard<std::mutex> lock(info_mutex_);
+        SessionInfo& info = session_info_[ctx.id];
+        info.busy = true;
+        info.current_query = ClipQueryText(text);
+        ++info.queries;
+        info.last_active_us = t0;
+      }
+      obs::ScopedQueryId scoped_id(query_id);
+      const WireQueryStats* stats_ptr = nullptr;
+      WireQueryStats wire_stats;
+      if (request.kind == FrameKind::kQuery) {
+        Result<Relation> result = interp.Query(text);
+        if (result.ok()) {
+          response_kind = FrameKind::kResultSet;
+          std::vector<Relation> relations;
+          relations.push_back(*std::move(result));
+          if (ctx.version >= 3 && interp.last_query_stats().valid) {
+            wire_stats = ToWireStats(interp.last_query_stats());
+            stats_ptr = &wire_stats;
+          }
+          response = ctx.version >= 3
+                         ? EncodeResultSetWithStats(relations, stats_ptr)
+                         : EncodeResultSet(relations);
+        } else {
+          response = EncodeError(result.status());
+        }
+      } else {
+        Result<std::vector<Relation>> results =
+            interp.ExecuteScriptCollect(text);
+        if (results.ok()) {
+          response_kind = FrameKind::kResultSet;
+          // A script's trailer carries the stats of its last evaluated
+          // query (documented in docs/EXECUTION.md).
+          if (ctx.version >= 3 && interp.last_query_stats().valid &&
+              interp.last_query_stats().query_id == query_id) {
+            wire_stats = ToWireStats(interp.last_query_stats());
+            stats_ptr = &wire_stats;
+          }
+          response = ctx.version >= 3
+                         ? EncodeResultSetWithStats(*results, stats_ptr)
+                         : EncodeResultSet(*results);
+        } else {
+          response = EncodeError(results.status());
+        }
       }
       break;
     }
     case FrameKind::kStats: {
+      // The optional payload selects the export format.
       response_kind = FrameKind::kStats;
-      response = obs::MetricsRegistry::Global().RenderJson();
+      if (request.payload == "prom") {
+        response = obs::MetricsRegistry::Global().RenderPrometheus();
+      } else if (request.payload == "text") {
+        response = obs::MetricsRegistry::Global().RenderText();
+      } else {
+        response = obs::MetricsRegistry::Global().RenderJson();
+      }
+      break;
+    }
+    case FrameKind::kServerStats: {
+      Result<uint64_t> query_id = DecodeServerStatsRequest(request.payload);
+      if (!query_id.ok()) {
+        response = EncodeError(query_id.status());
+        close = true;
+      } else {
+        response_kind = FrameKind::kServerStats;
+        response = EncodeServerStatsReply(BuildServerStats(*query_id));
+      }
       break;
     }
     case FrameKind::kPing: {
@@ -263,12 +397,29 @@ bool Server::HandleFrame(lang::Interpreter& interp, const Frame& request,
   uint64_t elapsed_us = NowMicros() - t0;
   metrics.request_latency_us->Observe(elapsed_us);
   if (response_kind == FrameKind::kError) metrics.request_errors->Inc();
+  if (is_exec) {
+    std::lock_guard<std::mutex> lock(info_mutex_);
+    SessionInfo& info = session_info_[ctx.id];
+    info.busy = false;
+    info.current_query.clear();
+    info.last_latency_us = elapsed_us;
+    info.last_active_us = NowMicros();
+  }
 
   // The deadline cannot preempt a running plan, but an over-deadline
   // result is not delivered: the client already gave up on it.
   if (options_.request_timeout_ms > 0 &&
       elapsed_us / 1000 > static_cast<uint64_t>(options_.request_timeout_ms)) {
     metrics.request_timeouts->Inc();
+    obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
+    if (slow_log.enabled()) {
+      obs::SlowQueryEntry entry;
+      entry.query_id = obs::CurrentQueryId();
+      entry.latency_us = elapsed_us;
+      entry.source = "(request over deadline)";
+      entry.events.push_back("timeout");
+      slow_log.Record(std::move(entry));
+    }
     Send(sock, FrameKind::kError,
          EncodeError(Status::IoError(
              "request exceeded the " +
@@ -277,6 +428,44 @@ bool Server::HandleFrame(lang::Interpreter& interp, const Frame& request,
   }
   if (!Send(sock, response_kind, response)) return false;
   return !close;
+}
+
+ServerStatsReply Server::BuildServerStats(uint64_t query_id) const {
+  auto& reg = obs::MetricsRegistry::Global();
+  ServerStatsReply reply;
+  uint64_t now_us = NowMicros();
+  reply.uptime_us = now_us - start_us_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reply.sessions_served = sessions_served_;
+    reply.active_sessions = static_cast<uint32_t>(active_);
+  }
+  reply.queries = reg.GetCounter("exec.queries")->value();
+  reply.sheds = reg.GetCounter("net.sheds")->value();
+  reply.slow_logged = obs::SlowQueryLog::Global().total_logged();
+  reply.query_latency = reg.GetHistogram("exec.query_us")->Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(info_mutex_);
+    for (const auto& [id, info] : session_info_) {
+      ServerSessionInfo s;
+      s.id = id;
+      s.peer = info.peer;
+      s.current_query = info.current_query;
+      s.busy = info.busy;
+      s.queries = info.queries;
+      s.last_latency_us = info.last_latency_us;
+      s.idle_ms =
+          info.last_active_us == 0 || info.busy
+              ? 0
+              : (now_us - std::min(info.last_active_us, now_us)) / 1000;
+      reply.sessions.push_back(std::move(s));
+    }
+  }
+  reply.slow_log = obs::SlowQueryLog::Global().Lines();
+  if (obs::Tracer::Global().enabled() || query_id != 0) {
+    reply.trace = obs::Tracer::Global().Render(query_id);
+  }
+  return reply;
 }
 
 void Server::RunSession(uint64_t session_id, Socket sock) {
@@ -288,6 +477,14 @@ void Server::RunSession(uint64_t session_id, Socket sock) {
 
   NetMetrics& metrics = NetMetrics::Get();
   lang::Interpreter interp(db_, options_.interpreter);
+  SessionContext ctx;
+  ctx.id = session_id;
+  {
+    std::lock_guard<std::mutex> lock(info_mutex_);
+    SessionInfo& info = session_info_[session_id];
+    info.peer = "(pre-handshake)";
+    info.last_active_us = NowMicros();
+  }
   int idle_ms = 0;
 
   Status session_fault = fault::InjectIfArmed(fp_session);
@@ -323,11 +520,15 @@ void Server::RunSession(uint64_t session_id, Socket sock) {
       break;
     }
     metrics.bytes_in->Inc(kFrameHeaderBytes + frame->payload.size());
-    if (!HandleFrame(interp, *frame, sock)) break;
+    if (!HandleFrame(ctx, interp, *frame, sock)) break;
   }
 
   sock.Close();
   metrics.active->Add(-1);
+  {
+    std::lock_guard<std::mutex> lock(info_mutex_);
+    session_info_.erase(session_id);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   --active_;
   finished_.push_back(session_id);

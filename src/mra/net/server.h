@@ -110,13 +110,36 @@ class Server {
   uint64_t sessions_served() const;
 
  private:
+  /// Live-introspection record for one session, published through the
+  /// ServerStats request.  Guarded by info_mutex_ (not mutex_, so a slow
+  /// stats reader never delays accept/drain bookkeeping).
+  struct SessionInfo {
+    std::string peer;
+    std::string current_query;  // Truncated; empty when idle.
+    bool busy = false;
+    uint64_t queries = 0;
+    uint64_t last_latency_us = 0;
+    uint64_t last_active_us = 0;  // Steady-clock µs of the last request.
+  };
+
+  /// Per-session connection state threaded through HandleFrame.
+  struct SessionContext {
+    uint64_t id = 0;
+    /// Version negotiated in the Hello exchange; v2 peers get the old
+    /// payload shapes (raw-text Query/Script, trailer-free ResultSet).
+    uint32_t version = kProtocolVersion;
+  };
+
   void AcceptLoop();
   void RunSession(uint64_t session_id, Socket sock);
 
   /// Handles one request frame; returns false when the session must close
   /// (shutdown ack, protocol violation, send failure).
-  bool HandleFrame(lang::Interpreter& interp, const Frame& request,
-                   Socket& sock);
+  bool HandleFrame(SessionContext& ctx, lang::Interpreter& interp,
+                   const Frame& request, Socket& sock);
+
+  /// Builds the ServerStats reply (`query_id` filters the trace spans).
+  ServerStatsReply BuildServerStats(uint64_t query_id) const;
 
   /// Sends a frame, counting bytes; false on send failure.
   bool Send(Socket& sock, FrameKind kind, std::string_view payload);
@@ -131,6 +154,7 @@ class Server {
   std::thread accept_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
+  uint64_t start_us_ = 0;  // Steady-clock µs at Start(), for uptime.
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -140,6 +164,9 @@ class Server {
   uint64_t next_session_id_ = 1;
   uint64_t sessions_served_ = 0;
   bool joined_ = false;
+
+  mutable std::mutex info_mutex_;
+  std::map<uint64_t, SessionInfo> session_info_;
 };
 
 }  // namespace net

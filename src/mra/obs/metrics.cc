@@ -1,25 +1,97 @@
 #include "mra/obs/metrics.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace mra {
 namespace obs {
 
+// Bucket layout (log-linear, see the class comment in metrics.h):
+//   index < kSubBuckets            — exact: bucket i holds value i.
+//   group g ≥ 1, sub s ∈ [0, 16)   — index g·16 + s covers
+//       [2^(g+3) + s·2^(g-1), 2^(g+3) + (s+1)·2^(g-1) - 1].
+// The two regions are continuous: group 1 has width-1 sub-buckets over
+// [16, 31], so index v still equals v there.
+
 uint64_t Histogram::BucketUpperBound(size_t i) {
   if (i + 1 >= kNumBuckets) return UINT64_MAX;
-  return uint64_t{1} << i;
+  if (i < kSubBuckets) return i;
+  uint64_t group = i >> kSubBucketBits;
+  uint64_t sub = i & (kSubBuckets - 1);
+  uint64_t width = uint64_t{1} << (group - 1);
+  uint64_t base = uint64_t{1} << (group + kSubBucketBits - 1);
+  return base + (sub + 1) * width - 1;
 }
 
 size_t Histogram::BucketFor(uint64_t micros) {
-  size_t i = 0;
-  while (i + 1 < kNumBuckets && micros > BucketUpperBound(i)) ++i;
-  return i;
+  if (micros < kSubBuckets) return micros;
+  // Position of the most significant set bit; micros ≥ 16 so msb ≥ 4.
+  uint32_t msb = 63 - static_cast<uint32_t>(__builtin_clzll(micros));
+  uint32_t group = msb - kSubBucketBits + 1;
+  if (group > kGroups) return kNumBuckets - 1;
+  uint64_t sub = (micros >> (msb - kSubBucketBits)) & (kSubBuckets - 1);
+  return group * kSubBuckets + sub;
+}
+
+uint64_t HistogramData::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based; q=0 → first, q=1 → last.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      uint64_t upper = Histogram::BucketUpperBound(i);
+      return std::min(upper, max_micros);
+    }
+  }
+  return max_micros;
+}
+
+void HistogramData::MergeFrom(const HistogramData& other) {
+  count += other.count;
+  sum_micros += other.sum_micros;
+  max_micros = std::max(max_micros, other.max_micros);
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+void Histogram::Merge(const HistogramData& data) {
+  size_t n = std::min(data.buckets.size(), kNumBuckets);
+  for (size_t i = 0; i < n; ++i) {
+    if (data.buckets[i] == 0) continue;
+    buckets_[i].fetch_add(data.buckets[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(data.count, std::memory_order_relaxed);
+  sum_micros_.fetch_add(data.sum_micros, std::memory_order_relaxed);
+  if (data.max_micros > max_micros_.load(std::memory_order_relaxed)) {
+    max_micros_.store(data.max_micros, std::memory_order_relaxed);
+  }
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData data;
+  data.count = count();
+  data.sum_micros = sum_micros();
+  data.max_micros = max_micros();
+  data.buckets.reserve(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) data.buckets.push_back(bucket(i));
+  return data;
 }
 
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_micros_.store(0, std::memory_order_relaxed);
+  max_micros_.store(0, std::memory_order_relaxed);
 }
 
 std::string MetricsSnapshot::RenderText() const {
@@ -33,7 +105,10 @@ std::string MetricsSnapshot::RenderText() const {
   for (const auto& [name, h] : histograms) {
     out << name << " count=" << h.count << " sum_us=" << h.sum_micros;
     if (h.count > 0) {
-      out << " mean_us=" << (h.sum_micros / h.count) << " buckets=[";
+      out << " mean_us=" << (h.sum_micros / h.count)
+          << " p50_us=" << h.Quantile(0.50) << " p95_us=" << h.Quantile(0.95)
+          << " p99_us=" << h.Quantile(0.99) << " max_us=" << h.max_micros
+          << " buckets=[";
       bool first = true;
       for (size_t i = 0; i < h.buckets.size(); ++i) {
         if (h.buckets[i] == 0) continue;
@@ -53,15 +128,57 @@ std::string MetricsSnapshot::RenderText() const {
   return out.str();
 }
 
+void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
 namespace {
 
-void AppendJsonString(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    if (c == '"' || c == '\\') out << '\\';
-    out << c;
+void AppendJsonKey(std::ostream& out, const std::string& s) {
+  std::string buf;
+  AppendJsonString(buf, s);
+  out << buf;
+}
+
+// Prometheus metric names admit [a-zA-Z0-9_:]; we map everything else
+// (dots in our names) to '_' and prefix the namespace.
+std::string PromName(const std::string& name) {
+  std::string out = "mra_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
   }
-  out << '"';
+  return out;
 }
 
 }  // namespace
@@ -73,7 +190,7 @@ std::string MetricsSnapshot::RenderJson() const {
   for (const auto& [name, value] : counters) {
     if (!first) out << ",";
     first = false;
-    AppendJsonString(out, name);
+    AppendJsonKey(out, name);
     out << ":" << value;
   }
   out << "},\"gauges\":{";
@@ -81,7 +198,7 @@ std::string MetricsSnapshot::RenderJson() const {
   for (const auto& [name, value] : gauges) {
     if (!first) out << ",";
     first = false;
-    AppendJsonString(out, name);
+    AppendJsonKey(out, name);
     out << ":" << value;
   }
   out << "},\"histograms\":{";
@@ -89,16 +206,59 @@ std::string MetricsSnapshot::RenderJson() const {
   for (const auto& [name, h] : histograms) {
     if (!first) out << ",";
     first = false;
-    AppendJsonString(out, name);
+    AppendJsonKey(out, name);
     out << ":{\"count\":" << h.count << ",\"sum_us\":" << h.sum_micros
-        << ",\"buckets\":[";
+        << ",\"max_us\":" << h.max_micros << ",\"p50_us\":" << h.Quantile(0.50)
+        << ",\"p95_us\":" << h.Quantile(0.95)
+        << ",\"p99_us\":" << h.Quantile(0.99) << ",\"buckets\":{";
+    // Sparse map keyed by inclusive upper bound — 464 mostly-zero entries
+    // would bloat every snapshot.
+    bool bfirst = true;
     for (size_t i = 0; i < h.buckets.size(); ++i) {
-      if (i > 0) out << ",";
-      out << h.buckets[i];
+      if (h.buckets[i] == 0) continue;
+      if (!bfirst) out << ",";
+      bfirst = false;
+      uint64_t upper = Histogram::BucketUpperBound(i);
+      if (upper == UINT64_MAX) {
+        out << "\"inf\":" << h.buckets[i];
+      } else {
+        out << "\"" << upper << "\":" << h.buckets[i];
+      }
     }
-    out << "]}";
+    out << "}}";
   }
   out << "}}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::RenderPrometheus() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    std::string pname = PromName(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    std::string pname = PromName(name);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << " " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string pname = PromName(name);
+    out << "# TYPE " << pname << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      uint64_t upper = Histogram::BucketUpperBound(i);
+      if (upper == UINT64_MAX) continue;  // Folded into +Inf below.
+      out << pname << "_bucket{le=\"" << upper << "\"} " << cumulative
+          << "\n";
+    }
+    out << pname << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << pname << "_sum " << h.sum_micros << "\n";
+    out << pname << "_count " << h.count << "\n";
+  }
   return out.str();
 }
 
@@ -134,14 +294,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {
-    MetricsSnapshot::HistogramData data;
-    data.count = h->count();
-    data.sum_micros = h->sum_micros();
-    data.buckets.reserve(Histogram::kNumBuckets);
-    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
-      data.buckets.push_back(h->bucket(i));
-    }
-    snap.histograms[name] = std::move(data);
+    snap.histograms[name] = h->Snapshot();
   }
   return snap;
 }

@@ -1,5 +1,5 @@
-// Process-wide metrics registry: named counters, gauges and fixed-bucket
-// latency histograms with lock-free hot paths.
+// Process-wide metrics registry: named counters, gauges and log-bucketed
+// (HDR-style) latency histograms with lock-free hot paths.
 //
 // Registration (name → metric) takes a mutex once; the returned pointers
 // are stable for the process lifetime, so instrumentation sites cache them
@@ -9,9 +9,9 @@
 //       obs::MetricsRegistry::Global().GetCounter("wal.appends");
 //   appends->Inc();
 //
-// Snapshots iterate the (sorted) registration maps, so text and JSON
-// exports list metrics in a deterministic order.  The metrics catalog is
-// documented in docs/OBSERVABILITY.md.
+// Snapshots iterate the (sorted) registration maps, so text, JSON and
+// Prometheus exports list metrics in a deterministic order.  The metrics
+// catalog is documented in docs/OBSERVABILITY.md.
 
 #ifndef MRA_OBS_METRICS_H_
 #define MRA_OBS_METRICS_H_
@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mra {
@@ -54,57 +55,112 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-/// Latency histogram with fixed exponential buckets: bucket i counts
-/// observations in (2^{i-1}, 2^i] microseconds (bucket 0 is ≤ 1µs, the
-/// last bucket is unbounded).  Observe/merge are lock-free.
+/// Point-in-time copy of one histogram, detached from its atomics.  The
+/// unit of merging and quantile estimation: snapshots from different
+/// histograms (or different processes speaking the same bucket layout —
+/// see net/protocol.h ServerStats) combine with MergeFrom.
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+  uint64_t max_micros = 0;
+  std::vector<uint64_t> buckets;  // Histogram::kNumBuckets entries (or 0).
+
+  /// Estimated value at quantile `q` ∈ [0, 1] in µs: the inclusive upper
+  /// bound of the bucket where the cumulative count crosses q·count,
+  /// clamped to max_micros (so the unbounded tail bucket reports the real
+  /// maximum, not infinity).  0 when empty.
+  uint64_t Quantile(double q) const;
+
+  /// Element-wise accumulation (counts add, max takes the larger); the
+  /// mergeability HDR-style buckets buy — aggregating per-worker or
+  /// per-server distributions loses no bucket resolution.
+  void MergeFrom(const HistogramData& other);
+};
+
+/// Latency histogram with log-linear (HDR-style) buckets over
+/// microseconds.  Values below kSubBuckets are recorded exactly (one
+/// bucket per value); above that every power-of-two octave splits into
+/// kSubBuckets equal-width sub-buckets, so the relative quantization
+/// error of any recorded value — and hence of every quantile estimate —
+/// stays below 1/kSubBuckets (6.25%).  Observe and Merge are lock-free:
+/// relaxed atomic adds plus one relaxed max update.
 class Histogram {
  public:
-  static constexpr size_t kNumBuckets = 26;  // ≤1µs … >~33s.
+  /// log2 of the sub-bucket count; 4 → 16 sub-buckets per octave.
+  static constexpr uint32_t kSubBucketBits = 4;
+  static constexpr uint32_t kSubBuckets = 1u << kSubBucketBits;
+  /// Octave groups above the exact region.  Group kGroups tops out at
+  /// 2^(kGroups + kSubBucketBits) µs ≈ 71 minutes; larger observations
+  /// land in the final (unbounded) bucket.
+  static constexpr uint32_t kGroups = 28;
+  static constexpr size_t kNumBuckets = kSubBuckets * (kGroups + 1);  // 464.
 
   void Observe(uint64_t micros) {
     buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+    // Lossy-max is fine: a racing larger value wins on its own update.
+    if (micros > max_micros_.load(std::memory_order_relaxed)) {
+      max_micros_.store(micros, std::memory_order_relaxed);
+    }
   }
+
+  /// Accumulates a snapshot into this histogram (atomic adds) — merging
+  /// stays safe against concurrent Observe calls.
+  void Merge(const HistogramData& data);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum_micros() const {
     return sum_micros_.load(std::memory_order_relaxed);
   }
+  uint64_t max_micros() const {
+    return max_micros_.load(std::memory_order_relaxed);
+  }
   uint64_t bucket(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  HistogramData Snapshot() const;
+
+  /// Convenience quantile over a fresh snapshot.
+  uint64_t Quantile(double q) const { return Snapshot().Quantile(q); }
+
   /// Inclusive upper bound of bucket `i` in µs (UINT64_MAX for the last).
   static uint64_t BucketUpperBound(size_t i);
+
+  /// Bucket index a value lands in (exposed for tests).
+  static size_t BucketFor(uint64_t micros);
 
   void Reset();
 
  private:
-  static size_t BucketFor(uint64_t micros);
-
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> max_micros_{0};
 };
 
 /// Point-in-time copy of every registered metric.
 struct MetricsSnapshot {
-  struct HistogramData {
-    uint64_t count = 0;
-    uint64_t sum_micros = 0;
-    std::vector<uint64_t> buckets;  // kNumBuckets entries.
-  };
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramData> histograms;
 
-  /// Human-oriented rendering, one metric per line, sorted by name.
+  /// Human-oriented rendering, one metric per line, sorted by name;
+  /// histograms include p50/p95/p99 and the non-empty buckets.
   std::string RenderText() const;
   /// Machine-oriented rendering: one JSON object with "counters",
   /// "gauges" and "histograms" members, keys sorted.
   std::string RenderJson() const;
+  /// Prometheus text exposition (version 0.0.4): names are prefixed with
+  /// `mra_` and dots become underscores; histograms render cumulative
+  /// `_bucket{le="…"}` series (non-empty buckets plus `+Inf`), `_sum`
+  /// and `_count`.
+  std::string RenderPrometheus() const;
 };
+
+/// Appends `s` to `out` as a JSON string literal (quotes + escapes).
+void AppendJsonString(std::string& out, std::string_view s);
 
 /// The process-wide registry.  `Global()` is the instance everything in
 /// the engine instruments; tests may construct private registries.
@@ -125,6 +181,9 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
   std::string RenderText() const { return Snapshot().RenderText(); }
   std::string RenderJson() const { return Snapshot().RenderJson(); }
+  std::string RenderPrometheus() const {
+    return Snapshot().RenderPrometheus();
+  }
 
   /// Zeroes every registered metric (registrations and pointers survive).
   /// For tests and REPL `\metrics reset`.

@@ -46,6 +46,9 @@ struct OperatorMetrics {
   uint64_t open_ns = 0;
   uint64_t next_ns = 0;
   uint64_t close_ns = 0;
+  /// True when exec timing was enabled for this operator's run — lets the
+  /// analyzed rendering distinguish "measured 0ns" from "not measured".
+  bool timed = false;
 
   uint64_t total_ns() const { return open_ns + next_ns + close_ns; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <random>
 #include <sstream>
 
 namespace mra {
@@ -10,8 +11,27 @@ namespace obs {
 namespace {
 
 thread_local uint32_t tls_span_depth = 0;
+thread_local uint64_t tls_query_id = 0;
 
 }  // namespace
+
+uint64_t NextQueryId() {
+  // The random starting offset keeps ids from two processes (or two runs)
+  // from colliding in aggregated logs; the low bits stay sequential so
+  // ordering by id still follows issue order within a process.
+  static std::atomic<uint64_t> next{
+      (static_cast<uint64_t>(std::random_device{}()) << 20) | 1};
+  uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id == 0 ? NextQueryId() : id;
+}
+
+uint64_t CurrentQueryId() { return tls_query_id; }
+
+ScopedQueryId::ScopedQueryId(uint64_t query_id) : previous_(tls_query_id) {
+  tls_query_id = query_id;
+}
+
+ScopedQueryId::~ScopedQueryId() { tls_query_id = previous_; }
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
@@ -40,11 +60,18 @@ void Tracer::Record(TraceEvent event) {
   ++dropped_;
 }
 
-std::vector<TraceEvent> Tracer::Events() const {
+std::vector<TraceEvent> Tracer::Events(uint64_t query_id) const {
   std::vector<TraceEvent> events;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     events = ring_;
+  }
+  if (query_id != 0) {
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [query_id](const TraceEvent& e) {
+                                  return e.query_id != query_id;
+                                }),
+                 events.end());
   }
   std::sort(events.begin(), events.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
@@ -54,14 +81,20 @@ std::vector<TraceEvent> Tracer::Events() const {
   return events;
 }
 
-std::string Tracer::Render() const {
-  std::vector<TraceEvent> events = Events();
+std::string Tracer::Render(uint64_t query_id) const {
+  std::vector<TraceEvent> events = Events(query_id);
   std::ostringstream out;
   if (events.empty()) {
     out << "(no spans recorded; enable tracing first)\n";
     return out.str();
   }
+  uint64_t last_query_id = 0;
   for (const TraceEvent& e : events) {
+    // When rendering a mixed trace, headline each query's span group.
+    if (query_id == 0 && e.query_id != 0 && e.query_id != last_query_id) {
+      out << "query " << e.query_id << ":\n";
+    }
+    last_query_id = e.query_id;
     char line[64];
     std::snprintf(line, sizeof(line), "[+%10.3fms] ",
                   static_cast<double>(e.start_us) / 1000.0);
@@ -89,6 +122,7 @@ ScopedSpan::ScopedSpan(std::string_view name)
   if (!active_) return;
   name_ = std::string(name);
   depth_ = tls_span_depth++;
+  query_id_ = tls_query_id;
   start_us_ = Tracer::Global().NowMicros();
 }
 
@@ -98,7 +132,7 @@ ScopedSpan::~ScopedSpan() {
   Tracer& tracer = Tracer::Global();
   uint64_t end_us = tracer.NowMicros();
   tracer.Record(TraceEvent{std::move(name_), depth_, start_us_,
-                           end_us - start_us_});
+                           end_us - start_us_, query_id_});
 }
 
 }  // namespace obs

@@ -28,6 +28,33 @@ struct TraceEvent {
   uint32_t depth = 0;        // Nesting level at span start.
   uint64_t start_us = 0;     // Relative to the tracer epoch.
   uint64_t duration_us = 0;
+  uint64_t query_id = 0;     // Query the span belongs to; 0 = none.
+};
+
+/// Allocates a process-unique query id (never 0).  Ids from different
+/// processes are unlikely to collide: the counter starts at a random
+/// 32-bit offset, so a client-generated id survives server-side reuse
+/// checks and log greps stay unambiguous.
+uint64_t NextQueryId();
+
+/// The query id bound to this thread (0 outside query execution).  Spans
+/// capture it at construction, which is what makes a remote query's
+/// server-side spans attributable: the server binds the wire query_id
+/// before invoking the interpreter.
+uint64_t CurrentQueryId();
+
+/// Binds `query_id` to the current thread for its lifetime, restoring
+/// the previous binding on destruction (nests safely).
+class ScopedQueryId {
+ public:
+  explicit ScopedQueryId(uint64_t query_id);
+  ~ScopedQueryId();
+
+  ScopedQueryId(const ScopedQueryId&) = delete;
+  ScopedQueryId& operator=(const ScopedQueryId&) = delete;
+
+ private:
+  uint64_t previous_;
 };
 
 class Tracer {
@@ -48,14 +75,15 @@ class Tracer {
   /// Appends one event, overwriting the oldest once kCapacity is reached.
   void Record(TraceEvent event);
 
-  /// Completed events in chronological (start-time) order.
-  std::vector<TraceEvent> Events() const;
+  /// Completed events in chronological (start-time) order, optionally
+  /// restricted to one query (`query_id` 0 = everything).
+  std::vector<TraceEvent> Events(uint64_t query_id = 0) const;
 
   /// Events dropped to the ring buffer's overwrite so far.
   uint64_t dropped() const { return dropped_; }
 
-  /// Indented text rendering of Events().
-  std::string Render() const;
+  /// Indented text rendering of Events(query_id).
+  std::string Render(uint64_t query_id = 0) const;
 
   void Clear();
 
@@ -85,6 +113,7 @@ class ScopedSpan {
   bool active_;
   uint32_t depth_ = 0;
   uint64_t start_us_ = 0;
+  uint64_t query_id_ = 0;
   std::string name_;
 };
 

@@ -64,6 +64,19 @@ class Session {
   /// session, the server's for a remote one.
   virtual Result<std::string> Stats() = 0;
 
+  /// Per-query stats of the most recent Execute() that reached the
+  /// physical executor — embedded: the interpreter's harvest; remote: the
+  /// server-side stats trailer decoded from the result frame, so both
+  /// deployment shapes report the *server's* numbers (parity contract in
+  /// docs/EXECUTION.md).  nullptr before the first such query, or when
+  /// the remote server predates protocol v3.
+  virtual const lang::QueryStats* last_query_stats() const { return nullptr; }
+
+  /// Query id attributed to the most recent Execute() — feed it to the
+  /// server's ServerStats request (`\trace <id>` in the REPL) to pull the
+  /// matching trace spans.  0 when no id was established.
+  virtual uint64_t last_query_id() const { return 0; }
+
   /// Liveness probe: OK when the session can serve an Execute() now.
   virtual Status Ping() = 0;
 
@@ -86,6 +99,14 @@ class EmbeddedSession : public Session {
   Result<std::string> Stats() override;
   Status Ping() override { return Status::OK(); }
   std::string_view backend() const override { return "embedded"; }
+  const lang::QueryStats* last_query_stats() const override {
+    const lang::QueryStats& stats = interp_->last_query_stats();
+    return stats.valid ? &stats : nullptr;
+  }
+  uint64_t last_query_id() const override {
+    const lang::QueryStats& stats = interp_->last_query_stats();
+    return stats.valid ? stats.query_id : 0;
+  }
 
   /// Escape hatches for embedded-only features (EXPLAIN, checkpointing,
   /// query stats) — the REPL's meta commands use these.
@@ -112,6 +133,10 @@ class RemoteSession : public Session {
   Result<std::string> Stats() override;
   Status Ping() override { return client_.Ping(); }
   std::string_view backend() const override { return backend_; }
+  const lang::QueryStats* last_query_stats() const override {
+    return last_stats_.valid ? &last_stats_ : nullptr;
+  }
+  uint64_t last_query_id() const override { return client_.last_query_id(); }
 
   /// Escape hatch for remote-only features (shutdown request, reconnect
   /// control) — the REPL's meta commands use this.
@@ -122,6 +147,9 @@ class RemoteSession : public Session {
 
   net::Client client_;
   std::string backend_;  // "remote(host:port)"
+  /// Most recent server-side stats trailer, converted back to the lang
+  /// shape (valid = false until a v3 server sends one).
+  lang::QueryStats last_stats_;
 };
 
 }  // namespace session

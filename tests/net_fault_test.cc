@@ -83,7 +83,8 @@ TEST_F(NetFaultTest, BusyFramePayloadRoundTrips) {
   EXPECT_FALSE(DecodeBusy(payload.substr(0, 3)).ok());  // Truncated.
   EXPECT_EQ(FrameKindName(FrameKind::kBusy), "Busy");
   EXPECT_TRUE(IsValidFrameKind(static_cast<uint8_t>(FrameKind::kBusy)));
-  EXPECT_FALSE(IsValidFrameKind(10));
+  EXPECT_TRUE(IsValidFrameKind(static_cast<uint8_t>(FrameKind::kServerStats)));
+  EXPECT_FALSE(IsValidFrameKind(11));
 }
 
 TEST_F(NetFaultTest, PeerClosingMidFrameIsRetriableIoError) {

@@ -1,13 +1,15 @@
 // Wire-protocol unit tests: frame encode/decode round trips, CRC and
 // framing violations, size limits, and the payload codecs (Hello, Error,
-// chunked ResultSet) on in-memory buffers — plus one loopback handshake
-// test pinning the version-mismatch contract (Unavailable, both versions
-// named).
+// chunked ResultSet, v3 QueryRequest / stats trailer / ServerStats) on
+// in-memory buffers — plus loopback handshake tests pinning the
+// version-negotiation contract: unsupported versions are refused naming
+// both dialects, v2 clients are negotiated down and served v2 payloads.
 
 #include "mra/net/protocol.h"
 
 #include <gtest/gtest.h>
 
+#include "mra/lang/interpreter.h"
 #include "mra/net/client.h"
 #include "mra/net/server.h"
 #include "mra/net/socket.h"
@@ -29,7 +31,7 @@ Relation SmallRelation() {
 
 TEST(FrameCodec, RoundTripsEveryKind) {
   WireLimits limits;
-  for (uint8_t k = 1; k <= 8; ++k) {
+  for (uint8_t k = 1; k <= 10; ++k) {
     FrameKind kind = static_cast<FrameKind>(k);
     std::string payload = "payload for " + std::string(FrameKindName(kind));
     std::string wire = EncodeFrame(kind, payload);
@@ -235,15 +237,166 @@ TEST(ResultSetCodec, MissingTerminatorIsRefused) {
   EXPECT_FALSE(DecodeResultSet(payload.substr(0, payload.size() - 4)).ok());
 }
 
-TEST(Handshake, VersionMismatchIsUnavailableAndNamesBothVersions) {
+TEST(QueryRequestCodec, RoundTripsIdAndText) {
+  std::string payload = EncodeQueryRequest(0x1234'5678'9abcull, "? beer");
+  auto req = DecodeQueryRequest(payload);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->query_id, 0x1234'5678'9abcull);
+  EXPECT_EQ(req->text, "? beer");
+  EXPECT_FALSE(DecodeQueryRequest(payload + "x").ok());
+  EXPECT_FALSE(DecodeQueryRequest(payload.substr(0, 5)).ok());
+  EXPECT_FALSE(DecodeQueryRequest("").ok());
+}
+
+WireQueryStats SampleStats() {
+  WireQueryStats stats;
+  stats.query_id = 42;
+  stats.result_rows = 3;
+  stats.total_us = 1200;
+  stats.bind_us = 100;
+  stats.optimize_us = 200;
+  stats.lower_us = 300;
+  stats.exec_us = 600;
+  WireOpStats select;
+  select.name = "Select";
+  select.depth = 0;
+  select.estimated_rows = 2.5;
+  select.rows_emitted = 3;
+  select.batches_emitted = 1;
+  select.weighted_rows = 4;
+  select.time_ns = 123'456;
+  WireOpStats scan;
+  scan.name = "Scan(beer)";
+  scan.depth = 1;
+  scan.rows_emitted = 2;
+  scan.batches_emitted = 1;
+  scan.weighted_rows = 3;
+  scan.peak_hash_entries = 7;
+  scan.hash_bytes = 512;
+  stats.operators = {select, scan};
+  return stats;
+}
+
+TEST(ResultSetCodec, StatsTrailerRoundTrips) {
+  WireQueryStats stats = SampleStats();
+  std::string payload = EncodeResultSetWithStats({SmallRelation()}, &stats);
+  std::optional<WireQueryStats> decoded_stats;
+  auto decoded = DecodeResultSetWithStats(payload, &decoded_stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ((*decoded)[0], SmallRelation());
+  ASSERT_TRUE(decoded_stats.has_value());
+  EXPECT_EQ(decoded_stats->query_id, 42u);
+  EXPECT_EQ(decoded_stats->result_rows, 3u);
+  EXPECT_EQ(decoded_stats->total_us, 1200u);
+  EXPECT_EQ(decoded_stats->exec_us, 600u);
+  ASSERT_EQ(decoded_stats->operators.size(), 2u);
+  EXPECT_EQ(decoded_stats->operators[0].name, "Select");
+  EXPECT_EQ(decoded_stats->operators[0].estimated_rows, 2.5);
+  EXPECT_EQ(decoded_stats->operators[0].time_ns, 123'456u);
+  EXPECT_EQ(decoded_stats->operators[1].depth, 1u);
+  EXPECT_EQ(decoded_stats->operators[1].peak_hash_entries, 7u);
+}
+
+TEST(ResultSetCodec, MissingTrailerDecodesToEmptyOptional) {
+  std::string payload =
+      EncodeResultSetWithStats({SmallRelation()}, /*stats=*/nullptr);
+  std::optional<WireQueryStats> decoded_stats;
+  auto decoded = DecodeResultSetWithStats(payload, &decoded_stats);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded_stats.has_value());
+  // A caller that does not care about the trailer may pass nullptr.
+  EXPECT_TRUE(DecodeResultSetWithStats(payload, nullptr).ok());
+}
+
+TEST(ResultSetCodec, StatsTrailerRefusesGarbage) {
+  WireQueryStats stats = SampleStats();
+  std::string payload = EncodeResultSetWithStats({SmallRelation()}, &stats);
+  EXPECT_FALSE(
+      DecodeResultSetWithStats(payload.substr(0, payload.size() - 1), nullptr)
+          .ok());
+  EXPECT_FALSE(DecodeResultSetWithStats(payload + "x", nullptr).ok());
+  // has_stats must be 0 or 1.
+  std::string bad = EncodeResultSetWithStats({SmallRelation()}, nullptr);
+  bad.back() = 2;
+  auto decoded = DecodeResultSetWithStats(bad, nullptr);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ServerStatsCodec, RequestRoundTrips) {
+  auto id = DecodeServerStatsRequest(EncodeServerStatsRequest(77));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 77u);
+  EXPECT_FALSE(DecodeServerStatsRequest("").ok());
+  EXPECT_FALSE(
+      DecodeServerStatsRequest(EncodeServerStatsRequest(77) + "x").ok());
+}
+
+TEST(ServerStatsCodec, ReplyRoundTrips) {
+  ServerStatsReply reply;
+  reply.uptime_us = 5'000'000;
+  reply.sessions_served = 9;
+  reply.active_sessions = 2;
+  reply.queries = 123;
+  reply.sheds = 4;
+  reply.slow_logged = 1;
+  obs::Histogram h;
+  h.Observe(10);
+  h.Observe(100);
+  h.Observe(10'000);
+  reply.query_latency = h.Snapshot();
+  ServerSessionInfo s;
+  s.id = 3;
+  s.peer = "xra_repl";
+  s.current_query = "? select(%3 > 4.5, beer)";
+  s.busy = true;
+  s.queries = 12;
+  s.last_latency_us = 900;
+  s.idle_ms = 0;
+  reply.sessions.push_back(s);
+  reply.slow_log = {"{\"query_id\":1}", "{\"query_id\":2}"};
+  reply.trace = "query 1:\n  interpreter.execute 1.2ms\n";
+
+  auto decoded = DecodeServerStatsReply(EncodeServerStatsReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->uptime_us, reply.uptime_us);
+  EXPECT_EQ(decoded->sessions_served, 9u);
+  EXPECT_EQ(decoded->active_sessions, 2u);
+  EXPECT_EQ(decoded->queries, 123u);
+  EXPECT_EQ(decoded->sheds, 4u);
+  EXPECT_EQ(decoded->slow_logged, 1u);
+  EXPECT_EQ(decoded->query_latency.count, 3u);
+  EXPECT_EQ(decoded->query_latency.sum_micros, 10'110u);
+  EXPECT_EQ(decoded->query_latency.max_micros, 10'000u);
+  EXPECT_EQ(decoded->query_latency.buckets, reply.query_latency.buckets);
+  ASSERT_EQ(decoded->sessions.size(), 1u);
+  EXPECT_EQ(decoded->sessions[0].peer, "xra_repl");
+  EXPECT_TRUE(decoded->sessions[0].busy);
+  EXPECT_EQ(decoded->sessions[0].current_query, s.current_query);
+  EXPECT_EQ(decoded->slow_log, reply.slow_log);
+  EXPECT_EQ(decoded->trace, reply.trace);
+}
+
+TEST(ServerStatsCodec, ReplyRefusesGarbage) {
+  ServerStatsReply reply;
+  std::string payload = EncodeServerStatsReply(reply);
+  EXPECT_FALSE(
+      DecodeServerStatsReply(payload.substr(0, payload.size() - 1)).ok());
+  EXPECT_FALSE(DecodeServerStatsReply(payload + "x").ok());
+  EXPECT_FALSE(DecodeServerStatsReply("").ok());
+}
+
+TEST(Handshake, UnsupportedVersionIsUnavailableAndNamesBothVersions) {
   auto db = std::move(Database::Open({}).value());
   Server server(db.get());
   ASSERT_TRUE(server.Start().ok());
 
   auto sock = Socket::Connect("127.0.0.1", server.port());
   ASSERT_TRUE(sock.ok());
+  // Version 1 predates kMinProtocolVersion and must be refused (v2+ is
+  // negotiated down instead — see the fallback test below).
   ASSERT_TRUE(WriteFrame(*sock, FrameKind::kHello,
-                         EncodeHello(kProtocolVersion - 1, "v1-client"))
+                         EncodeHello(1, "v1-client"))
                   .ok());
   auto response = ReadFrame(*sock, WireLimits{}, 5000);
   ASSERT_TRUE(response.ok()) << response.status().ToString();
@@ -256,6 +409,47 @@ TEST(Handshake, VersionMismatchIsUnavailableAndNamesBothVersions) {
                 "server speaks " + std::to_string(kProtocolVersion)),
             std::string::npos)
       << error.ToString();
+  server.Shutdown();
+}
+
+TEST(Handshake, OldV2ClientNegotiatesDownAndGetsTrailerFreeResults) {
+  // An old client speaking protocol v2 sends raw-text Query payloads and
+  // expects plain ResultSet responses; the new server must serve both.
+  auto db = std::move(Database::Open({}).value());
+  {
+    lang::Interpreter interp(db.get());
+    ASSERT_TRUE(interp
+                    .ExecuteScript(
+                        "create beer(name: string, alcperc: real);"
+                        "insert(beer, {('pils', 5.0) : 2});",
+                        [](const std::string&, const Relation&) {})
+                    .ok());
+  }
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sock = Socket::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(
+      WriteFrame(*sock, FrameKind::kHello, EncodeHello(2, "old-client")).ok());
+  auto hello_response = ReadFrame(*sock, WireLimits{}, 5000);
+  ASSERT_TRUE(hello_response.ok()) << hello_response.status().ToString();
+  ASSERT_EQ(hello_response->kind, FrameKind::kHello);
+  auto hello = DecodeHello(hello_response->payload);
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->version, 2u);  // Negotiated down to the client's dialect.
+
+  // v2 payload: the raw relation expression, no id prefix.
+  ASSERT_TRUE(WriteFrame(*sock, FrameKind::kQuery, "beer").ok());
+  auto response = ReadFrame(*sock, WireLimits{}, 5000);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->kind, FrameKind::kResultSet);
+  // The strict v2 decoder must accept the payload byte-for-byte — any
+  // trailer would surface as trailing garbage here.
+  auto relations = DecodeResultSet(response->payload);
+  ASSERT_TRUE(relations.ok()) << relations.status().ToString();
+  ASSERT_EQ(relations->size(), 1u);
+  EXPECT_EQ((*relations)[0].size(), 2u);
   server.Shutdown();
 }
 

@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "mra/net/client.h"
+#include "mra/obs/op_metrics.h"
+#include "mra/obs/slow_log.h"
+#include "mra/obs/trace.h"
 
 namespace mra {
 namespace net {
@@ -62,6 +65,93 @@ TEST(NetServer, HandshakeQueryPingStats) {
 
   server.Shutdown();
   EXPECT_EQ(server.active_sessions(), 0);
+}
+
+TEST(NetServer, QueryCarriesStatsTrailerAttributedToTheClientId) {
+  auto db = MakeSeededDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  obs::ScopedExecTiming timing(true);
+
+  Client client = MustConnect(server);
+  auto result = client.Query("select(%3 > 4.5, beer)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The client minted the id; the server's stats trailer must echo it.
+  EXPECT_NE(client.last_query_id(), 0u);
+  ASSERT_TRUE(client.last_query_stats().has_value());
+  const WireQueryStats& stats = *client.last_query_stats();
+  EXPECT_EQ(stats.query_id, client.last_query_id());
+  EXPECT_EQ(stats.result_rows, 5u);  // pils ×2 + tripel ×3, weighted.
+  EXPECT_GE(stats.total_us,
+            stats.bind_us + stats.optimize_us + stats.lower_us);
+  ASSERT_FALSE(stats.operators.empty());
+  uint64_t total_emitted = 0;
+  for (const WireOpStats& op : stats.operators) {
+    total_emitted += op.rows_emitted;
+  }
+  EXPECT_GT(total_emitted, 0u);
+
+  // A later request mints a fresh id and its trailer replaces the stats.
+  uint64_t first_id = client.last_query_id();
+  auto second = client.Query("beer");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(client.last_query_id(), first_id);
+  ASSERT_TRUE(client.last_query_stats().has_value());
+  EXPECT_EQ(client.last_query_stats()->query_id, client.last_query_id());
+  EXPECT_EQ(client.last_query_stats()->result_rows, 6u);
+  server.Shutdown();
+}
+
+TEST(NetServer, ServerStatsExposesSessionsHistogramSlowLogAndTrace) {
+  obs::SlowQueryLog::Global().Clear();
+  obs::SlowQueryLog::Global().SetThresholdMs(0);  // Log every query.
+  obs::Tracer::Global().SetEnabled(true);
+  obs::Tracer::Global().Clear();
+
+  auto db = MakeSeededDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server);
+  auto result = client.Query("select(%3 > 4.5, beer)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  uint64_t query_id = client.last_query_id();
+  ASSERT_NE(query_id, 0u);
+
+  auto top = client.FetchServerStats();
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_GE(top->active_sessions, 1u);
+  EXPECT_GE(top->sessions_served, 1u);
+  EXPECT_GE(top->queries, 1u);
+  EXPECT_GE(top->query_latency.count, 1u);
+  EXPECT_GE(top->query_latency.Quantile(0.5), 0u);
+  ASSERT_FALSE(top->sessions.empty());
+  bool found_self = false;
+  for (const ServerSessionInfo& s : top->sessions) {
+    if (s.queries >= 1 && s.peer == "mra-client") found_self = true;
+  }
+  EXPECT_TRUE(found_self) << "own session missing from the registry";
+  EXPECT_GE(top->slow_logged, 1u);
+  bool logged = false;
+  for (const std::string& line : top->slow_log) {
+    if (line.find("\"query_id\":" + std::to_string(query_id)) !=
+        std::string::npos) {
+      logged = true;
+    }
+  }
+  EXPECT_TRUE(logged) << "slow-query log misses the query (threshold 0)";
+
+  // Filtering by the client's id pulls that query's server-side spans.
+  auto filtered = client.FetchServerStats(query_id);
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_NE(filtered->trace.find("execute"), std::string::npos)
+      << filtered->trace;
+
+  obs::Tracer::Global().SetEnabled(false);
+  obs::Tracer::Global().Clear();
+  obs::SlowQueryLog::Global().SetThresholdMs(-1);
+  obs::SlowQueryLog::Global().Clear();
+  server.Shutdown();
 }
 
 TEST(NetServer, ScriptsCommitAndQueryResultsFlowBack) {
