@@ -52,6 +52,7 @@ constexpr char kHelp[] = R"(XRA statements (end with ';'):
   <name> := E                           bind a temporary (inside begin/end)
   ? E                                   query
   explain [analyze] E                   show plans; analyze also executes
+  analyze <name>                        collect optimizer statistics
   begin s1; ...; sn end                 transaction bracket (atomic)
   constraint <name> (E)                 integrity constraint: E must stay
                                         empty in every committed state
@@ -67,6 +68,7 @@ Conditions/expressions use %1, %2, ... for attributes; literals include
 42, 3.14, 'text', true, date'1994-02-14', dec'9.99'.
 
 Meta: \h help, \d relations, \e <E> explain plans, \ea <E> explain analyze,
+      \analyze <name> collect optimizer statistics (same as `analyze <name>;`),
       \metrics [json|prom|reset] process metrics, \trace [on|off] spans,
       \slowlog slow-query log, \checkpoint, \q quit.)";
 
@@ -93,10 +95,11 @@ void PrintRelations(const Database& db) {
 }
 
 void PrintResult(const Relation& result) {
-  // `explain` delivers its text as a one-tuple relation; print the text
-  // itself rather than a one-cell table.
-  if (result.schema().name() == "explain" && result.schema().arity() == 1 &&
-      result.distinct_size() == 1) {
+  // `explain` and `analyze` deliver their text as a one-tuple relation;
+  // print the text itself rather than a one-cell table.
+  if ((result.schema().name() == "explain" ||
+       result.schema().name() == "analyze") &&
+      result.schema().arity() == 1 && result.distinct_size() == 1) {
     std::cout << result.begin()->first.at(0).string_value();
     return;
   }
@@ -191,6 +194,18 @@ bool HandleMeta(const std::string& line, session::Session& sess,
       std::cout << (explained.ok() ? *explained
                                    : explained.status().ToString())
                 << "\n";
+    } else if (line.rfind("\\analyze ", 0) == 0) {
+      // Sugar for the statement form: routes through the session so remote
+      // and embedded behave identically.
+      auto result = sess.Execute("analyze " + line.substr(9) + ";");
+      if (result.ok()) {
+        for (const session::QueryResult::Item& item : result->items) {
+          PrintResult(item.relation);
+          std::cout << "\n";
+        }
+      } else {
+        std::cout << result.status().ToString() << "\n";
+      }
     } else if (line == "\\metrics") {
       std::cout << obs::MetricsRegistry::Global().RenderText();
     } else if (line == "\\metrics json") {

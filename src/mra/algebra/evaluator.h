@@ -14,6 +14,10 @@
 
 namespace mra {
 
+namespace stats {
+struct TableStatistics;
+}  // namespace stats
+
 /// Resolves database relation names during evaluation.  Implemented by the
 /// catalog and by transaction contexts (which overlay uncommitted state).
 class RelationProvider {
@@ -23,6 +27,15 @@ class RelationProvider {
   /// The relation currently bound to `name`; NotFound if absent.  The
   /// returned pointer stays valid for the duration of the evaluation.
   virtual Result<const Relation*> GetRelation(const std::string& name) const = 0;
+
+  /// The last ANALYZE snapshot for `name`, or nullptr when none was ever
+  /// collected.  Providers without a statistics store (the default) return
+  /// nullptr; the optimizer then falls back to scanning the live relation.
+  virtual const stats::TableStatistics* GetStatistics(
+      const std::string& name) const {
+    (void)name;
+    return nullptr;
+  }
 };
 
 /// A provider with no relations — sufficient for plans built from ConstRel

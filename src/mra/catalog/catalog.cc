@@ -21,7 +21,23 @@ Status Catalog::DropRelation(const std::string& name) {
   if (relations_.erase(name) == 0) {
     return Status::NotFound("no relation named " + name);
   }
+  statistics_.erase(name);
   return Status::OK();
+}
+
+Status Catalog::SetStatistics(const std::string& name,
+                              stats::TableStatistics stats) {
+  if (relations_.count(name) == 0) {
+    return Status::NotFound("no relation named " + name);
+  }
+  statistics_[name] = std::move(stats);
+  return Status::OK();
+}
+
+const stats::TableStatistics* Catalog::GetStatistics(
+    const std::string& name) const {
+  auto it = statistics_.find(name);
+  return it == statistics_.end() ? nullptr : &it->second;
 }
 
 Result<const Relation*> Catalog::GetRelation(const std::string& name) const {

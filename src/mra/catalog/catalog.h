@@ -13,6 +13,7 @@
 #include "mra/algebra/evaluator.h"
 #include "mra/common/result.h"
 #include "mra/core/relation.h"
+#include "mra/stats/table_statistics.h"
 
 namespace mra {
 
@@ -48,6 +49,20 @@ class Catalog final : public RelationProvider {
 
   size_t relation_count() const { return relations_.size(); }
 
+  /// Installs an ANALYZE snapshot for `name` (NotFound if the relation does
+  /// not exist).  Statistics are advisory: they go stale rather than invalid
+  /// when the instance changes, and are dropped with the relation.
+  Status SetStatistics(const std::string& name, stats::TableStatistics stats);
+
+  /// RelationProvider: the last snapshot for `name`, or nullptr.
+  const stats::TableStatistics* GetStatistics(
+      const std::string& name) const override;
+
+  /// All stored snapshots, for checkpoint serialization (sorted by name).
+  const std::map<std::string, stats::TableStatistics>& statistics() const {
+    return statistics_;
+  }
+
   /// The logical time t of this state (Definition 2.6).
   uint64_t logical_time() const { return logical_time_; }
   /// Installs the next state: a single-step transition D_t → D_{t+1}.
@@ -61,6 +76,7 @@ class Catalog final : public RelationProvider {
  private:
   // std::map keeps deterministic iteration for serialization and printing.
   std::map<std::string, Relation> relations_;
+  std::map<std::string, stats::TableStatistics> statistics_;
   uint64_t logical_time_ = 0;
 };
 

@@ -1,0 +1,46 @@
+// One format for planner and optimizer choice annotations.
+//
+// Physical operators carry "kind: detail" notes (hash-join key choices,
+// hash fallbacks) and the optimizer reports its decision trail ("rule: …",
+// "reordered: …"); EXPLAIN renders both bracketed as "[kind: detail]".
+// Every producer and renderer goes through these helpers so the format is
+// pinned in exactly one place (and one test).
+
+#ifndef MRA_COMMON_ANNOTATION_H_
+#define MRA_COMMON_ANNOTATION_H_
+
+#include <string>
+#include <string_view>
+
+namespace mra {
+
+/// "kind: detail" — the text stored on operators and report entries.
+inline std::string AnnotationText(std::string_view kind,
+                                  std::string_view detail) {
+  std::string out;
+  out.reserve(kind.size() + detail.size() + 2);
+  out.append(kind);
+  out.append(": ");
+  out.append(detail);
+  return out;
+}
+
+/// "[text]" — how EXPLAIN renders one annotation.
+inline std::string BracketAnnotation(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('[');
+  out.append(text);
+  out.push_back(']');
+  return out;
+}
+
+/// "[kind: detail]" in one step.
+inline std::string RenderAnnotation(std::string_view kind,
+                                    std::string_view detail) {
+  return BracketAnnotation(AnnotationText(kind, detail));
+}
+
+}  // namespace mra
+
+#endif  // MRA_COMMON_ANNOTATION_H_

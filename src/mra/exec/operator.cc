@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "mra/algebra/closure.h"
+#include "mra/common/annotation.h"
 #include "mra/expr/eval.h"
 #include "mra/obs/metrics.h"
 
@@ -58,7 +59,9 @@ void RenderPhysical(const PhysicalOperator& op, int depth,
                     std::ostream& out) {
   for (int i = 0; i < depth; ++i) out << "  ";
   out << op.name();
-  if (!op.annotation().empty()) out << "  [" << op.annotation() << "]";
+  if (!op.annotation().empty()) {
+    out << "  " << BracketAnnotation(op.annotation());
+  }
   out << "\n";
   for (const PhysicalOperator* child : op.children()) {
     RenderPhysical(*child, depth + 1, out);
@@ -68,7 +71,9 @@ void RenderPhysical(const PhysicalOperator& op, int depth,
 void RenderAnalyzed(const PhysicalOperator& op, int depth, std::ostream& out) {
   for (int i = 0; i < depth; ++i) out << "  ";
   out << op.name();
-  if (!op.annotation().empty()) out << "  [" << op.annotation() << "]";
+  if (!op.annotation().empty()) {
+    out << "  " << BracketAnnotation(op.annotation());
+  }
   const obs::OperatorMetrics& m = op.metrics();
   char buf[64];
   if (op.estimated_rows() >= 0.0) {
@@ -82,6 +87,11 @@ void RenderAnalyzed(const PhysicalOperator& op, int depth, std::ostream& out) {
     double err = est >= act ? est / act : act / est;
     std::snprintf(buf, sizeof(buf), "%.2f", err);
     out << ", err=" << buf << "x)";
+  } else {
+    // No estimate for this node (unknown relation, no statistics): render
+    // explicit placeholders rather than a misleading default, keeping the
+    // column layout stable.
+    out << "  (est=-, err=-)";
   }
   out << "  (actual rows=" << m.rows_emitted
       << " weighted=" << m.weighted_rows;
@@ -804,6 +814,52 @@ Result<std::optional<Row>> ClosureOp::NextImpl() {
 }
 
 void ClosureOp::CloseImpl() { result_.Clear(); }
+
+// --- SubplanCacheOp. ---
+
+SubplanCacheOp::SubplanCacheOp(std::shared_ptr<SubplanState> state, bool owner)
+    : state_(std::move(state)), owner_(owner) {
+  MRA_CHECK(state_ != nullptr && state_->source != nullptr);
+}
+
+Status SubplanCacheOp::OpenImpl() {
+  if (!state_->materialized) {
+    MRA_ASSIGN_OR_RETURN(state_->cached, ExecuteToRelation(*state_->source));
+    state_->materialized = true;
+  }
+  metrics_.distinct_rows = state_->cached.distinct_size();
+  it_ = state_->cached.begin();
+  return Status::OK();
+}
+
+Result<std::optional<Row>> SubplanCacheOp::NextImpl() {
+  if (it_ == state_->cached.end()) return std::optional<Row>();
+  Row row{it_->first, it_->second};
+  ++it_;
+  return std::optional<Row>(std::move(row));
+}
+
+Status SubplanCacheOp::NextBatchImpl(RowBatch& out) {
+  for (; it_ != state_->cached.end() && !out.full(); ++it_) {
+    Row& slot = out.AppendSlot();
+    slot.tuple = it_->first;
+    slot.count = it_->second;
+  }
+  return Status::OK();
+}
+
+void SubplanCacheOp::CloseImpl() {}
+
+const RelationSchema& SubplanCacheOp::schema() const {
+  return state_->source->schema();
+}
+
+std::vector<const PhysicalOperator*> SubplanCacheOp::children() const {
+  // Only the owning consumer renders the shared subtree; reuse sites are
+  // leaves, so EXPLAIN shows the subplan once.
+  if (owner_) return {state_->source.get()};
+  return {};
+}
 
 // --- HashGroupByOp. ---
 

@@ -535,6 +535,43 @@ class ClosureOp final : public PhysicalOperator {
   Relation::const_iterator it_;
 };
 
+/// Shared materialisation backing SubplanCacheOp: one state object per
+/// reused logical subtree, held by every consumer.  The first Open executes
+/// `source` and materialises its bag; later consumers (and re-Opens) stream
+/// the cached relation without re-running the subtree.  The cache lives for
+/// the physical tree's lifetime — trees are lowered per execution, so a
+/// stale cache cannot outlive the plan that computed it.
+struct SubplanState {
+  PhysOpPtr source;
+  Relation cached;
+  bool materialized = false;
+};
+
+/// Streams a shared, lazily materialised subplan result (the physical side
+/// of the subplan-reuse rewrite: a logical subtree appearing k times is
+/// lowered once and scanned k times).  Exactly one consumer — the first
+/// one created — owns the rendering of the wrapped subtree; the others
+/// render as leaves annotated as reuses.
+class SubplanCacheOp final : public PhysicalOperator {
+ public:
+  SubplanCacheOp(std::shared_ptr<SubplanState> state, bool owner);
+
+  const RelationSchema& schema() const override;
+  std::string_view name() const override { return "SubplanCache"; }
+  std::vector<const PhysicalOperator*> children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<Row>> NextImpl() override;
+  Status NextBatchImpl(RowBatch& out) override;
+  void CloseImpl() override;
+
+ private:
+  std::shared_ptr<SubplanState> state_;
+  bool owner_;
+  Relation::const_iterator it_;
+};
+
 /// Γ — hash aggregation (Definition 3.4 with the Definition 3.3
 /// multiplicity-weighted aggregates).  Builds the group table on Open by
 /// draining the child batch-at-a-time into a recycled HashKeyIndex with a

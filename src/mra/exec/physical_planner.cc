@@ -1,24 +1,63 @@
 #include "mra/exec/physical_planner.h"
 
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "mra/common/annotation.h"
+#include "mra/obs/metrics.h"
+
 namespace mra {
 namespace exec {
 
 namespace {
 
-Result<PhysOpPtr> LowerPlanImpl(const PlanPtr& plan,
-                                const RelationProvider& provider,
-                                const CardinalityEstimator* estimator,
-                                const PlannerOptions& options);
+/// Subtree kinds worth sharing when duplicated: those that materialise or
+/// build hash state (running them twice doubles real work).  Streaming
+/// nodes (σ, π, scans) are cheaper to re-run than to materialise.
+bool ReusableKind(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kJoin:
+    case PlanKind::kGroupBy:
+    case PlanKind::kClosure:
+    case PlanKind::kDifference:
+    case PlanKind::kIntersect:
+    case PlanKind::kUnique:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Per-LowerPlan state: the options plus the common-subexpression books.
+/// `reuse_counts` holds how often each reusable subtree fingerprint occurs
+/// in the root plan; `shared` maps fingerprints lowered once already to
+/// their shared materialisation state.
+struct LowerContext {
+  const RelationProvider& provider;
+  const CardinalityEstimator* estimator;
+  const PlannerOptions& options;
+  std::unordered_map<std::string, int> reuse_counts;
+  std::unordered_map<std::string, std::shared_ptr<SubplanState>> shared;
+};
+
+void CountReusableSubtrees(const PlanPtr& plan,
+                           std::unordered_map<std::string, int>* counts) {
+  if (ReusableKind(plan->kind())) ++(*counts)[plan->ToInlineString()];
+  for (const PlanPtr& child : plan->children()) {
+    CountReusableSubtrees(child, counts);
+  }
+}
+
+Result<PhysOpPtr> LowerPlanImpl(const PlanPtr& plan, LowerContext& ctx);
 
 /// Picks and constructs the physical operator for one logical node.
-Result<PhysOpPtr> LowerNode(const PlanPtr& plan,
-                            const RelationProvider& provider,
-                            const CardinalityEstimator* estimator,
-                            const PlannerOptions& options) {
+Result<PhysOpPtr> LowerNode(const PlanPtr& plan, LowerContext& ctx) {
   switch (plan->kind()) {
     case PlanKind::kScan: {
       MRA_ASSIGN_OR_RETURN(const Relation* rel,
-                           provider.GetRelation(plan->relation_name()));
+                           ctx.provider.GetRelation(plan->relation_name()));
       if (!rel->schema().CompatibleWith(plan->schema())) {
         return Status::Internal("relation " + plan->relation_name() +
                                 " changed schema after planning");
@@ -28,111 +67,128 @@ Result<PhysOpPtr> LowerNode(const PlanPtr& plan,
     case PlanKind::kConstRel:
       return PhysOpPtr(std::make_unique<ConstScanOp>(plan->const_relation()));
     case PlanKind::kSelect: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
-                           LowerPlanImpl(plan->child(0), provider, estimator, options));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlanImpl(plan->child(0), ctx));
       return PhysOpPtr(
           std::make_unique<FilterOp>(plan->condition(), std::move(child)));
     }
     case PlanKind::kProject: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
-                           LowerPlanImpl(plan->child(0), provider, estimator, options));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlanImpl(plan->child(0), ctx));
       return PhysOpPtr(std::make_unique<ComputeOp>(
           plan->projections(), plan->schema(), std::move(child)));
     }
     case PlanKind::kUnique: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
-                           LowerPlanImpl(plan->child(0), provider, estimator, options));
-      if (!options.hash_ops) {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlanImpl(plan->child(0), ctx));
+      if (!ctx.options.hash_ops) {
         PhysOpPtr op(std::make_unique<SortDedupOp>(std::move(child)));
-        op->set_annotation("fallback: hash ops disabled");
+        op->set_annotation(AnnotationText("fallback", "hash ops disabled"));
         return op;
       }
       return PhysOpPtr(std::make_unique<DedupOp>(std::move(child)));
     }
     case PlanKind::kUnion: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
-                           LowerPlanImpl(plan->child(0), provider, estimator, options));
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
-                           LowerPlanImpl(plan->child(1), provider, estimator, options));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlanImpl(plan->child(0), ctx));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlanImpl(plan->child(1), ctx));
       return PhysOpPtr(
           std::make_unique<UnionAllOp>(std::move(l), std::move(r)));
     }
     case PlanKind::kDifference: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
-                           LowerPlanImpl(plan->child(0), provider, estimator, options));
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
-                           LowerPlanImpl(plan->child(1), provider, estimator, options));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlanImpl(plan->child(0), ctx));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlanImpl(plan->child(1), ctx));
       return PhysOpPtr(
           std::make_unique<DifferenceOp>(std::move(l), std::move(r)));
     }
     case PlanKind::kIntersect: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
-                           LowerPlanImpl(plan->child(0), provider, estimator, options));
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
-                           LowerPlanImpl(plan->child(1), provider, estimator, options));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlanImpl(plan->child(0), ctx));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlanImpl(plan->child(1), ctx));
       return PhysOpPtr(
           std::make_unique<IntersectOp>(std::move(l), std::move(r)));
     }
     case PlanKind::kProduct: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
-                           LowerPlanImpl(plan->child(0), provider, estimator, options));
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
-                           LowerPlanImpl(plan->child(1), provider, estimator, options));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlanImpl(plan->child(0), ctx));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlanImpl(plan->child(1), ctx));
       return PhysOpPtr(std::make_unique<NestedLoopJoinOp>(
           nullptr, std::move(l), std::move(r)));
     }
     case PlanKind::kJoin: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr l,
-                           LowerPlanImpl(plan->child(0), provider, estimator, options));
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr r,
-                           LowerPlanImpl(plan->child(1), provider, estimator, options));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlanImpl(plan->child(0), ctx));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlanImpl(plan->child(1), ctx));
       std::vector<size_t> left_keys, right_keys;
       ExprPtr residual;
       size_t left_arity = plan->child(0)->schema().arity();
-      if (options.hash_ops &&
+      if (ctx.options.hash_ops &&
           ExtractEquiJoinKeys(plan->condition(), plan->schema(), left_arity,
                               &left_keys, &right_keys, &residual)) {
-        std::string keys = "keys:";
+        std::string keys;
         for (size_t i = 0; i < left_keys.size(); ++i) {
-          keys += (i == 0 ? " %" : ", %") +
-                  std::to_string(left_keys[i] + 1) + "=%" +
-                  std::to_string(left_arity + right_keys[i] + 1);
+          keys += (i == 0 ? "%" : ", %") + std::to_string(left_keys[i] + 1) +
+                  "=%" + std::to_string(left_arity + right_keys[i] + 1);
         }
         PhysOpPtr op(std::make_unique<HashJoinOp>(
             std::move(left_keys), std::move(right_keys), std::move(residual),
             std::move(l), std::move(r)));
-        op->set_annotation(std::move(keys));
+        op->set_annotation(AnnotationText("keys", keys));
         return op;
       }
       PhysOpPtr op(std::make_unique<NestedLoopJoinOp>(
           plan->condition(), std::move(l), std::move(r)));
-      op->set_annotation(options.hash_ops ? "fallback: predicate not hashable"
-                                          : "fallback: hash ops disabled");
+      op->set_annotation(
+          ctx.options.hash_ops
+              ? AnnotationText("fallback", "predicate not hashable")
+              : AnnotationText("fallback", "hash ops disabled"));
       return op;
     }
     case PlanKind::kGroupBy: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
-                           LowerPlanImpl(plan->child(0), provider, estimator, options));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlanImpl(plan->child(0), ctx));
       return PhysOpPtr(std::make_unique<HashGroupByOp>(
           plan->group_keys(), plan->aggregates(), plan->schema(),
           std::move(child)));
     }
     case PlanKind::kClosure: {
-      MRA_ASSIGN_OR_RETURN(PhysOpPtr child,
-                           LowerPlanImpl(plan->child(0), provider, estimator, options));
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlanImpl(plan->child(0), ctx));
       return PhysOpPtr(std::make_unique<ClosureOp>(std::move(child)));
     }
   }
   return Status::Internal("bad plan kind");
 }
 
-Result<PhysOpPtr> LowerPlanImpl(const PlanPtr& plan,
-                                const RelationProvider& provider,
-                                const CardinalityEstimator* estimator,
-                                const PlannerOptions& options) {
-  MRA_ASSIGN_OR_RETURN(PhysOpPtr op,
-                       LowerNode(plan, provider, estimator, options));
-  if (estimator != nullptr) op->set_estimated_rows((*estimator)(*plan));
+Result<PhysOpPtr> LowerPlanImpl(const PlanPtr& plan, LowerContext& ctx) {
+  // Common-subexpression reuse: a reusable subtree occurring more than once
+  // in the root plan is lowered once; every occurrence streams the shared
+  // materialisation (bag-preserving — the cached relation IS the subtree's
+  // result, scanned k times instead of computed k times).
+  std::string fingerprint;
+  if (!ctx.reuse_counts.empty() && ReusableKind(plan->kind())) {
+    fingerprint = plan->ToInlineString();
+    auto count = ctx.reuse_counts.find(fingerprint);
+    if (count == ctx.reuse_counts.end() || count->second < 2) {
+      fingerprint.clear();
+    } else {
+      auto shared = ctx.shared.find(fingerprint);
+      if (shared != ctx.shared.end()) {
+        obs::MetricsRegistry::Global()
+            .GetCounter("opt.rule.subplan_reuse")
+            ->Inc();
+        PhysOpPtr op(std::make_unique<SubplanCacheOp>(shared->second,
+                                                      /*owner=*/false));
+        op->set_annotation(AnnotationText("rule", "subplan_reuse"));
+        if (ctx.estimator != nullptr) {
+          op->set_estimated_rows((*ctx.estimator)(*plan));
+        }
+        return op;
+      }
+    }
+  }
+  MRA_ASSIGN_OR_RETURN(PhysOpPtr op, LowerNode(plan, ctx));
+  if (ctx.estimator != nullptr) op->set_estimated_rows((*ctx.estimator)(*plan));
+  if (!fingerprint.empty()) {
+    auto state = std::make_shared<SubplanState>();
+    double est = op->estimated_rows();
+    state->source = std::move(op);
+    PhysOpPtr cache(std::make_unique<SubplanCacheOp>(state, /*owner=*/true));
+    cache->set_estimated_rows(est);
+    ctx.shared.emplace(std::move(fingerprint), std::move(state));
+    return cache;
+  }
   return op;
 }
 
@@ -142,7 +198,21 @@ Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
                             const RelationProvider& provider,
                             const CardinalityEstimator* estimator,
                             const PlannerOptions& options) {
-  return LowerPlanImpl(plan, provider, estimator, options);
+  LowerContext ctx{provider, estimator, options, {}, {}};
+  if (options.subplan_reuse) {
+    CountReusableSubtrees(plan, &ctx.reuse_counts);
+    bool any_repeat = false;
+    for (const auto& [fp, n] : ctx.reuse_counts) {
+      if (n >= 2) {
+        any_repeat = true;
+        break;
+      }
+    }
+    // Drop the books when nothing repeats so the per-node fingerprint
+    // checks short-circuit.
+    if (!any_repeat) ctx.reuse_counts.clear();
+  }
+  return LowerPlanImpl(plan, ctx);
 }
 
 Result<Relation> ExecutePlan(const PlanPtr& plan,

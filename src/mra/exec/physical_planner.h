@@ -45,6 +45,11 @@ struct PlannerOptions {
   /// the definitional/legacy paths the hash kernels are benchmarked and
   /// differentially tested against.
   bool hash_ops = true;
+  /// Lower a duplicated expensive subtree (⋈, Γ, δ, −, ∩, closure) once
+  /// and stream its materialised result at every occurrence
+  /// (SubplanCacheOp).  Bag-preserving: reuse sites scan the identical
+  /// result relation the subtree would have produced.
+  bool subplan_reuse = true;
 };
 
 /// Builds an executable operator tree for `plan`.  Scan nodes resolve

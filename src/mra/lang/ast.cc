@@ -124,6 +124,9 @@ std::string Stmt::ToString() const {
     case Kind::kExplain:
       out << "explain " << (analyze ? "analyze " : "") << expr->ToString();
       break;
+    case Kind::kAnalyze:
+      out << "analyze " << target;
+      break;
   }
   return out.str();
 }

@@ -68,6 +68,7 @@ struct Stmt {
     kConstraint,      // constraint name (E)   [extension: §4.3 correctness]
     kDropConstraint,  // drop constraint name   [extension]
     kExplain,         // explain [analyze] E    [extension: observability]
+    kAnalyze,         // analyze name           [extension: statistics]
   };
 
   Kind kind;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "mra/common/annotation.h"
 #include "mra/exec/physical_planner.h"
 #include "mra/lang/binder.h"
 #include "mra/lang/parser.h"
@@ -126,6 +127,12 @@ Status Interpreter::ExecuteStmt(const Stmt& stmt, Transaction& txn,
       return Status::TxnError(
           "DDL statements are top-level only (line " +
           std::to_string(stmt.line) + ")");
+    case Stmt::Kind::kAnalyze:
+      // Statistics describe committed state; collecting them against a
+      // transaction's working copies would persist uncommitted numbers.
+      return Status::TxnError(
+          "analyze is top-level only (line " + std::to_string(stmt.line) +
+          ")");
     case Stmt::Kind::kInsert: {
       MRA_ASSIGN_OR_RETURN(Relation delta, EvaluateExpr(*stmt.expr, txn));
       return txn.Insert(stmt.target, delta);
@@ -189,6 +196,20 @@ Status Interpreter::ExecuteItem(const Script::Item& item,
     }
     if (stmt.kind == Stmt::Kind::kDropConstraint) {
       return db_->DropConstraint(stmt.target);
+    }
+    if (stmt.kind == Stmt::Kind::kAnalyze) {
+      MRA_ASSIGN_OR_RETURN(stats::TableStatistics stats,
+                           db_->Analyze(stmt.target));
+      if (on_query) {
+        // The collection summary travels the query channel as a one-tuple
+        // relation, like EXPLAIN's plan text.
+        Relation rel(RelationSchema(
+            "analyze", {Attribute{"summary", Type::String()}}));
+        rel.InsertUnchecked(
+            Tuple({Value::Str(stmt.target + ": " + stats.ToString())}), 1);
+        on_query(stmt.ToString(), rel);
+      }
+      return Status::OK();
     }
   }
 
@@ -269,8 +290,14 @@ Result<std::string> Interpreter::ExplainExpr(const RelExpr& expr,
   MRA_ASSIGN_OR_RETURN(PlanPtr plan, BindRelExpr(expr, provider));
   std::string out = "logical plan:\n" + plan->ToString();
   opt::Optimizer optimizer(&provider);
-  MRA_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
+  opt::OptimizerReport report;
+  MRA_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan, &report));
   out += "\noptimized plan:\n" + optimized->ToString();
+  // The optimizer's decision trail: which rules fired, which join regions
+  // were reordered (and into what order).
+  for (const std::string& entry : report.entries) {
+    out += "\n" + BracketAnnotation(entry);
+  }
 
   // Annotate every operator with the planner's cardinality prediction so
   // the analyzed rendering can expose the estimation error per node.

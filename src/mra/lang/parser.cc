@@ -141,6 +141,12 @@ class Parser {
         MRA_ASSIGN_OR_RETURN(stmt.expr, ParseRelExpr());
         return stmt;
       }
+      case TokenKind::kKwAnalyze: {
+        Advance();
+        stmt.kind = Stmt::Kind::kAnalyze;
+        MRA_ASSIGN_OR_RETURN(stmt.target, ExpectIdentifier());
+        return stmt;
+      }
       case TokenKind::kKwExplain: {
         Advance();
         stmt.kind = Stmt::Kind::kExplain;

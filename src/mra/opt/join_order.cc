@@ -1,0 +1,486 @@
+#include "mra/opt/join_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mra/opt/rules.h"
+
+namespace mra {
+namespace opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Adopt a reordering only when it models at least 1% cheaper — churn
+// protection against estimate noise on near-ties.
+constexpr double kAdoptMargin = 0.99;
+// Masks are uint32_t; regions beyond this many leaves are left alone.
+constexpr size_t kMaxLeaves = 31;
+
+bool IsJoinLike(const Plan& node) {
+  return node.kind() == PlanKind::kJoin || node.kind() == PlanKind::kProduct;
+}
+
+size_t CountLeaves(const Plan& node) {
+  if (!IsJoinLike(node)) return 1;
+  return CountLeaves(*node.child(0)) + CountLeaves(*node.child(1));
+}
+
+/// One conjunct of the region's join conditions, in the global frame (the
+/// concatenation of all leaf schemas in front-end order).
+struct Conjunct {
+  ExprPtr expr;
+  uint32_t mask = 0;  // leaves whose columns it references
+  bool placed = false;
+  // Filled for `leaf_a.col_a = leaf_b.col_b` equi edges.
+  bool is_edge = false;
+  size_t leaf_a = 0, leaf_b = 0;
+  size_t col_a = 0, col_b = 0;  // leaf-local column indexes
+  double edge_distinct = 1.0;   // max distinct over the two endpoints
+};
+
+struct Region {
+  std::vector<PlanPtr> leaves;    // front-end order, recursively reordered
+  std::vector<size_t> offsets;    // global column offset per leaf
+  std::vector<double> rows;       // estimated rows per leaf
+  std::vector<Conjunct> conjuncts;
+
+  size_t LeafOf(size_t global_column) const {
+    size_t leaf = 0;
+    while (leaf + 1 < offsets.size() && offsets[leaf + 1] <= global_column) {
+      ++leaf;
+    }
+    return leaf;
+  }
+};
+
+/// A bracketing of the region: either one leaf or a join of two subtrees.
+struct TreeNode {
+  uint32_t mask = 0;
+  int left = -1, right = -1;  // arena indexes
+  int leaf = -1;              // leaf id when a leaf
+};
+
+double JoinCost(double left_rows, double right_rows, double out_rows) {
+  return kBuildCostPerRow * std::min(left_rows, right_rows) +
+         kProbeCostPerRow * std::max(left_rows, right_rows) +
+         kOutputCostPerRow * out_rows;
+}
+
+/// Estimated output rows of joining the leaf set `mask` with every
+/// applicable conjunct applied — a function of the set only, never of the
+/// bracketing, which keeps costs comparable across orders.
+double RowsOf(uint32_t mask, const Region& region) {
+  double rows = 1.0;
+  for (size_t i = 0; i < region.leaves.size(); ++i) {
+    if (mask & (1u << i)) rows *= std::max(1.0, region.rows[i]);
+  }
+  for (const Conjunct& c : region.conjuncts) {
+    if ((c.mask & mask) != c.mask) continue;
+    if (c.is_edge) {
+      rows /= std::max(1.0, c.edge_distinct);
+    } else {
+      rows *= EstimateSelectivity(c.expr);
+    }
+  }
+  return std::max(rows, 1.0);
+}
+
+/// Cost of the original bracketing under the same model; `next_leaf`
+/// walks the in-order leaf sequence.
+double OriginalCost(const Plan& node, const Region& region, size_t* next_leaf,
+                    uint32_t* mask_out) {
+  if (!IsJoinLike(node)) {
+    *mask_out = 1u << (*next_leaf)++;
+    return 0.0;
+  }
+  uint32_t lm = 0, rm = 0;
+  double cl = OriginalCost(*node.child(0), region, next_leaf, &lm);
+  double cr = OriginalCost(*node.child(1), region, next_leaf, &rm);
+  *mask_out = lm | rm;
+  return cl + cr +
+         JoinCost(RowsOf(lm, region), RowsOf(rm, region),
+                  RowsOf(lm | rm, region));
+}
+
+bool HasCrossEdge(uint32_t a, uint32_t b, const Region& region) {
+  for (const Conjunct& c : region.conjuncts) {
+    if (!c.is_edge) continue;
+    uint32_t ea = 1u << c.leaf_a, eb = 1u << c.leaf_b;
+    if (((ea & a) && (eb & b)) || ((ea & b) && (eb & a))) return true;
+  }
+  return false;
+}
+
+/// Selinger-style DP over leaf subsets; fills `nodes` and returns the
+/// arena index of the best tree for the full set, with its cost.
+int EnumerateDp(const Region& region, std::vector<TreeNode>* nodes,
+                double* cost_out) {
+  size_t n = region.leaves.size();
+  uint32_t full = (1u << n) - 1;
+  std::vector<double> best(full + 1, kInf);
+  std::vector<std::pair<uint32_t, uint32_t>> split(full + 1, {0, 0});
+  std::vector<double> rows(full + 1, 0.0);
+  for (uint32_t m = 1; m <= full; ++m) rows[m] = RowsOf(m, region);
+  for (size_t i = 0; i < n; ++i) best[1u << i] = 0.0;
+
+  std::vector<uint32_t> order;
+  for (uint32_t m = 1; m <= full; ++m) {
+    if ((m & (m - 1)) != 0) order.push_back(m);  // skip singletons
+  }
+  std::sort(order.begin(), order.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+
+  for (uint32_t m : order) {
+    // Prefer splits linked by an equi edge; fall back to cross products
+    // only when the subgraph is disconnected.
+    for (int require_edge = 1; require_edge >= 0; --require_edge) {
+      for (uint32_t s = (m - 1) & m; s != 0; s = (s - 1) & m) {
+        uint32_t t = m ^ s;
+        if (s > t) continue;  // JoinCost is symmetric in the children
+        if (require_edge && !HasCrossEdge(s, t, region)) continue;
+        double c = best[s] + best[t] + JoinCost(rows[s], rows[t], rows[m]);
+        if (c < best[m]) {
+          best[m] = c;
+          split[m] = {s, t};
+        }
+      }
+      if (best[m] < kInf) break;
+    }
+  }
+
+  // Materialise the winning bracketing into the arena.
+  struct Builder {
+    const std::vector<std::pair<uint32_t, uint32_t>>& split;
+    std::vector<TreeNode>* nodes;
+    int operator()(uint32_t m) const {
+      TreeNode node;
+      node.mask = m;
+      if ((m & (m - 1)) == 0) {
+        node.leaf = __builtin_ctz(m);
+      } else {
+        node.left = (*this)(split[m].first);
+        node.right = (*this)(split[m].second);
+      }
+      nodes->push_back(node);
+      return static_cast<int>(nodes->size()) - 1;
+    }
+  };
+  *cost_out = best[full];
+  return Builder{split, nodes}(full);
+}
+
+/// Greedy fallback: seed with the cheapest pair, then repeatedly absorb
+/// the leaf that keeps the running result smallest (connected leaves
+/// first).  Produces a left-deep tree.
+int EnumerateGreedy(const Region& region, std::vector<TreeNode>* nodes,
+                    double* cost_out) {
+  size_t n = region.leaves.size();
+  uint32_t best_pair = 0;
+  double best_rows = kInf;
+  for (int require_edge = 1; require_edge >= 0 && best_pair == 0;
+       --require_edge) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        uint32_t m = (1u << i) | (1u << j);
+        if (require_edge && !HasCrossEdge(1u << i, 1u << j, region)) continue;
+        double r = RowsOf(m, region);
+        if (r < best_rows) {
+          best_rows = r;
+          best_pair = m;
+        }
+      }
+    }
+  }
+
+  auto make_leaf = [&](size_t i) {
+    TreeNode leaf;
+    leaf.mask = 1u << i;
+    leaf.leaf = static_cast<int>(i);
+    nodes->push_back(leaf);
+    return static_cast<int>(nodes->size()) - 1;
+  };
+  size_t a = __builtin_ctz(best_pair);
+  size_t b = __builtin_ctz(best_pair & (best_pair - 1));
+  // Smaller side right (build side); ties keep front-end order.
+  if (region.rows[a] < region.rows[b]) std::swap(a, b);
+  TreeNode root;
+  root.mask = best_pair;
+  root.left = make_leaf(a);
+  root.right = make_leaf(b);
+  nodes->push_back(root);
+  int root_idx = static_cast<int>(nodes->size()) - 1;
+  double cost = JoinCost(region.rows[a], region.rows[b],
+                         RowsOf(best_pair, region));
+
+  uint32_t covered = best_pair;
+  uint32_t full = (1u << n) - 1;
+  while (covered != full) {
+    size_t pick = n;
+    double pick_rows = kInf;
+    for (int require_edge = 1; require_edge >= 0 && pick == n;
+         --require_edge) {
+      for (size_t i = 0; i < n; ++i) {
+        if (covered & (1u << i)) continue;
+        if (require_edge && !HasCrossEdge(covered, 1u << i, region)) continue;
+        double r = RowsOf(covered | (1u << i), region);
+        if (r < pick_rows) {
+          pick_rows = r;
+          pick = i;
+        }
+      }
+    }
+    double covered_rows = RowsOf(covered, region);
+    cost += JoinCost(covered_rows, region.rows[pick], pick_rows);
+    TreeNode next;
+    next.mask = covered | (1u << pick);
+    next.left = root_idx;
+    next.right = make_leaf(pick);
+    nodes->push_back(next);
+    root_idx = static_cast<int>(nodes->size()) - 1;
+    covered = next.mask;
+  }
+  *cost_out = cost;
+  return root_idx;
+}
+
+struct Built {
+  PlanPtr plan;
+  std::vector<size_t> frame;  // frame[position] = global column index
+};
+
+/// Rebuilds the region along the chosen bracketing, placing every
+/// conjunct at the lowest node covering its leaves.
+Result<Built> BuildTree(int idx, const std::vector<TreeNode>& nodes,
+                        Region* region) {
+  const TreeNode& node = nodes[idx];
+  size_t total = region->offsets.back() +
+                 region->leaves.back()->schema().arity();
+  if (node.leaf >= 0) {
+    Built out;
+    out.plan = region->leaves[node.leaf];
+    size_t arity = out.plan->schema().arity();
+    out.frame.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      out.frame.push_back(region->offsets[node.leaf] + i);
+    }
+    // Single-leaf conjuncts (rare post-pushdown) apply right here.
+    std::vector<ExprPtr> local;
+    for (Conjunct& c : region->conjuncts) {
+      if (c.placed || c.mask != node.mask) continue;
+      c.placed = true;
+      local.push_back(
+          ShiftAttrs(c.expr, -static_cast<int64_t>(region->offsets[node.leaf])));
+    }
+    if (!local.empty()) {
+      MRA_ASSIGN_OR_RETURN(
+          out.plan, Plan::Select(CombineConjuncts(local), out.plan));
+    }
+    return out;
+  }
+
+  MRA_ASSIGN_OR_RETURN(Built l, BuildTree(node.left, nodes, region));
+  MRA_ASSIGN_OR_RETURN(Built r, BuildTree(node.right, nodes, region));
+  Built out;
+  out.frame = l.frame;
+  out.frame.insert(out.frame.end(), r.frame.begin(), r.frame.end());
+  std::vector<size_t> remap(total, 0);
+  for (size_t p = 0; p < out.frame.size(); ++p) remap[out.frame[p]] = p;
+  std::vector<ExprPtr> conds;
+  for (Conjunct& c : region->conjuncts) {
+    if (c.placed || (c.mask & node.mask) != c.mask) continue;
+    c.placed = true;
+    conds.push_back(RemapAttrs(c.expr, remap));
+  }
+  if (conds.empty()) {
+    MRA_ASSIGN_OR_RETURN(out.plan, Plan::Product(l.plan, r.plan));
+  } else {
+    MRA_ASSIGN_OR_RETURN(
+        out.plan, Plan::Join(CombineConjuncts(conds), l.plan, r.plan));
+  }
+  return out;
+}
+
+std::string LeafLabel(const Plan& node) {
+  if (node.kind() == PlanKind::kScan) return node.relation_name();
+  for (const PlanPtr& child : node.children()) {
+    std::string inner = LeafLabel(*child);
+    if (!inner.empty()) return inner;
+  }
+  return std::string();
+}
+
+void CollectOrder(int idx, const std::vector<TreeNode>& nodes,
+                  const Region& region, std::string* out) {
+  const TreeNode& node = nodes[idx];
+  if (node.leaf >= 0) {
+    std::string label = LeafLabel(*region.leaves[node.leaf]);
+    if (label.empty()) label = "#" + std::to_string(node.leaf);
+    if (!out->empty()) out->append(" ⋈ ");
+    out->append(label);
+    return;
+  }
+  CollectOrder(node.left, nodes, region, out);
+  CollectOrder(node.right, nodes, region, out);
+}
+
+Result<size_t> Flatten(const PlanPtr& node, size_t offset,
+                       const RelationProvider& provider, StatsCache* cache,
+                       std::vector<std::string>* trail, Region* region) {
+  if (IsJoinLike(*node)) {
+    MRA_ASSIGN_OR_RETURN(
+        size_t la,
+        Flatten(node->child(0), offset, provider, cache, trail, region));
+    MRA_ASSIGN_OR_RETURN(
+        size_t ra, Flatten(node->child(1), offset + la, provider, cache,
+                           trail, region));
+    if (node->kind() == PlanKind::kJoin) {
+      std::vector<ExprPtr> parts;
+      SplitConjuncts(node->condition(), &parts);
+      for (const ExprPtr& c : parts) {
+        Conjunct conjunct;
+        conjunct.expr = ShiftAttrs(c, static_cast<int64_t>(offset));
+        region->conjuncts.push_back(std::move(conjunct));
+      }
+    }
+    return la + ra;
+  }
+  MRA_ASSIGN_OR_RETURN(PlanPtr leaf,
+                       ReorderJoins(node, provider, cache, trail));
+  region->offsets.push_back(offset);
+  region->leaves.push_back(std::move(leaf));
+  return region->leaves.back()->schema().arity();
+}
+
+// Rebuilds the original bracketing over the (recursively reordered)
+// leaves — used when the reorder is not adopted.
+Result<PlanPtr> RebuildOriginal(const PlanPtr& node, const Region& region,
+                                size_t* next_leaf) {
+  if (!IsJoinLike(*node)) return region.leaves[(*next_leaf)++];
+  MRA_ASSIGN_OR_RETURN(PlanPtr l,
+                       RebuildOriginal(node->child(0), region, next_leaf));
+  MRA_ASSIGN_OR_RETURN(PlanPtr r,
+                       RebuildOriginal(node->child(1), region, next_leaf));
+  std::vector<PlanPtr> children{std::move(l), std::move(r)};
+  return WithChildren(node, std::move(children));
+}
+
+Result<PlanPtr> ReorderRegion(const PlanPtr& root,
+                              const RelationProvider& provider,
+                              StatsCache* cache,
+                              std::vector<std::string>* trail) {
+  Region region;
+  MRA_ASSIGN_OR_RETURN(size_t total_arity,
+                       Flatten(root, 0, provider, cache, trail, &region));
+  (void)total_arity;
+  size_t n = region.leaves.size();
+
+  auto keep_original = [&]() {
+    size_t next = 0;
+    return RebuildOriginal(root, region, &next);
+  };
+
+  if (n > kMaxLeaves) return keep_original();
+  // Estimates for every leaf; a leaf without one disables the region.
+  region.rows.reserve(n);
+  for (const PlanPtr& leaf : region.leaves) {
+    double rows = EstimateCardinality(*leaf, provider, cache);
+    if (rows < 0) return keep_original();
+    region.rows.push_back(rows);
+  }
+
+  // Classify conjuncts: leaf masks, equi edges with distinct counts.
+  for (Conjunct& c : region.conjuncts) {
+    for (size_t a : AttrsUsed(c.expr)) {
+      c.mask |= 1u << region.LeafOf(a);
+    }
+    if (c.expr->kind() != ExprKind::kBinary) continue;
+    const auto& b = static_cast<const BinaryExpr&>(*c.expr);
+    if (b.op() != BinaryOp::kEq || b.lhs()->kind() != ExprKind::kAttrRef ||
+        b.rhs()->kind() != ExprKind::kAttrRef) {
+      continue;
+    }
+    size_t i = static_cast<const AttrRefExpr&>(*b.lhs()).index();
+    size_t j = static_cast<const AttrRefExpr&>(*b.rhs()).index();
+    size_t li = region.LeafOf(i), lj = region.LeafOf(j);
+    if (li == lj) continue;
+    c.is_edge = true;
+    c.leaf_a = li;
+    c.leaf_b = lj;
+    c.col_a = i - region.offsets[li];
+    c.col_b = j - region.offsets[lj];
+    const stats::ColumnStatistics* ca =
+        ResolveColumnStats(*region.leaves[li], c.col_a, cache);
+    const stats::ColumnStatistics* cb =
+        ResolveColumnStats(*region.leaves[lj], c.col_b, cache);
+    // Unknown endpoints assume key-like columns (distinct ≈ rows).
+    double da = ca != nullptr ? static_cast<double>(ca->distinct)
+                              : region.rows[li];
+    double db = cb != nullptr ? static_cast<double>(cb->distinct)
+                              : region.rows[lj];
+    c.edge_distinct = std::max(1.0, std::max(da, db));
+  }
+
+  std::vector<TreeNode> nodes;
+  double best_cost = kInf;
+  int best_root = n <= kDpLeafLimit
+                      ? EnumerateDp(region, &nodes, &best_cost)
+                      : EnumerateGreedy(region, &nodes, &best_cost);
+
+  size_t next = 0;
+  uint32_t orig_mask = 0;
+  double orig_cost = OriginalCost(*root, region, &next, &orig_mask);
+  if (!(best_cost < orig_cost * kAdoptMargin)) return keep_original();
+
+  MRA_ASSIGN_OR_RETURN(Built built, BuildTree(best_root, nodes, &region));
+  // Any conjunct left unplaced would change semantics; fail safe.
+  for (const Conjunct& c : region.conjuncts) {
+    if (!c.placed) return keep_original();
+  }
+  // Restore the front-end column order above the reordered tree.
+  size_t total = built.frame.size();
+  std::vector<size_t> restore(total, 0);
+  for (size_t p = 0; p < total; ++p) restore[built.frame[p]] = p;
+  bool identity = true;
+  for (size_t g = 0; g < total && identity; ++g) identity = restore[g] == g;
+  PlanPtr result = built.plan;
+  if (!identity) {
+    MRA_ASSIGN_OR_RETURN(result,
+                         Plan::ProjectIndexes(restore, std::move(result)));
+  }
+  if (trail != nullptr) {
+    std::string order;
+    CollectOrder(best_root, nodes, region, &order);
+    trail->push_back(std::move(order));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<PlanPtr> ReorderJoins(const PlanPtr& plan,
+                             const RelationProvider& provider,
+                             StatsCache* cache,
+                             std::vector<std::string>* trail) {
+  if (IsJoinLike(*plan)) {
+    if (CountLeaves(*plan) >= 3) {
+      return ReorderRegion(plan, provider, cache, trail);
+    }
+    // Two-leaf regions are build-side choices, handled by join_commute —
+    // but their children may contain deeper regions.
+  }
+  std::vector<PlanPtr> children;
+  children.reserve(plan->num_children());
+  for (const PlanPtr& child : plan->children()) {
+    MRA_ASSIGN_OR_RETURN(PlanPtr c,
+                         ReorderJoins(child, provider, cache, trail));
+    children.push_back(std::move(c));
+  }
+  return WithChildren(plan, std::move(children));
+}
+
+}  // namespace opt
+}  // namespace mra

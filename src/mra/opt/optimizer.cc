@@ -1,6 +1,8 @@
 #include "mra/opt/optimizer.h"
 
+#include "mra/common/annotation.h"
 #include "mra/obs/metrics.h"
+#include "mra/opt/join_order.h"
 
 namespace mra {
 namespace opt {
@@ -16,71 +18,24 @@ struct NamedRule {
   RuleFn fn;
 };
 
-void CountRuleFiring(const char* rule_name) {
+void CountRuleFiring(const char* rule_name,
+                     OptimizerReport* report = nullptr) {
   obs::MetricsRegistry::Global()
       .GetCounter(std::string("opt.rule.") + rule_name)
       ->Inc();
-}
-
-// Rebuilds `plan` with new children (no-op when all children are unchanged).
-Result<PlanPtr> WithChildren(const PlanPtr& plan,
-                             std::vector<PlanPtr> children) {
-  bool same = children.size() == plan->num_children();
-  for (size_t i = 0; same && i < children.size(); ++i) {
-    same = children[i] == plan->child(i);
-  }
-  if (same) return plan;
-  switch (plan->kind()) {
-    case PlanKind::kScan:
-    case PlanKind::kConstRel:
-      return plan;
-    case PlanKind::kUnion:
-      return Plan::Union(std::move(children[0]), std::move(children[1]));
-    case PlanKind::kDifference:
-      return Plan::Difference(std::move(children[0]), std::move(children[1]));
-    case PlanKind::kIntersect:
-      return Plan::Intersect(std::move(children[0]), std::move(children[1]));
-    case PlanKind::kProduct:
-      return Plan::Product(std::move(children[0]), std::move(children[1]));
-    case PlanKind::kJoin:
-      return Plan::Join(plan->condition(), std::move(children[0]),
-                        std::move(children[1]));
-    case PlanKind::kSelect:
-      return Plan::Select(plan->condition(), std::move(children[0]));
-    case PlanKind::kProject: {
-      std::vector<std::string> names;
-      for (const Attribute& a : plan->schema().attributes()) {
-        names.push_back(a.name);
-      }
-      return Plan::Project(plan->projections(), std::move(children[0]),
-                           std::move(names));
-    }
-    case PlanKind::kUnique:
-      return Plan::Unique(std::move(children[0]));
-    case PlanKind::kClosure:
-      return Plan::Closure(std::move(children[0]));
-    case PlanKind::kGroupBy: {
-      std::vector<AggSpec> aggs = plan->aggregates();
-      for (size_t i = 0; i < aggs.size(); ++i) {
-        aggs[i].output_name =
-            plan->schema().attribute(plan->group_keys().size() + i).name;
-      }
-      return Plan::GroupBy(plan->group_keys(), std::move(aggs),
-                           std::move(children[0]));
-    }
-  }
-  return Status::Internal("bad plan kind");
+  if (report != nullptr) report->Add("rule", rule_name);
 }
 
 // One bottom-up sweep: rewrite children first, then apply the rule set at
 // this node repeatedly until no rule fires.
 Result<PlanPtr> Sweep(const PlanPtr& plan, const std::vector<NamedRule>& rules,
-                      bool* changed, int max_iterations) {
+                      bool* changed, int max_iterations,
+                      OptimizerReport* report) {
   std::vector<PlanPtr> children;
   children.reserve(plan->num_children());
   for (const PlanPtr& child : plan->children()) {
     MRA_ASSIGN_OR_RETURN(PlanPtr c, Sweep(child, rules, changed,
-                                          max_iterations));
+                                          max_iterations, report));
     children.push_back(std::move(c));
   }
   MRA_ASSIGN_OR_RETURN(PlanPtr current, WithChildren(plan, std::move(children)));
@@ -89,7 +44,7 @@ Result<PlanPtr> Sweep(const PlanPtr& plan, const std::vector<NamedRule>& rules,
     for (const NamedRule& rule : rules) {
       MRA_ASSIGN_OR_RETURN(PlanPtr next, rule.fn(current));
       if (next != nullptr && next != current && !PlanEquals(next, current)) {
-        CountRuleFiring(rule.name);
+        CountRuleFiring(rule.name, report);
         current = std::move(next);
         fired = true;
         *changed = true;
@@ -98,7 +53,7 @@ Result<PlanPtr> Sweep(const PlanPtr& plan, const std::vector<NamedRule>& rules,
         sub.reserve(current->num_children());
         for (const PlanPtr& child : current->children()) {
           MRA_ASSIGN_OR_RETURN(
-              PlanPtr c, Sweep(child, rules, changed, max_iterations));
+              PlanPtr c, Sweep(child, rules, changed, max_iterations, report));
           sub.push_back(std::move(c));
         }
         MRA_ASSIGN_OR_RETURN(current, WithChildren(current, std::move(sub)));
@@ -112,7 +67,25 @@ Result<PlanPtr> Sweep(const PlanPtr& plan, const std::vector<NamedRule>& rules,
 
 }  // namespace
 
-Result<PlanPtr> Optimizer::Optimize(PlanPtr plan) const {
+void OptimizerReport::Add(std::string_view kind, std::string_view detail) {
+  std::string entry = AnnotationText(kind, detail);
+  for (const std::string& existing : entries) {
+    if (existing == entry) return;
+  }
+  entries.push_back(std::move(entry));
+}
+
+Result<PlanPtr> Optimizer::Optimize(PlanPtr plan,
+                                    OptimizerReport* report) const {
+  // Pass 0: predicate split-up (its inverse, merge_selects, runs in the
+  // pass-1 fixpoint; keeping them apart avoids a rewrite loop).
+  if (options_.split_select) {
+    std::vector<NamedRule> split{{"split_select", &TrySplitSelect}};
+    bool changed = false;
+    MRA_ASSIGN_OR_RETURN(
+        plan, Sweep(plan, split, &changed, options_.max_iterations, report));
+  }
+
   // Pass 1: logical simplification + pushdown to a fixpoint.
   std::vector<NamedRule> logical;
   if (options_.constant_folding) {
@@ -133,7 +106,7 @@ Result<PlanPtr> Optimizer::Optimize(PlanPtr plan) const {
   for (int round = 0; round < options_.max_iterations; ++round) {
     bool changed = false;
     MRA_ASSIGN_OR_RETURN(
-        plan, Sweep(plan, logical, &changed, options_.max_iterations));
+        plan, Sweep(plan, logical, &changed, options_.max_iterations, report));
     if (!changed) break;
   }
 
@@ -142,16 +115,35 @@ Result<PlanPtr> Optimizer::Optimize(PlanPtr plan) const {
     PlanPtr before = plan;
     MRA_ASSIGN_OR_RETURN(plan, PruneColumns(plan));
     if (plan != before && !PlanEquals(plan, before)) {
-      CountRuleFiring("prune_columns");
+      CountRuleFiring("prune_columns", report);
     }
     // Pruning inserts projections; clean up identities and merge chains.
     bool changed = false;
     MRA_ASSIGN_OR_RETURN(
-        plan, Sweep(plan, logical, &changed, options_.max_iterations));
+        plan, Sweep(plan, logical, &changed, options_.max_iterations, report));
   }
 
-  // Pass 3: cost-based build-side choice (Theorem 3.3 legitimises
-  // reordering; statistics choose).
+  // Pass 3: cost-based join ordering over ⋈/× regions (Theorem 3.3).
+  if (options_.join_reorder) {
+    StatsCache stats(provider_);
+    std::vector<std::string> trail;
+    MRA_ASSIGN_OR_RETURN(plan,
+                         ReorderJoins(plan, *provider_, &stats, &trail));
+    for (const std::string& order : trail) {
+      CountRuleFiring("join_reorder");
+      if (report != nullptr) report->Add("reordered", order);
+    }
+    if (!trail.empty()) {
+      // Reordering introduces restore-projections; clean them up.
+      bool changed = false;
+      MRA_ASSIGN_OR_RETURN(
+          plan,
+          Sweep(plan, logical, &changed, options_.max_iterations, report));
+    }
+  }
+
+  // Pass 4: cost-based build-side choice (Theorem 3.3 legitimises
+  // commutation; statistics choose).
   if (options_.join_commute) {
     // TryJoinCommute needs the provider, so it cannot be a plain RuleFn;
     // run a dedicated bottom-up sweep.
@@ -159,6 +151,7 @@ Result<PlanPtr> Optimizer::Optimize(PlanPtr plan) const {
     struct Recurse {
       const RelationProvider& provider;
       StatsCache* stats;
+      OptimizerReport* report;
       Result<PlanPtr> operator()(const PlanPtr& node) const {
         std::vector<PlanPtr> children;
         children.reserve(node->num_children());
@@ -170,15 +163,15 @@ Result<PlanPtr> Optimizer::Optimize(PlanPtr plan) const {
                              WithChildren(node, std::move(children)));
         MRA_ASSIGN_OR_RETURN(PlanPtr next,
                              TryJoinCommute(current, provider, stats));
-        if (next != nullptr) CountRuleFiring("join_commute");
+        if (next != nullptr) CountRuleFiring("join_commute", report);
         return next != nullptr ? next : current;
       }
     };
-    MRA_ASSIGN_OR_RETURN(plan, (Recurse{*provider_, &stats}(plan)));
+    MRA_ASSIGN_OR_RETURN(plan, (Recurse{*provider_, &stats, report}(plan)));
     // Commutation can introduce restore-projections; merge them.
     bool changed = false;
     MRA_ASSIGN_OR_RETURN(
-        plan, Sweep(plan, logical, &changed, options_.max_iterations));
+        plan, Sweep(plan, logical, &changed, options_.max_iterations, report));
   }
 
   return plan;

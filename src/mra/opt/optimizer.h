@@ -10,6 +10,10 @@
 #ifndef MRA_OPT_OPTIMIZER_H_
 #define MRA_OPT_OPTIMIZER_H_
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "mra/algebra/evaluator.h"
 #include "mra/algebra/plan.h"
 #include "mra/opt/rules.h"
@@ -20,12 +24,18 @@ namespace opt {
 /// Pass toggles, mainly for ablation benchmarks.
 struct OptimizerOptions {
   bool constant_folding = true;
+  /// Predicate split-up (conjunctions into chains, for per-conjunct
+  /// pushdown; merged back by TryMergeSelects at the fixpoint).
+  bool split_select = true;
   /// Select pushdown + join introduction (Theorems 3.1, 3.2).
   bool select_pushdown = true;
   /// Early projection / column pruning (Example 3.2, Theorem 3.2).
   bool column_pruning = true;
   /// δ simplifications (δδ, δΓ, δ×).
   bool unique_simplify = true;
+  /// Cost-based join-order enumeration over ⋈/× regions (Theorem 3.3;
+  /// DP up to kDpLeafLimit leaves, greedy beyond).
+  bool join_reorder = true;
   /// Cost-based ⋈/× commutation (build-side choice, Theorem 3.3).
   bool join_commute = true;
   /// δ(E1⊎E2) → δ(δE1⊎δE2); off by default (pays only for very
@@ -34,6 +44,17 @@ struct OptimizerOptions {
 
   /// Safety bound on rewrite iterations per pass.
   int max_iterations = 16;
+};
+
+/// The optimizer's decision trail: one entry per distinct rule that fired
+/// ("rule: merge_selects") and per adopted join reordering
+/// ("reordered: s ⋈ t ⋈ r").  EXPLAIN renders each entry bracketed with
+/// the shared annotation helper.
+struct OptimizerReport {
+  std::vector<std::string> entries;
+
+  /// Appends "kind: detail" unless an identical entry already exists.
+  void Add(std::string_view kind, std::string_view detail);
 };
 
 class Optimizer {
@@ -45,8 +66,11 @@ class Optimizer {
     MRA_CHECK(provider != nullptr);
   }
 
-  /// Rewrites `plan` into an equivalent, typically cheaper plan.
-  Result<PlanPtr> Optimize(PlanPtr plan) const;
+  /// Rewrites `plan` into an equivalent, typically cheaper plan.  With a
+  /// non-null `report`, records which rules fired and which join regions
+  /// were reordered.
+  Result<PlanPtr> Optimize(PlanPtr plan,
+                           OptimizerReport* report = nullptr) const;
 
   const OptimizerOptions& options() const { return options_; }
 

@@ -54,6 +54,68 @@ bool CheapToSubstitute(const std::vector<ExprPtr>& exprs,
 
 }  // namespace
 
+Result<PlanPtr> WithChildren(const PlanPtr& plan,
+                             std::vector<PlanPtr> children) {
+  bool same = children.size() == plan->num_children();
+  for (size_t i = 0; same && i < children.size(); ++i) {
+    same = children[i] == plan->child(i);
+  }
+  if (same) return plan;
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+    case PlanKind::kConstRel:
+      return plan;
+    case PlanKind::kUnion:
+      return Plan::Union(std::move(children[0]), std::move(children[1]));
+    case PlanKind::kDifference:
+      return Plan::Difference(std::move(children[0]), std::move(children[1]));
+    case PlanKind::kIntersect:
+      return Plan::Intersect(std::move(children[0]), std::move(children[1]));
+    case PlanKind::kProduct:
+      return Plan::Product(std::move(children[0]), std::move(children[1]));
+    case PlanKind::kJoin:
+      return Plan::Join(plan->condition(), std::move(children[0]),
+                        std::move(children[1]));
+    case PlanKind::kSelect:
+      return Plan::Select(plan->condition(), std::move(children[0]));
+    case PlanKind::kProject: {
+      std::vector<std::string> names;
+      for (const Attribute& a : plan->schema().attributes()) {
+        names.push_back(a.name);
+      }
+      return Plan::Project(plan->projections(), std::move(children[0]),
+                           std::move(names));
+    }
+    case PlanKind::kUnique:
+      return Plan::Unique(std::move(children[0]));
+    case PlanKind::kClosure:
+      return Plan::Closure(std::move(children[0]));
+    case PlanKind::kGroupBy: {
+      std::vector<AggSpec> aggs = plan->aggregates();
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        aggs[i].output_name =
+            plan->schema().attribute(plan->group_keys().size() + i).name;
+      }
+      return Plan::GroupBy(plan->group_keys(), std::move(aggs),
+                           std::move(children[0]));
+    }
+  }
+  return Status::Internal("bad plan kind");
+}
+
+Result<PlanPtr> TrySplitSelect(const PlanPtr& plan) {
+  if (plan->kind() != PlanKind::kSelect) return PlanPtr();
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(plan->condition(), &conjuncts);
+  if (conjuncts.size() < 2) return PlanPtr();
+  PlanPtr current = plan->child(0);
+  // Last conjunct innermost, first outermost: σ_p1 ends up on top.
+  for (size_t i = conjuncts.size(); i-- > 0;) {
+    MRA_ASSIGN_OR_RETURN(current, Plan::Select(conjuncts[i], current));
+  }
+  return current;
+}
+
 Result<PlanPtr> TryMergeSelects(const PlanPtr& plan) {
   if (plan->kind() != PlanKind::kSelect) return PlanPtr();
   const PlanPtr& child = plan->child(0);
@@ -290,6 +352,8 @@ Result<PlanPtr> TryJoinCommute(const PlanPtr& plan,
   }
   double l = EstimateCardinality(*plan->child(0), provider, cache);
   double r = EstimateCardinality(*plan->child(1), provider, cache);
+  // No estimate on either side (kNoEstimate) means no basis to commute.
+  if (l < 0 || r < 0) return PlanPtr();
   // The right child is the hash-join build side / inner loop: keep the
   // smaller input there.  A 10% margin prevents churn on near-ties.
   if (r <= l * 1.1) return PlanPtr();

@@ -29,8 +29,22 @@
 namespace mra {
 namespace opt {
 
-/// σ_p(σ_q E) → σ_{q ∧ p} E.
+/// Rebuilds `plan` with new children; returns `plan` itself when every
+/// child is unchanged.  Shared by the rule drivers and the join-order
+/// enumerator.
+Result<PlanPtr> WithChildren(const PlanPtr& plan,
+                             std::vector<PlanPtr> children);
+
+/// σ_p(σ_q E) → σ_{q ∧ p} E — the predicate merge rule.
 Result<PlanPtr> TryMergeSelects(const PlanPtr& plan);
+
+/// σ_{p1∧…∧pk} E → σ_p1(…(σ_pk E)), k ≥ 2 — the predicate split-up rule
+/// (after Hyrise's PredicateSplitUpRule): a conjunction broken into a
+/// chain lets each conjunct sink independently (Theorem 3.2 holds per
+/// conjunct; a bag's tuple satisfies p1∧…∧pk iff it survives the chain,
+/// multiplicities untouched).  Runs in its own early pass — TryMergeSelects
+/// is its exact inverse and the two would loop in one fixpoint.
+Result<PlanPtr> TrySplitSelect(const PlanPtr& plan);
 
 /// Pushes a selection through ⊎ (Theorem 3.2), − , ∩ , δ and π (bag-valid
 /// relatives), and into/through × and ⋈ by splitting conjuncts per side

@@ -1,10 +1,19 @@
 // Cardinality estimation for the rewrite-based optimizer.
 //
-// Scans use exact catalog statistics (total and distinct cardinality of the
-// live relation); operators above them use textbook System-R style
-// heuristics.  Estimates only steer physical choices such as hash-join
-// build-side selection — rewrite rules themselves are semantics-preserving
-// regardless of estimate quality (Theorems 3.1–3.3).
+// Estimates consult stored ANALYZE snapshots (stats::TableStatistics with
+// equi-depth histograms) through the provider first, and fall back to a
+// one-off scan of the live relation (no histograms — they only pay for
+// themselves when reused) when no snapshot exists.  Operators above the
+// leaves use System-R style propagation: selectivity products over
+// conjuncts, |L|·|R|/max(d_l, d_r) for equi-joins, distinct counts for δ
+// and Γ.  Column references are resolved through π/σ/⋈ to their source
+// relation, so join trees of any depth estimate from real column sketches.
+//
+// A subtree containing a relation that cannot be resolved has NO estimate:
+// EstimateCardinality returns kNoEstimate (-1) rather than a fabricated
+// default, and EXPLAIN renders `est=-`.  Estimates only steer plan choices
+// (build sides, join order) — rewrite rules themselves are
+// semantics-preserving regardless of estimate quality (Theorems 3.1–3.3).
 
 #ifndef MRA_OPT_STATS_H_
 #define MRA_OPT_STATS_H_
@@ -15,6 +24,7 @@
 
 #include "mra/algebra/evaluator.h"
 #include "mra/algebra/plan.h"
+#include "mra/stats/table_statistics.h"
 
 namespace mra {
 namespace opt {
@@ -25,62 +35,53 @@ inline constexpr double kEqSelectivity = 0.1;
 inline constexpr double kRangeSelectivity = 1.0 / 3.0;
 /// Selectivity of an unrecognised condition.
 inline constexpr double kDefaultSelectivity = 0.5;
+/// Sentinel: no estimate could be produced (unknown relation in the
+/// subtree).  Strictly negative so callers can test `est < 0`.
+inline constexpr double kNoEstimate = -1.0;
 
-/// Per-attribute statistics gathered from a live relation.
-struct ColumnStats {
-  /// Number of distinct values in the column.
-  size_t distinct = 0;
-  /// Numeric/date range, when the domain is ordered-numeric.
-  bool has_range = false;
-  double min = 0.0;
-  double max = 0.0;
-};
-
-/// Whole-relation statistics.
-struct TableStats {
-  uint64_t total_tuples = 0;
-  size_t distinct_tuples = 0;
-  std::vector<ColumnStats> columns;
-};
-
-/// Scans `relation` once, collecting per-column distinct counts and
-/// numeric ranges.  Distinct counting is capped at `max_tracked_distinct`
-/// values per column (counts beyond the cap extrapolate conservatively).
-TableStats ComputeTableStats(const Relation& relation,
-                             size_t max_tracked_distinct = 65536);
-
-/// Lazily computes and caches TableStats for catalog relations during one
-/// optimization pass.
+/// Resolves statistics for catalog relations during one optimization pass:
+/// stored ANALYZE snapshots win (histograms included, possibly stale);
+/// otherwise the live relation is scanned once (no histograms) and cached.
 class StatsCache {
  public:
   explicit StatsCache(const RelationProvider* provider)
       : provider_(provider) {}
 
   /// Statistics for `name`, or nullptr when the relation is unknown.
-  const TableStats* StatsFor(const std::string& name);
+  const stats::TableStatistics* StatsFor(const std::string& name);
 
  private:
   const RelationProvider* provider_;
-  std::map<std::string, TableStats> cache_;
+  std::map<std::string, stats::TableStatistics> cache_;
 };
+
+/// Statistics of the source column behind output column `index` of `plan`,
+/// traced through σ/π/δ/⋈/× down to a scan; nullptr when the column is
+/// computed or the source relation is unknown.  Distinct counts read this
+/// way are upper bounds below filtering operators.
+const stats::ColumnStatistics* ResolveColumnStats(const Plan& plan,
+                                                  size_t index,
+                                                  StatsCache* cache);
 
 /// Estimated selectivity of a condition (product over its conjuncts),
 /// using fixed heuristics only.
 double EstimateSelectivity(const ExprPtr& condition);
 
 /// Selectivity of a condition over tuples of `schema` drawn from a
-/// relation with the given statistics: equality against a literal uses
-/// 1/distinct, range comparisons interpolate against the column's value
-/// range, everything else falls back to the fixed heuristics.
+/// relation with the given statistics: equality and range comparisons
+/// against literals use the column's histogram when present, else
+/// 1/distinct and range interpolation; everything else falls back to the
+/// fixed heuristics.  Null fractions scale comparison selectivities (a
+/// comparison with NULL holds for no tuple).
 double EstimateSelectivityWithStats(const ExprPtr& condition,
                                     const RelationSchema& schema,
-                                    const TableStats& stats);
+                                    const stats::TableStatistics& stats);
 
-/// Estimated total cardinality (counting duplicates) of `plan`.  Relations
-/// missing from `provider` contribute a neutral default rather than an
-/// error, so estimation never fails planning.  With a non-null `cache`,
-/// selections and equi-joins directly over scans use live column
-/// statistics instead of the fixed selectivity constants.
+/// Estimated total cardinality (counting duplicates) of `plan`, or
+/// kNoEstimate when the subtree references a relation `provider` cannot
+/// resolve.  With a non-null `cache`, selections, equi-joins, δ and Γ use
+/// column statistics (stored snapshots first) instead of the fixed
+/// selectivity constants.
 double EstimateCardinality(const Plan& plan, const RelationProvider& provider,
                            StatsCache* cache = nullptr);
 

@@ -105,6 +105,11 @@ struct DropTableStmt {
   std::string table;
 };
 
+/// ANALYZE table — collects and stores a statistics snapshot.
+struct AnalyzeStmt {
+  std::string table;
+};
+
 enum class TxnControl : uint8_t { kBegin, kCommit, kRollback };
 
 /// EXPLAIN [ANALYZE] SELECT … — renders the translated plans; with ANALYZE
@@ -117,7 +122,8 @@ struct ExplainStmt {
 
 using SqlStatement =
     std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
-                 CreateTableStmt, DropTableStmt, TxnControl, ExplainStmt>;
+                 CreateTableStmt, DropTableStmt, AnalyzeStmt, TxnControl,
+                 ExplainStmt>;
 
 }  // namespace sql
 }  // namespace mra

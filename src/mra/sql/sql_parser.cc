@@ -88,6 +88,11 @@ class SqlParser {
     if (CheckKw("DELETE")) return ParseDelete();
     if (CheckKw("CREATE")) return ParseCreate();
     if (CheckKw("DROP")) return ParseDrop();
+    if (AcceptKw("ANALYZE")) {
+      AnalyzeStmt stmt;
+      MRA_ASSIGN_OR_RETURN(stmt.table, ExpectName("table name"));
+      return SqlStatement(std::move(stmt));
+    }
     if (AcceptKw("BEGIN")) {
       (void)(AcceptKw("WORK") || AcceptKw("TRANSACTION"));
       return SqlStatement(TxnControl::kBegin);

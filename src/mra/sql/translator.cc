@@ -511,6 +511,23 @@ Status SqlSession::ExecuteOne(
     return db_->DropRelation(std::get<DropTableStmt>(stmt).table);
   }
 
+  // ANALYZE: top-level only — statistics describe committed state.
+  if (const auto* analyze = std::get_if<AnalyzeStmt>(&stmt)) {
+    if (txn_ != nullptr) {
+      return Status::TxnError("ANALYZE is not allowed inside a transaction");
+    }
+    MRA_ASSIGN_OR_RETURN(stats::TableStatistics stats,
+                         db_->Analyze(analyze->table));
+    if (on_query) {
+      Relation rel(
+          RelationSchema("analyze", {Attribute{"summary", Type::String()}}));
+      rel.InsertUnchecked(
+          Tuple({Value::Str(analyze->table + ": " + stats.ToString())}), 1);
+      on_query("ANALYZE " + analyze->table, rel);
+    }
+    return Status::OK();
+  }
+
   if (txn_ != nullptr) {
     // Translate against the transaction's view (read-your-writes).  Any
     // statement failure — translation or execution — aborts the whole

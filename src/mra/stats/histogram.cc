@@ -1,0 +1,110 @@
+#include "mra/stats/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mra {
+namespace stats {
+
+EquiDepthHistogram::EquiDepthHistogram(std::vector<HistogramBucket> buckets)
+    : buckets_(std::move(buckets)) {
+  for (const HistogramBucket& b : buckets_) total_rows_ += b.rows;
+}
+
+EquiDepthHistogram EquiDepthHistogram::Build(
+    std::vector<std::pair<double, uint64_t>> values, size_t max_buckets) {
+  if (values.empty() || max_buckets == 0) return EquiDepthHistogram();
+  std::sort(values.begin(), values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Merge duplicate values so a bucket boundary can never split one value.
+  std::vector<std::pair<double, uint64_t>> merged;
+  merged.reserve(values.size());
+  for (const auto& [v, n] : values) {
+    if (!merged.empty() && merged.back().first == v) {
+      merged.back().second += n;
+    } else {
+      merged.emplace_back(v, n);
+    }
+  }
+
+  uint64_t total = 0;
+  for (const auto& [v, n] : merged) total += n;
+  // Target depth per bucket; the last value of a bucket may overshoot it.
+  double depth =
+      static_cast<double>(total) / static_cast<double>(max_buckets);
+
+  std::vector<HistogramBucket> buckets;
+  HistogramBucket current;
+  bool open = false;
+  for (const auto& [v, n] : merged) {
+    if (!open) {
+      current = HistogramBucket{v, v, 0, 0};
+      open = true;
+    }
+    current.hi = v;
+    current.rows += n;
+    current.distinct += 1;
+    if (static_cast<double>(current.rows) >= depth &&
+        buckets.size() + 1 < max_buckets) {
+      buckets.push_back(current);
+      open = false;
+    }
+  }
+  if (open) buckets.push_back(current);
+  return EquiDepthHistogram(std::move(buckets));
+}
+
+double EquiDepthHistogram::EstimateLess(double v, bool inclusive) const {
+  double acc = 0.0;
+  for (const HistogramBucket& b : buckets_) {
+    if (v > b.hi || (inclusive && v == b.hi)) {
+      acc += static_cast<double>(b.rows);
+      continue;
+    }
+    if (v < b.lo || (!inclusive && v == b.lo)) break;
+    // v falls inside [lo, hi]: linear interpolation over the value range,
+    // counting the boundary value's share when inclusive.
+    double width = b.hi - b.lo;
+    double fraction = width > 0 ? (v - b.lo) / width : 0.0;
+    if (inclusive && b.distinct > 0) {
+      fraction += 1.0 / static_cast<double>(b.distinct);
+      fraction = std::min(fraction, 1.0);
+    }
+    acc += fraction * static_cast<double>(b.rows);
+    break;
+  }
+  return acc;
+}
+
+double EquiDepthHistogram::EstimateEqual(double v) const {
+  for (const HistogramBucket& b : buckets_) {
+    if (v < b.lo) break;
+    if (v > b.hi) continue;
+    if (b.distinct == 0) return 0.0;
+    return static_cast<double>(b.rows) / static_cast<double>(b.distinct);
+  }
+  return 0.0;
+}
+
+double EquiDepthHistogram::SelectivityLess(double v, bool inclusive) const {
+  if (total_rows_ == 0) return 0.0;
+  return EstimateLess(v, inclusive) / static_cast<double>(total_rows_);
+}
+
+double EquiDepthHistogram::SelectivityEqual(double v) const {
+  if (total_rows_ == 0) return 0.0;
+  return EstimateEqual(v) / static_cast<double>(total_rows_);
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  if (buckets_.empty()) return "empty histogram";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%zu buckets, rows=%llu, [%g..%g]",
+                buckets_.size(),
+                static_cast<unsigned long long>(total_rows_), min(), max());
+  return buf;
+}
+
+}  // namespace stats
+}  // namespace mra

@@ -1,0 +1,103 @@
+#include "mra/stats/table_statistics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "mra/obs/metrics.h"
+
+namespace mra {
+namespace stats {
+
+namespace {
+
+bool IsHistogramDomain(Type type) {
+  return type.IsNumeric() || type.kind() == TypeKind::kDate;
+}
+
+double ValueAsDouble(const Value& v) {
+  if (v.kind() == TypeKind::kDate) return static_cast<double>(v.date_days());
+  return v.AsReal();
+}
+
+obs::Counter* HistogramsBuiltCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("stats.histograms_built");
+  return c;
+}
+
+}  // namespace
+
+size_t TableStatistics::histogram_count() const {
+  size_t n = 0;
+  for (const ColumnStatistics& c : columns) {
+    if (!c.histogram.empty()) ++n;
+  }
+  return n;
+}
+
+std::string TableStatistics::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "rows=%llu distinct=%llu columns=%zu histograms=%zu t=%llu",
+                static_cast<unsigned long long>(row_count),
+                static_cast<unsigned long long>(distinct_count),
+                columns.size(), histogram_count(),
+                static_cast<unsigned long long>(collected_at));
+  return buf;
+}
+
+TableStatistics Analyze(const Relation& relation, uint64_t logical_time,
+                        const AnalyzeOptions& options) {
+  TableStatistics stats;
+  stats.row_count = relation.size();
+  stats.distinct_count = relation.distinct_size();
+  stats.collected_at = logical_time;
+  size_t arity = relation.schema().arity();
+  stats.columns.resize(arity);
+
+  std::vector<std::unordered_set<size_t>> seen(arity);
+  std::vector<bool> capped(arity, false);
+  std::vector<bool> first(arity, true);
+  // Per-column (value, multiplicity) samples for the histogram build; only
+  // populated for ordered-numeric domains when histograms are requested.
+  std::vector<std::vector<std::pair<double, uint64_t>>> samples(arity);
+
+  for (const auto& [tuple, count] : relation) {
+    for (size_t i = 0; i < arity; ++i) {
+      const Value& v = tuple.at(i);
+      if (!capped[i]) {
+        seen[i].insert(v.Hash());
+        if (seen[i].size() >= options.max_tracked_distinct) capped[i] = true;
+      }
+      if (IsHistogramDomain(v.type())) {
+        double x = ValueAsDouble(v);
+        ColumnStatistics& column = stats.columns[i];
+        if (first[i]) {
+          column.min = column.max = x;
+          column.has_range = true;
+          first[i] = false;
+        } else {
+          column.min = std::min(column.min, x);
+          column.max = std::max(column.max, x);
+        }
+        if (options.histograms) samples[i].emplace_back(x, count);
+      }
+    }
+  }
+  for (size_t i = 0; i < arity; ++i) {
+    ColumnStatistics& column = stats.columns[i];
+    // Distinct counting is exact up to hash collisions; when the cap was
+    // hit, extrapolate conservatively to the distinct tuple count.
+    column.distinct = capped[i] ? stats.distinct_count : seen[i].size();
+    if (!samples[i].empty()) {
+      column.histogram = EquiDepthHistogram::Build(std::move(samples[i]),
+                                                   options.histogram_buckets);
+      if (!column.histogram.empty()) HistogramsBuiltCounter()->Inc();
+    }
+  }
+  return stats;
+}
+
+}  // namespace stats
+}  // namespace mra

@@ -1,0 +1,81 @@
+// Persistent per-relation statistics, collected by ANALYZE.
+//
+// A TableStatistics snapshot carries multiplicity-weighted and distinct
+// cardinalities for the whole relation plus, per attribute: a distinct
+// count, a null fraction (always 0 under the paper's Definition 2.1 domains,
+// which admit no NULL — the field exists so the estimator's math is ready
+// for an outer-join extension), a numeric range, and an equi-depth
+// histogram for ordered-numeric domains.  Snapshots are stored in the
+// catalog, serialized with checkpoints, WAL-logged by ANALYZE, and go
+// *stale* rather than invalid when the relation changes — the estimator
+// uses whatever was last collected (collected_at records the logical time).
+
+#ifndef MRA_STATS_TABLE_STATISTICS_H_
+#define MRA_STATS_TABLE_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mra/core/relation.h"
+#include "mra/stats/histogram.h"
+
+namespace mra {
+namespace stats {
+
+/// Statistics for one attribute.
+struct ColumnStatistics {
+  /// Distinct values (exact up to 64-bit hash collisions, capped during
+  /// collection; see AnalyzeOptions::max_tracked_distinct).
+  uint64_t distinct = 0;
+  /// Fraction of rows (weighted) whose value is NULL.  Always 0 in the
+  /// current NULL-free data model; see the header comment.
+  double null_fraction = 0.0;
+  /// Numeric/date range.
+  bool has_range = false;
+  double min = 0.0;
+  double max = 0.0;
+  /// Equi-depth histogram; empty() when the domain is not ordered-numeric
+  /// or histograms were disabled for the collection.
+  EquiDepthHistogram histogram;
+};
+
+/// Statistics for one relation instance.
+struct TableStatistics {
+  /// Multiplicity-weighted cardinality (|R| counting duplicates).
+  uint64_t row_count = 0;
+  /// Distinct tuple count.
+  uint64_t distinct_count = 0;
+  /// Catalog logical time when the snapshot was taken (staleness marker).
+  uint64_t collected_at = 0;
+  std::vector<ColumnStatistics> columns;
+
+  /// Number of columns that carry a non-empty histogram.
+  size_t histogram_count() const;
+
+  /// One-line summary for ANALYZE output and debugging.
+  std::string ToString() const;
+};
+
+struct AnalyzeOptions {
+  /// Cap on tracked distinct values per column; beyond it the distinct
+  /// count extrapolates conservatively to the relation's distinct tuple
+  /// count.
+  size_t max_tracked_distinct = 1u << 16;
+  /// Build per-column equi-depth histograms for numeric/date columns.
+  /// The optimizer's on-the-fly fallback path disables this (histograms
+  /// are only worth their build cost when reused across queries).
+  bool histograms = true;
+  size_t histogram_buckets = EquiDepthHistogram::kDefaultBuckets;
+};
+
+/// Scans `relation` once and produces a statistics snapshot stamped with
+/// `logical_time`.  Updates the stats.* metrics (histograms built; the
+/// caller times the surrounding ANALYZE statement).
+TableStatistics Analyze(const Relation& relation, uint64_t logical_time,
+                        const AnalyzeOptions& options = {});
+
+}  // namespace stats
+}  // namespace mra
+
+#endif  // MRA_STATS_TABLE_STATISTICS_H_

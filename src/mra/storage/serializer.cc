@@ -90,6 +90,28 @@ void Encoder::PutRelation(const Relation& r) {
   }
 }
 
+void Encoder::PutStatistics(const stats::TableStatistics& s) {
+  PutU64(s.row_count);
+  PutU64(s.distinct_count);
+  PutU64(s.collected_at);
+  PutU32(static_cast<uint32_t>(s.columns.size()));
+  for (const stats::ColumnStatistics& c : s.columns) {
+    PutU64(c.distinct);
+    PutDouble(c.null_fraction);
+    PutU8(c.has_range ? 1 : 0);
+    PutDouble(c.min);
+    PutDouble(c.max);
+    const auto& buckets = c.histogram.buckets();
+    PutU32(static_cast<uint32_t>(buckets.size()));
+    for (const stats::HistogramBucket& b : buckets) {
+      PutDouble(b.lo);
+      PutDouble(b.hi);
+      PutU64(b.rows);
+      PutU64(b.distinct);
+    }
+  }
+}
+
 Status Decoder::Need(size_t n) const {
   if (pos_ + n > data_.size()) {
     return Status::Corruption("serialized data truncated at offset " +
@@ -219,6 +241,34 @@ Result<Relation> Decoder::GetRelation() {
   return out;
 }
 
+Result<stats::TableStatistics> Decoder::GetStatistics() {
+  stats::TableStatistics out;
+  MRA_ASSIGN_OR_RETURN(out.row_count, GetU64());
+  MRA_ASSIGN_OR_RETURN(out.distinct_count, GetU64());
+  MRA_ASSIGN_OR_RETURN(out.collected_at, GetU64());
+  MRA_ASSIGN_OR_RETURN(uint32_t columns, GetU32());
+  out.columns.resize(columns);
+  for (uint32_t i = 0; i < columns; ++i) {
+    stats::ColumnStatistics& c = out.columns[i];
+    MRA_ASSIGN_OR_RETURN(c.distinct, GetU64());
+    MRA_ASSIGN_OR_RETURN(c.null_fraction, GetDouble());
+    MRA_ASSIGN_OR_RETURN(uint8_t has_range, GetU8());
+    c.has_range = has_range != 0;
+    MRA_ASSIGN_OR_RETURN(c.min, GetDouble());
+    MRA_ASSIGN_OR_RETURN(c.max, GetDouble());
+    MRA_ASSIGN_OR_RETURN(uint32_t buckets_n, GetU32());
+    std::vector<stats::HistogramBucket> buckets(buckets_n);
+    for (stats::HistogramBucket& b : buckets) {
+      MRA_ASSIGN_OR_RETURN(b.lo, GetDouble());
+      MRA_ASSIGN_OR_RETURN(b.hi, GetDouble());
+      MRA_ASSIGN_OR_RETURN(b.rows, GetU64());
+      MRA_ASSIGN_OR_RETURN(b.distinct, GetU64());
+    }
+    c.histogram = stats::EquiDepthHistogram(std::move(buckets));
+  }
+  return out;
+}
+
 uint32_t Crc32(std::string_view data) {
   static const auto table = [] {
     std::array<uint32_t, 256> t{};
@@ -247,6 +297,13 @@ std::string EncodeCatalog(const Catalog& catalog) {
     const Relation* rel = catalog.GetRelation(name).value();
     enc.PutRelation(*rel);
   }
+  // Trailing statistics section.  Pre-statistics images simply end here,
+  // which DecodeCatalog treats as "no snapshots".
+  enc.PutU32(static_cast<uint32_t>(catalog.statistics().size()));
+  for (const auto& [name, stats] : catalog.statistics()) {
+    enc.PutString(name);
+    enc.PutStatistics(stats);
+  }
   return enc.TakeBuffer();
 }
 
@@ -261,6 +318,14 @@ Result<Catalog> DecodeCatalog(std::string_view data) {
     RelationSchema schema = rel.schema();
     MRA_RETURN_IF_ERROR(catalog.CreateRelation(schema));
     MRA_RETURN_IF_ERROR(catalog.SetRelation(schema.name(), std::move(rel)));
+  }
+  if (!dec.AtEnd()) {
+    MRA_ASSIGN_OR_RETURN(uint32_t stats_n, dec.GetU32());
+    for (uint32_t i = 0; i < stats_n; ++i) {
+      MRA_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+      MRA_ASSIGN_OR_RETURN(stats::TableStatistics stats, dec.GetStatistics());
+      MRA_RETURN_IF_ERROR(catalog.SetStatistics(name, std::move(stats)));
+    }
   }
   if (!dec.AtEnd()) {
     return Status::Corruption("trailing bytes after catalog image");

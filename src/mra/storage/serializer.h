@@ -11,6 +11,7 @@
 
 #include "mra/common/result.h"
 #include "mra/core/relation.h"
+#include "mra/stats/table_statistics.h"
 
 namespace mra {
 
@@ -33,6 +34,8 @@ class Encoder {
   void PutSchema(const RelationSchema& s);
   /// Schema + (tuple, multiplicity) pairs, deterministic order.
   void PutRelation(const Relation& r);
+  /// An ANALYZE snapshot (cardinalities, per-column sketches, histograms).
+  void PutStatistics(const stats::TableStatistics& s);
 
   const std::string& buffer() const { return buffer_; }
   std::string TakeBuffer() { return std::move(buffer_); }
@@ -58,6 +61,7 @@ class Decoder {
   Result<Tuple> GetTuple();
   Result<RelationSchema> GetSchema();
   Result<Relation> GetRelation();
+  Result<stats::TableStatistics> GetStatistics();
 
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t position() const { return pos_; }
@@ -72,9 +76,12 @@ class Decoder {
 /// CRC-32 (IEEE 802.3 polynomial) of `data` — frames WAL records.
 uint32_t Crc32(std::string_view data);
 
-/// Serializes a full database state (all relations + logical time).
+/// Serializes a full database state (all relations + logical time),
+/// followed by the stored ANALYZE statistics snapshots.
 std::string EncodeCatalog(const Catalog& catalog);
-/// Inverse of EncodeCatalog.
+/// Inverse of EncodeCatalog.  Images written before the statistics
+/// subsystem existed lack the trailing statistics section and decode to a
+/// catalog with no snapshots.
 Result<Catalog> DecodeCatalog(std::string_view data);
 
 }  // namespace storage

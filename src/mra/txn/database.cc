@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 
@@ -24,6 +25,7 @@ constexpr uint8_t kRecCreateRelation = 2;
 constexpr uint8_t kRecDropRelation = 3;
 constexpr uint8_t kRecAddConstraint = 4;
 constexpr uint8_t kRecDropConstraint = 5;
+constexpr uint8_t kRecAnalyze = 6;
 
 constexpr char kWalFile[] = "wal.log";
 constexpr char kCheckpointFile[] = "checkpoint.mra";
@@ -225,6 +227,19 @@ Status Database::Recover() {
         }
         break;
       }
+      case kRecAnalyze: {
+        MRA_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+        MRA_ASSIGN_OR_RETURN(stats::TableStatistics stats,
+                             dec.GetStatistics());
+        Status s = catalog_.SetStatistics(name, std::move(stats));
+        if (!s.ok()) {
+          if (!(checkpoint_loaded && s.code() == StatusCode::kNotFound)) {
+            return s;
+          }
+          tolerated->Inc();
+        }
+        break;
+      }
       case kRecCommit: {
         MRA_ASSIGN_OR_RETURN(uint64_t txn_id, dec.GetU64());
         MRA_ASSIGN_OR_RETURN(uint64_t time, dec.GetU64());
@@ -304,6 +319,36 @@ Status Database::DropRelation(const std::string& name) {
     }
   }
   return Status::OK();
+}
+
+Result<stats::TableStatistics> Database::Analyze(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (txn_active_) {
+    return Status::TxnError(
+        "ANALYZE is not allowed inside a transaction bracket");
+  }
+  static obs::Counter* analyzes =
+      obs::MetricsRegistry::Global().GetCounter("stats.analyze_total");
+  static obs::Histogram* duration =
+      obs::MetricsRegistry::Global().GetHistogram("stats.analyze_us");
+  auto start = std::chrono::steady_clock::now();
+  MRA_ASSIGN_OR_RETURN(const Relation* rel, catalog_.GetRelation(name));
+  stats::TableStatistics stats =
+      stats::Analyze(*rel, catalog_.logical_time());
+  if (durable()) {
+    storage::Encoder enc;
+    enc.PutU8(kRecAnalyze);
+    enc.PutString(name);
+    enc.PutStatistics(stats);
+    MRA_RETURN_IF_ERROR(wal_.Append(enc.buffer(), options_.sync_commits));
+  }
+  MRA_RETURN_IF_ERROR(catalog_.SetStatistics(name, stats));
+  analyzes->Inc();
+  duration->Observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return stats;
 }
 
 Status Database::AppendDdlRecord(uint8_t kind, const RelationSchema& schema,

@@ -63,6 +63,12 @@ class Database {
   Status CreateRelation(RelationSchema schema);
   Status DropRelation(const std::string& name);
 
+  /// ANALYZE <relation>: scans the committed instance, stores a statistics
+  /// snapshot in the catalog and WAL-logs it (durability mirrors DDL).
+  /// Returns the snapshot so the statement layer can render a summary.
+  /// Not allowed while a transaction is active.
+  Result<stats::TableStatistics> Analyze(const std::string& name);
+
   /// The committed state D_t (Definition 2.5/2.6).
   const Catalog& catalog() const { return catalog_; }
 

@@ -53,6 +53,12 @@ Result<const Relation*> Transaction::GetRelation(
   return db_->catalog_.GetRelation(name);
 }
 
+const stats::TableStatistics* Transaction::GetStatistics(
+    const std::string& name) const {
+  if (!active_ || temps_.count(name) > 0) return nullptr;
+  return db_->catalog_.GetStatistics(name);
+}
+
 Result<Relation*> Transaction::GetWritable(const std::string& name) {
   if (temps_.count(name) > 0) {
     return Status::TxnError("cannot update temporary relation " + name +

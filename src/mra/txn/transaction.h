@@ -32,6 +32,12 @@ class Transaction final : public RelationProvider {
   /// committed state.  This is the view expressions evaluate against.
   Result<const Relation*> GetRelation(const std::string& name) const override;
 
+  /// Statistics resolve against the committed state: snapshots describe
+  /// D_t and simply read stale against the bracket's working copies, the
+  /// same staleness contract as ordinary writes.  Temporaries have none.
+  const stats::TableStatistics* GetStatistics(
+      const std::string& name) const override;
+
   /// insert(R, E): R ← R ⊎ E (Definition 4.1).  `delta` must be
   /// schema-compatible with R.
   Status Insert(const std::string& name, const Relation& delta);

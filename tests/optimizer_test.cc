@@ -11,6 +11,7 @@
 
 #include "mra/algebra/evaluator.h"
 #include "mra/catalog/catalog.h"
+#include "mra/common/annotation.h"
 #include "mra/exec/physical_planner.h"
 #include "mra/opt/rules.h"
 #include "test_util.h"
@@ -389,6 +390,143 @@ TEST_P(OptimizerSemanticsTest, OptimizedPlansPreserveSemantics) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerSemanticsTest,
                          ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+// --- Annotation format (satellite of optimizer v2). ---
+//
+// Every planner and optimizer annotation goes through the helpers in
+// mra/common/annotation.h; this is the one test that pins the exact
+// format, so EXPLAIN output stays machine-greppable.
+TEST(AnnotationFormatTest, PinnedExactly) {
+  EXPECT_EQ(AnnotationText("rule", "merge_selects"), "rule: merge_selects");
+  EXPECT_EQ(BracketAnnotation("keys: %2=%4"), "[keys: %2=%4]");
+  EXPECT_EQ(RenderAnnotation("fallback", "hash ops disabled"),
+            "[fallback: hash ops disabled]");
+  EXPECT_EQ(RenderAnnotation("reordered", "t ⋈ r ⋈ s"),
+            "[reordered: t ⋈ r ⋈ s]");
+  EXPECT_EQ(BracketAnnotation(AnnotationText("rule", "subplan_reuse")),
+            RenderAnnotation("rule", "subplan_reuse"));
+}
+
+TEST(OptimizerReportTest, AddDeduplicatesEntries) {
+  OptimizerReport report;
+  report.Add("rule", "split_select");
+  report.Add("rule", "split_select");
+  report.Add("reordered", "r ⋈ s");
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_EQ(report.entries[0], "rule: split_select");
+  EXPECT_EQ(report.entries[1], "reordered: r ⋈ s");
+}
+
+TEST_F(RuleTest, SplitSelectUnpacksConjunctions) {
+  auto sel = Plan::Select(And(Eq(Attr(1), Lit("Guineken")),
+                              Gt(Attr(2), Lit(5.0))),
+                          beer_);
+  ASSERT_OK(sel);
+  auto split = TrySplitSelect(*sel);
+  ASSERT_OK(split);
+  ASSERT_NE(*split, nullptr);
+  // A chain of single-conjunct selections over the scan.
+  EXPECT_EQ((*split)->kind(), PlanKind::kSelect);
+  EXPECT_EQ((*split)->child(0)->kind(), PlanKind::kSelect);
+  EXPECT_EQ((*split)->child(0)->child(0)->kind(), PlanKind::kScan);
+  ExpectSameSemantics(*sel, *split);
+  // A single-conjunct selection is already split: no rewrite.
+  auto single = Plan::Select(Gt(Attr(2), Lit(5.0)), beer_);
+  ASSERT_OK(single);
+  auto none = TrySplitSelect(*single);
+  ASSERT_OK(none);
+  EXPECT_EQ(*none, nullptr);
+}
+
+TEST_F(RuleTest, OptimizerReportsItsTrail) {
+  // A conjunction over a product must at least fire the split and
+  // pushdown family; the report must carry the trail in the pinned
+  // "kind: detail" form.
+  auto prod = Plan::Product(beer_, brewery_);
+  ASSERT_OK(prod);
+  auto sel = Plan::Select(And(Eq(Attr(1), Attr(3)), Eq(Attr(5), Lit("NL"))),
+                          *prod);
+  ASSERT_OK(sel);
+  Optimizer optimizer(&catalog_);
+  OptimizerReport report;
+  auto optimized = optimizer.Optimize(*sel, &report);
+  ASSERT_OK(optimized);
+  EXPECT_FALSE(report.entries.empty());
+  for (const std::string& entry : report.entries) {
+    EXPECT_NE(entry.find(": "), std::string::npos) << entry;
+  }
+  ExpectSameSemantics(*sel, *optimized);
+}
+
+// --- Subplan reuse (common-subexpression elimination at lowering). ---
+
+TEST_F(RuleTest, SubplanReuseLowersDuplicateJoinOnce) {
+  auto join = Plan::Join(Eq(Attr(1), Attr(3)), beer_, brewery_);
+  ASSERT_OK(join);
+  auto twice = Plan::Union(*join, *join);
+  ASSERT_OK(twice);
+  auto lowered = exec::LowerPlan(*twice, catalog_);
+  ASSERT_OK(lowered);
+  std::string tree = (*lowered)->ToString();
+  EXPECT_NE(tree.find("SubplanCache"), std::string::npos) << tree;
+  EXPECT_NE(tree.find(AnnotationText("rule", "subplan_reuse")),
+            std::string::npos)
+      << tree;
+  // The owner site renders the join subtree; the reuse site must not —
+  // the shared subplan appears exactly once.
+  size_t first = tree.find("HashJoin");
+  ASSERT_NE(first, std::string::npos) << tree;
+  EXPECT_EQ(tree.find("HashJoin", first + 1), std::string::npos) << tree;
+  // Streaming the cached result is bag-preserving.
+  auto executed = exec::ExecuteToRelation(**lowered);
+  ASSERT_OK(executed);
+  auto reference = EvaluatePlan(**twice, catalog_);
+  ASSERT_OK(reference);
+  EXPECT_REL_EQ(*executed, *reference);
+
+  // With the pass disabled, both join sites lower independently.
+  exec::PlannerOptions no_reuse;
+  no_reuse.subplan_reuse = false;
+  auto plain = exec::LowerPlan(*twice, catalog_, nullptr, no_reuse);
+  ASSERT_OK(plain);
+  EXPECT_EQ((*plain)->ToString().find("SubplanCache"), std::string::npos);
+  auto plain_result = exec::ExecuteToRelation(**plain);
+  ASSERT_OK(plain_result);
+  EXPECT_REL_EQ(*plain_result, *reference);
+}
+
+TEST_F(RuleTest, SubplanReuseSkipsCheapDuplicates) {
+  // Bare scans are not worth caching: no SubplanCache for δ-free repeats
+  // of a leaf.
+  auto twice = Plan::Union(beer_, beer_);
+  ASSERT_OK(twice);
+  auto lowered = exec::LowerPlan(*twice, catalog_);
+  ASSERT_OK(lowered);
+  EXPECT_EQ((*lowered)->ToString().find("SubplanCache"), std::string::npos);
+}
+
+// --- EXPLAIN cardinality placeholders (satellite of optimizer v2). ---
+
+TEST_F(RuleTest, ExplainRendersDashWithoutEstimate) {
+  // An estimator that cannot answer must surface as "(est=-, err=-)",
+  // never as a fabricated default.
+  exec::CardinalityEstimator none = [](const Plan&) { return kNoEstimate; };
+  auto lowered = exec::LowerPlan(beer_, catalog_, &none);
+  ASSERT_OK(lowered);
+  auto executed = exec::ExecuteToRelation(**lowered);
+  ASSERT_OK(executed);
+  std::string text = exec::RenderPlanWithMetrics(**lowered);
+  EXPECT_NE(text.find("(est=-, err=-)"), std::string::npos) << text;
+
+  // With a real estimate the same node renders numbers.
+  exec::CardinalityEstimator five = [](const Plan&) { return 5.0; };
+  auto with = exec::LowerPlan(beer_, catalog_, &five);
+  ASSERT_OK(with);
+  ASSERT_OK(exec::ExecuteToRelation(**with));
+  std::string text2 = exec::RenderPlanWithMetrics(**with);
+  EXPECT_NE(text2.find("est=5"), std::string::npos) << text2;
+  EXPECT_EQ(text2.find("est=-"), std::string::npos) << text2;
+}
 
 TEST_F(RuleTest, OptimizerEndToEndExample32) {
   // The unoptimized Example 3.2 plan: Γ over the full join.  After

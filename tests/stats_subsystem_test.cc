@@ -1,0 +1,441 @@
+// Tests for the statistics subsystem: equi-depth histograms, ANALYZE
+// collection, estimator edge cases, persistence through checkpoint + WAL,
+// the ANALYZE statement front-ends (XRA and SQL) and the stats.* metrics.
+//
+// The histogram tests pin the properties the estimator relies on: buckets
+// never split one value (equality stays sharp on skewed columns), range
+// estimates interpolate linearly inside a bucket, and bucket mass is
+// multiplicity-weighted (Definition 2.4's Dup function counts rows, not
+// tuples).
+
+#include "mra/stats/table_statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "mra/catalog/catalog.h"
+#include "mra/lang/interpreter.h"
+#include "mra/obs/metrics.h"
+#include "mra/opt/stats.h"
+#include "mra/sql/translator.h"
+#include "mra/stats/histogram.h"
+#include "mra/txn/database.h"
+#include "test_util.h"
+
+namespace mra {
+namespace stats {
+namespace {
+
+using ::mra::testing::IntRel;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("mra_stats_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+// --- Equi-depth histogram. ---
+
+TEST(HistogramTest, EmptyInputBuildsEmptyHistogram) {
+  EquiDepthHistogram h = EquiDepthHistogram::Build({});
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total_rows(), 0u);
+  EXPECT_EQ(h.EstimateEqual(1.0), 0.0);
+  EXPECT_EQ(h.SelectivityLess(1.0, true), 0.0);
+}
+
+TEST(HistogramTest, BucketsNeverSplitOneValue) {
+  // Three heavy values; with depth = 3000/8 each closes its own bucket, so
+  // equality estimates are exact even though the column is maximally
+  // skewed — the property that makes equi-depth worth its build cost.
+  EquiDepthHistogram h =
+      EquiDepthHistogram::Build({{10, 1000}, {20, 1000}, {30, 1000}},
+                                /*max_buckets=*/8);
+  EXPECT_EQ(h.bucket_count(), 3u);
+  EXPECT_EQ(h.total_rows(), 3000u);
+  for (const HistogramBucket& b : h.buckets()) {
+    EXPECT_EQ(b.lo, b.hi);
+    EXPECT_EQ(b.distinct, 1u);
+  }
+  EXPECT_DOUBLE_EQ(h.EstimateEqual(20.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.EstimateEqual(15.0), 0.0);  // between buckets
+  EXPECT_DOUBLE_EQ(h.EstimateEqual(99.0), 0.0);  // outside the range
+}
+
+TEST(HistogramTest, DuplicateInputValuesMerge) {
+  // The same value listed twice must land in one bucket with summed
+  // multiplicity, never on a bucket boundary.
+  EquiDepthHistogram h =
+      EquiDepthHistogram::Build({{5, 300}, {5, 700}, {6, 1}}, 4);
+  EXPECT_DOUBLE_EQ(h.EstimateEqual(5.0), 1000.0);
+  EXPECT_EQ(h.total_rows(), 1001u);
+}
+
+TEST(HistogramTest, RangeEstimatesInterpolateLinearly) {
+  std::vector<std::pair<double, uint64_t>> uniform;
+  for (int i = 0; i < 1000; ++i) uniform.emplace_back(i, 1);
+  EquiDepthHistogram h = EquiDepthHistogram::Build(std::move(uniform));
+  EXPECT_EQ(h.bucket_count(), EquiDepthHistogram::kDefaultBuckets);
+  EXPECT_EQ(h.total_rows(), 1000u);
+  EXPECT_NEAR(h.SelectivityLess(500.0, false), 0.5, 0.02);
+  EXPECT_NEAR(h.SelectivityLess(250.0, false), 0.25, 0.02);
+  EXPECT_NEAR(h.SelectivityLess(999.0, true), 1.0, 0.001);
+  EXPECT_DOUBLE_EQ(h.SelectivityLess(0.0, false), 0.0);
+  // Every point estimate in a uniform column is one row.
+  EXPECT_NEAR(h.EstimateEqual(123.0), 1.0, 0.001);
+}
+
+TEST(HistogramTest, BucketMassIsMultiplicityWeighted) {
+  // 10 distinct values, value i with multiplicity 100·(i+1): buckets hold
+  // roughly equal *row* mass, so the heavy tail gets more resolution (fewer
+  // values per bucket) than the light head.
+  std::vector<std::pair<double, uint64_t>> skew;
+  uint64_t total = 0;
+  for (int i = 0; i < 10; ++i) {
+    skew.emplace_back(i, 100 * (i + 1));
+    total += 100 * (i + 1);
+  }
+  EquiDepthHistogram h = EquiDepthHistogram::Build(std::move(skew), 5);
+  EXPECT_EQ(h.total_rows(), total);
+  EXPECT_LE(h.bucket_count(), 5u);
+  // The last bucket (heaviest values) must span fewer distinct values than
+  // the first.
+  EXPECT_LE(h.buckets().back().distinct, h.buckets().front().distinct);
+}
+
+// --- ANALYZE collection. ---
+
+TEST(AnalyzeCollectionTest, CountsRowsAndDistinctWithMultiplicities) {
+  Relation r = IntRel("r", {{1, 10}, {2, 20}}, 2);
+  ASSERT_OK(r.Insert(testing::IntTuple({1, 10}), 4));  // now multiplicity 5
+  TableStatistics stats = Analyze(r, /*logical_time=*/7);
+  EXPECT_EQ(stats.row_count, 6u);       // 5 + 1, weighted
+  EXPECT_EQ(stats.distinct_count, 2u);  // two distinct tuples
+  EXPECT_EQ(stats.collected_at, 7u);
+  ASSERT_EQ(stats.columns.size(), 2u);
+  EXPECT_EQ(stats.columns[0].distinct, 2u);
+  EXPECT_EQ(stats.columns[0].null_fraction, 0.0);
+  EXPECT_TRUE(stats.columns[0].has_range);
+  EXPECT_EQ(stats.columns[0].min, 1.0);
+  EXPECT_EQ(stats.columns[0].max, 2.0);
+  // Histograms are multiplicity-weighted too.
+  EXPECT_EQ(stats.columns[0].histogram.total_rows(), 6u);
+  EXPECT_DOUBLE_EQ(stats.columns[0].histogram.EstimateEqual(1.0), 5.0);
+}
+
+TEST(AnalyzeCollectionTest, HistogramsOnlyOnOrderedNumericColumns) {
+  Relation r(RelationSchema("r", {{"s", Type::String()},
+                                  {"n", Type::Int()}}));
+  ASSERT_OK(r.Insert(Tuple({Value::Str("a"), Value::Int(1)})));
+  ASSERT_OK(r.Insert(Tuple({Value::Str("b"), Value::Int(2)})));
+  TableStatistics stats = Analyze(r, 0);
+  EXPECT_TRUE(stats.columns[0].histogram.empty());   // string
+  EXPECT_FALSE(stats.columns[1].histogram.empty());  // int
+  EXPECT_EQ(stats.histogram_count(), 1u);
+  // Disabling histograms skips them everywhere.
+  AnalyzeOptions no_hist;
+  no_hist.histograms = false;
+  TableStatistics bare = Analyze(r, 0, no_hist);
+  EXPECT_EQ(bare.histogram_count(), 0u);
+  EXPECT_EQ(bare.columns[1].distinct, 2u);
+}
+
+// --- Estimator edge cases (via stored snapshots). ---
+
+class EstimatorEdgeTest : public ::testing::Test {
+ protected:
+  // Installs `r` and an ANALYZE snapshot for it, then returns the scan.
+  PlanPtr Install(const Relation& r) {
+    EXPECT_OK(catalog_.CreateRelation(r.schema()));
+    EXPECT_OK(catalog_.SetRelation(r.schema().name(), r));
+    EXPECT_OK(catalog_.SetStatistics(r.schema().name(),
+                                     Analyze(r, catalog_.logical_time())));
+    auto scan = Plan::Scan(r.schema().name(), r.schema());
+    return scan;
+  }
+
+  double Estimate(const PlanPtr& plan) {
+    opt::StatsCache cache(&catalog_);
+    return opt::EstimateCardinality(*plan, catalog_, &cache);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(EstimatorEdgeTest, EmptyRelationEstimatesZero) {
+  Relation empty = IntRel("e", {}, 2);
+  PlanPtr scan = Install(empty);
+  EXPECT_DOUBLE_EQ(Estimate(scan), 0.0);
+  auto sel = Plan::Select(Eq(Attr(0), Lit(int64_t{1})), scan);
+  ASSERT_OK(sel);
+  EXPECT_DOUBLE_EQ(Estimate(*sel), 0.0);
+  auto uniq = Plan::Unique(scan);
+  ASSERT_OK(uniq);
+  EXPECT_DOUBLE_EQ(Estimate(*uniq), 0.0);
+}
+
+TEST_F(EstimatorEdgeTest, SingleDistinctValueColumnIsCertain) {
+  // Every tuple carries c1 = 7: equality on 7 must select everything
+  // (selectivity 1), and δ must estimate exactly one tuple.
+  Relation r = IntRel("one", {{7, 1}, {7, 2}, {7, 3}}, 2);
+  PlanPtr scan = Install(r);
+  auto hit = Plan::Select(Eq(Attr(0), Lit(int64_t{7})), scan);
+  ASSERT_OK(hit);
+  EXPECT_NEAR(Estimate(*hit), 3.0, 1e-9);
+  auto miss = Plan::Select(Eq(Attr(0), Lit(int64_t{8})), scan);
+  ASSERT_OK(miss);
+  EXPECT_NEAR(Estimate(*miss), 0.0, 1e-9);
+  auto proj = Plan::ProjectIndexes({0}, scan);
+  ASSERT_OK(proj);
+  auto uniq = Plan::Unique(*proj);
+  ASSERT_OK(uniq);
+  EXPECT_NEAR(Estimate(*uniq), 1.0, 1e-9);
+}
+
+TEST_F(EstimatorEdgeTest, MultiplicitiesFarExceedDistinct) {
+  // Three distinct tuples at multiplicity 10^6 each: weighted estimates
+  // must count rows (3·10^6) while δ and Γ count tuples (3).
+  Relation r(RelationSchema("heavy", {{"c1", Type::Int()}}));
+  for (int64_t v : {1, 2, 3}) {
+    ASSERT_OK(r.Insert(Tuple({Value::Int(v)}), 1000000));
+  }
+  PlanPtr scan = Install(r);
+  EXPECT_DOUBLE_EQ(Estimate(scan), 3e6);
+  auto uniq = Plan::Unique(scan);
+  ASSERT_OK(uniq);
+  EXPECT_NEAR(Estimate(*uniq), 3.0, 1e-9);
+  // Equality on one value: the histogram isolates it exactly.
+  auto sel = Plan::Select(Eq(Attr(0), Lit(int64_t{2})), scan);
+  ASSERT_OK(sel);
+  EXPECT_NEAR(Estimate(*sel), 1e6, 1.0);
+}
+
+TEST_F(EstimatorEdgeTest, AllNullColumnSelectsNothing) {
+  // The live data model has no NULL (Definition 2.1 domains), so an
+  // all-NULL column can only arise from a synthetic snapshot — but the
+  // estimator math must already be right: a comparison with NULL holds for
+  // no tuple, so null_fraction = 1 forces selectivity 0.
+  RelationSchema schema("n", {{"c1", Type::Int()}});
+  TableStatistics stats;
+  stats.row_count = 100;
+  stats.distinct_count = 1;
+  ColumnStatistics col;
+  col.distinct = 1;
+  col.null_fraction = 1.0;
+  stats.columns.push_back(col);
+  ExprPtr eq = Eq(Attr(0), Lit(int64_t{5}));
+  EXPECT_DOUBLE_EQ(opt::EstimateSelectivityWithStats(eq, schema, stats), 0.0);
+  ExprPtr lt = Lt(Attr(0), Lit(int64_t{5}));
+  EXPECT_DOUBLE_EQ(opt::EstimateSelectivityWithStats(lt, schema, stats), 0.0);
+  // Halfway: null_fraction scales, it does not zero out.
+  stats.columns[0].null_fraction = 0.5;
+  EXPECT_NEAR(opt::EstimateSelectivityWithStats(eq, schema, stats), 0.5,
+              1e-9);
+}
+
+TEST_F(EstimatorEdgeTest, StatsGoStaleNotInvalidAfterInserts) {
+  Relation r = IntRel("s", {{1, 1}, {2, 2}}, 2);
+  PlanPtr scan = Install(r);
+  EXPECT_DOUBLE_EQ(Estimate(scan), 2.0);
+  // Triple the relation behind the snapshot's back.
+  Relation grown = IntRel("s", {{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5},
+                                {6, 6}}, 2);
+  ASSERT_OK(catalog_.SetRelation("s", grown));
+  catalog_.AdvanceTime();
+  // The stored snapshot still answers — stale, not invalid.
+  const TableStatistics* snap = catalog_.GetStatistics("s");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_LT(snap->collected_at, catalog_.logical_time());
+  EXPECT_DOUBLE_EQ(Estimate(scan), 2.0);
+  // Re-ANALYZE refreshes the estimate.
+  ASSERT_OK(catalog_.SetStatistics(
+      "s", Analyze(grown, catalog_.logical_time())));
+  EXPECT_DOUBLE_EQ(Estimate(scan), 6.0);
+}
+
+// --- Persistence: checkpoint image, WAL replay, DROP. ---
+
+Result<std::unique_ptr<Database>> OpenAt(const std::string& dir) {
+  DatabaseOptions options;
+  options.directory = dir;
+  return Database::Open(options);
+}
+
+// create t(a, b) with 7 weighted rows over 3 distinct tuples.
+Status Seed(Database& db) {
+  lang::Interpreter interp(&db);
+  return interp.ExecuteScript(
+      "create t(a: int, b: int);"
+      "insert(t, {(1, 10) : 5, (2, 20), (3, 30)});",
+      nullptr);
+}
+
+class StatsPersistenceTest : public ::testing::Test {};
+
+TEST_F(StatsPersistenceTest, AnalyzeSurvivesWalReplay) {
+  TempDir dir;
+  {
+    auto db = OpenAt(dir.path());
+    ASSERT_OK(db);
+    ASSERT_OK(Seed(**db));
+    auto stats = (*db)->Analyze("t");
+    ASSERT_OK(stats);
+    EXPECT_EQ(stats->row_count, 7u);
+    EXPECT_EQ(stats->distinct_count, 3u);
+  }
+  // No checkpoint taken: recovery replays the WAL, including kRecAnalyze.
+  auto db = OpenAt(dir.path());
+  ASSERT_OK(db);
+  const TableStatistics* snap = (*db)->catalog().GetStatistics("t");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->row_count, 7u);
+  EXPECT_EQ(snap->distinct_count, 3u);
+  ASSERT_EQ(snap->columns.size(), 2u);
+  EXPECT_EQ(snap->columns[0].distinct, 3u);
+  EXPECT_FALSE(snap->columns[0].histogram.empty());
+}
+
+TEST_F(StatsPersistenceTest, AnalyzeSurvivesCheckpointImage) {
+  TempDir dir;
+  {
+    auto db = OpenAt(dir.path());
+    ASSERT_OK(db);
+    ASSERT_OK(Seed(**db));
+    auto analyzed = (*db)->Analyze("t");
+    ASSERT_OK(analyzed);
+    ASSERT_OK((*db)->Checkpoint());  // snapshot now lives in the image
+  }
+  auto db = OpenAt(dir.path());
+  ASSERT_OK(db);
+  const TableStatistics* snap = (*db)->catalog().GetStatistics("t");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->row_count, 7u);
+  EXPECT_EQ(snap->columns[1].histogram.total_rows(), 7u);
+}
+
+TEST_F(StatsPersistenceTest, DropRelationDropsItsStatistics) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK(Seed(**db));
+  auto analyzed = (*db)->Analyze("t");
+  ASSERT_OK(analyzed);
+  ASSERT_NE((*db)->catalog().GetStatistics("t"), nullptr);
+  lang::Interpreter interp(db->get());
+  ASSERT_OK(interp.ExecuteScript("drop t;", nullptr));
+  EXPECT_EQ((*db)->catalog().GetStatistics("t"), nullptr);
+}
+
+TEST_F(StatsPersistenceTest, AnalyzeUnknownRelationIsNotFound) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  auto stats = (*db)->Analyze("ghost");
+  EXPECT_FALSE(stats.ok());
+}
+
+// --- Statement front-ends. ---
+
+TEST(AnalyzeStatementTest, XraAnalyzeProducesSummaryRelation) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK(Seed(**db));
+  lang::Interpreter interp(db->get());
+  std::vector<Relation> results;
+  ASSERT_OK(interp.ExecuteScript("analyze t;",
+                                 [&](const std::string&, const Relation& r) {
+                                   results.push_back(r);
+                                 }));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].schema().name(), "analyze");
+  ASSERT_EQ(results[0].size(), 1u);
+  const std::string& summary = results[0].begin()->first.at(0).string_value();
+  EXPECT_NE(summary.find("rows=7"), std::string::npos) << summary;
+  const TableStatistics* snap = (*db)->catalog().GetStatistics("t");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->row_count, 7u);
+}
+
+TEST(AnalyzeStatementTest, XraAnalyzeRejectedInsideBracket) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK(Seed(**db));
+  lang::Interpreter interp(db->get());
+  // Statistics describe committed state; a bracket's uncommitted writes
+  // must not leak into them.
+  Status st = interp.ExecuteScript("begin analyze t end;", nullptr);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ((*db)->catalog().GetStatistics("t"), nullptr);
+}
+
+TEST(AnalyzeStatementTest, SqlAnalyzeCollectsAndReports) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  sql::SqlSession session(db->get());
+  ASSERT_OK(session.Execute(
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (1), (2);"));
+  auto results = session.ExecuteCollect("ANALYZE t;");
+  ASSERT_OK(results);
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].schema().name(), "analyze");
+  const TableStatistics* snap = (*db)->catalog().GetStatistics("t");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->row_count, 3u);
+  EXPECT_EQ(snap->distinct_count, 2u);
+}
+
+TEST(AnalyzeStatementTest, SqlAnalyzeRejectedInsideTransaction) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  sql::SqlSession session(db->get());
+  ASSERT_OK(session.Execute("CREATE TABLE t (a INT);"));
+  ASSERT_OK(session.Execute("BEGIN;"));
+  EXPECT_FALSE(session.Execute("ANALYZE t;").ok());
+}
+
+// --- Metrics. ---
+
+TEST(StatsMetricsTest, AnalyzeAndEstimateCountersMove) {
+  obs::Counter* analyzes =
+      obs::MetricsRegistry::Global().GetCounter("stats.analyze_total");
+  obs::Counter* built =
+      obs::MetricsRegistry::Global().GetCounter("stats.histograms_built");
+  obs::Counter* estimates =
+      obs::MetricsRegistry::Global().GetCounter("stats.estimate_calls");
+
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  ASSERT_OK(Seed(**db));
+  uint64_t analyzes0 = analyzes->value();
+  uint64_t built0 = built->value();
+  auto analyzed = (*db)->Analyze("t");
+  ASSERT_OK(analyzed);
+  EXPECT_EQ(analyzes->value(), analyzes0 + 1);
+  EXPECT_EQ(built->value(), built0 + 2);  // two int columns
+
+  uint64_t estimates0 = estimates->value();
+  Catalog catalog;
+  Relation r = IntRel("r", {{1, 2}}, 2);
+  ASSERT_OK(catalog.CreateRelation(r.schema()));
+  ASSERT_OK(catalog.SetRelation("r", r));
+  opt::EstimateCardinality(*Plan::Scan("r", r.schema()), catalog);
+  EXPECT_EQ(estimates->value(), estimates0 + 1);
+  // The ANALYZE latency histogram exists and recorded the call above.
+  obs::Histogram* lat =
+      obs::MetricsRegistry::Global().GetHistogram("stats.analyze_us");
+  EXPECT_GE(lat->Snapshot().count, 1u);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace mra

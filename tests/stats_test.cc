@@ -36,9 +36,17 @@ TEST_F(StatsTest, ScanUsesExactCounts) {
   EXPECT_DOUBLE_EQ(EstimateCardinality(*scan_s_, catalog_), 2.0);
 }
 
-TEST_F(StatsTest, UnknownScanUsesNeutralDefault) {
-  PlanPtr ghost = Plan::Scan("ghost", RelationSchema("g", {{"x", Type::Int()}}));
-  EXPECT_GT(EstimateCardinality(*ghost, catalog_), 0.0);
+TEST_F(StatsTest, UnknownScanHasNoEstimate) {
+  // A subtree over an unresolvable relation yields the kNoEstimate
+  // sentinel, not a fabricated default (EXPLAIN renders `est=-`).
+  PlanPtr ghost = Plan::Scan(
+      "ghost", RelationSchema("g", {{"c1", Type::Int()}, {"c2", Type::Int()}}));
+  EXPECT_LT(EstimateCardinality(*ghost, catalog_), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateCardinality(*ghost, catalog_), kNoEstimate);
+  // The sentinel propagates through operators above the unknown scan.
+  auto u = Plan::Union(scan_r_, ghost);
+  ASSERT_OK(u);
+  EXPECT_DOUBLE_EQ(EstimateCardinality(**u, catalog_), kNoEstimate);
 }
 
 TEST_F(StatsTest, UnionAddsProductMultiplies) {
@@ -121,19 +129,24 @@ class ColumnStatsTest : public ::testing::Test {
                                Value::Str("s" + std::to_string(i % 5))}),
                         1 + i % 3);
     }
-    stats_ = ComputeTableStats(r);
+    // Histograms off: these tests pin the pure distinct-count and range
+    // interpolation math (histogram refinement is covered by the stats
+    // subsystem tests).
+    stats::AnalyzeOptions options;
+    options.histograms = false;
+    stats_ = stats::Analyze(r, /*logical_time=*/0, options);
     ASSERT_OK(catalog_.CreateRelation(r.schema()));
     ASSERT_OK(catalog_.SetRelation("m", std::move(r)));
     scan_ = Plan::Scan("m", catalog_.GetRelation("m").value()->schema());
   }
 
   Catalog catalog_;
-  TableStats stats_;
+  stats::TableStatistics stats_;
   PlanPtr scan_;
 };
 
 TEST_F(ColumnStatsTest, ComputesDistinctAndRanges) {
-  EXPECT_EQ(stats_.distinct_tuples, 20u);
+  EXPECT_EQ(stats_.distinct_count, 20u);
   ASSERT_EQ(stats_.columns.size(), 3u);
   EXPECT_EQ(stats_.columns[0].distinct, 20u);
   EXPECT_EQ(stats_.columns[1].distinct, 20u);
@@ -236,22 +249,24 @@ TEST(StatsCacheTest, ComputesOncePerRelation) {
   ASSERT_OK(catalog.CreateRelation(schema));
   ASSERT_OK(catalog.SetRelation("r", std::move(r)));
   StatsCache cache(&catalog);
-  const TableStats* first = cache.StatsFor("r");
+  const stats::TableStatistics* first = cache.StatsFor("r");
   ASSERT_NE(first, nullptr);
-  EXPECT_EQ(first->total_tuples, 2u);
+  EXPECT_EQ(first->row_count, 2u);
   // Same pointer on repeat lookups; unknown names yield nullptr.
   EXPECT_EQ(cache.StatsFor("r"), first);
   EXPECT_EQ(cache.StatsFor("ghost"), nullptr);
 }
 
-TEST(ComputeTableStatsTest, DistinctCapExtrapolates) {
+TEST(AnalyzeTest, DistinctCapExtrapolates) {
   Relation r(RelationSchema("big", {{"x", Type::Int()}}));
   for (int64_t i = 0; i < 1000; ++i) {
     r.InsertUnchecked(Tuple({Value::Int(i)}), 1);
   }
-  TableStats capped = ComputeTableStats(r, /*max_tracked_distinct=*/100);
+  stats::AnalyzeOptions capped_opts;
+  capped_opts.max_tracked_distinct = 100;
+  stats::TableStatistics capped = stats::Analyze(r, 0, capped_opts);
   EXPECT_EQ(capped.columns[0].distinct, 1000u);  // falls back to |distinct|
-  TableStats exact = ComputeTableStats(r);
+  stats::TableStatistics exact = stats::Analyze(r, 0);
   EXPECT_EQ(exact.columns[0].distinct, 1000u);
 }
 
