@@ -1,0 +1,166 @@
+// E19 — governance overhead: the E15 1M-row scan → filter → project
+// batch pipeline with query-lifecycle governance armed (an ExecContext
+// carrying a far-off deadline, a generous memory budget, and a live
+// cancel token) versus no governance at all (a null ExecContext).
+//
+// The claim backing "deadlines and budgets on by default is safe" in
+// docs/GOVERNANCE.md: the hot-path cost is one relaxed atomic load per
+// NextBatch plus — only when armed — a steady_clock read and a token
+// load, amortised over RowBatch::capacity rows — under 2% end to end.
+// The summary block times both modes best-of-5, asserts identical
+// drained cardinalities, and prints "REGRESSION" when the overhead
+// crosses 2%, so the CI smoke run can grep for it.
+//
+//   $ ./build/bench/e19_governance_overhead                  # full 1M rows
+//   $ ./build/bench/e19_governance_overhead --rows 50000     # CI smoke
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "mra/exec/exec_context.h"
+#include "mra/exec/operator.h"
+#include "mra/expr/scalar_expr.h"
+
+namespace mra {
+namespace bench {
+namespace {
+
+constexpr int64_t kValueRange = 1'000'000;
+
+Relation MakePipelineInput(size_t rows) {
+  util::IntRelationOptions options;
+  options.name = "r";
+  options.distinct_tuples = rows;
+  options.arity = 2;
+  options.value_range = kValueRange;
+  options.duplicates = util::DupDistribution::kUniform;
+  options.max_multiplicity = 4;
+  options.seed = 17;
+  return Unwrap(util::MakeIntRelation(options));
+}
+
+// The E15 pipeline: σ_{%1 < kValueRange/2} then π_{%1}, both stages on
+// the batch fast paths — the configuration where per-call bookkeeping is
+// the thinnest slice and governance overhead is *most* visible.
+exec::PhysOpPtr BuildPipeline(const Relation* input) {
+  auto filter = std::make_unique<exec::FilterOp>(
+      Lt(Attr(0), Lit(kValueRange / 2)),
+      std::make_unique<exec::ScanOp>(input));
+  RelationSchema out_schema("p", {Attribute{"c1", Type::Int()}});
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(Attr(0));
+  return std::make_unique<exec::ComputeOp>(
+      std::move(exprs), std::move(out_schema), std::move(filter));
+}
+
+uint64_t DrainPipeline(exec::PhysicalOperator& root) {
+  MRA_CHECK(root.Open().ok());
+  uint64_t weighted = 0;
+  exec::RowBatch batch(exec::kDefaultBatchSize);
+  while (true) {
+    MRA_CHECK(root.NextBatch(batch).ok());
+    if (batch.empty()) break;
+    for (const exec::Row& row : batch) weighted += row.count;
+  }
+  root.Close();
+  return weighted;
+}
+
+// One drain, governed or not.  The governed context carries everything a
+// production query would — a one-hour deadline, a 4GiB budget, and a live
+// (never-flipped) cancel token — so every armed check runs for real.
+double SecondsToDrain(const Relation* input, bool governed,
+                      uint64_t* weighted_out) {
+  exec::PhysOpPtr root = BuildPipeline(input);
+  exec::ExecContext ctx;
+  if (governed) {
+    ctx.set_query_id(19);
+    ctx.SetDeadlineAfterMs(3'600'000);
+    ctx.SetMemoryBudget(4ull << 30);
+    ctx.SetCancelToken(std::make_shared<std::atomic<bool>>(false));
+    root->SetExecContext(&ctx);
+  }
+  auto start = std::chrono::steady_clock::now();
+  *weighted_out = DrainPipeline(*root);
+  auto end = std::chrono::steady_clock::now();
+  MRA_CHECK(ctx.kill_reason() == exec::KillReason::kNone)
+      << "governed drain was killed: " << exec::KillReasonName(ctx.kill_reason());
+  return std::chrono::duration<double>(end - start).count();
+}
+
+void BM_PipelineDrain(benchmark::State& state) {
+  Relation input = MakePipelineInput(100'000);
+  bool governed = state.range(0) != 0;
+  for (auto _ : state) {
+    uint64_t weighted = 0;
+    benchmark::DoNotOptimize(SecondsToDrain(&input, governed, &weighted));
+    benchmark::DoNotOptimize(weighted);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(input.distinct_size()));
+}
+BENCHMARK(BM_PipelineDrain)->Arg(0)->Arg(1);
+
+void VerifyOverhead(size_t rows) {
+  Header("E19: governance overhead",
+         "Claim: armed query governance (deadline + memory budget + cancel "
+         "token, checked every batch) costs < 2% on the E15 1M-row batch "
+         "pipeline.");
+  Relation input = MakePipelineInput(rows);
+
+  // Interleaved best-of-5 per mode: wall-clock seconds, so guard against
+  // scheduler hiccups polluting either side of the ratio.
+  double off_s = 1e30;
+  double on_s = 1e30;
+  uint64_t off_weighted = 0;
+  uint64_t on_weighted = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    off_s = std::min(off_s, SecondsToDrain(&input, false, &off_weighted));
+    on_s = std::min(on_s, SecondsToDrain(&input, true, &on_weighted));
+  }
+  MRA_CHECK(off_weighted == on_weighted)
+      << "governance changed the drained bag cardinality";
+
+  double overhead_pct = (on_s - off_s) / off_s * 100.0;
+  Row("%-12s %-12s %-12s %-14s %-10s", "rows", "gov-off s", "gov-on s",
+      "rows/s gov-on", "overhead");
+  Row("%-12zu %-12.3f %-12.3f %-14.3g %.2f%%", rows, off_s, on_s,
+      static_cast<double>(rows) / on_s, overhead_pct);
+  if (overhead_pct >= 2.0) {
+    Row("REGRESSION: governance overhead %.2f%% >= 2%% budget",
+        overhead_pct);
+  }
+  Row("");
+  Row("drained: %llu weighted rows under both modes",
+      static_cast<unsigned long long>(on_weighted));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mra
+
+int main(int argc, char** argv) {
+  size_t rows = 1'000'000;
+  // Strip --rows N before benchmark::Initialize sees (and rejects) it.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  mra::bench::VerifyOverhead(rows);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  mra::bench::DumpMetricsJson("E19");
+  return 0;
+}

@@ -43,6 +43,12 @@ void Usage(const char* argv0) {
          "cap; negative queues forever (default 1000)\n"
       << "  --busy-retry-after-ms N retry-after hint in Busy frames "
          "(default 200)\n"
+      << "  --statement-timeout-ms N\n"
+      << "                          kill queries still running after N ms "
+         "at their next batch boundary (kDeadlineExceeded); 0 derives the "
+         "timeout from --request-timeout-ms (docs/GOVERNANCE.md)\n"
+      << "  --query-mem-budget-mb N per-query executor memory budget; "
+         "over-budget queries die with kResourceExhausted (0 = unlimited)\n"
       << "  --batch-size N          rows per executor NextBatch pull; 0 "
          "selects row-at-a-time (default 1024, docs/EXECUTION.md)\n"
       << "  --no-hash-ops           disable the hash-based join/dedup "
@@ -99,6 +105,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--busy-retry-after-ms") {
       options.busy_retry_after_ms =
           static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--statement-timeout-ms") {
+      options.interpreter.statement_timeout_ms =
+          std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--query-mem-budget-mb") {
+      options.interpreter.query_mem_budget_bytes =
+          std::strtoull(next(), nullptr, 10) * (1ull << 20);
     } else if (arg == "--batch-size") {
       options.interpreter.batch_size =
           static_cast<size_t>(std::strtoull(next(), nullptr, 10));

@@ -26,6 +26,8 @@
 //
 // Meta commands: \h help, \d list relations, \q quit, \checkpoint.
 
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -41,6 +43,16 @@
 namespace {
 
 using namespace mra;  // NOLINT — example brevity
+
+// Ctrl-C cancels the query in flight, not the shell: the handler may only
+// flip this flag (async-signal-safe store); the embedded interpreter and
+// the remote client both poll it at batch/wait boundaries.  It is reset
+// before each statement so a stray Ctrl-C at the prompt cannot kill the
+// next query (docs/GOVERNANCE.md).
+std::shared_ptr<std::atomic<bool>> g_cancel =
+    std::make_shared<std::atomic<bool>>(false);
+
+void OnInterrupt(int) { g_cancel->store(true, std::memory_order_relaxed); }
 
 constexpr char kHelp[] = R"(XRA statements (end with ';'):
   create <name>(<attr>: <type>, ...)    define a relation (types: bool,
@@ -70,7 +82,10 @@ Conditions/expressions use %1, %2, ... for attributes; literals include
 Meta: \h help, \d relations, \e <E> explain plans, \ea <E> explain analyze,
       \analyze <name> collect optimizer statistics (same as `analyze <name>;`),
       \metrics [json|prom|reset] process metrics, \trace [on|off] spans,
-      \slowlog slow-query log, \checkpoint, \q quit.)";
+      \slowlog slow-query log, \checkpoint, \q quit.
+
+Ctrl-C cancels the query in flight (the shell survives); --statement-timeout-ms
+and --query-mem-budget-mb bound every query (docs/GOVERNANCE.md).)";
 
 constexpr char kClientHelp[] =
     R"(Connected to a remote server: statements run server-side (the
@@ -81,7 +96,9 @@ Meta: \h help, \metrics [prom|text] server metrics (JSON by default),
       \slowlog the server's slow-query log (JSON lines),
       \trace [id] server-side trace spans (defaults to your last query),
       \last your last query's server-side stats (id, phases, operators),
-      \ping liveness probe, \shutdown drain and stop the server, \q quit.)";
+      \cancel <id> kill the running query with that id (any session; ids
+      show in \top), \ping liveness probe, \shutdown drain and stop the
+      server, \q quit.  Ctrl-C cancels your own in-flight query.)";
 
 void PrintRelations(const Database& db) {
   for (const std::string& name : db.catalog().RelationNames()) {
@@ -233,6 +250,9 @@ bool HandleMeta(const std::string& line, session::Session& sess,
     } else if (line == "\\checkpoint") {
       Status s = embedded->database().Checkpoint();
       std::cout << (s.ok() ? "checkpointed.\n" : s.ToString() + "\n");
+    } else if (line.rfind("\\cancel", 0) == 0) {
+      std::cout << "embedded queries run in this thread — press Ctrl-C to "
+                   "cancel the one in flight.\n";
     } else {
       std::cout << "unknown meta command (try \\h)\n";
     }
@@ -278,6 +298,23 @@ bool HandleMeta(const std::string& line, session::Session& sess,
     }
   } else if (line == "\\last") {
     PrintLastQueryStats(sess);
+  } else if (line.rfind("\\cancel", 0) == 0) {
+    uint64_t id = line.size() > 8
+                      ? std::strtoull(line.c_str() + 8, nullptr, 10)
+                      : 0;
+    if (id == 0) {
+      std::cout << "usage: \\cancel <query-id>  (running ids show in \\top)\n";
+    } else {
+      auto delivered = remote->client().Cancel(id);
+      if (!delivered.ok()) {
+        std::cout << delivered.status().ToString() << "\n";
+      } else if (*delivered) {
+        std::cout << "cancel delivered to query " << id << ".\n";
+      } else {
+        std::cout << "query " << id
+                  << " is not running (already finished?).\n";
+      }
+    }
   } else if (line == "\\ping") {
     Status s = sess.Ping();
     std::cout << (s.ok() ? "pong.\n" : s.ToString() + "\n");
@@ -326,6 +363,8 @@ int RunShell(session::Session& sess, session::EmbeddedSession* embedded,
     }
     if (buffer[trimmed] != ';') continue;
 
+    // A Ctrl-C that landed at the prompt must not kill this statement.
+    g_cancel->store(false, std::memory_order_relaxed);
     auto result = sess.Execute(buffer);
     if (result.ok()) {
       for (const session::QueryResult::Item& item : result->items) {
@@ -353,6 +392,8 @@ int main(int argc, char** argv) {
   size_t batch_size = lang::InterpreterOptions{}.batch_size;
   bool hash_ops = lang::InterpreterOptions{}.hash_ops;
   long long slow_query_ms = -1;
+  long long statement_timeout_ms = 0;
+  unsigned long long query_mem_budget_mb = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
@@ -361,6 +402,10 @@ int main(int argc, char** argv) {
       batch_size = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--slow-query-ms" && i + 1 < argc) {
       slow_query_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--statement-timeout-ms" && i + 1 < argc) {
+      statement_timeout_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--query-mem-budget-mb" && i + 1 < argc) {
+      query_mem_budget_mb = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--no-hash-ops") {
       hash_ops = false;
     } else {
@@ -368,10 +413,17 @@ int main(int argc, char** argv) {
     }
   }
   obs::SlowQueryLog::Global().SetThresholdMs(slow_query_ms);
+  std::signal(SIGINT, OnInterrupt);
 
   if (!connect_spec.empty()) {
+    if (statement_timeout_ms != 0 || query_mem_budget_mb != 0) {
+      std::cerr << "note: --statement-timeout-ms/--query-mem-budget-mb are "
+                   "embedded-engine settings; in --connect mode the "
+                   "server's own flags govern queries.\n";
+    }
     net::ClientOptions client_options;
     client_options.client_name = "xra_repl";
+    client_options.interrupt = g_cancel;
     auto sess_or = session::RemoteSession::Connect(connect_spec,
                                                    client_options);
     if (!sess_or.ok()) {
@@ -392,6 +444,9 @@ int main(int argc, char** argv) {
   lang::InterpreterOptions interp_options;
   interp_options.batch_size = batch_size;
   interp_options.hash_ops = hash_ops;
+  interp_options.statement_timeout_ms = statement_timeout_ms;
+  interp_options.query_mem_budget_bytes = query_mem_budget_mb * (1ull << 20);
+  interp_options.cancel_token = g_cancel;
   auto sess_or = session::EmbeddedSession::Open(db_options, interp_options);
   if (!sess_or.ok()) {
     std::cerr << "cannot open database: " << sess_or.status().ToString()

@@ -49,6 +49,15 @@ enum class StatusCode : int {
   /// the connection with a Busy frame).  Retriable after a backoff, in
   /// contrast to the fatal protocol errors above.
   kUnavailable = 13,
+  /// The query was cancelled on request (Cancel frame, `\cancel <id>`,
+  /// REPL Ctrl-C).  Not retriable: the caller asked for it to stop.
+  kCancelled = 14,
+  /// The query ran past its statement timeout and was killed mid-plan.
+  /// Retriable after a backoff, like kUnavailable.
+  kDeadlineExceeded = 15,
+  /// The query exceeded its per-query memory budget; the message names
+  /// the operator that tripped the budget and the high-water mark.
+  kResourceExhausted = 16,
 };
 
 /// Returns a stable human-readable name, e.g. "TypeError".
@@ -106,6 +115,15 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -1,0 +1,132 @@
+#include "mra/exec/exec_context.h"
+
+#include "mra/obs/metrics.h"
+
+namespace mra {
+namespace exec {
+
+namespace {
+
+obs::Counter* CancelledTotal() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("exec.cancelled_total");
+  return c;
+}
+
+obs::Counter* DeadlineExceededTotal() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "exec.deadline_exceeded_total");
+  return c;
+}
+
+obs::Counter* MemRejectedTotal() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("exec.mem_rejected_total");
+  return c;
+}
+
+}  // namespace
+
+std::string_view KillReasonName(KillReason reason) {
+  switch (reason) {
+    case KillReason::kNone:
+      return "none";
+    case KillReason::kCancelled:
+      return "cancelled";
+    case KillReason::kDeadline:
+      return "deadline";
+    case KillReason::kMemory:
+      return "mem_budget";
+  }
+  return "unknown";
+}
+
+void ExecContext::SetDeadlineAfterMs(int64_t timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeout_ms_ = timeout_ms;
+  deadline_ =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  has_deadline_ = true;
+  armed_ = true;
+}
+
+void ExecContext::SetCancelToken(std::shared_ptr<std::atomic<bool>> token) {
+  cancel_token_ = std::move(token);
+  if (cancel_token_ != nullptr) armed_ = true;
+}
+
+void ExecContext::Trip(KillReason reason) {
+  uint8_t expected = static_cast<uint8_t>(KillReason::kNone);
+  if (!killed_.compare_exchange_strong(expected,
+                                       static_cast<uint8_t>(reason),
+                                       std::memory_order_acq_rel)) {
+    return;  // A reason already landed; first one wins.
+  }
+  switch (reason) {
+    case KillReason::kCancelled:
+      CancelledTotal()->Inc();
+      break;
+    case KillReason::kDeadline:
+      DeadlineExceededTotal()->Inc();
+      break;
+    case KillReason::kMemory:
+      MemRejectedTotal()->Inc();
+      break;
+    case KillReason::kNone:
+      break;
+  }
+}
+
+Status ExecContext::CheckArmed() {
+  if (cancel_token_ != nullptr &&
+      cancel_token_->load(std::memory_order_acquire)) {
+    Trip(KillReason::kCancelled);
+    return KillStatus();
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    Trip(KillReason::kDeadline);
+    return KillStatus();
+  }
+  return Status::OK();
+}
+
+Status ExecContext::KillStatus() const {
+  switch (kill_reason()) {
+    case KillReason::kNone:
+      return Status::OK();
+    case KillReason::kCancelled:
+      return Status::Cancelled("query " + std::to_string(query_id_) +
+                               " cancelled on request");
+    case KillReason::kDeadline:
+      return Status::DeadlineExceeded(
+          "query " + std::to_string(query_id_) +
+          " exceeded the statement timeout of " +
+          std::to_string(timeout_ms_) + "ms mid-plan");
+    case KillReason::kMemory:
+      return Status::ResourceExhausted(
+          "query " + std::to_string(query_id_) +
+          " exceeded its memory budget in " +
+          (mem_culprit_.empty() ? std::string("<unknown>") : mem_culprit_) +
+          ": high-water " + std::to_string(mem_high_water_) + " bytes, budget " +
+          std::to_string(mem_budget_) + " bytes");
+  }
+  return Status::Internal("unreachable kill reason");
+}
+
+Status ExecContext::Charge(uint64_t bytes, std::string_view op_name) {
+  mem_used_ += bytes;
+  if (mem_used_ > mem_high_water_) mem_high_water_ = mem_used_;
+  if (mem_budget_ != 0 && mem_used_ > mem_budget_ && !killed()) {
+    mem_culprit_ = std::string(op_name);
+    Trip(KillReason::kMemory);
+    return KillStatus();
+  }
+  return Status::OK();
+}
+
+void ExecContext::Release(uint64_t bytes) {
+  mem_used_ = bytes <= mem_used_ ? mem_used_ - bytes : 0;
+}
+
+}  // namespace exec
+}  // namespace mra

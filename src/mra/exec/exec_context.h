@@ -1,0 +1,142 @@
+// Per-query governance context: cooperative cancellation, an absolute
+// in-plan deadline, and a shared memory budget, threaded by the planner
+// into every PhysicalOperator and checked at batch boundaries.
+//
+// Cost contract (pinned by bench/e19_governance_overhead): a query with no
+// deadline, no budget and no cancel token pays one relaxed atomic load per
+// Check(); arming a deadline adds one steady_clock read per batch, which
+// also bounds how late a kill can land — within one batch boundary.
+//
+// Thread model: the query executes on one thread; RequestCancel() may be
+// called from any thread (a server Cancel frame, `\cancel <id>`) or from a
+// signal handler (REPL Ctrl-C stores into the external cancel token — both
+// paths are a single atomic store, async-signal-safe).  Memory accounting
+// (Charge/Release) happens only on the query thread.
+//
+// Status taxonomy (docs/GOVERNANCE.md): kCancelled for explicit requests,
+// kDeadlineExceeded for statement-timeout expiry, kResourceExhausted for
+// budget trips — three distinct codes so clients can retry deadline kills
+// (with the Busy-style hint) but not cancellations.
+
+#ifndef MRA_EXEC_EXEC_CONTEXT_H_
+#define MRA_EXEC_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "mra/common/status.h"
+
+namespace mra {
+namespace exec {
+
+/// Why a governed query was killed.  Values are stored in the atomic kill
+/// flag, so kNone must be zero.
+enum class KillReason : uint8_t {
+  kNone = 0,
+  kCancelled = 1,  // Cancel frame / \cancel / Ctrl-C.
+  kDeadline = 2,   // Statement timeout expired mid-plan.
+  kMemory = 3,     // Per-query memory budget exceeded.
+};
+
+/// Stable name for slow-log / metrics tagging, e.g. "deadline".
+std::string_view KillReasonName(KillReason reason);
+
+class ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  // --- Setup (query thread, before execution starts). ---
+
+  void set_query_id(uint64_t id) { query_id_ = id; }
+  uint64_t query_id() const { return query_id_; }
+
+  /// Arms the statement timeout: the plan is killed at the first batch
+  /// boundary after `timeout_ms` from now.  0 disables (the default).
+  void SetDeadlineAfterMs(int64_t timeout_ms);
+
+  /// Arms the per-query memory budget in bytes.  0 = unlimited.
+  void SetMemoryBudget(uint64_t bytes) { mem_budget_ = bytes; }
+
+  /// Attaches an external cancel token (e.g. the REPL's SIGINT flag).
+  /// Check() treats a true token like RequestCancel().
+  void SetCancelToken(std::shared_ptr<std::atomic<bool>> token);
+
+  // --- Cancellation (any thread; atomic store only). ---
+
+  /// Requests cooperative cancellation; the query observes it at its next
+  /// batch boundary.  First reason to land wins; later requests no-op.
+  void RequestCancel() { Trip(KillReason::kCancelled); }
+
+  bool killed() const {
+    return killed_.load(std::memory_order_relaxed) !=
+           static_cast<uint8_t>(KillReason::kNone);
+  }
+  KillReason kill_reason() const {
+    return static_cast<KillReason>(killed_.load(std::memory_order_acquire));
+  }
+
+  // --- Cooperative check (query thread, batch boundaries). ---
+
+  /// OK while the query may proceed; otherwise the distinct governed
+  /// status (kCancelled / kDeadlineExceeded / kResourceExhausted).
+  /// Ungoverned fast path: one relaxed atomic load.
+  Status Check() {
+    if (killed_.load(std::memory_order_relaxed) !=
+        static_cast<uint8_t>(KillReason::kNone)) {
+      return KillStatus();
+    }
+    if (armed_) return CheckArmed();
+    return Status::OK();
+  }
+
+  /// The status a killed query unwinds with; OK if not killed.
+  Status KillStatus() const;
+
+  // --- Memory accounting (query thread only). ---
+
+  /// Charges `bytes` against the budget on behalf of `op_name`.  On a trip
+  /// the charge is still recorded (Release stays balanced), the context is
+  /// killed with kMemory, and the returned status names the operator and
+  /// the high-water mark.
+  Status Charge(uint64_t bytes, std::string_view op_name);
+  void Release(uint64_t bytes);
+
+  uint64_t mem_used() const { return mem_used_; }
+  uint64_t mem_high_water() const { return mem_high_water_; }
+  uint64_t mem_budget() const { return mem_budget_; }
+  int64_t timeout_ms() const { return timeout_ms_; }
+
+ private:
+  /// Slow path: consults the external token and the deadline.
+  Status CheckArmed();
+
+  /// First-reason-wins kill; bumps the matching exec.*_total counter.
+  void Trip(KillReason reason);
+
+  std::atomic<uint8_t> killed_{0};
+
+  // Written during setup on the query thread, read-only afterwards.
+  bool armed_ = false;  // deadline or cancel token present
+  uint64_t query_id_ = 0;
+  int64_t timeout_ms_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::shared_ptr<std::atomic<bool>> cancel_token_;
+
+  // Query-thread-only accounting.
+  uint64_t mem_used_ = 0;
+  uint64_t mem_high_water_ = 0;
+  uint64_t mem_budget_ = 0;
+  std::string mem_culprit_;  // Operator that tripped the budget.
+};
+
+}  // namespace exec
+}  // namespace mra
+
+#endif  // MRA_EXEC_EXEC_CONTEXT_H_

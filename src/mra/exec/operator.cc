@@ -8,6 +8,7 @@
 #include "mra/algebra/closure.h"
 #include "mra/common/annotation.h"
 #include "mra/expr/eval.h"
+#include "mra/fault/failpoint.h"
 #include "mra/obs/metrics.h"
 
 namespace mra {
@@ -45,6 +46,54 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+// Deterministic cancel-point injection for the governance tests: arming
+// one of these sites (any action) requests cancellation at exactly that
+// lifecycle point — before OpenImpl, before a NextBatchImpl, or at the
+// start of Close.  Disarmed cost: one relaxed atomic load, same as every
+// other failpoint site.
+fault::Failpoint* CancelOpenFp() {
+  static fault::Failpoint* fp =
+      fault::FaultRegistry::Global().Get("exec.cancel.open");
+  return fp;
+}
+
+fault::Failpoint* CancelBatchFp() {
+  static fault::Failpoint* fp =
+      fault::FaultRegistry::Global().Get("exec.cancel.batch");
+  return fp;
+}
+
+fault::Failpoint* CancelCloseFp() {
+  static fault::Failpoint* fp =
+      fault::FaultRegistry::Global().Get("exec.cancel.close");
+  return fp;
+}
+
+// True when the armed failpoint fired on this hit.
+bool FpFired(fault::Failpoint* fp) {
+  return fp->Hit().kind != fault::ActionKind::kOff;
+}
+
+// Budget-accounting estimates for materialising operators.  Deliberately
+// coarse (struct footprint + string payloads): the budget guards against
+// runaway builds, not byte-exact accounting.
+uint64_t ApproxTupleBytes(const Tuple& tuple) {
+  uint64_t bytes = sizeof(Tuple) + tuple.arity() * sizeof(Value);
+  for (const Value& v : tuple.values()) {
+    if (v.kind() == TypeKind::kString) bytes += v.string_value().capacity();
+  }
+  return bytes;
+}
+
+uint64_t ApproxRelationBytes(const Relation& rel) {
+  uint64_t bytes = sizeof(Relation);
+  for (const auto& [tuple, count] : rel) {
+    (void)count;
+    bytes += ApproxTupleBytes(tuple) + sizeof(uint64_t) + 2 * sizeof(void*);
+  }
+  return bytes;
 }
 
 // Per-operator batch latency distribution, only fed while exec timing is
@@ -127,8 +176,19 @@ void RenderAnalyzed(const PhysicalOperator& op, int depth, std::ostream& out) {
 Status PhysicalOperator::Open() {
   MRA_CHECK(state_ != State::kOpen) << "Open() while already open";
   if (state_ == State::kClosed) metrics_.ResetRuntime();
+  charged_bytes_ = 0;
   timing_ = obs::ExecTimingEnabled();
   metrics_.timed = timing_;
+  if (exec_ctx_ != nullptr) {
+    if (FpFired(CancelOpenFp())) exec_ctx_->RequestCancel();
+    Status g = exec_ctx_->Check();
+    if (!g.ok()) {
+      // A failed Open leaves the operator Closed (same contract as a
+      // failing OpenImpl below), so the unwind can Close the whole tree.
+      state_ = State::kClosed;
+      return g;
+    }
+  }
   Status s;
   if (timing_) {
     uint64_t t0 = NowNs();
@@ -139,13 +199,25 @@ Status PhysicalOperator::Open() {
   }
   // A failed Open leaves the operator Closed: resources the impl did
   // acquire are released by Close-idempotent destruction paths, and the
-  // contract (Next only after a successful Open) stays enforced.
+  // contract (Next only after a successful Open) stays enforced.  Budget
+  // charges do not wait for the destructor — a build that tripped the
+  // budget mid-Open hands its bytes back to the query right here.
   state_ = s.ok() ? State::kOpen : State::kClosed;
+  if (!s.ok() && exec_ctx_ != nullptr && charged_bytes_ > 0) {
+    exec_ctx_->Release(charged_bytes_);
+    charged_bytes_ = 0;
+  }
   return s;
 }
 
 Result<std::optional<Row>> PhysicalOperator::Next() {
   MRA_CHECK(state_ == State::kOpen) << "Next() before Open()";
+  if (exec_ctx_ != nullptr) {
+    // The row-at-a-time path checks per row; the relaxed-load cost is in
+    // the noise next to the per-row virtual dispatch it rides on.
+    Status g = exec_ctx_->Check();
+    if (!g.ok()) return g;
+  }
   if (timing_) {
     uint64_t t0 = NowNs();
     Result<std::optional<Row>> row = NextImpl();
@@ -167,6 +239,14 @@ Result<std::optional<Row>> PhysicalOperator::Next() {
 Status PhysicalOperator::NextBatch(RowBatch& out) {
   MRA_CHECK(state_ == State::kOpen) << "NextBatch() before Open()";
   out.Clear();
+  if (exec_ctx_ != nullptr) {
+    // The cooperative governance check: one relaxed atomic load per batch
+    // when the query is ungoverned beyond cancellation, plus a clock read
+    // when a deadline is armed — which bounds a kill to one batch.
+    if (FpFired(CancelBatchFp())) exec_ctx_->RequestCancel();
+    Status g = exec_ctx_->Check();
+    if (!g.ok()) return g;
+  }
   Status s;
   if (timing_) {
     uint64_t t0 = NowNs();
@@ -187,6 +267,14 @@ Status PhysicalOperator::NextBatch(RowBatch& out) {
   return s;
 }
 
+Status PhysicalOperator::NoteHashFootprint(uint64_t bytes) {
+  if (bytes > metrics_.hash_bytes) {
+    metrics_.hash_bytes = bytes;
+    NoteHashPeakBytes(bytes);
+  }
+  return ChargeMemTo(bytes);
+}
+
 // Default adapter: any operator with only a row-at-a-time NextImpl still
 // serves batches.  Calls NextImpl directly (not the public Next()) so the
 // batch wrapper above is the single place metrics accrue.
@@ -201,12 +289,24 @@ Status PhysicalOperator::NextBatchImpl(RowBatch& out) {
 
 void PhysicalOperator::Close() {
   if (state_ != State::kOpen) return;  // Contract: double/early Close is safe.
+  if (exec_ctx_ != nullptr && FpFired(CancelCloseFp())) {
+    // Close never fails, so a cancel landing here only marks the context;
+    // the unwind in progress keeps releasing resources below.
+    exec_ctx_->RequestCancel();
+  }
   if (timing_) {
     uint64_t t0 = NowNs();
     CloseImpl();
     metrics_.close_ns += NowNs() - t0;
   } else {
     CloseImpl();
+  }
+  // Whatever the impl still had charged goes back to the query budget —
+  // this is what makes "killed query releases its memory" a wrapper-level
+  // guarantee instead of a per-operator obligation.
+  if (exec_ctx_ != nullptr && charged_bytes_ > 0) {
+    exec_ctx_->Release(charged_bytes_);
+    charged_bytes_ = 0;
   }
   state_ = State::kClosed;
 }
@@ -428,6 +528,7 @@ Result<std::optional<Row>> DedupOp::NextImpl() {
     bool inserted = false;
     seen_.InsertKey(row->tuple, identity_, &inserted);
     if (inserted) {
+      MRA_RETURN_IF_ERROR(NoteHashFootprint(seen_.ApproxBytes()));
       return std::optional<Row>(Row{std::move(row->tuple), 1});
     }
   }
@@ -453,6 +554,7 @@ Status DedupOp::NextBatchImpl(RowBatch& out) {
       }
     }
     out.Truncate(kept);
+    MRA_RETURN_IF_ERROR(NoteHashFootprint(seen_.ApproxBytes()));
     if (kept > 0) return Status::OK();
   }
 }
@@ -476,10 +578,17 @@ Status SortDedupOp::OpenImpl() {
   pos_ = 0;
   MRA_RETURN_IF_ERROR(child_->Open());
   RowBatch batch;
+  uint64_t materialized_bytes = 0;
   while (true) {
     MRA_RETURN_IF_ERROR(child_->NextBatch(batch));
     if (batch.empty()) break;
-    for (Row& row : batch) tuples_.push_back(std::move(row.tuple));
+    for (Row& row : batch) {
+      materialized_bytes += ApproxTupleBytes(row.tuple);
+      tuples_.push_back(std::move(row.tuple));
+    }
+    // Budget check per input batch, so a runaway sort input is caught
+    // while it grows, not after it is fully resident.
+    MRA_RETURN_IF_ERROR(ChargeMemTo(materialized_bytes));
   }
   child_->Close();
   std::sort(tuples_.begin(), tuples_.end(),
@@ -557,8 +666,15 @@ DifferenceOp::DifferenceOp(PhysOpPtr left, PhysOpPtr right)
 }
 
 Status DifferenceOp::OpenImpl() {
+  // Both sides materialise; charge each against the budget as it lands,
+  // then settle on the surviving result_ footprint (the temporaries free
+  // at scope exit).  The children's own operators charge their scratch
+  // memory themselves — this accounts for the copies held here.
   MRA_ASSIGN_OR_RETURN(Relation lhs, ExecuteToRelation(*left_));
+  MRA_RETURN_IF_ERROR(ChargeMemTo(ApproxRelationBytes(lhs)));
   MRA_ASSIGN_OR_RETURN(Relation rhs, ExecuteToRelation(*right_));
+  MRA_RETURN_IF_ERROR(
+      ChargeMemTo(ApproxRelationBytes(lhs) + ApproxRelationBytes(rhs)));
   result_ = Relation(lhs.schema());
   for (const auto& [tuple, count] : lhs) {
     uint64_t other = rhs.Multiplicity(tuple);
@@ -566,7 +682,7 @@ Status DifferenceOp::OpenImpl() {
   }
   metrics_.distinct_rows = result_.distinct_size();
   it_ = result_.begin();
-  return Status::OK();
+  return ChargeMemTo(ApproxRelationBytes(result_));
 }
 
 Result<std::optional<Row>> DifferenceOp::NextImpl() {
@@ -587,8 +703,12 @@ IntersectOp::IntersectOp(PhysOpPtr left, PhysOpPtr right)
 }
 
 Status IntersectOp::OpenImpl() {
+  // Same accounting shape as DifferenceOp above.
   MRA_ASSIGN_OR_RETURN(Relation lhs, ExecuteToRelation(*left_));
+  MRA_RETURN_IF_ERROR(ChargeMemTo(ApproxRelationBytes(lhs)));
   MRA_ASSIGN_OR_RETURN(Relation rhs, ExecuteToRelation(*right_));
+  MRA_RETURN_IF_ERROR(
+      ChargeMemTo(ApproxRelationBytes(lhs) + ApproxRelationBytes(rhs)));
   result_ = Relation(lhs.schema());
   for (const auto& [tuple, count] : lhs) {
     uint64_t m = std::min(count, rhs.Multiplicity(tuple));
@@ -596,7 +716,7 @@ Status IntersectOp::OpenImpl() {
   }
   metrics_.distinct_rows = result_.distinct_size();
   it_ = result_.begin();
-  return Status::OK();
+  return ChargeMemTo(ApproxRelationBytes(result_));
 }
 
 Result<std::optional<Row>> IntersectOp::NextImpl() {
@@ -620,10 +740,13 @@ NestedLoopJoinOp::NestedLoopJoinOp(ExprPtr condition_or_null, PhysOpPtr left,
 Status NestedLoopJoinOp::OpenImpl() {
   right_rows_.clear();
   MRA_RETURN_IF_ERROR(right_->Open());
+  uint64_t materialized_bytes = 0;
   while (true) {
     MRA_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
     if (!row.has_value()) break;
+    materialized_bytes += ApproxTupleBytes(row->tuple) + sizeof(Row);
     right_rows_.push_back(std::move(*row));
+    MRA_RETURN_IF_ERROR(ChargeMemTo(materialized_bytes));
   }
   right_->Close();
   current_left_.reset();
@@ -687,6 +810,11 @@ Status HashJoinOp::OpenImpl() {
   chain_ = kNone;
 
   MRA_RETURN_IF_ERROR(right_->Open());
+  auto footprint = [this] {
+    return index_.ApproxBytes() + heads_.capacity() * sizeof(size_t) +
+           next_.capacity() * sizeof(size_t) +
+           build_rows_.capacity() * sizeof(Row);
+  };
   RowBatch batch;
   while (true) {
     MRA_RETURN_IF_ERROR(right_->NextBatch(batch));
@@ -706,15 +834,15 @@ Status HashJoinOp::OpenImpl() {
       heads_[id] = build_size_;
       ++build_size_;
     }
+    // Per-batch: budget check plus live hash_bytes / hash.peak_bytes so
+    // `\top` sees the build while it grows.
+    MRA_RETURN_IF_ERROR(NoteHashFootprint(footprint()));
   }
   right_->Close();
 
   metrics_.build_rows = build_size_;
   metrics_.peak_hash_entries = index_.size();
-  metrics_.hash_bytes = index_.ApproxBytes() +
-                        heads_.capacity() * sizeof(size_t) +
-                        next_.capacity() * sizeof(size_t) +
-                        build_rows_.capacity() * sizeof(Row);
+  MRA_RETURN_IF_ERROR(NoteHashFootprint(footprint()));
   return left_->Open();
 }
 
@@ -800,10 +928,13 @@ ClosureOp::ClosureOp(PhysOpPtr child) : child_(std::move(child)) {}
 
 Status ClosureOp::OpenImpl() {
   MRA_ASSIGN_OR_RETURN(Relation input, ExecuteToRelation(*child_));
+  MRA_RETURN_IF_ERROR(ChargeMemTo(ApproxRelationBytes(input)));
   MRA_ASSIGN_OR_RETURN(result_, ops::TransitiveClosure(input));
   metrics_.distinct_rows = result_.distinct_size();
   it_ = result_.begin();
-  return Status::OK();
+  // The closure can be much larger than its input (paths vs. edges);
+  // settle the charge on what is actually held.
+  return ChargeMemTo(ApproxRelationBytes(result_));
 }
 
 Result<std::optional<Row>> ClosureOp::NextImpl() {
@@ -826,6 +957,9 @@ Status SubplanCacheOp::OpenImpl() {
   if (!state_->materialized) {
     MRA_ASSIGN_OR_RETURN(state_->cached, ExecuteToRelation(*state_->source));
     state_->materialized = true;
+    // The materialising consumer carries the cache's budget charge; reuse
+    // sites read it for free (matching how EXPLAIN renders it once).
+    MRA_RETURN_IF_ERROR(ChargeMemTo(ApproxRelationBytes(state_->cached)));
   }
   metrics_.distinct_rows = state_->cached.distinct_size();
   it_ = state_->cached.begin();
@@ -887,6 +1021,9 @@ Status HashGroupByOp::OpenImpl() {
   };
 
   MRA_RETURN_IF_ERROR(child_->Open());
+  auto footprint = [this] {
+    return index_.ApproxBytes() + accs_.capacity() * sizeof(AggAccumulator);
+  };
   RowBatch batch;
   while (true) {
     MRA_RETURN_IF_ERROR(child_->NextBatch(batch));
@@ -901,6 +1038,8 @@ Status HashGroupByOp::OpenImpl() {
                                          row.count);
       }
     }
+    // Per-batch: budget check plus live hash_bytes / hash.peak_bytes.
+    MRA_RETURN_IF_ERROR(NoteHashFootprint(footprint()));
   }
   child_->Close();
 
@@ -913,9 +1052,7 @@ Status HashGroupByOp::OpenImpl() {
   }
   metrics_.peak_hash_entries = index_.size();
   metrics_.distinct_rows = index_.size();
-  metrics_.hash_bytes =
-      index_.ApproxBytes() + accs_.capacity() * sizeof(AggAccumulator);
-  return Status::OK();
+  return NoteHashFootprint(footprint());
 }
 
 Result<Row> HashGroupByOp::EmitGroup(size_t id) {

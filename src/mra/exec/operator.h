@@ -38,6 +38,7 @@
 
 #include "mra/algebra/aggregate.h"
 #include "mra/core/relation.h"
+#include "mra/exec/exec_context.h"
 #include "mra/exec/hash_table.h"
 #include "mra/expr/eval.h"
 #include "mra/expr/scalar_expr.h"
@@ -168,6 +169,19 @@ class PhysicalOperator {
   /// Multi-line indented rendering of the physical plan.
   std::string ToString() const;
 
+  /// Attaches the per-query governance context to this operator and,
+  /// recursively, its whole subtree (children() is the traversal; the
+  /// const_cast is safe — we only ever hand out children we own).  The
+  /// planner calls this on the lowered root; a null context (the default)
+  /// runs the plan ungoverned.  The context must outlive execution.
+  void SetExecContext(ExecContext* ctx) {
+    exec_ctx_ = ctx;
+    for (const PhysicalOperator* child : children()) {
+      const_cast<PhysicalOperator*>(child)->SetExecContext(ctx);
+    }
+  }
+  ExecContext* exec_context() const { return exec_ctx_; }
+
  protected:
   virtual Status OpenImpl() = 0;
   virtual Result<std::optional<Row>> NextImpl() = 0;
@@ -179,12 +193,41 @@ class PhysicalOperator {
   /// override it to amortize work across the whole batch.
   virtual Status NextBatchImpl(RowBatch& out);
 
+  /// Memory accounting against the per-query budget.  ChargeMemTo makes
+  /// this operator's cumulative charge equal `total_bytes` (charging or
+  /// releasing the delta), so impls can re-report an ApproxBytes figure
+  /// after every growth step without double counting.  No-op when the
+  /// plan runs ungoverned.  The wrapper Close() releases any outstanding
+  /// charge, so a killed query's unwind always returns its budget.
+  Status ChargeMemTo(uint64_t total_bytes) {
+    if (exec_ctx_ == nullptr) return Status::OK();
+    if (total_bytes > charged_bytes_) {
+      uint64_t delta = total_bytes - charged_bytes_;
+      charged_bytes_ = total_bytes;
+      return exec_ctx_->Charge(delta, name());
+    }
+    if (total_bytes < charged_bytes_) {
+      exec_ctx_->Release(charged_bytes_ - total_bytes);
+      charged_bytes_ = total_bytes;
+    }
+    return Status::OK();
+  }
+
+  /// Re-reports a hash build's current footprint: publishes
+  /// OperatorMetrics::hash_bytes and the process-wide hash.peak_bytes
+  /// high-water immediately — on growth during execution, not only at
+  /// Close — so a live `\top` / ServerStats view sees a running build.
+  /// Also charges the footprint against the query budget (ChargeMemTo).
+  Status NoteHashFootprint(uint64_t bytes);
+
   obs::OperatorMetrics metrics_;
 
  private:
   enum class State : uint8_t { kCreated, kOpen, kClosed };
 
   State state_ = State::kCreated;
+  ExecContext* exec_ctx_ = nullptr;
+  uint64_t charged_bytes_ = 0;
   bool timing_ = false;
   double estimated_rows_ = -1.0;
   std::string annotation_;

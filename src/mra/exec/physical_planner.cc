@@ -212,7 +212,12 @@ Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
     // checks short-circuit.
     if (!any_repeat) ctx.reuse_counts.clear();
   }
-  return LowerPlanImpl(plan, ctx);
+  MRA_ASSIGN_OR_RETURN(PhysOpPtr root, LowerPlanImpl(plan, ctx));
+  // Thread the governance context through the whole lowered tree so every
+  // wrapper's batch-boundary check sees the same cancellation flag,
+  // deadline and shared memory budget.
+  if (options.exec_ctx != nullptr) root->SetExecContext(options.exec_ctx);
+  return root;
 }
 
 Result<Relation> ExecutePlan(const PlanPtr& plan,

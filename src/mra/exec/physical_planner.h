@@ -50,6 +50,10 @@ struct PlannerOptions {
   /// (SubplanCacheOp).  Bag-preserving: reuse sites scan the identical
   /// result relation the subtree would have produced.
   bool subplan_reuse = true;
+  /// Per-query governance context (cancellation / deadline / memory
+  /// budget) attached to every operator of the lowered tree.  Null (the
+  /// default) lowers an ungoverned plan.  Must outlive execution.
+  ExecContext* exec_ctx = nullptr;
 };
 
 /// Builds an executable operator tree for `plan`.  Scan nodes resolve

@@ -48,11 +48,52 @@ obs::Histogram* QueryLatency() {
 
 }  // namespace
 
+std::shared_ptr<exec::ExecContext> Interpreter::BeginGoverned() {
+  auto ctx = std::make_shared<exec::ExecContext>();
+  ctx->set_query_id(obs::CurrentQueryId());
+  ctx->SetDeadlineAfterMs(options_.statement_timeout_ms);
+  ctx->SetMemoryBudget(options_.query_mem_budget_bytes);
+  ctx->SetCancelToken(options_.cancel_token);
+  std::lock_guard<std::mutex> lock(govern_mutex_);
+  if (pending_cancel_id_ != 0) {
+    // A Cancel raced ahead of the query it targets (cancel-before-open).
+    // Apply it if this is that query; either way it is consumed — a
+    // pending id for a different query is stale once a new one starts.
+    if (pending_cancel_id_ == ctx->query_id()) ctx->RequestCancel();
+    pending_cancel_id_ = 0;
+  }
+  current_ctx_ = ctx;
+  return ctx;
+}
+
+void Interpreter::EndGoverned() {
+  std::lock_guard<std::mutex> lock(govern_mutex_);
+  current_ctx_.reset();
+}
+
+void Interpreter::CancelQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(govern_mutex_);
+  if (current_ctx_ != nullptr &&
+      (query_id == 0 || current_ctx_->query_id() == query_id)) {
+    current_ctx_->RequestCancel();
+    return;
+  }
+  if (query_id != 0) pending_cancel_id_ = query_id;
+}
+
 Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
                                            const RelationProvider& provider) {
   QueryCounter()->Inc();
   QueryStats stats;
   stats.query_id = obs::CurrentQueryId();
+  // Governance brackets the whole evaluation: the statement timeout counts
+  // from here, and CancelQuery() can reach the context from another thread
+  // until EndGoverned() runs (the guard covers every return path).
+  std::shared_ptr<exec::ExecContext> gctx = BeginGoverned();
+  struct GovernGuard {
+    Interpreter* interp;
+    ~GovernGuard() { interp->EndGoverned(); }
+  } govern_guard{this};
   uint64_t t0 = NowMicros();
   PlanPtr plan;
   {
@@ -79,6 +120,7 @@ Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
     obs::ScopedSpan span("lower");
     exec::PlannerOptions planner_options;
     planner_options.hash_ops = options_.hash_ops;
+    planner_options.exec_ctx = gctx.get();
     MRA_ASSIGN_OR_RETURN(
         root, exec::LowerPlan(plan, provider, nullptr, planner_options));
   }
@@ -100,7 +142,14 @@ Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
   QueryLatency()->Observe(last_query_stats_.total_us);
 
   obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
-  if (result.ok() && slow_log.ShouldLog(last_query_stats_.total_us)) {
+  // A governed kill is always log-worthy while the log is enabled — the
+  // entry's "killed:<reason>" event tag is how an operator finds out
+  // after the fact why a query died (cancel, deadline or budget).
+  const exec::KillReason kill_reason = gctx->kill_reason();
+  const bool governed_kill =
+      !result.ok() && kill_reason != exec::KillReason::kNone;
+  if ((result.ok() && slow_log.ShouldLog(last_query_stats_.total_us)) ||
+      (governed_kill && slow_log.enabled())) {
     obs::SlowQueryEntry entry;
     entry.query_id = last_query_stats_.query_id;
     entry.latency_us = last_query_stats_.total_us;
@@ -111,6 +160,10 @@ Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
     entry.result_rows = last_query_stats_.result_rows;
     entry.source = current_source_;
     entry.plan = exec::RenderPlanWithMetrics(*root);
+    if (governed_kill) {
+      entry.events.push_back("killed:" +
+                             std::string(exec::KillReasonName(kill_reason)));
+    }
     slow_log.Record(std::move(entry));
   }
   return result;
@@ -308,6 +361,16 @@ Result<std::string> Interpreter::ExplainExpr(const RelExpr& expr,
       };
   exec::PlannerOptions planner_options;
   planner_options.hash_ops = options_.hash_ops;
+  // EXPLAIN ANALYZE executes the plan for real, so it is governed like
+  // any query (an analyzed runaway join is still a runaway join).
+  std::shared_ptr<exec::ExecContext> gctx = analyze ? BeginGoverned() : nullptr;
+  struct GovernGuard {
+    Interpreter* interp;
+    ~GovernGuard() {
+      if (interp != nullptr) interp->EndGoverned();
+    }
+  } govern_guard{analyze ? this : nullptr};
+  planner_options.exec_ctx = gctx.get();
   MRA_ASSIGN_OR_RETURN(
       exec::PhysOpPtr physical,
       exec::LowerPlan(optimized, provider, &estimator, planner_options));

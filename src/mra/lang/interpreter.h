@@ -12,9 +12,13 @@
 #ifndef MRA_LANG_INTERPRETER_H_
 #define MRA_LANG_INTERPRETER_H_
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string_view>
 
+#include "mra/exec/exec_context.h"
 #include "mra/lang/ast.h"
 #include "mra/obs/op_metrics.h"
 #include "mra/opt/optimizer.h"
@@ -44,6 +48,19 @@ struct InterpreterOptions {
   /// (exec::PlannerOptions::hash_ops).  Only meaningful with
   /// use_physical_exec.
   bool hash_ops = true;
+  /// Statement timeout: a physically-executed query still running this
+  /// many milliseconds after it starts is killed at the next batch
+  /// boundary with kDeadlineExceeded.  0 (the default) disables.
+  int64_t statement_timeout_ms = 0;
+  /// Per-query memory budget in bytes, charged by the materialising and
+  /// hash-building operators; exceeding it kills the query with
+  /// kResourceExhausted.  0 (the default) means unlimited.
+  uint64_t query_mem_budget_bytes = 0;
+  /// Optional external cancel flag consulted at every batch boundary —
+  /// the REPL points this at its SIGINT flag so Ctrl-C cancels the
+  /// in-flight query (a signal handler may only do the atomic store).
+  /// The holder resets it to false before each new query.
+  std::shared_ptr<std::atomic<bool>> cancel_token;
 };
 
 /// Execution statistics of the most recent physically-executed query,
@@ -134,8 +151,23 @@ class Interpreter {
   Result<Relation> EvaluateExpr(const RelExpr& expr,
                                 const RelationProvider& provider);
 
+  /// Requests cooperative cancellation of the running query.  Safe to call
+  /// from any thread (this is the one cross-thread entry point of the
+  /// otherwise single-threaded Interpreter): if `query_id` names the query
+  /// currently executing — or is 0, meaning "whatever is running" — its
+  /// governance context is tripped and the plan unwinds with kCancelled at
+  /// its next batch boundary.  A non-zero id that is not running yet is
+  /// remembered and applied when that query starts (cancel-before-open);
+  /// the pending id is dropped as stale when a different query starts.
+  void CancelQuery(uint64_t query_id);
+
  private:
   Status ExecuteItem(const Script::Item& item, const QueryCallback& on_query);
+
+  /// Builds, registers (for CancelQuery) and returns the governance
+  /// context for one evaluation; EndGoverned() deregisters it.
+  std::shared_ptr<exec::ExecContext> BeginGoverned();
+  void EndGoverned();
 
   Database* db_;
   Options options_;
@@ -143,6 +175,10 @@ class Interpreter {
   /// Source text of the query being evaluated, for the slow-query log
   /// (set by Query/ExecuteScript; the interpreter is single-threaded).
   std::string current_source_;
+  /// Guards the two members below against CancelQuery from other threads.
+  std::mutex govern_mutex_;
+  std::shared_ptr<exec::ExecContext> current_ctx_;
+  uint64_t pending_cancel_id_ = 0;
 };
 
 }  // namespace lang

@@ -98,6 +98,54 @@ void Client::BackoffSleep(int attempt) {
   std::this_thread::sleep_for(std::chrono::milliseconds(dist(rng_)));
 }
 
+Result<Frame> Client::AwaitResponse() {
+  if (!options_.interrupt) {
+    return ReadFrame(sock_, WireLimits{options_.max_frame_bytes},
+                     options_.io_timeout_ms);
+  }
+  // Sliced wait so an interrupt (Ctrl-C in the REPL) is noticed within
+  // ~50ms: consume the token, cancel the in-flight query out-of-band,
+  // and keep waiting — the killed query still answers on this socket.
+  constexpr int kSliceMs = 50;
+  int64_t waited_ms = 0;
+  for (;;) {
+    MRA_ASSIGN_OR_RETURN(bool readable, sock_.WaitReadable(kSliceMs));
+    if (readable) {
+      return ReadFrame(sock_, WireLimits{options_.max_frame_bytes},
+                       options_.io_timeout_ms);
+    }
+    if (options_.interrupt->exchange(false, std::memory_order_acq_rel)) {
+      SendOutOfBandCancel(last_query_id_);
+    }
+    waited_ms += kSliceMs;
+    if (options_.io_timeout_ms >= 0 && waited_ms >= options_.io_timeout_ms) {
+      return Status::IoError("timed out waiting for the response");
+    }
+  }
+}
+
+void Client::SendOutOfBandCancel(uint64_t query_id) {
+  if (query_id == 0 || (server_version_ != 0 && server_version_ < 4)) return;
+  Result<Socket> side = Socket::Connect(host_, port_);
+  if (!side.ok()) return;
+  // Bounded handshake + Cancel; every step is best-effort — if the query
+  // finished meanwhile the registry simply reports not-delivered.
+  constexpr int kSideTimeoutMs = 2'000;
+  WireLimits limits{options_.max_frame_bytes};
+  if (!WriteFrame(*side, FrameKind::kHello,
+                  EncodeHello(kProtocolVersion, options_.client_name))
+           .ok()) {
+    return;
+  }
+  Result<Frame> hello = ReadFrame(*side, limits, kSideTimeoutMs);
+  if (!hello.ok() || hello->kind != FrameKind::kHello) return;
+  if (!WriteFrame(*side, FrameKind::kCancel, EncodeCancelRequest(query_id))
+           .ok()) {
+    return;
+  }
+  ReadFrame(*side, limits, kSideTimeoutMs);  // Drain the ack.
+}
+
 Result<Frame> Client::RoundTrip(FrameKind kind, std::string_view payload) {
   if (!sock_.valid()) return Status::IoError("client is not connected");
   uint64_t t0 = NowMicros();
@@ -106,9 +154,7 @@ Result<Frame> Client::RoundTrip(FrameKind kind, std::string_view payload) {
     sock_.Close();
     return sent.status();
   }
-  Result<Frame> response =
-      ReadFrame(sock_, WireLimits{options_.max_frame_bytes},
-                options_.io_timeout_ms);
+  Result<Frame> response = AwaitResponse();
   if (response.ok()) {
     // A completed exchange (even one carrying an Error/Busy frame) is a
     // measured round trip; transport failures are not.
@@ -121,7 +167,12 @@ Result<Frame> Client::RoundTrip(FrameKind kind, std::string_view payload) {
     return response.status();
   }
   if (response->kind == FrameKind::kError) {
-    return DecodeError(response->payload);
+    Result<ErrorNotice> notice = DecodeErrorNotice(response->payload);
+    if (!notice.ok()) return notice.status();
+    // A v4 deadline-kill carries the same retry-after hint a Busy frame
+    // does; let it floor the backoff the same way.
+    if (notice->retry_after_ms > 0) busy_hint_ms_ = notice->retry_after_ms;
+    return notice->status;
   }
   if (response->kind == FrameKind::kBusy) {
     // The server shed this connection and is about to close it.
@@ -235,6 +286,25 @@ Result<ServerStatsReply> Client::FetchServerStats(uint64_t query_id) {
                               std::string(FrameKindName(response.kind)));
   }
   return DecodeServerStatsReply(response.payload);
+}
+
+Result<bool> Client::Cancel(uint64_t query_id) {
+  if (server_version_ != 0 && server_version_ < 4) {
+    return Status::InvalidArgument(
+        "server speaks protocol v" + std::to_string(server_version_) +
+        "; Cancel needs v4");
+  }
+  if (query_id == 0) {
+    return Status::InvalidArgument("query id 0 is never in flight");
+  }
+  MRA_ASSIGN_OR_RETURN(
+      Frame response,
+      RoundTrip(FrameKind::kCancel, EncodeCancelRequest(query_id)));
+  if (response.kind != FrameKind::kCancel) {
+    return Status::Corruption("Cancel answered with " +
+                              std::string(FrameKindName(response.kind)));
+  }
+  return DecodeCancelReply(response.payload);
 }
 
 Status Client::Ping() {

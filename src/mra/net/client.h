@@ -20,7 +20,9 @@
 #ifndef MRA_NET_CLIENT_H_
 #define MRA_NET_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <random>
 #include <string>
@@ -50,6 +52,14 @@ struct ClientOptions {
   /// floored by the server's Busy retry-after hint when one arrived.
   int retry_base_ms = 10;
   int retry_cap_ms = 2'000;
+  /// Cooperative interrupt token (e.g. flipped by a SIGINT handler — the
+  /// store is async-signal-safe).  While a response is pending the client
+  /// polls it between short waits; on true it is consumed (reset to
+  /// false) and the in-flight query is cancelled out-of-band: a
+  /// short-lived side connection sends a v4 Cancel frame for the last
+  /// minted query id, then the original wait continues — the killed
+  /// query answers with its kCancelled Error.  Null disables polling.
+  std::shared_ptr<std::atomic<bool>> interrupt;
 };
 
 class Client {
@@ -82,6 +92,13 @@ class Client {
 
   /// Round-trip liveness probe (payload echoed server-side).
   Status Ping();
+
+  /// Asks the server to kill the in-flight query with this client-minted
+  /// id (v4 servers; see last_query_id()).  Works from any session —
+  /// this is how `\cancel <id>` reaches a query another connection runs.
+  /// Returns whether the id matched a running query; false means it
+  /// already finished (or never started), which is not an error.
+  Result<bool> Cancel(uint64_t query_id);
 
   /// Asks the server to drain and stop.  Returns once the ack arrives.
   Status RequestShutdown();
@@ -135,6 +152,15 @@ class Client {
 
   /// Sleeps the jittered exponential backoff for retry attempt `attempt`.
   void BackoffSleep(int attempt);
+
+  /// Reads the response frame.  With an interrupt token armed this polls
+  /// readability in short slices so a flipped token turns into an
+  /// out-of-band Cancel of the in-flight query (then keeps waiting).
+  Result<Frame> AwaitResponse();
+
+  /// Best-effort psql-style cancel: the session socket is mid-response,
+  /// so the Cancel frame travels on an ephemeral side connection.
+  void SendOutOfBandCancel(uint64_t query_id);
 
   /// Decodes a ResultSet response at the negotiated version, stashing the
   /// v3 stats trailer (when present) into last_query_stats_.

@@ -40,13 +40,15 @@ std::string_view FrameKindName(FrameKind kind) {
       return "Busy";
     case FrameKind::kServerStats:
       return "ServerStats";
+    case FrameKind::kCancel:
+      return "Cancel";
   }
   return "?";
 }
 
 bool IsValidFrameKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(FrameKind::kHello) &&
-         kind <= static_cast<uint8_t>(FrameKind::kServerStats);
+         kind <= static_cast<uint8_t>(FrameKind::kCancel);
 }
 
 std::string EncodeFrame(FrameKind kind, std::string_view payload) {
@@ -175,17 +177,74 @@ std::string EncodeError(const Status& status) {
   return enc.TakeBuffer();
 }
 
-Status DecodeError(std::string_view payload) {
+std::string EncodeErrorWithHint(const Status& status,
+                                uint32_t retry_after_ms) {
+  if (retry_after_ms == 0) return EncodeError(status);
+  storage::Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(status.code()));
+  enc.PutString(status.message());
+  enc.PutU32(retry_after_ms);
+  return enc.TakeBuffer();
+}
+
+Result<ErrorNotice> DecodeErrorNotice(std::string_view payload) {
   storage::Decoder dec(payload);
   Result<uint8_t> code = dec.GetU8();
   if (!code.ok()) return code.status();
   Result<std::string> message = dec.GetString();
   if (!message.ok()) return message.status();
-  if (!dec.AtEnd() || *code == 0 ||
-      *code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+  ErrorNotice notice;
+  if (!dec.AtEnd()) {
+    // The optional v4 retry-after hint is exactly one trailing u32;
+    // anything else trailing is still malformed.
+    Result<uint32_t> hint = dec.GetU32();
+    if (!hint.ok() || !dec.AtEnd()) {
+      return Status::Corruption("malformed Error payload");
+    }
+    notice.retry_after_ms = *hint;
+  }
+  if (*code == 0 ||
+      *code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
     return Status::Corruption("malformed Error payload");
   }
-  return Status(static_cast<StatusCode>(*code), *std::move(message));
+  notice.status = Status(static_cast<StatusCode>(*code), *std::move(message));
+  return notice;
+}
+
+Status DecodeError(std::string_view payload) {
+  Result<ErrorNotice> notice = DecodeErrorNotice(payload);
+  if (!notice.ok()) return notice.status();
+  return notice->status;
+}
+
+std::string EncodeCancelRequest(uint64_t query_id) {
+  storage::Encoder enc;
+  enc.PutU64(query_id);
+  return enc.TakeBuffer();
+}
+
+Result<uint64_t> DecodeCancelRequest(std::string_view payload) {
+  storage::Decoder dec(payload);
+  Result<uint64_t> query_id = dec.GetU64();
+  if (!query_id.ok() || !dec.AtEnd() || *query_id == 0) {
+    return Status::Corruption("malformed Cancel payload");
+  }
+  return *query_id;
+}
+
+std::string EncodeCancelReply(bool delivered) {
+  storage::Encoder enc;
+  enc.PutU8(delivered ? 1 : 0);
+  return enc.TakeBuffer();
+}
+
+Result<bool> DecodeCancelReply(std::string_view payload) {
+  storage::Decoder dec(payload);
+  Result<uint8_t> delivered = dec.GetU8();
+  if (!delivered.ok() || !dec.AtEnd() || *delivered > 1) {
+    return Status::Corruption("malformed Cancel reply");
+  }
+  return *delivered == 1;
 }
 
 namespace {

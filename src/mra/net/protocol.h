@@ -42,7 +42,12 @@
 //              server-side per-query stats summary (per-phase latencies and
 //              the per-operator metrics tree) that RemoteSession::Stats()
 //              and EXPLAIN-style tooling surface client-side.
-//   Error      (server) u8 StatusCode, string message.
+//   Error      (server) u8 StatusCode, string message.  At version 4 a
+//              governed deadline kill (kDeadlineExceeded) appends a u32
+//              retry-after hint — the same backoff floor a Busy frame
+//              carries — so clients treat "killed for running too long
+//              under load" and "shed at admission" uniformly.  Decoders
+//              accept the hint from any peer and ignore it when absent.
 //   Stats      empty request; the server answers with a Stats frame whose
 //              payload is the metrics registry's JSON export.  An optional
 //              string payload selects the export: "" or "json" (default),
@@ -61,6 +66,13 @@
 //              counters, the slow-query log's JSON lines, and the trace
 //              spans (filtered to query_id when nonzero).  Powers `\top`,
 //              `\slowlog` and `\trace <id>` in xra_repl --connect.
+//   Cancel     (v4) u64 query_id.  Requests cooperative cancellation of
+//              the named in-flight query — on any session of this server,
+//              so a second connection can kill the first's runaway plan
+//              (`\cancel <id>`, REPL Ctrl-C).  The server answers with a
+//              Cancel frame carrying u8 delivered (1 when a running or
+//              about-to-run query matched); the killed query's own session
+//              sees its request answered with Error kCancelled.
 
 #ifndef MRA_NET_PROTOCOL_H_
 #define MRA_NET_PROTOCOL_H_
@@ -82,8 +94,10 @@ class Socket;
 
 constexpr uint32_t kMagic = 0x3141524du;  // "MRA1" when read little-endian.
 /// Version 2 introduced the chunked (batch-serialized) ResultSet encoding;
-/// version 3 adds query ids, the ResultSet stats trailer and ServerStats.
-constexpr uint32_t kProtocolVersion = 3;
+/// version 3 adds query ids, the ResultSet stats trailer and ServerStats;
+/// version 4 adds the Cancel frame and the Error retry-after hint on
+/// deadline kills (query governance).
+constexpr uint32_t kProtocolVersion = 4;
 /// Oldest client version the server still serves (with v2 payload shapes).
 constexpr uint32_t kMinProtocolVersion = 2;
 constexpr size_t kFrameHeaderBytes = 13;  // magic + kind + len + crc.
@@ -99,6 +113,7 @@ enum class FrameKind : uint8_t {
   kShutdown = 8,
   kBusy = 9,
   kServerStats = 10,
+  kCancel = 11,
 };
 
 /// Stable name for diagnostics, e.g. "Query".
@@ -162,8 +177,27 @@ Result<Hello> DecodeHello(std::string_view payload);
 
 /// Error payload ⇄ Status (the status travels code + message).
 std::string EncodeError(const Status& status);
+/// Error payload with the v4 retry-after hint appended (deadline kills);
+/// `retry_after_ms` 0 encodes the plain hintless form.
+std::string EncodeErrorWithHint(const Status& status, uint32_t retry_after_ms);
 /// Returns the transported (non-OK) status; Corruption on a bad payload.
+/// Accepts (and discards) the optional v4 retry-after hint.
 Status DecodeError(std::string_view payload);
+
+/// A decoded Error plus its optional retry-after hint (0 when absent) —
+/// what the client's backoff logic wants for deadline kills.
+struct ErrorNotice {
+  Status status;
+  uint32_t retry_after_ms = 0;
+};
+Result<ErrorNotice> DecodeErrorNotice(std::string_view payload);
+
+/// Cancel request payload: the client-minted id of the query to kill.
+std::string EncodeCancelRequest(uint64_t query_id);
+Result<uint64_t> DecodeCancelRequest(std::string_view payload);
+/// Cancel reply payload: whether a matching query was found and tripped.
+std::string EncodeCancelReply(bool delivered);
+Result<bool> DecodeCancelReply(std::string_view payload);
 
 /// Rows per ResultSet chunk.  Chunks are an encoding detail — any k > 0 per
 /// chunk decodes identically — but the encoder emits at most this many rows

@@ -28,6 +28,7 @@ struct NetMetrics {
   obs::Counter* idle_reaped;
   obs::Counter* shutdowns;
   obs::Counter* sheds;
+  obs::Counter* cancels;
   obs::Histogram* request_latency_us;
 
   static NetMetrics& Get() {
@@ -44,6 +45,7 @@ struct NetMetrics {
       out.idle_reaped = reg.GetCounter("net.sessions.idle_reaped");
       out.shutdowns = reg.GetCounter("net.shutdowns");
       out.sheds = reg.GetCounter("net.sheds");
+      out.cancels = reg.GetCounter("net.cancels");
       out.request_latency_us = reg.GetHistogram("net.request_us");
       return out;
     }();
@@ -104,6 +106,14 @@ Server::Server(Database* db, ServerOptions options)
   MRA_CHECK(db != nullptr);
   // Concurrent sessions must queue their brackets on the serial slot.
   options_.interpreter.block_on_txn_slot = true;
+  // The request deadline preempts running plans: unless the operator set
+  // an explicit statement timeout, arm the governance deadline with it so
+  // an over-deadline query dies at a batch boundary instead of running to
+  // completion for a client that already gave up.
+  if (options_.interpreter.statement_timeout_ms == 0 &&
+      options_.request_timeout_ms > 0) {
+    options_.interpreter.statement_timeout_ms = options_.request_timeout_ms;
+  }
 }
 
 Server::~Server() { Shutdown(); }
@@ -243,6 +253,10 @@ bool Server::HandleFrame(SessionContext& ctx, lang::Interpreter& interp,
 
   // Produce the response; `close` requests ending the session afterwards.
   bool close = false;
+  // Set when the governance deadline already killed the plan: the client
+  // got a proper kDeadlineExceeded, so the post-hoc timeout backstop must
+  // not also tear the connection down.
+  bool deadline_preempted = false;
   FrameKind response_kind = FrameKind::kError;
   std::string response;
   switch (request.kind) {
@@ -309,6 +323,32 @@ bool Server::HandleFrame(SessionContext& ctx, lang::Interpreter& interp,
         info.last_active_us = t0;
       }
       obs::ScopedQueryId scoped_id(query_id);
+      // Register the in-flight query so a Cancel frame from any session
+      // can reach it (docs/GOVERNANCE.md).  The entry lives exactly as
+      // long as this execution, which keeps the Interpreter pointer valid.
+      struct RunningGuard {
+        Server* server;
+        uint64_t id;
+        ~RunningGuard() {
+          std::lock_guard<std::mutex> lock(server->running_mutex_);
+          server->running_.erase(id);
+        }
+      } running_guard{this, query_id};
+      {
+        std::lock_guard<std::mutex> lock(running_mutex_);
+        running_[query_id] = &interp;
+      }
+      // Deadline kills are retriable (like Busy): v4 errors carry the
+      // same retry-after hint so clients back off instead of hammering.
+      auto encode_exec_error = [&](const Status& status) {
+        if (status.code() == StatusCode::kDeadlineExceeded) {
+          deadline_preempted = true;
+          if (ctx.version >= 4) {
+            return EncodeErrorWithHint(status, options_.busy_retry_after_ms);
+          }
+        }
+        return EncodeError(status);
+      };
       const WireQueryStats* stats_ptr = nullptr;
       WireQueryStats wire_stats;
       if (request.kind == FrameKind::kQuery) {
@@ -325,7 +365,7 @@ bool Server::HandleFrame(SessionContext& ctx, lang::Interpreter& interp,
                          ? EncodeResultSetWithStats(relations, stats_ptr)
                          : EncodeResultSet(relations);
         } else {
-          response = EncodeError(result.status());
+          response = encode_exec_error(result.status());
         }
       } else {
         Result<std::vector<Relation>> results =
@@ -343,7 +383,7 @@ bool Server::HandleFrame(SessionContext& ctx, lang::Interpreter& interp,
                          ? EncodeResultSetWithStats(*results, stats_ptr)
                          : EncodeResultSet(*results);
         } else {
-          response = EncodeError(results.status());
+          response = encode_exec_error(results.status());
         }
       }
       break;
@@ -383,6 +423,37 @@ bool Server::HandleFrame(SessionContext& ctx, lang::Interpreter& interp,
       RequestShutdown();
       break;
     }
+    case FrameKind::kCancel: {
+      if (ctx.version < 4) {
+        response = EncodeError(Status::InvalidArgument(
+            "Cancel frames require protocol v4 (session negotiated v" +
+            std::to_string(ctx.version) + ")"));
+        close = true;
+        break;
+      }
+      Result<uint64_t> qid = DecodeCancelRequest(request.payload);
+      if (!qid.ok()) {
+        response = EncodeError(qid.status());
+        close = true;
+        break;
+      }
+      bool delivered = false;
+      {
+        std::lock_guard<std::mutex> lock(running_mutex_);
+        auto it = running_.find(*qid);
+        if (it != running_.end()) {
+          // Trips the cooperative flag; the plan unwinds at its next
+          // batch boundary.  Safe under running_mutex_: the interpreter
+          // never takes it, and the registry entry pins the pointer.
+          it->second->CancelQuery(*qid);
+          delivered = true;
+        }
+      }
+      if (delivered) metrics.cancels->Inc();
+      response_kind = FrameKind::kCancel;
+      response = EncodeCancelReply(delivered);
+      break;
+    }
     case FrameKind::kResultSet:
     case FrameKind::kError:
     case FrameKind::kBusy: {
@@ -406,9 +477,12 @@ bool Server::HandleFrame(SessionContext& ctx, lang::Interpreter& interp,
     info.last_active_us = NowMicros();
   }
 
-  // The deadline cannot preempt a running plan, but an over-deadline
-  // result is not delivered: the client already gave up on it.
-  if (options_.request_timeout_ms > 0 &&
+  // Backstop for time lost outside the governed plan (parse, encode,
+  // waiting on the txn slot): the in-plan deadline normally kills an
+  // over-deadline query first — it surfaces as kDeadlineExceeded above —
+  // but if total handling time still blew the budget, the result is not
+  // delivered: the client already gave up on it.
+  if (!deadline_preempted && options_.request_timeout_ms > 0 &&
       elapsed_us / 1000 > static_cast<uint64_t>(options_.request_timeout_ms)) {
     metrics.request_timeouts->Inc();
     obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();

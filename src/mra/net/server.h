@@ -20,11 +20,22 @@
 //                         Error frame and the connection is closed before
 //                         any payload is read;
 //  * request_timeout_ms — bounds each network read of a request and the
-//                         total handling time; an over-deadline request is
-//                         answered with an Error and the session closed
-//                         (execution is not preempted mid-plan — the
-//                         deadline is checked at the phase boundaries);
+//                         total handling time.  Since protocol v4 the
+//                         deadline preempts a running plan: it arms the
+//                         per-query governance deadline (unless the
+//                         interpreter options set their own statement
+//                         timeout), so an over-deadline query is killed at
+//                         its next batch boundary with kDeadlineExceeded —
+//                         carrying the same retry-after hint a Busy frame
+//                         does — instead of pinning the worker thread.
+//                         The post-execution check remains as a backstop
+//                         for time lost outside the governed plan;
 //  * idle_timeout_ms    — sessions with no frame for this long are reaped.
+//
+// Query governance (docs/GOVERNANCE.md): every Query/Script execution is
+// registered in a server-wide running-query registry keyed by its query
+// id, so a v4 Cancel frame — from any session — trips the cooperative
+// cancellation flag of the matching in-flight plan (`\cancel <id>`).
 //
 // Shutdown is drain-then-stop: RequestShutdown() (also triggered by a
 // client Shutdown frame) stops the accept loop; sessions finish the
@@ -167,6 +178,13 @@ class Server {
 
   mutable std::mutex info_mutex_;
   std::map<uint64_t, SessionInfo> session_info_;
+
+  /// query_id → the interpreter evaluating it right now, so a Cancel
+  /// frame from any session reaches the plan mid-flight.  An entry lives
+  /// exactly as long as its HandleFrame execution, which also keeps the
+  /// Interpreter pointer valid.  Guarded by running_mutex_.
+  mutable std::mutex running_mutex_;
+  std::map<uint64_t, lang::Interpreter*> running_;
 };
 
 }  // namespace net

@@ -1,0 +1,373 @@
+// Query lifecycle governance (docs/GOVERNANCE.md): cooperative
+// cancellation, in-plan statement deadlines, and per-query memory budgets.
+//
+// Covers the ExecContext contract directly, then the interpreter-level
+// behavior: kills land with the right distinct status (kCancelled /
+// kDeadlineExceeded / kResourceExhausted), within a batch boundary, at
+// every batch size, for every operator kind; a killed transaction bracket
+// leaves the database exactly as if the script never ran; charged memory
+// is fully released; the exec.*_total counters and the slow-log
+// "killed:<reason>" tag fire.  The deterministic cancel points use the
+// exec.cancel.{open,batch,close} failpoints.
+
+#include "mra/exec/exec_context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "mra/fault/failpoint.h"
+#include "mra/lang/interpreter.h"
+#include "mra/obs/metrics.h"
+#include "mra/obs/slow_log.h"
+#include "mra/obs/trace.h"
+#include "mra/txn/database.h"
+
+namespace mra {
+namespace exec {
+namespace {
+
+class GovernanceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::FaultRegistry::Global().DisarmAll();
+    obs::SlowQueryLog::Global().SetThresholdMs(-1);
+    obs::SlowQueryLog::Global().Clear();
+  }
+};
+
+// --- ExecContext unit contract. -----------------------------------------
+
+TEST_F(GovernanceTest, UngovernedContextAlwaysPasses) {
+  ExecContext ctx;
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_FALSE(ctx.killed());
+  EXPECT_EQ(ctx.kill_reason(), KillReason::kNone);
+  EXPECT_TRUE(ctx.KillStatus().ok());
+}
+
+TEST_F(GovernanceTest, RequestCancelTripsWithCancelledStatus) {
+  ExecContext ctx;
+  ctx.set_query_id(42);
+  ctx.RequestCancel();
+  EXPECT_TRUE(ctx.killed());
+  EXPECT_EQ(ctx.kill_reason(), KillReason::kCancelled);
+  Status s = ctx.Check();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_NE(s.message().find("42"), std::string::npos);
+}
+
+TEST_F(GovernanceTest, FirstKillReasonWins) {
+  ExecContext ctx;
+  ctx.SetMemoryBudget(10);
+  ctx.RequestCancel();
+  // The over-budget charge lands after the cancel; the reason must not
+  // be overwritten (first-wins), and the status stays kCancelled.
+  Status charge = ctx.Charge(1000, "Dedup");
+  EXPECT_EQ(ctx.kill_reason(), KillReason::kCancelled);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+  (void)charge;
+}
+
+TEST_F(GovernanceTest, ChargeOverBudgetTripsNamingOperatorAndHighWater) {
+  ExecContext ctx;
+  ctx.set_query_id(7);
+  ctx.SetMemoryBudget(1000);
+  EXPECT_TRUE(ctx.Charge(600, "HashJoin").ok());
+  EXPECT_EQ(ctx.mem_used(), 600u);
+  Status s = ctx.Charge(600, "HashGroupBy");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.kill_reason(), KillReason::kMemory);
+  EXPECT_NE(s.message().find("HashGroupBy"), std::string::npos);
+  EXPECT_NE(s.message().find("1200"), std::string::npos);  // High water.
+  EXPECT_NE(s.message().find("1000"), std::string::npos);  // Budget.
+  // Releasing everything floors at zero and keeps the high-water mark.
+  ctx.Release(600);
+  ctx.Release(9999);
+  EXPECT_EQ(ctx.mem_used(), 0u);
+  EXPECT_EQ(ctx.mem_high_water(), 1200u);
+}
+
+TEST_F(GovernanceTest, DeadlineInThePastKillsAtFirstCheck) {
+  ExecContext ctx;
+  ctx.set_query_id(9);
+  ctx.SetDeadlineAfterMs(1);
+  // Busy-wait past the deadline; 1ms is well under test patience.
+  auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+  Status s = ctx.Check();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ctx.kill_reason(), KillReason::kDeadline);
+  EXPECT_NE(s.message().find("1ms"), std::string::npos);
+}
+
+TEST_F(GovernanceTest, CancelTokenIsObservedByCheck) {
+  ExecContext ctx;
+  auto token = std::make_shared<std::atomic<bool>>(false);
+  ctx.SetCancelToken(token);
+  EXPECT_TRUE(ctx.Check().ok());
+  token->store(true);  // What a SIGINT handler would do.
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GovernanceTest, KillReasonNamesAreStable) {
+  EXPECT_EQ(KillReasonName(KillReason::kNone), "none");
+  EXPECT_EQ(KillReasonName(KillReason::kCancelled), "cancelled");
+  EXPECT_EQ(KillReasonName(KillReason::kDeadline), "deadline");
+  EXPECT_EQ(KillReasonName(KillReason::kMemory), "mem_budget");
+}
+
+// --- Interpreter-level governance. --------------------------------------
+
+// Seeds r (60 distinct 2-int tuples, some with multiplicity) and s (a
+// second relation for joins), plus an empty tally for the differential
+// test.  Big enough that products/joins cross many batch boundaries.
+std::unique_ptr<Database> MakeDb() {
+  auto db = std::move(Database::Open({}).value());
+  lang::Interpreter interp(db.get());
+  std::string script =
+      "create r(a: int, b: int); create s(b: int, c: int);"
+      "create tally(n: int);";
+  script += "insert(r, {";
+  for (int i = 0; i < 60; ++i) {
+    script += (i ? "," : "") + std::string("(") + std::to_string(i) + "," +
+              std::to_string(i % 7) + ")" + (i % 5 == 0 ? " : 2" : "");
+  }
+  script += "});";
+  script += "insert(s, {";
+  for (int i = 0; i < 60; ++i) {
+    script += (i ? "," : "") + std::string("(") + std::to_string(i % 7) +
+              "," + std::to_string(i) + ")";
+  }
+  script += "});";
+  Status s = interp.ExecuteScript(script, nullptr);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return db;
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+// Every operator kind the planner can emit for these queries, each killed
+// by the exec.cancel.batch failpoint at batch sizes 1, 7 and 1024: the
+// kill must surface as kCancelled, and with the failpoint disarmed the
+// very same query must succeed (no poisoned state left behind).
+TEST_F(GovernanceTest, BatchBoundaryCancelKillsEveryOperatorKind) {
+  auto db = MakeDb();
+  const char* queries[] = {
+      "r",                                  // Scan
+      "select(%1 > 10, r)",                 // Filter
+      "project([%1], r)",                   // Compute
+      "unique(project([%2], r))",           // Dedup (hash)
+      "union(r, r)",                        // Union
+      "diff(r, r)",                         // Difference
+      "intersect(r, r)",                    // Intersect
+      "product(r, s)",                      // NestedLoopJoin (product)
+      "join(%2 = %3, r, s)",                // HashJoin (equi)
+      "join(%2 < %3, r, s)",                // NestedLoopJoin (theta)
+      "groupby([%2], cnt(%1), r)",          // HashGroupBy
+  };
+  for (bool hash_ops : {true, false}) {
+    for (size_t batch : {size_t{1}, size_t{7}, size_t{1024}}) {
+      lang::InterpreterOptions options;
+      options.batch_size = batch;
+      options.hash_ops = hash_ops;
+      lang::Interpreter interp(db.get(), options);
+      for (const char* q : queries) {
+        uint64_t cancelled_before = CounterValue("exec.cancelled_total");
+        ASSERT_TRUE(fault::FaultRegistry::Global()
+                        .ConfigureFromSpec("exec.cancel.batch=error")
+                        .ok());
+        auto killed = interp.Query(q);
+        fault::FaultRegistry::Global().DisarmAll();
+        ASSERT_FALSE(killed.ok())
+            << q << " survived an armed cancel (batch=" << batch << ")";
+        EXPECT_EQ(killed.status().code(), StatusCode::kCancelled) << q;
+        EXPECT_EQ(CounterValue("exec.cancelled_total"), cancelled_before + 1);
+        auto clean = interp.Query(q);
+        EXPECT_TRUE(clean.ok())
+            << q << " failed after disarm: " << clean.status().ToString();
+      }
+    }
+  }
+}
+
+TEST_F(GovernanceTest, CancelAtOpenUnwindsTheWholeTree) {
+  auto db = MakeDb();
+  lang::Interpreter interp(db.get());
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .ConfigureFromSpec("exec.cancel.open=error")
+                  .ok());
+  auto killed = interp.Query("join(%2 = %3, unique(r), s)");
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.status().code(), StatusCode::kCancelled);
+  fault::FaultRegistry::Global().DisarmAll();
+  EXPECT_TRUE(interp.Query("join(%2 = %3, unique(r), s)").ok());
+}
+
+TEST_F(GovernanceTest, CancelAtCloseIsTooLateToAffectTheResult) {
+  auto db = MakeDb();
+  lang::Interpreter interp(db.get());
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .ConfigureFromSpec("exec.cancel.close=error")
+                  .ok());
+  // Close() never fails: a cancel landing there only marks the context,
+  // after the result has already been drained.
+  auto result = interp.Query("unique(project([%2], r))");
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST_F(GovernanceTest, StatementTimeoutKillsWithDeadlineExceeded) {
+  auto db = MakeDb();
+  lang::InterpreterOptions options;
+  options.statement_timeout_ms = 1;
+  lang::Interpreter interp(db.get(), options);
+  uint64_t before = CounterValue("exec.deadline_exceeded_total");
+  // 60^3 = 216k product rows plus a dedup build: far past 1ms.
+  auto killed = interp.Query("unique(product(r, product(r, r)))");
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(killed.status().message().find("statement timeout"),
+            std::string::npos);
+  EXPECT_EQ(CounterValue("exec.deadline_exceeded_total"), before + 1);
+  // The interpreter is reusable after a deadline kill.
+  EXPECT_TRUE(interp.Query("select(%1 > 50, r)").ok());
+}
+
+TEST_F(GovernanceTest, MemoryBudgetKillsWithResourceExhausted) {
+  auto db = MakeDb();
+  lang::InterpreterOptions options;
+  options.query_mem_budget_bytes = 4 * 1024;  // Far below the build size.
+  lang::Interpreter interp(db.get(), options);
+  uint64_t before = CounterValue("exec.mem_rejected_total");
+  auto killed = interp.Query("unique(product(r, s))");
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(killed.status().message().find("budget"), std::string::npos);
+  EXPECT_EQ(CounterValue("exec.mem_rejected_total"), before + 1);
+  // Small queries fit the same budget; the interpreter is reusable.
+  auto small = interp.Query("select(%1 > 58, r)");
+  EXPECT_TRUE(small.ok()) << small.status().ToString();
+}
+
+TEST_F(GovernanceTest, KilledBracketLeavesDatabaseAsIfNeverRun) {
+  auto db = MakeDb();
+  Relation r_before = **db->catalog().GetRelation("r");
+  Relation tally_before = **db->catalog().GetRelation("tally");
+
+  lang::InterpreterOptions options;
+  options.query_mem_budget_bytes = 4 * 1024;
+  lang::Interpreter interp(db.get(), options);
+  // The bracket mutates tally, then dies on the over-budget query: the
+  // whole transaction must roll back — the differential guarantee.
+  Status s = interp.ExecuteScript(
+      "begin insert(tally, {(1), (2)});"
+      "      x := unique(product(r, s)); ? x end;",
+      nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+
+  EXPECT_TRUE(**db->catalog().GetRelation("r") == r_before);
+  EXPECT_TRUE(**db->catalog().GetRelation("tally") == tally_before);
+  EXPECT_EQ((*db->catalog().GetRelation("tally"))->size(), 0u);
+}
+
+TEST_F(GovernanceTest, CancelTokenCancelsLikeCtrlC) {
+  auto db = MakeDb();
+  lang::InterpreterOptions options;
+  options.cancel_token = std::make_shared<std::atomic<bool>>(false);
+  lang::Interpreter interp(db.get(), options);
+  // Token down: queries run normally.
+  EXPECT_TRUE(interp.Query("r").ok());
+  // Token up before the query (a Ctrl-C that lands just as it starts):
+  // the first batch-boundary check sees it.
+  options.cancel_token->store(true);
+  auto killed = interp.Query("unique(product(r, s))");
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.status().code(), StatusCode::kCancelled);
+  // The REPL resets the token before the next statement.
+  options.cancel_token->store(false);
+  EXPECT_TRUE(interp.Query("r").ok());
+}
+
+TEST_F(GovernanceTest, CancelQueryAppliesPendingCancelToThatQueryOnly) {
+  auto db = MakeDb();
+  lang::Interpreter interp(db.get());
+  {
+    // Cancel-before-open: the id is remembered and kills the matching
+    // query the moment it starts.
+    obs::ScopedQueryId qid(777001);
+    interp.CancelQuery(777001);
+    auto killed = interp.Query("r");
+    ASSERT_FALSE(killed.ok());
+    EXPECT_EQ(killed.status().code(), StatusCode::kCancelled);
+  }
+  {
+    // A pending id for a *different* query is stale: it must not leak
+    // onto the query that actually runs next.
+    obs::ScopedQueryId qid(777002);
+    interp.CancelQuery(999999);
+    EXPECT_TRUE(interp.Query("r").ok());
+  }
+  {
+    // And it was consumed — the id it named can run later unharmed.
+    obs::ScopedQueryId qid(999999);
+    EXPECT_TRUE(interp.Query("r").ok());
+  }
+}
+
+TEST_F(GovernanceTest, SlowLogTagsKillsWithTheReason) {
+  auto db = MakeDb();
+  // Threshold so high nothing qualifies on latency — only the governed
+  // kill forces an entry, carrying the killed:<reason> event tag.
+  obs::SlowQueryLog::Global().Clear();
+  obs::SlowQueryLog::Global().SetThresholdMs(3'600'000);
+
+  lang::InterpreterOptions options;
+  options.query_mem_budget_bytes = 4 * 1024;
+  lang::Interpreter interp(db.get(), options);
+  ASSERT_FALSE(interp.Query("unique(product(r, s))").ok());
+  std::string lines = obs::SlowQueryLog::Global().RenderJsonLines();
+  EXPECT_NE(lines.find("killed:mem_budget"), std::string::npos) << lines;
+
+  obs::SlowQueryLog::Global().Clear();
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .ConfigureFromSpec("exec.cancel.batch=error")
+                  .ok());
+  ASSERT_FALSE(interp.Query("r").ok());
+  fault::FaultRegistry::Global().DisarmAll();
+  lines = obs::SlowQueryLog::Global().RenderJsonLines();
+  EXPECT_NE(lines.find("killed:cancelled"), std::string::npos) << lines;
+}
+
+TEST_F(GovernanceTest, ExplainAnalyzeIsGovernedPlainExplainIsNot) {
+  auto db = MakeDb();
+  lang::InterpreterOptions options;
+  options.cancel_token = std::make_shared<std::atomic<bool>>(true);
+  lang::Interpreter interp(db.get(), options);
+  // `explain analyze` executes the plan for real, so governance applies.
+  auto analyzed = interp.ExplainAnalyze("unique(product(r, s))");
+  ASSERT_FALSE(analyzed.ok());
+  EXPECT_EQ(analyzed.status().code(), StatusCode::kCancelled);
+  // Plain `explain` never executes — a raised token must not block it.
+  EXPECT_TRUE(interp.Explain("unique(product(r, s))").ok());
+}
+
+TEST_F(GovernanceTest, HashPeakBytesGaugeTracksLiveGrowth) {
+  auto db = MakeDb();
+  auto* peak = obs::MetricsRegistry::Global().GetGauge("hash.peak_bytes");
+  peak->Set(0);
+  lang::Interpreter interp(db.get());
+  ASSERT_TRUE(interp.Query("unique(product(r, s))").ok());
+  // The dedup build flushed its footprint during execution, not only at
+  // Close — the gauge must have recorded a real high-water mark.
+  EXPECT_GT(peak->value(), 0);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace mra

@@ -1,0 +1,239 @@
+// Wire-level query governance (docs/GOVERNANCE.md): the v4 Cancel frame,
+// the server's running-query registry, in-plan deadline preemption with
+// the Busy-style retry-after hint, and the client's out-of-band interrupt
+// path (what REPL Ctrl-C uses).  The hammer test races Cancel frames
+// against query completion from a second session and runs under TSan in
+// CI (.github/workflows/ci.yml).
+
+#include "mra/net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "mra/net/client.h"
+#include "mra/obs/trace.h"
+
+namespace mra {
+namespace net {
+namespace {
+
+// r (100 × 2-int rows) and s (100 rows) make products/joins heavy enough
+// to span many batch boundaries: unique(product(r, product(r, r))) pushes
+// a million rows through a dedup build.
+std::unique_ptr<Database> MakeDb() {
+  auto db = std::move(Database::Open({}).value());
+  lang::Interpreter interp(db.get());
+  std::string script = "create r(a: int, b: int); create s(b: int, c: int);";
+  script += "insert(r, {";
+  for (int i = 0; i < 100; ++i) {
+    script += (i ? "," : "") + std::string("(") + std::to_string(i) + "," +
+              std::to_string(i % 11) + ")";
+  }
+  script += "}); insert(s, {";
+  for (int i = 0; i < 100; ++i) {
+    script += (i ? "," : "") + std::string("(") + std::to_string(i % 11) +
+              "," + std::to_string(i) + ")";
+  }
+  script += "});";
+  Status s = interp.ExecuteScript(script, nullptr);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return db;
+}
+
+Client MustConnect(const Server& server, ClientOptions options = {}) {
+  auto client = Client::Connect("127.0.0.1", server.port(), options);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(*client);
+}
+
+constexpr char kHeavyQuery[] = "unique(product(r, product(r, r)))";
+
+TEST(NetCancel, CancelOfUnknownIdReportsNotDelivered) {
+  auto db = MakeDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server);
+  auto delivered = client.Cancel(987654321);
+  ASSERT_TRUE(delivered.ok()) << delivered.status().ToString();
+  EXPECT_FALSE(*delivered);
+  // Zero is rejected client-side: it can never name a running query.
+  EXPECT_EQ(client.Cancel(0).status().code(), StatusCode::kInvalidArgument);
+  server.Shutdown();
+}
+
+TEST(NetCancel, CancelFromAnotherSessionKillsTheRunningQuery) {
+  auto db = MakeDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  Client runner = MustConnect(server);
+  Client killer = MustConnect(server);
+
+  // The client mints ids from the process-global counter, so the next
+  // Query's id is predictable from here (nothing else mints in between).
+  uint64_t target = obs::NextQueryId() + 1;
+  std::atomic<bool> done{false};
+  Result<Relation> result = Status::IoError("query never ran");
+  std::thread t([&] {
+    result = runner.Query(kHeavyQuery);
+    done.store(true);
+  });
+  bool delivered = false;
+  while (!done.load() && !delivered) {
+    auto d = killer.Cancel(target);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    delivered = *d;
+    if (!delivered) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  t.join();
+  ASSERT_TRUE(delivered) << "query finished before any Cancel landed";
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(runner.last_query_id(), target);
+
+  // The runner session survives its own query's death.
+  auto after = runner.Query("r");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->distinct_size(), 100u);
+  server.Shutdown();
+}
+
+// Cancel frames racing query completion: every round predicts the next
+// query id and spams Cancel while the query runs; small queries usually
+// win the race (not delivered), heavy ones usually die.  Every outcome
+// must be clean — OK or kCancelled, nothing else, and the session must
+// stay usable.  The interesting assertions are TSan's.
+TEST(NetCancel, HammerCancelRacesCompletion) {
+  auto db = MakeDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  Client runner = MustConnect(server);
+  Client killer = MustConnect(server);
+
+  const char* queries[] = {
+      "r",                              // Tiny: completion usually wins.
+      "join(%2 = %3, r, s)",            // Medium.
+      "unique(product(r, s))",          // Medium, with a dedup build.
+      kHeavyQuery,                      // Heavy: the cancel usually wins.
+  };
+  int killed = 0;
+  int completed = 0;
+  for (int round = 0; round < 24; ++round) {
+    uint64_t target = obs::NextQueryId() + 1;
+    std::atomic<bool> done{false};
+    Result<Relation> result = Status::IoError("query never ran");
+    std::thread t([&, round] {
+      result = runner.Query(queries[round % 4]);
+      done.store(true);
+    });
+    // Spam cancels — including one for a wrong id — until the race ends.
+    while (!done.load()) {
+      ASSERT_TRUE(killer.Cancel(target).ok());
+      ASSERT_TRUE(killer.Cancel(target + 1'000'000).ok());
+    }
+    t.join();
+    if (result.ok()) {
+      ++completed;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kCancelled)
+          << result.status().ToString();
+      ++killed;
+    }
+  }
+  // Both outcomes must actually occur across the mix; if either never
+  // happens the race is not being exercised.
+  EXPECT_GT(killed, 0);
+  EXPECT_GT(completed, 0);
+  EXPECT_TRUE(runner.Query("r").ok());
+  server.Shutdown();
+}
+
+TEST(NetCancel, RequestTimeoutPreemptsMidPlanWithRetryAfterHint) {
+  auto db = MakeDb();
+  ServerOptions options;
+  options.request_timeout_ms = 50;
+  options.busy_retry_after_ms = 321;
+  Server server(db.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server);
+
+  auto result = client.Query(kHeavyQuery);
+  ASSERT_FALSE(result.ok());
+  // Preempted mid-plan — a governed kill with its own status, not the old
+  // post-hoc IoError teardown — and the connection survives.
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("statement timeout"),
+            std::string::npos);
+  EXPECT_EQ(client.last_busy_retry_after_ms(), 321u);
+  EXPECT_TRUE(client.connected());
+  EXPECT_TRUE(client.Query("r").ok());
+  server.Shutdown();
+}
+
+TEST(NetCancel, ExplicitStatementTimeoutGovernsIndependently) {
+  auto db = MakeDb();
+  ServerOptions options;
+  options.interpreter.statement_timeout_ms = 20;  // Request timeout stays 30s.
+  Server server(db.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server);
+  auto result = client.Query(kHeavyQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(client.last_busy_retry_after_ms(), options.busy_retry_after_ms);
+  server.Shutdown();
+}
+
+TEST(NetCancel, InterruptTokenCancelsInFlightQueryOutOfBand) {
+  auto db = MakeDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions options;
+  options.interrupt = std::make_shared<std::atomic<bool>>(false);
+  Client client = MustConnect(server, options);
+
+  // What the REPL's SIGINT handler does mid-query: one atomic store.
+  std::thread interrupter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    options.interrupt->store(true);
+  });
+  auto result = client.Query(kHeavyQuery);
+  interrupter.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  // The token was consumed, the session survived, later queries run.
+  EXPECT_FALSE(options.interrupt->load());
+  EXPECT_TRUE(client.connected());
+  EXPECT_TRUE(client.Query("r").ok());
+  server.Shutdown();
+}
+
+TEST(NetCancel, CancelFramesRequireProtocolV4) {
+  auto db = MakeDb();
+  Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sock = Socket::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  WireLimits limits{1u << 20};
+  ASSERT_TRUE(WriteFrame(*sock, FrameKind::kHello, EncodeHello(3, "v3")).ok());
+  auto hello = ReadFrame(*sock, limits, 2'000);
+  ASSERT_TRUE(hello.ok());
+  ASSERT_EQ(hello->kind, FrameKind::kHello);
+
+  ASSERT_TRUE(
+      WriteFrame(*sock, FrameKind::kCancel, EncodeCancelRequest(1)).ok());
+  auto response = ReadFrame(*sock, limits, 2'000);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->kind, FrameKind::kError);
+  Status error = DecodeError(response->payload);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(error.message().find("protocol v4"), std::string::npos);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mra

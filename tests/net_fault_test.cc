@@ -84,7 +84,8 @@ TEST_F(NetFaultTest, BusyFramePayloadRoundTrips) {
   EXPECT_EQ(FrameKindName(FrameKind::kBusy), "Busy");
   EXPECT_TRUE(IsValidFrameKind(static_cast<uint8_t>(FrameKind::kBusy)));
   EXPECT_TRUE(IsValidFrameKind(static_cast<uint8_t>(FrameKind::kServerStats)));
-  EXPECT_FALSE(IsValidFrameKind(11));
+  EXPECT_TRUE(IsValidFrameKind(static_cast<uint8_t>(FrameKind::kCancel)));
+  EXPECT_FALSE(IsValidFrameKind(12));
 }
 
 TEST_F(NetFaultTest, PeerClosingMidFrameIsRetriableIoError) {

@@ -453,6 +453,87 @@ TEST(Handshake, OldV2ClientNegotiatesDownAndGetsTrailerFreeResults) {
   server.Shutdown();
 }
 
+TEST(CancelCodec, RequestRoundTripsAndRejectsZeroAndTrailing) {
+  std::string payload = EncodeCancelRequest(0xDEADBEEFCAFEull);
+  auto id = DecodeCancelRequest(payload);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*id, 0xDEADBEEFCAFEull);
+
+  EXPECT_FALSE(DecodeCancelRequest("").ok());
+  EXPECT_FALSE(DecodeCancelRequest(payload.substr(0, 3)).ok());
+  EXPECT_FALSE(DecodeCancelRequest(payload + "x").ok());
+  // Id 0 is never valid on the wire (it can never name a running query).
+  EXPECT_FALSE(DecodeCancelRequest(std::string(8, '\0')).ok());
+}
+
+TEST(CancelCodec, ReplyRoundTrips) {
+  for (bool delivered : {true, false}) {
+    auto decoded = DecodeCancelReply(EncodeCancelReply(delivered));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, delivered);
+  }
+  EXPECT_FALSE(DecodeCancelReply("").ok());
+  EXPECT_FALSE(DecodeCancelReply("\x02").ok());  // Only 0/1 are valid.
+  EXPECT_FALSE(DecodeCancelReply(EncodeCancelReply(true) + "x").ok());
+}
+
+TEST(ErrorCodec, RetryAfterHintRoundTripsThroughErrorNotice) {
+  Status original = Status::DeadlineExceeded("query 7 exceeded the deadline");
+  std::string payload = EncodeErrorWithHint(original, 250);
+  auto notice = DecodeErrorNotice(payload);
+  ASSERT_TRUE(notice.ok()) << notice.status().ToString();
+  EXPECT_EQ(notice->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(notice->status.message(), original.message());
+  EXPECT_EQ(notice->retry_after_ms, 250u);
+  // Plain DecodeError tolerates the trailing hint (it delegates).
+  Status decoded = DecodeError(payload);
+  EXPECT_EQ(decoded.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded.message(), original.message());
+}
+
+TEST(ErrorCodec, HintOfZeroEncodesTheLegacyShape) {
+  Status original = Status::Cancelled("query 9 cancelled on request");
+  EXPECT_EQ(EncodeErrorWithHint(original, 0), EncodeError(original));
+  auto notice = DecodeErrorNotice(EncodeError(original));
+  ASSERT_TRUE(notice.ok());
+  EXPECT_EQ(notice->status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(notice->retry_after_ms, 0u);
+}
+
+TEST(ErrorCodec, GovernanceStatusCodesSurviveTheWire) {
+  for (StatusCode code : {StatusCode::kCancelled,
+                          StatusCode::kDeadlineExceeded,
+                          StatusCode::kResourceExhausted}) {
+    Status original(code, "governed kill");
+    Status decoded = DecodeError(EncodeError(original));
+    EXPECT_EQ(decoded.code(), code);
+    EXPECT_EQ(decoded.message(), "governed kill");
+  }
+}
+
+TEST(ErrorCodec, NoticeRefusesMalformedTrailers) {
+  Status original = Status::DeadlineExceeded("killed");
+  std::string payload = EncodeErrorWithHint(original, 250);
+  // A partial trailer is neither the legacy nor the hinted shape.
+  EXPECT_FALSE(DecodeErrorNotice(payload.substr(0, payload.size() - 1)).ok());
+  EXPECT_FALSE(DecodeErrorNotice(payload + "x").ok());
+  // An out-of-range status code byte is corruption, not a silent status.
+  std::string bad = EncodeError(Status::InvalidArgument("x"));
+  bad[0] = static_cast<char>(200);
+  EXPECT_FALSE(DecodeErrorNotice(bad).ok());
+}
+
+TEST(Handshake, V3ClientAgainstV4ServerNegotiatesV3) {
+  // The Cancel frame and the Error hint are v4-only; a v3 hello must
+  // still negotiate cleanly down (kMinProtocolVersion stays 2).
+  static_assert(kProtocolVersion == 4, "update this test with the protocol");
+  static_assert(kMinProtocolVersion == 2,
+                "v2/v3 compatibility must not regress");
+  auto hello = DecodeHello(EncodeHello(3, "old-client"));
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->version, 3u);
+}
+
 TEST(HostPort, ParsesAndRejects) {
   auto hp = ParseHostPort("127.0.0.1:7411");
   ASSERT_TRUE(hp.ok());
