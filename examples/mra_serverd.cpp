@@ -16,6 +16,7 @@
 #include <iostream>
 #include <thread>
 
+#include "mra/common/config.h"
 #include "mra/fault/failpoint.h"
 #include "mra/net/server.h"
 #include "mra/obs/op_metrics.h"
@@ -43,16 +44,6 @@ void Usage(const char* argv0) {
          "cap; negative queues forever (default 1000)\n"
       << "  --busy-retry-after-ms N retry-after hint in Busy frames "
          "(default 200)\n"
-      << "  --statement-timeout-ms N\n"
-      << "                          kill queries still running after N ms "
-         "at their next batch boundary (kDeadlineExceeded); 0 derives the "
-         "timeout from --request-timeout-ms (docs/GOVERNANCE.md)\n"
-      << "  --query-mem-budget-mb N per-query executor memory budget; "
-         "over-budget queries die with kResourceExhausted (0 = unlimited)\n"
-      << "  --batch-size N          rows per executor NextBatch pull; 0 "
-         "selects row-at-a-time (default 1024, docs/EXECUTION.md)\n"
-      << "  --no-hash-ops           disable the hash-based join/dedup "
-         "kernels; plans fall back to NestedLoopJoin and SortDedup\n"
       << "  --slow-query-ms N       log queries at/over N ms to the "
          "slow-query log (\\slowlog; 0 logs all, default -1 = off)\n"
       << "  --trace                 record trace spans server-side "
@@ -63,7 +54,12 @@ void Usage(const char* argv0) {
       << "  --salvage-wal           recover the intact prefix of a corrupt "
          "WAL instead of refusing to start\n"
       << "  --failpoints SPEC       arm fault-injection sites, e.g. "
-         "\"wal.sync=error:after=3\" (docs/RECOVERY.md)\n";
+         "\"wal.sync=error:after=3\" (docs/RECOVERY.md)\n"
+      << "Execution knobs (the ExecConfig registry — also settable per "
+         "session with `set <knob> = <value>;`; docs/PARALLELISM.md):\n"
+      << mra::ConfigFlagHelp()
+      << "  (--statement-timeout-ms 0 derives the deadline from "
+         "--request-timeout-ms; docs/GOVERNANCE.md)\n";
 }
 
 }  // namespace
@@ -78,6 +74,15 @@ int main(int argc, char** argv) {
   // trailer and exec.op_batch_us meaningful, and bench/e17_obs_overhead
   // pins its cost under 3%.  --no-exec-timing turns it off.
   bool exec_timing = true;
+
+  // ExecConfig-owned flags (--batch-size, --workers, --statement-timeout-ms,
+  // …) route through the shared registry; the loop below only sees the
+  // server-specific remainder.
+  if (Status flags = ParseConfigFlags(&argc, argv, &options.interpreter);
+      !flags.ok()) {
+    std::cerr << flags.ToString() << "\n";
+    return 2;
+  }
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -105,17 +110,6 @@ int main(int argc, char** argv) {
     } else if (arg == "--busy-retry-after-ms") {
       options.busy_retry_after_ms =
           static_cast<uint32_t>(std::atoi(next()));
-    } else if (arg == "--statement-timeout-ms") {
-      options.interpreter.statement_timeout_ms =
-          std::strtoll(next(), nullptr, 10);
-    } else if (arg == "--query-mem-budget-mb") {
-      options.interpreter.query_mem_budget_bytes =
-          std::strtoull(next(), nullptr, 10) * (1ull << 20);
-    } else if (arg == "--batch-size") {
-      options.interpreter.batch_size =
-          static_cast<size_t>(std::strtoull(next(), nullptr, 10));
-    } else if (arg == "--no-hash-ops") {
-      options.interpreter.hash_ops = false;
     } else if (arg == "--slow-query-ms") {
       obs::SlowQueryLog::Global().SetThresholdMs(
           std::strtoll(next(), nullptr, 10));

@@ -2,17 +2,20 @@
 // after PRISMA/DB's primary database language.
 //
 //   $ ./build/examples/xra_repl [database-directory] [--batch-size N]
+//   $ ./build/examples/xra_repl --workers 4 --query-mem-budget-mb 64
 //   $ ./build/examples/xra_repl --connect host:port
 //
 // With a directory argument the database is durable (WAL + checkpoint) and
 // your relations survive restarts.  With --connect the shell speaks the
 // wire protocol to a running mra_serverd instead of embedding an engine
 // (statements run server-side; \metrics shows the *server's* registry).
-// --batch-size tunes the embedded executor's rows-per-NextBatch pull
-// (default 1024; 0 selects row-at-a-time execution — see
-// docs/EXECUTION.md); in --connect mode the server's own setting applies.
-// --slow-query-ms N arms the embedded slow-query log (\slowlog): queries
-// at or over N ms land there as JSON lines (0 logs everything).
+// Every ExecConfig knob is a flag (mra::ParseConfigFlags — the same
+// registry behind `set <knob> = <value>;` and `\set`): --batch-size,
+// --workers, --morsel-size, --statement-timeout-ms, … (--help lists them;
+// docs/PARALLELISM.md has the reference).  In --connect mode the server's
+// own settings apply.  --slow-query-ms N arms the embedded slow-query log
+// (\slowlog): queries at or over N ms land there as JSON lines (0 logs
+// everything).
 //
 // Both modes drive one mra::session::Session, so the loop below never
 // branches on where the database lives.  Statements end with ';'.
@@ -34,6 +37,7 @@
 #include <memory>
 #include <string>
 
+#include "mra/common/config.h"
 #include "mra/obs/metrics.h"
 #include "mra/obs/slow_log.h"
 #include "mra/obs/trace.h"
@@ -65,6 +69,7 @@ constexpr char kHelp[] = R"(XRA statements (end with ';'):
   ? E                                   query
   explain [analyze] E                   show plans; analyze also executes
   analyze <name>                        collect optimizer statistics
+  set <knob> = <value>                  session config override (\set lists)
   begin s1; ...; sn end                 transaction bracket (atomic)
   constraint <name> (E)                 integrity constraint: E must stay
                                         empty in every committed state
@@ -81,11 +86,14 @@ Conditions/expressions use %1, %2, ... for attributes; literals include
 
 Meta: \h help, \d relations, \e <E> explain plans, \ea <E> explain analyze,
       \analyze <name> collect optimizer statistics (same as `analyze <name>;`),
+      \set show all knobs, \set <knob> <value> override one (same registry
+      as `set <knob> = <value>;` — workers, batch_size, morsel_size, …),
       \metrics [json|prom|reset] process metrics, \trace [on|off] spans,
       \slowlog slow-query log, \checkpoint, \q quit.
 
 Ctrl-C cancels the query in flight (the shell survives); --statement-timeout-ms
-and --query-mem-budget-mb bound every query (docs/GOVERNANCE.md).)";
+and --query-mem-budget-mb bound every query (docs/GOVERNANCE.md); --workers N
+enables intra-query parallelism (docs/PARALLELISM.md).)";
 
 constexpr char kClientHelp[] =
     R"(Connected to a remote server: statements run server-side (the
@@ -222,6 +230,29 @@ bool HandleMeta(const std::string& line, session::Session& sess,
         }
       } else {
         std::cout << result.status().ToString() << "\n";
+      }
+    } else if (line == "\\set") {
+      std::cout << embedded->interpreter().options().Describe();
+    } else if (line.rfind("\\set ", 0) == 0) {
+      // \set <knob> shows one knob; \set <knob> <value> overrides it — the
+      // same registry as the `set <knob> = <value>;` statement.
+      std::string rest = line.substr(5);
+      auto space = rest.find(' ');
+      if (space == std::string::npos) {
+        auto value = embedded->interpreter().options().Get(rest);
+        std::cout << (value.ok() ? rest + " = " + *value
+                                 : value.status().ToString())
+                  << "\n";
+      } else {
+        std::string knob = rest.substr(0, space);
+        std::string value = rest.substr(rest.find_first_not_of(' ', space));
+        Status s = embedded->interpreter().SetOption(knob, value);
+        if (s.ok()) {
+          std::cout << knob << " = "
+                    << *embedded->interpreter().options().Get(knob) << "\n";
+        } else {
+          std::cout << s.ToString() << "\n";
+        }
       }
     } else if (line == "\\metrics") {
       std::cout << obs::MetricsRegistry::Global().RenderText();
@@ -387,27 +418,28 @@ int RunShell(session::Session& sess, session::EmbeddedSession* embedded,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // ExecConfig-owned flags (--batch-size, --workers, --no-hash-ops, …) go
+  // through the shared funnel; what remains is REPL-specific.
+  ExecConfig config;
+  if (Status flags = ParseConfigFlags(&argc, argv, &config); !flags.ok()) {
+    std::cerr << flags.ToString() << "\n";
+    return 1;
+  }
   std::string connect_spec;
   std::string directory;
-  size_t batch_size = lang::InterpreterOptions{}.batch_size;
-  bool hash_ops = lang::InterpreterOptions{}.hash_ops;
   long long slow_query_ms = -1;
-  long long statement_timeout_ms = 0;
-  unsigned long long query_mem_budget_mb = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
       connect_spec = argv[++i];
-    } else if (arg == "--batch-size" && i + 1 < argc) {
-      batch_size = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--slow-query-ms" && i + 1 < argc) {
       slow_query_ms = std::strtoll(argv[++i], nullptr, 10);
-    } else if (arg == "--statement-timeout-ms" && i + 1 < argc) {
-      statement_timeout_ms = std::strtoll(argv[++i], nullptr, 10);
-    } else if (arg == "--query-mem-budget-mb" && i + 1 < argc) {
-      query_mem_budget_mb = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--no-hash-ops") {
-      hash_ops = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: xra_repl [database-directory] [flags]\n"
+                   "  --connect host:port     speak to a running mra_serverd\n"
+                   "  --slow-query-ms N       arm the slow-query log\n"
+                << ConfigFlagHelp();
+      return 0;
     } else {
       directory = std::move(arg);
     }
@@ -416,7 +448,8 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnInterrupt);
 
   if (!connect_spec.empty()) {
-    if (statement_timeout_ms != 0 || query_mem_budget_mb != 0) {
+    if (config.governance.statement_timeout_ms != 0 ||
+        config.governance.query_mem_budget_bytes != 0) {
       std::cerr << "note: --statement-timeout-ms/--query-mem-budget-mb are "
                    "embedded-engine settings; in --connect mode the "
                    "server's own flags govern queries.\n";
@@ -441,13 +474,8 @@ int main(int argc, char** argv) {
 
   DatabaseOptions db_options;
   db_options.directory = directory;
-  lang::InterpreterOptions interp_options;
-  interp_options.batch_size = batch_size;
-  interp_options.hash_ops = hash_ops;
-  interp_options.statement_timeout_ms = statement_timeout_ms;
-  interp_options.query_mem_budget_bytes = query_mem_budget_mb * (1ull << 20);
-  interp_options.cancel_token = g_cancel;
-  auto sess_or = session::EmbeddedSession::Open(db_options, interp_options);
+  config.governance.cancel_token = g_cancel;
+  auto sess_or = session::EmbeddedSession::Open(db_options, config);
   if (!sess_or.ok()) {
     std::cerr << "cannot open database: " << sess_or.status().ToString()
               << "\n";

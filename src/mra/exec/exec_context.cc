@@ -114,6 +114,7 @@ Status ExecContext::KillStatus() const {
 }
 
 Status ExecContext::Charge(uint64_t bytes, std::string_view op_name) {
+  std::lock_guard<std::mutex> lock(mem_mutex_);
   mem_used_ += bytes;
   if (mem_used_ > mem_high_water_) mem_high_water_ = mem_used_;
   if (mem_budget_ != 0 && mem_used_ > mem_budget_ && !killed()) {
@@ -125,7 +126,18 @@ Status ExecContext::Charge(uint64_t bytes, std::string_view op_name) {
 }
 
 void ExecContext::Release(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mem_mutex_);
   mem_used_ = bytes <= mem_used_ ? mem_used_ - bytes : 0;
+}
+
+uint64_t ExecContext::mem_used() const {
+  std::lock_guard<std::mutex> lock(mem_mutex_);
+  return mem_used_;
+}
+
+uint64_t ExecContext::mem_high_water() const {
+  std::lock_guard<std::mutex> lock(mem_mutex_);
+  return mem_high_water_;
 }
 
 }  // namespace exec

@@ -7,11 +7,15 @@
 // Check(); arming a deadline adds one steady_clock read per batch, which
 // also bounds how late a kill can land — within one batch boundary.
 //
-// Thread model: the query executes on one thread; RequestCancel() may be
-// called from any thread (a server Cancel frame, `\cancel <id>`) or from a
-// signal handler (REPL Ctrl-C stores into the external cancel token — both
-// paths are a single atomic store, async-signal-safe).  Memory accounting
-// (Charge/Release) happens only on the query thread.
+// Thread model: the query's control flow runs on one thread, but a
+// parallel operator fans work out to WorkerPool lanes (docs/PARALLELISM.md)
+// — so Check() and Charge/Release are safe from any lane.  Check() stays a
+// relaxed atomic load on the fast path (the armed slow path only reads
+// setup-time state); Charge/Release serialize on an internal mutex, which
+// is cheap because charges land per batch, never per row.  RequestCancel()
+// may be called from any thread (a server Cancel frame, `\cancel <id>`) or
+// from a signal handler (REPL Ctrl-C stores into the external cancel token
+// — both paths are a single atomic store, async-signal-safe).
 //
 // Status taxonomy (docs/GOVERNANCE.md): kCancelled for explicit requests,
 // kDeadlineExceeded for statement-timeout expiry, kResourceExhausted for
@@ -25,6 +29,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -98,7 +103,7 @@ class ExecContext {
   /// The status a killed query unwinds with; OK if not killed.
   Status KillStatus() const;
 
-  // --- Memory accounting (query thread only). ---
+  // --- Memory accounting (any thread; serialized internally). ---
 
   /// Charges `bytes` against the budget on behalf of `op_name`.  On a trip
   /// the charge is still recorded (Release stays balanced), the context is
@@ -107,8 +112,8 @@ class ExecContext {
   Status Charge(uint64_t bytes, std::string_view op_name);
   void Release(uint64_t bytes);
 
-  uint64_t mem_used() const { return mem_used_; }
-  uint64_t mem_high_water() const { return mem_high_water_; }
+  uint64_t mem_used() const;
+  uint64_t mem_high_water() const;
   uint64_t mem_budget() const { return mem_budget_; }
   int64_t timeout_ms() const { return timeout_ms_; }
 
@@ -129,7 +134,10 @@ class ExecContext {
   bool has_deadline_ = false;
   std::shared_ptr<std::atomic<bool>> cancel_token_;
 
-  // Query-thread-only accounting.
+  // Accounting, guarded by mem_mutex_ (mem_culprit_ is written once under
+  // the mutex before the kMemory trip's release store, read only after the
+  // matching acquire — so KillStatus() may read it lock-free).
+  mutable std::mutex mem_mutex_;
   uint64_t mem_used_ = 0;
   uint64_t mem_high_water_ = 0;
   uint64_t mem_budget_ = 0;

@@ -158,6 +158,12 @@ void RenderAnalyzed(const PhysicalOperator& op, int depth, std::ostream& out) {
   if (m.build_rows > 0) out << " build=" << m.build_rows;
   if (m.probe_rows > 0) out << " probe=" << m.probe_rows;
   if (m.hash_bytes > 0) out << " hashKB=" << (m.hash_bytes + 1023) / 1024;
+  if (m.workers > 0) out << " workers=" << m.workers;
+  if (m.cpu_ns > 0) {
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(m.cpu_ns) / 1e6);
+    out << " cpu=" << buf << "ms";
+  }
   if (m.timed) {
     std::snprintf(buf, sizeof(buf), "%.3f",
                   static_cast<double>(m.total_ns()) / 1e6);

@@ -7,6 +7,7 @@
 
 #include "mra/common/annotation.h"
 #include "mra/obs/metrics.h"
+#include "mra/parallel/parallel_ops.h"
 
 namespace mra {
 namespace exec {
@@ -37,10 +38,25 @@ bool ReusableKind(PlanKind kind) {
 struct LowerContext {
   const RelationProvider& provider;
   const CardinalityEstimator* estimator;
-  const PlannerOptions& options;
+  const ExecConfig& config;
   std::unordered_map<std::string, int> reuse_counts;
   std::unordered_map<std::string, std::shared_ptr<SubplanState>> shared;
 };
+
+/// Lane count for a hash operator's parallel variant: the configured
+/// worker degree when parallelism is on and the node's estimated input
+/// volume (build + probe sides for a join) reaches the threshold, else 0
+/// (stay serial).  With no estimator the planner never guesses parallel.
+size_t ParallelLanes(const PlanPtr& plan, const LowerContext& ctx) {
+  const ExecConfig::Exec& e = ctx.config.exec;
+  if (e.workers <= 1 || !e.hash_ops || ctx.estimator == nullptr) return 0;
+  double input = 0;
+  for (const PlanPtr& child : plan->children()) {
+    input += (*ctx.estimator)(*child);
+  }
+  if (input < static_cast<double>(e.parallel_threshold)) return 0;
+  return e.workers;
+}
 
 void CountReusableSubtrees(const PlanPtr& plan,
                            std::unordered_map<std::string, int>* counts) {
@@ -77,10 +93,18 @@ Result<PhysOpPtr> LowerNode(const PlanPtr& plan, LowerContext& ctx) {
           plan->projections(), plan->schema(), std::move(child)));
     }
     case PlanKind::kUnique: {
+      size_t lanes = ParallelLanes(plan, ctx);
       MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlanImpl(plan->child(0), ctx));
-      if (!ctx.options.hash_ops) {
+      if (!ctx.config.exec.hash_ops) {
         PhysOpPtr op(std::make_unique<SortDedupOp>(std::move(child)));
         op->set_annotation(AnnotationText("fallback", "hash ops disabled"));
+        return op;
+      }
+      if (lanes > 0) {
+        PhysOpPtr op(std::make_unique<parallel::ParallelDedupOp>(
+            std::move(child), lanes, ctx.config.exec.morsel_size));
+        op->set_annotation(
+            AnnotationText("parallel", std::to_string(lanes) + " lanes"));
         return op;
       }
       return PhysOpPtr(std::make_unique<DedupOp>(std::move(child)));
@@ -110,18 +134,28 @@ Result<PhysOpPtr> LowerNode(const PlanPtr& plan, LowerContext& ctx) {
           nullptr, std::move(l), std::move(r)));
     }
     case PlanKind::kJoin: {
+      size_t lanes = ParallelLanes(plan, ctx);
       MRA_ASSIGN_OR_RETURN(PhysOpPtr l, LowerPlanImpl(plan->child(0), ctx));
       MRA_ASSIGN_OR_RETURN(PhysOpPtr r, LowerPlanImpl(plan->child(1), ctx));
       std::vector<size_t> left_keys, right_keys;
       ExprPtr residual;
       size_t left_arity = plan->child(0)->schema().arity();
-      if (ctx.options.hash_ops &&
+      if (ctx.config.exec.hash_ops &&
           ExtractEquiJoinKeys(plan->condition(), plan->schema(), left_arity,
                               &left_keys, &right_keys, &residual)) {
         std::string keys;
         for (size_t i = 0; i < left_keys.size(); ++i) {
           keys += (i == 0 ? "%" : ", %") + std::to_string(left_keys[i] + 1) +
                   "=%" + std::to_string(left_arity + right_keys[i] + 1);
+        }
+        if (lanes > 0) {
+          PhysOpPtr op(std::make_unique<parallel::ParallelHashJoinOp>(
+              std::move(left_keys), std::move(right_keys), std::move(residual),
+              std::move(l), std::move(r), lanes, ctx.config.exec.morsel_size));
+          op->set_annotation(AnnotationText(
+              "keys", keys + "; parallel: " + std::to_string(lanes) +
+                          " lanes"));
+          return op;
         }
         PhysOpPtr op(std::make_unique<HashJoinOp>(
             std::move(left_keys), std::move(right_keys), std::move(residual),
@@ -132,13 +166,22 @@ Result<PhysOpPtr> LowerNode(const PlanPtr& plan, LowerContext& ctx) {
       PhysOpPtr op(std::make_unique<NestedLoopJoinOp>(
           plan->condition(), std::move(l), std::move(r)));
       op->set_annotation(
-          ctx.options.hash_ops
+          ctx.config.exec.hash_ops
               ? AnnotationText("fallback", "predicate not hashable")
               : AnnotationText("fallback", "hash ops disabled"));
       return op;
     }
     case PlanKind::kGroupBy: {
+      size_t lanes = ParallelLanes(plan, ctx);
       MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlanImpl(plan->child(0), ctx));
+      if (lanes > 0) {
+        PhysOpPtr op(std::make_unique<parallel::ParallelHashGroupByOp>(
+            plan->group_keys(), plan->aggregates(), plan->schema(),
+            std::move(child), lanes, ctx.config.exec.morsel_size));
+        op->set_annotation(
+            AnnotationText("parallel", std::to_string(lanes) + " lanes"));
+        return op;
+      }
       return PhysOpPtr(std::make_unique<HashGroupByOp>(
           plan->group_keys(), plan->aggregates(), plan->schema(),
           std::move(child)));
@@ -197,9 +240,9 @@ Result<PhysOpPtr> LowerPlanImpl(const PlanPtr& plan, LowerContext& ctx) {
 Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
                             const RelationProvider& provider,
                             const CardinalityEstimator* estimator,
-                            const PlannerOptions& options) {
-  LowerContext ctx{provider, estimator, options, {}, {}};
-  if (options.subplan_reuse) {
+                            const ExecConfig& config, ExecContext* exec_ctx) {
+  LowerContext ctx{provider, estimator, config, {}, {}};
+  if (config.planner.subplan_reuse) {
     CountReusableSubtrees(plan, &ctx.reuse_counts);
     bool any_repeat = false;
     for (const auto& [fp, n] : ctx.reuse_counts) {
@@ -216,7 +259,7 @@ Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
   // Thread the governance context through the whole lowered tree so every
   // wrapper's batch-boundary check sees the same cancellation flag,
   // deadline and shared memory budget.
-  if (options.exec_ctx != nullptr) root->SetExecContext(options.exec_ctx);
+  if (exec_ctx != nullptr) root->SetExecContext(exec_ctx);
   return root;
 }
 

@@ -13,11 +13,19 @@
 //              NestedLoopJoin otherwise
 //   Γ        → HashGroupBy
 //
+// When `config.exec.workers > 1` the hash kernels additionally lower to
+// their morsel-driven partitioned variants (ParallelHashJoin,
+// ParallelHashGroupBy, ParallelDedup — docs/PARALLELISM.md) for operators
+// whose estimated input reaches `config.exec.parallel_threshold`; below
+// the threshold the serial kernel wins on fan-out overhead alone, and with
+// no estimator the planner stays serial rather than guess.
+//
 // Each choice is annotated on the operator (PhysicalOperator::annotation):
-// HashJoin shows its key pairs, the fallbacks say why they were taken — so
-// EXPLAIN makes the selection visible.  PlannerOptions::hash_ops = false
-// steers δ to SortDedup and ⋈ to NestedLoopJoin (Γ keeps HashGroupBy — it
-// is the only Γ implementation).
+// HashJoin shows its key pairs, parallel variants their lane count, the
+// fallbacks say why they were taken — so EXPLAIN makes the selection
+// visible.  `config.exec.hash_ops = false` steers δ to SortDedup and ⋈ to
+// NestedLoopJoin (Γ keeps HashGroupBy — it is the only Γ implementation)
+// and disables the parallel variants, which are hash-partitioned.
 
 #ifndef MRA_EXEC_PHYSICAL_PLANNER_H_
 #define MRA_EXEC_PHYSICAL_PLANNER_H_
@@ -26,6 +34,7 @@
 
 #include "mra/algebra/evaluator.h"
 #include "mra/algebra/plan.h"
+#include "mra/common/config.h"
 #include "mra/exec/operator.h"
 
 namespace mra {
@@ -38,33 +47,23 @@ namespace exec {
 /// mra/opt; callers typically wrap opt::EstimateCardinality.
 using CardinalityEstimator = std::function<double(const Plan&)>;
 
-/// Knobs for physical-operator selection.
-struct PlannerOptions {
-  /// Use the hash-based kernels (HashJoin, streaming hash Dedup) where they
-  /// apply.  When false, δ lowers to SortDedup and ⋈ to NestedLoopJoin —
-  /// the definitional/legacy paths the hash kernels are benchmarked and
-  /// differentially tested against.
-  bool hash_ops = true;
-  /// Lower a duplicated expensive subtree (⋈, Γ, δ, −, ∩, closure) once
-  /// and stream its materialised result at every occurrence
-  /// (SubplanCacheOp).  Bag-preserving: reuse sites scan the identical
-  /// result relation the subtree would have produced.
-  bool subplan_reuse = true;
-  /// Per-query governance context (cancellation / deadline / memory
-  /// budget) attached to every operator of the lowered tree.  Null (the
-  /// default) lowers an ungoverned plan.  Must outlive execution.
-  ExecContext* exec_ctx = nullptr;
-};
-
 /// Builds an executable operator tree for `plan`.  Scan nodes resolve
 /// through `provider`, whose relations must outlive the returned tree's
 /// execution.  When `estimator` is non-null every operator is annotated
 /// with its logical node's estimate (PhysicalOperator::estimated_rows),
-/// which EXPLAIN ANALYZE renders against the actuals.
+/// which EXPLAIN ANALYZE renders against the actuals — and which also
+/// drives the parallel-variant decision (see the header comment).
+/// `config` supplies the kernel-selection and parallelism knobs
+/// (exec.hash_ops, exec.workers, exec.morsel_size, exec.parallel_threshold,
+/// planner.subplan_reuse); the remaining layers are the callers' business.
+/// `exec_ctx`, when non-null, is attached to every operator of the lowered
+/// tree (cancellation / deadline / memory budget) and must outlive
+/// execution.
 Result<PhysOpPtr> LowerPlan(const PlanPtr& plan,
                             const RelationProvider& provider,
                             const CardinalityEstimator* estimator = nullptr,
-                            const PlannerOptions& options = PlannerOptions{});
+                            const ExecConfig& config = ExecConfig{},
+                            ExecContext* exec_ctx = nullptr);
 
 /// Lower + execute + materialise.  This is the production evaluation path
 /// (EvaluatePlan in mra/algebra is the definitional one).

@@ -127,6 +127,9 @@ std::string Stmt::ToString() const {
     case Kind::kAnalyze:
       out << "analyze " << target;
       break;
+    case Kind::kSet:
+      out << "set " << target << " = " << value;
+      break;
   }
   return out.str();
 }

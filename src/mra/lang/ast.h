@@ -69,15 +69,17 @@ struct Stmt {
     kDropConstraint,  // drop constraint name   [extension]
     kExplain,         // explain [analyze] E    [extension: observability]
     kAnalyze,         // analyze name           [extension: statistics]
+    kSet,             // set knob = value       [extension: session config]
   };
 
   Kind kind;
   int line = 0;
-  std::string target;              // relation / temporary name
+  std::string target;              // relation / temporary name; kSet knob
   RelationSchema schema;           // kCreate
   RelExprPtr expr;                 // kInsert/kDelete/kUpdate/kAssign/kQuery/kExplain
   std::vector<ExprPtr> alpha;      // kUpdate attribute expression list
   bool analyze = false;            // kExplain: execute and report actuals
+  std::string value;               // kSet: the knob's new value, verbatim
 
   std::string ToString() const;
 };

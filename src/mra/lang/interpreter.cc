@@ -51,9 +51,9 @@ obs::Histogram* QueryLatency() {
 std::shared_ptr<exec::ExecContext> Interpreter::BeginGoverned() {
   auto ctx = std::make_shared<exec::ExecContext>();
   ctx->set_query_id(obs::CurrentQueryId());
-  ctx->SetDeadlineAfterMs(options_.statement_timeout_ms);
-  ctx->SetMemoryBudget(options_.query_mem_budget_bytes);
-  ctx->SetCancelToken(options_.cancel_token);
+  ctx->SetDeadlineAfterMs(options_.governance.statement_timeout_ms);
+  ctx->SetMemoryBudget(options_.governance.query_mem_budget_bytes);
+  ctx->SetCancelToken(options_.governance.cancel_token);
   std::lock_guard<std::mutex> lock(govern_mutex_);
   if (pending_cancel_id_ != 0) {
     // A Cancel raced ahead of the query it targets (cancel-before-open).
@@ -102,14 +102,14 @@ Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
   }
   uint64_t t1 = NowMicros();
   stats.bind_us = t1 - t0;
-  if (options_.optimize) {
+  if (options_.planner.optimize) {
     obs::ScopedSpan span("optimize");
     opt::Optimizer optimizer(&provider);
     MRA_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
   }
   uint64_t t2 = NowMicros();
   stats.optimize_us = t2 - t1;
-  if (!options_.use_physical_exec) {
+  if (!options_.exec.use_physical_exec) {
     obs::ScopedSpan span("execute");
     Result<Relation> result = EvaluatePlan(*plan, provider);
     QueryLatency()->Observe(NowMicros() - t0);
@@ -118,17 +118,22 @@ Result<Relation> Interpreter::EvaluateExpr(const RelExpr& expr,
   exec::PhysOpPtr root;
   {
     obs::ScopedSpan span("lower");
-    exec::PlannerOptions planner_options;
-    planner_options.hash_ops = options_.hash_ops;
-    planner_options.exec_ctx = gctx.get();
-    MRA_ASSIGN_OR_RETURN(
-        root, exec::LowerPlan(plan, provider, nullptr, planner_options));
+    // Estimates drive both EXPLAIN ANALYZE's est-vs-actual annotations and
+    // the parallel-variant decision (workers > 1), so the production path
+    // lowers with the statistics-backed estimator, like ExplainExpr.
+    opt::StatsCache stats_cache(&provider);
+    exec::CardinalityEstimator estimator =
+        [&provider, &stats_cache](const Plan& node) {
+          return opt::EstimateCardinality(node, provider, &stats_cache);
+        };
+    MRA_ASSIGN_OR_RETURN(root, exec::LowerPlan(plan, provider, &estimator,
+                                               options_, gctx.get()));
   }
   uint64_t t3 = NowMicros();
   stats.lower_us = t3 - t2;
   Result<Relation> result = [&]() -> Result<Relation> {
     obs::ScopedSpan span("execute");
-    return exec::ExecuteToRelation(*root, options_.batch_size);
+    return exec::ExecuteToRelation(*root, options_.exec.batch_size);
   }();
   uint64_t t4 = NowMicros();
   stats.exec_us = t4 - t3;
@@ -186,6 +191,11 @@ Status Interpreter::ExecuteStmt(const Stmt& stmt, Transaction& txn,
       return Status::TxnError(
           "analyze is top-level only (line " + std::to_string(stmt.line) +
           ")");
+    case Stmt::Kind::kSet:
+      // Config changes take effect between statements, not inside a
+      // bracket whose earlier statements already ran under the old knobs.
+      return Status::TxnError("set is top-level only (line " +
+                              std::to_string(stmt.line) + ")");
     case Stmt::Kind::kInsert: {
       MRA_ASSIGN_OR_RETURN(Relation delta, EvaluateExpr(*stmt.expr, txn));
       return txn.Insert(stmt.target, delta);
@@ -250,6 +260,9 @@ Status Interpreter::ExecuteItem(const Script::Item& item,
     if (stmt.kind == Stmt::Kind::kDropConstraint) {
       return db_->DropConstraint(stmt.target);
     }
+    if (stmt.kind == Stmt::Kind::kSet) {
+      return SetOption(stmt.target, stmt.value);
+    }
     if (stmt.kind == Stmt::Kind::kAnalyze) {
       MRA_ASSIGN_OR_RETURN(stats::TableStatistics stats,
                            db_->Analyze(stmt.target));
@@ -267,7 +280,7 @@ Status Interpreter::ExecuteItem(const Script::Item& item,
   }
 
   MRA_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                       db_->Begin(options_.block_on_txn_slot));
+                       db_->Begin(options_.session.block_on_txn_slot));
   for (const Stmt& stmt : item.stmts) {
     Status s = ExecuteStmt(stmt, *txn, on_query);
     if (!s.ok()) {
@@ -359,8 +372,6 @@ Result<std::string> Interpreter::ExplainExpr(const RelExpr& expr,
       [&provider, &stats_cache](const Plan& node) {
         return opt::EstimateCardinality(node, provider, &stats_cache);
       };
-  exec::PlannerOptions planner_options;
-  planner_options.hash_ops = options_.hash_ops;
   // EXPLAIN ANALYZE executes the plan for real, so it is governed like
   // any query (an analyzed runaway join is still a runaway join).
   std::shared_ptr<exec::ExecContext> gctx = analyze ? BeginGoverned() : nullptr;
@@ -370,10 +381,9 @@ Result<std::string> Interpreter::ExplainExpr(const RelExpr& expr,
       if (interp != nullptr) interp->EndGoverned();
     }
   } govern_guard{analyze ? this : nullptr};
-  planner_options.exec_ctx = gctx.get();
   MRA_ASSIGN_OR_RETURN(
       exec::PhysOpPtr physical,
-      exec::LowerPlan(optimized, provider, &estimator, planner_options));
+      exec::LowerPlan(optimized, provider, &estimator, options_, gctx.get()));
   if (!analyze) {
     out += "\nphysical plan:\n" + physical->ToString();
     return out;
@@ -384,7 +394,7 @@ Result<std::string> Interpreter::ExplainExpr(const RelExpr& expr,
   uint64_t t0 = NowMicros();
   Result<Relation> result = [&]() -> Result<Relation> {
     obs::ScopedSpan span("execute");
-    return exec::ExecuteToRelation(*physical, options_.batch_size);
+    return exec::ExecuteToRelation(*physical, options_.exec.batch_size);
   }();
   uint64_t exec_us = NowMicros() - t0;
   QueryLatency()->Observe(exec_us);

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <string_view>
 
+#include "mra/common/config.h"
 #include "mra/exec/exec_context.h"
 #include "mra/lang/ast.h"
 #include "mra/obs/op_metrics.h"
@@ -28,40 +29,18 @@
 namespace mra {
 namespace lang {
 
-struct InterpreterOptions {
-  /// Run plans through the optimizer before execution.
-  bool optimize = true;
-  /// Execute through the physical operators (mra/exec); when false the
-  /// definitional evaluator (mra/algebra) runs instead.
-  bool use_physical_exec = true;
-  /// When the database's (serial) transaction slot is taken, wait for it
-  /// instead of failing with TxnError.  Off for interactive/embedded use;
-  /// the network server turns it on so concurrent sessions queue their
-  /// brackets rather than bounce.
-  bool block_on_txn_slot = false;
-  /// Rows pulled per NextBatch() call when draining a physical plan
-  /// (exec::kDefaultBatchSize); 0 selects the legacy row-at-a-time Next()
-  /// loop.  Only meaningful with use_physical_exec.
-  size_t batch_size = 1024;
-  /// Select the hash-based kernels (HashJoin, hash Dedup) when they apply;
-  /// when false the planner falls back to NestedLoopJoin and SortDedup
-  /// (exec::PlannerOptions::hash_ops).  Only meaningful with
-  /// use_physical_exec.
-  bool hash_ops = true;
-  /// Statement timeout: a physically-executed query still running this
-  /// many milliseconds after it starts is killed at the next batch
-  /// boundary with kDeadlineExceeded.  0 (the default) disables.
-  int64_t statement_timeout_ms = 0;
-  /// Per-query memory budget in bytes, charged by the materialising and
-  /// hash-building operators; exceeding it kills the query with
-  /// kResourceExhausted.  0 (the default) means unlimited.
-  uint64_t query_mem_budget_bytes = 0;
-  /// Optional external cancel flag consulted at every batch boundary —
-  /// the REPL points this at its SIGINT flag so Ctrl-C cancels the
-  /// in-flight query (a signal handler may only do the atomic store).
-  /// The holder resets it to false before each new query.
-  std::shared_ptr<std::atomic<bool>> cancel_token;
-};
+/// Deprecated alias: the interpreter's knobs are the unified ExecConfig
+/// (mra/common/config.h) — one layered struct shared with the planner,
+/// session, server and examples.  Old field names map as:
+///   optimize             → config.planner.optimize
+///   use_physical_exec    → config.exec.use_physical_exec
+///   batch_size           → config.exec.batch_size
+///   hash_ops             → config.exec.hash_ops
+///   block_on_txn_slot    → config.session.block_on_txn_slot
+///   statement_timeout_ms → config.governance.statement_timeout_ms
+///   query_mem_budget_*   → config.governance.query_mem_budget_bytes
+///   cancel_token         → config.governance.cancel_token
+using InterpreterOptions = ExecConfig;
 
 /// Execution statistics of the most recent physically-executed query,
 /// harvested from the operator tree after it drains.  Programmatic
@@ -98,7 +77,7 @@ struct QueryStats {
 /// transaction slot (see the thread-model note in txn/database.h).
 class Interpreter {
  public:
-  using Options = InterpreterOptions;
+  using Options = ExecConfig;
 
   /// Receives each `? E` result, with the statement's source text form.
   using QueryCallback =
@@ -139,6 +118,14 @@ class Interpreter {
   /// Stats of the most recent query run through the physical executor
   /// (`valid` is false before the first one).
   const QueryStats& last_query_stats() const { return last_query_stats_; }
+
+  /// The session's live configuration.  SetOption backs the `SET
+  /// <knob> = <value>;` statement (XRA and SQL) and the REPL's `\set`:
+  /// changes take effect for the next statement.
+  const ExecConfig& options() const { return options_; }
+  Status SetOption(std::string_view knob, std::string_view value) {
+    return options_.Set(knob, value);
+  }
 
   /// Executes one already-parsed DML/query statement inside an open
   /// transaction (used by the SQL front end, which manages its own

@@ -31,6 +31,7 @@ const std::unordered_map<std::string_view, TokenKind>& Keywords() {
           {"constraint", TokenKind::kKwConstraint},
           {"explain", TokenKind::kKwExplain},
           {"analyze", TokenKind::kKwAnalyze},
+          {"set", TokenKind::kKwSet},
           {"empty", TokenKind::kKwEmpty},
           {"cnt", TokenKind::kKwCnt},
           {"sum", TokenKind::kKwSum},

@@ -147,6 +147,24 @@ class Parser {
         MRA_ASSIGN_OR_RETURN(stmt.target, ExpectIdentifier());
         return stmt;
       }
+      case TokenKind::kKwSet: {
+        Advance();
+        stmt.kind = Stmt::Kind::kSet;
+        MRA_ASSIGN_OR_RETURN(stmt.target, ExpectIdentifier());
+        MRA_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+        // The value travels verbatim; ExecConfig::Set parses it against
+        // the knob's type (number or boolean).
+        switch (Peek().kind) {
+          case TokenKind::kIntLit:
+          case TokenKind::kIdentifier:
+          case TokenKind::kKwTrue:
+          case TokenKind::kKwFalse:
+            stmt.value = Advance().text;
+            return stmt;
+          default:
+            return Error("expected a knob value");
+        }
+      }
       case TokenKind::kKwExplain: {
         Advance();
         stmt.kind = Stmt::Kind::kExplain;

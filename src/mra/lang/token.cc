@@ -61,6 +61,8 @@ std::string_view TokenKindName(TokenKind kind) {
       return "'explain'";
     case TokenKind::kKwAnalyze:
       return "'analyze'";
+    case TokenKind::kKwSet:
+      return "'set'";
     case TokenKind::kKwEmpty:
       return "'empty'";
     case TokenKind::kKwCnt:

@@ -43,6 +43,7 @@ enum class TokenKind : uint8_t {
   kKwConstraint,
   kKwExplain,
   kKwAnalyze,
+  kKwSet,
   kKwEmpty,
   kKwCnt,
   kKwSum,

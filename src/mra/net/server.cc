@@ -105,14 +105,15 @@ Server::Server(Database* db, ServerOptions options)
     : db_(db), options_(std::move(options)) {
   MRA_CHECK(db != nullptr);
   // Concurrent sessions must queue their brackets on the serial slot.
-  options_.interpreter.block_on_txn_slot = true;
+  options_.interpreter.session.block_on_txn_slot = true;
   // The request deadline preempts running plans: unless the operator set
   // an explicit statement timeout, arm the governance deadline with it so
   // an over-deadline query dies at a batch boundary instead of running to
   // completion for a client that already gave up.
-  if (options_.interpreter.statement_timeout_ms == 0 &&
+  if (options_.interpreter.governance.statement_timeout_ms == 0 &&
       options_.request_timeout_ms > 0) {
-    options_.interpreter.statement_timeout_ms = options_.request_timeout_ms;
+    options_.interpreter.governance.statement_timeout_ms =
+        options_.request_timeout_ms;
   }
 }
 

@@ -41,6 +41,13 @@ struct OperatorMetrics {
   /// Peak approximate heap bytes held by the operator's hash arena
   /// (HashKeyIndex::ApproxBytes plus payload vectors).
   uint64_t hash_bytes = 0;
+  /// Worker lanes a parallel operator ran with (workers=N in EXPLAIN
+  /// ANALYZE); 0 for serial operators.
+  uint32_t workers = 0;
+  /// Summed per-lane CPU-side wall time inside parallel phases.  For a
+  /// parallel operator this exceeds the elapsed open_ns/next_ns (the
+  /// lanes overlap); their ratio is the realized parallel speedup.
+  uint64_t cpu_ns = 0;
 
   // Wall time, only nonzero while exec timing is enabled.
   uint64_t open_ns = 0;

@@ -110,6 +110,13 @@ struct AnalyzeStmt {
   std::string table;
 };
 
+/// SET knob = value — a per-session ExecConfig override (the same knob
+/// registry as the XRA `set` statement and the REPL's `\set`).
+struct SetStmt {
+  std::string knob;
+  std::string value;
+};
+
 enum class TxnControl : uint8_t { kBegin, kCommit, kRollback };
 
 /// EXPLAIN [ANALYZE] SELECT … — renders the translated plans; with ANALYZE
@@ -122,8 +129,8 @@ struct ExplainStmt {
 
 using SqlStatement =
     std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
-                 CreateTableStmt, DropTableStmt, AnalyzeStmt, TxnControl,
-                 ExplainStmt>;
+                 CreateTableStmt, DropTableStmt, AnalyzeStmt, SetStmt,
+                 TxnControl, ExplainStmt>;
 
 }  // namespace sql
 }  // namespace mra

@@ -93,6 +93,20 @@ class SqlParser {
       MRA_ASSIGN_OR_RETURN(stmt.table, ExpectName("table name"));
       return SqlStatement(std::move(stmt));
     }
+    // Statement-initial SET is unambiguous: UPDATE's SET clause only
+    // appears after UPDATE <table>.
+    if (AcceptKw("SET")) {
+      SetStmt stmt;
+      MRA_ASSIGN_OR_RETURN(stmt.knob, ExpectName("knob name"));
+      MRA_RETURN_IF_ERROR(Expect(SqlTokenKind::kEq, "="));
+      // The value travels verbatim; ExecConfig::Set parses it against the
+      // knob's type (number or boolean).
+      if (Check(SqlTokenKind::kIntLit) || Check(SqlTokenKind::kIdentifier)) {
+        stmt.value = Advance().text;
+        return SqlStatement(std::move(stmt));
+      }
+      return Error("expected a knob value");
+    }
     if (AcceptKw("BEGIN")) {
       (void)(AcceptKw("WORK") || AcceptKw("TRANSACTION"));
       return SqlStatement(TxnControl::kBegin);

@@ -458,6 +458,11 @@ Result<lang::Stmt> TranslateStatement(const SqlStatement& stmt,
                          TranslateSelect(*explain->select, provider));
     return out;
   }
+  if (std::holds_alternative<SetStmt>(stmt)) {
+    // SET is a session-config action, handled by SqlSession::ExecuteOne
+    // directly — it never reaches statement translation.
+    return Status::InvalidArgument("SET has no statement translation");
+  }
   return Status::InvalidArgument(
       "transaction control has no statement translation");
 }
@@ -526,6 +531,16 @@ Status SqlSession::ExecuteOne(
       on_query("ANALYZE " + analyze->table, rel);
     }
     return Status::OK();
+  }
+
+  // SET: a session-config override, applied between statements.  Top-level
+  // only, like the XRA `set` — earlier statements of an open bracket
+  // already ran under the old knobs.
+  if (const auto* set = std::get_if<SetStmt>(&stmt)) {
+    if (txn_ != nullptr) {
+      return Status::TxnError("SET is not allowed inside a transaction");
+    }
+    return interp_.SetOption(set->knob, set->value);
   }
 
   if (txn_ != nullptr) {

@@ -28,7 +28,7 @@ std::unique_ptr<Database> MakeDb() {
 
 lang::InterpreterOptions Blocking() {
   lang::InterpreterOptions options;
-  options.block_on_txn_slot = true;
+  options.session.block_on_txn_slot = true;
   return options;
 }
 

@@ -174,8 +174,8 @@ TEST_F(GovernanceTest, BatchBoundaryCancelKillsEveryOperatorKind) {
   for (bool hash_ops : {true, false}) {
     for (size_t batch : {size_t{1}, size_t{7}, size_t{1024}}) {
       lang::InterpreterOptions options;
-      options.batch_size = batch;
-      options.hash_ops = hash_ops;
+      options.exec.batch_size = batch;
+      options.exec.hash_ops = hash_ops;
       lang::Interpreter interp(db.get(), options);
       for (const char* q : queries) {
         uint64_t cancelled_before = CounterValue("exec.cancelled_total");
@@ -224,7 +224,7 @@ TEST_F(GovernanceTest, CancelAtCloseIsTooLateToAffectTheResult) {
 TEST_F(GovernanceTest, StatementTimeoutKillsWithDeadlineExceeded) {
   auto db = MakeDb();
   lang::InterpreterOptions options;
-  options.statement_timeout_ms = 1;
+  options.governance.statement_timeout_ms = 1;
   lang::Interpreter interp(db.get(), options);
   uint64_t before = CounterValue("exec.deadline_exceeded_total");
   // 60^3 = 216k product rows plus a dedup build: far past 1ms.
@@ -241,7 +241,7 @@ TEST_F(GovernanceTest, StatementTimeoutKillsWithDeadlineExceeded) {
 TEST_F(GovernanceTest, MemoryBudgetKillsWithResourceExhausted) {
   auto db = MakeDb();
   lang::InterpreterOptions options;
-  options.query_mem_budget_bytes = 4 * 1024;  // Far below the build size.
+  options.governance.query_mem_budget_bytes = 4 * 1024;  // Far below the build size.
   lang::Interpreter interp(db.get(), options);
   uint64_t before = CounterValue("exec.mem_rejected_total");
   auto killed = interp.Query("unique(product(r, s))");
@@ -260,7 +260,7 @@ TEST_F(GovernanceTest, KilledBracketLeavesDatabaseAsIfNeverRun) {
   Relation tally_before = **db->catalog().GetRelation("tally");
 
   lang::InterpreterOptions options;
-  options.query_mem_budget_bytes = 4 * 1024;
+  options.governance.query_mem_budget_bytes = 4 * 1024;
   lang::Interpreter interp(db.get(), options);
   // The bracket mutates tally, then dies on the over-budget query: the
   // whole transaction must roll back — the differential guarantee.
@@ -279,18 +279,18 @@ TEST_F(GovernanceTest, KilledBracketLeavesDatabaseAsIfNeverRun) {
 TEST_F(GovernanceTest, CancelTokenCancelsLikeCtrlC) {
   auto db = MakeDb();
   lang::InterpreterOptions options;
-  options.cancel_token = std::make_shared<std::atomic<bool>>(false);
+  options.governance.cancel_token = std::make_shared<std::atomic<bool>>(false);
   lang::Interpreter interp(db.get(), options);
   // Token down: queries run normally.
   EXPECT_TRUE(interp.Query("r").ok());
   // Token up before the query (a Ctrl-C that lands just as it starts):
   // the first batch-boundary check sees it.
-  options.cancel_token->store(true);
+  options.governance.cancel_token->store(true);
   auto killed = interp.Query("unique(product(r, s))");
   ASSERT_FALSE(killed.ok());
   EXPECT_EQ(killed.status().code(), StatusCode::kCancelled);
   // The REPL resets the token before the next statement.
-  options.cancel_token->store(false);
+  options.governance.cancel_token->store(false);
   EXPECT_TRUE(interp.Query("r").ok());
 }
 
@@ -328,7 +328,7 @@ TEST_F(GovernanceTest, SlowLogTagsKillsWithTheReason) {
   obs::SlowQueryLog::Global().SetThresholdMs(3'600'000);
 
   lang::InterpreterOptions options;
-  options.query_mem_budget_bytes = 4 * 1024;
+  options.governance.query_mem_budget_bytes = 4 * 1024;
   lang::Interpreter interp(db.get(), options);
   ASSERT_FALSE(interp.Query("unique(product(r, s))").ok());
   std::string lines = obs::SlowQueryLog::Global().RenderJsonLines();
@@ -347,7 +347,7 @@ TEST_F(GovernanceTest, SlowLogTagsKillsWithTheReason) {
 TEST_F(GovernanceTest, ExplainAnalyzeIsGovernedPlainExplainIsNot) {
   auto db = MakeDb();
   lang::InterpreterOptions options;
-  options.cancel_token = std::make_shared<std::atomic<bool>>(true);
+  options.governance.cancel_token = std::make_shared<std::atomic<bool>>(true);
   lang::Interpreter interp(db.get(), options);
   // `explain analyze` executes the plan for real, so governance applies.
   auto analyzed = interp.ExplainAnalyze("unique(product(r, s))");

@@ -442,7 +442,7 @@ TEST_F(HashOpsFrontEndTest, ExplainShowsNestedLoopFallbackForThetaJoin) {
 
 TEST_F(HashOpsFrontEndTest, HashOpsDisabledFallsBackEverywhere) {
   lang::InterpreterOptions options;
-  options.hash_ops = false;
+  options.exec.hash_ops = false;
   lang::Interpreter interp(db_.get(), options);
 
   auto join_plan = interp.Explain("join(%1 = %3, u, u)");

@@ -10,7 +10,6 @@
 #include <filesystem>
 
 #include "mra/lang/interpreter.h"
-#include "mra/parallel/parallel.h"
 #include "mra/sql/translator.h"
 #include "test_util.h"
 
@@ -124,8 +123,8 @@ TEST(IntegrationTest, OptimizedAndUnoptimizedAgreeOnComplexScript) {
       auto db = Database::Open();
       ASSERT_OK(db);
       lang::InterpreterOptions options;
-      options.optimize = optimize;
-      options.use_physical_exec = physical;
+      options.planner.optimize = optimize;
+      options.exec.use_physical_exec = physical;
       lang::Interpreter interp(db->get(), options);
       auto results = interp.ExecuteScriptCollect(script);
       ASSERT_OK(results);
@@ -141,24 +140,64 @@ TEST(IntegrationTest, OptimizedAndUnoptimizedAgreeOnComplexScript) {
   }
 }
 
-TEST(IntegrationTest, ParallelOperatorsAgreeWithInterpreterResults) {
+TEST(IntegrationTest, ParallelExecutionAgreesWithSerialResults) {
+  // The same statements through a serial interpreter and through one with
+  // morsel-driven parallelism forced on (workers=3, threshold dropped so
+  // even this tiny input fans out) must agree bag-for-bag.
+  const char* script =
+      "create m(g: int, v: int);"
+      "insert(m, {(1, 10) : 3, (1, 20), (2, 5) : 2, (3, 7)});";
+  const char* queries[] = {
+      "groupby([%1], sum(%2), m)",
+      "unique(project([%1], m))",
+      "join(%1 = %3, m, m)",
+  };
+  auto serial_db = Database::Open();
+  ASSERT_OK(serial_db);
+  lang::Interpreter serial(serial_db->get());
+  ASSERT_OK(serial.ExecuteScript(script, nullptr));
+
+  auto parallel_db = Database::Open();
+  ASSERT_OK(parallel_db);
+  lang::Interpreter parallel(
+      parallel_db->get(),
+      ConfigBuilder().Workers(3).ParallelThreshold(1).Build());
+  ASSERT_OK(parallel.ExecuteScript(script, nullptr));
+
+  for (const char* query : queries) {
+    auto serial_result = serial.Query(query);
+    auto parallel_result = parallel.Query(query);
+    ASSERT_OK(serial_result);
+    ASSERT_OK(parallel_result);
+    EXPECT_REL_EQ(*serial_result, *parallel_result) << query;
+  }
+}
+
+TEST(IntegrationTest, SetStatementRetunesTheSession) {
+  // `set <knob> = <value>;` flips ExecConfig mid-session across both front
+  // ends; an unknown knob is rejected without damaging the session.
   auto db = Database::Open();
   ASSERT_OK(db);
-  lang::Interpreter interp(db->get());
-  ASSERT_OK(interp.ExecuteScript(
-      "create m(g: int, v: int);"
-      "insert(m, {(1, 10) : 3, (1, 20), (2, 5) : 2, (3, 7)});",
-      nullptr));
-  auto via_interp = interp.Query("groupby([%1], sum(%2), m)");
-  ASSERT_OK(via_interp);
-  const Relation* m = (*db)->catalog().GetRelation("m").value();
-  parallel::ParallelOptions options;
-  options.num_threads = 3;
-  auto via_parallel =
-      parallel::ParallelGroupBy({0}, {{AggKind::kSum, 1, "sum_v"}}, *m,
-                                options);
-  ASSERT_OK(via_parallel);
-  EXPECT_REL_EQ(*via_interp, *via_parallel);
+  lang::Interpreter xra(db->get());
+  ASSERT_OK(xra.ExecuteScript(
+      "create t(x: int); insert(t, {(1), (2) : 2}); set workers = 4;"
+      "set parallel_threshold = 1;", nullptr));
+  EXPECT_EQ(xra.options().exec.workers, 4u);
+  EXPECT_EQ(xra.options().exec.parallel_threshold, 1u);
+  auto rows = xra.Query("unique(project([%1], t))");
+  ASSERT_OK(rows);
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_EQ(xra.ExecuteScript("set no_such_knob = 7;", nullptr).code(),
+            StatusCode::kInvalidArgument);
+  // Inside a bracket SET is rejected: config is not transactional.
+  EXPECT_EQ(xra.ExecuteScript("begin set workers = 1 end;", nullptr).code(),
+            StatusCode::kTxnError);
+
+  sql::SqlSession sql(db->get());
+  ASSERT_OK(sql.Execute("SET batch_size = 7"));
+  auto count = sql.ExecuteCollect("SELECT COUNT(*) FROM t");
+  ASSERT_OK(count);
+  EXPECT_EQ((*count)[0].Multiplicity(Tuple({Value::Int(3)})), 1u);
 }
 
 TEST(IntegrationTest, ClosureOverDataBuiltThroughSql) {

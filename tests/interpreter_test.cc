@@ -200,8 +200,8 @@ TEST_F(InterpreterTest, DdlInsideTransactionRejected) {
 
 TEST_F(InterpreterTest, ReferenceAndPhysicalModesAgree) {
   Interpreter::Options reference_options;
-  reference_options.use_physical_exec = false;
-  reference_options.optimize = false;
+  reference_options.exec.use_physical_exec = false;
+  reference_options.planner.optimize = false;
   Interpreter reference(db_.get(), reference_options);
   const char* query =
       "groupby([%6], avg(%3), cnt(%1),"
@@ -263,8 +263,10 @@ TEST_F(InterpreterTest, QueryStatsCaptureLastPhysicalExecution) {
   EXPECT_EQ(stats.result_rows, result->size());
   ASSERT_FALSE(stats.operators.empty());
   EXPECT_EQ(stats.operators[0].metrics.weighted_rows, result->size());
-  // Plain queries carry no estimates; only EXPLAIN ANALYZE wires them in.
-  EXPECT_LT(stats.operators[0].estimated_rows, 0.0);
+  // Plain queries carry estimates too: the production lowering path wires
+  // the statistics estimator in, because it drives the parallel-degree
+  // decision (docs/PARALLELISM.md) — not just EXPLAIN ANALYZE display.
+  EXPECT_GE(stats.operators[0].estimated_rows, 0.0);
   // The hash join reports its materialised build side.
   bool saw_join = false;
   for (const auto& op : stats.operators) {

@@ -175,7 +175,7 @@ TEST(NetCancel, RequestTimeoutPreemptsMidPlanWithRetryAfterHint) {
 TEST(NetCancel, ExplicitStatementTimeoutGovernsIndependently) {
   auto db = MakeDb();
   ServerOptions options;
-  options.interpreter.statement_timeout_ms = 20;  // Request timeout stays 30s.
+  options.interpreter.governance.statement_timeout_ms = 20;  // Request timeout stays 30s.
   Server server(db.get(), options);
   ASSERT_TRUE(server.Start().ok());
   Client client = MustConnect(server);

@@ -485,9 +485,8 @@ TEST_F(RuleTest, SubplanReuseLowersDuplicateJoinOnce) {
   EXPECT_REL_EQ(*executed, *reference);
 
   // With the pass disabled, both join sites lower independently.
-  exec::PlannerOptions no_reuse;
-  no_reuse.subplan_reuse = false;
-  auto plain = exec::LowerPlan(*twice, catalog_, nullptr, no_reuse);
+  auto plain = exec::LowerPlan(*twice, catalog_, nullptr,
+                               ConfigBuilder().SubplanReuse(false).Build());
   ASSERT_OK(plain);
   EXPECT_EQ((*plain)->ToString().find("SubplanCache"), std::string::npos);
   auto plain_result = exec::ExecuteToRelation(**plain);

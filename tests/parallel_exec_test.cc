@@ -1,0 +1,323 @@
+// Differential and governance suite for the morsel-driven parallel kernels
+// (docs/PARALLELISM.md).  The oracle is always the single-threaded
+// definitional path (mra/algebra) — Definition 3.1 for join multiplicities,
+// Definition 3.3 for aggregates, δ for dedup — so any partitioning or merge
+// bug shows up as a bag mismatch, not just a flaky count.
+//
+// The matrix runs every parallel operator at worker counts 1/2/8 and
+// morsel/batch granularities 1/7/1024 over seeded random inputs whose
+// multiplicities reach 10^6 (multiplicity arithmetic must not be rebuilt
+// from row repetition).  The cancel hammer and the failpoint kills are the
+// TSan targets: cancellation arriving from another thread must land within
+// one morsel on every lane and unwind with balanced memory accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "mra/algebra/ops.h"
+#include "mra/common/config.h"
+#include "mra/exec/exec_context.h"
+#include "mra/exec/operator.h"
+#include "mra/fault/failpoint.h"
+#include "mra/lang/interpreter.h"
+#include "mra/obs/metrics.h"
+#include "mra/parallel/parallel_ops.h"
+#include "mra/parallel/worker_pool.h"
+#include "test_util.h"
+
+namespace mra {
+namespace {
+
+using mra::testing::RandomIntRelation;
+
+exec::PhysOpPtr Scan(const Relation& rel) {
+  return std::make_unique<exec::ScanOp>(&rel);
+}
+
+exec::PhysOpPtr ParallelJoin(const Relation& left, const Relation& right,
+                             size_t workers, size_t morsel) {
+  return std::make_unique<parallel::ParallelHashJoinOp>(
+      std::vector<size_t>{0}, std::vector<size_t>{0}, nullptr, Scan(left),
+      Scan(right), workers, morsel);
+}
+
+exec::PhysOpPtr ParallelGroupBy(const Relation& input,
+                                const std::vector<size_t>& keys,
+                                const std::vector<AggSpec>& aggs,
+                                size_t workers, size_t morsel) {
+  auto schema = ops::GroupBySchema(keys, aggs, input.schema());
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::make_unique<parallel::ParallelHashGroupByOp>(
+      keys, aggs, *schema, Scan(input), workers, morsel);
+}
+
+std::vector<AggSpec> AllAggs() {
+  return {{AggKind::kSum, 1, "sum_v"},
+          {AggKind::kCnt, 0, "cnt"},
+          {AggKind::kMin, 1, "min_v"},
+          {AggKind::kMax, 1, "max_v"}};
+}
+
+// --- The differential matrix: 8 seeds x workers {1,2,8} x morsel {1,7,1024}
+// --- x multiplicities {1, 5, 10^6}, every operator against its definition.
+
+TEST(ParallelExecDifferential, JoinGroupByDedupMatchDefinitionalOracle) {
+  const size_t worker_counts[] = {1, 2, 8};
+  const size_t granularities[] = {1, 7, 1024};
+  const uint64_t multiplicities[] = {1, 5, 1000000};
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937_64 rng(seed);
+    uint64_t max_mult = multiplicities[seed % 3];
+    Relation r = RandomIntRelation(rng, 2, 200, 40, max_mult);
+    Relation s = RandomIntRelation(rng, 2, 150, 40, max_mult);
+
+    auto join_oracle = ops::Join(Eq(Attr(0), Attr(2)), r, s);
+    auto group_oracle = ops::GroupBy({0}, AllAggs(), r);
+    auto dedup_oracle = ops::Unique(r);
+    ASSERT_OK(join_oracle);
+    ASSERT_OK(group_oracle);
+    ASSERT_OK(dedup_oracle);
+
+    for (size_t workers : worker_counts) {
+      for (size_t morsel : granularities) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " workers=" + std::to_string(workers) +
+                     " morsel=" + std::to_string(morsel) +
+                     " mult=" + std::to_string(max_mult));
+        auto join = exec::ExecuteToRelation(
+            *ParallelJoin(r, s, workers, morsel), morsel);
+        ASSERT_OK(join);
+        EXPECT_REL_EQ(*join, *join_oracle);
+
+        auto grouped = exec::ExecuteToRelation(
+            *ParallelGroupBy(r, {0}, AllAggs(), workers, morsel), morsel);
+        ASSERT_OK(grouped);
+        EXPECT_REL_EQ(*grouped, *group_oracle);
+
+        auto deduped = exec::ExecuteToRelation(
+            *std::make_unique<parallel::ParallelDedupOp>(Scan(r), workers,
+                                                         morsel),
+            morsel);
+        ASSERT_OK(deduped);
+        EXPECT_REL_EQ(*deduped, *dedup_oracle);
+      }
+    }
+  }
+}
+
+TEST(ParallelExecDifferential, ResidualPredicateFiltersMatchPairs) {
+  // Equi-key plus a non-hashable residual: the residual must run against
+  // the concatenated tuple in whichever lane found the match.
+  std::mt19937_64 rng(99);
+  Relation r = RandomIntRelation(rng, 2, 120, 20, 4);
+  Relation s = RandomIntRelation(rng, 2, 120, 20, 4);
+  auto oracle =
+      ops::Join(And(Eq(Attr(0), Attr(2)), Lt(Attr(1), Attr(3))), r, s);
+  ASSERT_OK(oracle);
+  auto op = std::make_unique<parallel::ParallelHashJoinOp>(
+      std::vector<size_t>{0}, std::vector<size_t>{0}, Lt(Attr(1), Attr(3)),
+      Scan(r), Scan(s), /*workers=*/4, /*morsel_size=*/7);
+  auto result = exec::ExecuteToRelation(*op);
+  ASSERT_OK(result);
+  EXPECT_REL_EQ(*result, *oracle);
+}
+
+TEST(ParallelExecDifferential, KeyFreeAggregationKeepsEmptyInputGroup) {
+  // Definition 3.3's key-free case: one global group, present even over an
+  // empty input (CNT = 0, SUM = 0; AVG/MIN/MAX undefined).  The merge
+  // phase must synthesise it when no lane saw a row.
+  std::vector<AggSpec> aggs = {{AggKind::kCnt, 0, "cnt"},
+                               {AggKind::kSum, 1, "sum_v"}};
+  Relation empty(RelationSchema("e", {{"c1", Type::Int()},
+                                      {"c2", Type::Int()}}));
+  std::mt19937_64 rng(7);
+  Relation full = RandomIntRelation(rng, 2, 50, 10, 1000000);
+  for (const Relation* input : {&empty, &full}) {
+    auto oracle = ops::GroupBy({}, aggs, *input);
+    ASSERT_OK(oracle);
+    auto result = exec::ExecuteToRelation(
+        *ParallelGroupBy(*input, {}, aggs, /*workers=*/8, /*morsel=*/7));
+    ASSERT_OK(result);
+    EXPECT_REL_EQ(*result, *oracle);
+  }
+}
+
+// --- Governance: cancellation, deadline and budget kills reach every lane.
+
+Relation BigPairs(size_t n) {
+  Relation rel(RelationSchema("big", {{"k", Type::Int()},
+                                      {"v", Type::Int()}}));
+  for (size_t i = 0; i < n; ++i) {
+    rel.InsertUnchecked(
+        Tuple({Value::Int(static_cast<int64_t>(i % (n / 16 + 1))),
+               Value::Int(static_cast<int64_t>(i))}),
+        1 + i % 3);
+  }
+  return rel;
+}
+
+TEST(ParallelExecGovernance, CancelHammerFromAnotherThread) {
+  // The TSan target: an external cancel lands while 8 lanes are mid-build
+  // or mid-probe.  Whatever the timing, the query either completes with
+  // the right bag or dies with kCancelled — and the memory accounting
+  // balances either way.  Many iterations walk the cancel point across
+  // every phase.
+  Relation r = BigPairs(6000);
+  auto oracle = ops::Join(Eq(Attr(0), Attr(2)), r, r);
+  ASSERT_OK(oracle);
+  for (int round = 0; round < 12; ++round) {
+    exec::ExecContext ctx;
+    auto op = ParallelJoin(r, r, /*workers=*/8, /*morsel=*/64);
+    op->SetExecContext(&ctx);
+    std::thread killer([&ctx, round] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+      ctx.RequestCancel();
+    });
+    auto result = exec::ExecuteToRelation(*op, 64);
+    killer.join();
+    if (result.ok()) {
+      EXPECT_REL_EQ(*result, *oracle) << "round " << round;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+          << "round " << round << ": " << result.status().ToString();
+    }
+    EXPECT_EQ(ctx.mem_used(), 0u) << "round " << round;
+  }
+}
+
+TEST(ParallelExecGovernance, FailpointCancelKillsEachParallelOperator) {
+  // exec.cancel.batch trips on the very first batch pull, so the kill
+  // arrives while the build scan is feeding worker lanes; the fresh rerun
+  // after disarm proves no poisoned pool or operator state survives.
+  Relation r = BigPairs(4000);
+  struct Case {
+    const char* name;
+    std::function<exec::PhysOpPtr()> build;
+  };
+  const Case cases[] = {
+      {"join", [&] { return ParallelJoin(r, r, 8, 32); }},
+      {"groupby", [&] { return ParallelGroupBy(r, {0}, AllAggs(), 8, 32); }},
+      {"dedup",
+       [&] {
+         return std::make_unique<parallel::ParallelDedupOp>(Scan(r), 8, 32);
+       }},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(fault::FaultRegistry::Global()
+                    .ConfigureFromSpec("exec.cancel.batch=error")
+                    .ok());
+    exec::ExecContext ctx;
+    auto op = c.build();
+    op->SetExecContext(&ctx);
+    auto killed = exec::ExecuteToRelation(*op, 32);
+    fault::FaultRegistry::Global().DisarmAll();
+    ASSERT_FALSE(killed.ok()) << c.name << " survived an armed cancel";
+    EXPECT_EQ(killed.status().code(), StatusCode::kCancelled) << c.name;
+    EXPECT_EQ(ctx.mem_used(), 0u) << c.name;
+
+    exec::ExecContext clean_ctx;
+    auto rerun = c.build();
+    rerun->SetExecContext(&clean_ctx);
+    EXPECT_TRUE(exec::ExecuteToRelation(*rerun, 32).ok())
+        << c.name << " failed after disarm";
+  }
+}
+
+TEST(ParallelExecGovernance, DeadlineKillLandsWithinAMorsel) {
+  // An already-expired deadline must stop the fan-out at the first morsel
+  // boundary on every lane with kDeadlineExceeded.
+  Relation r = BigPairs(20000);
+  exec::ExecContext ctx;
+  ctx.SetDeadlineAfterMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto op = ParallelJoin(r, r, /*workers=*/8, /*morsel=*/16);
+  op->SetExecContext(&ctx);
+  auto killed = exec::ExecuteToRelation(*op, 16);
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ctx.mem_used(), 0u);
+}
+
+TEST(ParallelExecGovernance, MemoryBudgetTripsDuringParallelBuild) {
+  Relation r = BigPairs(20000);
+  exec::ExecContext ctx;
+  ctx.SetMemoryBudget(4 * 1024);  // Far below the build footprint.
+  auto op = ParallelJoin(r, r, /*workers=*/4, /*morsel=*/256);
+  op->SetExecContext(&ctx);
+  auto killed = exec::ExecuteToRelation(*op, 256);
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.mem_used(), 0u);
+}
+
+// --- The pool itself.
+
+TEST(WorkerPoolTest, ParallelForRunsEveryLaneExactlyOnce) {
+  auto& pool = parallel::WorkerPool::Global();
+  auto lease = pool.Admit(4);
+  std::vector<std::atomic<int>> hits(lease.lanes());
+  pool.ParallelFor(lease, [&](size_t lane) { hits[lane].fetch_add(1); });
+  for (size_t lane = 0; lane < hits.size(); ++lane) {
+    EXPECT_EQ(hits[lane].load(), 1) << "lane " << lane;
+  }
+}
+
+TEST(WorkerPoolTest, SaturationShedsToSerialLease) {
+  auto& pool = parallel::WorkerPool::Global();
+  // Drain the pool, then the next admission must degrade to one lane (the
+  // caller's own) rather than queue.
+  std::vector<parallel::WorkerPool::Lease> hogs;
+  for (size_t i = 0; i < pool.capacity() + 1; ++i) {
+    hogs.push_back(pool.Admit(2));
+  }
+  auto starved = pool.Admit(8);
+  EXPECT_EQ(starved.lanes(), 1u);
+  hogs.clear();  // Leases return their lanes on destruction...
+  auto refreshed = pool.Admit(2);
+  EXPECT_GE(refreshed.lanes(), 2u);  // ...so admission recovers.
+}
+
+// --- Planner integration: EXPLAIN ANALYZE carries the lane metrics.
+
+TEST(ParallelExecPlanner, ExplainAnalyzeRendersWorkersAndCpu) {
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(
+      db->get(), ConfigBuilder().Workers(4).ParallelThreshold(1).Build());
+  ASSERT_OK(interp.ExecuteScript(
+      "create t(g: int, v: int);"
+      "insert(t, {(1, 10) : 3, (1, 20), (2, 5) : 2, (3, 7), (4, 1)});",
+      nullptr));
+  ASSERT_OK(interp.ExecuteScript("analyze t;", nullptr));
+  auto text = interp.ExplainAnalyze("groupby([%1], sum(%2), unique(t))");
+  ASSERT_OK(text);
+  EXPECT_NE(text->find("ParallelHashGroupBy"), std::string::npos) << *text;
+  EXPECT_NE(text->find("ParallelDedup"), std::string::npos) << *text;
+  EXPECT_NE(text->find("workers="), std::string::npos) << *text;
+  EXPECT_NE(text->find("cpu="), std::string::npos) << *text;
+}
+
+TEST(ParallelExecPlanner, ThresholdKeepsSmallQueriesSerial) {
+  // Default threshold (8192 estimated rows) vs a 5-row table: the planner
+  // must keep the serial kernels even with workers available.
+  auto db = Database::Open();
+  ASSERT_OK(db);
+  lang::Interpreter interp(db->get(), ConfigBuilder().Workers(4).Build());
+  ASSERT_OK(interp.ExecuteScript(
+      "create t(g: int, v: int);"
+      "insert(t, {(1, 10) : 3, (1, 20), (2, 5) : 2, (3, 7), (4, 1)});",
+      nullptr));
+  ASSERT_OK(interp.ExecuteScript("analyze t;", nullptr));
+  auto text = interp.Explain("groupby([%1], sum(%2), unique(t))");
+  ASSERT_OK(text);
+  EXPECT_EQ(text->find("Parallel"), std::string::npos) << *text;
+}
+
+}  // namespace
+}  // namespace mra
