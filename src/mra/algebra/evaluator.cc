@@ -70,6 +70,11 @@ Result<Relation> EvaluatePlan(const Plan& plan,
       MRA_ASSIGN_OR_RETURN(Relation in, EvaluatePlan(*plan.child(0), provider));
       return ops::TransitiveClosure(in);
     }
+    case PlanKind::kSort: {
+      MRA_ASSIGN_OR_RETURN(Relation in, EvaluatePlan(*plan.child(0), provider));
+      return ops::Sort(plan.sort_keys(), plan.sort_desc(), plan.sort_limit(),
+                       in);
+    }
   }
   return Status::Internal("bad plan kind");
 }

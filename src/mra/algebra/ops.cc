@@ -118,6 +118,52 @@ Result<Relation> Unique(const Relation& input) {
   return out;
 }
 
+int CompareForSort(const Tuple& a, const Tuple& b,
+                   const std::vector<size_t>& keys,
+                   const std::vector<bool>& desc) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    int c = a.at(keys[i]).Compare(b.at(keys[i]));
+    if (c != 0) return desc[i] ? -c : c;
+  }
+  // Whole-tuple ascending tiebreak: totalises the order so equal-key ties
+  // resolve the same way everywhere (definitional, in-memory, spilled).
+  for (size_t i = 0; i < a.arity(); ++i) {
+    int c = a.at(i).Compare(b.at(i));
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+Result<Relation> Sort(const std::vector<size_t>& keys,
+                      const std::vector<bool>& desc, uint64_t limit,
+                      const Relation& input) {
+  if (desc.size() != keys.size()) {
+    return Status::InvalidArgument("sort keys and desc flags differ in size");
+  }
+  for (size_t k : keys) {
+    if (k >= input.schema().arity()) {
+      return Status::InvalidArgument(
+          "sort key %" + std::to_string(k + 1) + " out of range for schema " +
+          input.schema().ToString());
+    }
+  }
+  if (limit == 0) return input;  // Identity on the bag; order is stream-only.
+  std::vector<std::pair<Tuple, uint64_t>> entries(input.begin(), input.end());
+  std::sort(entries.begin(), entries.end(),
+            [&](const auto& a, const auto& b) {
+              return CompareForSort(a.first, b.first, keys, desc) < 0;
+            });
+  Relation out(input.schema());
+  uint64_t remaining = limit;
+  for (auto& [tuple, count] : entries) {
+    if (remaining == 0) break;
+    uint64_t take = std::min(count, remaining);
+    remaining -= take;
+    out.InsertUnchecked(std::move(tuple), take);
+  }
+  return out;
+}
+
 Result<RelationSchema> GroupBySchema(const std::vector<size_t>& keys,
                                      const std::vector<AggSpec>& aggs,
                                      const RelationSchema& input) {

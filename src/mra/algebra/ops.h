@@ -85,6 +85,25 @@ Result<RelationSchema> GroupBySchema(const std::vector<size_t>& keys,
                                      const std::vector<AggSpec>& aggs,
                                      const RelationSchema& input);
 
+/// Three-way comparison of two tuples under the sort total order: the listed
+/// keys in order (desc[i] flips key i), then the *whole* tuple ascending as
+/// the tiebreak.  The tiebreak makes the order total, which is what lets the
+/// weighted LIMIT below (and the physical Top-K) be deterministic.
+int CompareForSort(const Tuple& a, const Tuple& b,
+                   const std::vector<size_t>& keys,
+                   const std::vector<bool>& desc);
+
+/// sort_[keys],limit E — the definitional semantics of the sort node.  A
+/// Definition 2.1 relation is an unordered multiset, so with limit = 0 the
+/// operator is the identity on bags (ordering is a property of the emitted
+/// stream, checked separately against the physical operator).  With
+/// limit = k > 0 it is the deterministic multiplicity-weighted Top-K under
+/// CompareForSort: tuples are taken in sort order until k total multiplicity
+/// is reached, the boundary tuple keeping the clamped remainder.
+Result<Relation> Sort(const std::vector<size_t>& keys,
+                      const std::vector<bool>& desc, uint64_t limit,
+                      const Relation& input);
+
 }  // namespace ops
 }  // namespace mra
 

@@ -34,6 +34,8 @@ std::string_view PlanKindName(PlanKind kind) {
       return "groupby";
     case PlanKind::kClosure:
       return "closure";
+    case PlanKind::kSort:
+      return "sort";
   }
   return "?";
 }
@@ -154,6 +156,30 @@ Result<PlanPtr> Plan::GroupBy(std::vector<size_t> keys,
   return PlanPtr(plan);
 }
 
+Result<PlanPtr> Plan::Sort(std::vector<size_t> keys, std::vector<bool> desc,
+                           uint64_t limit, PlanPtr input) {
+  if (keys.empty() && limit == 0) {
+    return Status::InvalidArgument("sort requires keys or a limit");
+  }
+  if (desc.size() != keys.size()) {
+    return Status::InvalidArgument("sort keys and desc flags differ in size");
+  }
+  for (size_t k : keys) {
+    if (k >= input->schema().arity()) {
+      return Status::InvalidArgument(
+          "sort key %" + std::to_string(k + 1) + " out of range for schema " +
+          input->schema().ToString());
+    }
+  }
+  auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kSort));
+  plan->schema_ = input->schema();
+  plan->sort_keys_ = std::move(keys);
+  plan->sort_desc_ = std::move(desc);
+  plan->sort_limit_ = limit;
+  plan->children_ = {std::move(input)};
+  return PlanPtr(plan);
+}
+
 Result<PlanPtr> Plan::Closure(PlanPtr input) {
   MRA_RETURN_IF_ERROR(ops::CheckClosureInput(input->schema()));
   auto plan = std::shared_ptr<Plan>(new Plan(PlanKind::kClosure));
@@ -199,6 +225,19 @@ void RenderPayload(const Plan& plan, std::ostream& out) {
         if (i > 0) out << ", ";
         out << AggKindName(aggs[i].kind) << "(%" << aggs[i].attr + 1 << ")";
       }
+      break;
+    }
+    case PlanKind::kSort: {
+      out << " [";
+      const auto& keys = plan.sort_keys();
+      const auto& desc = plan.sort_desc();
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) out << ", ";
+        if (desc[i]) out << "-";
+        out << "%" << keys[i] + 1;
+      }
+      out << "]";
+      if (plan.sort_limit() > 0) out << ", " << plan.sort_limit();
       break;
     }
     default:
@@ -286,6 +325,13 @@ bool PlanEquals(const PlanPtr& a, const PlanPtr& b) {
       }
       break;
     }
+    case PlanKind::kSort:
+      if (a->sort_keys() != b->sort_keys() ||
+          a->sort_desc() != b->sort_desc() ||
+          a->sort_limit() != b->sort_limit()) {
+        return false;
+      }
+      break;
     default:
       break;
   }

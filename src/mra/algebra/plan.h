@@ -30,6 +30,7 @@ enum class PlanKind : uint8_t {
   kUnique,      // δ
   kGroupBy,     // Γ_{α,f,p}
   kClosure,     // transitive closure (§5 extension)
+  kSort,        // ordered emission + optional weighted LIMIT (practical ext.)
 };
 
 std::string_view PlanKindName(PlanKind kind);
@@ -83,6 +84,21 @@ class Plan {
     MRA_CHECK(kind_ == PlanKind::kGroupBy);
     return aggregates_;
   }
+  /// kSort: the 0-based sort key attribute indexes, major first.
+  const std::vector<size_t>& sort_keys() const {
+    MRA_CHECK(kind_ == PlanKind::kSort);
+    return sort_keys_;
+  }
+  /// kSort: per-key descending flags (parallel to sort_keys()).
+  const std::vector<bool>& sort_desc() const {
+    MRA_CHECK(kind_ == PlanKind::kSort);
+    return sort_desc_;
+  }
+  /// kSort: multiplicity-weighted row limit; 0 means no limit.
+  uint64_t sort_limit() const {
+    MRA_CHECK(kind_ == PlanKind::kSort);
+    return sort_limit_;
+  }
 
   /// Multi-line indented rendering using the paper's operator names.
   std::string ToString() const;
@@ -115,6 +131,16 @@ class Plan {
   /// Transitive closure of a binary same-domain relation (§5 extension;
   /// result is duplicate-free, see mra/algebra/closure.h).
   static Result<PlanPtr> Closure(PlanPtr input);
+  /// Ordered emission on `keys` (desc[i] flips key i), with an optional
+  /// multiplicity-weighted LIMIT (0 = none).  As a *bag*, sort with no
+  /// limit is the identity — the ordering is a property of the emitted
+  /// stream, not of the multiset (Definition 2.1 relations are unordered);
+  /// with a limit it denotes the deterministic weighted Top-K under
+  /// (keys, then the full tuple ascending) with the boundary tuple's
+  /// multiplicity clamped.
+  static Result<PlanPtr> Sort(std::vector<size_t> keys,
+                              std::vector<bool> desc, uint64_t limit,
+                              PlanPtr input);
 
  private:
   explicit Plan(PlanKind kind) : kind_(kind) {}
@@ -129,6 +155,9 @@ class Plan {
   std::vector<ExprPtr> projections_;
   std::vector<size_t> group_keys_;
   std::vector<AggSpec> aggregates_;
+  std::vector<size_t> sort_keys_;
+  std::vector<bool> sort_desc_;
+  uint64_t sort_limit_ = 0;
 };
 
 /// Structural plan equality (schemas, payloads and children).

@@ -56,6 +56,15 @@ struct ExecConfig {
     /// the planner lowers an operator to its parallel variant; below it
     /// the serial kernel wins on fan-out overhead alone.
     uint64_t parallel_threshold = 8192;
+    /// In-memory working-set cap for one sort run, in bytes: a SortOp whose
+    /// buffered rows exceed it sorts the buffer and spills it as a merge
+    /// run through the storage encoder (docs/EXECUTION.md).  0 means no
+    /// fixed cap — the sort still spills at half the query memory budget
+    /// when one is armed, and stays fully in memory otherwise.
+    uint64_t sort_spill_bytes = 0;
+    /// Force the sort-merge join strategy for every equi-join, overriding
+    /// the cost-based hash-vs-sort-merge choice (docs/OPTIMIZER.md).
+    bool sort_merge_join = false;
   } exec;
 
   /// Per-query governance (docs/GOVERNANCE.md).
@@ -126,6 +135,14 @@ class ConfigBuilder {
   }
   ConfigBuilder& ParallelThreshold(uint64_t v) {
     cfg_.exec.parallel_threshold = v;
+    return *this;
+  }
+  ConfigBuilder& SortSpillBytes(uint64_t v) {
+    cfg_.exec.sort_spill_bytes = v;
+    return *this;
+  }
+  ConfigBuilder& SortMergeJoin(bool v) {
+    cfg_.exec.sort_merge_join = v;
     return *this;
   }
   ConfigBuilder& StatementTimeoutMs(int64_t v) {

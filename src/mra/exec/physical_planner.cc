@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "mra/common/annotation.h"
+#include "mra/exec/sort.h"
 #include "mra/obs/metrics.h"
 #include "mra/parallel/parallel_ops.h"
 
@@ -42,6 +43,25 @@ struct LowerContext {
   std::unordered_map<std::string, int> reuse_counts;
   std::unordered_map<std::string, std::shared_ptr<SubplanState>> shared;
 };
+
+/// Join-strategy choice for an equi-join: sort-merge when the knob forces
+/// it, or when the estimated hash build footprint would trip an armed
+/// memory budget — the sort-merge inputs spill to disk instead of being
+/// killed (docs/OPTIMIZER.md "Join strategy").  With no estimator or no
+/// budget the hash join stays the default.
+bool PickSortMergeJoin(const PlanPtr& plan, const LowerContext& ctx) {
+  if (ctx.config.exec.sort_merge_join) return true;
+  uint64_t budget = ctx.config.governance.query_mem_budget_bytes;
+  if (budget == 0 || ctx.estimator == nullptr) return false;
+  double build_rows = (*ctx.estimator)(*plan->child(1));
+  if (build_rows < 0) return false;
+  // Same coarse footprint model the executor charges with: struct
+  // overhead plus one Value per attribute (string payloads unknown here).
+  double row_bytes = static_cast<double>(
+      sizeof(Row) + plan->child(1)->schema().arity() * sizeof(Value) +
+      3 * sizeof(size_t));  // key index + chain links per build row
+  return build_rows * row_bytes > static_cast<double>(budget);
+}
 
 /// Lane count for a hash operator's parallel variant: the configured
 /// worker degree when parallelism is on and the node's estimated input
@@ -148,6 +168,15 @@ Result<PhysOpPtr> LowerNode(const PlanPtr& plan, LowerContext& ctx) {
           keys += (i == 0 ? "%" : ", %") + std::to_string(left_keys[i] + 1) +
                   "=%" + std::to_string(left_arity + right_keys[i] + 1);
         }
+        if (PickSortMergeJoin(plan, ctx)) {
+          PhysOpPtr op(std::make_unique<SortMergeJoinOp>(
+              std::move(left_keys), std::move(right_keys),
+              std::move(residual), std::move(l), std::move(r),
+              ctx.config.exec.sort_spill_bytes));
+          op->set_annotation(
+              AnnotationText("strategy", "sort-merge, keys " + keys));
+          return op;
+        }
         if (lanes > 0) {
           PhysOpPtr op(std::make_unique<parallel::ParallelHashJoinOp>(
               std::move(left_keys), std::move(right_keys), std::move(residual),
@@ -189,6 +218,25 @@ Result<PhysOpPtr> LowerNode(const PlanPtr& plan, LowerContext& ctx) {
     case PlanKind::kClosure: {
       MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlanImpl(plan->child(0), ctx));
       return PhysOpPtr(std::make_unique<ClosureOp>(std::move(child)));
+    }
+    case PlanKind::kSort: {
+      MRA_ASSIGN_OR_RETURN(PhysOpPtr child, LowerPlanImpl(plan->child(0), ctx));
+      const std::vector<size_t>& keys = plan->sort_keys();
+      const std::vector<bool>& desc = plan->sort_desc();
+      std::string detail;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) detail += ", ";
+        if (desc[i]) detail += '-';
+        detail += '%' + std::to_string(keys[i] + 1);
+      }
+      if (plan->sort_limit() > 0) {
+        detail += " limit " + std::to_string(plan->sort_limit());
+      }
+      PhysOpPtr op(std::make_unique<SortOp>(
+          keys, desc, plan->sort_limit(), ctx.config.exec.sort_spill_bytes,
+          std::move(child)));
+      op->set_annotation(AnnotationText("order", detail));
+      return op;
     }
   }
   return Status::Internal("bad plan kind");

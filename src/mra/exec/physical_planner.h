@@ -9,9 +9,14 @@
 //   ∩        → Intersect (materialising)
 //   ×        → NestedLoopJoin without condition
 //   ⋈_φ      → HashJoin when φ contains same-domain equi-conjuncts %i = %j
-//              across the inputs (residual applied after the probe),
+//              across the inputs (residual applied after the probe);
+//              SortMergeJoin instead when the `sort_merge_join` knob forces
+//              it or the estimated hash build would trip an armed memory
+//              budget (the sorted inputs spill — docs/OPTIMIZER.md);
 //              NestedLoopJoin otherwise
 //   Γ        → HashGroupBy
+//   sort     → Sort (in-memory, or external merge past the spill
+//              threshold; weighted Top-K heap under a LIMIT)
 //
 // When `config.exec.workers > 1` the hash kernels additionally lower to
 // their morsel-driven partitioned variants (ParallelHashJoin,

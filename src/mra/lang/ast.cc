@@ -60,6 +60,18 @@ std::string RelExpr::ToString() const {
     case Kind::kClosure:
       out << "closure(" << children[0]->ToString() << ")";
       break;
+    case Kind::kSort: {
+      out << "sort([";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) out << ", ";
+        if (sort_desc[i]) out << "-";
+        out << "%" << keys[i] + 1;
+      }
+      out << "], " << children[0]->ToString();
+      if (limit > 0) out << ", " << limit;
+      out << ")";
+      break;
+    }
     case Kind::kGroupBy: {
       out << "groupby([";
       for (size_t i = 0; i < keys.size(); ++i) {

@@ -37,6 +37,7 @@ struct RelExpr {
     kProject,
     kUnique,
     kGroupBy,
+    kSort,     // ordered emission + optional weighted limit (practical ext.)
     kClosure,  // §5 extension
   };
 
@@ -47,8 +48,10 @@ struct RelExpr {
   Relation literal;                // kLiteral
   ExprPtr condition;               // kJoin, kSelect
   std::vector<ExprPtr> projections;  // kProject
-  std::vector<size_t> keys;        // kGroupBy (0-based)
+  std::vector<size_t> keys;        // kGroupBy, kSort (0-based)
   std::vector<AggSpec> aggs;       // kGroupBy
+  std::vector<bool> sort_desc;     // kSort: per-key descending flag
+  uint64_t limit = 0;              // kSort: weighted LIMIT, 0 = none
   std::vector<RelExprPtr> children;
 
   /// Source-like rendering (used in error messages and the REPL).

@@ -75,6 +75,12 @@ Result<PlanPtr> BindRelExpr(const RelExpr& expr,
       return AtLine(Plan::GroupBy(expr.keys, expr.aggs, std::move(in)),
                     expr.line);
     }
+    case RelExpr::Kind::kSort: {
+      MRA_ASSIGN_OR_RETURN(PlanPtr in, BindRelExpr(*expr.children[0], provider));
+      return AtLine(
+          Plan::Sort(expr.keys, expr.sort_desc, expr.limit, std::move(in)),
+          expr.line);
+    }
   }
   return Status::Internal("bad relation expression kind");
 }

@@ -27,6 +27,7 @@ const std::unordered_map<std::string_view, TokenKind>& Keywords() {
           {"project", TokenKind::kKwProject},
           {"unique", TokenKind::kKwUnique},
           {"groupby", TokenKind::kKwGroupby},
+          {"sort", TokenKind::kKwSort},
           {"closure", TokenKind::kKwClosure},
           {"constraint", TokenKind::kKwConstraint},
           {"explain", TokenKind::kKwExplain},

@@ -291,6 +291,8 @@ class Parser {
       }
       case TokenKind::kKwGroupby:
         return ParseGroupBy();
+      case TokenKind::kKwSort:
+        return ParseSort();
       default:
         return Error("expected a relation expression");
     }
@@ -355,6 +357,56 @@ class Parser {
   aggregates_done:
     MRA_ASSIGN_OR_RETURN(RelExprPtr input, ParseRelExpr());
     MRA_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    node->children = {std::move(input)};
+    return RelExprPtr(node);
+  }
+
+  /// sort([%1, -%2], E)  |  sort([%1], E, 10)
+  /// A '-' prefix on a key sorts that key descending; the optional trailing
+  /// integer is the multiplicity-weighted LIMIT.
+  Result<RelExprPtr> ParseSort() {
+    auto node = std::make_shared<RelExpr>();
+    node->line = Peek().line;
+    node->kind = RelExpr::Kind::kSort;
+    Advance();  // 'sort'
+    MRA_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    MRA_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+    if (!Check(TokenKind::kRBracket)) {
+      while (true) {
+        bool desc = false;
+        if (Check(TokenKind::kMinus)) {
+          Advance();
+          desc = true;
+        }
+        if (!Check(TokenKind::kAttrRef)) {
+          return Error("sort key list expects attribute references (%i)");
+        }
+        node->keys.push_back(Advance().attr_index);
+        node->sort_desc.push_back(desc);
+        if (Check(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    MRA_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    MRA_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+    MRA_ASSIGN_OR_RETURN(RelExprPtr input, ParseRelExpr());
+    if (Check(TokenKind::kComma)) {
+      Advance();
+      if (!Check(TokenKind::kIntLit)) {
+        return Error("sort limit expects an integer");
+      }
+      node->limit = std::stoull(Advance().text);
+      if (node->limit == 0) {
+        return Error("sort limit must be >= 1 (omit it for no limit)");
+      }
+    }
+    MRA_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    if (node->keys.empty() && node->limit == 0) {
+      return Error("sort with no keys needs a limit");
+    }
     node->children = {std::move(input)};
     return RelExprPtr(node);
   }

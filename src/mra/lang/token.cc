@@ -53,6 +53,8 @@ std::string_view TokenKindName(TokenKind kind) {
       return "'unique'";
     case TokenKind::kKwGroupby:
       return "'groupby'";
+    case TokenKind::kKwSort:
+      return "'sort'";
     case TokenKind::kKwClosure:
       return "'closure'";
     case TokenKind::kKwConstraint:

@@ -39,6 +39,7 @@ enum class TokenKind : uint8_t {
   kKwProject,
   kKwUnique,
   kKwGroupby,
+  kKwSort,
   kKwClosure,
   kKwConstraint,
   kKwExplain,

@@ -99,6 +99,9 @@ Result<PlanPtr> WithChildren(const PlanPtr& plan,
       return Plan::GroupBy(plan->group_keys(), std::move(aggs),
                            std::move(children[0]));
     }
+    case PlanKind::kSort:
+      return Plan::Sort(plan->sort_keys(), plan->sort_desc(),
+                        plan->sort_limit(), std::move(children[0]));
   }
   return Status::Internal("bad plan kind");
 }
@@ -610,6 +613,16 @@ Result<PruneResult> PruneRec(const PlanPtr& plan,
           PlanPtr g,
           Plan::GroupBy(std::move(keys), std::move(aggs), std::move(c.plan)));
       return Narrow(Unpruned(std::move(g)), needed);
+    }
+    case PlanKind::kSort: {
+      // The sort's total order ties ALL columns (the whole-tuple tiebreak,
+      // and a weighted LIMIT observes every column's multiplicities), so
+      // the child stays whole; narrow above the sort.
+      MRA_ASSIGN_OR_RETURN(PruneResult c, PruneAll(plan->child(0)));
+      MRA_ASSIGN_OR_RETURN(PlanPtr s,
+                           Plan::Sort(plan->sort_keys(), plan->sort_desc(),
+                                      plan->sort_limit(), std::move(c.plan)));
+      return Narrow(Unpruned(std::move(s)), needed);
     }
   }
   return Status::Internal("bad plan kind");

@@ -369,6 +369,16 @@ double Estimate(const Plan& plan, const RelationProvider& provider,
       if (n < 0) return kNoEstimate;
       return std::min(n * n, n * 8.0 + 1.0);
     }
+    case PlanKind::kSort: {
+      // Ordering keeps the bag; a weighted LIMIT caps the (weighted)
+      // cardinality the estimator already speaks in.
+      double n = Estimate(*plan.child(0), provider, cache);
+      if (n < 0) return kNoEstimate;
+      if (plan.sort_limit() > 0) {
+        return std::min(n, static_cast<double>(plan.sort_limit()));
+      }
+      return n;
+    }
   }
   return kNoEstimate;
 }
@@ -404,8 +414,9 @@ const stats::ColumnStatistics* ResolveColumnStats(const Plan& plan,
     }
     case PlanKind::kSelect:
     case PlanKind::kUnique:
-      // Filtering keeps column identity; the source distinct count is an
-      // upper bound for the filtered column.
+    case PlanKind::kSort:
+      // Filtering/ordering keeps column identity; the source distinct count
+      // is an upper bound for the filtered column.
       return ResolveColumnStats(*plan.child(0), index, cache);
     case PlanKind::kProject: {
       const ExprPtr& e = plan.projections()[index];

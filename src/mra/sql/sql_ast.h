@@ -72,6 +72,13 @@ struct SelectItem {
   std::string ToString() const;
 };
 
+/// One ORDER BY item: a column of the *output* (a select-list alias, a
+/// projected column, or a group key / aggregate alias), with direction.
+struct OrderItem {
+  ColumnRef column;
+  bool desc = false;
+};
+
 struct SelectStmt {
   bool distinct = false;
   std::vector<SelectItem> items;
@@ -79,6 +86,8 @@ struct SelectStmt {
   SqlExprPtr where;                 // nullable
   std::vector<ColumnRef> group_by;
   SqlExprPtr having;                // nullable; may contain aggregates
+  std::vector<OrderItem> order_by;  // empty = no ordering requested
+  uint64_t limit = 0;               // multiplicity-weighted LIMIT; 0 = none
 };
 
 struct InsertStmt {

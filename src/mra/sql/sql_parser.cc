@@ -205,6 +205,33 @@ class SqlParser {
     if (AcceptKw("HAVING")) {
       MRA_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
     }
+    if (AcceptKw("ORDER")) {
+      MRA_RETURN_IF_ERROR(ExpectKw("BY"));
+      while (true) {
+        OrderItem item;
+        MRA_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        if (AcceptKw("DESC")) {
+          item.desc = true;
+        } else {
+          (void)AcceptKw("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (Check(SqlTokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (AcceptKw("LIMIT")) {
+      if (!Check(SqlTokenKind::kIntLit)) {
+        return Error("expected a row count after LIMIT");
+      }
+      stmt.limit = std::stoull(Advance().text);
+      if (stmt.limit == 0) {
+        return Error("LIMIT must be >= 1 (omit it for no limit)");
+      }
+    }
     return SqlStatement(std::move(stmt));
   }
 

@@ -202,6 +202,50 @@ Result<ExprPtr> TranslateHavingExpr(const SqlExpr& expr,
   return Status::Internal("bad SQL expression kind");
 }
 
+// Resolves one ORDER BY column against the query's *output* frame: select
+// aliases first, then (through `scope`) columns that survived into the
+// output, whose source index is recorded in `sources` (nullopt for
+// computed/aggregate outputs, addressable only by alias).
+Result<size_t> ResolveOrderColumn(
+    const ColumnRef& ref, const std::vector<std::string>& aliases,
+    const std::vector<std::optional<size_t>>& sources,
+    const NameScope& scope) {
+  if (ref.table.empty()) {
+    for (size_t i = 0; i < aliases.size(); ++i) {
+      if (!aliases[i].empty() && aliases[i] == ref.column) return i;
+    }
+  }
+  Result<size_t> resolved = scope.Resolve(ref);
+  if (resolved.ok()) {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (sources[i].has_value() && *sources[i] == resolved.value()) return i;
+    }
+  }
+  return Status::NotFound("ORDER BY column " + ref.ToString() +
+                          " is not in the select list");
+}
+
+// Wraps the translated query in a sort node when ORDER BY / LIMIT was
+// given.  Outermost by design: SQL orders and limits the final result,
+// after DISTINCT and HAVING.
+Result<lang::RelExprPtr> WrapOrderByLimit(
+    const SelectStmt& stmt, const std::vector<std::string>& aliases,
+    const std::vector<std::optional<size_t>>& sources, const NameScope& scope,
+    lang::RelExprPtr rel) {
+  if (stmt.order_by.empty() && stmt.limit == 0) return rel;
+  auto sort = std::make_shared<lang::RelExpr>();
+  sort->kind = lang::RelExpr::Kind::kSort;
+  for (const OrderItem& item : stmt.order_by) {
+    MRA_ASSIGN_OR_RETURN(
+        size_t pos, ResolveOrderColumn(item.column, aliases, sources, scope));
+    sort->keys.push_back(pos);
+    sort->sort_desc.push_back(item.desc);
+  }
+  sort->limit = stmt.limit;
+  sort->children = {std::move(rel)};
+  return lang::RelExprPtr(sort);
+}
+
 }  // namespace
 
 Result<lang::RelExprPtr> TranslateSelect(const SelectStmt& stmt,
@@ -220,13 +264,19 @@ Result<lang::RelExprPtr> TranslateSelect(const SelectStmt& stmt,
       return Status::InvalidArgument(
           "HAVING requires GROUP BY or aggregates in the select list");
     }
-    // Plain projection; SELECT * keeps every column.
+    // Plain projection; SELECT * keeps every column.  Alongside each output
+    // column, record its alias and (for plain column references) its source
+    // index in the FROM product, so ORDER BY can address the output frame.
     std::vector<ExprPtr> projections;
+    std::vector<std::string> out_aliases;
+    std::vector<std::optional<size_t>> out_sources;
     for (const SelectItem& item : stmt.items) {
       switch (item.kind) {
         case SelectItem::Kind::kStar:
           for (size_t i = 0; i < scope.combined().arity(); ++i) {
             projections.push_back(Attr(i));
+            out_aliases.emplace_back();
+            out_sources.push_back(i);
           }
           break;
         case SelectItem::Kind::kExpr: {
@@ -238,6 +288,13 @@ Result<lang::RelExprPtr> TranslateSelect(const SelectStmt& stmt,
           }
           MRA_ASSIGN_OR_RETURN(ExprPtr e, TranslateExpr(*item.expr, scope));
           projections.push_back(std::move(e));
+          out_aliases.push_back(item.alias);
+          if (item.expr->kind == SqlExpr::Kind::kColumn) {
+            MRA_ASSIGN_OR_RETURN(size_t src, scope.Resolve(item.expr->column));
+            out_sources.push_back(src);
+          } else {
+            out_sources.push_back(std::nullopt);
+          }
           break;
         }
         case SelectItem::Kind::kAggregate:
@@ -246,7 +303,8 @@ Result<lang::RelExprPtr> TranslateSelect(const SelectStmt& stmt,
     }
     rel = WrapProject(std::move(projections), std::move(rel));
     if (stmt.distinct) rel = WrapUnique(std::move(rel));
-    return rel;
+    return WrapOrderByLimit(stmt, out_aliases, out_sources, scope,
+                            std::move(rel));
   }
 
   // Aggregate query: GROUP BY keys + aggregate select items
@@ -345,7 +403,23 @@ Result<lang::RelExprPtr> TranslateSelect(const SelectStmt& stmt,
     result = WrapProject(std::move(projections), std::move(result));
   }
   if (stmt.distinct) result = WrapUnique(std::move(result));
-  return result;
+
+  // The final frame is in select-list order (the reorder projection above
+  // guarantees it): group-key columns keep their FROM-product identity for
+  // ORDER BY, aggregates are addressable by alias only.
+  std::vector<std::string> out_aliases;
+  std::vector<std::optional<size_t>> out_sources;
+  for (const SelectItem& item : stmt.items) {
+    out_aliases.push_back(item.alias);
+    if (item.kind == SelectItem::Kind::kExpr) {
+      MRA_ASSIGN_OR_RETURN(size_t src, scope.Resolve(item.expr->column));
+      out_sources.push_back(src);
+    } else {
+      out_sources.push_back(std::nullopt);
+    }
+  }
+  return WrapOrderByLimit(stmt, out_aliases, out_sources, scope,
+                          std::move(result));
 }
 
 Result<Value> CoerceValue(const Value& v, Type target) {

@@ -122,6 +122,16 @@ void EncodePlan(Encoder* encoder, const Plan& plan) {
       }
       break;
     }
+    case PlanKind::kSort: {
+      const auto& keys = plan.sort_keys();
+      encoder->PutU32(static_cast<uint32_t>(keys.size()));
+      for (size_t i = 0; i < keys.size(); ++i) {
+        encoder->PutU64(keys[i]);
+        encoder->PutU8(plan.sort_desc()[i] ? 1 : 0);
+      }
+      encoder->PutU64(plan.sort_limit());
+      break;
+    }
     default:
       break;  // kUnion/kDifference/kIntersect/kProduct/kUnique/kClosure:
               // children only.
@@ -136,7 +146,7 @@ namespace {
 Result<PlanPtr> DecodePlanAtDepth(Decoder* decoder, int depth) {
   if (depth > kMaxDepth) return Status::Corruption("plan nesting too deep");
   MRA_ASSIGN_OR_RETURN(uint8_t raw_kind, decoder->GetU8());
-  if (raw_kind > static_cast<uint8_t>(PlanKind::kClosure)) {
+  if (raw_kind > static_cast<uint8_t>(PlanKind::kSort)) {
     return Status::Corruption("bad plan kind tag");
   }
   PlanKind kind = static_cast<PlanKind>(raw_kind);
@@ -232,6 +242,23 @@ Result<PlanPtr> DecodePlanAtDepth(Decoder* decoder, int depth) {
     case PlanKind::kClosure: {
       MRA_ASSIGN_OR_RETURN(PlanPtr input, child());
       return Plan::Closure(std::move(input));
+    }
+    case PlanKind::kSort: {
+      MRA_ASSIGN_OR_RETURN(uint32_t nkeys, decoder->GetU32());
+      std::vector<size_t> keys;
+      std::vector<bool> desc;
+      keys.reserve(nkeys);
+      desc.reserve(nkeys);
+      for (uint32_t i = 0; i < nkeys; ++i) {
+        MRA_ASSIGN_OR_RETURN(uint64_t k, decoder->GetU64());
+        MRA_ASSIGN_OR_RETURN(uint8_t d, decoder->GetU8());
+        keys.push_back(static_cast<size_t>(k));
+        desc.push_back(d != 0);
+      }
+      MRA_ASSIGN_OR_RETURN(uint64_t limit, decoder->GetU64());
+      MRA_ASSIGN_OR_RETURN(PlanPtr input, child());
+      return Plan::Sort(std::move(keys), std::move(desc), limit,
+                        std::move(input));
     }
   }
   return Status::Corruption("bad plan kind tag");

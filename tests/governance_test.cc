@@ -15,9 +15,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <string>
 
+#include "mra/exec/operator.h"
+#include "mra/exec/sort.h"
 #include "mra/fault/failpoint.h"
 #include "mra/lang/interpreter.h"
 #include "mra/obs/metrics.h"
@@ -355,6 +358,99 @@ TEST_F(GovernanceTest, ExplainAnalyzeIsGovernedPlainExplainIsNot) {
   EXPECT_EQ(analyzed.status().code(), StatusCode::kCancelled);
   // Plain `explain` never executes — a raised token must not block it.
   EXPECT_TRUE(interp.Explain("unique(product(r, s))").ok());
+}
+
+// --- Spill governance: budget-pressure spill and kill-mid-spill. ---------
+
+// Run files the sort spilled and did not reclaim (both published runs and
+// in-flight .tmp files land under the mra_sort_ prefix).
+size_t LeakedRunFiles() {
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::temp_directory_path())) {
+    if (entry.path().filename().string().rfind("mra_sort_", 0) == 0) ++n;
+  }
+  return n;
+}
+
+TEST_F(GovernanceTest, SortUnderBudgetPressureSpillsInsteadOfDying) {
+  // The sort's working set (60×60 product rows) is far past the 64 KiB
+  // budget; a materialising operator would be killed with
+  // kResourceExhausted — the sort must instead shed runs to disk and
+  // complete.  (The budget still fits the product's own build side.)
+  auto db = MakeDb();
+  lang::InterpreterOptions options;
+  options.governance.query_mem_budget_bytes = 64 * 1024;
+  lang::Interpreter interp(db.get(), options);
+  auto analyzed = interp.ExplainAnalyze("sort([%1, -%3], product(r, s))");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  EXPECT_NE(analyzed->find("spill:"), std::string::npos) << *analyzed;
+  EXPECT_EQ(LeakedRunFiles(), 0u);
+}
+
+TEST_F(GovernanceTest, KillMidSpillCleansUpRunFilesAndBudget) {
+  // Each failpoint interrupts the spill at a different stage: creating a
+  // run (write), publishing it (rename), and re-reading it during the
+  // merge (read).  Every stage must unwind to zero run files and zero
+  // charged bytes, and the same query must succeed once disarmed.
+  auto db = MakeDb();
+  const Relation& r = **db->catalog().GetRelation("r");
+  for (const char* spec : {"sort.spill.write=error", "sort.spill.rename=error",
+                           "sort.spill.read=error"}) {
+    size_t files_before = LeakedRunFiles();
+    ExecContext ctx;
+    ctx.SetMemoryBudget(2048);  // Arms the budget-derived spill threshold.
+    SortOp op({0}, {false}, 0, 0, std::make_unique<ScanOp>(&r));
+    op.SetExecContext(&ctx);
+    ASSERT_TRUE(
+        fault::FaultRegistry::Global().ConfigureFromSpec(spec).ok());
+    auto killed = ExecuteToRelation(op, 1024);
+    fault::FaultRegistry::Global().DisarmAll();
+    ASSERT_FALSE(killed.ok()) << spec << " did not fire";
+    EXPECT_EQ(LeakedRunFiles(), files_before) << spec << " leaked run files";
+    EXPECT_EQ(ctx.mem_used(), 0u) << spec << " leaked charged bytes";
+    // Clean retry on the very same operator: no poisoned state.
+    auto clean = ExecuteToRelation(op, 1024);
+    ASSERT_TRUE(clean.ok()) << spec << ": " << clean.status().ToString();
+    EXPECT_TRUE(clean->Equals(r));
+    EXPECT_EQ(LeakedRunFiles(), files_before);
+  }
+}
+
+TEST_F(GovernanceTest, KillMidSpillThroughTheInterpreterIsReusable) {
+  auto db = MakeDb();
+  lang::InterpreterOptions options;
+  options.exec.sort_spill_bytes = 64;
+  lang::Interpreter interp(db.get(), options);
+  size_t files_before = LeakedRunFiles();
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .ConfigureFromSpec("sort.spill.write=error")
+                  .ok());
+  auto killed = interp.Query("sort([-%2], r)");
+  fault::FaultRegistry::Global().DisarmAll();
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(LeakedRunFiles(), files_before);
+  auto clean = interp.Query("sort([-%2], r)");
+  EXPECT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(LeakedRunFiles(), files_before);
+}
+
+TEST_F(GovernanceTest, CancelLandsInsideASpillingSort) {
+  // The cooperative cancel must also reach the spill path (the sort drains
+  // its child batch-by-batch, so the batch failpoint fires mid-buffering).
+  auto db = MakeDb();
+  lang::InterpreterOptions options;
+  options.exec.sort_spill_bytes = 64;
+  lang::Interpreter interp(db.get(), options);
+  size_t files_before = LeakedRunFiles();
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .ConfigureFromSpec("exec.cancel.batch=error")
+                  .ok());
+  auto killed = interp.Query("sort([%1], product(r, s))");
+  fault::FaultRegistry::Global().DisarmAll();
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(LeakedRunFiles(), files_before);
 }
 
 TEST_F(GovernanceTest, HashPeakBytesGaugeTracksLiveGrowth) {

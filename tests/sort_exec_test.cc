@@ -1,0 +1,437 @@
+// Differential suite for ordered emission (SortOp) and the sort-merge
+// join strategy, gated against the definitional semantics:
+//
+//   * ops::Sort with limit = 0 is the identity on bags — so the physical
+//     SortOp must return the input bag exactly, *and* emit it in
+//     CompareForSort order (ordering is a stream property the bag cannot
+//     express; it is asserted on the drained row sequence).
+//   * ops::Sort with limit = k is the deterministic weighted Top-K — the
+//     physical Top-K heap must agree with it, which also pins "Top-K ==
+//     full sort + weighted prefix".
+//   * SortMergeJoinOp must agree with HashJoinOp and NestedLoopJoinOp on
+//     the same equi-join (multiplicities multiply, Definition 3.1).
+//
+// Each property runs over 8 random seeds, all six value domains (bool,
+// int, real, string, decimal, date), multi-key and descending orders,
+// multiplicities up to 1e6, batch sizes 1/7/1024, and — via a tiny
+// sort_spill_bytes — the forced external-merge spill path.
+
+#include "mra/exec/sort.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <random>
+
+#include "mra/algebra/ops.h"
+#include "mra/common/config.h"
+#include "mra/exec/exec_context.h"
+#include "mra/exec/operator.h"
+#include "mra/lang/interpreter.h"
+#include "test_util.h"
+
+namespace mra {
+namespace exec {
+namespace {
+
+using ::mra::testing::IntRel;
+using ::mra::testing::RandomIntRelation;
+using ::mra::testing::RandomMixedRelation;
+
+// Drains `op` row-at-a-time, asserting the emitted stream is ordered
+// under CompareForSort, and returns the emitted bag.
+Result<Relation> DrainOrdered(PhysicalOperator& op,
+                              const std::vector<size_t>& keys,
+                              const std::vector<bool>& desc) {
+  MRA_RETURN_IF_ERROR(op.Open());
+  Relation out(op.schema());
+  std::optional<Tuple> prev;
+  while (true) {
+    MRA_ASSIGN_OR_RETURN(std::optional<Row> row, op.Next());
+    if (!row.has_value()) break;
+    if (prev.has_value()) {
+      EXPECT_LE(ops::CompareForSort(*prev, row->tuple, keys, desc), 0)
+          << "stream out of order: " << prev->ToString() << " before "
+          << row->tuple.ToString();
+    }
+    prev = row->tuple;
+    out.InsertUnchecked(row->tuple, row->count);
+  }
+  op.Close();
+  return out;
+}
+
+// One sort configuration checked end to end: bag equality against the
+// definitional ops::Sort, stream orderedness, and (when expected) the
+// spill trip, at every batch protocol.
+void ExpectSortAgreement(const Relation& input, std::vector<size_t> keys,
+                         std::vector<bool> desc, uint64_t limit,
+                         uint64_t spill_bytes, bool expect_spill) {
+  auto expected = ops::Sort(keys, desc, limit, input);
+  ASSERT_OK(expected);
+
+  // Row-at-a-time, with the order assertion.
+  {
+    SortOp op(keys, desc, limit, spill_bytes,
+              std::make_unique<ScanOp>(&input));
+    auto got = DrainOrdered(op, keys, desc);
+    ASSERT_OK(got);
+    EXPECT_REL_EQ(*got, *expected);
+    if (expect_spill) {
+      EXPECT_GT(op.spilled_runs(), 0u) << "expected a forced spill";
+    } else if (spill_bytes == 0) {
+      EXPECT_EQ(op.spilled_runs(), 0u);
+    }
+  }
+  // Batch protocol at the three canonical sizes.
+  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{1024}}) {
+    SortOp op(keys, desc, limit, spill_bytes,
+              std::make_unique<ScanOp>(&input));
+    auto got = ExecuteToRelation(op, batch_size);
+    ASSERT_OK(got);
+    EXPECT_REL_EQ(*got, *expected) << "batch size " << batch_size;
+  }
+}
+
+class SortDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SortDifferentialTest, FullSortAllDomainsIsBagIdentityAndOrdered) {
+  std::mt19937_64 rng(GetParam());
+  Relation input = RandomMixedRelation(rng, /*max_distinct=*/120,
+                                       /*max_multiplicity=*/5);
+  // Single key per domain, ascending and descending.
+  for (size_t key = 0; key < input.schema().arity(); ++key) {
+    ExpectSortAgreement(input, {key}, {false}, 0, 0, false);
+    ExpectSortAgreement(input, {key}, {true}, 0, 0, false);
+  }
+}
+
+TEST_P(SortDifferentialTest, MultiKeyMixedDirections) {
+  std::mt19937_64 rng(GetParam());
+  Relation input = RandomMixedRelation(rng, 150, 5);
+  ExpectSortAgreement(input, {1, 3}, {false, true}, 0, 0, false);
+  ExpectSortAgreement(input, {5, 0, 2}, {true, false, true}, 0, 0, false);
+  // All six keys: the whole-tuple tiebreak never fires, order still total.
+  ExpectSortAgreement(input, {0, 1, 2, 3, 4, 5},
+                      {true, true, false, false, true, false}, 0, 0, false);
+}
+
+TEST_P(SortDifferentialTest, TopKMatchesDefinitionalWeightedPrefix) {
+  std::mt19937_64 rng(GetParam());
+  Relation input = RandomMixedRelation(rng, 150, 5);
+  uint64_t total = input.size();
+  for (uint64_t limit : {uint64_t{1}, uint64_t{3}, total / 2 + 1, total,
+                         total + 100}) {
+    if (limit == 0) continue;
+    ExpectSortAgreement(input, {1, 2}, {false, true}, limit, 0, false);
+  }
+}
+
+TEST_P(SortDifferentialTest, ForcedSpillAgreesWithInMemory) {
+  std::mt19937_64 rng(GetParam());
+  Relation input = RandomMixedRelation(rng, 200, 5);
+  if (input.distinct_size() < 4) return;  // Nothing to spill.
+  // 64 bytes is below a single row's footprint: every buffered batch
+  // trips the threshold, so the merge path carries the whole sort.
+  ExpectSortAgreement(input, {3, 1}, {false, false}, 0, 64, true);
+  ExpectSortAgreement(input, {4}, {true}, 0, 64, true);
+  // Top-K across spilled runs: per-run pruning must stay globally sound.
+  ExpectSortAgreement(input, {2}, {false}, 5, 64, true);
+}
+
+TEST_P(SortDifferentialTest, HeavyMultiplicityStaysFolded) {
+  // A row with multiplicity 1e6 is one run entry: the sort (spilling or
+  // not) must keep it folded and the weighted LIMIT must clamp inside it.
+  Relation input = IntRel("r", {{5, 1}, {3, 2}, {7, 3}}, 2);
+  input.InsertUnchecked(testing::IntTuple({1, 9}), 1'000'000);
+  ExpectSortAgreement(input, {0}, {false}, 0, 0, false);
+  ExpectSortAgreement(input, {0}, {false}, 0, 64, true);
+  // limit = 17 lands strictly inside the heavy row: the boundary keeps
+  // the clamped remainder (17 − 0 preceding = 17 copies of (1, 9)).
+  auto limited = ops::Sort({0}, {false}, 17, input);
+  ASSERT_OK(limited);
+  EXPECT_EQ(limited->Multiplicity(testing::IntTuple({1, 9})), 17u);
+  ExpectSortAgreement(input, {0}, {false}, 17, 0, false);
+  ExpectSortAgreement(input, {0}, {false}, 17, 64, true);
+}
+
+TEST_P(SortDifferentialTest, EmptyAndSingletonInputs) {
+  Relation empty(RelationSchema("e", {{"a", Type::Int()}}));
+  ExpectSortAgreement(empty, {0}, {false}, 0, 0, false);
+  ExpectSortAgreement(empty, {0}, {true}, 3, 64, false);
+  Relation one = IntRel("one", {{42}}, 1);
+  ExpectSortAgreement(one, {0}, {false}, 0, 0, false);
+  ExpectSortAgreement(one, {0}, {false}, 1, 0, false);
+}
+
+// --- Sort-merge join vs. the other join strategies. ----------------------
+
+using OpFactory = std::function<PhysOpPtr()>;
+
+Relation MustExecute(const OpFactory& make, size_t batch_size) {
+  PhysOpPtr op = make();
+  auto rel = ExecuteToRelation(*op, batch_size);
+  EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+  return rel.ok() ? std::move(*rel) : Relation(op->schema());
+}
+
+TEST_P(SortDifferentialTest, SortMergeJoinAgreesWithHashAndNestedLoop) {
+  std::mt19937_64 rng(GetParam());
+  Relation r = RandomIntRelation(rng, 2, 150, 20, 5);
+  Relation s = RandomIntRelation(rng, 2, 150, 20, 5);
+
+  auto merge = [&] {
+    return std::make_unique<SortMergeJoinOp>(
+        std::vector<size_t>{0}, std::vector<size_t>{0}, nullptr,
+        std::make_unique<ScanOp>(&r), std::make_unique<ScanOp>(&s),
+        /*spill_bytes=*/0);
+  };
+  auto hash = [&] {
+    return std::make_unique<HashJoinOp>(
+        std::vector<size_t>{0}, std::vector<size_t>{0}, nullptr,
+        std::make_unique<ScanOp>(&r), std::make_unique<ScanOp>(&s));
+  };
+  auto nested = [&] {
+    return std::make_unique<NestedLoopJoinOp>(
+        Eq(Attr(0), Attr(2)), std::make_unique<ScanOp>(&r),
+        std::make_unique<ScanOp>(&s));
+  };
+  Relation via_hash = MustExecute(hash, 0);
+  EXPECT_REL_EQ(MustExecute(nested, 0), via_hash);
+  for (size_t batch_size : {size_t{0}, size_t{1}, size_t{7}, size_t{1024}}) {
+    EXPECT_REL_EQ(MustExecute(merge, batch_size), via_hash)
+        << "batch size " << batch_size;
+  }
+}
+
+TEST_P(SortDifferentialTest, SortMergeJoinMultiKeyResidualAndSpill) {
+  std::mt19937_64 rng(GetParam());
+  Relation r = RandomIntRelation(rng, 3, 150, 8, 5);
+  Relation s = RandomIntRelation(rng, 3, 150, 8, 5);
+
+  // Multi-key with a non-equi residual, forced through the spill path.
+  auto merge = [&] {
+    return std::make_unique<SortMergeJoinOp>(
+        std::vector<size_t>{0, 1}, std::vector<size_t>{1, 0},
+        Lt(Attr(2), Attr(5)), std::make_unique<ScanOp>(&r),
+        std::make_unique<ScanOp>(&s), /*spill_bytes=*/64);
+  };
+  auto hash = [&] {
+    return std::make_unique<HashJoinOp>(
+        std::vector<size_t>{0, 1}, std::vector<size_t>{1, 0},
+        Lt(Attr(2), Attr(5)), std::make_unique<ScanOp>(&r),
+        std::make_unique<ScanOp>(&s));
+  };
+  EXPECT_REL_EQ(MustExecute(merge, 1024), MustExecute(hash, 1024));
+}
+
+TEST_P(SortDifferentialTest, SortMergeJoinEmptySides) {
+  std::mt19937_64 rng(GetParam());
+  Relation r = RandomIntRelation(rng, 2, 100, 20, 5);
+  Relation empty(r.schema());
+  for (auto [left, right] : {std::pair<const Relation*, const Relation*>{
+                                 &r, &empty},
+                             {&empty, &r},
+                             {&empty, &empty}}) {
+    SortMergeJoinOp op({0}, {0}, nullptr, std::make_unique<ScanOp>(left),
+                       std::make_unique<ScanOp>(right), 0);
+    auto got = ExecuteToRelation(op, 1024);
+    ASSERT_OK(got);
+    EXPECT_EQ(got->size(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortDifferentialTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+// --- Contract details the sweep cannot see. ------------------------------
+
+TEST(SortContractTest, ReopenReplaysTheStream) {
+  Relation r = IntRel("r", {{3}, {1}, {2}}, 1);
+  SortOp op({0}, {false}, 0, 0, std::make_unique<ScanOp>(&r));
+  for (int round = 0; round < 2; ++round) {
+    auto got = DrainOrdered(op, {0}, {false});
+    ASSERT_OK(got);
+    EXPECT_REL_EQ(*got, r);
+  }
+}
+
+TEST(SortContractTest, SpilledReopenReplaysAndRewritesRuns) {
+  std::mt19937_64 rng(7);
+  Relation r = RandomIntRelation(rng, 2, 200, 50, 3);
+  SortOp op({0}, {false}, 0, 64, std::make_unique<ScanOp>(&r));
+  auto first = DrainOrdered(op, {0}, {false});
+  ASSERT_OK(first);
+  auto second = DrainOrdered(op, {0}, {false});
+  ASSERT_OK(second);
+  EXPECT_REL_EQ(*first, *second);
+  EXPECT_REL_EQ(*first, r);
+}
+
+TEST(SortContractTest, RunFilesAreRemovedOnClose) {
+  std::mt19937_64 rng(11);
+  Relation r = RandomIntRelation(rng, 2, 300, 50, 3);
+  auto leftover = [] {
+    size_t n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(
+             std::filesystem::temp_directory_path())) {
+      if (entry.path().filename().string().rfind("mra_sort_", 0) == 0) ++n;
+    }
+    return n;
+  };
+  size_t before = leftover();
+  {
+    SortOp op({0}, {false}, 0, 64, std::make_unique<ScanOp>(&r));
+    ASSERT_OK(op.Open());
+    EXPECT_GT(op.spilled_runs(), 0u);
+    EXPECT_GT(leftover(), before);
+    op.Close();
+  }
+  EXPECT_EQ(leftover(), before);
+}
+
+TEST(SortContractTest, BudgetArmsSpillWithoutExplicitKnob) {
+  // No sort_spill_bytes, but an armed budget: the operator must derive a
+  // threshold (budget/2) and complete by spilling instead of being killed.
+  std::mt19937_64 rng(13);
+  Relation r = RandomIntRelation(rng, 2, 400, 100, 3);
+  ExecContext ctx;
+  ctx.SetMemoryBudget(2048);
+  SortOp op({0}, {false}, 0, 0, std::make_unique<ScanOp>(&r));
+  op.SetExecContext(&ctx);
+  auto got = ExecuteToRelation(op, 1024);
+  // The sort must complete by spilling under budget pressure, not die.
+  ASSERT_OK(got);
+  EXPECT_GT(op.spilled_runs(), 0u);
+  EXPECT_REL_EQ(*got, r);
+  EXPECT_EQ(ctx.mem_used(), 0u) << "all charged bytes must be released";
+}
+
+// --- Interpreter-level: the sort node through the full stack. ------------
+
+std::unique_ptr<Database> SeedDb(uint64_t seed) {
+  auto db = std::move(Database::Open({}).value());
+  lang::Interpreter interp(db.get());
+  EXPECT_OK(interp.ExecuteScript(
+      "create r(a: int, b: int, c: string);", nullptr));
+  std::mt19937_64 rng(seed);
+  std::string script = "insert(r, {";
+  for (int i = 0; i < 80; ++i) {
+    script += (i ? "," : "") + std::string("(") +
+              std::to_string(static_cast<int64_t>(rng() % 40)) + "," +
+              std::to_string(static_cast<int64_t>(rng() % 9)) + ",'" +
+              std::string(1, static_cast<char>('a' + rng() % 5)) + "')" +
+              (rng() % 4 == 0 ? " : 3" : "");
+  }
+  script += "});";
+  EXPECT_OK(interp.ExecuteScript(script, nullptr));
+  return db;
+}
+
+TEST(SortLanguageTest, XraSortMatchesDefinitionalAcrossConfigs) {
+  auto db = SeedDb(21);
+  const Relation& r = **db->catalog().GetRelation("r");
+  auto expected_full = ops::Sort({2, 0}, {false, true}, 0, r);
+  ASSERT_OK(expected_full);
+  auto expected_top = ops::Sort({1}, {true}, 10, r);
+  ASSERT_OK(expected_top);
+  for (uint64_t spill : {uint64_t{0}, uint64_t{64}}) {
+    lang::InterpreterOptions options;
+    options.exec.sort_spill_bytes = spill;
+    lang::Interpreter interp(db.get(), options);
+    auto full = interp.Query("sort([%3, -%1], r)");
+    ASSERT_OK(full);
+    EXPECT_REL_EQ(*full, *expected_full);
+    auto top = interp.Query("sort([-%2], r, 10)");
+    ASSERT_OK(top);
+    EXPECT_REL_EQ(*top, *expected_top);
+  }
+}
+
+TEST(SortLanguageTest, ExplainAnalyzeAnnotatesSpillRuns) {
+  auto db = SeedDb(22);
+  lang::InterpreterOptions options;
+  options.exec.sort_spill_bytes = 64;
+  lang::Interpreter interp(db.get(), options);
+  auto text = interp.ExplainAnalyze("sort([%1], r)");
+  ASSERT_OK(text);
+  EXPECT_NE(text->find("spill:"), std::string::npos) << *text;
+  // Without the knob, no spill note appears.
+  lang::Interpreter plain(db.get());
+  auto quiet = plain.ExplainAnalyze("sort([%1], r)");
+  ASSERT_OK(quiet);
+  EXPECT_EQ(quiet->find("spill:"), std::string::npos) << *quiet;
+}
+
+TEST(SortLanguageTest, ForcedSortMergeJoinMatchesHashJoin) {
+  auto db = SeedDb(23);
+  lang::Interpreter hash_interp(db.get());
+  auto via_hash = hash_interp.Query("join(%2 = %5, r, r)");
+  ASSERT_OK(via_hash);
+
+  lang::InterpreterOptions options;
+  options.exec.sort_merge_join = true;
+  lang::Interpreter merge_interp(db.get(), options);
+  auto explained = merge_interp.Explain("join(%2 = %5, r, r)");
+  ASSERT_OK(explained);
+  EXPECT_NE(explained->find("sort-merge"), std::string::npos) << *explained;
+  auto via_merge = merge_interp.Query("join(%2 = %5, r, r)");
+  ASSERT_OK(via_merge);
+  EXPECT_REL_EQ(*via_merge, *via_hash);
+}
+
+// --- Knob round-trip: registry, session SET, and config builder. ---------
+
+TEST(SortKnobTest, SpillAndStrategyKnobsRoundTrip) {
+  ExecConfig cfg;
+  EXPECT_NE(cfg.Describe().find("sort_spill_bytes"), std::string::npos);
+  EXPECT_NE(cfg.Describe().find("sort_merge_join"), std::string::npos);
+
+  ASSERT_OK(cfg.Set("sort_spill_bytes", "4096"));
+  EXPECT_EQ(cfg.exec.sort_spill_bytes, 4096u);
+  auto got = cfg.Get("sort_spill_bytes");
+  ASSERT_OK(got);
+  EXPECT_EQ(*got, "4096");
+
+  ASSERT_OK(cfg.Set("sort_merge_join", "true"));
+  EXPECT_TRUE(cfg.exec.sort_merge_join);
+  got = cfg.Get("sort_merge_join");
+  ASSERT_OK(got);
+  EXPECT_EQ(*got, "true");
+  ASSERT_OK(cfg.Set("sort_merge_join", "false"));
+  EXPECT_FALSE(cfg.exec.sort_merge_join);
+
+  EXPECT_FALSE(cfg.Set("sort_spill_bytes", "not-a-number").ok());
+
+  ExecConfig built = ConfigBuilder()
+                         .SortSpillBytes(128)
+                         .SortMergeJoin(true)
+                         .Build();
+  EXPECT_EQ(built.exec.sort_spill_bytes, 128u);
+  EXPECT_TRUE(built.exec.sort_merge_join);
+}
+
+TEST(SortKnobTest, SessionSetStatementReachesTheExecutor) {
+  auto db = SeedDb(24);
+  lang::Interpreter interp(db.get());
+  // The XRA `set` statement (the same path as the REPL's \set) arms the
+  // spill knob mid-session; the very next query must spill.
+  ASSERT_OK(interp.ExecuteScript("set sort_spill_bytes = 64;", nullptr));
+  auto text = interp.ExplainAnalyze("sort([%1], r)");
+  ASSERT_OK(text);
+  EXPECT_NE(text->find("spill:"), std::string::npos) << *text;
+  ASSERT_OK(interp.SetOption("sort_spill_bytes", "0"));
+  text = interp.ExplainAnalyze("sort([%1], r)");
+  ASSERT_OK(text);
+  EXPECT_EQ(text->find("spill:"), std::string::npos) << *text;
+
+  ASSERT_OK(interp.SetOption("sort_merge_join", "true"));
+  auto explained = interp.Explain("join(%1 = %4, r, r)");
+  ASSERT_OK(explained);
+  EXPECT_NE(explained->find("sort-merge"), std::string::npos) << *explained;
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace mra
